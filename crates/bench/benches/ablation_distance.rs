@@ -1,0 +1,65 @@
+//! Distance-approximation ablation — the paper's §3.2 claim that the
+//! equirectangular approximation is ~30× faster than Haversine with only
+//! 0.1% precision loss within a city. This bench measures the speed half of
+//! the claim (the precision half is checked by
+//! `grouptravel-experiments::ablation::distance_precision` and its tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+use grouptravel_geo::{equirectangular_km, haversine_km, GeoPoint};
+use std::hint::black_box;
+
+fn city_points(n: usize) -> Vec<GeoPoint> {
+    let catalog = SyntheticCityGenerator::new(
+        CitySpec::paris(),
+        SyntheticCityConfig {
+            counts: [n / 4, n / 4, n / 4, n / 4],
+            ..SyntheticCityConfig::default()
+        },
+    )
+    .generate();
+    catalog.locations()
+}
+
+fn bench_distance_functions(c: &mut Criterion) {
+    let points = city_points(400);
+
+    let mut bench = c.benchmark_group("ablation_distance/all_pairs");
+    bench.sample_size(20);
+    for (name, f) in [
+        ("haversine", haversine_km as fn(&GeoPoint, &GeoPoint) -> f64),
+        ("equirectangular", equirectangular_km),
+    ] {
+        bench.bench_with_input(BenchmarkId::from_parameter(name), &points, |b, points| {
+            b.iter(|| {
+                let mut total = 0.0f64;
+                for (i, a) in points.iter().enumerate() {
+                    for p in &points[i + 1..] {
+                        total += f(black_box(a), black_box(p));
+                    }
+                }
+                total
+            });
+        });
+    }
+    bench.finish();
+}
+
+fn bench_single_call(c: &mut Criterion) {
+    let a = GeoPoint::new_unchecked(48.8606, 2.3376);
+    let b_point = GeoPoint::new_unchecked(48.8860, 2.3430);
+
+    let mut bench = c.benchmark_group("ablation_distance/single_pair");
+    for (name, f) in [
+        ("haversine", haversine_km as fn(&GeoPoint, &GeoPoint) -> f64),
+        ("equirectangular", equirectangular_km),
+    ] {
+        bench.bench_with_input(BenchmarkId::from_parameter(name), &(), |bencher, ()| {
+            bencher.iter(|| f(black_box(&a), black_box(&b_point)));
+        });
+    }
+    bench.finish();
+}
+
+criterion_group!(benches, bench_distance_functions, bench_single_call);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 1 / Figure 2 bench — the end-to-end cost of producing the paper's
+//! headline artefact: a personalized 5-day Paris package, from consensus
+//! aggregation through fuzzy clustering to composite-item assembly, including
+//! the budget-constrained query of the introduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_bench::{group_and_profile, synthetic_world};
+use std::hint::black_box;
+
+fn bench_figure1_package(c: &mut Criterion) {
+    let world = synthetic_world();
+    let (group, _) = group_and_profile(
+        &world,
+        GroupSize::Small,
+        Uniformity::Uniform,
+        ConsensusMethod::pairwise_disagreement(),
+        0xf1,
+    );
+
+    let mut bench = c.benchmark_group("figure1/end_to_end");
+    bench.sample_size(10);
+    for (label, query) in [
+        ("unlimited_budget", GroupQuery::paper_default()),
+        ("100_dollar_budget", GroupQuery::figure1()),
+    ] {
+        bench.bench_with_input(BenchmarkId::from_parameter(label), &query, |b, query| {
+            b.iter(|| {
+                // Consensus aggregation is part of the measured pipeline.
+                let profile = group.profile(ConsensusMethod::pairwise_disagreement());
+                world
+                    .session
+                    .build_package(black_box(&profile), query, &BuildConfig::default())
+                    .expect("figure 1 package")
+            });
+        });
+    }
+    bench.finish();
+}
+
+fn bench_k_scaling(c: &mut Criterion) {
+    let world = synthetic_world();
+    let (_, profile) = group_and_profile(
+        &world,
+        GroupSize::Small,
+        Uniformity::Uniform,
+        ConsensusMethod::average_preference(),
+        0xf2,
+    );
+    let query = GroupQuery::paper_default();
+
+    let mut bench = c.benchmark_group("figure1/k_scaling");
+    bench.sample_size(10);
+    for k in [2usize, 5, 10] {
+        bench.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let config = BuildConfig::with_k(k);
+            b.iter(|| {
+                world
+                    .session
+                    .build_package(black_box(&profile), &query, &config)
+                    .expect("package")
+            });
+        });
+    }
+    bench.finish();
+}
+
+criterion_group!(benches, bench_figure1_package, bench_k_scaling);
+criterion_main!(benches);

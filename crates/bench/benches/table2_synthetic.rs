@@ -1,0 +1,57 @@
+//! Table 2 bench — the synthetic experiment's inner loop: aggregate a group
+//! profile with each consensus method, build the 5-CI package, and measure
+//! the three optimization dimensions, for every group shape the table
+//! covers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_bench::{bench_scale, group_and_profile, synthetic_world};
+use grouptravel_experiments::table2;
+use std::hint::black_box;
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let world = synthetic_world();
+    let query = GroupQuery::paper_default();
+    let config = world.build_config(7);
+
+    let mut group = c.benchmark_group("table2/build_and_measure");
+    group.sample_size(10);
+    for uniformity in Uniformity::ALL {
+        for size in [GroupSize::Small, GroupSize::Medium] {
+            for method in ConsensusMethod::paper_variants() {
+                let (_, profile) =
+                    group_and_profile(&world, size, uniformity, method, size.member_count() as u64);
+                let id = format!("{}/{}/{}", uniformity.name(), size.name(), method.name());
+                group.bench_with_input(BenchmarkId::from_parameter(id), &profile, |b, profile| {
+                    b.iter(|| {
+                        let package = world
+                            .session
+                            .build_package(black_box(profile), &query, &config)
+                            .expect("package");
+                        world.session.measure(&package, profile)
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_table2_full(c: &mut Criterion) {
+    let world = synthetic_world();
+    let mut group = c.benchmark_group("table2/full_table");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::from_parameter(format!("{} groups per cell", bench_scale().groups_per_cell)),
+        |b| {
+            b.iter(|| {
+                let records = table2::collect_records(&world);
+                table2::from_records(black_box(&records))
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_cell, bench_table2_full);
+criterion_main!(benches);

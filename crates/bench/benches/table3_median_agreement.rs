@@ -1,0 +1,43 @@
+//! Table 3 bench — median-user extraction and the agreement computation
+//! between the median user's package and the group's package.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_bench::{group_and_profile, synthetic_world};
+use grouptravel_experiments::{table2, table3};
+use std::hint::black_box;
+
+fn bench_median_user(c: &mut Criterion) {
+    let world = synthetic_world();
+    let mut group_bench = c.benchmark_group("table3/median_user");
+    group_bench.sample_size(20);
+    for size in GroupSize::ALL {
+        let (group, _) = group_and_profile(
+            &world,
+            size,
+            Uniformity::NonUniform,
+            ConsensusMethod::least_misery(),
+            3,
+        );
+        group_bench.bench_with_input(
+            BenchmarkId::from_parameter(size.name()),
+            &group,
+            |b, group| b.iter(|| black_box(group).median_user().cloned()),
+        );
+    }
+    group_bench.finish();
+}
+
+fn bench_table3_from_records(c: &mut Criterion) {
+    let world = synthetic_world();
+    let records = table2::collect_records(&world);
+    let mut group = c.benchmark_group("table3/aggregate");
+    group.sample_size(20);
+    group.bench_function("from_records", |b| {
+        b.iter(|| table3::from_records(black_box(&records)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_median_user, bench_table3_from_records);
+criterion_main!(benches);

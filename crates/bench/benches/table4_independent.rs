@@ -1,0 +1,63 @@
+//! Table 4 bench — building the six study packages for a group and having a
+//! simulated worker rate them (the independent evaluation's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_bench::user_study_world;
+use grouptravel_experiments::table4;
+use grouptravel_study::{RatingModel, RatingModelConfig};
+use std::hint::black_box;
+
+fn bench_build_study_packages(c: &mut Criterion) {
+    let world = user_study_world();
+    let mut bench = c.benchmark_group("table4/build_six_packages");
+    bench.sample_size(10);
+    for uniformity in Uniformity::ALL {
+        let group = world
+            .platform
+            .form_group(&world.population, GroupSize::Small, uniformity, 17)
+            .expect("group");
+        bench.bench_with_input(
+            BenchmarkId::from_parameter(uniformity.name()),
+            &group,
+            |b, group| b.iter(|| table4::build_study_packages(&world, black_box(group), 5)),
+        );
+    }
+    bench.finish();
+}
+
+fn bench_rating_loop(c: &mut Criterion) {
+    let world = user_study_world();
+    let group = world
+        .platform
+        .form_group(&world.population, GroupSize::Small, Uniformity::Uniform, 3)
+        .expect("group");
+    let packages = table4::build_study_packages(&world, &group, 5);
+    let raters = table4::raters_for_group(&world, &group, 5);
+    let query = GroupQuery::paper_default();
+
+    let mut bench = c.benchmark_group("table4/rate_all_packages");
+    bench.sample_size(20);
+    bench.bench_function("one_worker_six_packages", |b| {
+        b.iter(|| {
+            let mut model = RatingModel::new(RatingModelConfig::default());
+            let worker = raters[0];
+            packages
+                .iter()
+                .map(|(_, p)| {
+                    model.rate(
+                        worker,
+                        black_box(p),
+                        world.paris.catalog(),
+                        world.paris.vectorizer(),
+                        &query,
+                    )
+                })
+                .sum::<f64>()
+        });
+    });
+    bench.finish();
+}
+
+criterion_group!(benches, bench_build_study_packages, bench_rating_loop);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 5 bench — pairwise package comparisons by simulated workers (the
+//! comparative evaluation's inner loop) and the full scaled-down table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_bench::user_study_world;
+use grouptravel_experiments::{table4, table5};
+use grouptravel_study::{RatingModel, RatingModelConfig};
+use std::hint::black_box;
+
+fn bench_pairwise_comparison(c: &mut Criterion) {
+    let world = user_study_world();
+    let group = world
+        .platform
+        .form_group(&world.population, GroupSize::Small, Uniformity::NonUniform, 9)
+        .expect("group");
+    let packages = table4::build_study_packages(&world, &group, 11);
+    let raters = table4::raters_for_group(&world, &group, 5);
+    let query = GroupQuery::paper_default();
+    let first = &packages[2].1; // average preference
+    let second = &packages[1].1; // non-personalized
+
+    let mut bench = c.benchmark_group("table5/pairwise_choice");
+    bench.sample_size(30);
+    bench.bench_function("avtp_vs_nptp", |b| {
+        b.iter(|| {
+            let mut model = RatingModel::new(RatingModelConfig::default());
+            raters
+                .iter()
+                .filter(|worker| {
+                    model.prefers_first(
+                        worker,
+                        black_box(first),
+                        black_box(second),
+                        world.paris.catalog(),
+                        world.paris.vectorizer(),
+                        &query,
+                    )
+                })
+                .count()
+        });
+    });
+    bench.finish();
+}
+
+fn bench_table5_full(c: &mut Criterion) {
+    let world = user_study_world();
+    let mut bench = c.benchmark_group("table5/full_table");
+    bench.sample_size(10);
+    bench.bench_function("scaled_down", |b| {
+        b.iter(|| table5::run(black_box(&world)));
+    });
+    bench.finish();
+}
+
+criterion_group!(benches, bench_pairwise_comparison, bench_table5_full);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Table 6 bench — the customization study: simulated interactions, profile
+//! refinement with both strategies, and rebuilding in Barcelona.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grouptravel::prelude::*;
+use grouptravel::{refine_batch, refine_individual, MemberInteractions};
+use grouptravel_bench::user_study_world;
+use grouptravel_experiments::table6;
+use std::hint::black_box;
+
+fn bench_refinement_strategies(c: &mut Criterion) {
+    let world = user_study_world();
+    let group = world
+        .platform
+        .form_group_sized(&world.population, 7, Uniformity::NonUniform, 21)
+        .expect("group");
+    let consensus = ConsensusMethod::pairwise_disagreement();
+    let profile = group.profile(consensus);
+    // A representative pooled interaction log: every member adds one
+    // attraction and removes one restaurant.
+    let attractions = world.paris.catalog().by_category(Category::Attraction);
+    let restaurants = world.paris.catalog().by_category(Category::Restaurant);
+    let interactions: Vec<MemberInteractions> = group
+        .members()
+        .iter()
+        .enumerate()
+        .map(|(idx, member)| {
+            let mut record = MemberInteractions::new(member.user_id);
+            record.log.record_add(attractions[idx % attractions.len()].id);
+            record.log.record_remove(restaurants[idx % restaurants.len()].id);
+            record
+        })
+        .collect();
+
+    let mut bench = c.benchmark_group("table6/refinement");
+    bench.sample_size(30);
+    bench.bench_function("batch", |b| {
+        b.iter(|| {
+            refine_batch(
+                black_box(&profile),
+                black_box(&interactions),
+                world.paris.catalog(),
+                world.paris.vectorizer(),
+            )
+        });
+    });
+    bench.bench_function("individual", |b| {
+        b.iter(|| {
+            refine_individual(
+                black_box(&group),
+                consensus,
+                black_box(&interactions),
+                world.paris.catalog(),
+                world.paris.vectorizer(),
+            )
+        });
+    });
+    bench.finish();
+
+    let refined = refine_batch(
+        &profile,
+        &interactions,
+        world.paris.catalog(),
+        world.paris.vectorizer(),
+    );
+    let query = GroupQuery::paper_default();
+    let mut bench = c.benchmark_group("table6/rebuild_in_barcelona");
+    bench.sample_size(10);
+    bench.bench_function("refined_profile", |b| {
+        b.iter(|| {
+            world
+                .barcelona
+                .build_package(black_box(&refined), &query, &BuildConfig::default())
+                .expect("barcelona package")
+        });
+    });
+    bench.finish();
+}
+
+fn bench_table6_full(c: &mut Criterion) {
+    let world = user_study_world();
+    let mut bench = c.benchmark_group("table6/full_study");
+    bench.sample_size(10);
+    bench.bench_function("scaled_down", |b| {
+        b.iter(|| table6::run(black_box(&world)));
+    });
+    bench.finish();
+}
+
+criterion_group!(benches, bench_refinement_strategies, bench_table6_full);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 7 bench — the comparative evaluation of the customization study
+//! (batch vs individual vs non-personalized Barcelona packages).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grouptravel_bench::user_study_world;
+use grouptravel_experiments::{table6, table7};
+use std::hint::black_box;
+
+fn bench_table7(c: &mut Criterion) {
+    let world = user_study_world();
+    let study = table6::run_study(&world);
+
+    let mut bench = c.benchmark_group("table7/comparative");
+    bench.sample_size(10);
+    bench.bench_function("from_existing_study", |b| {
+        b.iter(|| table7::from_study(&world, black_box(&study)));
+    });
+    bench.bench_function("full_including_study", |b| {
+        b.iter(|| table7::run(black_box(&world)));
+    });
+    bench.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! Every bench regenerates (a scaled-down version of) one table or figure of
+//! the paper; the heavy one-time setup — synthetic city generation, LDA
+//! training, worker recruitment — lives here so the timed sections measure
+//! only the algorithmic work the paper's evaluation exercises.
+
+use grouptravel::prelude::*;
+use grouptravel_experiments::common::{SyntheticWorld, UserStudyWorld};
+use grouptravel_experiments::ExperimentScale;
+
+/// The scale used by all benches: big enough to be representative, small
+/// enough that `cargo bench` finishes in minutes.
+#[must_use]
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        groups_per_cell: 2,
+        study_groups_per_cell: 1,
+        ..ExperimentScale::smoke()
+    }
+}
+
+/// A synthetic world (Paris session) at bench scale.
+#[must_use]
+pub fn synthetic_world() -> SyntheticWorld {
+    SyntheticWorld::build(bench_scale())
+}
+
+/// A user-study world (Paris + Barcelona + recruited workers) at bench scale.
+#[must_use]
+pub fn user_study_world() -> UserStudyWorld {
+    UserStudyWorld::build(bench_scale())
+}
+
+/// A ready-made (group, profile) pair of the requested shape for a world.
+#[must_use]
+pub fn group_and_profile(
+    world: &SyntheticWorld,
+    size: GroupSize,
+    uniformity: Uniformity,
+    method: ConsensusMethod,
+    salt: u64,
+) -> (Group, GroupProfile) {
+    let mut generator = world.group_generator(salt);
+    let group = generator.group(size, uniformity);
+    let profile = group.profile(method);
+    (group, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let world = synthetic_world();
+        let (group, profile) = group_and_profile(
+            &world,
+            GroupSize::Small,
+            Uniformity::Uniform,
+            ConsensusMethod::average_preference(),
+            1,
+        );
+        assert_eq!(group.size(), 5);
+        assert_eq!(profile.schema(), world.session.profile_schema());
+    }
+}

@@ -1,0 +1,101 @@
+//! Reading fuzzy clustering results.
+
+use crate::fcm::FcmResult;
+
+/// Hard cluster assignments: the index of the cluster with the highest
+/// membership for every point (ties resolved towards the lower index).
+#[must_use]
+pub fn hard_assignments(result: &FcmResult) -> Vec<usize> {
+    result
+        .memberships
+        .iter()
+        .map(|row| {
+            let mut best = 0;
+            for (idx, &w) in row.iter().enumerate() {
+                if w > row[best] {
+                    best = idx;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// The indices of the `n` points with the highest membership in cluster
+/// `cluster`, strongest first.
+#[must_use]
+pub fn top_members(result: &FcmResult, cluster: usize, n: usize) -> Vec<usize> {
+    let mut indexed: Vec<(usize, f64)> = result
+        .memberships
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, row)| row.get(cluster).map(|&w| (idx, w)))
+        .collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    indexed.into_iter().take(n).map(|(idx, _)| idx).collect()
+}
+
+/// Bezdek's fuzzy partition coefficient `(1/N) Σ_ij w_ij²`: 1 for a crisp
+/// partition, `1/k` for a maximally fuzzy one. Returns 0 for an empty result.
+#[must_use]
+pub fn fuzzy_partition_coefficient(result: &FcmResult) -> f64 {
+    if result.memberships.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = result
+        .memberships
+        .iter()
+        .flat_map(|row| row.iter().map(|&w| w * w))
+        .sum();
+    total / result.memberships.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_geo::GeoPoint;
+
+    fn fake_result(memberships: Vec<Vec<f64>>) -> FcmResult {
+        let k = memberships.first().map_or(0, Vec::len);
+        FcmResult {
+            centroids: vec![GeoPoint::new_unchecked(0.0, 0.0); k],
+            memberships,
+            iterations: 1,
+            converged: true,
+            objective: 0.0,
+        }
+    }
+
+    #[test]
+    fn hard_assignments_pick_the_max_membership() {
+        let result = fake_result(vec![
+            vec![0.8, 0.2],
+            vec![0.3, 0.7],
+            vec![0.5, 0.5],
+        ]);
+        assert_eq!(hard_assignments(&result), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn top_members_are_sorted_by_membership() {
+        let result = fake_result(vec![
+            vec![0.1, 0.9],
+            vec![0.8, 0.2],
+            vec![0.6, 0.4],
+        ]);
+        assert_eq!(top_members(&result, 0, 2), vec![1, 2]);
+        assert_eq!(top_members(&result, 1, 1), vec![0]);
+        assert_eq!(top_members(&result, 1, 10).len(), 3);
+        assert!(top_members(&result, 5, 2).is_empty());
+    }
+
+    #[test]
+    fn partition_coefficient_bounds() {
+        let crisp = fake_result(vec![vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!((fuzzy_partition_coefficient(&crisp) - 1.0).abs() < 1e-12);
+        let fuzzy = fake_result(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+        assert!((fuzzy_partition_coefficient(&fuzzy) - 0.5).abs() < 1e-12);
+        let empty = fake_result(vec![]);
+        assert_eq!(fuzzy_partition_coefficient(&empty), 0.0);
+    }
+}

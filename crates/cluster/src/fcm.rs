@@ -1,0 +1,425 @@
+//! Fuzzy c-means (FCM) over geographic points.
+//!
+//! Bezdek's algorithm: memberships
+//! `w_ij = 1 / Σ_l (d(i, μ_j) / d(i, μ_l))^(2/(m−1))` and centroids
+//! `μ_j = Σ_i w_ij^m · x_i / Σ_i w_ij^m`, iterated until the centroids stop
+//! moving. Distances are the paper's equirectangular approximation (or exact
+//! Haversine, configurable). The paper writes the fuzzifier as `f`; the
+//! conventional constraint `m > 1` applies — `m → 1` degenerates to hard
+//! k-means, larger `m` makes memberships fuzzier.
+
+use grouptravel_geo::{weighted_centroid, DistanceMetric, GeoPoint};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of the fuzzy c-means run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FcmConfig {
+    /// Number of clusters `k` (one per composite item in GroupTravel).
+    pub k: usize,
+    /// Fuzzifier exponent `m` (the paper's `f`); must be > 1.
+    pub fuzzifier: f64,
+    /// Maximum number of update iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the maximum centroid displacement, in
+    /// kilometres.
+    pub tolerance_km: f64,
+    /// Distance metric (equirectangular by default, per the paper).
+    pub metric: DistanceMetric,
+    /// Randomness seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for FcmConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            fuzzifier: 2.0,
+            max_iterations: 100,
+            tolerance_km: 0.001,
+            metric: DistanceMetric::Equirectangular,
+            seed: 42,
+        }
+    }
+}
+
+impl FcmConfig {
+    /// Convenience constructor for `k` clusters with defaults elsewhere.
+    #[must_use]
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors raised by [`FuzzyCMeans::fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FcmError {
+    /// `k` was zero.
+    ZeroClusters,
+    /// Fewer points than clusters.
+    NotEnoughPoints,
+    /// The fuzzifier was not greater than 1.
+    InvalidFuzzifier,
+}
+
+impl fmt::Display for FcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FcmError::ZeroClusters => write!(f, "k must be at least 1"),
+            FcmError::NotEnoughPoints => write!(f, "need at least k points to place k centroids"),
+            FcmError::InvalidFuzzifier => write!(f, "the fuzzifier must be greater than 1"),
+        }
+    }
+}
+
+impl std::error::Error for FcmError {}
+
+/// Result of a fuzzy c-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FcmResult {
+    /// Final centroid positions, `k` of them.
+    pub centroids: Vec<GeoPoint>,
+    /// Membership matrix `W`: `memberships[i][j]` is the degree to which
+    /// point `i` belongs to cluster `j`. Every row sums to 1.
+    pub memberships: Vec<Vec<f64>>,
+    /// Number of iterations actually run.
+    pub iterations: usize,
+    /// Whether the run converged before hitting the iteration cap.
+    pub converged: bool,
+    /// Value of the FCM objective `Σ_ij w_ij^m d_ij²` at the final state
+    /// (kilometres squared).
+    pub objective: f64,
+}
+
+/// The fuzzy c-means solver.
+#[derive(Debug, Clone)]
+pub struct FuzzyCMeans {
+    config: FcmConfig,
+}
+
+impl FuzzyCMeans {
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn new(config: FcmConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FcmConfig {
+        &self.config
+    }
+
+    /// Runs fuzzy c-means over `points`.
+    pub fn fit(&self, points: &[GeoPoint]) -> Result<FcmResult, FcmError> {
+        let k = self.config.k;
+        if k == 0 {
+            return Err(FcmError::ZeroClusters);
+        }
+        if points.len() < k {
+            return Err(FcmError::NotEnoughPoints);
+        }
+        if self.config.fuzzifier <= 1.0 {
+            return Err(FcmError::InvalidFuzzifier);
+        }
+
+        let mut centroids = self.initial_centroids(points);
+        let mut memberships = vec![vec![0.0; k]; points.len()];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for iter in 0..self.config.max_iterations {
+            iterations = iter + 1;
+            self.update_memberships(points, &centroids, &mut memberships);
+            let new_centroids = self.update_centroids(points, &memberships, &centroids);
+
+            let max_shift = centroids
+                .iter()
+                .zip(&new_centroids)
+                .map(|(old, new)| self.config.metric.distance_km(old, new))
+                .fold(0.0f64, f64::max);
+            centroids = new_centroids;
+
+            if max_shift < self.config.tolerance_km {
+                converged = true;
+                break;
+            }
+        }
+        // Make the memberships consistent with the final centroids.
+        self.update_memberships(points, &centroids, &mut memberships);
+
+        let objective = self.objective(points, &centroids, &memberships);
+        Ok(FcmResult {
+            centroids,
+            memberships,
+            iterations,
+            converged,
+            objective,
+        })
+    }
+
+    /// k-means++-style seeding: the first centroid is a random point, each
+    /// subsequent centroid is drawn with probability proportional to the
+    /// squared distance from the nearest centroid chosen so far.
+    fn initial_centroids(&self, points: &[GeoPoint]) -> Vec<GeoPoint> {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut centroids = Vec::with_capacity(self.config.k);
+        centroids.push(points[rng.gen_range(0..points.len())]);
+
+        while centroids.len() < self.config.k {
+            let distances: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| self.config.metric.distance_km(p, c).powi(2))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = distances.iter().sum();
+            if total <= f64::EPSILON {
+                // All remaining points coincide with existing centroids.
+                centroids.push(points[rng.gen_range(0..points.len())]);
+                continue;
+            }
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (idx, &d) in distances.iter().enumerate() {
+                if pick < d {
+                    chosen = idx;
+                    break;
+                }
+                pick -= d;
+            }
+            centroids.push(points[chosen]);
+        }
+        centroids
+    }
+
+    fn update_memberships(
+        &self,
+        points: &[GeoPoint],
+        centroids: &[GeoPoint],
+        memberships: &mut [Vec<f64>],
+    ) {
+        let exponent = 2.0 / (self.config.fuzzifier - 1.0);
+        for (i, point) in points.iter().enumerate() {
+            let distances: Vec<f64> = centroids
+                .iter()
+                .map(|c| self.config.metric.distance_km(point, c))
+                .collect();
+
+            // A point sitting exactly on one or more centroids belongs to
+            // them (equally) and to nothing else.
+            let coincident: Vec<usize> = distances
+                .iter()
+                .enumerate()
+                .filter(|(_, &d)| d <= f64::EPSILON)
+                .map(|(j, _)| j)
+                .collect();
+            if !coincident.is_empty() {
+                let share = 1.0 / coincident.len() as f64;
+                for (j, slot) in memberships[i].iter_mut().enumerate() {
+                    *slot = if coincident.contains(&j) { share } else { 0.0 };
+                }
+                continue;
+            }
+
+            for j in 0..centroids.len() {
+                let mut denom = 0.0;
+                for &other in &distances {
+                    denom += (distances[j] / other).powf(exponent);
+                }
+                memberships[i][j] = 1.0 / denom;
+            }
+        }
+    }
+
+    fn update_centroids(
+        &self,
+        points: &[GeoPoint],
+        memberships: &[Vec<f64>],
+        previous: &[GeoPoint],
+    ) -> Vec<GeoPoint> {
+        let m = self.config.fuzzifier;
+        (0..self.config.k)
+            .map(|j| {
+                let weights: Vec<f64> = memberships.iter().map(|row| row[j].powf(m)).collect();
+                weighted_centroid(points, &weights).unwrap_or(previous[j])
+            })
+            .collect()
+    }
+
+    fn objective(
+        &self,
+        points: &[GeoPoint],
+        centroids: &[GeoPoint],
+        memberships: &[Vec<f64>],
+    ) -> f64 {
+        let m = self.config.fuzzifier;
+        let mut total = 0.0;
+        for (point, row) in points.iter().zip(memberships) {
+            for (centroid, &w) in centroids.iter().zip(row) {
+                let d = self.config.metric.distance_km(point, centroid);
+                total += w.powf(m) * d * d;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs around Paris landmarks.
+    fn three_blobs() -> Vec<GeoPoint> {
+        let centres = [
+            GeoPoint::new_unchecked(48.8606, 2.3376), // Louvre
+            GeoPoint::new_unchecked(48.8860, 2.3430), // Montmartre
+            GeoPoint::new_unchecked(48.8530, 2.3700), // Bastille
+        ];
+        let mut points = Vec::new();
+        for (b, centre) in centres.iter().enumerate() {
+            for i in 0..12 {
+                let offset = 0.0008 * (i as f64 - 5.5);
+                points.push(GeoPoint::new_unchecked(
+                    centre.lat + offset,
+                    centre.lon + offset * if b % 2 == 0 { 1.0 } else { -1.0 },
+                ));
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn membership_rows_sum_to_one() {
+        let points = three_blobs();
+        let result = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
+        for row in &result.memberships {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(row.iter().all(|&w| (0.0..=1.0).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn converges_on_well_separated_blobs() {
+        let points = three_blobs();
+        let result = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
+        assert!(result.converged, "did not converge in {} iterations", result.iterations);
+        assert_eq!(result.centroids.len(), 3);
+    }
+
+    #[test]
+    fn centroids_land_near_the_blob_centres() {
+        let points = three_blobs();
+        let result = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
+        let expected = [
+            GeoPoint::new_unchecked(48.8606, 2.3376),
+            GeoPoint::new_unchecked(48.8860, 2.3430),
+            GeoPoint::new_unchecked(48.8530, 2.3700),
+        ];
+        for target in &expected {
+            let nearest = result
+                .centroids
+                .iter()
+                .map(|c| DistanceMetric::Haversine.distance_km(c, target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.5, "no centroid within 0.5 km of {target}");
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_a_seed() {
+        let points = three_blobs();
+        let a = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
+        let b = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.memberships, b.memberships);
+    }
+
+    #[test]
+    fn k_equal_to_number_of_points_is_allowed() {
+        let points = vec![
+            GeoPoint::new_unchecked(48.86, 2.33),
+            GeoPoint::new_unchecked(48.88, 2.35),
+        ];
+        let result = FuzzyCMeans::new(FcmConfig::with_k(2)).fit(&points).unwrap();
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        let points = three_blobs();
+        assert_eq!(
+            FuzzyCMeans::new(FcmConfig::with_k(0)).fit(&points).unwrap_err(),
+            FcmError::ZeroClusters
+        );
+        assert_eq!(
+            FuzzyCMeans::new(FcmConfig::with_k(points.len() + 1))
+                .fit(&points)
+                .unwrap_err(),
+            FcmError::NotEnoughPoints
+        );
+        let bad = FcmConfig {
+            fuzzifier: 1.0,
+            ..FcmConfig::with_k(2)
+        };
+        assert_eq!(
+            FuzzyCMeans::new(bad).fit(&points).unwrap_err(),
+            FcmError::InvalidFuzzifier
+        );
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_the_solver() {
+        let p = GeoPoint::new_unchecked(48.86, 2.33);
+        let q = GeoPoint::new_unchecked(48.90, 2.40);
+        let points = vec![p, p, p, q, q, q];
+        let result = FuzzyCMeans::new(FcmConfig::with_k(2)).fit(&points).unwrap();
+        for row in &result.memberships {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn higher_fuzzifier_gives_fuzzier_memberships() {
+        let points = three_blobs();
+        let crisp = FuzzyCMeans::new(FcmConfig {
+            fuzzifier: 1.5,
+            ..FcmConfig::with_k(3)
+        })
+        .fit(&points)
+        .unwrap();
+        let fuzzy = FuzzyCMeans::new(FcmConfig {
+            fuzzifier: 3.0,
+            ..FcmConfig::with_k(3)
+        })
+        .fit(&points)
+        .unwrap();
+        let avg_max = |result: &FcmResult| {
+            result
+                .memberships
+                .iter()
+                .map(|row| row.iter().copied().fold(0.0f64, f64::max))
+                .sum::<f64>()
+                / result.memberships.len() as f64
+        };
+        assert!(avg_max(&crisp) > avg_max(&fuzzy));
+    }
+
+    #[test]
+    fn objective_is_lower_for_more_clusters() {
+        let points = three_blobs();
+        let k1 = FuzzyCMeans::new(FcmConfig::with_k(1)).fit(&points).unwrap();
+        let k3 = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
+        assert!(k3.objective < k1.objective);
+    }
+}

@@ -1,0 +1,19 @@
+//! Fuzzy clustering substrate for GroupTravel.
+//!
+//! The KFC algorithm (Leroy et al., CIKM 2015), which GroupTravel builds on,
+//! positions `k` centroids over the city with *fuzzy c-means* so that the
+//! resulting composite items "cover" the whole dataset, and allows the same
+//! POI to participate in several composite items (§3.2). This crate provides
+//! that substrate:
+//!
+//! * [`fcm`] — fuzzy c-means over geographic points with the membership
+//!   matrix `W` (rows sum to 1), k-means++-style seeding, and convergence by
+//!   centroid displacement.
+//! * [`assignment`] — helpers to read the fuzzy result: hard assignments,
+//!   per-cluster top members, and the fuzzy partition coefficient.
+
+pub mod assignment;
+pub mod fcm;
+
+pub use assignment::{fuzzy_partition_coefficient, hard_assignments, top_members};
+pub use fcm::{FcmConfig, FcmError, FcmResult, FuzzyCMeans};

@@ -1,0 +1,107 @@
+//! Property-based tests for the fuzzy c-means substrate.
+
+use grouptravel_cluster::{fuzzy_partition_coefficient, hard_assignments, FcmConfig, FuzzyCMeans};
+use grouptravel_geo::{BoundingBox, DistanceMetric, GeoPoint};
+use proptest::prelude::*;
+
+fn paris_point() -> impl Strategy<Value = GeoPoint> {
+    (48.80f64..48.92, 2.25f64..2.45).prop_map(|(lat, lon)| GeoPoint::new_unchecked(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn membership_rows_always_sum_to_one(
+        points in prop::collection::vec(paris_point(), 6..40),
+        k in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(points.len() >= k);
+        let config = FcmConfig {
+            k,
+            seed,
+            max_iterations: 20,
+            ..FcmConfig::default()
+        };
+        let result = FuzzyCMeans::new(config).fit(&points).expect("valid inputs");
+        prop_assert_eq!(result.centroids.len(), k);
+        for row in &result.memberships {
+            prop_assert_eq!(row.len(), k);
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "row sums to {sum}");
+            prop_assert!(row.iter().all(|&w| (-1e-9..=1.0 + 1e-9).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn centroids_stay_inside_the_points_bounding_box(
+        points in prop::collection::vec(paris_point(), 8..40),
+        k in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(points.len() >= k);
+        let result = FuzzyCMeans::new(FcmConfig {
+            k,
+            seed,
+            max_iterations: 25,
+            ..FcmConfig::default()
+        })
+        .fit(&points)
+        .expect("valid inputs");
+        // Weighted means of the points can never leave their bounding box
+        // (modulo floating point slack).
+        let bbox = BoundingBox::from_points(&points).unwrap().expanded(1e-9);
+        for centroid in &result.centroids {
+            prop_assert!(bbox.contains(centroid), "centroid {centroid} escaped the bbox");
+        }
+    }
+
+    #[test]
+    fn hard_assignments_and_partition_coefficient_are_consistent(
+        points in prop::collection::vec(paris_point(), 6..30),
+        seed in 0u64..1000,
+    ) {
+        let k = 3usize;
+        prop_assume!(points.len() >= k);
+        let result = FuzzyCMeans::new(FcmConfig {
+            k,
+            seed,
+            max_iterations: 20,
+            ..FcmConfig::default()
+        })
+        .fit(&points)
+        .expect("valid inputs");
+        let assignments = hard_assignments(&result);
+        prop_assert_eq!(assignments.len(), points.len());
+        prop_assert!(assignments.iter().all(|&a| a < k));
+        let fpc = fuzzy_partition_coefficient(&result);
+        prop_assert!(fpc >= 1.0 / k as f64 - 1e-9);
+        prop_assert!(fpc <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn objective_never_increases_with_more_clusters(
+        points in prop::collection::vec(paris_point(), 12..40),
+        seed in 0u64..200,
+    ) {
+        let fit = |k: usize| {
+            FuzzyCMeans::new(FcmConfig {
+                k,
+                seed,
+                max_iterations: 40,
+                metric: DistanceMetric::Equirectangular,
+                ..FcmConfig::default()
+            })
+            .fit(&points)
+            .expect("valid inputs")
+            .objective
+        };
+        let one = fit(1);
+        let many = fit(4);
+        // Allow a little slack: FCM is a local optimizer, but with k-means++
+        // seeding the 4-cluster objective should essentially never exceed the
+        // single-cluster objective.
+        prop_assert!(many <= one * 1.05 + 1e-9, "k=4 objective {many} vs k=1 {one}");
+    }
+}

@@ -1,0 +1,487 @@
+//! The travel-package builder.
+//!
+//! §3.2: building a TP is formulated as fuzzy clustering (KFC). Fuzzy c-means
+//! positions `k` centroids that cover the city (the α term of Eq. 1); around
+//! every centroid a *valid* composite item is assembled by picking, per
+//! requested category, the POIs that maximize
+//! `β · (1 − distance-to-centroid) + γ · cosine(item vector, group profile)` —
+//! the cohesiveness and personalization terms. Because the clustering is
+//! fuzzy, the same POI may appear in several composite items (e.g. the
+//! group's hotel, or a museum that needs more than one visit).
+//!
+//! The builder also provides the two baselines used in the user study
+//! (§4.4.3): the *non-personalized* package (personalization weight zero) and
+//! the *random* package with intentionally invalid composite items that is
+//! injected as an attention check.
+
+use crate::composite::CompositeItem;
+use crate::error::GroupTravelError;
+use crate::items::ItemVectorizer;
+use crate::objective::ObjectiveWeights;
+use crate::package::TravelPackage;
+use crate::query::GroupQuery;
+use grouptravel_cluster::{FcmConfig, FuzzyCMeans};
+use grouptravel_dataset::{Category, Poi, PoiCatalog};
+use grouptravel_geo::{DistanceMetric, DistanceNormalizer, GeoPoint};
+use grouptravel_profile::GroupProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a package build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BuildConfig {
+    /// Number of composite items `k` (5 in all of the paper's experiments:
+    /// one per day of the trip).
+    pub k: usize,
+    /// Objective weights (α, β, γ, fuzzifier).
+    pub weights: ObjectiveWeights,
+    /// Distance metric (equirectangular by default).
+    pub metric: DistanceMetric,
+    /// Iteration cap for the fuzzy clustering.
+    pub max_fcm_iterations: usize,
+    /// Randomness seed (clustering initialization).
+    pub seed: u64,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            weights: ObjectiveWeights::default(),
+            metric: DistanceMetric::Equirectangular,
+            max_fcm_iterations: 60,
+            seed: 42,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Convenience constructor overriding only `k`.
+    #[must_use]
+    pub fn with_k(k: usize) -> Self {
+        Self {
+            k,
+            ..Self::default()
+        }
+    }
+
+    /// The same configuration with personalization disabled (γ = 0), the
+    /// paper's non-personalized baseline.
+    #[must_use]
+    pub fn non_personalized(mut self) -> Self {
+        self.weights = self.weights.non_personalized();
+        self
+    }
+}
+
+/// Builds travel packages over one catalog.
+#[derive(Debug, Clone)]
+pub struct PackageBuilder<'a> {
+    catalog: &'a PoiCatalog,
+    vectorizer: &'a ItemVectorizer,
+}
+
+impl<'a> PackageBuilder<'a> {
+    /// Creates a builder for a catalog and its item vectorizer.
+    #[must_use]
+    pub fn new(catalog: &'a PoiCatalog, vectorizer: &'a ItemVectorizer) -> Self {
+        Self {
+            catalog,
+            vectorizer,
+        }
+    }
+
+    /// The catalog this builder draws POIs from.
+    #[must_use]
+    pub fn catalog(&self) -> &PoiCatalog {
+        self.catalog
+    }
+
+    /// Builds a personalized travel package for `profile`.
+    ///
+    /// # Errors
+    /// Fails when the catalog is empty or too small for the query, when the
+    /// query requests no POIs, when `k` is zero, or when clustering cannot
+    /// place `k` centroids.
+    pub fn build(
+        &self,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> Result<TravelPackage, GroupTravelError> {
+        self.validate(query, config)?;
+        let weights = config.weights.sanitized();
+
+        let locations = self.catalog.locations();
+        let fcm = FuzzyCMeans::new(FcmConfig {
+            k: config.k,
+            fuzzifier: weights.fuzzifier,
+            max_iterations: config.max_fcm_iterations,
+            tolerance_km: 0.001,
+            metric: config.metric,
+            seed: config.seed,
+        });
+        let clustering = fcm
+            .fit(&locations)
+            .map_err(|e| GroupTravelError::Clustering(e.to_string()))?;
+
+        let normalizer = self.catalog.distance_normalizer(config.metric);
+        let composite_items = clustering
+            .centroids
+            .iter()
+            .map(|centroid| self.assemble_ci(*centroid, profile, query, &weights, &normalizer))
+            .collect();
+
+        Ok(TravelPackage::new(composite_items))
+    }
+
+    /// Builds the non-personalized baseline (γ = 0) for the same query.
+    pub fn build_non_personalized(
+        &self,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> Result<TravelPackage, GroupTravelError> {
+        self.build(profile, query, &(*config).non_personalized())
+    }
+
+    /// Builds the attention-check package of the user study: `k` composite
+    /// items assembled from uniformly random POIs with random sizes, which
+    /// are (almost always) *invalid* with respect to the query.
+    pub fn build_random(
+        &self,
+        query: &GroupQuery,
+        k: usize,
+        seed: u64,
+    ) -> Result<TravelPackage, GroupTravelError> {
+        if k == 0 {
+            return Err(GroupTravelError::ZeroCompositeItems);
+        }
+        if self.catalog.is_empty() {
+            return Err(GroupTravelError::EmptyCatalog);
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pois = self.catalog.pois();
+        let target = query.total_pois().max(2);
+        let mut cis = Vec::with_capacity(k);
+        for _ in 0..k {
+            // Random size around the requested size but deliberately not
+            // honouring the per-category counts.
+            let size = rng.gen_range(1..=target + 2);
+            let ids = (0..size)
+                .map(|_| pois[rng.gen_range(0..pois.len())].id)
+                .collect();
+            cis.push(CompositeItem::new(ids));
+        }
+        Ok(TravelPackage::new(cis))
+    }
+
+    /// Assembles a single composite item around `centroid`, used both by
+    /// [`PackageBuilder::build`] and by the `GENERATE(RECTANGLE)` operator.
+    ///
+    /// Per requested category the candidates are ranked by
+    /// `β · (1 − normalized distance to the centroid) + γ · cosine(item
+    /// vector, group profile)` and picked greedily while the budget allows;
+    /// if the greedy pass cannot fill the requested count within budget, the
+    /// cheapest remaining candidates are used to top the CI up.
+    #[must_use]
+    pub fn assemble_ci(
+        &self,
+        centroid: GeoPoint,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        weights: &ObjectiveWeights,
+        normalizer: &DistanceNormalizer,
+    ) -> CompositeItem {
+        let mut chosen: Vec<&Poi> = Vec::with_capacity(query.total_pois());
+        let mut spent = 0.0f64;
+        let budget = query.budget();
+
+        for category in Category::ALL {
+            let needed = query.count(category);
+            if needed == 0 {
+                continue;
+            }
+            let mut candidates: Vec<(&Poi, f64)> = self
+                .catalog
+                .by_category(category)
+                .into_iter()
+                .map(|poi| {
+                    let geo = normalizer.similarity(&poi.location, &centroid);
+                    let affinity =
+                        profile.item_affinity(category, &self.vectorizer.item_vector(poi));
+                    (poi, weights.item_score(geo, affinity))
+                })
+                .collect();
+            candidates
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+            let mut taken = 0usize;
+            let mut skipped: Vec<&Poi> = Vec::new();
+            for (poi, _) in &candidates {
+                if taken == needed {
+                    break;
+                }
+                if chosen.iter().any(|p| p.id == poi.id) {
+                    continue;
+                }
+                let fits = match budget {
+                    Some(b) => spent + poi.cost <= b + 1e-9,
+                    None => true,
+                };
+                if fits {
+                    chosen.push(poi);
+                    spent += poi.cost;
+                    taken += 1;
+                } else {
+                    skipped.push(poi);
+                }
+            }
+            if taken < needed {
+                // Budget-driven shortfall: top up with the cheapest skipped
+                // candidates that still fit (best-effort; the CI may end up
+                // invalid if the budget is simply too tight).
+                skipped.sort_by(|a, b| {
+                    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for poi in skipped {
+                    if taken == needed {
+                        break;
+                    }
+                    let fits = match budget {
+                        Some(b) => spent + poi.cost <= b + 1e-9,
+                        None => true,
+                    };
+                    if fits && !chosen.iter().any(|p| p.id == poi.id) {
+                        chosen.push(poi);
+                        spent += poi.cost;
+                        taken += 1;
+                    }
+                }
+            }
+        }
+
+        CompositeItem::with_anchor(chosen.iter().map(|p| p.id).collect(), centroid)
+    }
+
+    fn validate(&self, query: &GroupQuery, config: &BuildConfig) -> Result<(), GroupTravelError> {
+        if config.k == 0 {
+            return Err(GroupTravelError::ZeroCompositeItems);
+        }
+        if self.catalog.is_empty() {
+            return Err(GroupTravelError::EmptyCatalog);
+        }
+        if query.is_empty() {
+            return Err(GroupTravelError::EmptyQuery);
+        }
+        for category in Category::ALL {
+            let required = query.count(category);
+            let available = self.catalog.count_category(category);
+            if required > available {
+                return Err(GroupTravelError::InsufficientCategory {
+                    category,
+                    required,
+                    available,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+    use grouptravel_profile::{
+        ConsensusMethod, GroupSize, ProfileSchema, SyntheticGroupGenerator, Uniformity,
+    };
+    use grouptravel_topics::LdaConfig;
+
+    struct Fixture {
+        catalog: PoiCatalog,
+        vectorizer: ItemVectorizer,
+    }
+
+    fn fixture() -> Fixture {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(41))
+                .generate();
+        let vectorizer = ItemVectorizer::fit(
+            &catalog,
+            LdaConfig {
+                iterations: 40,
+                ..LdaConfig::default()
+            },
+        )
+        .unwrap();
+        Fixture {
+            catalog,
+            vectorizer,
+        }
+    }
+
+    fn profile(schema: ProfileSchema, seed: u64) -> GroupProfile {
+        let mut gen = SyntheticGroupGenerator::new(schema, seed);
+        gen.group(GroupSize::Small, Uniformity::Uniform)
+            .profile(ConsensusMethod::average_preference())
+    }
+
+    #[test]
+    fn builds_a_valid_package_with_k_composite_items() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 1);
+        let query = GroupQuery::paper_default();
+        let package = builder
+            .build(&profile, &query, &BuildConfig::default())
+            .unwrap();
+        assert_eq!(package.len(), 5);
+        assert!(package.is_valid(&f.catalog, &query), "package should be valid");
+        for ci in package.composite_items() {
+            assert!(ci.anchor().is_some());
+            assert_eq!(ci.len(), query.total_pois());
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_for_a_seed() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 2);
+        let query = GroupQuery::paper_default();
+        let a = builder.build(&profile, &query, &BuildConfig::default()).unwrap();
+        let b = builder.build(&profile, &query, &BuildConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_personalized_build_ignores_the_profile() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let query = GroupQuery::paper_default();
+        let config = BuildConfig::default();
+        let p1 = profile(f.vectorizer.schema(), 3);
+        let p2 = profile(f.vectorizer.schema(), 4);
+        let a = builder.build_non_personalized(&p1, &query, &config).unwrap();
+        let b = builder.build_non_personalized(&p2, &query, &config).unwrap();
+        assert_eq!(a, b, "without personalization, different profiles give the same package");
+    }
+
+    #[test]
+    fn personalization_changes_the_package_for_different_profiles() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let query = GroupQuery::paper_default();
+        let config = BuildConfig::default();
+        let mut differs = false;
+        for seed in 0..5u64 {
+            let p1 = profile(f.vectorizer.schema(), 10 + seed);
+            let p2 = profile(f.vectorizer.schema(), 20 + seed);
+            let a = builder.build(&p1, &query, &config).unwrap();
+            let b = builder.build(&p2, &query, &config).unwrap();
+            if a != b {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "personalized packages never differed across profiles");
+    }
+
+    #[test]
+    fn budget_is_respected_when_finite() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 5);
+        let query = GroupQuery::paper_default().with_budget(Some(18.0));
+        let package = builder
+            .build(&profile, &query, &BuildConfig::default())
+            .unwrap();
+        for ci in package.composite_items() {
+            assert!(
+                ci.total_cost(&f.catalog) <= 18.0 + 1e-9,
+                "CI exceeds the budget"
+            );
+        }
+    }
+
+    #[test]
+    fn error_cases_are_detected() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 6);
+        let query = GroupQuery::paper_default();
+        assert_eq!(
+            builder
+                .build(&profile, &query, &BuildConfig::with_k(0))
+                .unwrap_err(),
+            GroupTravelError::ZeroCompositeItems
+        );
+        assert_eq!(
+            builder
+                .build(&profile, &GroupQuery::new([0, 0, 0, 0], None), &BuildConfig::default())
+                .unwrap_err(),
+            GroupTravelError::EmptyQuery
+        );
+        let greedy_query = GroupQuery::new([1000, 1, 1, 1], None);
+        assert!(matches!(
+            builder
+                .build(&profile, &greedy_query, &BuildConfig::default())
+                .unwrap_err(),
+            GroupTravelError::InsufficientCategory {
+                category: Category::Accommodation,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn random_package_is_mostly_invalid() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let query = GroupQuery::paper_default();
+        let package = builder.build_random(&query, 5, 99).unwrap();
+        assert_eq!(package.len(), 5);
+        assert!(
+            !package.is_valid(&f.catalog, &query),
+            "the attention-check package should not be valid"
+        );
+        assert!(builder.build_random(&query, 0, 1).is_err());
+    }
+
+    #[test]
+    fn composite_items_are_cohesive_around_their_anchor() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 7);
+        let query = GroupQuery::paper_default();
+        // Pure cohesiveness configuration: geography only.
+        let config = BuildConfig {
+            weights: ObjectiveWeights {
+                alpha: 0.5,
+                beta: 1.0,
+                gamma: 0.0,
+                fuzzifier: 2.0,
+            },
+            ..BuildConfig::default()
+        };
+        let package = builder.build(&profile, &query, &config).unwrap();
+        let bbox = f.catalog.bounding_box().unwrap();
+        let city_diag = DistanceMetric::Equirectangular.distance_km(
+            &GeoPoint::new_unchecked(bbox.min_lat, bbox.min_lon),
+            &GeoPoint::new_unchecked(bbox.max_lat, bbox.max_lon),
+        );
+        for ci in package.composite_items() {
+            let anchor = ci.anchor().unwrap();
+            for poi in ci.resolve(&f.catalog) {
+                let d = DistanceMetric::Equirectangular.distance_km(&poi.location, &anchor);
+                assert!(
+                    d <= city_diag,
+                    "POI {} is implausibly far from its anchor",
+                    poi.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Composite Items.
+//!
+//! §3.1: a Composite Item (CI) is a set of POIs whose categories match the
+//! group query's requested counts and whose total cost respects the budget.
+//! A CI is the "things to do in one area of the city" unit: one day of the
+//! travel package.
+
+use crate::query::GroupQuery;
+use grouptravel_dataset::{Category, Poi, PoiCatalog, PoiId};
+use grouptravel_geo::{Centroid, DistanceMetric, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// A Composite Item: an (unordered) set of POIs, optionally remembering the
+/// cluster centroid it was built around.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompositeItem {
+    poi_ids: Vec<PoiId>,
+    /// The fuzzy-cluster centroid this CI was assembled around, when built by
+    /// the package builder (used by the representativity metric and by the
+    /// REPLACE/ADD recommendations).
+    anchor: Option<GeoPoint>,
+}
+
+impl CompositeItem {
+    /// Creates a CI from POI ids (duplicates removed, order preserved).
+    #[must_use]
+    pub fn new(poi_ids: Vec<PoiId>) -> Self {
+        let mut seen = Vec::with_capacity(poi_ids.len());
+        for id in poi_ids {
+            if !seen.contains(&id) {
+                seen.push(id);
+            }
+        }
+        Self {
+            poi_ids: seen,
+            anchor: None,
+        }
+    }
+
+    /// Creates a CI anchored at a cluster centroid.
+    #[must_use]
+    pub fn with_anchor(poi_ids: Vec<PoiId>, anchor: GeoPoint) -> Self {
+        let mut ci = Self::new(poi_ids);
+        ci.anchor = Some(anchor);
+        ci
+    }
+
+    /// The POI ids in the CI.
+    #[must_use]
+    pub fn poi_ids(&self) -> &[PoiId] {
+        &self.poi_ids
+    }
+
+    /// Number of POIs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.poi_ids.len()
+    }
+
+    /// Whether the CI is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.poi_ids.is_empty()
+    }
+
+    /// Whether the CI contains a POI.
+    #[must_use]
+    pub fn contains(&self, id: PoiId) -> bool {
+        self.poi_ids.contains(&id)
+    }
+
+    /// The anchor centroid, if the CI was built by the package builder.
+    #[must_use]
+    pub fn anchor(&self) -> Option<GeoPoint> {
+        self.anchor
+    }
+
+    /// Adds a POI (no-op if already present). Returns whether it was added.
+    pub fn add(&mut self, id: PoiId) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.poi_ids.push(id);
+        true
+    }
+
+    /// Removes a POI. Returns whether it was present.
+    pub fn remove(&mut self, id: PoiId) -> bool {
+        let before = self.poi_ids.len();
+        self.poi_ids.retain(|&p| p != id);
+        before != self.poi_ids.len()
+    }
+
+    /// Replaces `old` with `new` in place (keeping the position). Returns
+    /// whether `old` was present.
+    pub fn replace(&mut self, old: PoiId, new: PoiId) -> bool {
+        match self.poi_ids.iter().position(|&p| p == old) {
+            Some(idx) => {
+                if self.contains(new) {
+                    // The replacement already exists: just drop the old POI.
+                    self.poi_ids.remove(idx);
+                } else {
+                    self.poi_ids[idx] = new;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resolves the CI's POIs against a catalog (ids missing from the catalog
+    /// are skipped).
+    #[must_use]
+    pub fn resolve<'a>(&self, catalog: &'a PoiCatalog) -> Vec<&'a Poi> {
+        self.poi_ids
+            .iter()
+            .filter_map(|&id| catalog.get(id))
+            .collect()
+    }
+
+    /// Total cost of the CI's POIs.
+    #[must_use]
+    pub fn total_cost(&self, catalog: &PoiCatalog) -> f64 {
+        self.resolve(catalog).iter().map(|p| p.cost).sum()
+    }
+
+    /// Number of POIs of each category, in [`Category::ALL`] order.
+    #[must_use]
+    pub fn category_counts(&self, catalog: &PoiCatalog) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for poi in self.resolve(catalog) {
+            counts[poi.category.index()] += 1;
+        }
+        counts
+    }
+
+    /// Validity with respect to a query (§3.1): exact category counts and
+    /// total cost within budget.
+    #[must_use]
+    pub fn is_valid(&self, catalog: &PoiCatalog, query: &GroupQuery) -> bool {
+        let counts = self.category_counts(catalog);
+        for category in Category::ALL {
+            if counts[category.index()] != query.count(category) {
+                return false;
+            }
+        }
+        query.within_budget(self.total_cost(catalog))
+    }
+
+    /// Geographic centre of the CI: the anchor if present, otherwise the mean
+    /// of its POI locations. Returns `None` for an empty, anchorless CI.
+    #[must_use]
+    pub fn centroid(&self, catalog: &PoiCatalog) -> Option<GeoPoint> {
+        if let Some(anchor) = self.anchor {
+            return Some(anchor);
+        }
+        let locations: Vec<GeoPoint> = self.resolve(catalog).iter().map(|p| p.location).collect();
+        Centroid::mean(&locations).map(|c| c.position)
+    }
+
+    /// Sum of pairwise distances between the CI's POIs in kilometres (the
+    /// inner sum of the cohesiveness metric, Eq. 3).
+    #[must_use]
+    pub fn internal_distance_km(&self, catalog: &PoiCatalog, metric: DistanceMetric) -> f64 {
+        let pois = self.resolve(catalog);
+        let mut total = 0.0;
+        for (i, a) in pois.iter().enumerate() {
+            for b in &pois[i + 1..] {
+                total += metric.distance_km(&a.location, &b.location);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::sample::table1_pois;
+
+    fn catalog() -> PoiCatalog {
+        PoiCatalog::new("Paris", table1_pois())
+    }
+
+    #[test]
+    fn construction_deduplicates_ids() {
+        let ci = CompositeItem::new(vec![PoiId(1), PoiId(2), PoiId(1)]);
+        assert_eq!(ci.len(), 2);
+        assert!(ci.contains(PoiId(1)));
+        assert!(!ci.is_empty());
+    }
+
+    #[test]
+    fn add_remove_replace() {
+        let mut ci = CompositeItem::new(vec![PoiId(1), PoiId(2)]);
+        assert!(ci.add(PoiId(3)));
+        assert!(!ci.add(PoiId(3)));
+        assert!(ci.remove(PoiId(1)));
+        assert!(!ci.remove(PoiId(1)));
+        assert!(ci.replace(PoiId(2), PoiId(4)));
+        assert!(!ci.replace(PoiId(2), PoiId(5)));
+        assert_eq!(ci.poi_ids(), &[PoiId(4), PoiId(3)]);
+    }
+
+    #[test]
+    fn replace_with_an_existing_poi_just_drops_the_old_one() {
+        let mut ci = CompositeItem::new(vec![PoiId(1), PoiId(2)]);
+        assert!(ci.replace(PoiId(1), PoiId(2)));
+        assert_eq!(ci.poi_ids(), &[PoiId(2)]);
+    }
+
+    #[test]
+    fn cost_and_category_counts() {
+        let c = catalog();
+        let ci = CompositeItem::new(vec![PoiId(1), PoiId(3), PoiId(4)]);
+        assert!((ci.total_cost(&c) - (3.00 + 3.20 + 3.86)).abs() < 1e-9);
+        assert_eq!(ci.category_counts(&c), [1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn unknown_ids_are_ignored_when_resolving() {
+        let c = catalog();
+        let ci = CompositeItem::new(vec![PoiId(1), PoiId(999)]);
+        assert_eq!(ci.resolve(&c).len(), 1);
+    }
+
+    #[test]
+    fn validity_requires_exact_counts_and_budget() {
+        let c = catalog();
+        let query = GroupQuery::new([1, 1, 1, 1], None);
+        let full = CompositeItem::new(vec![PoiId(1), PoiId(2), PoiId(3), PoiId(4)]);
+        assert!(full.is_valid(&c, &query));
+        let missing_attr = CompositeItem::new(vec![PoiId(1), PoiId(2), PoiId(3)]);
+        assert!(!missing_attr.is_valid(&c, &query));
+        let tight_budget = GroupQuery::new([1, 1, 1, 1], Some(5.0));
+        assert!(!full.is_valid(&c, &tight_budget));
+        let generous_budget = GroupQuery::new([1, 1, 1, 1], Some(20.0));
+        assert!(full.is_valid(&c, &generous_budget));
+    }
+
+    #[test]
+    fn centroid_prefers_the_anchor() {
+        let c = catalog();
+        let anchor = GeoPoint::new_unchecked(48.9, 2.4);
+        let ci = CompositeItem::with_anchor(vec![PoiId(1)], anchor);
+        assert_eq!(ci.centroid(&c), Some(anchor));
+        let no_anchor = CompositeItem::new(vec![PoiId(1), PoiId(2)]);
+        let centroid = no_anchor.centroid(&c).unwrap();
+        assert!((centroid.lat - (48.8679 + 48.8642) / 2.0).abs() < 1e-9);
+        assert!(CompositeItem::new(vec![]).centroid(&c).is_none());
+    }
+
+    #[test]
+    fn internal_distance_is_zero_for_singletons_and_positive_otherwise() {
+        let c = catalog();
+        let single = CompositeItem::new(vec![PoiId(1)]);
+        assert_eq!(single.internal_distance_km(&c, DistanceMetric::Haversine), 0.0);
+        let pair = CompositeItem::new(vec![PoiId(1), PoiId(2)]);
+        assert!(pair.internal_distance_km(&c, DistanceMetric::Haversine) > 0.0);
+    }
+}

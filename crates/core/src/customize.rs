@@ -1,0 +1,192 @@
+//! Customization operators and interaction logs.
+//!
+//! §3.3: group members interact with the displayed travel package through
+//! five atomic operations — remove a POI, add a POI, replace a POI with a
+//! system-recommended neighbour, generate a new composite item inside a
+//! rectangle drawn on the map, and (by iterated removal) delete a composite
+//! item. The interactions are recorded per member as implicit feedback and
+//! later used to refine the group profile ([`crate::refine`]).
+//!
+//! The operations themselves are *applied* by
+//! [`crate::session::GroupTravelSession::apply`], which has access to the
+//! catalog and the builder needed by REPLACE and GENERATE; this module holds
+//! the operation descriptions and the bookkeeping.
+
+use grouptravel_dataset::PoiId;
+use grouptravel_geo::Rectangle;
+use serde::{Deserialize, Serialize};
+
+/// One atomic customization requested by a group member.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CustomizationOp {
+    /// `REMOVE(i, CI)`: remove POI `poi` from the `ci_index`-th composite item.
+    Remove {
+        /// Index of the composite item in the package.
+        ci_index: usize,
+        /// The POI to remove.
+        poi: PoiId,
+    },
+    /// `ADD(i, CI)`: add POI `poi` to the `ci_index`-th composite item.
+    Add {
+        /// Index of the composite item in the package.
+        ci_index: usize,
+        /// The POI to add.
+        poi: PoiId,
+    },
+    /// `REPLACE(i, CI)`: replace POI `poi` with the geographically closest POI
+    /// of the same category (chosen by the system).
+    Replace {
+        /// Index of the composite item in the package.
+        ci_index: usize,
+        /// The POI to replace.
+        poi: PoiId,
+    },
+    /// `GENERATE(RECTANGLE(x, y, w, h))`: generate a new valid, cohesive
+    /// composite item centred in the rectangle.
+    Generate {
+        /// The rectangle drawn on the map.
+        rectangle: Rectangle,
+    },
+    /// Delete a whole composite item (the paper models this as iteratively
+    /// removing every POI in it).
+    DeleteCi {
+        /// Index of the composite item to delete.
+        ci_index: usize,
+    },
+}
+
+/// What actually changed when an operation was applied: which POIs entered
+/// the package and which left it. This is exactly the information the
+/// refinement strategies need (`I⁺` and `I⁻` in §3.3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct InteractionLog {
+    /// POIs added to the package.
+    pub added: Vec<PoiId>,
+    /// POIs removed from the package.
+    pub removed: Vec<PoiId>,
+}
+
+impl InteractionLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an addition.
+    pub fn record_add(&mut self, poi: PoiId) {
+        self.added.push(poi);
+    }
+
+    /// Records a removal.
+    pub fn record_remove(&mut self, poi: PoiId) {
+        self.removed.push(poi);
+    }
+
+    /// Merges another log into this one.
+    pub fn merge(&mut self, other: &InteractionLog) {
+        self.added.extend_from_slice(&other.added);
+        self.removed.extend_from_slice(&other.removed);
+    }
+
+    /// Whether anything was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of recorded interactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+/// The interactions of one group member with the travel package.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberInteractions {
+    /// The member's user id (matches [`grouptravel_profile::UserProfile::user_id`]).
+    pub user_id: u64,
+    /// What the member added and removed.
+    pub log: InteractionLog,
+}
+
+impl MemberInteractions {
+    /// Creates an empty interaction record for a member.
+    #[must_use]
+    pub fn new(user_id: u64) -> Self {
+        Self {
+            user_id,
+            log: InteractionLog::new(),
+        }
+    }
+
+    /// Creates a record with an existing log.
+    #[must_use]
+    pub fn with_log(user_id: u64, log: InteractionLog) -> Self {
+        Self { user_id, log }
+    }
+}
+
+/// Pools the interactions of all members into a single log (the *batch*
+/// refinement strategy works on this pooled view).
+#[must_use]
+pub fn pool_interactions(members: &[MemberInteractions]) -> InteractionLog {
+    let mut pooled = InteractionLog::new();
+    for member in members {
+        pooled.merge(&member.log);
+    }
+    pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_counts() {
+        let mut log = InteractionLog::new();
+        assert!(log.is_empty());
+        log.record_add(PoiId(1));
+        log.record_remove(PoiId(2));
+        log.record_add(PoiId(3));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.added, vec![PoiId(1), PoiId(3)]);
+        assert_eq!(log.removed, vec![PoiId(2)]);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates_both_sides() {
+        let mut a = InteractionLog::new();
+        a.record_add(PoiId(1));
+        let mut b = InteractionLog::new();
+        b.record_remove(PoiId(2));
+        b.record_add(PoiId(3));
+        a.merge(&b);
+        assert_eq!(a.added, vec![PoiId(1), PoiId(3)]);
+        assert_eq!(a.removed, vec![PoiId(2)]);
+    }
+
+    #[test]
+    fn pooling_combines_all_members() {
+        let mut m1 = MemberInteractions::new(1);
+        m1.log.record_add(PoiId(10));
+        let mut m2 = MemberInteractions::new(2);
+        m2.log.record_remove(PoiId(20));
+        let pooled = pool_interactions(&[m1, m2]);
+        assert_eq!(pooled.added, vec![PoiId(10)]);
+        assert_eq!(pooled.removed, vec![PoiId(20)]);
+        assert!(pool_interactions(&[]).is_empty());
+    }
+
+    #[test]
+    fn ops_are_serializable() {
+        let op = CustomizationOp::Generate {
+            rectangle: Rectangle::new(2.32, 48.87, 0.02, 0.01),
+        };
+        let json = serde_json::to_string(&op).unwrap();
+        let back: CustomizationOp = serde_json::from_str(&json).unwrap();
+        assert_eq!(op, back);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type of the core library.
+
+use grouptravel_dataset::Category;
+use std::fmt;
+
+/// Errors raised while building or customizing travel packages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupTravelError {
+    /// The catalog has no POIs at all.
+    EmptyCatalog,
+    /// The catalog cannot satisfy the query: it has fewer POIs of `category`
+    /// than the query requires per composite item.
+    InsufficientCategory {
+        /// The category that is short.
+        category: Category,
+        /// How many POIs of that category each CI needs.
+        required: usize,
+        /// How many the catalog actually has.
+        available: usize,
+    },
+    /// The requested number of composite items was zero.
+    ZeroCompositeItems,
+    /// The query requests no POIs at all.
+    EmptyQuery,
+    /// The fuzzy clustering substrate failed (e.g. fewer POIs than clusters).
+    Clustering(String),
+    /// Topic-model training failed for a category.
+    TopicModel(Category),
+    /// A customization operation referenced a POI or CI that does not exist.
+    InvalidOperation(String),
+}
+
+impl fmt::Display for GroupTravelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupTravelError::EmptyCatalog => write!(f, "the POI catalog is empty"),
+            GroupTravelError::InsufficientCategory {
+                category,
+                required,
+                available,
+            } => write!(
+                f,
+                "the catalog has only {available} POIs of category {category} but each composite item needs {required}"
+            ),
+            GroupTravelError::ZeroCompositeItems => {
+                write!(f, "a travel package must contain at least one composite item")
+            }
+            GroupTravelError::EmptyQuery => {
+                write!(f, "the group query requests no POIs")
+            }
+            GroupTravelError::Clustering(msg) => write!(f, "fuzzy clustering failed: {msg}"),
+            GroupTravelError::TopicModel(category) => {
+                write!(f, "could not train a topic model for category {category}")
+            }
+            GroupTravelError::InvalidOperation(msg) => {
+                write!(f, "invalid customization operation: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupTravelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GroupTravelError::InsufficientCategory {
+            category: Category::Restaurant,
+            required: 2,
+            available: 1,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("rest"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('1'));
+        assert!(GroupTravelError::EmptyCatalog.to_string().contains("empty"));
+        assert!(GroupTravelError::Clustering("k too large".into())
+            .to_string()
+            .contains("k too large"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            GroupTravelError::ZeroCompositeItems,
+            GroupTravelError::ZeroCompositeItems
+        );
+        assert_ne!(
+            GroupTravelError::EmptyCatalog,
+            GroupTravelError::EmptyQuery
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Item vectors.
+//!
+//! §3.2: every POI gets an *item vector* over its category's types. For
+//! accommodation and transportation the vector is the one-hot encoding of the
+//! POI's explicit type; for restaurants and attractions it is the topic
+//! distribution obtained from LDA over the POI's tags. The item vector is
+//! compared (cosine) to the group profile to score personalization.
+
+use crate::error::GroupTravelError;
+use grouptravel_dataset::{Category, Poi, PoiCatalog, TypeVocabulary};
+use grouptravel_profile::ProfileSchema;
+use grouptravel_topics::{CategoryTopicModel, LdaConfig};
+
+/// Produces item vectors for the POIs of one catalog.
+#[derive(Debug, Clone)]
+pub struct ItemVectorizer {
+    acco_types: TypeVocabulary,
+    trans_types: TypeVocabulary,
+    restaurant_topics: CategoryTopicModel,
+    attraction_topics: CategoryTopicModel,
+    schema: ProfileSchema,
+}
+
+impl ItemVectorizer {
+    /// Trains the LDA models needed for restaurants and attractions and wires
+    /// up the explicit type vocabularies.
+    ///
+    /// # Errors
+    /// Returns [`GroupTravelError::TopicModel`] when a category has no POIs
+    /// or no tags to train on.
+    pub fn fit(catalog: &PoiCatalog, lda: LdaConfig) -> Result<Self, GroupTravelError> {
+        let restaurant_topics = CategoryTopicModel::train(catalog, Category::Restaurant, lda)
+            .ok_or(GroupTravelError::TopicModel(Category::Restaurant))?;
+        let attraction_topics = CategoryTopicModel::train(catalog, Category::Attraction, lda)
+            .ok_or(GroupTravelError::TopicModel(Category::Attraction))?;
+        let acco_types = TypeVocabulary::default_accommodation();
+        let trans_types = TypeVocabulary::default_transportation();
+        let schema = ProfileSchema::new([
+            acco_types.len(),
+            trans_types.len(),
+            restaurant_topics.num_topics(),
+            attraction_topics.num_topics(),
+        ]);
+        Ok(Self {
+            acco_types,
+            trans_types,
+            restaurant_topics,
+            attraction_topics,
+            schema,
+        })
+    }
+
+    /// The profile schema induced by the vocabularies and topic models: user
+    /// and group profiles must use this schema for cosine similarities with
+    /// item vectors to be meaningful.
+    #[must_use]
+    pub fn schema(&self) -> ProfileSchema {
+        self.schema
+    }
+
+    /// The item vector of a POI (length = schema dimension of its category).
+    #[must_use]
+    pub fn item_vector(&self, poi: &Poi) -> Vec<f64> {
+        match poi.category {
+            Category::Accommodation => self.acco_types.one_hot(&poi.poi_type),
+            Category::Transportation => self.trans_types.one_hot(&poi.poi_type),
+            Category::Restaurant => self.restaurant_topics.topics_of_poi(poi),
+            Category::Attraction => self.attraction_topics.topics_of_poi(poi),
+        }
+    }
+
+    /// The human-readable labels of the latent topics for restaurants or
+    /// attractions (empty for the explicit-type categories). These are the
+    /// "types" users rate when building their profiles.
+    #[must_use]
+    pub fn topic_labels(&self, category: Category) -> Vec<String> {
+        match category {
+            Category::Restaurant => self
+                .restaurant_topics
+                .labels()
+                .iter()
+                .map(|l| l.display())
+                .collect(),
+            Category::Attraction => self
+                .attraction_topics
+                .labels()
+                .iter()
+                .map(|l| l.display())
+                .collect(),
+            Category::Accommodation | Category::Transportation => Vec::new(),
+        }
+    }
+
+    /// The explicit type names of a category (empty for restaurant /
+    /// attraction, whose "types" are topics).
+    #[must_use]
+    pub fn type_names(&self, category: Category) -> Vec<String> {
+        match category {
+            Category::Accommodation => self.acco_types.types().to_vec(),
+            Category::Transportation => self.trans_types.types().to_vec(),
+            Category::Restaurant | Category::Attraction => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+
+    fn vectorizer() -> (PoiCatalog, ItemVectorizer) {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(31))
+                .generate();
+        let lda = LdaConfig {
+            iterations: 60,
+            ..LdaConfig::default()
+        };
+        let v = ItemVectorizer::fit(&catalog, lda).unwrap();
+        (catalog, v)
+    }
+
+    #[test]
+    fn schema_dimensions_match_vocabularies_and_topics() {
+        let (_, v) = vectorizer();
+        assert_eq!(
+            v.schema().dim(Category::Accommodation),
+            TypeVocabulary::default_accommodation().len()
+        );
+        assert_eq!(v.schema().dim(Category::Restaurant), 4);
+        assert_eq!(v.schema().dim(Category::Attraction), 4);
+    }
+
+    #[test]
+    fn accommodation_vectors_are_one_hot() {
+        let (catalog, v) = vectorizer();
+        for poi in catalog.by_category(Category::Accommodation) {
+            let vec = v.item_vector(poi);
+            assert_eq!(vec.len(), v.schema().dim(Category::Accommodation));
+            assert!((vec.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(vec.iter().filter(|&&x| x > 0.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn restaurant_vectors_are_probability_distributions() {
+        let (catalog, v) = vectorizer();
+        for poi in catalog.by_category(Category::Restaurant).iter().take(10) {
+            let vec = v.item_vector(poi);
+            assert_eq!(vec.len(), v.schema().dim(Category::Restaurant));
+            assert!((vec.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(vec.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn topic_labels_exist_for_latent_categories_only() {
+        let (_, v) = vectorizer();
+        assert_eq!(v.topic_labels(Category::Restaurant).len(), 4);
+        assert_eq!(v.topic_labels(Category::Attraction).len(), 4);
+        assert!(v.topic_labels(Category::Accommodation).is_empty());
+        assert!(!v.type_names(Category::Accommodation).is_empty());
+        assert!(v.type_names(Category::Restaurant).is_empty());
+    }
+
+    #[test]
+    fn fitting_on_an_empty_catalog_fails() {
+        let empty = PoiCatalog::new("Empty", vec![]);
+        let err = ItemVectorizer::fit(&empty, LdaConfig::default()).unwrap_err();
+        assert_eq!(err, GroupTravelError::TopicModel(Category::Restaurant));
+    }
+}

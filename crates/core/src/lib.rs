@@ -1,0 +1,98 @@
+//! # GroupTravel
+//!
+//! A reproduction of *GroupTravel: Customizing Travel Packages for Groups*
+//! (Amer-Yahia et al., EDBT 2019). GroupTravel generates a **Travel Package
+//! (TP)** — a set of `k` **Composite Items (CIs)**, each a set of POIs of the
+//! categories requested by a group query, under a budget — that is *valid*,
+//! *representative* of the city, *cohesive* (POIs in a CI are geographically
+//! close) and *personalized* to a group profile aggregated from individual
+//! member preferences with a consensus function. Group members can then
+//! interact with the package (add / remove / replace POIs, generate new CIs)
+//! and their interactions refine the group profile.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use grouptravel::prelude::*;
+//!
+//! // 1. A synthetic Paris catalog (substitute for TourPedia + Foursquare).
+//! let catalog = SyntheticCityGenerator::new(
+//!     CitySpec::paris(),
+//!     SyntheticCityConfig::small(7),
+//! )
+//! .generate();
+//!
+//! // 2. A session wires the catalog to LDA topic models and item vectors.
+//! let session = GroupTravelSession::new(catalog, SessionConfig::default()).unwrap();
+//!
+//! // 3. A group of travelers and their consensus profile.
+//! let mut gen = SyntheticGroupGenerator::new(session.profile_schema(), 1);
+//! let group = gen.group(GroupSize::Small, Uniformity::Uniform);
+//! let profile = group.profile(ConsensusMethod::pairwise_disagreement());
+//!
+//! // 4. Build a 5-CI package for the default query.
+//! let package = session
+//!     .build_package(&profile, &GroupQuery::paper_default(), &BuildConfig::default())
+//!     .unwrap();
+//! assert_eq!(package.len(), 5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`query`] — group queries ⟨#acco, #trans, #rest, #attr, budget⟩.
+//! * [`items`] — item vectors (one-hot types / LDA topic distributions).
+//! * [`composite`] — composite items and validity.
+//! * [`package`] — travel packages.
+//! * [`objective`] — the weights of objective function Eq. 1.
+//! * [`builder`] — the KFC-style fuzzy-clustering package builder, plus the
+//!   non-personalized and random baselines used in the user study.
+//! * [`metrics`] — representativity, cohesiveness, personalization (Eq. 2–4).
+//! * [`customize`] — the REMOVE/ADD/REPLACE/GENERATE operators (§3.3).
+//! * [`refine`] — individual and batch group-profile refinement.
+//! * [`session`] — the high-level facade tying everything together (Fig. 2).
+
+pub mod builder;
+pub mod composite;
+pub mod customize;
+pub mod error;
+pub mod items;
+pub mod metrics;
+pub mod objective;
+pub mod package;
+pub mod query;
+pub mod refine;
+pub mod session;
+
+pub use builder::{BuildConfig, PackageBuilder};
+pub use composite::CompositeItem;
+pub use customize::{CustomizationOp, InteractionLog, MemberInteractions};
+pub use error::GroupTravelError;
+pub use items::ItemVectorizer;
+pub use metrics::{cohesiveness, personalization, representativity, OptimizationDimensions};
+pub use objective::ObjectiveWeights;
+pub use package::TravelPackage;
+pub use query::GroupQuery;
+pub use refine::{refine_batch, refine_individual, RefinementStrategy};
+pub use session::{GroupTravelSession, SessionConfig};
+
+/// Convenience re-exports for downstream code and the examples.
+pub mod prelude {
+    pub use crate::builder::{BuildConfig, PackageBuilder};
+    pub use crate::composite::CompositeItem;
+    pub use crate::customize::{CustomizationOp, InteractionLog, MemberInteractions};
+    pub use crate::error::GroupTravelError;
+    pub use crate::metrics::OptimizationDimensions;
+    pub use crate::objective::ObjectiveWeights;
+    pub use crate::package::TravelPackage;
+    pub use crate::query::GroupQuery;
+    pub use crate::refine::RefinementStrategy;
+    pub use crate::session::{GroupTravelSession, SessionConfig};
+    pub use grouptravel_dataset::{
+        Category, CitySpec, Poi, PoiCatalog, PoiId, SyntheticCityConfig, SyntheticCityGenerator,
+    };
+    pub use grouptravel_geo::{GeoPoint, Rectangle};
+    pub use grouptravel_profile::{
+        ConsensusMethod, Group, GroupProfile, GroupSize, ProfileSchema, SyntheticGroupGenerator,
+        Uniformity, UserProfile,
+    };
+}

@@ -1,0 +1,280 @@
+//! Optimization dimensions (Eq. 2–4).
+//!
+//! Once a travel package is computed, the synthetic experiment measures each
+//! component of the objective (§4.2):
+//!
+//! * **Representativity** (Eq. 2): the sum of pairwise distances between the
+//!   composite items' centroids — the farther apart the CIs, the better the
+//!   city is covered.
+//! * **Cohesiveness** (Eq. 3): `S − Σ_CI Σ_{i,j∈CI} distance(i, j)` — the
+//!   constant `S` (221.79 in the paper's run) turns "small internal
+//!   distances" into "large cohesiveness".
+//! * **Personalization** (Eq. 4): `Σ_CI Σ_{i∈CI} cosine(item vector, group
+//!   profile)`.
+
+use crate::items::ItemVectorizer;
+use crate::package::TravelPackage;
+use grouptravel_dataset::PoiCatalog;
+use grouptravel_geo::DistanceMetric;
+use grouptravel_profile::GroupProfile;
+use serde::{Deserialize, Serialize};
+
+/// The cohesiveness offset `S` used in the paper's synthetic experiment
+/// (§4.2): "the largest observed value for aggregated distances".
+pub const PAPER_COHESIVENESS_OFFSET: f64 = 221.79;
+
+/// The three measured dimensions of one travel package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct OptimizationDimensions {
+    /// Representativity (Eq. 2), kilometres.
+    pub representativity: f64,
+    /// Cohesiveness (Eq. 3), kilometres (offset minus internal distances).
+    pub cohesiveness: f64,
+    /// Personalization (Eq. 4), summed cosine similarity.
+    pub personalization: f64,
+}
+
+impl OptimizationDimensions {
+    /// Measures all three dimensions of `package`.
+    #[must_use]
+    pub fn measure(
+        package: &TravelPackage,
+        catalog: &PoiCatalog,
+        vectorizer: &ItemVectorizer,
+        profile: &GroupProfile,
+        metric: DistanceMetric,
+    ) -> Self {
+        Self {
+            representativity: representativity(package, catalog, metric),
+            cohesiveness: cohesiveness(package, catalog, metric, PAPER_COHESIVENESS_OFFSET),
+            personalization: personalization(package, catalog, vectorizer, profile),
+        }
+    }
+
+    /// The dimensions as an array `[R, C, P]` (handy for normalization).
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 3] {
+        [
+            self.representativity,
+            self.cohesiveness,
+            self.personalization,
+        ]
+    }
+}
+
+/// Representativity (Eq. 2): sum of pairwise distances between CI centroids.
+/// Packages whose composite items have no resolvable centroid contribute
+/// nothing.
+#[must_use]
+pub fn representativity(
+    package: &TravelPackage,
+    catalog: &PoiCatalog,
+    metric: DistanceMetric,
+) -> f64 {
+    let centroids: Vec<_> = package
+        .composite_items()
+        .iter()
+        .filter_map(|ci| ci.centroid(catalog))
+        .collect();
+    let mut total = 0.0;
+    for (i, a) in centroids.iter().enumerate() {
+        for b in &centroids[i + 1..] {
+            total += metric.distance_km(a, b);
+        }
+    }
+    total
+}
+
+/// Cohesiveness (Eq. 3): `offset − Σ_CI Σ_{i,j∈CI} distance(i, j)`.
+///
+/// Following the paper, the offset is a constant chosen as the largest
+/// observed aggregate distance, so that tighter composite items score higher.
+/// The value is *not* clamped: a package whose internal distances exceed the
+/// offset scores negative, which preserves the ordering the experiments rely
+/// on.
+#[must_use]
+pub fn cohesiveness(
+    package: &TravelPackage,
+    catalog: &PoiCatalog,
+    metric: DistanceMetric,
+    offset: f64,
+) -> f64 {
+    let internal: f64 = package
+        .composite_items()
+        .iter()
+        .map(|ci| ci.internal_distance_km(catalog, metric))
+        .sum();
+    offset - internal
+}
+
+/// Personalization (Eq. 4): summed cosine similarity between every item in
+/// the package and the group profile vector of the item's category.
+#[must_use]
+pub fn personalization(
+    package: &TravelPackage,
+    catalog: &PoiCatalog,
+    vectorizer: &ItemVectorizer,
+    profile: &GroupProfile,
+) -> f64 {
+    package
+        .composite_items()
+        .iter()
+        .flat_map(|ci| ci.resolve(catalog))
+        .map(|poi| profile.item_affinity(poi.category, &vectorizer.item_vector(poi)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuildConfig, PackageBuilder};
+    use crate::composite::CompositeItem;
+    use crate::query::GroupQuery;
+    use grouptravel_dataset::{
+        CitySpec, PoiId, SyntheticCityConfig, SyntheticCityGenerator,
+    };
+    use grouptravel_profile::{
+        ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity,
+    };
+    use grouptravel_topics::LdaConfig;
+
+    struct Fixture {
+        catalog: PoiCatalog,
+        vectorizer: ItemVectorizer,
+        profile: GroupProfile,
+    }
+
+    fn fixture() -> Fixture {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(51))
+                .generate();
+        let vectorizer = ItemVectorizer::fit(
+            &catalog,
+            LdaConfig {
+                iterations: 40,
+                ..LdaConfig::default()
+            },
+        )
+        .unwrap();
+        let mut gen = SyntheticGroupGenerator::new(vectorizer.schema(), 9);
+        let profile = gen
+            .group(GroupSize::Small, Uniformity::Uniform)
+            .profile(ConsensusMethod::average_preference());
+        Fixture {
+            catalog,
+            vectorizer,
+            profile,
+        }
+    }
+
+    #[test]
+    fn empty_package_has_zero_representativity_and_personalization() {
+        let f = fixture();
+        let tp = TravelPackage::default();
+        assert_eq!(
+            representativity(&tp, &f.catalog, DistanceMetric::Equirectangular),
+            0.0
+        );
+        assert_eq!(
+            personalization(&tp, &f.catalog, &f.vectorizer, &f.profile),
+            0.0
+        );
+        assert_eq!(
+            cohesiveness(&tp, &f.catalog, DistanceMetric::Equirectangular, 10.0),
+            10.0
+        );
+    }
+
+    #[test]
+    fn representativity_grows_with_spread_out_composite_items() {
+        let f = fixture();
+        // Two CIs anchored at opposite corners of Paris vs. two at the same spot.
+        let bbox = f.catalog.bounding_box().unwrap();
+        let far = TravelPackage::new(vec![
+            CompositeItem::with_anchor(vec![], grouptravel_geo::GeoPoint::new_unchecked(bbox.min_lat, bbox.min_lon)),
+            CompositeItem::with_anchor(vec![], grouptravel_geo::GeoPoint::new_unchecked(bbox.max_lat, bbox.max_lon)),
+        ]);
+        let near = TravelPackage::new(vec![
+            CompositeItem::with_anchor(vec![], bbox.center()),
+            CompositeItem::with_anchor(vec![], bbox.center()),
+        ]);
+        let r_far = representativity(&far, &f.catalog, DistanceMetric::Equirectangular);
+        let r_near = representativity(&near, &f.catalog, DistanceMetric::Equirectangular);
+        assert!(r_far > r_near);
+        assert_eq!(r_near, 0.0);
+    }
+
+    #[test]
+    fn cohesiveness_decreases_when_a_far_poi_is_added() {
+        let f = fixture();
+        let ids: Vec<PoiId> = f.catalog.pois().iter().map(|p| p.id).collect();
+        let tight = TravelPackage::new(vec![CompositeItem::new(vec![ids[0], ids[1]])]);
+        // Add the POI farthest from the first one to loosen the CI.
+        let first = f.catalog.get(ids[0]).unwrap().location;
+        let far_id = f
+            .catalog
+            .pois()
+            .iter()
+            .max_by(|a, b| {
+                let da = DistanceMetric::Equirectangular.distance_km(&first, &a.location);
+                let db = DistanceMetric::Equirectangular.distance_km(&first, &b.location);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+            .id;
+        let loose = TravelPackage::new(vec![CompositeItem::new(vec![ids[0], ids[1], far_id])]);
+        let c_tight = cohesiveness(
+            &tight,
+            &f.catalog,
+            DistanceMetric::Equirectangular,
+            PAPER_COHESIVENESS_OFFSET,
+        );
+        let c_loose = cohesiveness(
+            &loose,
+            &f.catalog,
+            DistanceMetric::Equirectangular,
+            PAPER_COHESIVENESS_OFFSET,
+        );
+        assert!(c_tight > c_loose);
+    }
+
+    #[test]
+    fn personalization_is_higher_for_personalized_builds() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let query = GroupQuery::paper_default();
+        let config = BuildConfig::default();
+        let personalized = builder.build(&f.profile, &query, &config).unwrap();
+        let non_personalized = builder
+            .build_non_personalized(&f.profile, &query, &config)
+            .unwrap();
+        let p_yes = personalization(&personalized, &f.catalog, &f.vectorizer, &f.profile);
+        let p_no = personalization(&non_personalized, &f.catalog, &f.vectorizer, &f.profile);
+        assert!(
+            p_yes >= p_no,
+            "personalized build scored {p_yes} < non-personalized {p_no}"
+        );
+    }
+
+    #[test]
+    fn measure_bundles_all_three_dimensions() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let package = builder
+            .build(&f.profile, &GroupQuery::paper_default(), &BuildConfig::default())
+            .unwrap();
+        let dims = OptimizationDimensions::measure(
+            &package,
+            &f.catalog,
+            &f.vectorizer,
+            &f.profile,
+            DistanceMetric::Equirectangular,
+        );
+        assert!(dims.representativity > 0.0);
+        assert!(dims.personalization > 0.0);
+        assert!(dims.cohesiveness <= PAPER_COHESIVENESS_OFFSET);
+        let arr = dims.as_array();
+        assert_eq!(arr[0], dims.representativity);
+        assert_eq!(arr[2], dims.personalization);
+    }
+}

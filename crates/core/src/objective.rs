@@ -1,0 +1,150 @@
+//! Weights of the objective function (Eq. 1).
+//!
+//! The objective maximized when building a travel package combines three
+//! components:
+//!
+//! * `α` — the fuzzy-clustering (representativity) term
+//!   `Σ_j Σ_i w_ij^f (1 − d(i, μ_j))`,
+//! * `β` — the cohesiveness term: items in a CI should be close to their
+//!   centroid,
+//! * `γ` — the personalization term: cosine similarity between item vectors
+//!   and the group profile.
+//!
+//! The synthetic experiment fixes `γ = 1.0` and draws `α`, `β` uniformly in
+//! `[0, 1]` to avoid biasing either geometric objective (§4.3.1). The
+//! non-personalized baseline of the user study is obtained by setting the
+//! personalization weight to zero.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Weights of the three objective components and the fuzzifier exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight of the fuzzy-clustering / representativity term.
+    pub alpha: f64,
+    /// Weight of the cohesiveness term.
+    pub beta: f64,
+    /// Weight of the personalization term.
+    pub gamma: f64,
+    /// Fuzzifier exponent used by the clustering substrate.
+    pub fuzzifier: f64,
+}
+
+impl Default for ObjectiveWeights {
+    fn default() -> Self {
+        Self {
+            alpha: 0.5,
+            beta: 0.5,
+            gamma: 1.0,
+            fuzzifier: 2.0,
+        }
+    }
+}
+
+impl ObjectiveWeights {
+    /// The synthetic-experiment setting: `γ = 1`, `α` and `β` drawn uniformly
+    /// at random in `[0, 1]` (deterministically from `seed`).
+    #[must_use]
+    pub fn paper_synthetic(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Self {
+            alpha: rng.gen_range(0.0..=1.0),
+            beta: rng.gen_range(0.0..=1.0),
+            gamma: 1.0,
+            fuzzifier: 2.0,
+        }
+    }
+
+    /// The non-personalized baseline: the personalization weight is zero, so
+    /// the package is driven purely by geography.
+    #[must_use]
+    pub fn non_personalized(self) -> Self {
+        Self { gamma: 0.0, ..self }
+    }
+
+    /// Whether this configuration personalizes at all.
+    #[must_use]
+    pub fn is_personalized(&self) -> bool {
+        self.gamma > 0.0
+    }
+
+    /// Clamps every weight to `[0, 1]` and the fuzzifier above 1, returning a
+    /// sanitized copy.
+    #[must_use]
+    pub fn sanitized(&self) -> Self {
+        Self {
+            alpha: self.alpha.clamp(0.0, 1.0),
+            beta: self.beta.clamp(0.0, 1.0),
+            gamma: self.gamma.clamp(0.0, 1.0),
+            fuzzifier: if self.fuzzifier > 1.0 { self.fuzzifier } else { 2.0 },
+        }
+    }
+
+    /// The per-item score used when assembling composite items around a
+    /// centroid: `β · (1 − distance) + γ · cosine` (the second and third
+    /// components of Eq. 1 for a single item).
+    #[must_use]
+    pub fn item_score(&self, geographic_similarity: f64, profile_affinity: f64) -> f64 {
+        self.beta * geographic_similarity + self.gamma * profile_affinity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_personalize() {
+        let w = ObjectiveWeights::default();
+        assert!(w.is_personalized());
+        assert_eq!(w.gamma, 1.0);
+    }
+
+    #[test]
+    fn paper_synthetic_fixes_gamma_and_randomizes_alpha_beta() {
+        let w = ObjectiveWeights::paper_synthetic(3);
+        assert_eq!(w.gamma, 1.0);
+        assert!((0.0..=1.0).contains(&w.alpha));
+        assert!((0.0..=1.0).contains(&w.beta));
+        // Deterministic per seed, different across seeds.
+        assert_eq!(w, ObjectiveWeights::paper_synthetic(3));
+        assert_ne!(w, ObjectiveWeights::paper_synthetic(4));
+    }
+
+    #[test]
+    fn non_personalized_zeroes_gamma_only() {
+        let w = ObjectiveWeights::default().non_personalized();
+        assert!(!w.is_personalized());
+        assert_eq!(w.beta, 0.5);
+    }
+
+    #[test]
+    fn sanitized_clamps_out_of_range_values() {
+        let w = ObjectiveWeights {
+            alpha: -1.0,
+            beta: 2.0,
+            gamma: 0.3,
+            fuzzifier: 0.5,
+        }
+        .sanitized();
+        assert_eq!(w.alpha, 0.0);
+        assert_eq!(w.beta, 1.0);
+        assert_eq!(w.gamma, 0.3);
+        assert_eq!(w.fuzzifier, 2.0);
+    }
+
+    #[test]
+    fn item_score_combines_geography_and_affinity() {
+        let w = ObjectiveWeights {
+            alpha: 0.0,
+            beta: 0.5,
+            gamma: 1.0,
+            fuzzifier: 2.0,
+        };
+        assert!((w.item_score(0.8, 0.6) - (0.4 + 0.6)).abs() < 1e-12);
+        let np = w.non_personalized();
+        assert!((np.item_score(0.8, 0.6) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Travel Packages.
+//!
+//! §3.2: a travel package is a set of `k` composite items
+//! `TP = {CI_1, …, CI_k}`, one per day of the trip in the running example.
+
+use crate::composite::CompositeItem;
+use crate::query::GroupQuery;
+use grouptravel_dataset::{PoiCatalog, PoiId};
+use serde::{Deserialize, Serialize};
+
+/// A travel package: `k` composite items.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TravelPackage {
+    composite_items: Vec<CompositeItem>,
+}
+
+impl TravelPackage {
+    /// Creates a package from composite items.
+    #[must_use]
+    pub fn new(composite_items: Vec<CompositeItem>) -> Self {
+        Self { composite_items }
+    }
+
+    /// The composite items.
+    #[must_use]
+    pub fn composite_items(&self) -> &[CompositeItem] {
+        &self.composite_items
+    }
+
+    /// Mutable access to the composite items (customization operators).
+    #[must_use]
+    pub fn composite_items_mut(&mut self) -> &mut [CompositeItem] {
+        &mut self.composite_items
+    }
+
+    /// Number of composite items `k`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.composite_items.len()
+    }
+
+    /// Whether the package has no composite items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.composite_items.is_empty()
+    }
+
+    /// The `idx`-th composite item.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> Option<&CompositeItem> {
+        self.composite_items.get(idx)
+    }
+
+    /// Mutable access to the `idx`-th composite item.
+    #[must_use]
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut CompositeItem> {
+        self.composite_items.get_mut(idx)
+    }
+
+    /// Appends a composite item (the GENERATE operator) and returns its
+    /// index.
+    pub fn push(&mut self, ci: CompositeItem) -> usize {
+        self.composite_items.push(ci);
+        self.composite_items.len() - 1
+    }
+
+    /// Removes the `idx`-th composite item (deleting a CI is iteratively
+    /// removing its items in the paper; the harness exposes it directly).
+    pub fn remove(&mut self, idx: usize) -> Option<CompositeItem> {
+        if idx < self.composite_items.len() {
+            Some(self.composite_items.remove(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Drops composite items that became empty after customization.
+    pub fn prune_empty(&mut self) {
+        self.composite_items.retain(|ci| !ci.is_empty());
+    }
+
+    /// All POI ids across the package (with duplicates if a POI appears in
+    /// several composite items, which fuzzy clustering explicitly allows).
+    #[must_use]
+    pub fn all_poi_ids(&self) -> Vec<PoiId> {
+        self.composite_items
+            .iter()
+            .flat_map(|ci| ci.poi_ids().iter().copied())
+            .collect()
+    }
+
+    /// Distinct POI ids across the package.
+    #[must_use]
+    pub fn distinct_poi_ids(&self) -> Vec<PoiId> {
+        let mut ids = self.all_poi_ids();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Whether every composite item is valid for `query`.
+    #[must_use]
+    pub fn is_valid(&self, catalog: &PoiCatalog, query: &GroupQuery) -> bool {
+        !self.is_empty()
+            && self
+                .composite_items
+                .iter()
+                .all(|ci| ci.is_valid(catalog, query))
+    }
+
+    /// Total cost of the package.
+    #[must_use]
+    pub fn total_cost(&self, catalog: &PoiCatalog) -> f64 {
+        self.composite_items
+            .iter()
+            .map(|ci| ci.total_cost(catalog))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::sample::table1_pois;
+
+    fn catalog() -> PoiCatalog {
+        PoiCatalog::new("Paris", table1_pois())
+    }
+
+    fn full_ci() -> CompositeItem {
+        CompositeItem::new(vec![PoiId(1), PoiId(2), PoiId(3), PoiId(4)])
+    }
+
+    #[test]
+    fn push_get_remove() {
+        let mut tp = TravelPackage::default();
+        assert!(tp.is_empty());
+        let idx = tp.push(full_ci());
+        assert_eq!(idx, 0);
+        assert_eq!(tp.len(), 1);
+        assert!(tp.get(0).is_some());
+        assert!(tp.get(1).is_none());
+        assert!(tp.remove(5).is_none());
+        assert!(tp.remove(0).is_some());
+        assert!(tp.is_empty());
+    }
+
+    #[test]
+    fn poi_id_listings() {
+        let tp = TravelPackage::new(vec![
+            CompositeItem::new(vec![PoiId(1), PoiId(2)]),
+            CompositeItem::new(vec![PoiId(2), PoiId(3)]),
+        ]);
+        assert_eq!(tp.all_poi_ids().len(), 4);
+        assert_eq!(tp.distinct_poi_ids(), vec![PoiId(1), PoiId(2), PoiId(3)]);
+    }
+
+    #[test]
+    fn validity_requires_every_ci_valid_and_nonempty_package() {
+        let c = catalog();
+        let query = GroupQuery::new([1, 1, 1, 1], None);
+        let valid = TravelPackage::new(vec![full_ci()]);
+        assert!(valid.is_valid(&c, &query));
+        let invalid = TravelPackage::new(vec![full_ci(), CompositeItem::new(vec![PoiId(1)])]);
+        assert!(!invalid.is_valid(&c, &query));
+        assert!(!TravelPackage::default().is_valid(&c, &query));
+    }
+
+    #[test]
+    fn prune_empty_drops_emptied_cis() {
+        let mut tp = TravelPackage::new(vec![CompositeItem::new(vec![]), full_ci()]);
+        tp.prune_empty();
+        assert_eq!(tp.len(), 1);
+    }
+
+    #[test]
+    fn total_cost_sums_over_cis() {
+        let c = catalog();
+        let tp = TravelPackage::new(vec![
+            CompositeItem::new(vec![PoiId(1)]),
+            CompositeItem::new(vec![PoiId(2)]),
+        ]);
+        assert!((tp.total_cost(&c) - 5.71).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Group queries.
+//!
+//! §3.1: a query is a vector `⟨#c1, …, #cm, B⟩` specifying how many POIs of
+//! each category a composite item must contain and a total budget `B`. The
+//! example query of Figure 1 is ⟨1 acco, 1 trans, 1 rest, 3 attr, $100⟩ and
+//! the default query of the experiments is ⟨1 acco, 1 trans, 1 rest, 3 attr⟩
+//! with an infinite budget.
+
+use grouptravel_dataset::Category;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A group query: per-category POI counts plus an optional budget
+/// (`None` = unlimited, the "infinite budget" of the experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupQuery {
+    counts: [usize; 4],
+    budget: Option<f64>,
+}
+
+impl GroupQuery {
+    /// Creates a query from per-category counts (in [`Category::ALL`] order)
+    /// and an optional budget.
+    #[must_use]
+    pub fn new(counts: [usize; 4], budget: Option<f64>) -> Self {
+        Self {
+            counts,
+            budget: budget.filter(|b| b.is_finite() && *b >= 0.0),
+        }
+    }
+
+    /// The experiments' default query: ⟨1 acco, 1 trans, 1 rest, 3 attr⟩,
+    /// infinite budget (§4.3.1, §4.4.3).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new([1, 1, 1, 3], None)
+    }
+
+    /// The introduction's example query: ⟨1 acco, 1 trans, 1 rest, 3 attr,
+    /// $100⟩ (Figure 1).
+    #[must_use]
+    pub fn figure1() -> Self {
+        Self::new([1, 1, 1, 3], Some(100.0))
+    }
+
+    /// Builder-style setter for one category's count.
+    #[must_use]
+    pub fn with_count(mut self, category: Category, count: usize) -> Self {
+        self.counts[category.index()] = count;
+        self
+    }
+
+    /// Builder-style setter for the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<f64>) -> Self {
+        self.budget = budget.filter(|b| b.is_finite() && *b >= 0.0);
+        self
+    }
+
+    /// How many POIs of `category` each composite item must contain.
+    #[must_use]
+    pub fn count(&self, category: Category) -> usize {
+        self.counts[category.index()]
+    }
+
+    /// All counts in [`Category::ALL`] order.
+    #[must_use]
+    pub fn counts(&self) -> [usize; 4] {
+        self.counts
+    }
+
+    /// The budget, if bounded.
+    #[must_use]
+    pub fn budget(&self) -> Option<f64> {
+        self.budget
+    }
+
+    /// Total number of POIs per composite item.
+    #[must_use]
+    pub fn total_pois(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the query requests at least one POI.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_pois() == 0
+    }
+
+    /// Whether a total cost respects the budget.
+    #[must_use]
+    pub fn within_budget(&self, total_cost: f64) -> bool {
+        match self.budget {
+            Some(budget) => total_cost <= budget + 1e-9,
+            None => true,
+        }
+    }
+}
+
+impl Default for GroupQuery {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for GroupQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (idx, category) in Category::ALL.iter().enumerate() {
+            if idx > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", self.counts[idx], category)?;
+        }
+        match self.budget {
+            Some(b) => write!(f, ", ${b:.0}⟩"),
+            None => write!(f, ", unlimited⟩"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_the_experiments() {
+        let q = GroupQuery::paper_default();
+        assert_eq!(q.count(Category::Accommodation), 1);
+        assert_eq!(q.count(Category::Transportation), 1);
+        assert_eq!(q.count(Category::Restaurant), 1);
+        assert_eq!(q.count(Category::Attraction), 3);
+        assert_eq!(q.budget(), None);
+        assert_eq!(q.total_pois(), 6);
+    }
+
+    #[test]
+    fn figure1_query_has_a_100_dollar_budget() {
+        let q = GroupQuery::figure1();
+        assert_eq!(q.budget(), Some(100.0));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let q = GroupQuery::paper_default()
+            .with_count(Category::Restaurant, 2)
+            .with_budget(Some(120.0));
+        assert_eq!(q.count(Category::Restaurant), 2);
+        assert_eq!(q.budget(), Some(120.0));
+    }
+
+    #[test]
+    fn invalid_budgets_are_treated_as_unlimited() {
+        assert_eq!(GroupQuery::new([1, 1, 1, 1], Some(f64::NAN)).budget(), None);
+        assert_eq!(GroupQuery::new([1, 1, 1, 1], Some(-5.0)).budget(), None);
+        assert_eq!(
+            GroupQuery::paper_default().with_budget(Some(f64::INFINITY)).budget(),
+            None
+        );
+    }
+
+    #[test]
+    fn within_budget_logic() {
+        let bounded = GroupQuery::new([1, 0, 0, 0], Some(10.0));
+        assert!(bounded.within_budget(9.0));
+        assert!(bounded.within_budget(10.0));
+        assert!(!bounded.within_budget(10.5));
+        assert!(GroupQuery::paper_default().within_budget(1e12));
+    }
+
+    #[test]
+    fn empty_query_detection() {
+        assert!(GroupQuery::new([0, 0, 0, 0], None).is_empty());
+        assert!(!GroupQuery::paper_default().is_empty());
+    }
+
+    #[test]
+    fn display_mentions_every_category_and_the_budget() {
+        let s = GroupQuery::figure1().to_string();
+        assert!(s.contains("1 acco"));
+        assert!(s.contains("3 attr"));
+        assert!(s.contains("$100"));
+        assert!(GroupQuery::paper_default().to_string().contains("unlimited"));
+    }
+}

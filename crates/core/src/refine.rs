@@ -1,0 +1,335 @@
+//! Group-profile refinement from interactions.
+//!
+//! §3.3, "Refining the group profile": the POIs a group adds (`I⁺`) and
+//! removes (`I⁻`) are implicit feedback. For every category the group vector
+//! is updated as
+//!
+//! ```text
+//! g ← g + g⁺ − g⁻     with  g⁺ = (1/|I⁺|) Σ_{i∈I⁺} item_vector(i)
+//! ```
+//!
+//! and components that fall below zero are clamped to zero. Two strategies
+//! are compared in the user study (§4.4.4):
+//!
+//! * **Batch** — pool the interactions of all members and update the group
+//!   profile directly.
+//! * **Individual** — update each member's own profile from that member's
+//!   interactions, then re-aggregate the group profile with the consensus
+//!   function.
+
+use crate::customize::{pool_interactions, InteractionLog, MemberInteractions};
+use crate::items::ItemVectorizer;
+use grouptravel_dataset::{Category, PoiCatalog, PoiId};
+use grouptravel_profile::{ConsensusMethod, Group, GroupProfile, UserProfile};
+use serde::{Deserialize, Serialize};
+
+/// Which refinement strategy to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefinementStrategy {
+    /// Refine each member's profile, then re-aggregate.
+    Individual,
+    /// Pool every member's interactions and refine the group profile
+    /// directly.
+    Batch,
+}
+
+impl RefinementStrategy {
+    /// Display name as used in Tables 6 and 7.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefinementStrategy::Individual => "individual",
+            RefinementStrategy::Batch => "batch",
+        }
+    }
+}
+
+/// Mean item vector of the POIs (of one category) in `ids`, or `None` if no
+/// POI of that category appears.
+fn mean_item_vector(
+    ids: &[PoiId],
+    category: Category,
+    catalog: &PoiCatalog,
+    vectorizer: &ItemVectorizer,
+    dim: usize,
+) -> Option<Vec<f64>> {
+    let vectors: Vec<Vec<f64>> = ids
+        .iter()
+        .filter_map(|&id| catalog.get(id))
+        .filter(|poi| poi.category == category)
+        .map(|poi| vectorizer.item_vector(poi))
+        .collect();
+    if vectors.is_empty() {
+        return None;
+    }
+    let mut mean = vec![0.0; dim];
+    for v in &vectors {
+        for (slot, &x) in mean.iter_mut().zip(v) {
+            *slot += x;
+        }
+    }
+    let n = vectors.len() as f64;
+    mean.iter_mut().for_each(|x| *x /= n);
+    Some(mean)
+}
+
+/// Applies `g ← g + g⁺ − g⁻` (clamped at zero) to one per-category vector.
+fn refine_vector(
+    current: &[f64],
+    log: &InteractionLog,
+    category: Category,
+    catalog: &PoiCatalog,
+    vectorizer: &ItemVectorizer,
+) -> Vec<f64> {
+    let dim = current.len();
+    let plus = mean_item_vector(&log.added, category, catalog, vectorizer, dim);
+    let minus = mean_item_vector(&log.removed, category, catalog, vectorizer, dim);
+    current
+        .iter()
+        .enumerate()
+        .map(|(j, &g)| {
+            let p = plus.as_ref().and_then(|v| v.get(j)).copied().unwrap_or(0.0);
+            let m = minus.as_ref().and_then(|v| v.get(j)).copied().unwrap_or(0.0);
+            (g + p - m).max(0.0)
+        })
+        .collect()
+}
+
+/// The **batch** strategy: pools all members' interactions and refines the
+/// group profile directly.
+#[must_use]
+pub fn refine_batch(
+    profile: &GroupProfile,
+    interactions: &[MemberInteractions],
+    catalog: &PoiCatalog,
+    vectorizer: &ItemVectorizer,
+) -> GroupProfile {
+    let pooled = pool_interactions(interactions);
+    let mut refined = profile.clone();
+    if pooled.is_empty() {
+        return refined;
+    }
+    for category in Category::ALL {
+        let updated = refine_vector(
+            profile.vector(category),
+            &pooled,
+            category,
+            catalog,
+            vectorizer,
+        );
+        refined.set_vector(category, updated);
+    }
+    refined
+}
+
+/// The **individual** strategy: refines each interacting member's profile
+/// from that member's own interactions, then re-aggregates the group profile
+/// with `method`. Members who did not interact keep their original profile.
+///
+/// Returns the refined group (with updated member profiles) and the
+/// re-aggregated group profile.
+#[must_use]
+pub fn refine_individual(
+    group: &Group,
+    method: ConsensusMethod,
+    interactions: &[MemberInteractions],
+    catalog: &PoiCatalog,
+    vectorizer: &ItemVectorizer,
+) -> (Group, GroupProfile) {
+    let mut refined_members: Vec<UserProfile> = group.members().to_vec();
+    for member in &mut refined_members {
+        let Some(record) = interactions
+            .iter()
+            .find(|i| i.user_id == member.user_id && !i.log.is_empty())
+        else {
+            continue;
+        };
+        for category in Category::ALL {
+            let updated = refine_vector(
+                member.vector(category),
+                &record.log,
+                category,
+                catalog,
+                vectorizer,
+            );
+            member.set_scores(category, updated);
+        }
+    }
+    let refined_group = Group::new(group.group_id, refined_members);
+    let profile = refined_group.profile(method);
+    (refined_group, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+    use grouptravel_profile::{GroupSize, SyntheticGroupGenerator, Uniformity};
+    use grouptravel_topics::LdaConfig;
+
+    struct Fixture {
+        catalog: PoiCatalog,
+        vectorizer: ItemVectorizer,
+        group: Group,
+        profile: GroupProfile,
+    }
+
+    fn fixture() -> Fixture {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(61))
+                .generate();
+        let vectorizer = ItemVectorizer::fit(
+            &catalog,
+            LdaConfig {
+                iterations: 40,
+                ..LdaConfig::default()
+            },
+        )
+        .unwrap();
+        let mut gen = SyntheticGroupGenerator::new(vectorizer.schema(), 3);
+        let group = gen.group(GroupSize::Small, Uniformity::Uniform);
+        let profile = group.profile(ConsensusMethod::average_preference());
+        Fixture {
+            catalog,
+            vectorizer,
+            group,
+            profile,
+        }
+    }
+
+    fn first_attraction(f: &Fixture) -> PoiId {
+        f.catalog.by_category(Category::Attraction)[0].id
+    }
+
+    #[test]
+    fn no_interactions_leaves_the_profile_unchanged() {
+        let f = fixture();
+        let refined = refine_batch(&f.profile, &[], &f.catalog, &f.vectorizer);
+        assert_eq!(refined, f.profile);
+        let empty_member = MemberInteractions::new(f.group.members()[0].user_id);
+        let refined = refine_batch(&f.profile, &[empty_member], &f.catalog, &f.vectorizer);
+        assert_eq!(refined.vector(Category::Attraction), f.profile.vector(Category::Attraction));
+    }
+
+    #[test]
+    fn adding_a_poi_raises_the_matching_components() {
+        let f = fixture();
+        let poi_id = first_attraction(&f);
+        let poi = f.catalog.get(poi_id).unwrap();
+        let item_vec = f.vectorizer.item_vector(poi);
+        let hottest = item_vec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+
+        let mut member = MemberInteractions::new(f.group.members()[0].user_id);
+        member.log.record_add(poi_id);
+        let refined = refine_batch(&f.profile, &[member], &f.catalog, &f.vectorizer);
+        assert!(
+            refined.score(Category::Attraction, hottest)
+                > f.profile.score(Category::Attraction, hottest)
+        );
+        // Other categories untouched.
+        assert_eq!(
+            refined.vector(Category::Restaurant),
+            f.profile.vector(Category::Restaurant)
+        );
+    }
+
+    #[test]
+    fn removing_a_poi_lowers_but_never_below_zero() {
+        let f = fixture();
+        let poi_id = first_attraction(&f);
+        let mut member = MemberInteractions::new(f.group.members()[0].user_id);
+        member.log.record_remove(poi_id);
+        let refined = refine_batch(&f.profile, &[member.clone()], &f.catalog, &f.vectorizer);
+        for (new, old) in refined
+            .vector(Category::Attraction)
+            .iter()
+            .zip(f.profile.vector(Category::Attraction))
+        {
+            assert!(*new <= *old + 1e-12);
+            assert!(*new >= 0.0);
+        }
+        // Removing the same POI many times can push components to exactly 0
+        // but never negative.
+        let many = vec![member; 10];
+        let refined = refine_batch(&f.profile, &many, &f.catalog, &f.vectorizer);
+        assert!(refined
+            .vector(Category::Attraction)
+            .iter()
+            .all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn unknown_poi_ids_are_ignored() {
+        let f = fixture();
+        let mut member = MemberInteractions::new(1);
+        member.log.record_add(PoiId(9_999_999));
+        let refined = refine_batch(&f.profile, &[member], &f.catalog, &f.vectorizer);
+        assert_eq!(refined, f.profile);
+    }
+
+    #[test]
+    fn individual_strategy_only_touches_interacting_members() {
+        let f = fixture();
+        let interacting = f.group.members()[0].user_id;
+        let poi_id = first_attraction(&f);
+        let mut member = MemberInteractions::new(interacting);
+        member.log.record_add(poi_id);
+
+        let (refined_group, refined_profile) = refine_individual(
+            &f.group,
+            ConsensusMethod::average_preference(),
+            &[member],
+            &f.catalog,
+            &f.vectorizer,
+        );
+        assert_eq!(refined_group.size(), f.group.size());
+        // Non-interacting members are unchanged.
+        for (orig, refined) in f.group.members()[1..]
+            .iter()
+            .zip(&refined_group.members()[1..])
+        {
+            assert_eq!(orig, refined);
+        }
+        // The interacting member changed.
+        assert_ne!(f.group.members()[0], refined_group.members()[0]);
+        // And the aggregated profile moved as well.
+        assert_ne!(
+            refined_profile.vector(Category::Attraction),
+            f.profile.vector(Category::Attraction)
+        );
+    }
+
+    #[test]
+    fn batch_and_individual_generally_differ() {
+        let f = fixture();
+        let poi_id = first_attraction(&f);
+        let mut member = MemberInteractions::new(f.group.members()[0].user_id);
+        member.log.record_add(poi_id);
+        let batch = refine_batch(&f.profile, &[member.clone()], &f.catalog, &f.vectorizer);
+        let (_, individual) = refine_individual(
+            &f.group,
+            ConsensusMethod::average_preference(),
+            &[member],
+            &f.catalog,
+            &f.vectorizer,
+        );
+        // Batch applies the full item vector to the group profile; individual
+        // dilutes it through one member out of five, so the two profiles
+        // should not coincide on the attraction vector.
+        assert_ne!(
+            batch.vector(Category::Attraction),
+            individual.vector(Category::Attraction)
+        );
+    }
+
+    #[test]
+    fn strategy_names_match_the_paper() {
+        assert_eq!(RefinementStrategy::Batch.name(), "batch");
+        assert_eq!(RefinementStrategy::Individual.name(), "individual");
+    }
+}

@@ -1,0 +1,573 @@
+//! The high-level GroupTravel facade (Figure 2).
+//!
+//! A [`GroupTravelSession`] owns one city's catalog and the item vectorizer
+//! trained on it, and exposes the complete flow of the framework: build a
+//! personalized package for a group profile, display baselines, apply
+//! customization operators, and refine group profiles from the recorded
+//! interactions so the next package (possibly in another city) is better.
+
+use crate::builder::{BuildConfig, PackageBuilder};
+use crate::composite::CompositeItem;
+use crate::customize::{CustomizationOp, InteractionLog};
+use crate::error::GroupTravelError;
+use crate::items::ItemVectorizer;
+use crate::metrics::OptimizationDimensions;
+use crate::objective::ObjectiveWeights;
+use crate::package::TravelPackage;
+use crate::query::GroupQuery;
+use grouptravel_dataset::{Category, Poi, PoiCatalog, PoiId};
+use grouptravel_geo::DistanceMetric;
+use grouptravel_profile::{GroupProfile, ProfileSchema};
+use grouptravel_topics::LdaConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a session: how the item vectorizer is trained and which
+/// distance metric the session uses throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// LDA configuration for the restaurant/attraction topic models.
+    pub lda: LdaConfig,
+    /// Distance metric used by builds, metrics and recommendations.
+    pub metric: DistanceMetric,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            lda: LdaConfig {
+                iterations: 80,
+                ..LdaConfig::default()
+            },
+            metric: DistanceMetric::Equirectangular,
+        }
+    }
+}
+
+/// A session over one city.
+#[derive(Debug, Clone)]
+pub struct GroupTravelSession {
+    catalog: PoiCatalog,
+    vectorizer: ItemVectorizer,
+    metric: DistanceMetric,
+}
+
+impl GroupTravelSession {
+    /// Creates a session: trains the topic models and wires the vectorizer.
+    pub fn new(catalog: PoiCatalog, config: SessionConfig) -> Result<Self, GroupTravelError> {
+        if catalog.is_empty() {
+            return Err(GroupTravelError::EmptyCatalog);
+        }
+        let vectorizer = ItemVectorizer::fit(&catalog, config.lda)?;
+        Ok(Self {
+            catalog,
+            vectorizer,
+            metric: config.metric,
+        })
+    }
+
+    /// Creates a session over `catalog` that reuses an already-trained item
+    /// vectorizer (typically trained on another city).
+    ///
+    /// This is how the customization experiment transfers a refined group
+    /// profile from Paris to Barcelona (§4.4.4): both sessions must share the
+    /// same profile schema — i.e. the same type vocabularies and topic
+    /// models — for the profile to be meaningful in the second city. Item
+    /// vectors for POIs the vectorizer has never seen are folded in from
+    /// their tags.
+    pub fn with_vectorizer(
+        catalog: PoiCatalog,
+        vectorizer: ItemVectorizer,
+        metric: DistanceMetric,
+    ) -> Result<Self, GroupTravelError> {
+        if catalog.is_empty() {
+            return Err(GroupTravelError::EmptyCatalog);
+        }
+        Ok(Self {
+            catalog,
+            vectorizer,
+            metric,
+        })
+    }
+
+    /// The catalog this session serves.
+    #[must_use]
+    pub fn catalog(&self) -> &PoiCatalog {
+        &self.catalog
+    }
+
+    /// The item vectorizer (exposes topic labels and type names for profile
+    /// elicitation).
+    #[must_use]
+    pub fn vectorizer(&self) -> &ItemVectorizer {
+        &self.vectorizer
+    }
+
+    /// The distance metric used by this session.
+    #[must_use]
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The profile schema user/group profiles must use with this session.
+    #[must_use]
+    pub fn profile_schema(&self) -> ProfileSchema {
+        self.vectorizer.schema()
+    }
+
+    fn builder(&self) -> PackageBuilder<'_> {
+        PackageBuilder::new(&self.catalog, &self.vectorizer)
+    }
+
+    /// Builds a personalized travel package for `profile`.
+    pub fn build_package(
+        &self,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> Result<TravelPackage, GroupTravelError> {
+        let config = BuildConfig {
+            metric: self.metric,
+            ..*config
+        };
+        self.builder().build(profile, query, &config)
+    }
+
+    /// Builds the non-personalized baseline (γ = 0).
+    pub fn build_non_personalized(
+        &self,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> Result<TravelPackage, GroupTravelError> {
+        let config = BuildConfig {
+            metric: self.metric,
+            ..*config
+        };
+        self.builder().build_non_personalized(profile, query, &config)
+    }
+
+    /// Builds the random attention-check package of the user study.
+    pub fn build_random(
+        &self,
+        query: &GroupQuery,
+        k: usize,
+        seed: u64,
+    ) -> Result<TravelPackage, GroupTravelError> {
+        self.builder().build_random(query, k, seed)
+    }
+
+    /// Measures the optimization dimensions of a package for a profile.
+    #[must_use]
+    pub fn measure(
+        &self,
+        package: &TravelPackage,
+        profile: &GroupProfile,
+    ) -> OptimizationDimensions {
+        OptimizationDimensions::measure(
+            package,
+            &self.catalog,
+            &self.vectorizer,
+            profile,
+            self.metric,
+        )
+    }
+
+    /// The system's recommendation for `REPLACE(poi, CI)`: the geographically
+    /// closest POI of the same category that is not already in the composite
+    /// item.
+    #[must_use]
+    pub fn suggest_replacement(
+        &self,
+        package: &TravelPackage,
+        ci_index: usize,
+        poi: PoiId,
+    ) -> Option<&Poi> {
+        let ci = package.get(ci_index)?;
+        let current = self.catalog.get(poi)?;
+        let mut exclude: Vec<PoiId> = ci.poi_ids().to_vec();
+        if !exclude.contains(&poi) {
+            exclude.push(poi);
+        }
+        self.catalog.nearest_in_category(
+            &current.location,
+            current.category,
+            self.metric,
+            &exclude,
+        )
+    }
+
+    /// Candidate POIs for `ADD`: the `k` closest POIs of `category` to the
+    /// composite item's centroid, optionally filtered by type, excluding POIs
+    /// already in the CI (§3.3's "closest items to CI satisfying the user
+    /// filter").
+    #[must_use]
+    pub fn add_candidates(
+        &self,
+        package: &TravelPackage,
+        ci_index: usize,
+        category: Category,
+        type_filter: Option<&str>,
+        k: usize,
+    ) -> Vec<&Poi> {
+        let Some(ci) = package.get(ci_index) else {
+            return Vec::new();
+        };
+        let Some(centroid) = ci.centroid(&self.catalog) else {
+            return Vec::new();
+        };
+        let exclude: Vec<PoiId> = ci.poi_ids().to_vec();
+        let mut candidates =
+            self.catalog
+                .k_nearest_in_category(&centroid, category, self.catalog.len(), self.metric, &exclude);
+        if let Some(filter) = type_filter {
+            candidates.retain(|p| p.poi_type == filter);
+        }
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Applies one customization operation to `package`, returning the log of
+    /// POIs that entered and left the package (the implicit feedback used for
+    /// refinement).
+    ///
+    /// `GENERATE` assembles a new valid, cohesive composite item centred in
+    /// the rectangle, using the group profile for personalization.
+    pub fn apply(
+        &self,
+        package: &mut TravelPackage,
+        op: &CustomizationOp,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        weights: &ObjectiveWeights,
+    ) -> Result<InteractionLog, GroupTravelError> {
+        let mut log = InteractionLog::new();
+        match op {
+            CustomizationOp::Remove { ci_index, poi } => {
+                let ci = package.get_mut(*ci_index).ok_or_else(|| {
+                    GroupTravelError::InvalidOperation(format!(
+                        "composite item {ci_index} does not exist"
+                    ))
+                })?;
+                if !ci.remove(*poi) {
+                    return Err(GroupTravelError::InvalidOperation(format!(
+                        "{poi} is not part of composite item {ci_index}"
+                    )));
+                }
+                log.record_remove(*poi);
+            }
+            CustomizationOp::Add { ci_index, poi } => {
+                if self.catalog.get(*poi).is_none() {
+                    return Err(GroupTravelError::InvalidOperation(format!(
+                        "{poi} does not exist in the catalog"
+                    )));
+                }
+                let ci = package.get_mut(*ci_index).ok_or_else(|| {
+                    GroupTravelError::InvalidOperation(format!(
+                        "composite item {ci_index} does not exist"
+                    ))
+                })?;
+                if ci.add(*poi) {
+                    log.record_add(*poi);
+                }
+            }
+            CustomizationOp::Replace { ci_index, poi } => {
+                let replacement = self
+                    .suggest_replacement(package, *ci_index, *poi)
+                    .map(|p| p.id)
+                    .ok_or_else(|| {
+                        GroupTravelError::InvalidOperation(format!(
+                            "no replacement available for {poi} in composite item {ci_index}"
+                        ))
+                    })?;
+                let ci = package.get_mut(*ci_index).ok_or_else(|| {
+                    GroupTravelError::InvalidOperation(format!(
+                        "composite item {ci_index} does not exist"
+                    ))
+                })?;
+                if !ci.replace(*poi, replacement) {
+                    return Err(GroupTravelError::InvalidOperation(format!(
+                        "{poi} is not part of composite item {ci_index}"
+                    )));
+                }
+                log.record_remove(*poi);
+                log.record_add(replacement);
+            }
+            CustomizationOp::Generate { rectangle } => {
+                let normalizer = self.catalog.distance_normalizer(self.metric);
+                let ci = self.builder().assemble_ci(
+                    rectangle.center(),
+                    profile,
+                    query,
+                    &weights.sanitized(),
+                    &normalizer,
+                );
+                if ci.is_empty() {
+                    return Err(GroupTravelError::InvalidOperation(
+                        "the rectangle produced an empty composite item".to_string(),
+                    ));
+                }
+                for &id in ci.poi_ids() {
+                    log.record_add(id);
+                }
+                package.push(ci);
+            }
+            CustomizationOp::DeleteCi { ci_index } => {
+                let removed: CompositeItem = package.remove(*ci_index).ok_or_else(|| {
+                    GroupTravelError::InvalidOperation(format!(
+                        "composite item {ci_index} does not exist"
+                    ))
+                })?;
+                for &id in removed.poi_ids() {
+                    log.record_remove(id);
+                }
+            }
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+    use grouptravel_geo::Rectangle;
+    use grouptravel_profile::{
+        ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity,
+    };
+
+    struct Fixture {
+        session: GroupTravelSession,
+        profile: GroupProfile,
+        query: GroupQuery,
+        package: TravelPackage,
+    }
+
+    fn fixture() -> Fixture {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(71))
+                .generate();
+        let session = GroupTravelSession::new(
+            catalog,
+            SessionConfig {
+                lda: LdaConfig {
+                    iterations: 40,
+                    ..LdaConfig::default()
+                },
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let mut gen = SyntheticGroupGenerator::new(session.profile_schema(), 5);
+        let profile = gen
+            .group(GroupSize::Small, Uniformity::Uniform)
+            .profile(ConsensusMethod::pairwise_disagreement());
+        let query = GroupQuery::paper_default();
+        let package = session
+            .build_package(&profile, &query, &BuildConfig::default())
+            .unwrap();
+        Fixture {
+            session,
+            profile,
+            query,
+            package,
+        }
+    }
+
+    #[test]
+    fn session_creation_fails_on_an_empty_catalog() {
+        let err =
+            GroupTravelSession::new(PoiCatalog::new("Empty", vec![]), SessionConfig::default())
+                .unwrap_err();
+        assert_eq!(err, GroupTravelError::EmptyCatalog);
+    }
+
+    #[test]
+    fn end_to_end_build_and_measure() {
+        let f = fixture();
+        assert_eq!(f.package.len(), 5);
+        assert!(f.package.is_valid(f.session.catalog(), &f.query));
+        let dims = f.session.measure(&f.package, &f.profile);
+        assert!(dims.representativity > 0.0);
+        assert!(dims.personalization > 0.0);
+    }
+
+    #[test]
+    fn remove_and_add_round_trip() {
+        let mut f = fixture();
+        let victim = f.package.get(0).unwrap().poi_ids()[0];
+        let weights = ObjectiveWeights::default();
+        let log = f
+            .session
+            .apply(
+                &mut f.package,
+                &CustomizationOp::Remove { ci_index: 0, poi: victim },
+                &f.profile,
+                &f.query,
+                &weights,
+            )
+            .unwrap();
+        assert_eq!(log.removed, vec![victim]);
+        assert!(!f.package.get(0).unwrap().contains(victim));
+
+        let log = f
+            .session
+            .apply(
+                &mut f.package,
+                &CustomizationOp::Add { ci_index: 0, poi: victim },
+                &f.profile,
+                &f.query,
+                &weights,
+            )
+            .unwrap();
+        assert_eq!(log.added, vec![victim]);
+        assert!(f.package.get(0).unwrap().contains(victim));
+    }
+
+    #[test]
+    fn replace_swaps_in_a_same_category_neighbour() {
+        let mut f = fixture();
+        let victim = f.package.get(0).unwrap().poi_ids()[0];
+        let victim_category = f.session.catalog().get(victim).unwrap().category;
+        let weights = ObjectiveWeights::default();
+        let log = f
+            .session
+            .apply(
+                &mut f.package,
+                &CustomizationOp::Replace { ci_index: 0, poi: victim },
+                &f.profile,
+                &f.query,
+                &weights,
+            )
+            .unwrap();
+        assert_eq!(log.removed, vec![victim]);
+        assert_eq!(log.added.len(), 1);
+        let replacement = log.added[0];
+        assert_ne!(replacement, victim);
+        assert_eq!(
+            f.session.catalog().get(replacement).unwrap().category,
+            victim_category
+        );
+        assert!(f.package.get(0).unwrap().contains(replacement));
+    }
+
+    #[test]
+    fn generate_adds_a_valid_cohesive_ci_inside_the_rectangle_area() {
+        let mut f = fixture();
+        let bbox = f.session.catalog().bounding_box().unwrap();
+        let rect = Rectangle::new(
+            bbox.min_lon,
+            bbox.max_lat,
+            bbox.lon_span(),
+            bbox.lat_span(),
+        );
+        let weights = ObjectiveWeights::default();
+        let before = f.package.len();
+        let log = f
+            .session
+            .apply(
+                &mut f.package,
+                &CustomizationOp::Generate { rectangle: rect },
+                &f.profile,
+                &f.query,
+                &weights,
+            )
+            .unwrap();
+        assert_eq!(f.package.len(), before + 1);
+        let new_ci = f.package.get(before).unwrap();
+        assert!(new_ci.is_valid(f.session.catalog(), &f.query));
+        assert_eq!(log.added.len(), new_ci.len());
+    }
+
+    #[test]
+    fn delete_ci_logs_every_removed_poi() {
+        let mut f = fixture();
+        let doomed: Vec<PoiId> = f.package.get(2).unwrap().poi_ids().to_vec();
+        let weights = ObjectiveWeights::default();
+        let log = f
+            .session
+            .apply(
+                &mut f.package,
+                &CustomizationOp::DeleteCi { ci_index: 2 },
+                &f.profile,
+                &f.query,
+                &weights,
+            )
+            .unwrap();
+        assert_eq!(log.removed, doomed);
+        assert_eq!(f.package.len(), 4);
+    }
+
+    #[test]
+    fn invalid_operations_are_rejected() {
+        let mut f = fixture();
+        let weights = ObjectiveWeights::default();
+        let bad_ci = f.session.apply(
+            &mut f.package,
+            &CustomizationOp::Remove { ci_index: 99, poi: PoiId(1) },
+            &f.profile,
+            &f.query,
+            &weights,
+        );
+        assert!(matches!(bad_ci, Err(GroupTravelError::InvalidOperation(_))));
+        let bad_poi = f.session.apply(
+            &mut f.package,
+            &CustomizationOp::Add { ci_index: 0, poi: PoiId(123_456) },
+            &f.profile,
+            &f.query,
+            &weights,
+        );
+        assert!(matches!(bad_poi, Err(GroupTravelError::InvalidOperation(_))));
+        let not_in_ci = f.session.apply(
+            &mut f.package,
+            &CustomizationOp::Remove { ci_index: 0, poi: PoiId(123_456) },
+            &f.profile,
+            &f.query,
+            &weights,
+        );
+        assert!(matches!(not_in_ci, Err(GroupTravelError::InvalidOperation(_))));
+    }
+
+    #[test]
+    fn add_candidates_respect_category_filter_and_exclusion() {
+        let f = fixture();
+        let candidates =
+            f.session
+                .add_candidates(&f.package, 0, Category::Attraction, None, 5);
+        assert!(!candidates.is_empty());
+        assert!(candidates.len() <= 5);
+        let ci = f.package.get(0).unwrap();
+        for c in &candidates {
+            assert_eq!(c.category, Category::Attraction);
+            assert!(!ci.contains(c.id));
+        }
+        // Type filter keeps only matching types.
+        let filter_type = candidates[0].poi_type.clone();
+        let filtered = f.session.add_candidates(
+            &f.package,
+            0,
+            Category::Attraction,
+            Some(&filter_type),
+            5,
+        );
+        assert!(filtered.iter().all(|p| p.poi_type == filter_type));
+        // Out-of-range CI index yields nothing.
+        assert!(f
+            .session
+            .add_candidates(&f.package, 42, Category::Attraction, None, 5)
+            .is_empty());
+    }
+
+    #[test]
+    fn suggest_replacement_is_the_nearest_same_category_poi() {
+        let f = fixture();
+        let victim = f.package.get(0).unwrap().poi_ids()[0];
+        let victim_poi = f.session.catalog().get(victim).unwrap();
+        let suggestion = f
+            .session
+            .suggest_replacement(&f.package, 0, victim)
+            .unwrap();
+        assert_eq!(suggestion.category, victim_poi.category);
+        assert_ne!(suggestion.id, victim);
+        assert!(!f.package.get(0).unwrap().contains(suggestion.id));
+    }
+}

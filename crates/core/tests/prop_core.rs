@@ -1,0 +1,132 @@
+//! Property-based tests for the core data structures: queries, composite
+//! items, packages and the interaction bookkeeping. These are pure
+//! data-structure invariants, so they run without building catalogs or topic
+//! models.
+
+use grouptravel::{CompositeItem, GroupQuery, InteractionLog, ObjectiveWeights, TravelPackage};
+use grouptravel_dataset::sample::table1_pois;
+use grouptravel_dataset::{Category, PoiCatalog, PoiId};
+use proptest::prelude::*;
+
+fn small_ids() -> impl Strategy<Value = Vec<PoiId>> {
+    prop::collection::vec((1u64..20).prop_map(PoiId), 0..15)
+}
+
+proptest! {
+    #[test]
+    fn composite_items_never_hold_duplicates(ids in small_ids(), extra in 1u64..20) {
+        let mut ci = CompositeItem::new(ids.clone());
+        let mut unique = ids.clone();
+        unique.dedup_by(|a, b| a == b); // adjacent only; real check below
+        // No duplicates regardless of the input order.
+        let mut seen = std::collections::HashSet::new();
+        for id in ci.poi_ids() {
+            prop_assert!(seen.insert(*id), "duplicate {id} survived");
+        }
+        // add is idempotent.
+        let extra = PoiId(extra);
+        ci.add(extra);
+        let len_after_first = ci.len();
+        ci.add(extra);
+        prop_assert_eq!(ci.len(), len_after_first);
+        // remove really removes.
+        ci.remove(extra);
+        prop_assert!(!ci.contains(extra));
+    }
+
+    #[test]
+    fn replace_preserves_the_item_count_or_shrinks_by_one(ids in small_ids(), new_id in 100u64..120) {
+        prop_assume!(!ids.is_empty());
+        let mut ci = CompositeItem::new(ids.clone());
+        let before = ci.len();
+        let old = ci.poi_ids()[0];
+        let replaced = ci.replace(old, PoiId(new_id));
+        prop_assert!(replaced);
+        prop_assert!(ci.len() == before || ci.len() == before - 1);
+        prop_assert!(!ci.contains(old) || old == PoiId(new_id));
+        prop_assert!(ci.contains(PoiId(new_id)));
+    }
+
+    #[test]
+    fn query_budget_acceptance_is_monotone(counts in prop::collection::vec(0usize..4, 4), budget in 0.0f64..100.0, cost in 0.0f64..200.0) {
+        let query = GroupQuery::new([counts[0], counts[1], counts[2], counts[3]], Some(budget));
+        if query.within_budget(cost) {
+            // Any cheaper total is also within budget.
+            prop_assert!(query.within_budget(cost * 0.5));
+        }
+        // The unlimited query accepts everything.
+        let unlimited = GroupQuery::new([1, 1, 1, 1], None);
+        prop_assert!(unlimited.within_budget(cost * 1e6));
+        prop_assert_eq!(query.total_pois(), counts.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn package_distinct_ids_are_a_subset_of_all_ids(groups in prop::collection::vec(small_ids(), 0..6)) {
+        let package = TravelPackage::new(groups.iter().cloned().map(CompositeItem::new).collect());
+        let all = package.all_poi_ids();
+        let distinct = package.distinct_poi_ids();
+        prop_assert!(distinct.len() <= all.len());
+        for id in &distinct {
+            prop_assert!(all.contains(id));
+        }
+        // distinct ids are sorted and unique.
+        let mut sorted = distinct.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted, distinct);
+    }
+
+    #[test]
+    fn validity_against_table1_requires_exact_counts(take in prop::collection::vec(any::<bool>(), 4)) {
+        let catalog = PoiCatalog::new("Paris", table1_pois());
+        let ids: Vec<PoiId> = table1_pois()
+            .iter()
+            .zip(&take)
+            .filter(|(_, &t)| t)
+            .map(|(p, _)| p.id)
+            .collect();
+        let ci = CompositeItem::new(ids.clone());
+        let query = GroupQuery::new([1, 1, 1, 1], None);
+        let expected_valid = take.iter().all(|&t| t);
+        prop_assert_eq!(ci.is_valid(&catalog, &query), expected_valid);
+        // Category counts always sum to the number of resolved POIs.
+        let counts = ci.category_counts(&catalog);
+        prop_assert_eq!(counts.iter().sum::<usize>(), ids.len());
+        for cat in Category::ALL {
+            prop_assert!(counts[cat.index()] <= 1);
+        }
+    }
+
+    #[test]
+    fn interaction_log_merge_is_associative_in_size(
+        a_adds in prop::collection::vec(1u64..50, 0..10),
+        b_removes in prop::collection::vec(1u64..50, 0..10),
+    ) {
+        let mut a = InteractionLog::new();
+        for id in &a_adds {
+            a.record_add(PoiId(*id));
+        }
+        let mut b = InteractionLog::new();
+        for id in &b_removes {
+            b.record_remove(PoiId(*id));
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        prop_assert_eq!(merged.added.len(), a_adds.len());
+        prop_assert_eq!(merged.removed.len(), b_removes.len());
+    }
+
+    #[test]
+    fn objective_weights_sanitize_into_valid_ranges(alpha in -2.0f64..3.0, beta in -2.0f64..3.0, gamma in -2.0f64..3.0, fuzz in -1.0f64..5.0) {
+        let w = ObjectiveWeights { alpha, beta, gamma, fuzzifier: fuzz }.sanitized();
+        prop_assert!((0.0..=1.0).contains(&w.alpha));
+        prop_assert!((0.0..=1.0).contains(&w.beta));
+        prop_assert!((0.0..=1.0).contains(&w.gamma));
+        prop_assert!(w.fuzzifier > 1.0);
+        // The item score is monotone in both inputs for sanitized weights.
+        let low = w.item_score(0.2, 0.2);
+        let high = w.item_score(0.8, 0.8);
+        prop_assert!(high >= low - 1e-12);
+    }
+}

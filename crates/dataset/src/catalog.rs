@@ -1,0 +1,344 @@
+//! Indexed, queryable POI collections.
+//!
+//! The package builder and the customization operators repeatedly need to
+//! answer questions such as "all restaurants", "the nearest attraction to
+//! this point", "every POI inside this rectangle of the map", or "the maximum
+//! pairwise distance in the city" (used to normalize distances in Eq. 1).
+//! [`PoiCatalog`] pre-indexes POIs by category and id to keep those queries
+//! cheap without pulling in a spatial-index dependency — city-scale catalogs
+//! are a few hundred to a few thousand POIs, for which linear scans over a
+//! per-category index are more than fast enough (and are what we benchmark).
+
+use crate::category::Category;
+use crate::poi::{Poi, PoiId};
+use grouptravel_geo::{BoundingBox, DistanceMetric, DistanceNormalizer, GeoPoint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An immutable collection of POIs for one city, indexed by category and id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PoiCatalog {
+    city: String,
+    pois: Vec<Poi>,
+    #[serde(skip)]
+    by_category: HashMap<Category, Vec<usize>>,
+    #[serde(skip)]
+    by_id: HashMap<PoiId, usize>,
+}
+
+impl PartialEq for PoiCatalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.city == other.city && self.pois == other.pois
+    }
+}
+
+impl PoiCatalog {
+    /// Builds a catalog from a list of POIs. Duplicate ids keep the first
+    /// occurrence in the id index (later duplicates remain iterable).
+    #[must_use]
+    pub fn new(city: impl Into<String>, pois: Vec<Poi>) -> Self {
+        let mut catalog = Self {
+            city: city.into(),
+            pois,
+            by_category: HashMap::new(),
+            by_id: HashMap::new(),
+        };
+        catalog.rebuild_indexes();
+        catalog
+    }
+
+    /// Rebuilds the internal indexes; called after deserialization.
+    pub fn rebuild_indexes(&mut self) {
+        self.by_category.clear();
+        self.by_id.clear();
+        for (idx, poi) in self.pois.iter().enumerate() {
+            self.by_category.entry(poi.category).or_default().push(idx);
+            self.by_id.entry(poi.id).or_insert(idx);
+        }
+    }
+
+    /// The city name.
+    #[must_use]
+    pub fn city(&self) -> &str {
+        &self.city
+    }
+
+    /// Number of POIs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pois.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pois.is_empty()
+    }
+
+    /// All POIs in insertion order.
+    #[must_use]
+    pub fn pois(&self) -> &[Poi] {
+        &self.pois
+    }
+
+    /// The POI with the given id, if any.
+    #[must_use]
+    pub fn get(&self, id: PoiId) -> Option<&Poi> {
+        self.by_id.get(&id).map(|&idx| &self.pois[idx])
+    }
+
+    /// All POIs of a category.
+    #[must_use]
+    pub fn by_category(&self, category: Category) -> Vec<&Poi> {
+        self.by_category
+            .get(&category)
+            .map(|idxs| idxs.iter().map(|&i| &self.pois[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of POIs of a category.
+    #[must_use]
+    pub fn count_category(&self, category: Category) -> usize {
+        self.by_category.get(&category).map_or(0, Vec::len)
+    }
+
+    /// POIs of a category with a given type.
+    #[must_use]
+    pub fn by_category_and_type(&self, category: Category, poi_type: &str) -> Vec<&Poi> {
+        self.by_category(category)
+            .into_iter()
+            .filter(|p| p.poi_type == poi_type)
+            .collect()
+    }
+
+    /// All POIs inside a bounding box.
+    #[must_use]
+    pub fn within(&self, bbox: &BoundingBox) -> Vec<&Poi> {
+        self.pois
+            .iter()
+            .filter(|p| bbox.contains(&p.location))
+            .collect()
+    }
+
+    /// All POIs of a category inside a bounding box.
+    #[must_use]
+    pub fn within_category(&self, bbox: &BoundingBox, category: Category) -> Vec<&Poi> {
+        self.by_category(category)
+            .into_iter()
+            .filter(|p| bbox.contains(&p.location))
+            .collect()
+    }
+
+    /// The POI of `category` nearest to `point`, excluding ids in `exclude`.
+    #[must_use]
+    pub fn nearest_in_category(
+        &self,
+        point: &GeoPoint,
+        category: Category,
+        metric: DistanceMetric,
+        exclude: &[PoiId],
+    ) -> Option<&Poi> {
+        self.by_category(category)
+            .into_iter()
+            .filter(|p| !exclude.contains(&p.id))
+            .min_by(|a, b| {
+                let da = metric.distance_km(point, &a.location);
+                let db = metric.distance_km(point, &b.location);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// The `k` POIs of `category` nearest to `point`, sorted by distance,
+    /// excluding ids in `exclude`.
+    #[must_use]
+    pub fn k_nearest_in_category(
+        &self,
+        point: &GeoPoint,
+        category: Category,
+        k: usize,
+        metric: DistanceMetric,
+        exclude: &[PoiId],
+    ) -> Vec<&Poi> {
+        let mut candidates: Vec<(&Poi, f64)> = self
+            .by_category(category)
+            .into_iter()
+            .filter(|p| !exclude.contains(&p.id))
+            .map(|p| (p, metric.distance_km(point, &p.location)))
+            .collect();
+        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.into_iter().take(k).map(|(p, _)| p).collect()
+    }
+
+    /// The bounding box of all POIs, if the catalog is non-empty.
+    #[must_use]
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        let points: Vec<GeoPoint> = self.pois.iter().map(|p| p.location).collect();
+        BoundingBox::from_points(&points)
+    }
+
+    /// Builds the distance normalizer the objective function uses: distances
+    /// are divided by the largest observed pairwise distance in the catalog.
+    ///
+    /// To keep this O(n) instead of O(n²) for large catalogs, the maximum is
+    /// taken over the bounding-box diagonal, which by construction is an
+    /// upper bound within a small constant of the true maximum pairwise
+    /// distance and preserves the `[0, 1]` guarantee.
+    #[must_use]
+    pub fn distance_normalizer(&self, metric: DistanceMetric) -> DistanceNormalizer {
+        match self.bounding_box() {
+            Some(bbox) => {
+                let corner_a = GeoPoint::new_unchecked(bbox.min_lat, bbox.min_lon);
+                let corner_b = GeoPoint::new_unchecked(bbox.max_lat, bbox.max_lon);
+                DistanceNormalizer::with_scale(metric.distance_km(&corner_a, &corner_b), metric)
+            }
+            None => DistanceNormalizer::with_scale(1.0, metric),
+        }
+    }
+
+    /// All locations (used by clustering).
+    #[must_use]
+    pub fn locations(&self) -> Vec<GeoPoint> {
+        self.pois.iter().map(|p| p.location).collect()
+    }
+
+    /// All distinct types present for a category, sorted.
+    #[must_use]
+    pub fn types_in_category(&self, category: Category) -> Vec<String> {
+        let mut types: Vec<String> = self
+            .by_category(category)
+            .into_iter()
+            .map(|p| p.poi_type.clone())
+            .collect();
+        types.sort();
+        types.dedup();
+        types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::table1_pois;
+
+    fn catalog() -> PoiCatalog {
+        PoiCatalog::new("Paris", table1_pois())
+    }
+
+    #[test]
+    fn len_and_city() {
+        let c = catalog();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.city(), "Paris");
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn get_by_id() {
+        let c = catalog();
+        assert_eq!(c.get(PoiId(1)).unwrap().name, "Le Burgundy");
+        assert!(c.get(PoiId(99)).is_none());
+    }
+
+    #[test]
+    fn by_category_partitions_the_catalog() {
+        let c = catalog();
+        let total: usize = Category::ALL
+            .iter()
+            .map(|cat| c.by_category(*cat).len())
+            .sum();
+        assert_eq!(total, c.len());
+        assert_eq!(c.count_category(Category::Restaurant), 1);
+    }
+
+    #[test]
+    fn by_category_and_type_filters() {
+        let c = catalog();
+        let hotels = c.by_category_and_type(Category::Accommodation, "hotel");
+        assert_eq!(hotels.len(), 1);
+        assert!(c
+            .by_category_and_type(Category::Accommodation, "hostel")
+            .is_empty());
+    }
+
+    #[test]
+    fn within_bbox() {
+        let c = catalog();
+        let bbox = BoundingBox::new(48.86, 48.87, 2.32, 2.34);
+        let inside = c.within(&bbox);
+        assert!(inside.iter().any(|p| p.name == "Le Burgundy"));
+        assert!(inside.iter().all(|p| bbox.contains(&p.location)));
+    }
+
+    #[test]
+    fn nearest_in_category_respects_exclusions() {
+        let c = catalog();
+        let origin = GeoPoint::new_unchecked(48.8679, 2.3256);
+        let nearest = c
+            .nearest_in_category(&origin, Category::Accommodation, DistanceMetric::Haversine, &[])
+            .unwrap();
+        assert_eq!(nearest.id, PoiId(1));
+        let nearest_excluding = c.nearest_in_category(
+            &origin,
+            Category::Accommodation,
+            DistanceMetric::Haversine,
+            &[PoiId(1)],
+        );
+        assert!(nearest_excluding.is_none());
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_by_distance() {
+        let c = catalog();
+        let origin = GeoPoint::new_unchecked(48.8679, 2.3256);
+        let all = c.k_nearest_in_category(&origin, Category::Attraction, 10, DistanceMetric::Haversine, &[]);
+        assert_eq!(all.len(), 1);
+        let none = c.k_nearest_in_category(&origin, Category::Attraction, 0, DistanceMetric::Haversine, &[]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_pois() {
+        let c = catalog();
+        let bbox = c.bounding_box().unwrap();
+        for p in c.pois() {
+            assert!(bbox.contains(&p.location));
+        }
+        let empty = PoiCatalog::new("Empty", vec![]);
+        assert!(empty.bounding_box().is_none());
+    }
+
+    #[test]
+    fn distance_normalizer_scale_bounds_all_pairs() {
+        let c = catalog();
+        let norm = c.distance_normalizer(DistanceMetric::Equirectangular);
+        for a in c.pois() {
+            for b in c.pois() {
+                assert!(norm.normalized(&a.location, &b.location) <= 1.0);
+            }
+        }
+        let empty = PoiCatalog::new("Empty", vec![]);
+        assert_eq!(
+            empty
+                .distance_normalizer(DistanceMetric::Equirectangular)
+                .scale_km(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn types_in_category_are_sorted_and_unique() {
+        let c = catalog();
+        let types = c.types_in_category(Category::Accommodation);
+        assert_eq!(types, vec!["hotel".to_string()]);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_indexes() {
+        let c = catalog();
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: PoiCatalog = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(back, c);
+        assert_eq!(back.get(PoiId(3)).unwrap().name, c.get(PoiId(3)).unwrap().name);
+    }
+}

@@ -1,0 +1,252 @@
+//! POI categories and per-category type vocabularies.
+//!
+//! TourPedia divides POIs into four categories (§2.1): accommodation,
+//! transportation, restaurant and attraction. For accommodation and
+//! transportation the *types* are "well-defined" (hotel, hostel, …; tram
+//! station, bike rental, …) and item vectors are one-hot over the type
+//! vocabulary; for restaurants and attractions types come from LDA topics
+//! over tags.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four POI categories used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// Accommodation (`acco`): hotels, hostels, …
+    Accommodation,
+    /// Transportation (`trans`): tram stations, bike rentals, …
+    Transportation,
+    /// Restaurant (`rest`).
+    Restaurant,
+    /// Attraction (`attr`): museums, parks, monuments, …
+    Attraction,
+}
+
+impl Category {
+    /// All categories in the paper's canonical order.
+    pub const ALL: [Category; 4] = [
+        Category::Accommodation,
+        Category::Transportation,
+        Category::Restaurant,
+        Category::Attraction,
+    ];
+
+    /// The paper's short name for the category (`acco`, `trans`, `rest`, `attr`).
+    #[must_use]
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Category::Accommodation => "acco",
+            Category::Transportation => "trans",
+            Category::Restaurant => "rest",
+            Category::Attraction => "attr",
+        }
+    }
+
+    /// Parses the paper's short name.
+    #[must_use]
+    pub fn from_short_name(name: &str) -> Option<Self> {
+        match name {
+            "acco" => Some(Category::Accommodation),
+            "trans" => Some(Category::Transportation),
+            "rest" => Some(Category::Restaurant),
+            "attr" => Some(Category::Attraction),
+            _ => None,
+        }
+    }
+
+    /// Index of the category in [`Category::ALL`].
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            Category::Accommodation => 0,
+            Category::Transportation => 1,
+            Category::Restaurant => 2,
+            Category::Attraction => 3,
+        }
+    }
+
+    /// Whether item vectors for this category are one-hot over explicit types
+    /// (accommodation, transportation) rather than LDA topic distributions
+    /// (restaurant, attraction).
+    #[must_use]
+    pub fn has_explicit_types(&self) -> bool {
+        matches!(self, Category::Accommodation | Category::Transportation)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A per-category list of POI types, defining the dimensionality of item
+/// vectors and user-profile vectors for that category.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeVocabulary {
+    category: Category,
+    types: Vec<String>,
+}
+
+impl TypeVocabulary {
+    /// Builds a vocabulary from a list of type names. Duplicates are removed,
+    /// preserving first occurrence order.
+    #[must_use]
+    pub fn new<I, S>(category: Category, types: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut seen = Vec::new();
+        for t in types {
+            let t = t.into();
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        Self {
+            category,
+            types: seen,
+        }
+    }
+
+    /// The default accommodation types used by the synthetic generator,
+    /// mirroring the examples in §2.1–2.2.
+    #[must_use]
+    pub fn default_accommodation() -> Self {
+        Self::new(
+            Category::Accommodation,
+            [
+                "hotel",
+                "hostel",
+                "motel",
+                "resort",
+                "college residence hall",
+                "bed and breakfast",
+            ],
+        )
+    }
+
+    /// The default transportation types.
+    #[must_use]
+    pub fn default_transportation() -> Self {
+        Self::new(
+            Category::Transportation,
+            [
+                "tram station",
+                "train station",
+                "metro station",
+                "bus stop",
+                "car rental",
+                "bike rental",
+            ],
+        )
+    }
+
+    /// The category this vocabulary belongs to.
+    #[must_use]
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// Number of types, i.e. the dimensionality `n` of vectors for this
+    /// category.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The type names in index order.
+    #[must_use]
+    pub fn types(&self) -> &[String] {
+        &self.types
+    }
+
+    /// Index of a type name, if present.
+    #[must_use]
+    pub fn index_of(&self, type_name: &str) -> Option<usize> {
+        self.types.iter().position(|t| t == type_name)
+    }
+
+    /// Type name at `index`.
+    #[must_use]
+    pub fn name_of(&self, index: usize) -> Option<&str> {
+        self.types.get(index).map(String::as_str)
+    }
+
+    /// One-hot vector for `type_name` (all zeros if the type is unknown).
+    #[must_use]
+    pub fn one_hot(&self, type_name: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.types.len()];
+        if let Some(i) = self.index_of(type_name) {
+            v[i] = 1.0;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_names_round_trip() {
+        for cat in Category::ALL {
+            assert_eq!(Category::from_short_name(cat.short_name()), Some(cat));
+        }
+        assert_eq!(Category::from_short_name("bogus"), None);
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, cat) in Category::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+    }
+
+    #[test]
+    fn explicit_types_flag() {
+        assert!(Category::Accommodation.has_explicit_types());
+        assert!(Category::Transportation.has_explicit_types());
+        assert!(!Category::Restaurant.has_explicit_types());
+        assert!(!Category::Attraction.has_explicit_types());
+    }
+
+    #[test]
+    fn display_uses_short_name() {
+        assert_eq!(Category::Attraction.to_string(), "attr");
+    }
+
+    #[test]
+    fn vocabulary_deduplicates_preserving_order() {
+        let v = TypeVocabulary::new(Category::Accommodation, ["hotel", "hostel", "hotel"]);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.name_of(0), Some("hotel"));
+        assert_eq!(v.name_of(1), Some("hostel"));
+    }
+
+    #[test]
+    fn vocabulary_lookup_and_one_hot() {
+        let v = TypeVocabulary::default_transportation();
+        let idx = v.index_of("bike rental").unwrap();
+        let oh = v.one_hot("bike rental");
+        assert_eq!(oh.len(), v.len());
+        assert_eq!(oh[idx], 1.0);
+        assert_eq!(oh.iter().sum::<f64>(), 1.0);
+        assert!(v.one_hot("spaceship").iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn default_vocabularies_are_non_trivial() {
+        assert!(TypeVocabulary::default_accommodation().len() >= 4);
+        assert!(TypeVocabulary::default_transportation().len() >= 4);
+        assert!(!TypeVocabulary::default_accommodation().is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! City specifications for the synthetic generator.
+//!
+//! TourPedia covers eight cities; the paper's experiments use Paris (build
+//! and refine the travel package) and Barcelona (test the refined profile in
+//! a comparable city). Each [`CitySpec`] carries a bounding box and a set of
+//! [`Neighborhood`] clusters around which POIs are concentrated — tourists'
+//! POIs are not spread uniformly over a city, and the clustering behaviour of
+//! KFC only becomes interesting when the data has spatial structure.
+
+use grouptravel_geo::{BoundingBox, GeoPoint};
+use serde::{Deserialize, Serialize};
+
+/// A named Gaussian cluster of POIs inside a city.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Neighborhood {
+    /// Name of the neighborhood (for display and debugging).
+    pub name: String,
+    /// Cluster centre.
+    pub center: GeoPoint,
+    /// Standard deviation of POI positions around the centre, in degrees.
+    pub spread_deg: f64,
+    /// Relative weight: how many POIs land in this neighborhood compared to
+    /// the others.
+    pub weight: f64,
+}
+
+impl Neighborhood {
+    /// Creates a neighborhood.
+    #[must_use]
+    pub fn new(name: impl Into<String>, center: GeoPoint, spread_deg: f64, weight: f64) -> Self {
+        Self {
+            name: name.into(),
+            center,
+            spread_deg: spread_deg.max(0.0),
+            weight: weight.max(0.0),
+        }
+    }
+}
+
+/// A city: its name, bounding box, and neighborhood structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CitySpec {
+    /// City name, e.g. "Paris".
+    pub name: String,
+    /// Bounding box POIs must fall inside.
+    pub bbox: BoundingBox,
+    /// Gaussian neighborhood clusters.
+    pub neighborhoods: Vec<Neighborhood>,
+}
+
+impl CitySpec {
+    /// Creates a city spec.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bbox: BoundingBox, neighborhoods: Vec<Neighborhood>) -> Self {
+        Self {
+            name: name.into(),
+            bbox,
+            neighborhoods,
+        }
+    }
+
+    /// Paris: the city used for package construction and customization.
+    #[must_use]
+    pub fn paris() -> Self {
+        let bbox = BoundingBox::new(48.815, 48.905, 2.25, 2.42);
+        let n = |name: &str, lat: f64, lon: f64, spread: f64, weight: f64| {
+            Neighborhood::new(name, GeoPoint::new_unchecked(lat, lon), spread, weight)
+        };
+        Self::new(
+            "Paris",
+            bbox,
+            vec![
+                n("Louvre / Palais Royal", 48.8625, 2.3340, 0.006, 1.5),
+                n("Le Marais", 48.8570, 2.3620, 0.006, 1.2),
+                n("Montmartre", 48.8860, 2.3400, 0.007, 1.0),
+                n("Quartier Latin", 48.8480, 2.3450, 0.006, 1.1),
+                n("Invalides / Tour Eiffel", 48.8570, 2.3000, 0.008, 1.3),
+                n("Champs-Élysées", 48.8700, 2.3070, 0.007, 1.0),
+                n("Bastille", 48.8530, 2.3700, 0.006, 0.8),
+                n("Montparnasse", 48.8420, 2.3220, 0.006, 0.7),
+            ],
+        )
+    }
+
+    /// Barcelona: the "comparable city" used to test the robustness of the
+    /// refined group profile (§4.4.4).
+    #[must_use]
+    pub fn barcelona() -> Self {
+        let bbox = BoundingBox::new(41.35, 41.45, 2.10, 2.23);
+        let n = |name: &str, lat: f64, lon: f64, spread: f64, weight: f64| {
+            Neighborhood::new(name, GeoPoint::new_unchecked(lat, lon), spread, weight)
+        };
+        Self::new(
+            "Barcelona",
+            bbox,
+            vec![
+                n("Barri Gòtic", 41.3830, 2.1760, 0.005, 1.4),
+                n("Eixample / Sagrada Família", 41.4036, 2.1744, 0.007, 1.3),
+                n("Gràcia", 41.4030, 2.1560, 0.006, 0.9),
+                n("Barceloneta", 41.3790, 2.1900, 0.005, 0.8),
+                n("Montjuïc", 41.3640, 2.1580, 0.008, 0.7),
+                n("El Born", 41.3850, 2.1830, 0.005, 1.0),
+            ],
+        )
+    }
+
+    /// The remaining six TourPedia cities, with coarser neighborhood
+    /// structure. Together with Paris and Barcelona this covers the eight
+    /// cities the dataset advertises.
+    #[must_use]
+    pub fn other_tourpedia_cities() -> Vec<Self> {
+        let n = |name: &str, lat: f64, lon: f64, spread: f64, weight: f64| {
+            Neighborhood::new(name, GeoPoint::new_unchecked(lat, lon), spread, weight)
+        };
+        vec![
+            Self::new(
+                "Amsterdam",
+                BoundingBox::new(52.33, 52.40, 4.83, 4.95),
+                vec![
+                    n("Centrum", 52.3730, 4.8920, 0.006, 1.4),
+                    n("Jordaan", 52.3740, 4.8800, 0.005, 1.0),
+                    n("Museumkwartier", 52.3580, 4.8810, 0.005, 1.1),
+                ],
+            ),
+            Self::new(
+                "Berlin",
+                BoundingBox::new(52.47, 52.56, 13.28, 13.48),
+                vec![
+                    n("Mitte", 52.5200, 13.4050, 0.008, 1.4),
+                    n("Kreuzberg", 52.4990, 13.4030, 0.007, 1.0),
+                    n("Charlottenburg", 52.5160, 13.3040, 0.007, 0.9),
+                ],
+            ),
+            Self::new(
+                "Dubai",
+                BoundingBox::new(25.05, 25.28, 55.10, 55.40),
+                vec![
+                    n("Downtown", 25.1972, 55.2744, 0.010, 1.4),
+                    n("Marina", 25.0800, 55.1400, 0.009, 1.1),
+                    n("Deira", 25.2700, 55.3100, 0.010, 0.9),
+                ],
+            ),
+            Self::new(
+                "London",
+                BoundingBox::new(51.46, 51.56, -0.22, 0.01),
+                vec![
+                    n("Westminster", 51.5000, -0.1300, 0.008, 1.4),
+                    n("City of London", 51.5155, -0.0922, 0.007, 1.1),
+                    n("South Bank", 51.5050, -0.1150, 0.006, 1.0),
+                    n("Camden", 51.5390, -0.1420, 0.007, 0.8),
+                ],
+            ),
+            Self::new(
+                "Rome",
+                BoundingBox::new(41.85, 41.93, 12.44, 12.55),
+                vec![
+                    n("Centro Storico", 41.8990, 12.4770, 0.006, 1.5),
+                    n("Vaticano", 41.9022, 12.4539, 0.005, 1.1),
+                    n("Trastevere", 41.8880, 12.4700, 0.005, 0.9),
+                ],
+            ),
+            Self::new(
+                "Tuscany",
+                BoundingBox::new(43.70, 43.82, 11.18, 11.33),
+                vec![
+                    n("Firenze Duomo", 43.7731, 11.2560, 0.006, 1.4),
+                    n("Oltrarno", 43.7650, 11.2480, 0.005, 1.0),
+                    n("San Marco", 43.7790, 11.2590, 0.005, 0.9),
+                ],
+            ),
+        ]
+    }
+
+    /// All eight TourPedia cities.
+    #[must_use]
+    pub fn all_tourpedia_cities() -> Vec<Self> {
+        let mut cities = vec![Self::paris(), Self::barcelona()];
+        cities.extend(Self::other_tourpedia_cities());
+        cities
+    }
+
+    /// Looks a city up by case-insensitive name among the eight presets.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::all_tourpedia_cities()
+            .into_iter()
+            .find(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Total neighborhood weight (used by the generator for sampling).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.neighborhoods.iter().map(|n| n.weight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eight_cities() {
+        assert_eq!(CitySpec::all_tourpedia_cities().len(), 8);
+    }
+
+    #[test]
+    fn paris_neighborhoods_are_inside_its_bbox() {
+        let paris = CitySpec::paris();
+        for n in &paris.neighborhoods {
+            assert!(
+                paris.bbox.contains(&n.center),
+                "{} is outside the Paris bbox",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_city_has_neighborhoods_inside_its_bbox() {
+        for city in CitySpec::all_tourpedia_cities() {
+            assert!(!city.neighborhoods.is_empty(), "{} has no neighborhoods", city.name);
+            for n in &city.neighborhoods {
+                assert!(
+                    city.bbox.contains(&n.center),
+                    "{} / {} outside bbox",
+                    city.name,
+                    n.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(CitySpec::by_name("paris").unwrap().name, "Paris");
+        assert_eq!(CitySpec::by_name("BARCELONA").unwrap().name, "Barcelona");
+        assert!(CitySpec::by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn total_weight_is_positive() {
+        for city in CitySpec::all_tourpedia_cities() {
+            assert!(city.total_weight() > 0.0);
+        }
+    }
+
+    #[test]
+    fn neighborhood_constructor_clamps_negative_values() {
+        let n = Neighborhood::new("x", GeoPoint::new_unchecked(0.0, 0.0), -1.0, -2.0);
+        assert_eq!(n.spread_deg, 0.0);
+        assert_eq!(n.weight, 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! JSON (de)serialization of catalogs.
+//!
+//! Catalogs are plain JSON documents so that generated cities can be cached
+//! on disk, inspected by hand, or swapped for real TourPedia exports that
+//! have been converted to the same schema.
+
+use crate::catalog::PoiCatalog;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors raised while loading or saving catalogs.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Json(e) => write!(f, "JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Serializes a catalog to a pretty-printed JSON string.
+pub fn to_json(catalog: &PoiCatalog) -> Result<String, IoError> {
+    Ok(serde_json::to_string_pretty(catalog)?)
+}
+
+/// Deserializes a catalog from a JSON string, rebuilding its indexes.
+pub fn from_json(json: &str) -> Result<PoiCatalog, IoError> {
+    let mut catalog: PoiCatalog = serde_json::from_str(json)?;
+    catalog.rebuild_indexes();
+    Ok(catalog)
+}
+
+/// Writes a catalog to `path` as JSON.
+pub fn save(catalog: &PoiCatalog, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, to_json(catalog)?)?;
+    Ok(())
+}
+
+/// Reads a catalog from a JSON file at `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<PoiCatalog, IoError> {
+    let text = fs::read_to_string(path)?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poi::PoiId;
+    use crate::sample::table1_pois;
+
+    #[test]
+    fn json_round_trip_preserves_pois_and_indexes() {
+        let catalog = PoiCatalog::new("Paris", table1_pois());
+        let json = to_json(&catalog).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back, catalog);
+        assert!(back.get(PoiId(2)).is_some());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let catalog = PoiCatalog::new("Paris", table1_pois());
+        let dir = std::env::temp_dir().join("grouptravel-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paris.json");
+        save(&catalog, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, catalog);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = load("/nonexistent/grouptravel/missing.json").unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("I/O error"));
+    }
+}

@@ -1,0 +1,38 @@
+//! POI data model and synthetic city generation for GroupTravel.
+//!
+//! The paper's evaluation runs on the TourPedia dataset (POIs of eight cities)
+//! augmented with Foursquare metadata: per-POI type, user-supplied tags, and a
+//! cost estimated as `log(#checkins)` (§2.1). Neither data source is
+//! available offline, so this crate provides a faithful substitute:
+//!
+//! * [`poi`] — the POI record with exactly the schema of Table 1
+//!   (id, name, category, coordinates, type, tags, cost) plus the raw
+//!   check-in count the cost is derived from.
+//! * [`category`] — the four POI categories and the per-category type
+//!   vocabularies ("hotel", "hostel", …, "tram station", "bike rental", …).
+//! * [`tags`] — tag vocabularies organised by latent theme, so that the LDA
+//!   substrate has genuine structure to recover.
+//! * [`city`] — city specifications (bounding box, neighborhood clusters) for
+//!   the eight TourPedia cities.
+//! * [`synth`] — the deterministic synthetic generator that draws POIs from
+//!   neighborhood clusters and assigns types, tags, check-ins and costs.
+//! * [`catalog`] — an indexed, queryable collection of POIs (by category,
+//!   type, bounding box, nearest-neighbour) used by the package builder and
+//!   the customization operators.
+//! * [`sample`] — the four hand-written Paris POIs of Table 1.
+//! * [`io`] — JSON (de)serialization of catalogs.
+
+pub mod catalog;
+pub mod category;
+pub mod city;
+pub mod io;
+pub mod poi;
+pub mod sample;
+pub mod synth;
+pub mod tags;
+
+pub use catalog::PoiCatalog;
+pub use category::{Category, TypeVocabulary};
+pub use city::{CitySpec, Neighborhood};
+pub use poi::{Poi, PoiId};
+pub use synth::{SyntheticCityConfig, SyntheticCityGenerator};

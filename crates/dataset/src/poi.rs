@@ -1,0 +1,202 @@
+//! The Point-Of-Interest record.
+//!
+//! Mirrors Table 1 of the paper: every POI has an id, a name, a category, a
+//! latitude/longitude pair, a type, a list of tags and a cost. We also keep
+//! the raw Foursquare-style check-in count because the cost is defined as
+//! `log(#checkins)` — the more people check in, the more crowded and hence
+//! the more expensive the POI is assumed to be (§2.1).
+
+use crate::category::Category;
+use grouptravel_geo::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a POI within a catalog.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PoiId(pub u64);
+
+impl fmt::Display for PoiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "poi:{}", self.0)
+    }
+}
+
+/// A Point Of Interest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Unique identifier.
+    pub id: PoiId,
+    /// Human-readable name.
+    pub name: String,
+    /// One of the four categories.
+    pub category: Category,
+    /// Geographic location.
+    pub location: GeoPoint,
+    /// Fine-grained type within the category ("hotel", "bike rental",
+    /// "museum", "french", …).
+    pub poi_type: String,
+    /// Foursquare-style free-text tags.
+    pub tags: Vec<String>,
+    /// Number of check-ins; the cost is derived from this.
+    pub checkins: u64,
+    /// Visiting cost, `log(1 + #checkins)` by default.
+    pub cost: f64,
+}
+
+impl Poi {
+    /// Creates a POI, deriving its cost from the check-in count.
+    #[must_use]
+    pub fn new(
+        id: PoiId,
+        name: impl Into<String>,
+        category: Category,
+        location: GeoPoint,
+        poi_type: impl Into<String>,
+        tags: Vec<String>,
+        checkins: u64,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            category,
+            location,
+            poi_type: poi_type.into(),
+            tags,
+            checkins,
+            cost: cost_from_checkins(checkins),
+        }
+    }
+
+    /// Creates a POI with an explicit cost (used for the hand-written sample
+    /// POIs of Table 1 and for tests).
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn with_cost(
+        id: PoiId,
+        name: impl Into<String>,
+        category: Category,
+        location: GeoPoint,
+        poi_type: impl Into<String>,
+        tags: Vec<String>,
+        checkins: u64,
+        cost: f64,
+    ) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            category,
+            location,
+            poi_type: poi_type.into(),
+            tags,
+            checkins,
+            cost,
+        }
+    }
+
+    /// The tag list joined with spaces, i.e. the "document" handed to LDA.
+    #[must_use]
+    pub fn tag_document(&self) -> String {
+        self.tags.join(" ")
+    }
+
+    /// Whether the POI carries a given tag.
+    #[must_use]
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+impl fmt::Display for Poi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} @ {} (type: {}, cost: {:.2})",
+            self.id, self.category, self.name, self.location, self.poi_type, self.cost
+        )
+    }
+}
+
+/// The paper's cost model: `log(#checkins)`, guarded with `+1` so that POIs
+/// nobody has checked into yet get cost 0 instead of −∞.
+#[must_use]
+pub fn cost_from_checkins(checkins: u64) -> f64 {
+    ((checkins + 1) as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Poi {
+        Poi::new(
+            PoiId(1),
+            "Le Burgundy",
+            Category::Accommodation,
+            GeoPoint::new_unchecked(48.8679, 2.3256),
+            "hotel",
+            vec!["luxury".into(), "suites".into(), "spa".into()],
+            19,
+        )
+    }
+
+    #[test]
+    fn cost_is_log_of_checkins() {
+        let p = sample();
+        assert!((p.cost - (20.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_checkins_cost_is_zero() {
+        assert_eq!(cost_from_checkins(0), 0.0);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_checkins() {
+        let mut prev = f64::NEG_INFINITY;
+        for c in [0u64, 1, 5, 50, 500, 5000] {
+            let cost = cost_from_checkins(c);
+            assert!(cost > prev);
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn with_cost_overrides_the_derived_cost() {
+        let p = Poi::with_cost(
+            PoiId(2),
+            "The Bicycle Store",
+            Category::Transportation,
+            GeoPoint::new_unchecked(48.8642, 2.3658),
+            "bike rental",
+            vec![],
+            0,
+            2.71,
+        );
+        assert_eq!(p.cost, 2.71);
+    }
+
+    #[test]
+    fn tag_document_and_has_tag() {
+        let p = sample();
+        assert_eq!(p.tag_document(), "luxury suites spa");
+        assert!(p.has_tag("spa"));
+        assert!(!p.has_tag("museum"));
+    }
+
+    #[test]
+    fn display_mentions_name_and_category() {
+        let s = sample().to_string();
+        assert!(s.contains("Le Burgundy"));
+        assert!(s.contains("acco"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = sample();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Poi = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,110 @@
+//! The four sample Paris POIs of Table 1.
+//!
+//! These are the literal rows of Table 1 in the paper (names, categories,
+//! coordinates, types, tags, costs) and are used by the quickstart example,
+//! the Table 1 reproduction binary, and many unit tests.
+
+use crate::category::Category;
+use crate::poi::{Poi, PoiId};
+use grouptravel_geo::GeoPoint;
+
+/// The POIs of Table 1, in row order.
+#[must_use]
+pub fn table1_pois() -> Vec<Poi> {
+    vec![
+        Poi::with_cost(
+            PoiId(1),
+            "Le Burgundy",
+            Category::Accommodation,
+            GeoPoint::new_unchecked(48.8679, 2.3256),
+            "hotel",
+            split_tags("luxury suites cognac champagne bar gastronomic restaurant spa"),
+            19,
+            3.00,
+        ),
+        Poi::with_cost(
+            PoiId(2),
+            "The Bicycle Store",
+            Category::Transportation,
+            GeoPoint::new_unchecked(48.8642, 2.3658),
+            "bike shop",
+            split_tags("accessoires velo beach cruiser bicycle paris fixed gear"),
+            14,
+            2.71,
+        ),
+        Poi::with_cost(
+            PoiId(3),
+            "Un Zebre a Montmartre",
+            Category::Restaurant,
+            GeoPoint::new_unchecked(48.886, 2.3348),
+            "french",
+            split_tags("bankers bar brunch cafe comedy fireplace frat hipsters liquor margaritas"),
+            23,
+            3.20,
+        ),
+        Poi::with_cost(
+            PoiId(4),
+            "Les Arts Decoratifs",
+            Category::Attraction,
+            GeoPoint::new_unchecked(48.8632, 2.3334),
+            "museum",
+            split_tags(
+                "arts contemporary decorative exhibition fashion gallery mode modern museum",
+            ),
+            46,
+            3.86,
+        ),
+    ]
+}
+
+fn split_tags(tags: &str) -> Vec<String> {
+    tags.split_whitespace().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_four_rows() {
+        assert_eq!(table1_pois().len(), 4);
+    }
+
+    #[test]
+    fn one_poi_per_category() {
+        let pois = table1_pois();
+        for cat in Category::ALL {
+            assert_eq!(pois.iter().filter(|p| p.category == cat).count(), 1);
+        }
+    }
+
+    #[test]
+    fn costs_match_the_table() {
+        let pois = table1_pois();
+        let costs: Vec<f64> = pois.iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![3.00, 2.71, 3.20, 3.86]);
+    }
+
+    #[test]
+    fn coordinates_match_the_table() {
+        let pois = table1_pois();
+        assert!((pois[0].location.lat - 48.8679).abs() < 1e-9);
+        assert!((pois[0].location.lon - 2.3256).abs() < 1e-9);
+        assert!((pois[3].location.lat - 48.8632).abs() < 1e-9);
+    }
+
+    #[test]
+    fn museum_row_is_the_museum_from_the_worked_example() {
+        let pois = table1_pois();
+        let museum = &pois[3];
+        assert_eq!(museum.poi_type, "museum");
+        assert!(museum.has_tag("museum"));
+        assert!(museum.has_tag("gallery"));
+    }
+
+    #[test]
+    fn ids_are_one_through_four() {
+        let ids: Vec<u64> = table1_pois().iter().map(|p| p.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+}

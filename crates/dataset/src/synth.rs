@@ -1,0 +1,342 @@
+//! Deterministic synthetic POI generation.
+//!
+//! Substitutes for the TourPedia dump + Foursquare augmentation used in the
+//! paper. POI positions are drawn from the city's weighted Gaussian
+//! neighborhoods (clamped to the bounding box), types come from the explicit
+//! vocabularies (accommodation/transportation) or from a latent theme
+//! (restaurants/attractions), tags are sampled from the chosen theme's
+//! vocabulary with a small amount of cross-theme noise, and check-ins follow
+//! a heavy-tailed log-normal distribution so that `cost = log(1 + checkins)`
+//! spans a realistic range.
+//!
+//! The generator is fully deterministic given its seed, so every experiment
+//! and benchmark in the workspace can be reproduced bit-for-bit.
+
+use crate::catalog::PoiCatalog;
+use crate::category::{Category, TypeVocabulary};
+use crate::city::CitySpec;
+use crate::poi::{Poi, PoiId};
+use crate::tags::{default_themes, TagTheme};
+use grouptravel_geo::GeoPoint;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How many POIs of each category to generate and which randomness seed to
+/// use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticCityConfig {
+    /// POIs per category: accommodation, transportation, restaurant,
+    /// attraction (in [`Category::ALL`] order).
+    pub counts: [usize; 4],
+    /// Randomness seed. The same seed and city always produce the same
+    /// catalog.
+    pub seed: u64,
+    /// Mean of the log-normal check-in distribution (of `ln(checkins)`).
+    pub checkin_log_mean: f64,
+    /// Standard deviation of `ln(checkins)`.
+    pub checkin_log_std: f64,
+    /// How many tags each restaurant/attraction POI carries.
+    pub tags_per_poi: usize,
+    /// Probability that an individual tag is drawn from a *different* theme
+    /// (noise that makes the LDA recovery non-trivial).
+    pub tag_noise: f64,
+}
+
+impl Default for SyntheticCityConfig {
+    fn default() -> Self {
+        Self {
+            counts: [120, 80, 200, 200],
+            seed: 42,
+            checkin_log_mean: 4.0,
+            checkin_log_std: 1.5,
+            tags_per_poi: 6,
+            tag_noise: 0.1,
+        }
+    }
+}
+
+impl SyntheticCityConfig {
+    /// A small configuration for fast unit/integration tests.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self {
+            counts: [20, 15, 40, 40],
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of POIs that will be generated.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+/// Synthetic city generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticCityGenerator {
+    city: CitySpec,
+    config: SyntheticCityConfig,
+    acco_types: TypeVocabulary,
+    trans_types: TypeVocabulary,
+}
+
+impl SyntheticCityGenerator {
+    /// Creates a generator for `city` with the given configuration and the
+    /// default type vocabularies.
+    #[must_use]
+    pub fn new(city: CitySpec, config: SyntheticCityConfig) -> Self {
+        Self {
+            city,
+            config,
+            acco_types: TypeVocabulary::default_accommodation(),
+            trans_types: TypeVocabulary::default_transportation(),
+        }
+    }
+
+    /// The city being generated.
+    #[must_use]
+    pub fn city(&self) -> &CitySpec {
+        &self.city
+    }
+
+    /// Generates the full catalog.
+    #[must_use]
+    pub fn generate(&self) -> PoiCatalog {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ hash_name(&self.city.name));
+        let mut pois = Vec::with_capacity(self.config.total());
+        let mut next_id = 1u64;
+
+        for (cat_idx, &count) in self.config.counts.iter().enumerate() {
+            let category = Category::ALL[cat_idx];
+            let themes = default_themes(category);
+            for _ in 0..count {
+                let poi = self.generate_poi(PoiId(next_id), category, &themes, &mut rng);
+                pois.push(poi);
+                next_id += 1;
+            }
+        }
+
+        PoiCatalog::new(self.city.name.clone(), pois)
+    }
+
+    fn generate_poi(
+        &self,
+        id: PoiId,
+        category: Category,
+        themes: &[TagTheme],
+        rng: &mut SmallRng,
+    ) -> Poi {
+        let location = self.sample_location(rng);
+        let checkins = self.sample_checkins(rng);
+        let (poi_type, tags) = match category {
+            Category::Accommodation => self.sample_typed(&self.acco_types, rng),
+            Category::Transportation => self.sample_typed(&self.trans_types, rng),
+            Category::Restaurant | Category::Attraction => self.sample_themed(themes, rng),
+        };
+        let name = format!("{} {} #{}", self.city.name, poi_type, id.0);
+        Poi::new(id, name, category, location, poi_type, tags, checkins)
+    }
+
+    /// Picks a neighborhood (weighted) and samples a Gaussian position around
+    /// its centre, clamped to the city's bounding box.
+    fn sample_location(&self, rng: &mut SmallRng) -> GeoPoint {
+        let total = self.city.total_weight();
+        let neighborhood = if total <= f64::EPSILON || self.city.neighborhoods.is_empty() {
+            None
+        } else {
+            let mut pick = rng.gen_range(0.0..total);
+            let mut chosen = None;
+            for n in &self.city.neighborhoods {
+                if pick < n.weight {
+                    chosen = Some(n);
+                    break;
+                }
+                pick -= n.weight;
+            }
+            chosen.or(self.city.neighborhoods.last())
+        };
+
+        let point = match neighborhood {
+            Some(n) => GeoPoint::new_unchecked(
+                n.center.lat + gaussian(rng) * n.spread_deg,
+                n.center.lon + gaussian(rng) * n.spread_deg,
+            ),
+            None => self.city.bbox.center(),
+        };
+        self.city.bbox.clamp(&point)
+    }
+
+    fn sample_checkins(&self, rng: &mut SmallRng) -> u64 {
+        let log_value = self.config.checkin_log_mean + gaussian(rng) * self.config.checkin_log_std;
+        log_value.exp().round().max(0.0) as u64
+    }
+
+    /// Accommodation / transportation: a uniformly chosen explicit type, plus
+    /// a couple of tags derived from the type name.
+    fn sample_typed(&self, vocab: &TypeVocabulary, rng: &mut SmallRng) -> (String, Vec<String>) {
+        let idx = rng.gen_range(0..vocab.len());
+        let poi_type = vocab.name_of(idx).unwrap_or("unknown").to_string();
+        let mut tags: Vec<String> = poi_type.split_whitespace().map(str::to_string).collect();
+        tags.push(vocab.category().short_name().to_string());
+        (poi_type, tags)
+    }
+
+    /// Restaurants / attractions: a latent theme, whose name becomes the
+    /// type, and tags drawn mostly from that theme's vocabulary.
+    fn sample_themed(&self, themes: &[TagTheme], rng: &mut SmallRng) -> (String, Vec<String>) {
+        if themes.is_empty() {
+            return ("generic".to_string(), Vec::new());
+        }
+        let theme_idx = rng.gen_range(0..themes.len());
+        let theme = &themes[theme_idx];
+        let mut tags = Vec::with_capacity(self.config.tags_per_poi);
+        for _ in 0..self.config.tags_per_poi {
+            let source = if rng.gen_bool(self.config.tag_noise.clamp(0.0, 1.0)) {
+                &themes[rng.gen_range(0..themes.len())]
+            } else {
+                theme
+            };
+            if source.tags.is_empty() {
+                continue;
+            }
+            let tag = source.tags[rng.gen_range(0..source.tags.len())].clone();
+            tags.push(tag);
+        }
+        (theme.name.clone(), tags)
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (avoids pulling in a
+/// distributions crate for a single use).
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Cheap FNV-1a hash of the city name so different cities with the same seed
+/// produce different catalogs.
+fn hash_name(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paris_catalog(seed: u64) -> PoiCatalog {
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = paris_catalog(7);
+        let b = paris_catalog(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.pois().iter().zip(b.pois()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_catalogs() {
+        let a = paris_catalog(1);
+        let b = paris_catalog(2);
+        let identical = a
+            .pois()
+            .iter()
+            .zip(b.pois())
+            .all(|(x, y)| x.location == y.location);
+        assert!(!identical);
+    }
+
+    #[test]
+    fn different_cities_differ_even_with_same_seed() {
+        let cfg = SyntheticCityConfig::small(3);
+        let paris = SyntheticCityGenerator::new(CitySpec::paris(), cfg.clone()).generate();
+        let barcelona =
+            SyntheticCityGenerator::new(CitySpec::barcelona(), cfg).generate();
+        assert_ne!(paris.pois()[0].location, barcelona.pois()[0].location);
+    }
+
+    #[test]
+    fn category_counts_match_config() {
+        let catalog = paris_catalog(5);
+        let cfg = SyntheticCityConfig::small(5);
+        for (idx, cat) in Category::ALL.iter().enumerate() {
+            assert_eq!(catalog.by_category(*cat).len(), cfg.counts[idx]);
+        }
+    }
+
+    #[test]
+    fn all_pois_are_inside_the_city_bbox() {
+        let catalog = paris_catalog(11);
+        let bbox = CitySpec::paris().bbox;
+        for poi in catalog.pois() {
+            assert!(bbox.contains(&poi.location), "{} outside bbox", poi.name);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let catalog = paris_catalog(13);
+        let mut ids: Vec<u64> = catalog.pois().iter().map(|p| p.id.0).collect();
+        let len = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), len);
+        assert_eq!(ids[0], 1);
+        assert_eq!(*ids.last().unwrap(), len as u64);
+    }
+
+    #[test]
+    fn costs_are_nonnegative_and_mostly_positive() {
+        let catalog = paris_catalog(17);
+        assert!(catalog.pois().iter().all(|p| p.cost >= 0.0));
+        let positive = catalog.pois().iter().filter(|p| p.cost > 0.0).count();
+        assert!(positive * 10 >= catalog.len() * 9, "too many zero-cost POIs");
+    }
+
+    #[test]
+    fn restaurants_and_attractions_have_theme_tags() {
+        let catalog = paris_catalog(19);
+        for poi in catalog.by_category(Category::Restaurant) {
+            assert!(!poi.tags.is_empty(), "{} has no tags", poi.name);
+        }
+        for poi in catalog.by_category(Category::Attraction) {
+            assert!(!poi.tags.is_empty(), "{} has no tags", poi.name);
+        }
+    }
+
+    #[test]
+    fn accommodation_types_come_from_the_vocabulary() {
+        let catalog = paris_catalog(23);
+        let vocab = TypeVocabulary::default_accommodation();
+        for poi in catalog.by_category(Category::Accommodation) {
+            assert!(
+                vocab.index_of(&poi.poi_type).is_some(),
+                "unexpected type {}",
+                poi.poi_type
+            );
+        }
+    }
+
+    #[test]
+    fn gaussian_is_roughly_standard_normal() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Tag vocabularies organised by latent theme.
+//!
+//! The paper derives restaurant and attraction types by running LDA over
+//! Foursquare tags, obtaining topics such as "art gallery, museum, library"
+//! and "garden, park, event hall" for attractions, and "Japanese, sushi" and
+//! "beer, wine, bistro" for restaurants (§2.2). The synthetic generator uses
+//! the theme vocabularies below to draw tags for each POI, so the LDA
+//! substrate has the same kind of latent structure to recover.
+
+use crate::category::Category;
+use serde::{Deserialize, Serialize};
+
+/// A latent theme: a name, the category it applies to, and the tag vocabulary
+/// it tends to emit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagTheme {
+    /// Human-readable name of the theme, e.g. "museums & galleries".
+    pub name: String,
+    /// Which category's POIs this theme describes.
+    pub category: Category,
+    /// Tags characteristic of this theme.
+    pub tags: Vec<String>,
+}
+
+impl TagTheme {
+    /// Creates a theme from string-like parts.
+    #[must_use]
+    pub fn new<S, I, T>(name: S, category: Category, tags: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        Self {
+            name: name.into(),
+            category,
+            tags: tags.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// The default attraction themes, mirroring the topics named in the paper.
+#[must_use]
+pub fn default_attraction_themes() -> Vec<TagTheme> {
+    vec![
+        TagTheme::new(
+            "museums & galleries",
+            Category::Attraction,
+            [
+                "museum",
+                "art",
+                "gallery",
+                "library",
+                "exhibition",
+                "contemporary",
+                "sculpture",
+                "painting",
+            ],
+        ),
+        TagTheme::new(
+            "parks & gardens",
+            Category::Attraction,
+            [
+                "garden",
+                "park",
+                "event hall",
+                "picnic",
+                "lake",
+                "playground",
+                "botanical",
+                "green",
+            ],
+        ),
+        TagTheme::new(
+            "monuments & history",
+            Category::Attraction,
+            [
+                "monument",
+                "cathedral",
+                "castle",
+                "historic",
+                "architecture",
+                "tower",
+                "plaza",
+                "heritage",
+            ],
+        ),
+        TagTheme::new(
+            "nightlife & shows",
+            Category::Attraction,
+            [
+                "theater",
+                "cabaret",
+                "concert",
+                "live",
+                "music",
+                "show",
+                "comedy",
+                "club",
+            ],
+        ),
+    ]
+}
+
+/// The default restaurant themes, mirroring the topics named in the paper.
+#[must_use]
+pub fn default_restaurant_themes() -> Vec<TagTheme> {
+    vec![
+        TagTheme::new(
+            "japanese & sushi",
+            Category::Restaurant,
+            [
+                "japanese", "sushi", "ramen", "sake", "tempura", "izakaya", "bento", "wasabi",
+            ],
+        ),
+        TagTheme::new(
+            "bistro & wine",
+            Category::Restaurant,
+            [
+                "beer", "wine", "bistro", "brasserie", "terrace", "cheese", "charcuterie", "bar",
+            ],
+        ),
+        TagTheme::new(
+            "french gastronomy",
+            Category::Restaurant,
+            [
+                "french",
+                "gastronomic",
+                "michelin",
+                "tasting",
+                "chef",
+                "foie gras",
+                "pastry",
+                "brunch",
+            ],
+        ),
+        TagTheme::new(
+            "street food & cafés",
+            Category::Restaurant,
+            [
+                "cafe", "coffee", "sandwich", "falafel", "crepe", "bakery", "takeaway", "cheap",
+            ],
+        ),
+    ]
+}
+
+/// All default themes for a category (empty for accommodation and
+/// transportation, whose item vectors are one-hot over explicit types).
+#[must_use]
+pub fn default_themes(category: Category) -> Vec<TagTheme> {
+    match category {
+        Category::Restaurant => default_restaurant_themes(),
+        Category::Attraction => default_attraction_themes(),
+        Category::Accommodation | Category::Transportation => Vec::new(),
+    }
+}
+
+/// The union of every theme's tags for a category, deduplicated, preserving
+/// first-occurrence order. This is the tag vocabulary LDA runs over.
+#[must_use]
+pub fn tag_vocabulary(category: Category) -> Vec<String> {
+    let mut vocab: Vec<String> = Vec::new();
+    for theme in default_themes(category) {
+        for tag in theme.tags {
+            if !vocab.contains(&tag) {
+                vocab.push(tag);
+            }
+        }
+    }
+    vocab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attraction_themes_include_paper_examples() {
+        let themes = default_attraction_themes();
+        let museums = themes.iter().find(|t| t.name.contains("museums")).unwrap();
+        assert!(museums.tags.contains(&"museum".to_string()));
+        assert!(museums.tags.contains(&"gallery".to_string()));
+        let parks = themes.iter().find(|t| t.name.contains("parks")).unwrap();
+        assert!(parks.tags.contains(&"garden".to_string()));
+        assert!(parks.tags.contains(&"park".to_string()));
+    }
+
+    #[test]
+    fn restaurant_themes_include_paper_examples() {
+        let themes = default_restaurant_themes();
+        let jap = themes.iter().find(|t| t.name.contains("japanese")).unwrap();
+        assert!(jap.tags.contains(&"sushi".to_string()));
+        let bistro = themes.iter().find(|t| t.name.contains("bistro")).unwrap();
+        assert!(bistro.tags.contains(&"wine".to_string()));
+        assert!(bistro.tags.contains(&"beer".to_string()));
+    }
+
+    #[test]
+    fn themes_carry_their_category() {
+        for t in default_attraction_themes() {
+            assert_eq!(t.category, Category::Attraction);
+        }
+        for t in default_restaurant_themes() {
+            assert_eq!(t.category, Category::Restaurant);
+        }
+    }
+
+    #[test]
+    fn explicit_type_categories_have_no_themes() {
+        assert!(default_themes(Category::Accommodation).is_empty());
+        assert!(default_themes(Category::Transportation).is_empty());
+    }
+
+    #[test]
+    fn vocabulary_is_deduplicated_union() {
+        let vocab = tag_vocabulary(Category::Restaurant);
+        let total: usize = default_restaurant_themes().iter().map(|t| t.tags.len()).sum();
+        assert!(vocab.len() <= total);
+        assert!(vocab.contains(&"sushi".to_string()));
+        // No duplicates.
+        let mut sorted = vocab.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vocab.len());
+    }
+
+    #[test]
+    fn themes_are_disjoint_enough_for_lda() {
+        // Every pair of attraction themes shares at most one tag; otherwise
+        // the latent structure would be too weak for LDA to recover.
+        let themes = default_attraction_themes();
+        for (i, a) in themes.iter().enumerate() {
+            for b in &themes[i + 1..] {
+                let overlap = a.tags.iter().filter(|t| b.tags.contains(t)).count();
+                assert!(overlap <= 1, "{} and {} overlap too much", a.name, b.name);
+            }
+        }
+    }
+}

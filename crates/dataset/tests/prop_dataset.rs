@@ -1,0 +1,138 @@
+//! Property-based tests for the synthetic dataset generator and the catalog.
+
+use grouptravel_dataset::poi::cost_from_checkins;
+use grouptravel_dataset::{Category, CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+use grouptravel_geo::DistanceMetric;
+use proptest::prelude::*;
+
+fn tiny_config(seed: u64, counts: [usize; 4]) -> SyntheticCityConfig {
+    SyntheticCityConfig {
+        counts,
+        seed,
+        ..SyntheticCityConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_pois_respect_the_city_and_config(
+        seed in 0u64..5000,
+        acco in 1usize..15,
+        trans in 1usize..15,
+        rest in 1usize..20,
+        attr in 1usize..20,
+    ) {
+        let city = CitySpec::paris();
+        let bbox = city.bbox;
+        let catalog =
+            SyntheticCityGenerator::new(city, tiny_config(seed, [acco, trans, rest, attr]))
+                .generate();
+        prop_assert_eq!(catalog.len(), acco + trans + rest + attr);
+        prop_assert_eq!(catalog.count_category(Category::Accommodation), acco);
+        prop_assert_eq!(catalog.count_category(Category::Attraction), attr);
+        for poi in catalog.pois() {
+            prop_assert!(bbox.contains(&poi.location));
+            prop_assert!(poi.cost >= 0.0);
+            prop_assert!((poi.cost - cost_from_checkins(poi.checkins)).abs() < 1e-9);
+        }
+        // Ids are unique.
+        let mut ids: Vec<u64> = catalog.pois().iter().map(|p| p.id.0).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_checkins(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(cost_from_checkins(lo) <= cost_from_checkins(hi) + 1e-12);
+    }
+
+    #[test]
+    fn nearest_neighbour_queries_agree_with_a_linear_scan(seed in 0u64..1000) {
+        let catalog = SyntheticCityGenerator::new(
+            CitySpec::barcelona(),
+            tiny_config(seed, [5, 5, 10, 10]),
+        )
+        .generate();
+        let origin = catalog.pois()[0].location;
+        for category in Category::ALL {
+            let nearest = catalog
+                .nearest_in_category(&origin, category, DistanceMetric::Equirectangular, &[])
+                .expect("category is populated");
+            // Brute-force check.
+            let best = catalog
+                .by_category(category)
+                .into_iter()
+                .min_by(|a, b| {
+                    let da = DistanceMetric::Equirectangular.distance_km(&origin, &a.location);
+                    let db = DistanceMetric::Equirectangular.distance_km(&origin, &b.location);
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            let d_nearest = DistanceMetric::Equirectangular.distance_km(&origin, &nearest.location);
+            let d_best = DistanceMetric::Equirectangular.distance_km(&origin, &best.location);
+            prop_assert!((d_nearest - d_best).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_excludes_requested_ids(seed in 0u64..1000, k in 1usize..8) {
+        let catalog = SyntheticCityGenerator::new(
+            CitySpec::paris(),
+            tiny_config(seed, [6, 6, 12, 12]),
+        )
+        .generate();
+        let origin = catalog.pois()[seed as usize % catalog.len()].location;
+        let exclude = vec![catalog.pois()[0].id];
+        let result = catalog.k_nearest_in_category(
+            &origin,
+            Category::Restaurant,
+            k,
+            DistanceMetric::Equirectangular,
+            &exclude,
+        );
+        prop_assert!(result.len() <= k);
+        for poi in &result {
+            prop_assert!(!exclude.contains(&poi.id));
+            prop_assert_eq!(poi.category, Category::Restaurant);
+        }
+        for pair in result.windows(2) {
+            let d0 = DistanceMetric::Equirectangular.distance_km(&origin, &pair[0].location);
+            let d1 = DistanceMetric::Equirectangular.distance_km(&origin, &pair[1].location);
+            prop_assert!(d0 <= d1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_normalizer_bounds_every_pair(seed in 0u64..1000) {
+        let catalog = SyntheticCityGenerator::new(
+            CitySpec::paris(),
+            tiny_config(seed, [4, 4, 8, 8]),
+        )
+        .generate();
+        let norm = catalog.distance_normalizer(DistanceMetric::Equirectangular);
+        for a in catalog.pois() {
+            for b in catalog.pois() {
+                let d = norm.normalized(&a.location, &b.location);
+                prop_assert!((0.0..=1.0).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_catalogs(seed in 0u64..500) {
+        let catalog = SyntheticCityGenerator::new(
+            CitySpec::paris(),
+            tiny_config(seed, [3, 3, 6, 6]),
+        )
+        .generate();
+        let json = grouptravel_dataset::io::to_json(&catalog).unwrap();
+        let back = grouptravel_dataset::io::from_json(&json).unwrap();
+        prop_assert_eq!(&back, &catalog);
+        prop_assert_eq!(back.len(), catalog.len());
+    }
+}

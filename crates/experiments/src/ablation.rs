@@ -1,0 +1,240 @@
+//! Design-choice ablations.
+//!
+//! DESIGN.md calls out three design choices for ablation:
+//!
+//! * the equirectangular distance approximation (§3.2 claims a 30× speed-up
+//!   at only 0.1% precision loss — the speed half is measured by the
+//!   `ablation_distance` Criterion bench, the precision half here);
+//! * the consensus weight `w1` (how much preference vs. agreement matters);
+//! * the number of composite items `k` and the fuzzifier (sensitivity of
+//!   representativity / cohesiveness).
+
+use crate::common::SyntheticWorld;
+use crate::report::render_table;
+use grouptravel::prelude::*;
+use grouptravel::ObjectiveWeights;
+use grouptravel_geo::{equirectangular_km, haversine_km};
+use grouptravel_profile::consensus::{DisagreementFunction, PreferenceFunction};
+use serde::{Deserialize, Serialize};
+
+/// Precision of the equirectangular approximation over a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistancePrecision {
+    /// Number of POI pairs compared.
+    pub pairs: usize,
+    /// Mean relative error against Haversine.
+    pub mean_relative_error: f64,
+    /// Maximum relative error against Haversine.
+    pub max_relative_error: f64,
+}
+
+/// Measures the equirectangular-vs-Haversine precision over every POI pair of
+/// the world's catalog (the paper claims ≤ 0.1% loss within a city).
+#[must_use]
+pub fn distance_precision(world: &SyntheticWorld) -> DistancePrecision {
+    let locations = world.session.catalog().locations();
+    let mut pairs = 0usize;
+    let mut total_err = 0.0f64;
+    let mut max_err = 0.0f64;
+    for (i, a) in locations.iter().enumerate() {
+        for b in &locations[i + 1..] {
+            let h = haversine_km(a, b);
+            if h < 1e-6 {
+                continue;
+            }
+            let e = equirectangular_km(a, b);
+            let rel = (h - e).abs() / h;
+            total_err += rel;
+            if rel > max_err {
+                max_err = rel;
+            }
+            pairs += 1;
+        }
+    }
+    DistancePrecision {
+        pairs,
+        mean_relative_error: if pairs == 0 { 0.0 } else { total_err / pairs as f64 },
+        max_relative_error: max_err,
+    }
+}
+
+/// One point of the consensus-weight sweep: the personalization achieved by a
+/// package built from a profile aggregated with weight `w1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightSweepPoint {
+    /// The preference weight `w1` (so `w2 = 1 − w1` weighs agreement).
+    pub w1: f64,
+    /// Personalization (Eq. 4) of the resulting package.
+    pub personalization: f64,
+    /// Cohesiveness (Eq. 3) of the resulting package.
+    pub cohesiveness: f64,
+}
+
+/// Sweeps the consensus weight `w1` from 0 to 1 for a non-uniform group and
+/// reports how the built package's personalization and cohesiveness respond.
+#[must_use]
+pub fn consensus_weight_sweep(world: &SyntheticWorld, steps: usize) -> Vec<WeightSweepPoint> {
+    let mut generator = world.group_generator(0xab1a);
+    let group = generator.group(GroupSize::Medium, Uniformity::NonUniform);
+    let query = GroupQuery::paper_default();
+    let config = world.build_config(world.scale.seed ^ 0xab1a);
+
+    (0..=steps)
+        .map(|step| {
+            let w1 = step as f64 / steps.max(1) as f64;
+            let method = ConsensusMethod::custom(
+                PreferenceFunction::Average,
+                Some(DisagreementFunction::AveragePairwise),
+                w1,
+            );
+            let profile = group.profile(method);
+            let package = world
+                .session
+                .build_package(&profile, &query, &config)
+                .expect("sweep package");
+            let dims = world.session.measure(&package, &profile);
+            WeightSweepPoint {
+                w1,
+                personalization: dims.personalization,
+                cohesiveness: dims.cohesiveness,
+            }
+        })
+        .collect()
+}
+
+/// One point of the `k` sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KSweepPoint {
+    /// Number of composite items.
+    pub k: usize,
+    /// Representativity (Eq. 2) of the resulting package.
+    pub representativity: f64,
+    /// Cohesiveness (Eq. 3) of the resulting package.
+    pub cohesiveness: f64,
+}
+
+/// Sweeps the number of composite items `k` and reports representativity and
+/// cohesiveness (more composite items cover the city better but each day gets
+/// looser as clusters shrink in separation).
+#[must_use]
+pub fn k_sweep(world: &SyntheticWorld, ks: &[usize]) -> Vec<KSweepPoint> {
+    let mut generator = world.group_generator(0x6b);
+    let group = generator.group(GroupSize::Small, Uniformity::Uniform);
+    let profile = group.profile(ConsensusMethod::pairwise_disagreement());
+    let query = GroupQuery::paper_default();
+
+    ks.iter()
+        .map(|&k| {
+            let config = BuildConfig {
+                k,
+                weights: ObjectiveWeights::default(),
+                seed: world.scale.seed ^ 0x6b,
+                ..BuildConfig::default()
+            };
+            let package = world
+                .session
+                .build_package(&profile, &query, &config)
+                .expect("k-sweep package");
+            let dims = world.session.measure(&package, &profile);
+            KSweepPoint {
+                k,
+                representativity: dims.representativity,
+                cohesiveness: dims.cohesiveness,
+            }
+        })
+        .collect()
+}
+
+/// Renders all ablations as text.
+#[must_use]
+pub fn render(world: &SyntheticWorld) -> String {
+    let precision = distance_precision(world);
+    let mut out = format!(
+        "Distance approximation over {} POI pairs: mean relative error {:.5}%, max {:.5}%\n\n",
+        precision.pairs,
+        precision.mean_relative_error * 100.0,
+        precision.max_relative_error * 100.0
+    );
+
+    let sweep = consensus_weight_sweep(world, 5);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.w1),
+                format!("{:.3}", p.personalization),
+                format!("{:.2}", p.cohesiveness),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Consensus weight sweep (non-uniform medium group)",
+        &["w1", "personalization", "cohesiveness"],
+        &rows,
+    ));
+    out.push('\n');
+
+    let ks = k_sweep(world, &[2, 3, 5, 7, 10]);
+    let rows: Vec<Vec<String>> = ks
+        .iter()
+        .map(|p| {
+            vec![
+                p.k.to_string(),
+                format!("{:.2}", p.representativity),
+                format!("{:.2}", p.cohesiveness),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Number of composite items (k) sweep",
+        &["k", "representativity", "cohesiveness"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    #[test]
+    fn equirectangular_precision_is_within_the_papers_claim() {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let precision = distance_precision(&world);
+        assert!(precision.pairs > 100);
+        assert!(
+            precision.max_relative_error < 0.001,
+            "max relative error {} exceeds 0.1%",
+            precision.max_relative_error
+        );
+    }
+
+    #[test]
+    fn weight_sweep_spans_zero_to_one() {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let sweep = consensus_weight_sweep(&world, 4);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep.first().unwrap().w1, 0.0);
+        assert_eq!(sweep.last().unwrap().w1, 1.0);
+        for p in &sweep {
+            assert!(p.personalization >= 0.0);
+        }
+    }
+
+    #[test]
+    fn representativity_grows_with_k() {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let points = k_sweep(&world, &[2, 8]);
+        assert!(points[1].representativity > points[0].representativity);
+    }
+
+    #[test]
+    fn render_mentions_every_ablation() {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let out = render(&world);
+        assert!(out.contains("Distance approximation"));
+        assert!(out.contains("Consensus weight sweep"));
+        assert!(out.contains("(k) sweep"));
+    }
+}

@@ -1,0 +1,14 @@
+//! Runs the design-choice ablations (distance precision, consensus weight,
+//! number of composite items).
+//!
+//! Usage: `ablation [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{ablation, common::SyntheticWorld, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = SyntheticWorld::build(scale);
+    println!("{}", ablation::render(&world));
+}

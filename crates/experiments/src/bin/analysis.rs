@@ -1,0 +1,14 @@
+//! Runs the §4.3 statistical analysis (ANOVA + Pearson correlations).
+//!
+//! Usage: `analysis [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{analysis, common::SyntheticWorld, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = SyntheticWorld::build(scale);
+    let report = analysis::run(&world);
+    println!("{}", report.render());
+}

@@ -1,0 +1,15 @@
+//! Re-renders Figures 1-3 as text.
+//!
+//! Usage: `figures [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::SyntheticWorld, figures, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = SyntheticWorld::build(scale);
+    println!("{}\n", figures::figure1(&world));
+    println!("{}\n", figures::figure2(&world));
+    println!("{}", figures::figure3(&world));
+}

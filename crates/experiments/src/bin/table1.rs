@@ -1,0 +1,5 @@
+//! Prints Table 1 (sample POIs in Paris).
+
+fn main() {
+    println!("{}", grouptravel_experiments::table1::render());
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 2 (synthetic experiment, optimization dimensions).
+//!
+//! Usage: `table2 [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::SyntheticWorld, table2, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = SyntheticWorld::build(scale);
+    let table = table2::run(&world);
+    println!("{}", table.render());
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 3 (median-user agreement).
+//!
+//! Usage: `table3 [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::SyntheticWorld, table3, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = SyntheticWorld::build(scale);
+    let table = table3::run(&world);
+    println!("{}", table.render());
+}

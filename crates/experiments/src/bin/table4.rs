@@ -1,0 +1,15 @@
+//! Reproduces Table 4 (user study, independent evaluation).
+//!
+//! Usage: `table4 [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::UserStudyWorld, table4, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = UserStudyWorld::build(scale);
+    let table = table4::run(&world);
+    println!("{}", table.render());
+    println!("participants filtered by the attention check: {}", table.filtered_out);
+}

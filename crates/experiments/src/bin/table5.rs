@@ -1,0 +1,15 @@
+//! Reproduces Table 5 (user study, comparative evaluation).
+//!
+//! Usage: `table5 [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::UserStudyWorld, table5, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = UserStudyWorld::build(scale);
+    let table = table5::run(&world);
+    println!("{}", table.render());
+    println!("participants filtered by the attention check: {}", table.filtered_out);
+}

@@ -1,0 +1,14 @@
+//! Reproduces Table 6 (customized packages, independent evaluation).
+//!
+//! Usage: `table6 [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::UserStudyWorld, table6, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = UserStudyWorld::build(scale);
+    let table = table6::run(&world);
+    println!("{}", table.render());
+}

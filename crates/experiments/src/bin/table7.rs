@@ -1,0 +1,14 @@
+//! Reproduces Table 7 (customized packages, comparative evaluation).
+//!
+//! Usage: `table7 [paper|quick|smoke]` (default: quick).
+
+use grouptravel_experiments::{common::UserStudyWorld, table7, ExperimentScale};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map_or_else(ExperimentScale::quick, |s| ExperimentScale::from_name(&s));
+    let world = UserStudyWorld::build(scale);
+    let table = table7::run(&world);
+    println!("{}", table.render());
+}

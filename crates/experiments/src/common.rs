@@ -1,0 +1,256 @@
+//! Shared experiment infrastructure: scales, sessions, and worlds.
+
+use grouptravel::prelude::*;
+use grouptravel_study::{CrowdPlatform, RecruitmentConfig, StudyPopulation};
+use grouptravel_topics::LdaConfig;
+use serde::{Deserialize, Serialize};
+
+/// How big to run an experiment. The paper's full scale is expensive but
+/// feasible on a laptop; the smaller scales keep tests and CI fast while
+/// preserving every qualitative claim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Synthetic experiment: groups generated per (uniformity, size) cell
+    /// (100 in the paper).
+    pub groups_per_cell: usize,
+    /// POIs per category in the synthetic city.
+    pub poi_counts: [usize; 4],
+    /// Gibbs sweeps for the LDA topic models.
+    pub lda_iterations: usize,
+    /// How many members of a large group provide ratings (30 in the paper).
+    pub large_group_sample: usize,
+    /// Crowd recruits per platform for the user study (2000/1000 in the
+    /// paper), expressed as (Figure-Eight, Mechanical Turk).
+    pub recruits: (usize, usize),
+    /// User-study groups generated per (uniformity, size) cell (5 uniform /
+    /// 3 non-uniform in the paper; a single count keeps the harness simple).
+    pub study_groups_per_cell: usize,
+    /// Master randomness seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// The paper's scale.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            groups_per_cell: 100,
+            poi_counts: [120, 80, 200, 200],
+            lda_iterations: 120,
+            large_group_sample: 30,
+            recruits: (2000, 1000),
+            study_groups_per_cell: 5,
+            seed: 42,
+        }
+    }
+
+    /// A scale that finishes in a few seconds; used by the benches and the
+    /// example binaries.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            groups_per_cell: 10,
+            poi_counts: [40, 30, 80, 80],
+            lda_iterations: 50,
+            large_group_sample: 10,
+            recruits: (120, 60),
+            study_groups_per_cell: 2,
+            seed: 42,
+        }
+    }
+
+    /// The smallest useful scale; used by unit and integration tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            groups_per_cell: 3,
+            poi_counts: [20, 15, 40, 40],
+            lda_iterations: 30,
+            large_group_sample: 5,
+            recruits: (40, 20),
+            study_groups_per_cell: 1,
+            seed: 42,
+        }
+    }
+
+    /// Resolves a scale name from a CLI argument (`paper`, `quick`, `smoke`);
+    /// unknown names fall back to `quick`.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        match name {
+            "paper" | "full" => Self::paper(),
+            "smoke" | "test" => Self::smoke(),
+            _ => Self::quick(),
+        }
+    }
+
+    /// The synthetic-city configuration induced by this scale.
+    #[must_use]
+    pub fn city_config(&self) -> SyntheticCityConfig {
+        SyntheticCityConfig {
+            counts: self.poi_counts,
+            seed: self.seed,
+            ..SyntheticCityConfig::default()
+        }
+    }
+
+    /// The session configuration induced by this scale.
+    #[must_use]
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            lda: LdaConfig {
+                iterations: self.lda_iterations,
+                seed: self.seed,
+                ..LdaConfig::default()
+            },
+            ..SessionConfig::default()
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Everything the synthetic experiments (Tables 2–3, analysis, ablations)
+/// need: a Paris session and a group generator.
+pub struct SyntheticWorld {
+    /// The Paris session.
+    pub session: GroupTravelSession,
+    /// The scale this world was built at.
+    pub scale: ExperimentScale,
+}
+
+impl SyntheticWorld {
+    /// Builds the world: generates the synthetic Paris catalog and trains the
+    /// topic models.
+    #[must_use]
+    pub fn build(scale: ExperimentScale) -> Self {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), scale.city_config()).generate();
+        let session = GroupTravelSession::new(catalog, scale.session_config())
+            .expect("the synthetic Paris catalog is never empty");
+        Self { session, scale }
+    }
+
+    /// A fresh group generator seeded from the scale.
+    #[must_use]
+    pub fn group_generator(&self, salt: u64) -> SyntheticGroupGenerator {
+        SyntheticGroupGenerator::new(self.session.profile_schema(), self.scale.seed ^ salt)
+    }
+
+    /// The default build configuration for this world (k = 5 composite
+    /// items, the paper's synthetic objective weights).
+    #[must_use]
+    pub fn build_config(&self, seed: u64) -> BuildConfig {
+        BuildConfig {
+            weights: ObjectiveWeights::paper_synthetic(seed),
+            seed,
+            ..BuildConfig::default()
+        }
+    }
+}
+
+/// Everything the user-study experiments (Tables 4–7) need: the Paris and
+/// Barcelona sessions (sharing one item vectorizer so profiles transfer), and
+/// the recruited worker population.
+pub struct UserStudyWorld {
+    /// The Paris session (packages are built and customized here).
+    pub paris: GroupTravelSession,
+    /// The Barcelona session (refined profiles are tested here).
+    pub barcelona: GroupTravelSession,
+    /// The recruited, pruned worker population.
+    pub population: StudyPopulation,
+    /// The crowd platform (for forming further groups).
+    pub platform: CrowdPlatform,
+    /// The scale this world was built at.
+    pub scale: ExperimentScale,
+}
+
+impl UserStudyWorld {
+    /// Builds the world: both cities, the shared vectorizer, and the
+    /// recruited population.
+    #[must_use]
+    pub fn build(scale: ExperimentScale) -> Self {
+        let paris_catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), scale.city_config()).generate();
+        let paris = GroupTravelSession::new(paris_catalog, scale.session_config())
+            .expect("the synthetic Paris catalog is never empty");
+
+        let barcelona_catalog =
+            SyntheticCityGenerator::new(CitySpec::barcelona(), scale.city_config()).generate();
+        let barcelona = GroupTravelSession::with_vectorizer(
+            barcelona_catalog,
+            paris.vectorizer().clone(),
+            paris.metric(),
+        )
+        .expect("the synthetic Barcelona catalog is never empty");
+
+        let platform = CrowdPlatform::new(
+            paris.profile_schema(),
+            RecruitmentConfig {
+                figure_eight: scale.recruits.0,
+                mechanical_turk: scale.recruits.1,
+                seed: scale.seed,
+                ..RecruitmentConfig::default()
+            },
+        );
+        let population = platform.recruit();
+
+        Self {
+            paris,
+            barcelona,
+            population,
+            platform,
+            scale,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_size() {
+        let paper = ExperimentScale::paper();
+        let quick = ExperimentScale::quick();
+        let smoke = ExperimentScale::smoke();
+        assert!(paper.groups_per_cell > quick.groups_per_cell);
+        assert!(quick.groups_per_cell > smoke.groups_per_cell);
+        assert!(paper.recruits.0 > quick.recruits.0);
+    }
+
+    #[test]
+    fn scale_resolution_from_names() {
+        assert_eq!(ExperimentScale::from_name("paper"), ExperimentScale::paper());
+        assert_eq!(ExperimentScale::from_name("smoke"), ExperimentScale::smoke());
+        assert_eq!(ExperimentScale::from_name("anything"), ExperimentScale::quick());
+    }
+
+    #[test]
+    fn synthetic_world_builds_and_produces_packages() {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let mut gen = world.group_generator(1);
+        let group = gen.group(GroupSize::Small, Uniformity::Uniform);
+        let profile = group.profile(ConsensusMethod::average_preference());
+        let package = world
+            .session
+            .build_package(&profile, &GroupQuery::paper_default(), &world.build_config(1))
+            .unwrap();
+        assert_eq!(package.len(), 5);
+    }
+
+    #[test]
+    fn user_study_world_shares_the_profile_schema_across_cities() {
+        let world = UserStudyWorld::build(ExperimentScale::smoke());
+        assert_eq!(
+            world.paris.profile_schema(),
+            world.barcelona.profile_schema()
+        );
+        assert!(world.population.len() > 20);
+        assert_eq!(world.barcelona.catalog().city(), "Barcelona");
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment drivers reproducing every table and figure of the GroupTravel
+//! paper.
+//!
+//! Each module corresponds to one artefact of the evaluation section and
+//! produces a structured result that (a) the binary of the same name renders
+//! as the paper renders it, (b) the integration tests assert qualitative
+//! claims against, and (c) the Criterion benches in `crates/bench` time.
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`table1`] | Table 1 — sample POIs in Paris |
+//! | [`table2`] | Table 2 — synthetic experiment, optimization dimensions |
+//! | [`table3`] | Table 3 — agreement between median users and groups |
+//! | [`table4`] | Table 4 — user study, independent evaluation |
+//! | [`table5`] | Table 5 — user study, comparative evaluation |
+//! | [`table6`] | Table 6 — customized packages, independent evaluation |
+//! | [`table7`] | Table 7 — customized packages, comparative evaluation |
+//! | [`analysis`] | §4.3 — ANOVA significance and PCC correlations |
+//! | [`ablation`] | §3.2 / §5 — distance approximation and design ablations |
+//! | [`figures`] | Figures 1–3 — example package, framework flow, operators |
+//!
+//! The [`common::ExperimentScale`] knob switches between the paper's full
+//! scale (100 groups per cell, 3000 simulated workers) and scaled-down
+//! configurations for tests and quick runs.
+
+pub mod ablation;
+pub mod analysis;
+pub mod common;
+pub mod figures;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+pub use common::{ExperimentScale, SyntheticWorld, UserStudyWorld};

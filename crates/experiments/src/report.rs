@@ -1,0 +1,85 @@
+//! Plain-text table rendering shared by the experiment binaries.
+
+/// Renders a table with a header row and aligned columns, the way the paper's
+/// tables read in a terminal.
+#[must_use]
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (idx, cell) in row.iter().enumerate() {
+            if idx >= widths.len() {
+                widths.push(cell.len());
+            } else if cell.len() > widths[idx] {
+                widths[idx] = cell.len();
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (idx, cell) in cells.iter().enumerate() {
+            let width = widths.get(idx).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{cell:<width$} | "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&render_row(&separator, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as the paper prints it: a percentage with no decimals
+/// (e.g. `0.97` → `"97%"`).
+#[must_use]
+pub fn percent(value: f64) -> String {
+    format!("{:.0}%", (value * 100.0).round())
+}
+
+/// Formats a 1–5 rating with two decimals, as in Tables 4 and 6.
+#[must_use]
+pub fn rating(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns_and_includes_every_row() {
+        let out = render_table(
+            "Table X",
+            &["method", "R", "C"],
+            &[
+                vec!["average preference".into(), "100%".into(), "69%".into()],
+                vec!["least misery".into(), "38%".into(), "0%".into()],
+            ],
+        );
+        assert!(out.starts_with("Table X\n"));
+        assert!(out.contains("average preference"));
+        assert!(out.contains("least misery"));
+        // Header separator present.
+        assert!(out.contains("---"));
+        // Five lines: title, header, separator, two rows.
+        assert_eq!(out.trim_end().lines().count(), 5);
+    }
+
+    #[test]
+    fn percent_and_rating_formatting() {
+        assert_eq!(percent(0.974), "97%");
+        assert_eq!(percent(0.0), "0%");
+        assert_eq!(percent(1.0), "100%");
+        assert_eq!(rating(3.456), "3.46");
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 1 — sample Points Of Interest in Paris.
+//!
+//! The paper's Table 1 shows four example POIs (one per category) with their
+//! full attribute set. This module renders the same rows from
+//! [`grouptravel_dataset::sample::table1_pois`].
+
+use crate::report::render_table;
+use grouptravel_dataset::sample::table1_pois;
+use grouptravel_dataset::Poi;
+
+/// The rows of Table 1.
+#[must_use]
+pub fn rows() -> Vec<Poi> {
+    table1_pois()
+}
+
+/// Renders Table 1 the way the paper prints it.
+#[must_use]
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = rows()
+        .iter()
+        .map(|p| {
+            vec![
+                p.id.0.to_string(),
+                p.name.clone(),
+                p.category.to_string(),
+                format!("({:.4}, {:.4})", p.location.lat, p.location.lon),
+                p.poi_type.clone(),
+                p.tags.join(" "),
+                format!("{:.2}", p.cost),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 1: Sample Points Of Interest in Paris",
+        &["id", "name", "cat", "coordinates", "type", "tags", "cost"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_four_rows_and_costs() {
+        let out = render();
+        assert!(out.contains("Le Burgundy"));
+        assert!(out.contains("The Bicycle Store"));
+        assert!(out.contains("Les Arts Decoratifs"));
+        assert!(out.contains("3.86"));
+        assert!(out.contains("museum"));
+    }
+
+    #[test]
+    fn rows_match_the_dataset_sample() {
+        assert_eq!(rows().len(), 4);
+    }
+}

@@ -1,0 +1,326 @@
+//! Table 2 — synthetic experiment: optimization dimensions per group
+//! characteristic and consensus method.
+//!
+//! §4.3: for every combination of group uniformity (uniform / non-uniform)
+//! and size (small / medium / large), 100 random groups are generated; each
+//! group's profile is computed with the four consensus methods; a 5-CI travel
+//! package is built for every profile (default query, infinite budget,
+//! γ = 1, α and β random); and representativity, cohesiveness and
+//! personalization are measured, min–max-normalized over all observations,
+//! and averaged per cell.
+//!
+//! The paper's headline observations, asserted by the integration tests:
+//! disagreement-based consensus dominates all three dimensions, least misery
+//! is the weakest, non-uniform groups yield more cohesive packages, and for
+//! uniform groups cohesiveness rises (and personalization falls) with group
+//! size.
+
+use crate::common::SyntheticWorld;
+use crate::report::{percent, render_table};
+use grouptravel::prelude::*;
+use grouptravel::OptimizationDimensions;
+use grouptravel_stats::MinMaxScaler;
+use serde::{Deserialize, Serialize};
+
+/// One observation of the synthetic experiment: a (group, consensus method)
+/// pair together with the measured raw dimensions of its package and of the
+/// package built for the group's median user (used by Table 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupRecord {
+    /// Uniformity class of the group.
+    pub uniformity: Uniformity,
+    /// Size class of the group.
+    pub size: GroupSize,
+    /// Consensus method name (one of the four paper variants).
+    pub method: String,
+    /// Group identifier.
+    pub group_id: u64,
+    /// Measured group uniformity (average pairwise cosine).
+    pub measured_uniformity: f64,
+    /// Raw (un-normalized) dimensions of the group's package.
+    pub dims: OptimizationDimensions,
+    /// Raw dimensions of the package built for the group's median user.
+    pub median_dims: OptimizationDimensions,
+}
+
+/// One cell of Table 2: averaged normalized dimensions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Cell {
+    /// Uniformity class.
+    pub uniformity: Uniformity,
+    /// Size class.
+    pub size: GroupSize,
+    /// Consensus method name.
+    pub method: String,
+    /// Average normalized representativity.
+    pub representativity: f64,
+    /// Average normalized cohesiveness.
+    pub cohesiveness: f64,
+    /// Average normalized personalization.
+    pub personalization: f64,
+}
+
+/// The full Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// One cell per (uniformity, size, method).
+    pub cells: Vec<Table2Cell>,
+}
+
+impl Table2 {
+    /// Looks a cell up.
+    #[must_use]
+    pub fn cell(&self, uniformity: Uniformity, size: GroupSize, method: &str) -> Option<&Table2Cell> {
+        self.cells.iter().find(|c| {
+            c.uniformity == uniformity && c.size == size && c.method == method
+        })
+    }
+
+    /// Average of one dimension over every cell of a method (used by the
+    /// qualitative assertions: "disagreement-based methods perform best in
+    /// terms of all optimization dimensions").
+    #[must_use]
+    pub fn method_average(&self, method: &str) -> OptimizationDimensions {
+        let cells: Vec<&Table2Cell> = self.cells.iter().filter(|c| c.method == method).collect();
+        if cells.is_empty() {
+            return OptimizationDimensions::default();
+        }
+        let n = cells.len() as f64;
+        OptimizationDimensions {
+            representativity: cells.iter().map(|c| c.representativity).sum::<f64>() / n,
+            cohesiveness: cells.iter().map(|c| c.cohesiveness).sum::<f64>() / n,
+            personalization: cells.iter().map(|c| c.personalization).sum::<f64>() / n,
+        }
+    }
+
+    /// Renders Table 2 the way the paper prints it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for uniformity in Uniformity::ALL {
+            for size in GroupSize::ALL {
+                let mut row = vec![uniformity.name().to_string(), size.name().to_string()];
+                for method in ConsensusMethod::paper_variants() {
+                    if let Some(cell) = self.cell(uniformity, size, method.name()) {
+                        row.push(percent(cell.representativity));
+                        row.push(percent(cell.cohesiveness));
+                        row.push(percent(cell.personalization));
+                    } else {
+                        row.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        render_table(
+            "Table 2: Synthetic experiment for travel groups (R/C/P per consensus method)",
+            &[
+                "groups", "size", "AV R", "AV C", "AV P", "LM R", "LM C", "LM P", "AD R", "AD C",
+                "AD P", "DV R", "DV C", "DV P",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Generates the groups, builds the packages, and measures the raw
+/// dimensions — the expensive part shared by Tables 2, 3 and the statistical
+/// analysis.
+#[must_use]
+pub fn collect_records(world: &SyntheticWorld) -> Vec<GroupRecord> {
+    let query = GroupQuery::paper_default();
+    let mut records = Vec::new();
+    let mut generator = world.group_generator(0x7ab1e2);
+
+    for uniformity in Uniformity::ALL {
+        for size in GroupSize::ALL {
+            for idx in 0..world.scale.groups_per_cell {
+                let group = generator.group(size, uniformity);
+                let build_seed = world.scale.seed
+                    ^ (group.group_id << 8)
+                    ^ idx as u64;
+                let config = world.build_config(build_seed);
+
+                // The median user's package is independent of the consensus
+                // method (a singleton group aggregates to itself).
+                let median_dims = group
+                    .median_user()
+                    .map(|median| {
+                        let median_group = Group::new(group.group_id, vec![median.clone()]);
+                        let median_profile =
+                            median_group.profile(ConsensusMethod::average_preference());
+                        let package = world
+                            .session
+                            .build_package(&median_profile, &query, &config)
+                            .expect("median package build");
+                        world.session.measure(&package, &median_profile)
+                    })
+                    .unwrap_or_default();
+
+                for method in ConsensusMethod::paper_variants() {
+                    let profile = group.profile(method);
+                    let package = world
+                        .session
+                        .build_package(&profile, &query, &config)
+                        .expect("group package build");
+                    let dims = world.session.measure(&package, &profile);
+                    records.push(GroupRecord {
+                        uniformity,
+                        size,
+                        method: method.name().to_string(),
+                        group_id: group.group_id,
+                        measured_uniformity: group.uniformity(),
+                        dims,
+                        median_dims,
+                    });
+                }
+            }
+        }
+    }
+    records
+}
+
+/// Normalizes the raw records and averages them per cell.
+#[must_use]
+pub fn from_records(records: &[GroupRecord]) -> Table2 {
+    let scalers = dimension_scalers(records);
+    let mut cells = Vec::new();
+    for uniformity in Uniformity::ALL {
+        for size in GroupSize::ALL {
+            for method in ConsensusMethod::paper_variants() {
+                let matching: Vec<&GroupRecord> = records
+                    .iter()
+                    .filter(|r| {
+                        r.uniformity == uniformity
+                            && r.size == size
+                            && r.method == method.name()
+                    })
+                    .collect();
+                if matching.is_empty() {
+                    continue;
+                }
+                let n = matching.len() as f64;
+                let sum = matching.iter().fold([0.0f64; 3], |mut acc, r| {
+                    let norm = normalize_dims(&r.dims, &scalers);
+                    acc[0] += norm[0];
+                    acc[1] += norm[1];
+                    acc[2] += norm[2];
+                    acc
+                });
+                cells.push(Table2Cell {
+                    uniformity,
+                    size,
+                    method: method.name().to_string(),
+                    representativity: sum[0] / n,
+                    cohesiveness: sum[1] / n,
+                    personalization: sum[2] / n,
+                });
+            }
+        }
+    }
+    Table2 { cells }
+}
+
+/// Runs the whole experiment.
+#[must_use]
+pub fn run(world: &SyntheticWorld) -> Table2 {
+    from_records(&collect_records(world))
+}
+
+/// Min–max scalers for the three dimensions, fitted over the *group* package
+/// observations (the paper normalizes over all obtained values).
+#[must_use]
+pub fn dimension_scalers(records: &[GroupRecord]) -> [MinMaxScaler; 3] {
+    let collect = |pick: fn(&OptimizationDimensions) -> f64| -> MinMaxScaler {
+        let values: Vec<f64> = records
+            .iter()
+            .flat_map(|r| [pick(&r.dims), pick(&r.median_dims)])
+            .collect();
+        MinMaxScaler::fit(&values).unwrap_or(MinMaxScaler::with_range(0.0, 1.0))
+    };
+    [
+        collect(|d| d.representativity),
+        collect(|d| d.cohesiveness),
+        collect(|d| d.personalization),
+    ]
+}
+
+/// Normalizes one set of dimensions with the fitted scalers.
+#[must_use]
+pub fn normalize_dims(dims: &OptimizationDimensions, scalers: &[MinMaxScaler; 3]) -> [f64; 3] {
+    [
+        scalers[0].transform(dims.representativity),
+        scalers[1].transform(dims.cohesiveness),
+        scalers[2].transform(dims.personalization),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    fn smoke_table() -> (Vec<GroupRecord>, Table2) {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let records = collect_records(&world);
+        let table = from_records(&records);
+        (records, table)
+    }
+
+    #[test]
+    fn produces_a_cell_for_every_combination() {
+        let (records, table) = smoke_table();
+        assert_eq!(
+            records.len(),
+            ExperimentScale::smoke().groups_per_cell * 2 * 3 * 4
+        );
+        assert_eq!(table.cells.len(), 2 * 3 * 4);
+        for uniformity in Uniformity::ALL {
+            for size in GroupSize::ALL {
+                for method in ConsensusMethod::paper_variants() {
+                    assert!(table.cell(uniformity, size, method.name()).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_values_are_in_the_unit_interval() {
+        let (_, table) = smoke_table();
+        for cell in &table.cells {
+            assert!((0.0..=1.0).contains(&cell.representativity));
+            assert!((0.0..=1.0).contains(&cell.cohesiveness));
+            assert!((0.0..=1.0).contains(&cell.personalization));
+        }
+    }
+
+    #[test]
+    fn groups_respect_their_uniformity_class() {
+        let (records, _) = smoke_table();
+        for r in &records {
+            match r.uniformity {
+                Uniformity::Uniform => assert!(r.measured_uniformity > 0.85),
+                Uniformity::NonUniform => assert!(r.measured_uniformity < 0.20),
+            }
+        }
+    }
+
+    #[test]
+    fn render_includes_every_size_and_uniformity() {
+        let (_, table) = smoke_table();
+        let out = table.render();
+        assert!(out.contains("uniform"));
+        assert!(out.contains("non-uniform"));
+        assert!(out.contains("small"));
+        assert!(out.contains("large"));
+    }
+
+    #[test]
+    fn method_average_aggregates_cells() {
+        let (_, table) = smoke_table();
+        let avg = table.method_average("average preference");
+        assert!((0.0..=1.0).contains(&avg.representativity));
+        let missing = table.method_average("not a method");
+        assert_eq!(missing.personalization, 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Table 3 — agreement between median users and their groups.
+//!
+//! §4.3.3: for every generated group the *median user* (the member whose
+//! summed profile similarity to the others is highest) gets their own travel
+//! package; the table reports how similar the optimization dimensions of the
+//! group's package are to the median user's package — i.e. how much the
+//! median individual sacrifices by traveling with the group. 100% means the
+//! group's package is exactly as good for the median user's dimensions as
+//! their personal package.
+
+use crate::common::SyntheticWorld;
+use crate::report::{percent, render_table};
+use crate::table2::{collect_records, dimension_scalers, normalize_dims, GroupRecord};
+use grouptravel::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One cell of Table 3: per-dimension agreement between the group package
+/// and the median user's package, averaged over the cell's groups.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Cell {
+    /// Uniformity class.
+    pub uniformity: Uniformity,
+    /// Size class.
+    pub size: GroupSize,
+    /// Consensus method name.
+    pub method: String,
+    /// Representativity agreement in `[0, 1]`.
+    pub representativity: f64,
+    /// Cohesiveness agreement in `[0, 1]`.
+    pub cohesiveness: f64,
+    /// Personalization agreement in `[0, 1]`.
+    pub personalization: f64,
+}
+
+/// The full Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3 {
+    /// One cell per (uniformity, size, method).
+    pub cells: Vec<Table3Cell>,
+}
+
+impl Table3 {
+    /// Looks a cell up.
+    #[must_use]
+    pub fn cell(&self, uniformity: Uniformity, size: GroupSize, method: &str) -> Option<&Table3Cell> {
+        self.cells.iter().find(|c| {
+            c.uniformity == uniformity && c.size == size && c.method == method
+        })
+    }
+
+    /// Average agreement (mean of the three dimensions) for one method within
+    /// one uniformity class, across sizes. Used for the qualitative claims
+    /// ("least misery is more successful at satisfying the median user in
+    /// non-uniform groups").
+    #[must_use]
+    pub fn average_agreement(&self, uniformity: Uniformity, method: &str) -> f64 {
+        let cells: Vec<&Table3Cell> = self
+            .cells
+            .iter()
+            .filter(|c| c.uniformity == uniformity && c.method == method)
+            .collect();
+        if cells.is_empty() {
+            return 0.0;
+        }
+        cells
+            .iter()
+            .map(|c| (c.representativity + c.cohesiveness + c.personalization) / 3.0)
+            .sum::<f64>()
+            / cells.len() as f64
+    }
+
+    /// Renders Table 3 the way the paper prints it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for uniformity in Uniformity::ALL {
+            for size in GroupSize::ALL {
+                let mut row = vec![uniformity.name().to_string(), size.name().to_string()];
+                for method in ConsensusMethod::paper_variants() {
+                    if let Some(cell) = self.cell(uniformity, size, method.name()) {
+                        row.push(percent(cell.representativity));
+                        row.push(percent(cell.cohesiveness));
+                        row.push(percent(cell.personalization));
+                    } else {
+                        row.extend(["-".to_string(), "-".to_string(), "-".to_string()]);
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        render_table(
+            "Table 3: Agreement between median users and groups (100% = full agreement)",
+            &[
+                "groups", "size", "AV R", "AV C", "AV P", "LM R", "LM C", "LM P", "AD R", "AD C",
+                "AD P", "DV R", "DV C", "DV P",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Builds Table 3 from the records collected by the synthetic run: the
+/// agreement per dimension is `1 − |normalized(group) − normalized(median)|`.
+#[must_use]
+pub fn from_records(records: &[GroupRecord]) -> Table3 {
+    let scalers = dimension_scalers(records);
+    let mut cells = Vec::new();
+    for uniformity in Uniformity::ALL {
+        for size in GroupSize::ALL {
+            for method in ConsensusMethod::paper_variants() {
+                let matching: Vec<&GroupRecord> = records
+                    .iter()
+                    .filter(|r| {
+                        r.uniformity == uniformity
+                            && r.size == size
+                            && r.method == method.name()
+                    })
+                    .collect();
+                if matching.is_empty() {
+                    continue;
+                }
+                let n = matching.len() as f64;
+                let sum = matching.iter().fold([0.0f64; 3], |mut acc, r| {
+                    let group = normalize_dims(&r.dims, &scalers);
+                    let median = normalize_dims(&r.median_dims, &scalers);
+                    for d in 0..3 {
+                        acc[d] += 1.0 - (group[d] - median[d]).abs();
+                    }
+                    acc
+                });
+                cells.push(Table3Cell {
+                    uniformity,
+                    size,
+                    method: method.name().to_string(),
+                    representativity: sum[0] / n,
+                    cohesiveness: sum[1] / n,
+                    personalization: sum[2] / n,
+                });
+            }
+        }
+    }
+    Table3 { cells }
+}
+
+/// Runs the whole experiment (collecting fresh records).
+#[must_use]
+pub fn run(world: &SyntheticWorld) -> Table3 {
+    from_records(&collect_records(world))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    #[test]
+    fn agreement_values_are_percentages() {
+        let world = SyntheticWorld::build(ExperimentScale::smoke());
+        let records = collect_records(&world);
+        let table = from_records(&records);
+        assert_eq!(table.cells.len(), 2 * 3 * 4);
+        for cell in &table.cells {
+            assert!((0.0..=1.0).contains(&cell.representativity));
+            assert!((0.0..=1.0).contains(&cell.cohesiveness));
+            assert!((0.0..=1.0).contains(&cell.personalization));
+        }
+        let out = table.render();
+        assert!(out.contains("Agreement"));
+        assert!(
+            table.average_agreement(Uniformity::Uniform, "average preference") > 0.0
+        );
+    }
+}

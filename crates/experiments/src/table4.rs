@@ -1,0 +1,296 @@
+//! Table 4 — user study, independent evaluation of personalization.
+//!
+//! §4.4.3: for groups of every size and uniformity class, six travel packages
+//! are built in Paris — a random one (attention check), a non-personalized
+//! one, and one per consensus method — and every group member rates each
+//! package from 1 to 5. Participants who prefer the injected random package
+//! are discarded. The paper's claims, asserted by the integration tests:
+//! personalized packages are rated above the random and non-personalized
+//! baselines, and scores for non-uniform groups decay as groups grow.
+
+use crate::common::UserStudyWorld;
+use crate::report::{rating, render_table};
+use grouptravel::prelude::*;
+use grouptravel::TravelPackage;
+use grouptravel_study::{RatingModel, RatingModelConfig, SimulatedWorker};
+use serde::{Deserialize, Serialize};
+
+/// The six package kinds evaluated in the study, in the paper's column
+/// order.
+pub const PACKAGE_KINDS: [&str; 6] = [
+    "random",
+    "non-personalized",
+    "average preference",
+    "least misery",
+    "pair-wise disagreement",
+    "disagreement variance",
+];
+
+/// One cell of Table 4: the average rating of one package kind by one group
+/// class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Cell {
+    /// Uniformity class of the rating groups.
+    pub uniformity: Uniformity,
+    /// Size class of the rating groups.
+    pub size: GroupSize,
+    /// Package kind (one of [`PACKAGE_KINDS`]).
+    pub kind: String,
+    /// Average 1–5 rating over retained raters.
+    pub rating: f64,
+    /// Number of ratings that went into the average.
+    pub raters: usize,
+}
+
+/// The full Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4 {
+    /// One cell per (uniformity, size, kind).
+    pub cells: Vec<Table4Cell>,
+    /// Participants discarded by the attention check.
+    pub filtered_out: usize,
+}
+
+impl Table4 {
+    /// Looks a cell up.
+    #[must_use]
+    pub fn cell(&self, uniformity: Uniformity, size: GroupSize, kind: &str) -> Option<&Table4Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.uniformity == uniformity && c.size == size && c.kind == kind)
+    }
+
+    /// Average rating of one package kind over every cell.
+    #[must_use]
+    pub fn kind_average(&self, kind: &str) -> f64 {
+        let cells: Vec<&Table4Cell> = self.cells.iter().filter(|c| c.kind == kind).collect();
+        if cells.is_empty() {
+            return 0.0;
+        }
+        cells.iter().map(|c| c.rating).sum::<f64>() / cells.len() as f64
+    }
+
+    /// Renders Table 4 the way the paper prints it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for uniformity in Uniformity::ALL {
+            for size in GroupSize::ALL {
+                let mut row = vec![uniformity.name().to_string(), size.name().to_string()];
+                for kind in PACKAGE_KINDS {
+                    match self.cell(uniformity, size, kind) {
+                        Some(cell) => row.push(rating(cell.rating)),
+                        None => row.push("-".to_string()),
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        render_table(
+            "Table 4: Independent evaluation of the user study (average 1-5 interest)",
+            &[
+                "groups",
+                "size",
+                "random",
+                "non-pers.",
+                "avg pref",
+                "least misery",
+                "pair-wise dis.",
+                "dis. variance",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Builds the six study packages for one group in Paris.
+#[must_use]
+pub fn build_study_packages(
+    world: &UserStudyWorld,
+    group: &Group,
+    seed: u64,
+) -> Vec<(String, TravelPackage)> {
+    let query = GroupQuery::paper_default();
+    let config = BuildConfig {
+        seed,
+        ..BuildConfig::default()
+    };
+    let base_profile = group.profile(ConsensusMethod::average_preference());
+
+    let mut packages = Vec::with_capacity(PACKAGE_KINDS.len());
+    packages.push((
+        "random".to_string(),
+        world
+            .paris
+            .build_random(&query, config.k, seed ^ 0xbad)
+            .expect("random package"),
+    ));
+    packages.push((
+        "non-personalized".to_string(),
+        world
+            .paris
+            .build_non_personalized(&base_profile, &query, &config)
+            .expect("non-personalized package"),
+    ));
+    for method in ConsensusMethod::paper_variants() {
+        let profile = group.profile(method);
+        packages.push((
+            method.name().to_string(),
+            world
+                .paris
+                .build_package(&profile, &query, &config)
+                .expect("personalized package"),
+        ));
+    }
+    packages
+}
+
+/// The group members' simulated workers, sampled down to `sample` raters for
+/// large groups (the paper gathers 19–30 assessments for large groups).
+#[must_use]
+pub fn raters_for_group<'a>(
+    world: &'a UserStudyWorld,
+    group: &Group,
+    sample: usize,
+) -> Vec<&'a SimulatedWorker> {
+    let mut raters: Vec<&SimulatedWorker> = group
+        .members()
+        .iter()
+        .filter_map(|member| {
+            world
+                .population
+                .workers()
+                .iter()
+                .find(|w| w.worker_id == member.user_id)
+        })
+        .collect();
+    if raters.len() > sample {
+        raters.truncate(sample);
+    }
+    raters
+}
+
+/// Runs the independent evaluation.
+#[must_use]
+pub fn run(world: &UserStudyWorld) -> Table4 {
+    let query = GroupQuery::paper_default();
+    let mut model = RatingModel::new(RatingModelConfig {
+        seed: world.scale.seed,
+        ..RatingModelConfig::default()
+    });
+    let mut cells = Vec::new();
+    let mut filtered_out = 0usize;
+    let mut group_counter = 0u64;
+
+    for uniformity in Uniformity::ALL {
+        for size in GroupSize::ALL {
+            // rating sums / counts per package kind for this cell.
+            let mut sums = vec![0.0f64; PACKAGE_KINDS.len()];
+            let mut counts = vec![0usize; PACKAGE_KINDS.len()];
+
+            for g in 0..world.scale.study_groups_per_cell {
+                group_counter += 1;
+                let Some(group) = world.platform.form_group(
+                    &world.population,
+                    size,
+                    uniformity,
+                    group_counter * 131 + g as u64,
+                ) else {
+                    continue;
+                };
+                let packages = build_study_packages(world, &group, world.scale.seed ^ group_counter);
+                let raters = raters_for_group(world, &group, world.scale.large_group_sample);
+
+                for worker in raters {
+                    let ratings: Vec<f64> = packages
+                        .iter()
+                        .map(|(_, package)| {
+                            model.rate(
+                                worker,
+                                package,
+                                world.paris.catalog(),
+                                world.paris.vectorizer(),
+                                &query,
+                            )
+                        })
+                        .collect();
+                    // Attention check: discard raters whose highest rating
+                    // went to the injected random package.
+                    let random_rating = ratings[0];
+                    let best_other = ratings[1..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    if random_rating > best_other {
+                        filtered_out += 1;
+                        continue;
+                    }
+                    for (idx, r) in ratings.iter().enumerate() {
+                        sums[idx] += r;
+                        counts[idx] += 1;
+                    }
+                }
+            }
+
+            for (idx, kind) in PACKAGE_KINDS.iter().enumerate() {
+                if counts[idx] == 0 {
+                    continue;
+                }
+                cells.push(Table4Cell {
+                    uniformity,
+                    size,
+                    kind: (*kind).to_string(),
+                    rating: sums[idx] / counts[idx] as f64,
+                    raters: counts[idx],
+                });
+            }
+        }
+    }
+
+    Table4 {
+        cells,
+        filtered_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    #[test]
+    fn independent_evaluation_produces_ratings_for_every_kind() {
+        let world = UserStudyWorld::build(ExperimentScale::smoke());
+        let table = run(&world);
+        assert!(!table.cells.is_empty());
+        for cell in &table.cells {
+            assert!((1.0..=5.0).contains(&cell.rating), "rating {}", cell.rating);
+            assert!(cell.raters > 0);
+        }
+        // Every kind appears somewhere.
+        for kind in PACKAGE_KINDS {
+            assert!(
+                table.cells.iter().any(|c| c.kind == kind),
+                "kind {kind} missing"
+            );
+        }
+        let out = table.render();
+        assert!(out.contains("Independent evaluation"));
+    }
+
+    #[test]
+    fn study_packages_cover_the_six_kinds_and_the_random_one_is_invalid() {
+        let world = UserStudyWorld::build(ExperimentScale::smoke());
+        let group = world
+            .platform
+            .form_group(&world.population, GroupSize::Small, Uniformity::Uniform, 1)
+            .unwrap();
+        let packages = build_study_packages(&world, &group, 7);
+        assert_eq!(packages.len(), 6);
+        let query = GroupQuery::paper_default();
+        assert!(!packages[0].1.is_valid(world.paris.catalog(), &query));
+        for (kind, package) in &packages[1..] {
+            assert!(
+                package.is_valid(world.paris.catalog(), &query),
+                "{kind} package should be valid"
+            );
+        }
+    }
+}

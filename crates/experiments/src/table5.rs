@@ -1,0 +1,274 @@
+//! Table 5 — user study, comparative evaluation of personalization.
+//!
+//! §4.4.3: participants are shown pairs of travel packages (the four
+//! consensus-personalized ones plus the non-personalized baseline) and pick
+//! the one they prefer. The table reports, for every pair, the percentage of
+//! comparisons won by the first package of the pair. The paper's claims:
+//! average preference / least misery win for uniform groups, while the
+//! disagreement-based packages win for non-uniform groups.
+
+use crate::common::UserStudyWorld;
+use crate::report::{percent, render_table};
+use crate::table4::{build_study_packages, raters_for_group};
+use grouptravel::prelude::*;
+use grouptravel_study::{RatingModel, RatingModelConfig};
+use serde::{Deserialize, Serialize};
+
+/// Short names of the five compared packages, in the paper's order.
+pub const COMPARED: [&str; 5] = ["AVTP", "LMTP", "ADTP", "DVTP", "NPTP"];
+
+/// Maps the short package names of the paper (AVTP, …, NPTP) to the package
+/// kinds produced by [`build_study_packages`].
+#[must_use]
+pub fn kind_of(short: &str) -> &'static str {
+    match short {
+        "AVTP" => "average preference",
+        "LMTP" => "least misery",
+        "ADTP" => "pair-wise disagreement",
+        "DVTP" => "disagreement variance",
+        _ => "non-personalized",
+    }
+}
+
+/// One pairwise comparison cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5Cell {
+    /// Uniformity class.
+    pub uniformity: Uniformity,
+    /// Size class.
+    pub size: GroupSize,
+    /// First package of the pair (its win rate is reported).
+    pub first: String,
+    /// Second package of the pair.
+    pub second: String,
+    /// Fraction of comparisons won by `first`.
+    pub first_wins: f64,
+    /// Number of comparisons.
+    pub comparisons: usize,
+}
+
+/// The full Table 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table5 {
+    /// One cell per (uniformity, size, pair).
+    pub cells: Vec<Table5Cell>,
+    /// Participants discarded by the attention check.
+    pub filtered_out: usize,
+}
+
+impl Table5 {
+    /// Looks up the win rate of `first` against `second` for one group class.
+    #[must_use]
+    pub fn win_rate(
+        &self,
+        uniformity: Uniformity,
+        size: GroupSize,
+        first: &str,
+        second: &str,
+    ) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.uniformity == uniformity && c.size == size && c.first == first && c.second == second
+            })
+            .map(|c| c.first_wins)
+    }
+
+    /// Average win rate of one package against every other across sizes for
+    /// one uniformity class (the quantity behind "AVTP and LMTP are winners
+    /// for uniform groups").
+    #[must_use]
+    pub fn average_win_rate(&self, uniformity: Uniformity, name: &str) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for cell in &self.cells {
+            if cell.uniformity != uniformity {
+                continue;
+            }
+            if cell.first == name {
+                total += cell.first_wins;
+                count += 1;
+            } else if cell.second == name {
+                total += 1.0 - cell.first_wins;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Renders Table 5 the way the paper prints it (one column per pair).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let pairs = all_pairs();
+        let mut header: Vec<String> = vec!["groups".into(), "size".into()];
+        header.extend(pairs.iter().map(|(a, b)| format!("{a} vs {b}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+        let mut rows = Vec::new();
+        for uniformity in Uniformity::ALL {
+            for size in GroupSize::ALL {
+                let mut row = vec![uniformity.name().to_string(), size.name().to_string()];
+                for (a, b) in &pairs {
+                    match self.win_rate(uniformity, size, a, b) {
+                        Some(rate) => row.push(percent(rate)),
+                        None => row.push("-".to_string()),
+                    }
+                }
+                rows.push(row);
+            }
+        }
+        render_table(
+            "Table 5: Comparative evaluation of the user study (% preferring the first package)",
+            &header_refs,
+            &rows,
+        )
+    }
+}
+
+/// The ten ordered pairs of Table 5 (every unordered pair once, first name
+/// reported).
+#[must_use]
+pub fn all_pairs() -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    for (i, a) in COMPARED.iter().enumerate() {
+        for b in &COMPARED[i + 1..] {
+            pairs.push(((*a).to_string(), (*b).to_string()));
+        }
+    }
+    pairs
+}
+
+/// Runs the comparative evaluation.
+#[must_use]
+pub fn run(world: &UserStudyWorld) -> Table5 {
+    let query = GroupQuery::paper_default();
+    let mut model = RatingModel::new(RatingModelConfig {
+        seed: world.scale.seed ^ 0x5a5a,
+        ..RatingModelConfig::default()
+    });
+    let pairs = all_pairs();
+    let mut cells = Vec::new();
+    let mut filtered_out = 0usize;
+    let mut group_counter = 0u64;
+
+    for uniformity in Uniformity::ALL {
+        for size in GroupSize::ALL {
+            let mut wins = vec![0usize; pairs.len()];
+            let mut totals = vec![0usize; pairs.len()];
+
+            for g in 0..world.scale.study_groups_per_cell {
+                group_counter += 1;
+                let Some(group) = world.platform.form_group(
+                    &world.population,
+                    size,
+                    uniformity,
+                    group_counter * 977 + g as u64,
+                ) else {
+                    continue;
+                };
+                let packages =
+                    build_study_packages(world, &group, world.scale.seed ^ (group_counter << 4));
+                let find = |kind: &str| {
+                    packages
+                        .iter()
+                        .find(|(k, _)| k == kind)
+                        .map(|(_, p)| p)
+                        .expect("every study package kind is built")
+                };
+                let random_package = find("random");
+                let raters = raters_for_group(world, &group, world.scale.large_group_sample);
+
+                for worker in raters {
+                    // Attention check: a worker who prefers the invalid
+                    // random package over the average-preference package is
+                    // discarded.
+                    let avtp = find(kind_of("AVTP"));
+                    if model.prefers_first(
+                        worker,
+                        random_package,
+                        avtp,
+                        world.paris.catalog(),
+                        world.paris.vectorizer(),
+                        &query,
+                    ) {
+                        filtered_out += 1;
+                        continue;
+                    }
+                    for (idx, (a, b)) in pairs.iter().enumerate() {
+                        let first = find(kind_of(a));
+                        let second = find(kind_of(b));
+                        totals[idx] += 1;
+                        if model.prefers_first(
+                            worker,
+                            first,
+                            second,
+                            world.paris.catalog(),
+                            world.paris.vectorizer(),
+                            &query,
+                        ) {
+                            wins[idx] += 1;
+                        }
+                    }
+                }
+            }
+
+            for (idx, (a, b)) in pairs.iter().enumerate() {
+                if totals[idx] == 0 {
+                    continue;
+                }
+                cells.push(Table5Cell {
+                    uniformity,
+                    size,
+                    first: a.clone(),
+                    second: b.clone(),
+                    first_wins: wins[idx] as f64 / totals[idx] as f64,
+                    comparisons: totals[idx],
+                });
+            }
+        }
+    }
+
+    Table5 {
+        cells,
+        filtered_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    #[test]
+    fn there_are_ten_pairs() {
+        let pairs = all_pairs();
+        assert_eq!(pairs.len(), 10);
+        assert!(pairs.contains(&("AVTP".to_string(), "NPTP".to_string())));
+    }
+
+    #[test]
+    fn kind_mapping_covers_all_short_names() {
+        assert_eq!(kind_of("AVTP"), "average preference");
+        assert_eq!(kind_of("DVTP"), "disagreement variance");
+        assert_eq!(kind_of("NPTP"), "non-personalized");
+    }
+
+    #[test]
+    fn comparative_evaluation_produces_win_rates_in_range() {
+        let world = UserStudyWorld::build(ExperimentScale::smoke());
+        let table = run(&world);
+        assert!(!table.cells.is_empty());
+        for cell in &table.cells {
+            assert!((0.0..=1.0).contains(&cell.first_wins));
+            assert!(cell.comparisons > 0);
+        }
+        let avg = table.average_win_rate(Uniformity::Uniform, "AVTP");
+        assert!((0.0..=1.0).contains(&avg));
+        let out = table.render();
+        assert!(out.contains("AVTP vs LMTP"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Table 6 — customized travel packages, independent evaluation.
+//!
+//! §4.4.4: one uniform group (11 members) and one non-uniform group
+//! (7 members) are formed from workers with an approval rate above 90%. A
+//! personalized package is built in Paris; the members interact with it
+//! (add / remove / replace POIs); their interactions refine the group profile
+//! with the *individual* and *batch* strategies; and a new package is built
+//! in Barcelona with each refined profile (plus the non-personalized
+//! baseline). Members then rate the three Barcelona packages from 1 to 5.
+
+use crate::common::UserStudyWorld;
+use crate::report::{rating, render_table};
+use grouptravel::prelude::*;
+use grouptravel::{refine_batch, refine_individual, MemberInteractions, TravelPackage};
+use grouptravel_profile::cosine_similarity;
+use grouptravel_study::{RatingModel, RatingModelConfig, SimulatedWorker};
+use serde::{Deserialize, Serialize};
+
+/// The three Barcelona packages of the customization study, in the paper's
+/// row order.
+pub const STRATEGIES: [&str; 3] = ["individual", "batch", "non-personalized"];
+
+/// Everything the customization study computes for one group; shared by
+/// Tables 6 and 7.
+pub struct GroupStudy {
+    /// The group's uniformity class.
+    pub uniformity: Uniformity,
+    /// The group itself.
+    pub group: Group,
+    /// The simulated interactions of every member with the Paris package.
+    pub interactions: Vec<MemberInteractions>,
+    /// The three Barcelona packages keyed by strategy name.
+    pub barcelona_packages: Vec<(String, TravelPackage)>,
+}
+
+/// The full customization study (both groups).
+pub struct CustomizationStudy {
+    /// Per-group results (uniform first, then non-uniform).
+    pub groups: Vec<GroupStudy>,
+}
+
+/// One cell of Table 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6Cell {
+    /// Uniformity class of the group.
+    pub uniformity: Uniformity,
+    /// Strategy (individual / batch / non-personalized).
+    pub strategy: String,
+    /// Average 1–5 rating of the Barcelona package.
+    pub rating: f64,
+    /// Number of retained raters.
+    pub raters: usize,
+}
+
+/// The full Table 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table6 {
+    /// One cell per (uniformity, strategy).
+    pub cells: Vec<Table6Cell>,
+    /// Raters discarded by the attention check.
+    pub filtered_out: usize,
+}
+
+impl Table6 {
+    /// Looks a cell up.
+    #[must_use]
+    pub fn cell(&self, uniformity: Uniformity, strategy: &str) -> Option<&Table6Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.uniformity == uniformity && c.strategy == strategy)
+    }
+
+    /// Renders Table 6 the way the paper prints it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut rows = Vec::new();
+        for strategy in STRATEGIES {
+            let mut row = vec![strategy.to_string()];
+            for uniformity in Uniformity::ALL {
+                match self.cell(uniformity, strategy) {
+                    Some(cell) => row.push(rating(cell.rating)),
+                    None => row.push("-".to_string()),
+                }
+            }
+            rows.push(row);
+        }
+        render_table(
+            "Table 6: Independent evaluation of customized travel packages (Barcelona, 1-5)",
+            &["TP type", "uniform", "non-uniform"],
+            &rows,
+        )
+    }
+}
+
+/// Simulates how one member interacts with the Paris package: the member
+/// removes the POI of the package they like least, asks the system to
+/// replace the second-least-liked POI, and adds the candidate POI they like
+/// most near the first composite item. This mirrors the paper's GUI flow
+/// (Figure 3) with preferences standing in for clicks.
+fn simulate_member_interactions(
+    world: &UserStudyWorld,
+    worker: &SimulatedWorker,
+    package: &TravelPackage,
+    profile: &GroupProfile,
+    query: &GroupQuery,
+) -> MemberInteractions {
+    let mut record = MemberInteractions::new(worker.worker_id);
+    let weights = ObjectiveWeights::default();
+    let catalog = world.paris.catalog();
+    let vectorizer = world.paris.vectorizer();
+
+    // Rank every (ci, poi) of the package by the member's own affinity.
+    let mut scored: Vec<(usize, grouptravel_dataset::PoiId, f64)> = Vec::new();
+    for (ci_idx, ci) in package.composite_items().iter().enumerate() {
+        for poi in ci.resolve(catalog) {
+            let affinity = cosine_similarity(
+                worker.profile.vector(poi.category),
+                &vectorizer.item_vector(poi),
+            );
+            scored.push((ci_idx, poi.id, affinity));
+        }
+    }
+    scored.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut working = package.clone();
+
+    // REMOVE the least-liked POI.
+    if let Some(&(ci_idx, poi, _)) = scored.first() {
+        if let Ok(log) = world.paris.apply(
+            &mut working,
+            &grouptravel::CustomizationOp::Remove { ci_index: ci_idx, poi },
+            profile,
+            query,
+            &weights,
+        ) {
+            record.log.merge(&log);
+        }
+    }
+    // REPLACE the second-least-liked POI with the system's suggestion.
+    if let Some(&(ci_idx, poi, _)) = scored.get(1) {
+        if let Ok(log) = world.paris.apply(
+            &mut working,
+            &grouptravel::CustomizationOp::Replace { ci_index: ci_idx, poi },
+            profile,
+            query,
+            &weights,
+        ) {
+            record.log.merge(&log);
+        }
+    }
+    // ADD the best candidate attraction near the first composite item.
+    let candidates = world
+        .paris
+        .add_candidates(&working, 0, Category::Attraction, None, 10);
+    let best = candidates.into_iter().max_by(|a, b| {
+        let sa = cosine_similarity(
+            worker.profile.vector(a.category),
+            &vectorizer.item_vector(a),
+        );
+        let sb = cosine_similarity(
+            worker.profile.vector(b.category),
+            &vectorizer.item_vector(b),
+        );
+        sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if let Some(poi) = best {
+        if let Ok(log) = world.paris.apply(
+            &mut working,
+            &grouptravel::CustomizationOp::Add { ci_index: 0, poi: poi.id },
+            profile,
+            query,
+            &weights,
+        ) {
+            record.log.merge(&log);
+        }
+    }
+    record
+}
+
+/// Runs the customization study for both groups, producing the Barcelona
+/// packages that Tables 6 and 7 evaluate.
+#[must_use]
+pub fn run_study(world: &UserStudyWorld) -> CustomizationStudy {
+    let query = GroupQuery::paper_default();
+    let consensus = ConsensusMethod::pairwise_disagreement();
+    let mut groups = Vec::new();
+
+    for (uniformity, size, salt) in [
+        (Uniformity::Uniform, 11usize, 0x61u64),
+        (Uniformity::NonUniform, 7usize, 0x62u64),
+    ] {
+        let Some(group) =
+            world
+                .platform
+                .form_group_sized(&world.population, size, uniformity, salt)
+        else {
+            continue;
+        };
+        let profile = group.profile(consensus);
+        let paris_config = BuildConfig {
+            seed: world.scale.seed ^ salt,
+            ..BuildConfig::default()
+        };
+        let paris_package = world
+            .paris
+            .build_package(&profile, &query, &paris_config)
+            .expect("paris package");
+
+        // Every member interacts with the Paris package.
+        let interactions: Vec<MemberInteractions> = group
+            .members()
+            .iter()
+            .filter_map(|member| {
+                world
+                    .population
+                    .workers()
+                    .iter()
+                    .find(|w| w.worker_id == member.user_id)
+            })
+            .map(|worker| {
+                simulate_member_interactions(world, worker, &paris_package, &profile, &query)
+            })
+            .collect();
+
+        // Refine with both strategies.
+        let batch_profile = refine_batch(
+            &profile,
+            &interactions,
+            world.paris.catalog(),
+            world.paris.vectorizer(),
+        );
+        let (_, individual_profile) = refine_individual(
+            &group,
+            consensus,
+            &interactions,
+            world.paris.catalog(),
+            world.paris.vectorizer(),
+        );
+
+        // Build the three Barcelona packages.
+        let barcelona_config = BuildConfig {
+            seed: world.scale.seed ^ salt ^ 0xbcba,
+            ..BuildConfig::default()
+        };
+        let barcelona_packages = vec![
+            (
+                "individual".to_string(),
+                world
+                    .barcelona
+                    .build_package(&individual_profile, &query, &barcelona_config)
+                    .expect("barcelona individual package"),
+            ),
+            (
+                "batch".to_string(),
+                world
+                    .barcelona
+                    .build_package(&batch_profile, &query, &barcelona_config)
+                    .expect("barcelona batch package"),
+            ),
+            (
+                "non-personalized".to_string(),
+                world
+                    .barcelona
+                    .build_non_personalized(&profile, &query, &barcelona_config)
+                    .expect("barcelona non-personalized package"),
+            ),
+        ];
+
+        groups.push(GroupStudy {
+            uniformity,
+            group,
+            interactions,
+            barcelona_packages,
+        });
+    }
+
+    CustomizationStudy { groups }
+}
+
+/// Builds Table 6 from a customization study.
+#[must_use]
+pub fn from_study(world: &UserStudyWorld, study: &CustomizationStudy) -> Table6 {
+    let query = GroupQuery::paper_default();
+    let mut model = RatingModel::new(RatingModelConfig {
+        seed: world.scale.seed ^ 0x66,
+        ..RatingModelConfig::default()
+    });
+    let mut cells = Vec::new();
+    let mut filtered_out = 0usize;
+
+    for group_study in &study.groups {
+        let raters: Vec<&SimulatedWorker> = group_study
+            .group
+            .members()
+            .iter()
+            .filter_map(|member| {
+                world
+                    .population
+                    .workers()
+                    .iter()
+                    .find(|w| w.worker_id == member.user_id)
+            })
+            .collect();
+        let random_package = world
+            .barcelona
+            .build_random(&query, 5, world.scale.seed ^ 0x77)
+            .expect("random barcelona package");
+
+        let mut sums = vec![0.0f64; group_study.barcelona_packages.len()];
+        let mut counts = vec![0usize; group_study.barcelona_packages.len()];
+        for worker in raters {
+            let random_rating = model.rate(
+                worker,
+                &random_package,
+                world.barcelona.catalog(),
+                world.barcelona.vectorizer(),
+                &query,
+            );
+            let ratings: Vec<f64> = group_study
+                .barcelona_packages
+                .iter()
+                .map(|(_, p)| {
+                    model.rate(
+                        worker,
+                        p,
+                        world.barcelona.catalog(),
+                        world.barcelona.vectorizer(),
+                        &query,
+                    )
+                })
+                .collect();
+            let best = ratings.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if random_rating > best {
+                filtered_out += 1;
+                continue;
+            }
+            for (idx, r) in ratings.iter().enumerate() {
+                sums[idx] += r;
+                counts[idx] += 1;
+            }
+        }
+        for (idx, (strategy, _)) in group_study.barcelona_packages.iter().enumerate() {
+            if counts[idx] == 0 {
+                continue;
+            }
+            cells.push(Table6Cell {
+                uniformity: group_study.uniformity,
+                strategy: strategy.clone(),
+                rating: sums[idx] / counts[idx] as f64,
+                raters: counts[idx],
+            });
+        }
+    }
+
+    Table6 {
+        cells,
+        filtered_out,
+    }
+}
+
+/// Runs the whole Table 6 experiment.
+#[must_use]
+pub fn run(world: &UserStudyWorld) -> Table6 {
+    from_study(world, &run_study(world))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    #[test]
+    fn customization_study_builds_both_groups_and_all_strategies() {
+        let world = UserStudyWorld::build(ExperimentScale::smoke());
+        let study = run_study(&world);
+        assert_eq!(study.groups.len(), 2);
+        assert_eq!(study.groups[0].uniformity, Uniformity::Uniform);
+        assert_eq!(study.groups[0].group.size(), 11);
+        assert_eq!(study.groups[1].group.size(), 7);
+        for g in &study.groups {
+            assert_eq!(g.barcelona_packages.len(), 3);
+            assert!(!g.interactions.is_empty());
+            assert!(g.interactions.iter().any(|i| !i.log.is_empty()));
+            for (_, p) in &g.barcelona_packages {
+                assert_eq!(p.len(), 5);
+            }
+        }
+        let table = from_study(&world, &study);
+        assert_eq!(table.cells.len(), 6);
+        for cell in &table.cells {
+            assert!((1.0..=5.0).contains(&cell.rating));
+        }
+        let out = table.render();
+        assert!(out.contains("batch"));
+        assert!(out.contains("individual"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Table 7 — customized travel packages, comparative evaluation.
+//!
+//! §4.4.4: the members of the two customization-study groups are shown pairs
+//! of Barcelona packages (batch-refined, individual-refined,
+//! non-personalized) and pick the one they prefer. The paper reports the
+//! batch strategy as the clear winner.
+
+use crate::common::UserStudyWorld;
+use crate::report::{percent, render_table};
+use crate::table6::{run_study, CustomizationStudy};
+use grouptravel::prelude::*;
+use grouptravel_study::{RatingModel, RatingModelConfig, SimulatedWorker};
+use serde::{Deserialize, Serialize};
+
+/// The three ordered pairs of Table 7.
+#[must_use]
+pub fn pairs() -> Vec<(String, String)> {
+    vec![
+        ("batch".to_string(), "individual".to_string()),
+        ("batch".to_string(), "non-personalized".to_string()),
+        ("individual".to_string(), "non-personalized".to_string()),
+    ]
+}
+
+/// One cell of Table 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table7Cell {
+    /// Uniformity class of the group.
+    pub uniformity: Uniformity,
+    /// First strategy of the pair (its win rate is reported).
+    pub first: String,
+    /// Second strategy of the pair.
+    pub second: String,
+    /// Fraction of comparisons won by `first`.
+    pub first_wins: f64,
+    /// Number of comparisons.
+    pub comparisons: usize,
+}
+
+/// The full Table 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table7 {
+    /// One cell per (uniformity, pair).
+    pub cells: Vec<Table7Cell>,
+}
+
+impl Table7 {
+    /// Looks up the win rate of `first` against `second` for one group class.
+    #[must_use]
+    pub fn win_rate(&self, uniformity: Uniformity, first: &str, second: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.uniformity == uniformity && c.first == first && c.second == second)
+            .map(|c| c.first_wins)
+    }
+
+    /// Renders Table 7 the way the paper prints it.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let pair_list = pairs();
+        let mut header: Vec<String> = vec!["groups".into()];
+        header.extend(pair_list.iter().map(|(a, b)| format!("{a} vs {b}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for uniformity in Uniformity::ALL {
+            let mut row = vec![uniformity.name().to_string()];
+            for (a, b) in &pair_list {
+                match self.win_rate(uniformity, a, b) {
+                    Some(rate) => row.push(percent(rate)),
+                    None => row.push("-".to_string()),
+                }
+            }
+            rows.push(row);
+        }
+        render_table(
+            "Table 7: Comparative evaluation of customized travel packages (% preferring the first)",
+            &header_refs,
+            &rows,
+        )
+    }
+}
+
+/// Builds Table 7 from an existing customization study.
+#[must_use]
+pub fn from_study(world: &UserStudyWorld, study: &CustomizationStudy) -> Table7 {
+    let query = GroupQuery::paper_default();
+    let mut model = RatingModel::new(RatingModelConfig {
+        seed: world.scale.seed ^ 0x777,
+        ..RatingModelConfig::default()
+    });
+    let pair_list = pairs();
+    let mut cells = Vec::new();
+
+    for group_study in &study.groups {
+        let raters: Vec<&SimulatedWorker> = group_study
+            .group
+            .members()
+            .iter()
+            .filter_map(|member| {
+                world
+                    .population
+                    .workers()
+                    .iter()
+                    .find(|w| w.worker_id == member.user_id)
+            })
+            .collect();
+        let find = |strategy: &str| {
+            group_study
+                .barcelona_packages
+                .iter()
+                .find(|(s, _)| s == strategy)
+                .map(|(_, p)| p)
+                .expect("every strategy package is built")
+        };
+
+        for (a, b) in &pair_list {
+            let first = find(a);
+            let second = find(b);
+            let mut wins = 0usize;
+            let mut total = 0usize;
+            for worker in &raters {
+                total += 1;
+                if model.prefers_first(
+                    worker,
+                    first,
+                    second,
+                    world.barcelona.catalog(),
+                    world.barcelona.vectorizer(),
+                    &query,
+                ) {
+                    wins += 1;
+                }
+            }
+            if total == 0 {
+                continue;
+            }
+            cells.push(Table7Cell {
+                uniformity: group_study.uniformity,
+                first: a.clone(),
+                second: b.clone(),
+                first_wins: wins as f64 / total as f64,
+                comparisons: total,
+            });
+        }
+    }
+
+    Table7 { cells }
+}
+
+/// Runs the whole Table 7 experiment.
+#[must_use]
+pub fn run(world: &UserStudyWorld) -> Table7 {
+    from_study(world, &run_study(world))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::ExperimentScale;
+
+    #[test]
+    fn comparative_customization_covers_both_groups_and_all_pairs() {
+        let world = UserStudyWorld::build(ExperimentScale::smoke());
+        let study = run_study(&world);
+        let table = from_study(&world, &study);
+        assert_eq!(table.cells.len(), 2 * 3);
+        for cell in &table.cells {
+            assert!((0.0..=1.0).contains(&cell.first_wins));
+            assert!(cell.comparisons > 0);
+        }
+        assert!(table
+            .win_rate(Uniformity::Uniform, "batch", "individual")
+            .is_some());
+        let out = table.render();
+        assert!(out.contains("batch vs individual"));
+    }
+}

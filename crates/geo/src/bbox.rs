@@ -1,0 +1,251 @@
+//! Bounding boxes and rectangles.
+//!
+//! Two related shapes are needed by GroupTravel:
+//!
+//! * [`BoundingBox`] — an axis-aligned lat/lon box, used to delimit a city in
+//!   the synthetic dataset generator and to clip centroids during clustering.
+//! * [`Rectangle`] — the screen-style rectangle from the
+//!   `GENERATE(RECTANGLE(x, y, w, h))` customization operator (§3.3), whose
+//!   upper-left corner is `(x, y)` with width `w` (longitude span) and height
+//!   `h` (latitude span).
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Axis-aligned geographic bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Southernmost latitude.
+    pub min_lat: f64,
+    /// Northernmost latitude.
+    pub max_lat: f64,
+    /// Westernmost longitude.
+    pub min_lon: f64,
+    /// Easternmost longitude.
+    pub max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box, swapping bounds if given in the wrong order.
+    #[must_use]
+    pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Self {
+        let (min_lat, max_lat) = if min_lat <= max_lat {
+            (min_lat, max_lat)
+        } else {
+            (max_lat, min_lat)
+        };
+        let (min_lon, max_lon) = if min_lon <= max_lon {
+            (min_lon, max_lon)
+        } else {
+            (max_lon, min_lon)
+        };
+        Self {
+            min_lat,
+            max_lat,
+            min_lon,
+            max_lon,
+        }
+    }
+
+    /// The smallest box containing every point in `points`.
+    ///
+    /// Returns `None` for an empty slice.
+    #[must_use]
+    pub fn from_points(points: &[GeoPoint]) -> Option<Self> {
+        let first = points.first()?;
+        let mut bb = Self::new(first.lat, first.lat, first.lon, first.lon);
+        for p in &points[1..] {
+            bb.min_lat = bb.min_lat.min(p.lat);
+            bb.max_lat = bb.max_lat.max(p.lat);
+            bb.min_lon = bb.min_lon.min(p.lon);
+            bb.max_lon = bb.max_lon.max(p.lon);
+        }
+        Some(bb)
+    }
+
+    /// Whether `p` lies inside the box (inclusive on all edges).
+    #[must_use]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        (self.min_lat..=self.max_lat).contains(&p.lat)
+            && (self.min_lon..=self.max_lon).contains(&p.lon)
+    }
+
+    /// Geometric centre of the box.
+    #[must_use]
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new_unchecked(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+    }
+
+    /// Clamps a point to the box.
+    #[must_use]
+    pub fn clamp(&self, p: &GeoPoint) -> GeoPoint {
+        GeoPoint::new_unchecked(
+            p.lat.clamp(self.min_lat, self.max_lat),
+            p.lon.clamp(self.min_lon, self.max_lon),
+        )
+    }
+
+    /// Latitude span in degrees.
+    #[must_use]
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Longitude span in degrees.
+    #[must_use]
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// Expands the box by `margin` degrees in every direction.
+    #[must_use]
+    pub fn expanded(&self, margin: f64) -> Self {
+        Self::new(
+            self.min_lat - margin,
+            self.max_lat + margin,
+            self.min_lon - margin,
+            self.max_lon + margin,
+        )
+    }
+}
+
+/// Rectangle as selected on an interactive map: upper-left corner `(x, y)`
+/// where `x` is longitude and `y` is latitude, width `w` in degrees of
+/// longitude (towards the east), and height `h` in degrees of latitude
+/// (towards the south).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rectangle {
+    /// Longitude of the upper-left corner.
+    pub x: f64,
+    /// Latitude of the upper-left corner.
+    pub y: f64,
+    /// Width (longitude span), non-negative.
+    pub w: f64,
+    /// Height (latitude span), non-negative.
+    pub h: f64,
+}
+
+impl Rectangle {
+    /// Creates a rectangle; negative spans are clamped to zero.
+    #[must_use]
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Self {
+            x,
+            y,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Converts the rectangle to a [`BoundingBox`].
+    #[must_use]
+    pub fn to_bbox(&self) -> BoundingBox {
+        BoundingBox::new(self.y - self.h, self.y, self.x, self.x + self.w)
+    }
+
+    /// Centre of the rectangle.
+    #[must_use]
+    pub fn center(&self) -> GeoPoint {
+        self.to_bbox().center()
+    }
+
+    /// Whether the rectangle contains the point.
+    #[must_use]
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        self.to_bbox().contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_swaps_reversed_bounds() {
+        let bb = BoundingBox::new(49.0, 48.0, 3.0, 2.0);
+        assert_eq!(bb.min_lat, 48.0);
+        assert_eq!(bb.max_lat, 49.0);
+        assert_eq!(bb.min_lon, 2.0);
+        assert_eq!(bb.max_lon, 3.0);
+    }
+
+    #[test]
+    fn from_points_covers_all_points() {
+        let pts = vec![
+            GeoPoint::new_unchecked(48.8, 2.3),
+            GeoPoint::new_unchecked(48.9, 2.2),
+            GeoPoint::new_unchecked(48.85, 2.4),
+        ];
+        let bb = BoundingBox::from_points(&pts).unwrap();
+        for p in &pts {
+            assert!(bb.contains(p));
+        }
+        assert_eq!(bb.min_lat, 48.8);
+        assert_eq!(bb.max_lon, 2.4);
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(BoundingBox::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_edges() {
+        let bb = BoundingBox::new(48.0, 49.0, 2.0, 3.0);
+        assert!(bb.contains(&GeoPoint::new_unchecked(48.0, 2.0)));
+        assert!(bb.contains(&GeoPoint::new_unchecked(49.0, 3.0)));
+        assert!(!bb.contains(&GeoPoint::new_unchecked(47.999, 2.5)));
+    }
+
+    #[test]
+    fn center_and_spans() {
+        let bb = BoundingBox::new(48.0, 49.0, 2.0, 3.0);
+        let c = bb.center();
+        assert!((c.lat - 48.5).abs() < 1e-12);
+        assert!((c.lon - 2.5).abs() < 1e-12);
+        assert!((bb.lat_span() - 1.0).abs() < 1e-12);
+        assert!((bb.lon_span() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_moves_outside_points_onto_boundary() {
+        let bb = BoundingBox::new(48.0, 49.0, 2.0, 3.0);
+        let clamped = bb.clamp(&GeoPoint::new_unchecked(50.0, 1.0));
+        assert_eq!(clamped, GeoPoint::new_unchecked(49.0, 2.0));
+        let inside = GeoPoint::new_unchecked(48.5, 2.5);
+        assert_eq!(bb.clamp(&inside), inside);
+    }
+
+    #[test]
+    fn expanded_grows_every_side() {
+        let bb = BoundingBox::new(48.0, 49.0, 2.0, 3.0).expanded(0.5);
+        assert_eq!(bb.min_lat, 47.5);
+        assert_eq!(bb.max_lat, 49.5);
+        assert_eq!(bb.min_lon, 1.5);
+        assert_eq!(bb.max_lon, 3.5);
+    }
+
+    #[test]
+    fn rectangle_to_bbox_extends_south_and_east() {
+        // Upper-left at (lon=2.0, lat=49.0), 0.5 wide, 0.25 tall.
+        let r = Rectangle::new(2.0, 49.0, 0.5, 0.25);
+        let bb = r.to_bbox();
+        assert_eq!(bb.max_lat, 49.0);
+        assert_eq!(bb.min_lat, 48.75);
+        assert_eq!(bb.min_lon, 2.0);
+        assert_eq!(bb.max_lon, 2.5);
+        assert!(r.contains(&GeoPoint::new_unchecked(48.9, 2.2)));
+        assert!(!r.contains(&GeoPoint::new_unchecked(49.1, 2.2)));
+    }
+
+    #[test]
+    fn rectangle_negative_spans_are_clamped() {
+        let r = Rectangle::new(2.0, 49.0, -1.0, -1.0);
+        assert_eq!(r.w, 0.0);
+        assert_eq!(r.h, 0.0);
+        assert_eq!(r.center(), GeoPoint::new_unchecked(49.0, 2.0));
+    }
+}

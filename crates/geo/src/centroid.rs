@@ -1,0 +1,122 @@
+//! Centroid math over (optionally weighted) point sets.
+//!
+//! Fuzzy c-means repeatedly recomputes cluster centroids as the
+//! membership-weighted mean of all points; this module provides that
+//! primitive plus a plain arithmetic centroid used by the metrics module and
+//! the `GENERATE` customization operator.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A cluster centroid: a geographic position with helpers to update it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Centroid {
+    /// The centroid position.
+    pub position: GeoPoint,
+}
+
+impl Centroid {
+    /// Creates a centroid at `position`.
+    #[must_use]
+    pub fn new(position: GeoPoint) -> Self {
+        Self { position }
+    }
+
+    /// Unweighted centroid (arithmetic mean of coordinates).
+    ///
+    /// Returns `None` for an empty slice. The arithmetic mean of lat/lon is a
+    /// valid approximation of the geographic centroid at city scale, which is
+    /// all GroupTravel needs.
+    #[must_use]
+    pub fn mean(points: &[GeoPoint]) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len() as f64;
+        let lat = points.iter().map(|p| p.lat).sum::<f64>() / n;
+        let lon = points.iter().map(|p| p.lon).sum::<f64>() / n;
+        Some(Self::new(GeoPoint::new_unchecked(lat, lon)))
+    }
+}
+
+/// Weighted centroid of `points` with non-negative `weights`.
+///
+/// Returns `None` when the slices are empty, have mismatched lengths, or the
+/// total weight is (numerically) zero.
+#[must_use]
+pub fn weighted_centroid(points: &[GeoPoint], weights: &[f64]) -> Option<GeoPoint> {
+    if points.is_empty() || points.len() != weights.len() {
+        return None;
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= f64::EPSILON {
+        return None;
+    }
+    let mut lat = 0.0;
+    let mut lon = 0.0;
+    for (p, w) in points.iter().zip(weights) {
+        lat += p.lat * w;
+        lon += p.lon * w;
+    }
+    Some(GeoPoint::new_unchecked(lat / total, lon / total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert!(Centroid::mean(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_of_single_point_is_that_point() {
+        let p = GeoPoint::new_unchecked(48.86, 2.33);
+        assert_eq!(Centroid::mean(&[p]).unwrap().position, p);
+    }
+
+    #[test]
+    fn mean_of_symmetric_points_is_the_middle() {
+        let pts = vec![
+            GeoPoint::new_unchecked(48.0, 2.0),
+            GeoPoint::new_unchecked(50.0, 4.0),
+        ];
+        let c = Centroid::mean(&pts).unwrap().position;
+        assert!((c.lat - 49.0).abs() < 1e-12);
+        assert!((c.lon - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_centroid_respects_weights() {
+        let pts = vec![
+            GeoPoint::new_unchecked(48.0, 2.0),
+            GeoPoint::new_unchecked(50.0, 4.0),
+        ];
+        let c = weighted_centroid(&pts, &[3.0, 1.0]).unwrap();
+        assert!((c.lat - 48.5).abs() < 1e-12);
+        assert!((c.lon - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_centroid_equal_weights_matches_mean() {
+        let pts = vec![
+            GeoPoint::new_unchecked(48.0, 2.0),
+            GeoPoint::new_unchecked(50.0, 4.0),
+            GeoPoint::new_unchecked(49.0, 3.0),
+        ];
+        let w = vec![1.0; pts.len()];
+        let a = weighted_centroid(&pts, &w).unwrap();
+        let b = Centroid::mean(&pts).unwrap().position;
+        assert!((a.lat - b.lat).abs() < 1e-12);
+        assert!((a.lon - b.lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_centroid_rejects_bad_inputs() {
+        let pts = vec![GeoPoint::new_unchecked(48.0, 2.0)];
+        assert!(weighted_centroid(&pts, &[]).is_none());
+        assert!(weighted_centroid(&[], &[]).is_none());
+        assert!(weighted_centroid(&pts, &[0.0]).is_none());
+    }
+}

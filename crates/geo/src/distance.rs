@@ -1,0 +1,251 @@
+//! Geographic distance functions.
+//!
+//! The paper approximates Haversine distances with equirectangular
+//! calculations "to gain performance", reporting a 30× speed-up with only
+//! 0.1% precision loss for intra-city distances (§3.2). Both are implemented
+//! here so the ablation benchmark (`ablation_distance`) can reproduce that
+//! claim, and so the property tests can bound the approximation error.
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// Which distance function to use when evaluating the objective function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceMetric {
+    /// Exact great-circle distance.
+    Haversine,
+    /// Equirectangular approximation (the paper's default).
+    #[default]
+    Equirectangular,
+}
+
+impl DistanceMetric {
+    /// Distance between two points in kilometres under this metric.
+    #[must_use]
+    pub fn distance_km(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        match self {
+            DistanceMetric::Haversine => haversine_km(a, b),
+            DistanceMetric::Equirectangular => equirectangular_km(a, b),
+        }
+    }
+}
+
+/// Exact great-circle (Haversine) distance in kilometres.
+#[must_use]
+pub fn haversine_km(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let (lat1, lon1) = (a.lat_rad(), a.lon_rad());
+    let (lat2, lon2) = (b.lat_rad(), b.lon_rad());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let s = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * s.sqrt().asin()
+}
+
+/// Equirectangular approximation of the great-circle distance in kilometres.
+///
+/// Projects the two points onto a plane using the mean latitude as the
+/// scaling factor for longitude, then takes the planar Euclidean distance.
+/// Accurate to well under 0.1% for the intra-city distances (a few tens of
+/// kilometres) GroupTravel works with.
+#[must_use]
+pub fn equirectangular_km(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let mean_lat = ((a.lat + b.lat) / 2.0).to_radians();
+    let x = (b.lon_rad() - a.lon_rad()) * mean_lat.cos();
+    let y = b.lat_rad() - a.lat_rad();
+    EARTH_RADIUS_KM * (x * x + y * y).sqrt()
+}
+
+/// Squared equirectangular distance (kilometres squared).
+///
+/// Useful when only distance *comparisons* are needed (e.g. nearest-neighbour
+/// lookups inside the clustering loop) because it avoids the square root.
+#[must_use]
+pub fn equirectangular_km_sq(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    let mean_lat = ((a.lat + b.lat) / 2.0).to_radians();
+    let x = (b.lon_rad() - a.lon_rad()) * mean_lat.cos();
+    let y = b.lat_rad() - a.lat_rad();
+    let d = EARTH_RADIUS_KM * EARTH_RADIUS_KM;
+    d * (x * x + y * y)
+}
+
+/// Rescales raw kilometre distances into `[0, 1]` by dividing by the largest
+/// observed distance, exactly as the paper does before plugging distances
+/// into the objective function (Eq. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceNormalizer {
+    max_km: f64,
+    metric: DistanceMetric,
+}
+
+impl DistanceNormalizer {
+    /// Builds a normalizer whose scale is the maximum pairwise distance over
+    /// `points` under `metric`.
+    ///
+    /// With fewer than two points (or all points coincident) the scale falls
+    /// back to 1 km so that normalization is a no-op rather than a division
+    /// by zero.
+    #[must_use]
+    pub fn from_points(points: &[GeoPoint], metric: DistanceMetric) -> Self {
+        let mut max_km: f64 = 0.0;
+        for (idx, a) in points.iter().enumerate() {
+            for b in &points[idx + 1..] {
+                let d = metric.distance_km(a, b);
+                if d > max_km {
+                    max_km = d;
+                }
+            }
+        }
+        Self::with_scale(max_km, metric)
+    }
+
+    /// Builds a normalizer with an explicit maximum distance in kilometres.
+    #[must_use]
+    pub fn with_scale(max_km: f64, metric: DistanceMetric) -> Self {
+        let max_km = if max_km > f64::EPSILON { max_km } else { 1.0 };
+        Self { max_km, metric }
+    }
+
+    /// The scale (largest observed distance) in kilometres.
+    #[must_use]
+    pub fn scale_km(&self) -> f64 {
+        self.max_km
+    }
+
+    /// The underlying metric.
+    #[must_use]
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Normalized distance in `[0, 1]` (clamped: points farther apart than the
+    /// observed maximum saturate at 1).
+    #[must_use]
+    pub fn normalized(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        (self.metric.distance_km(a, b) / self.max_km).clamp(0.0, 1.0)
+    }
+
+    /// Geographic *similarity* `1 - normalized distance`, the quantity the
+    /// objective function actually maximizes.
+    #[must_use]
+    pub fn similarity(&self, a: &GeoPoint, b: &GeoPoint) -> f64 {
+        1.0 - self.normalized(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paris_louvre() -> GeoPoint {
+        GeoPoint::new_unchecked(48.8606, 2.3376)
+    }
+
+    fn paris_eiffel() -> GeoPoint {
+        GeoPoint::new_unchecked(48.8584, 2.2945)
+    }
+
+    fn barcelona_sagrada() -> GeoPoint {
+        GeoPoint::new_unchecked(41.4036, 2.1744)
+    }
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        let p = paris_louvre();
+        assert!(haversine_km(&p, &p).abs() < 1e-12);
+        assert!(equirectangular_km(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = paris_louvre();
+        let b = barcelona_sagrada();
+        assert!((haversine_km(&a, &b) - haversine_km(&b, &a)).abs() < 1e-9);
+        assert!((equirectangular_km(&a, &b) - equirectangular_km(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn louvre_to_eiffel_is_about_three_km() {
+        let d = haversine_km(&paris_louvre(), &paris_eiffel());
+        assert!(
+            (2.9..3.5).contains(&d),
+            "expected ~3.2 km, got {d}"
+        );
+    }
+
+    #[test]
+    fn paris_to_barcelona_is_about_830_km() {
+        let d = haversine_km(&paris_louvre(), &barcelona_sagrada());
+        assert!((800.0..870.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_within_city() {
+        let a = paris_louvre();
+        let b = paris_eiffel();
+        let h = haversine_km(&a, &b);
+        let e = equirectangular_km(&a, &b);
+        let rel_err = (h - e).abs() / h;
+        assert!(rel_err < 0.001, "relative error {rel_err} exceeds 0.1%");
+    }
+
+    #[test]
+    fn squared_distance_matches_square_of_distance() {
+        let a = paris_louvre();
+        let b = paris_eiffel();
+        let d = equirectangular_km(&a, &b);
+        let d2 = equirectangular_km_sq(&a, &b);
+        assert!((d * d - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let a = paris_louvre();
+        let b = paris_eiffel();
+        assert_eq!(
+            DistanceMetric::Haversine.distance_km(&a, &b),
+            haversine_km(&a, &b)
+        );
+        assert_eq!(
+            DistanceMetric::Equirectangular.distance_km(&a, &b),
+            equirectangular_km(&a, &b)
+        );
+    }
+
+    #[test]
+    fn normalizer_maps_max_pair_to_one() {
+        let pts = vec![paris_louvre(), paris_eiffel(), barcelona_sagrada()];
+        let norm = DistanceNormalizer::from_points(&pts, DistanceMetric::Equirectangular);
+        let d = norm.normalized(&paris_louvre(), &barcelona_sagrada());
+        assert!((d - 1.0).abs() < 1e-9);
+        assert!(norm.normalized(&paris_louvre(), &paris_eiffel()) < 0.01);
+    }
+
+    #[test]
+    fn normalizer_similarity_is_one_minus_distance() {
+        let pts = vec![paris_louvre(), paris_eiffel(), barcelona_sagrada()];
+        let norm = DistanceNormalizer::from_points(&pts, DistanceMetric::Equirectangular);
+        let a = paris_louvre();
+        let b = paris_eiffel();
+        assert!((norm.similarity(&a, &b) - (1.0 - norm.normalized(&a, &b))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizer_degenerate_inputs_do_not_divide_by_zero() {
+        let norm = DistanceNormalizer::from_points(&[], DistanceMetric::Equirectangular);
+        assert_eq!(norm.scale_km(), 1.0);
+        let single = DistanceNormalizer::from_points(&[paris_louvre()], DistanceMetric::Haversine);
+        assert_eq!(single.scale_km(), 1.0);
+        let p = paris_louvre();
+        assert_eq!(single.normalized(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn normalizer_clamps_distances_beyond_scale() {
+        let norm = DistanceNormalizer::with_scale(1.0, DistanceMetric::Haversine);
+        let d = norm.normalized(&paris_louvre(), &barcelona_sagrada());
+        assert_eq!(d, 1.0);
+    }
+}

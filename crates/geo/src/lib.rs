@@ -1,0 +1,28 @@
+//! Geographic primitives for the GroupTravel reproduction.
+//!
+//! The paper (§3.2) measures geographic proximity of POIs with an
+//! *equirectangular* approximation of the Haversine great-circle distance,
+//! normalized by the largest observed distance. This crate provides:
+//!
+//! * [`GeoPoint`] — a latitude/longitude pair with validation helpers.
+//! * [`distance`] — Haversine, equirectangular, and squared planar distances,
+//!   plus a [`distance::DistanceNormalizer`] that rescales distances into
+//!   `[0, 1]` the way the objective function in Eq. 1 expects.
+//! * [`bbox`] — axis-aligned bounding boxes and the screen-style rectangle
+//!   used by the `GENERATE(RECTANGLE(x, y, w, h))` customization operator.
+//! * [`centroid`] — centroid math over weighted point sets, used by the fuzzy
+//!   clustering substrate.
+//!
+//! All distances are returned in kilometres unless stated otherwise.
+
+pub mod bbox;
+pub mod centroid;
+pub mod distance;
+pub mod point;
+
+pub use bbox::{BoundingBox, Rectangle};
+pub use centroid::{weighted_centroid, Centroid};
+pub use distance::{
+    equirectangular_km, haversine_km, DistanceMetric, DistanceNormalizer, EARTH_RADIUS_KM,
+};
+pub use point::GeoPoint;

@@ -1,0 +1,160 @@
+//! Latitude/longitude points.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point on the Earth's surface expressed as latitude and longitude in
+/// decimal degrees.
+///
+/// Latitude is constrained to `[-90, 90]` and longitude to `[-180, 180]` by
+/// [`GeoPoint::new`]; the unchecked constructor [`GeoPoint::new_unchecked`]
+/// is available for internal callers that already validated their inputs
+/// (e.g. centroid updates that stay inside a city bounding box).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in decimal degrees, positive north.
+    pub lat: f64,
+    /// Longitude in decimal degrees, positive east.
+    pub lon: f64,
+}
+
+/// Error returned when constructing a [`GeoPoint`] from out-of-range values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoPointError {
+    /// Latitude was outside `[-90, 90]` or not finite.
+    InvalidLatitude,
+    /// Longitude was outside `[-180, 180]` or not finite.
+    InvalidLongitude,
+}
+
+impl fmt::Display for GeoPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoPointError::InvalidLatitude => write!(f, "latitude must be finite and in [-90, 90]"),
+            GeoPointError::InvalidLongitude => {
+                write!(f, "longitude must be finite and in [-180, 180]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeoPointError {}
+
+impl GeoPoint {
+    /// Creates a validated point.
+    ///
+    /// # Errors
+    /// Returns [`GeoPointError`] if either coordinate is not finite or falls
+    /// outside the valid geographic range.
+    pub fn new(lat: f64, lon: f64) -> Result<Self, GeoPointError> {
+        if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+            return Err(GeoPointError::InvalidLatitude);
+        }
+        if !lon.is_finite() || !(-180.0..=180.0).contains(&lon) {
+            return Err(GeoPointError::InvalidLongitude);
+        }
+        Ok(Self { lat, lon })
+    }
+
+    /// Creates a point without validating the coordinate ranges.
+    #[must_use]
+    pub fn new_unchecked(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Latitude in radians.
+    #[must_use]
+    pub fn lat_rad(&self) -> f64 {
+        self.lat.to_radians()
+    }
+
+    /// Longitude in radians.
+    #[must_use]
+    pub fn lon_rad(&self) -> f64 {
+        self.lon.to_radians()
+    }
+
+    /// Linear interpolation between `self` and `other`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`. Used by tests and by the
+    /// synthetic city generator to lay POIs along streets.
+    #[must_use]
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + (other.lat - self.lat) * t,
+            lon: self.lon + (other.lon - self.lon) * t,
+        }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.lat, self.lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_point_roundtrips() {
+        let p = GeoPoint::new(48.8679, 2.3256).unwrap();
+        assert!((p.lat - 48.8679).abs() < 1e-12);
+        assert!((p.lon - 2.3256).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latitude_out_of_range_is_rejected() {
+        assert_eq!(
+            GeoPoint::new(91.0, 0.0).unwrap_err(),
+            GeoPointError::InvalidLatitude
+        );
+        assert_eq!(
+            GeoPoint::new(f64::NAN, 0.0).unwrap_err(),
+            GeoPointError::InvalidLatitude
+        );
+    }
+
+    #[test]
+    fn longitude_out_of_range_is_rejected() {
+        assert_eq!(
+            GeoPoint::new(0.0, 180.5).unwrap_err(),
+            GeoPointError::InvalidLongitude
+        );
+        assert_eq!(
+            GeoPoint::new(0.0, f64::INFINITY).unwrap_err(),
+            GeoPointError::InvalidLongitude
+        );
+    }
+
+    #[test]
+    fn boundary_values_are_accepted() {
+        assert!(GeoPoint::new(90.0, 180.0).is_ok());
+        assert!(GeoPoint::new(-90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = GeoPoint::new_unchecked(48.0, 2.0);
+        let b = GeoPoint::new_unchecked(50.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!((mid.lat - 49.0).abs() < 1e-12);
+        assert!((mid.lon - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radian_conversion() {
+        let p = GeoPoint::new_unchecked(180.0 / std::f64::consts::PI, 0.0);
+        assert!((p.lat_rad() - 1.0).abs() < 1e-12);
+        assert!((p.lon_rad()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_four_decimals() {
+        let p = GeoPoint::new_unchecked(48.86789, 2.32561);
+        assert_eq!(format!("{p}"), "(48.8679, 2.3256)");
+    }
+}

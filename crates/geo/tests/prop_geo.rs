@@ -1,0 +1,92 @@
+//! Property-based tests for the geo crate: distance metrics and bounding
+//! boxes must satisfy basic metric-space and containment invariants for any
+//! city-scale input.
+
+use grouptravel_geo::{
+    equirectangular_km, haversine_km, BoundingBox, DistanceMetric, DistanceNormalizer, GeoPoint,
+    Rectangle,
+};
+use proptest::prelude::*;
+
+/// Points constrained to a Paris-sized box so the equirectangular
+/// approximation guarantees apply (the paper only uses it within a city).
+fn city_point() -> impl Strategy<Value = GeoPoint> {
+    (48.80f64..48.92, 2.25f64..2.45).prop_map(|(lat, lon)| GeoPoint::new_unchecked(lat, lon))
+}
+
+/// Points anywhere in Western Europe.
+fn region_point() -> impl Strategy<Value = GeoPoint> {
+    (36.0f64..55.0, -5.0f64..10.0).prop_map(|(lat, lon)| GeoPoint::new_unchecked(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn haversine_non_negative_and_symmetric(a in region_point(), b in region_point()) {
+        let d1 = haversine_km(&a, &b);
+        let d2 = haversine_km(&b, &a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_identity_of_indiscernibles(a in region_point()) {
+        prop_assert!(haversine_km(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in region_point(), b in region_point(), c in region_point()) {
+        let ab = haversine_km(&a, &b);
+        let bc = haversine_km(&b, &c);
+        let ac = haversine_km(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn equirectangular_within_point_one_percent_in_city(a in city_point(), b in city_point()) {
+        let h = haversine_km(&a, &b);
+        let e = equirectangular_km(&a, &b);
+        // For coincident points both are ~0; otherwise bound the relative error.
+        if h > 1e-6 {
+            prop_assert!((h - e).abs() / h < 0.001, "h={h} e={e}");
+        } else {
+            prop_assert!(e < 1e-3);
+        }
+    }
+
+    #[test]
+    fn normalized_distance_in_unit_interval(
+        pts in prop::collection::vec(city_point(), 2..20),
+        a in city_point(),
+        b in city_point(),
+    ) {
+        let norm = DistanceNormalizer::from_points(&pts, DistanceMetric::Equirectangular);
+        let d = norm.normalized(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let s = norm.similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((d + s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all_points(pts in prop::collection::vec(region_point(), 1..50)) {
+        let bb = BoundingBox::from_points(&pts).unwrap();
+        for p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+    }
+
+    #[test]
+    fn bbox_clamp_always_lands_inside(
+        pts in prop::collection::vec(region_point(), 1..20),
+        q in region_point(),
+    ) {
+        let bb = BoundingBox::from_points(&pts).unwrap();
+        prop_assert!(bb.contains(&bb.clamp(&q)));
+    }
+
+    #[test]
+    fn rectangle_center_is_contained(x in -5.0f64..10.0, y in 36.0f64..55.0, w in 0.0f64..2.0, h in 0.0f64..2.0) {
+        let r = Rectangle::new(x, y, w, h);
+        prop_assert!(r.contains(&r.center()));
+    }
+}

@@ -1,0 +1,378 @@
+//! Group consensus functions.
+//!
+//! §2.3 of the paper: the group score for the j-th POI type is
+//! `g_j = w1 · p_j + w2 · (1 − d_j)` where `p_j` is a group *preference*
+//! (average or least misery over members), `d_j` a group *disagreement*
+//! (average pair-wise difference or variance), and `w1 + w2 = 1`.
+//!
+//! The experiments (§4.1) use four named variants:
+//!
+//! | name | preference | disagreement | w1 |
+//! |---|---|---|---|
+//! | average preference | average | — | 1.0 |
+//! | least misery | least misery | — | 1.0 |
+//! | pair-wise disagreement | average | average pair-wise | 0.5 |
+//! | disagreement variance | average | variance | 0.5 |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How to aggregate individual preferences into a group preference `p_j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreferenceFunction {
+    /// `p_j = (1/|G|) Σ_u u_j`
+    Average,
+    /// `p_j = min_u u_j`
+    LeastMisery,
+}
+
+impl PreferenceFunction {
+    /// Computes the group preference over members' scores for one POI type.
+    /// Returns 0 for an empty group.
+    #[must_use]
+    pub fn aggregate(&self, scores: &[f64]) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        match self {
+            PreferenceFunction::Average => scores.iter().sum::<f64>() / scores.len() as f64,
+            PreferenceFunction::LeastMisery => {
+                scores.iter().copied().fold(f64::INFINITY, f64::min)
+            }
+        }
+    }
+}
+
+/// How to measure the disagreement `d_j` among members for one POI type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DisagreementFunction {
+    /// `d_j = 2/(|G|(|G|−1)) Σ_{u<v} |u_j − v_j|`
+    AveragePairwise,
+    /// `d_j = (1/|G|) Σ_u (u_j − μ_j)²`
+    Variance,
+}
+
+impl DisagreementFunction {
+    /// Computes the disagreement over members' scores for one POI type.
+    /// Groups with fewer than two members have zero disagreement.
+    #[must_use]
+    pub fn aggregate(&self, scores: &[f64]) -> f64 {
+        let n = scores.len();
+        if n < 2 {
+            return 0.0;
+        }
+        match self {
+            DisagreementFunction::AveragePairwise => {
+                let mut total = 0.0;
+                for (i, &a) in scores.iter().enumerate() {
+                    for &b in &scores[i + 1..] {
+                        total += (a - b).abs();
+                    }
+                }
+                2.0 * total / (n as f64 * (n as f64 - 1.0))
+            }
+            DisagreementFunction::Variance => {
+                let mean = scores.iter().sum::<f64>() / n as f64;
+                scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64
+            }
+        }
+    }
+}
+
+/// A fully specified consensus function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConsensusMethod {
+    /// The preference aggregation.
+    pub preference: PreferenceFunction,
+    /// The disagreement component, if any.
+    pub disagreement: Option<DisagreementFunction>,
+    /// Weight `w1` of the preference component; `w2 = 1 − w1` weighs the
+    /// `(1 − d_j)` term.
+    pub preference_weight: f64,
+}
+
+impl ConsensusMethod {
+    /// "Average preference": mean preference only (`w1 = 1`).
+    #[must_use]
+    pub fn average_preference() -> Self {
+        Self {
+            preference: PreferenceFunction::Average,
+            disagreement: None,
+            preference_weight: 1.0,
+        }
+    }
+
+    /// "Least misery": minimum preference only (`w1 = 1`).
+    #[must_use]
+    pub fn least_misery() -> Self {
+        Self {
+            preference: PreferenceFunction::LeastMisery,
+            disagreement: None,
+            preference_weight: 1.0,
+        }
+    }
+
+    /// "Pair-wise disagreement": average preference + average pair-wise
+    /// disagreement, `w1 = 0.5`.
+    #[must_use]
+    pub fn pairwise_disagreement() -> Self {
+        Self {
+            preference: PreferenceFunction::Average,
+            disagreement: Some(DisagreementFunction::AveragePairwise),
+            preference_weight: 0.5,
+        }
+    }
+
+    /// "Disagreement variance": average preference + variance disagreement,
+    /// `w1 = 0.5`.
+    #[must_use]
+    pub fn disagreement_variance() -> Self {
+        Self {
+            preference: PreferenceFunction::Average,
+            disagreement: Some(DisagreementFunction::Variance),
+            preference_weight: 0.5,
+        }
+    }
+
+    /// A custom consensus with an explicit `w1` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn custom(
+        preference: PreferenceFunction,
+        disagreement: Option<DisagreementFunction>,
+        preference_weight: f64,
+    ) -> Self {
+        Self {
+            preference,
+            disagreement,
+            preference_weight: preference_weight.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The four variants evaluated in the paper, in the order its tables list
+    /// them.
+    #[must_use]
+    pub fn paper_variants() -> [Self; 4] {
+        [
+            Self::average_preference(),
+            Self::least_misery(),
+            Self::pairwise_disagreement(),
+            Self::disagreement_variance(),
+        ]
+    }
+
+    /// Short display name matching the paper's tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match (self.preference, self.disagreement) {
+            (PreferenceFunction::Average, None) => "average preference",
+            (PreferenceFunction::LeastMisery, None) => "least misery",
+            (PreferenceFunction::Average, Some(DisagreementFunction::AveragePairwise)) => {
+                "pair-wise disagreement"
+            }
+            (PreferenceFunction::Average, Some(DisagreementFunction::Variance)) => {
+                "disagreement variance"
+            }
+            (PreferenceFunction::LeastMisery, Some(DisagreementFunction::AveragePairwise)) => {
+                "least misery + pair-wise disagreement"
+            }
+            (PreferenceFunction::LeastMisery, Some(DisagreementFunction::Variance)) => {
+                "least misery + disagreement variance"
+            }
+        }
+    }
+
+    /// The group consensus score `g_j` for one POI type given all members'
+    /// scores for it, clamped to `[0, 1]`.
+    ///
+    /// When no disagreement function is configured the paper's definition
+    /// degenerates to `g_j = w1 · p_j` with `w1 = 1`, i.e. the plain
+    /// aggregated preference.
+    #[must_use]
+    pub fn score(&self, member_scores: &[f64]) -> f64 {
+        let p = self.preference.aggregate(member_scores);
+        let w1 = self.preference_weight;
+        let value = match self.disagreement {
+            None => {
+                if (w1 - 1.0).abs() < f64::EPSILON {
+                    p
+                } else {
+                    // Without a disagreement term the remaining weight would
+                    // reward nothing; treat it as agreement-neutral.
+                    w1 * p + (1.0 - w1)
+                }
+            }
+            Some(d) => {
+                let dis = d.aggregate(member_scores);
+                w1 * p + (1.0 - w1) * (1.0 - dis)
+            }
+        };
+        value.clamp(0.0, 1.0)
+    }
+
+    /// Aggregates a whole category: `member_vectors[u][j]` is user `u`'s
+    /// score for type `j`. All members must share the same dimensionality;
+    /// the result has the same length as the first member's vector (missing
+    /// components in other members are treated as 0).
+    #[must_use]
+    pub fn aggregate_vectors(&self, member_vectors: &[&[f64]]) -> Vec<f64> {
+        let Some(first) = member_vectors.first() else {
+            return Vec::new();
+        };
+        let dim = first.len();
+        (0..dim)
+            .map(|j| {
+                let scores: Vec<f64> = member_vectors
+                    .iter()
+                    .map(|v| v.get(j).copied().unwrap_or(0.0))
+                    .collect();
+                self.score(&scores)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ConsensusMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The family example of §2.3: preferences 0.8, 1.0, 0.6, 0.2 for
+    /// museums.
+    const FAMILY: [f64; 4] = [0.8, 1.0, 0.6, 0.2];
+
+    #[test]
+    fn average_preference_matches_the_paper_example() {
+        let p = PreferenceFunction::Average.aggregate(&FAMILY);
+        assert!((p - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_misery_matches_the_paper_example() {
+        let p = PreferenceFunction::LeastMisery.aggregate(&FAMILY);
+        assert!((p - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_disagreement_matches_the_paper_example() {
+        let d = DisagreementFunction::AveragePairwise.aggregate(&FAMILY);
+        // Pairwise diffs: |0.8-1.0| + |0.8-0.6| + |0.8-0.2| + |1.0-0.6| +
+        // |1.0-0.2| + |0.6-0.2| = 0.2+0.2+0.6+0.4+0.8+0.4 = 2.6; × 2/(4·3) = 0.4333…
+        assert!((d - 2.6 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_disagreement_matches_the_paper_example() {
+        let d = DisagreementFunction::Variance.aggregate(&FAMILY);
+        assert!((d - 0.0875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consensus_score_matches_the_paper_example() {
+        // g = 0.5 · 0.65 + 0.5 · (1 − 0.4333) ≈ 0.61 as reported in §2.3.
+        let g = ConsensusMethod::pairwise_disagreement().score(&FAMILY);
+        assert!((g - 0.6083333).abs() < 1e-6, "g = {g}");
+        assert!((g - 0.61).abs() < 0.01);
+    }
+
+    #[test]
+    fn least_misery_is_never_above_average() {
+        for scores in [&FAMILY[..], &[0.3, 0.3, 0.3], &[0.0, 1.0]] {
+            let avg = PreferenceFunction::Average.aggregate(scores);
+            let lm = PreferenceFunction::LeastMisery.aggregate(scores);
+            assert!(lm <= avg + 1e-12);
+        }
+    }
+
+    #[test]
+    fn disagreement_of_identical_scores_is_zero() {
+        for f in [
+            DisagreementFunction::AveragePairwise,
+            DisagreementFunction::Variance,
+        ] {
+            assert!(f.aggregate(&[0.4, 0.4, 0.4]).abs() < 1e-12);
+            assert_eq!(f.aggregate(&[0.4]), 0.0);
+            assert_eq!(f.aggregate(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_group_has_zero_preference() {
+        assert_eq!(PreferenceFunction::Average.aggregate(&[]), 0.0);
+        assert_eq!(PreferenceFunction::LeastMisery.aggregate(&[]), 0.0);
+    }
+
+    #[test]
+    fn higher_agreement_scores_higher_all_else_equal() {
+        // Same average (0.5), different spread: the disagreement-aware
+        // consensus must prefer the agreeing group.
+        let agreeing = [0.5, 0.5, 0.5, 0.5];
+        let disagreeing = [1.0, 0.0, 1.0, 0.0];
+        for method in [
+            ConsensusMethod::pairwise_disagreement(),
+            ConsensusMethod::disagreement_variance(),
+        ] {
+            assert!(method.score(&agreeing) > method.score(&disagreeing));
+        }
+    }
+
+    #[test]
+    fn paper_variants_have_expected_names() {
+        let names: Vec<&str> = ConsensusMethod::paper_variants()
+            .iter()
+            .map(ConsensusMethod::name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "average preference",
+                "least misery",
+                "pair-wise disagreement",
+                "disagreement variance"
+            ]
+        );
+    }
+
+    #[test]
+    fn custom_clamps_the_weight() {
+        let m = ConsensusMethod::custom(PreferenceFunction::Average, None, 7.0);
+        assert_eq!(m.preference_weight, 1.0);
+        let m = ConsensusMethod::custom(PreferenceFunction::Average, None, -3.0);
+        assert_eq!(m.preference_weight, 0.0);
+    }
+
+    #[test]
+    fn scores_stay_in_unit_interval() {
+        for method in ConsensusMethod::paper_variants() {
+            for scores in [&[0.0, 1.0][..], &[1.0, 1.0, 1.0], &[0.0], &[0.25, 0.75]] {
+                let g = method.score(scores);
+                assert!((0.0..=1.0).contains(&g), "{method}: {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_vectors_applies_per_dimension() {
+        let u1 = vec![1.0, 0.0];
+        let u2 = vec![0.0, 1.0];
+        let g = ConsensusMethod::average_preference().aggregate_vectors(&[&u1, &u2]);
+        assert_eq!(g, vec![0.5, 0.5]);
+        let lm = ConsensusMethod::least_misery().aggregate_vectors(&[&u1, &u2]);
+        assert_eq!(lm, vec![0.0, 0.0]);
+        assert!(ConsensusMethod::average_preference()
+            .aggregate_vectors(&[])
+            .is_empty());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(
+            ConsensusMethod::disagreement_variance().to_string(),
+            "disagreement variance"
+        );
+    }
+}

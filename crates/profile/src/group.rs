@@ -1,0 +1,337 @@
+//! Travel groups, group profiles, uniformity and the median user.
+
+use crate::consensus::ConsensusMethod;
+use crate::schema::ProfileSchema;
+use crate::user::UserProfile;
+use crate::vector::cosine_similarity;
+use grouptravel_dataset::Category;
+use serde::{Deserialize, Serialize};
+
+/// A group of travelers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group identifier (index in the synthetic experiment).
+    pub group_id: u64,
+    members: Vec<UserProfile>,
+}
+
+impl Group {
+    /// Creates a group from member profiles (at least one member expected by
+    /// callers; empty groups are permitted but produce empty profiles).
+    #[must_use]
+    pub fn new(group_id: u64, members: Vec<UserProfile>) -> Self {
+        Self { group_id, members }
+    }
+
+    /// The member profiles.
+    #[must_use]
+    pub fn members(&self) -> &[UserProfile] {
+        &self.members
+    }
+
+    /// Mutable access to member profiles (used by the individual refinement
+    /// strategy, which rewrites each member's profile before re-aggregating).
+    #[must_use]
+    pub fn members_mut(&mut self) -> &mut [UserProfile] {
+        &mut self.members
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The schema shared by the members (taken from the first member).
+    #[must_use]
+    pub fn schema(&self) -> Option<ProfileSchema> {
+        self.members.first().map(UserProfile::schema)
+    }
+
+    /// Group uniformity (§4.1): the average pair-wise cosine similarity
+    /// between member profiles. Groups of fewer than two members are
+    /// maximally uniform (1.0).
+    #[must_use]
+    pub fn uniformity(&self) -> f64 {
+        let n = self.members.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let concatenated: Vec<Vec<f64>> =
+            self.members.iter().map(UserProfile::concatenated).collect();
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for (i, a) in concatenated.iter().enumerate() {
+            for b in &concatenated[i + 1..] {
+                total += cosine_similarity(a, b);
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+
+    /// Aggregates the members into a group profile using `method`.
+    #[must_use]
+    pub fn profile(&self, method: ConsensusMethod) -> GroupProfile {
+        let schema = self.schema().unwrap_or_default();
+        let mut vectors: [Vec<f64>; 4] = [
+            vec![0.0; schema.dim(Category::Accommodation)],
+            vec![0.0; schema.dim(Category::Transportation)],
+            vec![0.0; schema.dim(Category::Restaurant)],
+            vec![0.0; schema.dim(Category::Attraction)],
+        ];
+        if !self.members.is_empty() {
+            for category in Category::ALL {
+                let member_vectors: Vec<&[f64]> = self
+                    .members
+                    .iter()
+                    .map(|m| m.vector(category))
+                    .collect();
+                vectors[category.index()] = method.aggregate_vectors(&member_vectors);
+            }
+        }
+        GroupProfile {
+            group_id: self.group_id,
+            method,
+            schema,
+            vectors,
+        }
+    }
+
+    /// The *median user* of the group (§4.3.3): the member whose summed
+    /// cosine similarity to every other member is highest. Returns `None`
+    /// for an empty group.
+    #[must_use]
+    pub fn median_user(&self) -> Option<&UserProfile> {
+        if self.members.is_empty() {
+            return None;
+        }
+        if self.members.len() == 1 {
+            return self.members.first();
+        }
+        let concatenated: Vec<Vec<f64>> =
+            self.members.iter().map(UserProfile::concatenated).collect();
+        let mut best_idx = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (i, a) in concatenated.iter().enumerate() {
+            let score: f64 = concatenated
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, b)| cosine_similarity(a, b))
+                .sum();
+            if score > best_score {
+                best_score = score;
+                best_idx = i;
+            }
+        }
+        self.members.get(best_idx)
+    }
+}
+
+/// A group travel profile: one consensus vector per POI category (§2.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupProfile {
+    /// The group this profile belongs to.
+    pub group_id: u64,
+    /// The consensus method used to build it.
+    pub method: ConsensusMethod,
+    schema: ProfileSchema,
+    vectors: [Vec<f64>; 4],
+}
+
+impl GroupProfile {
+    /// Builds a group profile directly from per-category vectors (used by
+    /// refinement and tests).
+    #[must_use]
+    pub fn from_vectors(
+        group_id: u64,
+        method: ConsensusMethod,
+        schema: ProfileSchema,
+        mut vectors: [Vec<f64>; 4],
+    ) -> Self {
+        for (idx, category) in Category::ALL.iter().enumerate() {
+            vectors[idx].resize(schema.dim(*category), 0.0);
+            for v in &mut vectors[idx] {
+                *v = v.max(0.0);
+            }
+        }
+        Self {
+            group_id,
+            method,
+            schema,
+            vectors,
+        }
+    }
+
+    /// The schema of the profile.
+    #[must_use]
+    pub fn schema(&self) -> ProfileSchema {
+        self.schema
+    }
+
+    /// The consensus vector for a category.
+    #[must_use]
+    pub fn vector(&self, category: Category) -> &[f64] {
+        &self.vectors[category.index()]
+    }
+
+    /// Replaces the vector for a category (clamping at zero and resizing to
+    /// the schema), as the refinement strategies do.
+    pub fn set_vector(&mut self, category: Category, mut values: Vec<f64>) {
+        values.resize(self.schema.dim(category), 0.0);
+        for v in &mut values {
+            *v = v.max(0.0);
+        }
+        self.vectors[category.index()] = values;
+    }
+
+    /// Consensus score of the `type_index`-th type of a category.
+    #[must_use]
+    pub fn score(&self, category: Category, type_index: usize) -> f64 {
+        self.vector(category)
+            .get(type_index)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Concatenation of all four vectors.
+    #[must_use]
+    pub fn concatenated(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.schema.total_dim());
+        for v in &self.vectors {
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Cosine similarity between this profile and an item vector of the given
+    /// category (the personalization term of Eq. 1).
+    #[must_use]
+    pub fn item_affinity(&self, category: Category, item_vector: &[f64]) -> f64 {
+        cosine_similarity(self.vector(category), item_vector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::ConsensusMethod;
+
+    fn schema() -> ProfileSchema {
+        ProfileSchema::new([2, 2, 2, 2])
+    }
+
+    fn member(id: u64, value: [f64; 2]) -> UserProfile {
+        UserProfile::from_scores(
+            id,
+            schema(),
+            [
+                value.to_vec(),
+                value.to_vec(),
+                value.to_vec(),
+                value.to_vec(),
+            ],
+        )
+    }
+
+    #[test]
+    fn uniform_group_has_high_uniformity() {
+        let g = Group::new(1, vec![member(1, [0.7, 0.3]), member(2, [0.7, 0.3])]);
+        assert!((g.uniformity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_group_has_zero_uniformity() {
+        let g = Group::new(1, vec![member(1, [1.0, 0.0]), member(2, [0.0, 1.0])]);
+        assert!(g.uniformity().abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_group_is_maximally_uniform() {
+        let g = Group::new(1, vec![member(1, [0.5, 0.5])]);
+        assert_eq!(g.uniformity(), 1.0);
+        assert_eq!(Group::new(2, vec![]).uniformity(), 1.0);
+    }
+
+    #[test]
+    fn group_profile_average_preference() {
+        let g = Group::new(1, vec![member(1, [1.0, 0.0]), member(2, [0.0, 1.0])]);
+        let p = g.profile(ConsensusMethod::average_preference());
+        assert_eq!(p.vector(Category::Restaurant), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn group_profile_least_misery_is_dominated_by_the_unhappiest() {
+        let g = Group::new(1, vec![member(1, [1.0, 0.4]), member(2, [0.2, 0.6])]);
+        let p = g.profile(ConsensusMethod::least_misery());
+        assert_eq!(p.vector(Category::Attraction), &[0.2, 0.4]);
+    }
+
+    #[test]
+    fn disagreement_penalizes_divisive_types() {
+        // Type 0: everyone agrees at 0.5. Type 1: average 0.5 but divisive.
+        let a = UserProfile::from_scores(
+            1,
+            schema(),
+            [vec![0.5, 1.0], vec![0.5, 1.0], vec![0.5, 1.0], vec![0.5, 1.0]],
+        );
+        let b = UserProfile::from_scores(
+            2,
+            schema(),
+            [vec![0.5, 0.0], vec![0.5, 0.0], vec![0.5, 0.0], vec![0.5, 0.0]],
+        );
+        let g = Group::new(1, vec![a, b]);
+        let p = g.profile(ConsensusMethod::pairwise_disagreement());
+        assert!(p.score(Category::Restaurant, 0) > p.score(Category::Restaurant, 1));
+    }
+
+    #[test]
+    fn empty_group_profile_is_zero() {
+        let g = Group::new(1, vec![]);
+        let p = g.profile(ConsensusMethod::average_preference());
+        for cat in Category::ALL {
+            assert!(p.vector(cat).iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn median_user_is_the_most_central_member() {
+        let central = member(1, [0.5, 0.5]);
+        let left = member(2, [1.0, 0.0]);
+        let right = member(3, [0.0, 1.0]);
+        let g = Group::new(1, vec![left, central.clone(), right]);
+        assert_eq!(g.median_user().unwrap().user_id, central.user_id);
+        assert!(Group::new(2, vec![]).median_user().is_none());
+    }
+
+    #[test]
+    fn item_affinity_is_cosine_with_the_category_vector() {
+        let g = Group::new(1, vec![member(1, [1.0, 0.0])]);
+        let p = g.profile(ConsensusMethod::average_preference());
+        assert!((p.item_affinity(Category::Attraction, &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert_eq!(p.item_affinity(Category::Attraction, &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn set_vector_clamps_and_resizes() {
+        let g = Group::new(1, vec![member(1, [1.0, 0.0])]);
+        let mut p = g.profile(ConsensusMethod::average_preference());
+        p.set_vector(Category::Restaurant, vec![-1.0, 0.4, 9.0]);
+        assert_eq!(p.vector(Category::Restaurant), &[0.0, 0.4]);
+    }
+
+    #[test]
+    fn from_vectors_enforces_schema_and_clamping() {
+        let p = GroupProfile::from_vectors(
+            7,
+            ConsensusMethod::average_preference(),
+            schema(),
+            [vec![0.1], vec![-0.5, 2.0], vec![0.3, 0.3, 0.3], vec![]],
+        );
+        assert_eq!(p.vector(Category::Accommodation), &[0.1, 0.0]);
+        assert_eq!(p.vector(Category::Transportation), &[0.0, 2.0]);
+        assert_eq!(p.vector(Category::Restaurant).len(), 2);
+        assert_eq!(p.vector(Category::Attraction), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! User and group travel profiles for GroupTravel.
+//!
+//! §2.2–2.3 of the paper: every user has, for each POI category, a preference
+//! vector over that category's types (normalized 0–5 ratings); a group's
+//! profile aggregates its members' vectors with a *consensus function* that
+//! combines **group preference** (average or least misery) with **group
+//! disagreement** (average pair-wise or variance):
+//!
+//! ```text
+//! g_j = w1 · p_j + w2 · (1 − d_j),   w1 + w2 = 1
+//! ```
+//!
+//! Modules:
+//!
+//! * [`vector`] — dense preference-vector math (cosine, normalization).
+//! * [`schema`] — the per-category dimensionality of profiles/item vectors.
+//! * [`user`] — single-user profiles built from ratings.
+//! * [`consensus`] — the four consensus functions of §4.1.
+//! * [`group`] — groups, group profiles, uniformity and the median user.
+//! * [`synthetic`] — the roll-and-dice profile generator and the uniform /
+//!   non-uniform group generator of the synthetic experiment (§4.3.1).
+
+pub mod consensus;
+pub mod group;
+pub mod schema;
+pub mod synthetic;
+pub mod user;
+pub mod vector;
+
+pub use consensus::{ConsensusMethod, DisagreementFunction, PreferenceFunction};
+pub use group::{Group, GroupProfile};
+pub use schema::ProfileSchema;
+pub use synthetic::{GroupSize, SyntheticGroupGenerator, Uniformity};
+pub use user::UserProfile;
+pub use vector::{cosine_similarity, normalize_ratings};

@@ -1,0 +1,98 @@
+//! Profile schema: how many POI types each category has.
+//!
+//! Accommodation and transportation have explicit type vocabularies;
+//! restaurants and attractions get their dimensionality from the number of
+//! LDA topics. User profiles, group profiles and item vectors all share the
+//! schema so that cosine similarities are well-defined.
+
+use grouptravel_dataset::{Category, TypeVocabulary};
+use serde::{Deserialize, Serialize};
+
+/// Number of profile/item-vector dimensions per category, indexed in
+/// [`Category::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSchema {
+    dims: [usize; 4],
+}
+
+impl ProfileSchema {
+    /// Builds a schema with explicit per-category dimensions
+    /// (accommodation, transportation, restaurant, attraction).
+    #[must_use]
+    pub fn new(dims: [usize; 4]) -> Self {
+        Self { dims }
+    }
+
+    /// The default schema: the default accommodation and transportation
+    /// vocabularies plus `topics` LDA topics for restaurants and attractions.
+    #[must_use]
+    pub fn with_topic_count(topics: usize) -> Self {
+        Self::new([
+            TypeVocabulary::default_accommodation().len(),
+            TypeVocabulary::default_transportation().len(),
+            topics,
+            topics,
+        ])
+    }
+
+    /// Dimensionality of vectors for `category`.
+    #[must_use]
+    pub fn dim(&self, category: Category) -> usize {
+        self.dims[category.index()]
+    }
+
+    /// Total dimensionality of the concatenation of all four categories
+    /// (used by uniformity, which compares whole profiles).
+    #[must_use]
+    pub fn total_dim(&self) -> usize {
+        self.dims.iter().sum()
+    }
+
+    /// All dimensions in [`Category::ALL`] order.
+    #[must_use]
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+}
+
+impl Default for ProfileSchema {
+    /// Default schema with 4 LDA topics, matching the default themes of the
+    /// synthetic dataset.
+    fn default() -> Self {
+        Self::with_topic_count(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schema_uses_vocabulary_sizes() {
+        let s = ProfileSchema::default();
+        assert_eq!(
+            s.dim(Category::Accommodation),
+            TypeVocabulary::default_accommodation().len()
+        );
+        assert_eq!(
+            s.dim(Category::Transportation),
+            TypeVocabulary::default_transportation().len()
+        );
+        assert_eq!(s.dim(Category::Restaurant), 4);
+        assert_eq!(s.dim(Category::Attraction), 4);
+    }
+
+    #[test]
+    fn total_dim_is_the_sum() {
+        let s = ProfileSchema::new([2, 3, 4, 5]);
+        assert_eq!(s.total_dim(), 14);
+        assert_eq!(s.dims(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn with_topic_count_sets_rest_and_attr() {
+        let s = ProfileSchema::with_topic_count(7);
+        assert_eq!(s.dim(Category::Restaurant), 7);
+        assert_eq!(s.dim(Category::Attraction), 7);
+    }
+}

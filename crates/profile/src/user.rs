@@ -1,0 +1,196 @@
+//! Single-user travel profiles.
+//!
+//! A user has one preference vector per POI category (§2.2). The vector is
+//! obtained by asking the user to rate each POI type (accommodation,
+//! transportation) or latent topic (restaurant, attraction) on a 0–5 scale
+//! and normalizing: `u_j = r_j / Σ_k r_k`.
+
+use crate::schema::ProfileSchema;
+use crate::vector::{cosine_similarity, normalize_ratings};
+use grouptravel_dataset::Category;
+use serde::{Deserialize, Serialize};
+
+/// A single user's travel profile: one preference vector per category.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Optional identifier (participant id in the user study, index in the
+    /// synthetic experiment).
+    pub user_id: u64,
+    schema: ProfileSchema,
+    /// Preference vectors indexed by [`Category::ALL`] order.
+    vectors: [Vec<f64>; 4],
+}
+
+impl UserProfile {
+    /// Creates a profile with all-zero preference vectors.
+    #[must_use]
+    pub fn empty(user_id: u64, schema: ProfileSchema) -> Self {
+        let vectors = [
+            vec![0.0; schema.dim(Category::Accommodation)],
+            vec![0.0; schema.dim(Category::Transportation)],
+            vec![0.0; schema.dim(Category::Restaurant)],
+            vec![0.0; schema.dim(Category::Attraction)],
+        ];
+        Self {
+            user_id,
+            schema,
+            vectors,
+        }
+    }
+
+    /// Builds a profile from raw 0–5 ratings per category, normalizing each
+    /// category independently. Ratings shorter than the schema dimension are
+    /// zero-padded; longer ones are truncated.
+    #[must_use]
+    pub fn from_ratings(
+        user_id: u64,
+        schema: ProfileSchema,
+        ratings: [&[f64]; 4],
+    ) -> Self {
+        let mut profile = Self::empty(user_id, schema);
+        for (idx, category) in Category::ALL.iter().enumerate() {
+            profile.set_ratings(*category, ratings[idx]);
+        }
+        profile
+    }
+
+    /// Builds a profile from already-normalized scores (used by the synthetic
+    /// generator and the refinement logic). Each vector is resized to the
+    /// schema dimension.
+    #[must_use]
+    pub fn from_scores(user_id: u64, schema: ProfileSchema, scores: [Vec<f64>; 4]) -> Self {
+        let mut profile = Self::empty(user_id, schema);
+        for (idx, category) in Category::ALL.iter().enumerate() {
+            profile.set_scores(*category, scores[idx].clone());
+        }
+        profile
+    }
+
+    /// Replaces the ratings for one category (normalizing them).
+    pub fn set_ratings(&mut self, category: Category, ratings: &[f64]) {
+        let dim = self.schema.dim(category);
+        let mut padded = ratings.to_vec();
+        padded.resize(dim, 0.0);
+        self.vectors[category.index()] = normalize_ratings(&padded);
+    }
+
+    /// Replaces the scores for one category without normalizing (values are
+    /// clamped to be non-negative and the vector resized to the schema).
+    pub fn set_scores(&mut self, category: Category, mut scores: Vec<f64>) {
+        let dim = self.schema.dim(category);
+        scores.resize(dim, 0.0);
+        for s in &mut scores {
+            *s = s.max(0.0);
+        }
+        self.vectors[category.index()] = scores;
+    }
+
+    /// The schema of this profile.
+    #[must_use]
+    pub fn schema(&self) -> ProfileSchema {
+        self.schema
+    }
+
+    /// Preference vector for a category.
+    #[must_use]
+    pub fn vector(&self, category: Category) -> &[f64] {
+        &self.vectors[category.index()]
+    }
+
+    /// Single preference score for the `type_index`-th type of a category
+    /// (0 if out of range).
+    #[must_use]
+    pub fn score(&self, category: Category, type_index: usize) -> f64 {
+        self.vector(category)
+            .get(type_index)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Concatenation of all four category vectors, used to compare whole
+    /// profiles (group uniformity, median user).
+    #[must_use]
+    pub fn concatenated(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.schema.total_dim());
+        for v in &self.vectors {
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Cosine similarity between two whole profiles.
+    #[must_use]
+    pub fn similarity(&self, other: &UserProfile) -> f64 {
+        cosine_similarity(&self.concatenated(), &other.concatenated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> ProfileSchema {
+        ProfileSchema::new([2, 2, 3, 3])
+    }
+
+    #[test]
+    fn empty_profile_is_all_zero() {
+        let p = UserProfile::empty(1, schema());
+        for cat in Category::ALL {
+            assert!(p.vector(cat).iter().all(|&x| x == 0.0));
+            assert_eq!(p.vector(cat).len(), schema().dim(cat));
+        }
+    }
+
+    #[test]
+    fn from_ratings_normalizes_each_category() {
+        let p = UserProfile::from_ratings(
+            1,
+            schema(),
+            [&[4.0, 1.0], &[0.0, 5.0], &[1.0, 1.0, 2.0], &[3.0, 0.0, 0.0]],
+        );
+        assert!((p.score(Category::Accommodation, 0) - 0.8).abs() < 1e-12);
+        assert!((p.score(Category::Transportation, 1) - 1.0).abs() < 1e-12);
+        let sum: f64 = p.vector(Category::Restaurant).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratings_are_padded_and_truncated_to_schema() {
+        let mut p = UserProfile::empty(1, schema());
+        p.set_ratings(Category::Attraction, &[5.0]);
+        assert_eq!(p.vector(Category::Attraction), &[1.0, 0.0, 0.0]);
+        p.set_ratings(Category::Attraction, &[1.0, 1.0, 1.0, 9.0]);
+        assert_eq!(p.vector(Category::Attraction).len(), 3);
+    }
+
+    #[test]
+    fn set_scores_clamps_negatives() {
+        let mut p = UserProfile::empty(1, schema());
+        p.set_scores(Category::Restaurant, vec![-0.5, 0.3, 0.2]);
+        assert_eq!(p.vector(Category::Restaurant), &[0.0, 0.3, 0.2]);
+    }
+
+    #[test]
+    fn concatenated_has_total_dim() {
+        let p = UserProfile::empty(1, schema());
+        assert_eq!(p.concatenated().len(), schema().total_dim());
+    }
+
+    #[test]
+    fn similarity_of_identical_profiles_is_one() {
+        let p = UserProfile::from_ratings(
+            1,
+            schema(),
+            [&[1.0, 2.0], &[2.0, 1.0], &[1.0, 1.0, 1.0], &[2.0, 1.0, 0.0]],
+        );
+        assert!((p.similarity(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_of_disjoint_profiles_is_zero() {
+        let a = UserProfile::from_ratings(1, schema(), [&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]]);
+        let b = UserProfile::from_ratings(2, schema(), [&[0.0, 1.0], &[0.0, 1.0], &[0.0, 1.0, 0.0], &[0.0, 1.0, 0.0]]);
+        assert!(a.similarity(&b).abs() < 1e-12);
+    }
+}

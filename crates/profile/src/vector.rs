@@ -1,0 +1,140 @@
+//! Dense preference-vector math.
+
+/// Cosine similarity between two equal-length vectors.
+///
+/// Returns 0 when either vector has zero norm or the lengths differ — the
+/// paper treats "no preference expressed" as zero affinity rather than an
+/// error, and the objective function simply gains nothing from such items.
+#[must_use]
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    let mut norm_a = 0.0;
+    let mut norm_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        norm_a += x * x;
+        norm_b += y * y;
+    }
+    if norm_a <= f64::EPSILON || norm_b <= f64::EPSILON {
+        return 0.0;
+    }
+    dot / (norm_a.sqrt() * norm_b.sqrt())
+}
+
+/// Normalizes raw 0–5 ratings into the profile scores of §2.2:
+/// `u_j = r_j / Σ_k r_k`. All-zero ratings produce an all-zero vector.
+#[must_use]
+pub fn normalize_ratings(ratings: &[f64]) -> Vec<f64> {
+    let total: f64 = ratings.iter().map(|r| r.max(0.0)).sum();
+    if total <= f64::EPSILON {
+        return vec![0.0; ratings.len()];
+    }
+    ratings.iter().map(|r| r.max(0.0) / total).collect()
+}
+
+/// Element-wise sum of two vectors (shorter vector is implicitly
+/// zero-padded).
+#[must_use]
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let len = a.len().max(b.len());
+    (0..len)
+        .map(|i| a.get(i).copied().unwrap_or(0.0) + b.get(i).copied().unwrap_or(0.0))
+        .collect()
+}
+
+/// Element-wise difference `a − b`, clamped at zero (the paper clamps refined
+/// profile components that fall below 0).
+#[must_use]
+pub fn sub_clamped(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let len = a.len().max(b.len());
+    (0..len)
+        .map(|i| {
+            (a.get(i).copied().unwrap_or(0.0) - b.get(i).copied().unwrap_or(0.0)).max(0.0)
+        })
+        .collect()
+}
+
+/// Arithmetic mean of a set of equal-length vectors. Returns an empty vector
+/// for empty input.
+#[must_use]
+pub fn mean_vector(vectors: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = vectors.first() else {
+        return Vec::new();
+    };
+    let mut acc = vec![0.0; first.len()];
+    for v in vectors {
+        for (slot, &x) in acc.iter_mut().zip(v) {
+            *slot += x;
+        }
+    }
+    let n = vectors.len() as f64;
+    acc.iter_mut().for_each(|x| *x /= n);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = vec![0.2, 0.5, 0.3];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_zero_and_mismatched_vectors() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_similarity(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_similarity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn cosine_known_value() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let expected = 32.0 / ((14.0f64).sqrt() * (77.0f64).sqrt());
+        assert!((cosine_similarity(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_ratings_sums_to_one() {
+        let scores = normalize_ratings(&[4.0, 5.0, 3.0, 1.0]);
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((scores[1] - 5.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_all_zero_ratings_stays_zero() {
+        assert_eq!(normalize_ratings(&[0.0, 0.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_negative_ratings_are_treated_as_zero() {
+        let scores = normalize_ratings(&[-1.0, 5.0]);
+        assert_eq!(scores, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn add_and_sub_clamped() {
+        assert_eq!(add(&[1.0, 2.0], &[0.5, 0.5]), vec![1.5, 2.5]);
+        assert_eq!(add(&[1.0], &[0.5, 0.5]), vec![1.5, 0.5]);
+        assert_eq!(sub_clamped(&[1.0, 0.2], &[0.5, 0.5]), vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn mean_vector_averages_elementwise() {
+        let m = mean_vector(&[vec![1.0, 3.0], vec![3.0, 5.0]]);
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_vector(&[]).is_empty());
+    }
+}

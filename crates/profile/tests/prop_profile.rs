@@ -1,0 +1,134 @@
+//! Property-based tests for profiles, consensus functions and groups.
+
+use grouptravel_dataset::Category;
+use grouptravel_profile::consensus::{DisagreementFunction, PreferenceFunction};
+use grouptravel_profile::{
+    cosine_similarity, normalize_ratings, ConsensusMethod, Group, ProfileSchema, UserProfile,
+};
+use proptest::prelude::*;
+
+fn scores_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, len..=len)
+}
+
+fn member_scores() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, 1..20)
+}
+
+proptest! {
+    #[test]
+    fn normalized_ratings_sum_to_one_or_stay_zero(ratings in prop::collection::vec(0.0f64..=5.0, 1..12)) {
+        let normalized = normalize_ratings(&ratings);
+        let sum: f64 = normalized.iter().sum();
+        let total: f64 = ratings.iter().sum();
+        if total > f64::EPSILON {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert!(sum.abs() < 1e-12);
+        }
+        prop_assert!(normalized.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn cosine_similarity_is_bounded_and_symmetric(
+        a in prop::collection::vec(0.0f64..=1.0, 1..16),
+        b in prop::collection::vec(0.0f64..=1.0, 1..16),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let ab = cosine_similarity(a, b);
+        let ba = cosine_similarity(b, a);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_misery_never_exceeds_average_preference(scores in member_scores()) {
+        let avg = PreferenceFunction::Average.aggregate(&scores);
+        let lm = PreferenceFunction::LeastMisery.aggregate(&scores);
+        prop_assert!(lm <= avg + 1e-12);
+    }
+
+    #[test]
+    fn disagreement_is_non_negative_and_zero_iff_constant(scores in member_scores()) {
+        for f in [DisagreementFunction::AveragePairwise, DisagreementFunction::Variance] {
+            let d = f.aggregate(&scores);
+            prop_assert!(d >= 0.0);
+            let constant = vec![scores[0]; scores.len()];
+            prop_assert!(f.aggregate(&constant) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn consensus_scores_stay_in_unit_interval(scores in member_scores(), w1 in 0.0f64..=1.0) {
+        let methods = [
+            ConsensusMethod::average_preference(),
+            ConsensusMethod::least_misery(),
+            ConsensusMethod::pairwise_disagreement(),
+            ConsensusMethod::disagreement_variance(),
+            ConsensusMethod::custom(
+                PreferenceFunction::Average,
+                Some(DisagreementFunction::Variance),
+                w1,
+            ),
+        ];
+        for method in methods {
+            let g = method.score(&scores);
+            prop_assert!((0.0..=1.0).contains(&g), "{method}: {g}");
+        }
+    }
+
+    #[test]
+    fn group_uniformity_is_in_unit_interval_and_order_independent(
+        a in scores_vec(4),
+        b in scores_vec(4),
+        c in scores_vec(4),
+    ) {
+        let schema = ProfileSchema::new([4, 4, 4, 4]);
+        let member = |id: u64, v: &Vec<f64>| {
+            UserProfile::from_scores(id, schema, [v.clone(), v.clone(), v.clone(), v.clone()])
+        };
+        let g1 = Group::new(1, vec![member(1, &a), member(2, &b), member(3, &c)]);
+        let g2 = Group::new(2, vec![member(3, &c), member(1, &a), member(2, &b)]);
+        let u1 = g1.uniformity();
+        let u2 = g2.uniformity();
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&u1));
+        prop_assert!((u1 - u2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_profile_vectors_match_the_schema_and_stay_non_negative(
+        a in scores_vec(3),
+        b in scores_vec(3),
+    ) {
+        let schema = ProfileSchema::new([3, 3, 3, 3]);
+        let member = |id: u64, v: &Vec<f64>| {
+            UserProfile::from_scores(id, schema, [v.clone(), v.clone(), v.clone(), v.clone()])
+        };
+        let group = Group::new(7, vec![member(1, &a), member(2, &b)]);
+        for method in ConsensusMethod::paper_variants() {
+            let profile = group.profile(method);
+            for cat in Category::ALL {
+                prop_assert_eq!(profile.vector(cat).len(), schema.dim(cat));
+                prop_assert!(profile.vector(cat).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn median_user_is_always_a_member(
+        members in prop::collection::vec(scores_vec(3), 1..8),
+    ) {
+        let schema = ProfileSchema::new([3, 3, 3, 3]);
+        let profiles: Vec<UserProfile> = members
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| {
+                UserProfile::from_scores(idx as u64 + 1, schema, [v.clone(), v.clone(), v.clone(), v.clone()])
+            })
+            .collect();
+        let group = Group::new(1, profiles.clone());
+        let median = group.median_user().expect("non-empty group");
+        prop_assert!(profiles.iter().any(|p| p.user_id == median.user_id));
+    }
+}

@@ -1,0 +1,302 @@
+//! One-way analysis of variance (ANOVA).
+//!
+//! The paper validates its synthetic observations "using the One-way ANOVA
+//! procedure, with the F-measure of MSB/MSE and the significance level of
+//! p = 0.05", reporting results as `F(n, k) = x given p < 0.05` (§4.3.1).
+//! This module computes the F statistic, the degrees of freedom, and the
+//! p-value through the regularized incomplete beta function (the CDF of the
+//! F distribution), all without external dependencies.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a one-way ANOVA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnovaResult {
+    /// The F statistic, `MSB / MSE`.
+    pub f_statistic: f64,
+    /// Between-groups degrees of freedom (`k − 1`).
+    pub df_between: usize,
+    /// Within-groups degrees of freedom (`N − k`).
+    pub df_within: usize,
+    /// Mean square between groups.
+    pub ms_between: f64,
+    /// Mean square within groups (error).
+    pub ms_within: f64,
+    /// The p-value, `P(F ≥ f_statistic)` under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl AnovaResult {
+    /// Whether the group means differ significantly at level `alpha`.
+    #[must_use]
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// Formats the result the way the paper reports it:
+    /// `F(df_between, df_within) = x`.
+    #[must_use]
+    pub fn paper_notation(&self) -> String {
+        format!(
+            "F({}, {}) = {:.2}, p = {:.4}",
+            self.df_between, self.df_within, self.f_statistic, self.p_value
+        )
+    }
+}
+
+/// Runs a one-way ANOVA over `groups` (each a sample of observations).
+///
+/// Returns `None` when there are fewer than two groups, any group is empty,
+/// or there are not enough total observations to estimate the within-group
+/// variance (`N ≤ k`).
+#[must_use]
+pub fn one_way_anova(groups: &[Vec<f64>]) -> Option<AnovaResult> {
+    let k = groups.len();
+    if k < 2 || groups.iter().any(Vec::is_empty) {
+        return None;
+    }
+    let n_total: usize = groups.iter().map(Vec::len).sum();
+    if n_total <= k {
+        return None;
+    }
+
+    let grand_mean: f64 =
+        groups.iter().flatten().sum::<f64>() / n_total as f64;
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for group in groups {
+        let n = group.len() as f64;
+        let group_mean = group.iter().sum::<f64>() / n;
+        ss_between += n * (group_mean - grand_mean).powi(2);
+        ss_within += group.iter().map(|v| (v - group_mean).powi(2)).sum::<f64>();
+    }
+
+    let df_between = k - 1;
+    let df_within = n_total - k;
+    let ms_between = ss_between / df_between as f64;
+    let ms_within = ss_within / df_within as f64;
+
+    // If all observations inside every group are identical, MSE is zero: the
+    // F statistic is infinite whenever the group means differ at all.
+    let f_statistic = if ms_within <= f64::EPSILON {
+        if ms_between <= f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ms_between / ms_within
+    };
+
+    let p_value = f_distribution_sf(f_statistic, df_between as f64, df_within as f64);
+
+    Some(AnovaResult {
+        f_statistic,
+        df_between,
+        df_within,
+        ms_between,
+        ms_within,
+        p_value,
+    })
+}
+
+/// Survival function of the F distribution: `P(F ≥ x)` with `d1`, `d2`
+/// degrees of freedom.
+fn f_distribution_sf(x: f64, d1: f64, d2: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x.is_infinite() {
+        return 0.0;
+    }
+    // CDF(x) = I_{d1 x / (d1 x + d2)}(d1/2, d2/2); SF = 1 - CDF.
+    let t = d1 * x / (d1 * x + d2);
+    1.0 - regularized_incomplete_beta(d1 / 2.0, d2 / 2.0, t)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Lentz's algorithm), following Numerical Recipes.
+fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    let front = (ln_beta + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_continued_fraction(a, b, x) / a
+    } else {
+        1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_continued_fraction(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COEFFS {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_groups_have_f_near_zero_and_p_near_one() {
+        let groups = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]];
+        let result = one_way_anova(&groups).unwrap();
+        assert!(result.f_statistic.abs() < 1e-12);
+        assert!(result.p_value > 0.99);
+        assert!(!result.is_significant(0.05));
+    }
+
+    #[test]
+    fn clearly_different_groups_are_significant() {
+        let groups = vec![
+            vec![1.0, 1.1, 0.9, 1.05, 0.95],
+            vec![5.0, 5.1, 4.9, 5.05, 4.95],
+            vec![9.0, 9.1, 8.9, 9.05, 8.95],
+        ];
+        let result = one_way_anova(&groups).unwrap();
+        assert!(result.f_statistic > 100.0);
+        assert!(result.p_value < 1e-6);
+        assert!(result.is_significant(0.05));
+    }
+
+    #[test]
+    fn textbook_example_matches_known_f_value() {
+        // Classic example: three treatments.
+        let groups = vec![
+            vec![6.0, 8.0, 4.0, 5.0, 3.0, 4.0],
+            vec![8.0, 12.0, 9.0, 11.0, 6.0, 8.0],
+            vec![13.0, 9.0, 11.0, 8.0, 7.0, 12.0],
+        ];
+        let result = one_way_anova(&groups).unwrap();
+        assert_eq!(result.df_between, 2);
+        assert_eq!(result.df_within, 15);
+        assert!((result.f_statistic - 9.264).abs() < 0.05, "F = {}", result.f_statistic);
+        assert!(result.p_value < 0.05);
+        assert!(result.p_value > 0.0001);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(one_way_anova(&[]).is_none());
+        assert!(one_way_anova(&[vec![1.0, 2.0]]).is_none());
+        assert!(one_way_anova(&[vec![1.0], vec![]]).is_none());
+        assert!(one_way_anova(&[vec![1.0], vec![2.0]]).is_none());
+    }
+
+    #[test]
+    fn zero_within_variance_with_different_means_is_infinite_f() {
+        let groups = vec![vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 2.0]];
+        let result = one_way_anova(&groups).unwrap();
+        assert!(result.f_statistic.is_infinite());
+        assert_eq!(result.p_value, 0.0);
+    }
+
+    #[test]
+    fn paper_notation_contains_dof_and_f() {
+        let groups = vec![vec![1.0, 2.0, 3.0], vec![2.0, 3.0, 4.0]];
+        let result = one_way_anova(&groups).unwrap();
+        let s = result.paper_notation();
+        assert!(s.starts_with("F(1, 4)"));
+        assert!(s.contains("p ="));
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)! so ln Γ(5) = ln 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(1.0)).abs() < 1e-9);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_beta_boundary_values() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(1, 1) is the uniform CDF.
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.3) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f_survival_function_sanity() {
+        // For F(1, 10), the 95th percentile is about 4.96.
+        let p = f_distribution_sf(4.96, 1.0, 10.0);
+        assert!((p - 0.05).abs() < 0.005, "p = {p}");
+        assert_eq!(f_distribution_sf(-1.0, 1.0, 10.0), 1.0);
+        assert_eq!(f_distribution_sf(f64::INFINITY, 1.0, 10.0), 0.0);
+    }
+}

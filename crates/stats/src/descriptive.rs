@@ -1,0 +1,101 @@
+//! Descriptive statistics shared by the other modules.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population variance (divides by `n`), as used by the paper's
+/// disagreement-variance consensus. Returns `None` for an empty slice.
+#[must_use]
+pub fn population_variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64)
+}
+
+/// Sample variance (divides by `n - 1`). Returns `None` for fewer than two
+/// values.
+#[must_use]
+pub fn sample_variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64)
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    population_variance(values).map(f64::sqrt)
+}
+
+/// Median (average of the two central values for even-sized inputs).
+/// Returns `None` for an empty slice or if any value is NaN.
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn population_variance_of_constant_is_zero() {
+        assert_eq!(population_variance(&[3.0, 3.0, 3.0]), Some(0.0));
+    }
+
+    #[test]
+    fn population_variance_matches_hand_computation() {
+        // Paper §2.3 example: preferences 0.8, 1.0, 0.6, 0.2 → variance 0.088 (μ = 0.65).
+        let v = population_variance(&[0.8, 1.0, 0.6, 0.2]).unwrap();
+        assert!((v - 0.0875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_variance_requires_two_values() {
+        assert!(sample_variance(&[1.0]).is_none());
+        let v = sample_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 4.571_428_571).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_of_variance() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sd = std_dev(&values).unwrap();
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert!(median(&[]).is_none());
+        assert!(median(&[1.0, f64::NAN]).is_none());
+    }
+}

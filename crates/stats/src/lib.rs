@@ -1,0 +1,27 @@
+//! Statistical utilities used by the GroupTravel evaluation.
+//!
+//! The paper's synthetic experiment (§4.3.1) validates its observations with
+//! three tools, all reimplemented here from first principles:
+//!
+//! * **One-way ANOVA** with the `F = MSB/MSE` statistic at significance level
+//!   `p = 0.05` — [`anova`].
+//! * **Pearson correlation coefficient (PCC)** to quantify linear relations
+//!   between group size and the optimization dimensions — [`pearson`].
+//! * **Min–max normalization** of raw dimension values into `[0, 1]` —
+//!   [`normalize`].
+//!
+//! The user study additionally sizes its participant pool with the central
+//! limit theorem formula of Eq. 5 — [`sample_size`]. Descriptive statistics
+//! shared by all of the above live in [`descriptive`].
+
+pub mod anova;
+pub mod descriptive;
+pub mod normalize;
+pub mod pearson;
+pub mod sample_size;
+
+pub use anova::{one_way_anova, AnovaResult};
+pub use descriptive::{mean, median, population_variance, sample_variance, std_dev};
+pub use normalize::{min_max_normalize, MinMaxScaler};
+pub use pearson::pearson_correlation;
+pub use sample_size::{required_sample_size, SampleSizeParams};

@@ -1,0 +1,130 @@
+//! Min–max normalization.
+//!
+//! The synthetic experiment reports representativity, cohesiveness and
+//! personalization "normalized in the range [0, 1] in min-max style" (§4.3.1):
+//! `normalized(o) = (value(o) − min(o)) / (max(o) − min(o))`.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted min–max scaler: remembers the min and max observed when it was
+/// fitted and maps new values into `[0, 1]` against that range (clamped).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    min: f64,
+    max: f64,
+}
+
+impl MinMaxScaler {
+    /// Fits a scaler on `values`. Returns `None` for an empty slice or if any
+    /// value is NaN.
+    #[must_use]
+    pub fn fit(values: &[f64]) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Self { min, max })
+    }
+
+    /// Builds a scaler with an explicit range.
+    #[must_use]
+    pub fn with_range(min: f64, max: f64) -> Self {
+        if min <= max {
+            Self { min, max }
+        } else {
+            Self { min: max, max: min }
+        }
+    }
+
+    /// The fitted minimum.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The fitted maximum.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Maps `value` into `[0, 1]`, clamping values outside the fitted range.
+    /// A degenerate range (max == min) maps everything to 0.5.
+    #[must_use]
+    pub fn transform(&self, value: f64) -> f64 {
+        let span = self.max - self.min;
+        if span <= f64::EPSILON {
+            return 0.5;
+        }
+        ((value - self.min) / span).clamp(0.0, 1.0)
+    }
+
+    /// Transforms a whole slice.
+    #[must_use]
+    pub fn transform_all(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.transform(v)).collect()
+    }
+}
+
+/// One-shot min–max normalization of a slice (fit + transform). Returns an
+/// empty vector for empty input.
+#[must_use]
+pub fn min_max_normalize(values: &[f64]) -> Vec<f64> {
+    match MinMaxScaler::fit(values) {
+        Some(scaler) => scaler.transform_all(values),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_values_are_in_unit_interval_with_extremes_hit() {
+        let normalized = min_max_normalize(&[10.0, 20.0, 30.0]);
+        assert_eq!(normalized, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn constant_input_maps_to_half() {
+        let normalized = min_max_normalize(&[7.0, 7.0, 7.0]);
+        assert_eq!(normalized, vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(min_max_normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn nan_input_fails_to_fit() {
+        assert!(MinMaxScaler::fit(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn transform_clamps_out_of_range_values() {
+        let scaler = MinMaxScaler::fit(&[0.0, 10.0]).unwrap();
+        assert_eq!(scaler.transform(-5.0), 0.0);
+        assert_eq!(scaler.transform(15.0), 1.0);
+        assert_eq!(scaler.transform(5.0), 0.5);
+    }
+
+    #[test]
+    fn with_range_swaps_inverted_bounds() {
+        let scaler = MinMaxScaler::with_range(10.0, 0.0);
+        assert_eq!(scaler.min(), 0.0);
+        assert_eq!(scaler.max(), 10.0);
+    }
+
+    #[test]
+    fn paper_dimension_ranges_normalize_correctly() {
+        // §4.3.1: representativity raw values spread over [0.03, 41.39].
+        let scaler = MinMaxScaler::with_range(0.03, 41.39);
+        assert!((scaler.transform(0.03)).abs() < 1e-12);
+        assert!((scaler.transform(41.39) - 1.0).abs() < 1e-12);
+        let mid = scaler.transform((0.03 + 41.39) / 2.0);
+        assert!((mid - 0.5).abs() < 1e-12);
+    }
+}

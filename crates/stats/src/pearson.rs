@@ -1,0 +1,89 @@
+//! Pearson correlation coefficient (PCC).
+//!
+//! The paper reports PCC between group size and cohesiveness (+0.98, +0.73,
+//! +0.73, +0.99 across consensus methods) and between group size and
+//! personalization (−0.99, −0.99, −0.89, −0.89) for uniform groups (§4.3.3).
+
+/// Pearson correlation between two equal-length samples.
+///
+/// Returns `None` when the slices are empty, have different lengths, or one
+/// of the variables has zero variance (correlation is undefined).
+#[must_use]
+pub fn pearson_correlation(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.is_empty() || x.len() != y.len() {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= f64::EPSILON || var_y <= f64::EPSILON {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 20.0, 30.0, 40.0];
+        assert!((pearson_correlation(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_linear_correlation_for_symmetric_parabola() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let r = pearson_correlation(&x, &y).unwrap();
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_or_empty_inputs_are_none() {
+        assert!(pearson_correlation(&[], &[]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn zero_variance_is_none() {
+        assert!(pearson_correlation(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn correlation_is_bounded_and_symmetric() {
+        let x = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let y = [2.0, 2.5, 1.0, 6.0, 3.0];
+        let r1 = pearson_correlation(&x, &y).unwrap();
+        let r2 = pearson_correlation(&y, &x).unwrap();
+        assert!((-1.0..=1.0).contains(&r1));
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        let x = [43.0, 21.0, 25.0, 42.0, 57.0, 59.0];
+        let y = [99.0, 65.0, 79.0, 75.0, 87.0, 81.0];
+        let r = pearson_correlation(&x, &y).unwrap();
+        assert!((r - 0.529809).abs() < 1e-4, "got {r}");
+    }
+}

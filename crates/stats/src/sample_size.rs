@@ -1,0 +1,193 @@
+//! Survey sample-size calculation (Eq. 5).
+//!
+//! The user study sizes its participant pool with the central-limit-theorem
+//! formula:
+//!
+//! ```text
+//! sample size = (z² · p(1−p) / e²) / (1 + z² · p(1−p) / (e² · N))
+//! ```
+//!
+//! with population `N = 200,000`, margin of error `e = 3%`, confidence level
+//! 95% and expected proportion `p = 50%`, which "rounded up to at least 1062
+//! participants" (§4.4.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the sample-size formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampleSizeParams {
+    /// Population size `N` (number of contributors on the crowd platforms).
+    pub population: f64,
+    /// Margin of error `e`, as a fraction (0.03 for 3%).
+    pub margin_of_error: f64,
+    /// Confidence level as a fraction (0.95 for 95%).
+    pub confidence: f64,
+    /// Expected proportion `p` (0.5 when unknown).
+    pub proportion: f64,
+}
+
+impl Default for SampleSizeParams {
+    /// The exact parameters used in the paper.
+    fn default() -> Self {
+        Self {
+            population: 200_000.0,
+            margin_of_error: 0.03,
+            confidence: 0.95,
+            proportion: 0.5,
+        }
+    }
+}
+
+impl SampleSizeParams {
+    /// The z-score for the configured confidence level.
+    ///
+    /// Exact z-scores are tabulated for the common confidence levels; other
+    /// levels fall back to an inverse-normal approximation
+    /// (Beasley–Springer–Moro is unnecessary here; Acklam's rational
+    /// approximation is accurate to ~1e-9 which is far more than a survey
+    /// formula needs).
+    #[must_use]
+    pub fn z_score(&self) -> f64 {
+        match (self.confidence * 1000.0).round() as u64 {
+            900 => 1.6449,
+            950 => 1.96,
+            990 => 2.5758,
+            _ => inverse_normal_cdf(0.5 + self.confidence / 2.0),
+        }
+    }
+}
+
+/// Computes the required sample size, rounded up to the next whole
+/// participant.
+#[must_use]
+pub fn required_sample_size(params: &SampleSizeParams) -> u64 {
+    let z = params.z_score();
+    let p = params.proportion;
+    let e = params.margin_of_error;
+    let numerator = z * z * p * (1.0 - p) / (e * e);
+    let denominator = 1.0 + numerator / params.population;
+    (numerator / denominator).ceil() as u64
+}
+
+/// Acklam's rational approximation to the inverse of the standard normal CDF.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p) && p > 0.0);
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters_round_up_to_at_least_1062() {
+        let n = required_sample_size(&SampleSizeParams::default());
+        assert!(
+            (1062..=1070).contains(&n),
+            "expected roughly 1062–1068 participants, got {n}"
+        );
+    }
+
+    #[test]
+    fn infinite_population_limit_is_the_classic_formula() {
+        let params = SampleSizeParams {
+            population: 1e12,
+            ..SampleSizeParams::default()
+        };
+        // z² p(1−p)/e² = 1.96² · 0.25 / 0.0009 ≈ 1067.1
+        let n = required_sample_size(&params);
+        assert!((1067..=1068).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn tighter_margin_requires_more_participants() {
+        let loose = required_sample_size(&SampleSizeParams::default());
+        let tight = required_sample_size(&SampleSizeParams {
+            margin_of_error: 0.01,
+            ..SampleSizeParams::default()
+        });
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn higher_confidence_requires_more_participants() {
+        let c95 = required_sample_size(&SampleSizeParams::default());
+        let c99 = required_sample_size(&SampleSizeParams {
+            confidence: 0.99,
+            ..SampleSizeParams::default()
+        });
+        assert!(c99 > c95);
+    }
+
+    #[test]
+    fn small_populations_cap_the_sample_size() {
+        let n = required_sample_size(&SampleSizeParams {
+            population: 100.0,
+            ..SampleSizeParams::default()
+        });
+        assert!(n <= 100);
+    }
+
+    #[test]
+    fn z_scores_for_common_levels() {
+        let p = SampleSizeParams::default();
+        assert!((p.z_score() - 1.96).abs() < 1e-9);
+        let p90 = SampleSizeParams {
+            confidence: 0.90,
+            ..p
+        };
+        assert!((p90.z_score() - 1.6449).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_matches_known_quantiles() {
+        assert!((inverse_normal_cdf(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.5)).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.995) - 2.575_829).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.005) + 2.575_829).abs() < 1e-4);
+    }
+}

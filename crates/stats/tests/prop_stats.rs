@@ -1,0 +1,101 @@
+//! Property-based tests for the statistics crate.
+
+use grouptravel_stats::{
+    mean, median, min_max_normalize, one_way_anova, pearson_correlation, population_variance,
+    required_sample_size, MinMaxScaler, SampleSizeParams,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn min_max_normalization_lands_in_unit_interval(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let normalized = min_max_normalize(&values);
+        prop_assert_eq!(normalized.len(), values.len());
+        prop_assert!(normalized.iter().all(|v| (0.0..=1.0).contains(v)));
+        // The ordering of values is preserved.
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                if a < b {
+                    prop_assert!(normalized[i] <= normalized[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_transform_is_monotone(lo in -1e3f64..1e3, span in 0.1f64..1e3, x in -2e3f64..2e3, y in -2e3f64..2e3) {
+        let scaler = MinMaxScaler::with_range(lo, lo + span);
+        if x <= y {
+            prop_assert!(scaler.transform(x) <= scaler.transform(y) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_scale_invariant(
+        pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..40),
+        scale in 0.1f64..10.0,
+        shift in -50.0f64..50.0,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = pearson_correlation(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            // Correlation is invariant under positive affine transforms.
+            let x2: Vec<f64> = x.iter().map(|v| v * scale + shift).collect();
+            if let Some(r2) = pearson_correlation(&x2, &y) {
+                prop_assert!((r - r2).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn variance_is_non_negative_and_zero_for_constants(values in prop::collection::vec(-1e3f64..1e3, 1..40)) {
+        let v = population_variance(&values).unwrap();
+        prop_assert!(v >= -1e-9);
+        let constant = vec![values[0]; values.len()];
+        prop_assert!(population_variance(&constant).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn median_lies_between_min_and_max(values in prop::collection::vec(-1e3f64..1e3, 1..40)) {
+        let m = median(&values).unwrap();
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-12 && m <= max + 1e-12);
+        let avg = mean(&values).unwrap();
+        prop_assert!(avg >= min - 1e-9 && avg <= max + 1e-9);
+    }
+
+    #[test]
+    fn anova_p_value_is_a_probability(
+        g1 in prop::collection::vec(-10.0f64..10.0, 3..15),
+        g2 in prop::collection::vec(-10.0f64..10.0, 3..15),
+        g3 in prop::collection::vec(-10.0f64..10.0, 3..15),
+    ) {
+        if let Some(result) = one_way_anova(&[g1, g2, g3]) {
+            prop_assert!((0.0..=1.0).contains(&result.p_value));
+            prop_assert!(result.f_statistic >= 0.0);
+            prop_assert_eq!(result.df_between, 2);
+        }
+    }
+
+    #[test]
+    fn sample_size_is_monotone_in_margin_and_bounded_by_population(
+        population in 100.0f64..1e6,
+        e1 in 0.01f64..0.1,
+        e2 in 0.01f64..0.1,
+    ) {
+        let params = |e: f64| SampleSizeParams {
+            population,
+            margin_of_error: e,
+            ..SampleSizeParams::default()
+        };
+        let n1 = required_sample_size(&params(e1));
+        let n2 = required_sample_size(&params(e2));
+        if e1 <= e2 {
+            prop_assert!(n1 >= n2, "tighter margin should need at least as many participants");
+        }
+        prop_assert!(n1 as f64 <= population + 1.0);
+        prop_assert!(n1 >= 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulated crowdsourced user-study substrate.
+//!
+//! The paper's user study (§4.4) recruits 3000 participants from Figure-Eight
+//! and Amazon Mechanical Turk, prunes invalid submissions, collects travel
+//! profiles, forms groups, and asks participants to rate travel packages on a
+//! 1–5 scale (independent evaluation) and to pick the better of two packages
+//! (comparative evaluation). An injected *random* package with invalid
+//! composite items serves as an attention check: participants who prefer it
+//! are discarded.
+//!
+//! Real crowd workers cannot be recruited offline, so this crate simulates
+//! them (see DESIGN.md for the substitution argument):
+//!
+//! * [`worker`] — simulated workers with a ground-truth travel profile, a
+//!   platform of origin, a contact-validity flag (for the pruning step) and a
+//!   carelessness probability (for the attention check).
+//! * [`platform`] — the recruitment pipeline: platform populations, pruning
+//!   rates, payments, and group formation from recruited workers.
+//! * [`rating`] — the rating model: a worker's 1–5 score for a package is a
+//!   noisy monotone function of the cosine affinity between the worker's
+//!   profile and the package's item vectors; pairwise choices pick the
+//!   higher-affinity package (careless workers answer at random).
+
+pub mod platform;
+pub mod rating;
+pub mod worker;
+
+pub use platform::{CrowdPlatform, RecruitmentConfig, StudyPopulation};
+pub use rating::{RatingModel, RatingModelConfig};
+pub use worker::{Platform, SimulatedWorker};

@@ -1,0 +1,333 @@
+//! Recruitment pipeline and group formation.
+//!
+//! §4.4.1: 3000 participants are recruited (2000 Figure-Eight, 1000
+//! Mechanical Turk), pruned of invalid contacts (keeping 90.1% / 96.6%),
+//! paid $0.01 for the profile form and $0.50 for package evaluation, and then
+//! formed into groups of varying size and uniformity.
+
+use crate::worker::{Platform, SimulatedWorker};
+use grouptravel_profile::{
+    Group, GroupSize, ProfileSchema, SyntheticGroupGenerator, Uniformity, UserProfile,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Payment for filling in the travel-profile form.
+pub const PROFILE_PAYMENT: f64 = 0.01;
+/// Payment for evaluating travel packages.
+pub const EVALUATION_PAYMENT: f64 = 0.50;
+
+/// How many workers to recruit from each platform and the shape of the
+/// simulated population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecruitmentConfig {
+    /// Recruits from Figure-Eight (2000 in the paper).
+    pub figure_eight: usize,
+    /// Recruits from Mechanical Turk (1000 in the paper).
+    pub mechanical_turk: usize,
+    /// Mean carelessness probability of the population.
+    pub mean_carelessness: f64,
+    /// Randomness seed.
+    pub seed: u64,
+}
+
+impl Default for RecruitmentConfig {
+    fn default() -> Self {
+        Self {
+            figure_eight: 2000,
+            mechanical_turk: 1000,
+            mean_carelessness: 0.08,
+            seed: 42,
+        }
+    }
+}
+
+impl RecruitmentConfig {
+    /// A scaled-down configuration for tests and quick experiments.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self {
+            figure_eight: 80,
+            mechanical_turk: 40,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Total recruits before pruning.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.figure_eight + self.mechanical_turk
+    }
+}
+
+/// A recruited, pruned population of simulated workers.
+#[derive(Debug, Clone)]
+pub struct StudyPopulation {
+    workers: Vec<SimulatedWorker>,
+    pruned: usize,
+}
+
+impl StudyPopulation {
+    /// The retained workers (valid contacts only).
+    #[must_use]
+    pub fn workers(&self) -> &[SimulatedWorker] {
+        &self.workers
+    }
+
+    /// Mutable access (payments).
+    #[must_use]
+    pub fn workers_mut(&mut self) -> &mut [SimulatedWorker] {
+        &mut self.workers
+    }
+
+    /// Number of retained workers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether nobody survived pruning.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// How many recruits were pruned for invalid contact details.
+    #[must_use]
+    pub fn pruned(&self) -> usize {
+        self.pruned
+    }
+}
+
+/// The simulated crowd platform.
+#[derive(Debug, Clone)]
+pub struct CrowdPlatform {
+    schema: ProfileSchema,
+    config: RecruitmentConfig,
+}
+
+impl CrowdPlatform {
+    /// Creates a platform whose workers' profiles follow `schema`.
+    #[must_use]
+    pub fn new(schema: ProfileSchema, config: RecruitmentConfig) -> Self {
+        Self { schema, config }
+    }
+
+    /// Recruits, prunes, and pays the profile fee to the retained workers.
+    #[must_use]
+    pub fn recruit(&self) -> StudyPopulation {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut profile_gen = SyntheticGroupGenerator::new(self.schema, self.config.seed ^ 0x9e37);
+        let mut workers = Vec::with_capacity(self.config.total());
+        let mut pruned = 0usize;
+        let mut worker_id = 1u64;
+
+        let recruit_from = |platform: Platform,
+                                count: usize,
+                                rng: &mut SmallRng,
+                                profile_gen: &mut SyntheticGroupGenerator,
+                                workers: &mut Vec<SimulatedWorker>,
+                                pruned: &mut usize,
+                                worker_id: &mut u64| {
+            for _ in 0..count {
+                let mut profile: UserProfile = profile_gen.random_user();
+                profile.user_id = *worker_id;
+                let valid_contact = rng.gen_bool(platform.retention_rate());
+                let carelessness =
+                    (self.config.mean_carelessness + rng.gen_range(-0.05..=0.05)).clamp(0.0, 0.9);
+                let approval_rate = rng.gen_range(0.80..=1.0);
+                let mut worker = SimulatedWorker::new(
+                    *worker_id,
+                    platform,
+                    profile,
+                    valid_contact,
+                    carelessness,
+                    approval_rate,
+                );
+                *worker_id += 1;
+                if worker.valid_contact {
+                    worker.pay(PROFILE_PAYMENT);
+                    workers.push(worker);
+                } else {
+                    *pruned += 1;
+                }
+            }
+        };
+
+        recruit_from(
+            Platform::FigureEight,
+            self.config.figure_eight,
+            &mut rng,
+            &mut profile_gen,
+            &mut workers,
+            &mut pruned,
+            &mut worker_id,
+        );
+        recruit_from(
+            Platform::MechanicalTurk,
+            self.config.mechanical_turk,
+            &mut rng,
+            &mut profile_gen,
+            &mut workers,
+            &mut pruned,
+            &mut worker_id,
+        );
+
+        StudyPopulation { workers, pruned }
+    }
+
+    /// Forms a [`Group`] of the requested size and uniformity from the
+    /// population, preferring workers whose real profiles actually satisfy
+    /// the uniformity class.
+    ///
+    /// The paper builds uniform groups from similar participants; with a
+    /// simulated population the cleanest equivalent is to seed the group with
+    /// one worker and greedily add the most (or least) similar remaining
+    /// workers until the requested size is reached. Returns `None` when the
+    /// population is smaller than the requested size.
+    #[must_use]
+    pub fn form_group(
+        &self,
+        population: &StudyPopulation,
+        size: GroupSize,
+        uniformity: Uniformity,
+        group_id: u64,
+    ) -> Option<Group> {
+        self.form_group_sized(population, size.member_count(), uniformity, group_id)
+    }
+
+    /// Like [`CrowdPlatform::form_group`] but with an explicit member count —
+    /// the customization study uses one uniform group of 11 members and one
+    /// non-uniform group of 7 members (§4.4.4), which do not match the
+    /// synthetic size classes.
+    #[must_use]
+    pub fn form_group_sized(
+        &self,
+        population: &StudyPopulation,
+        n: usize,
+        uniformity: Uniformity,
+        group_id: u64,
+    ) -> Option<Group> {
+        if population.len() < n || n == 0 {
+            return None;
+        }
+        let seed_idx = (group_id as usize) % population.len();
+        let seed_profile = &population.workers()[seed_idx].profile;
+        let mut scored: Vec<(usize, f64)> = population
+            .workers()
+            .iter()
+            .enumerate()
+            .map(|(idx, w)| (idx, seed_profile.similarity(&w.profile)))
+            .collect();
+        match uniformity {
+            Uniformity::Uniform => {
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            Uniformity::NonUniform => {
+                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            }
+        }
+        let members: Vec<UserProfile> = scored
+            .into_iter()
+            .take(n)
+            .map(|(idx, _)| population.workers()[idx].profile.clone())
+            .collect();
+        Some(Group::new(group_id, members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform(seed: u64) -> (CrowdPlatform, StudyPopulation) {
+        let p = CrowdPlatform::new(ProfileSchema::default(), RecruitmentConfig::small(seed));
+        let pop = p.recruit();
+        (p, pop)
+    }
+
+    #[test]
+    fn recruitment_prunes_roughly_the_paper_rates() {
+        let config = RecruitmentConfig {
+            figure_eight: 2000,
+            mechanical_turk: 1000,
+            ..RecruitmentConfig::default()
+        };
+        let p = CrowdPlatform::new(ProfileSchema::default(), config);
+        let pop = p.recruit();
+        let retained = pop.len() as f64 / config.total() as f64;
+        // Expected overall retention: (2000·0.901 + 1000·0.966) / 3000 ≈ 0.923.
+        assert!(
+            (0.89..=0.95).contains(&retained),
+            "retention {retained} outside the expected band"
+        );
+        assert_eq!(pop.len() + pop.pruned(), config.total());
+    }
+
+    #[test]
+    fn retained_workers_have_valid_contacts_and_were_paid() {
+        let (_, pop) = platform(3);
+        assert!(!pop.is_empty());
+        for w in pop.workers() {
+            assert!(w.valid_contact);
+            assert!((w.earned - PROFILE_PAYMENT).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recruitment_is_deterministic_per_seed() {
+        let (_, a) = platform(5);
+        let (_, b) = platform(5);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.workers()[0].profile, b.workers()[0].profile);
+        let (_, c) = platform(6);
+        assert_ne!(a.workers()[0].profile, c.workers()[0].profile);
+    }
+
+    #[test]
+    fn worker_ids_are_unique() {
+        let (_, pop) = platform(7);
+        let mut ids: Vec<u64> = pop.workers().iter().map(|w| w.worker_id).collect();
+        let len = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), len);
+    }
+
+    #[test]
+    fn group_formation_produces_the_requested_size_and_ordering() {
+        let (p, pop) = platform(9);
+        let uniform = p
+            .form_group(&pop, GroupSize::Small, Uniformity::Uniform, 1)
+            .unwrap();
+        let non_uniform = p
+            .form_group(&pop, GroupSize::Small, Uniformity::NonUniform, 1)
+            .unwrap();
+        assert_eq!(uniform.size(), 5);
+        assert_eq!(non_uniform.size(), 5);
+        assert!(
+            uniform.uniformity() >= non_uniform.uniformity(),
+            "uniform group ({}) should not be less uniform than the non-uniform one ({})",
+            uniform.uniformity(),
+            non_uniform.uniformity()
+        );
+    }
+
+    #[test]
+    fn group_formation_fails_when_the_population_is_too_small() {
+        let p = CrowdPlatform::new(
+            ProfileSchema::default(),
+            RecruitmentConfig {
+                figure_eight: 3,
+                mechanical_turk: 0,
+                ..RecruitmentConfig::default()
+            },
+        );
+        let pop = p.recruit();
+        assert!(p
+            .form_group(&pop, GroupSize::Large, Uniformity::Uniform, 1)
+            .is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Simulated crowd workers.
+
+use grouptravel_profile::UserProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which crowd platform a worker was recruited from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// Figure-Eight (2000 recruits in the paper).
+    FigureEight,
+    /// Amazon Mechanical Turk (1000 recruits in the paper).
+    MechanicalTurk,
+}
+
+impl Platform {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Platform::FigureEight => "Figure-Eight",
+            Platform::MechanicalTurk => "Amazon Mechanical Turk",
+        }
+    }
+
+    /// The fraction of recruits retained after pruning profiles with invalid
+    /// e-mail addresses or identifiers (90.1% and 96.6% in §4.4.1).
+    #[must_use]
+    pub fn retention_rate(&self) -> f64 {
+        match self {
+            Platform::FigureEight => 0.901,
+            Platform::MechanicalTurk => 0.966,
+        }
+    }
+}
+
+/// A simulated study participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedWorker {
+    /// Worker identifier; doubles as the user id of the profile.
+    pub worker_id: u64,
+    /// Where the worker was recruited.
+    pub platform: Platform,
+    /// The worker's ground-truth travel preferences (what the profile
+    /// elicitation form would have captured).
+    pub profile: UserProfile,
+    /// Whether the worker supplied a valid e-mail address / identifier; false
+    /// means the worker is pruned before the study.
+    pub valid_contact: bool,
+    /// Probability that the worker answers a task carelessly (at random
+    /// rather than according to their preferences). Careless answers are what
+    /// the injected random package is designed to catch.
+    pub carelessness: f64,
+    /// Task-approval rate of the worker (the customization study recruits
+    /// only workers above 90%, §4.4.4).
+    pub approval_rate: f64,
+    /// Accumulated payment in dollars.
+    pub earned: f64,
+}
+
+impl SimulatedWorker {
+    /// Creates a worker.
+    #[must_use]
+    pub fn new(
+        worker_id: u64,
+        platform: Platform,
+        profile: UserProfile,
+        valid_contact: bool,
+        carelessness: f64,
+        approval_rate: f64,
+    ) -> Self {
+        Self {
+            worker_id,
+            platform,
+            profile,
+            valid_contact,
+            carelessness: carelessness.clamp(0.0, 1.0),
+            approval_rate: approval_rate.clamp(0.0, 1.0),
+            earned: 0.0,
+        }
+    }
+
+    /// Pays the worker `amount` dollars.
+    pub fn pay(&mut self, amount: f64) {
+        self.earned += amount.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_profile::ProfileSchema;
+
+    #[test]
+    fn retention_rates_match_the_paper() {
+        assert!((Platform::FigureEight.retention_rate() - 0.901).abs() < 1e-12);
+        assert!((Platform::MechanicalTurk.retention_rate() - 0.966).abs() < 1e-12);
+        assert_eq!(Platform::FigureEight.name(), "Figure-Eight");
+    }
+
+    #[test]
+    fn carelessness_and_approval_are_clamped() {
+        let profile = UserProfile::empty(1, ProfileSchema::default());
+        let w = SimulatedWorker::new(1, Platform::MechanicalTurk, profile, true, 7.0, -1.0);
+        assert_eq!(w.carelessness, 1.0);
+        assert_eq!(w.approval_rate, 0.0);
+    }
+
+    #[test]
+    fn payments_accumulate_and_ignore_negative_amounts() {
+        let profile = UserProfile::empty(2, ProfileSchema::default());
+        let mut w = SimulatedWorker::new(2, Platform::FigureEight, profile, true, 0.1, 0.95);
+        w.pay(0.01);
+        w.pay(0.50);
+        w.pay(-3.0);
+        assert!((w.earned - 0.51).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,423 @@
+//! Collapsed Gibbs sampling for Latent Dirichlet Allocation.
+//!
+//! Standard LDA with symmetric Dirichlet priors `alpha` (document–topic) and
+//! `beta` (topic–word). Training runs the collapsed Gibbs sampler for a fixed
+//! number of sweeps; the final counts give the document–topic distributions
+//! θ and topic–word distributions φ. Held-out documents can be folded in with
+//! a short Gibbs run that keeps φ fixed.
+
+use crate::vocab::Vocabulary;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Number of latent topics `K`.
+    pub num_topics: usize,
+    /// Symmetric document–topic prior.
+    pub alpha: f64,
+    /// Symmetric topic–word prior.
+    pub beta: f64,
+    /// Number of Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// Randomness seed (the sampler is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        Self {
+            num_topics: 4,
+            alpha: 0.5,
+            beta: 0.1,
+            iterations: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained LDA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaModel {
+    config: LdaConfig,
+    vocab_size: usize,
+    /// Per-document topic distributions θ, one row per training document.
+    doc_topic: Vec<Vec<f64>>,
+    /// Per-topic word distributions φ, `num_topics × vocab_size`.
+    topic_word: Vec<Vec<f64>>,
+}
+
+impl LdaModel {
+    /// Trains a model on `documents`, each a list of word ids drawn from
+    /// `vocabulary`.
+    ///
+    /// Empty documents are allowed; their topic distribution is the uniform
+    /// distribution. Returns `None` when the configuration is unusable
+    /// (zero topics) or the vocabulary is empty while some document is not.
+    #[must_use]
+    pub fn train(
+        documents: &[Vec<usize>],
+        vocabulary: &Vocabulary,
+        config: LdaConfig,
+    ) -> Option<Self> {
+        let k = config.num_topics;
+        let v = vocabulary.len();
+        if k == 0 {
+            return None;
+        }
+        if v == 0 && documents.iter().any(|d| !d.is_empty()) {
+            return None;
+        }
+        if documents
+            .iter()
+            .flatten()
+            .any(|&w| w >= v)
+        {
+            return None;
+        }
+
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let d = documents.len();
+
+        // Count matrices of the collapsed sampler.
+        let mut n_dk = vec![vec![0usize; k]; d]; // document × topic
+        let mut n_kw = vec![vec![0usize; v.max(1)]; k]; // topic × word
+        let mut n_k = vec![0usize; k]; // topic totals
+        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(d);
+
+        // Random initialization.
+        for (doc_idx, doc) in documents.iter().enumerate() {
+            let mut doc_assign = Vec::with_capacity(doc.len());
+            for &word in doc {
+                let topic = rng.gen_range(0..k);
+                n_dk[doc_idx][topic] += 1;
+                n_kw[topic][word] += 1;
+                n_k[topic] += 1;
+                doc_assign.push(topic);
+            }
+            assignments.push(doc_assign);
+        }
+
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let v_beta = beta * v as f64;
+        let mut weights = vec![0.0f64; k];
+
+        for _ in 0..config.iterations {
+            for (doc_idx, doc) in documents.iter().enumerate() {
+                for (pos, &word) in doc.iter().enumerate() {
+                    let old_topic = assignments[doc_idx][pos];
+                    n_dk[doc_idx][old_topic] -= 1;
+                    n_kw[old_topic][word] -= 1;
+                    n_k[old_topic] -= 1;
+
+                    // Full conditional P(z = t | rest).
+                    let mut total = 0.0;
+                    for (t, weight) in weights.iter_mut().enumerate() {
+                        let w = (n_dk[doc_idx][t] as f64 + alpha)
+                            * (n_kw[t][word] as f64 + beta)
+                            / (n_k[t] as f64 + v_beta);
+                        *weight = w;
+                        total += w;
+                    }
+
+                    let new_topic = sample_discrete(&weights, total, &mut rng);
+                    assignments[doc_idx][pos] = new_topic;
+                    n_dk[doc_idx][new_topic] += 1;
+                    n_kw[new_topic][word] += 1;
+                    n_k[new_topic] += 1;
+                }
+            }
+        }
+
+        // Point estimates of θ and φ from the final counts.
+        let doc_topic = n_dk
+            .iter()
+            .zip(documents)
+            .map(|(counts, doc)| {
+                let total = doc.len() as f64 + alpha * k as f64;
+                counts
+                    .iter()
+                    .map(|&c| (c as f64 + alpha) / total)
+                    .collect()
+            })
+            .collect();
+
+        let topic_word = n_kw
+            .iter()
+            .zip(&n_k)
+            .map(|(counts, &total)| {
+                let denom = total as f64 + v_beta;
+                counts
+                    .iter()
+                    .map(|&c| (c as f64 + beta) / denom)
+                    .collect()
+            })
+            .collect();
+
+        Some(Self {
+            config,
+            vocab_size: v,
+            doc_topic,
+            topic_word,
+        })
+    }
+
+    /// The configuration the model was trained with.
+    #[must_use]
+    pub fn config(&self) -> &LdaConfig {
+        &self.config
+    }
+
+    /// Number of topics.
+    #[must_use]
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics
+    }
+
+    /// Topic distribution θ of the `idx`-th training document.
+    #[must_use]
+    pub fn document_topics(&self, idx: usize) -> Option<&[f64]> {
+        self.doc_topic.get(idx).map(Vec::as_slice)
+    }
+
+    /// All per-document topic distributions in training order.
+    #[must_use]
+    pub fn all_document_topics(&self) -> &[Vec<f64>] {
+        &self.doc_topic
+    }
+
+    /// Word distribution φ of topic `topic`.
+    #[must_use]
+    pub fn topic_words(&self, topic: usize) -> Option<&[f64]> {
+        self.topic_word.get(topic).map(Vec::as_slice)
+    }
+
+    /// The `n` most probable word ids of a topic, most probable first.
+    #[must_use]
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<usize> {
+        let Some(dist) = self.topic_words(topic) else {
+            return Vec::new();
+        };
+        let mut indexed: Vec<(usize, f64)> = dist.iter().copied().enumerate().collect();
+        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        indexed.into_iter().take(n).map(|(i, _)| i).collect()
+    }
+
+    /// Folds in a held-out document: a short Gibbs run with φ held fixed.
+    /// Unknown/out-of-range word ids are skipped; an empty document gets the
+    /// uniform distribution.
+    #[must_use]
+    pub fn infer(&self, document: &[usize], sweeps: usize, seed: u64) -> Vec<f64> {
+        let k = self.config.num_topics;
+        let words: Vec<usize> = document
+            .iter()
+            .copied()
+            .filter(|&w| w < self.vocab_size)
+            .collect();
+        if words.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut n_dk = vec![0usize; k];
+        let mut assignments = Vec::with_capacity(words.len());
+        for _ in &words {
+            let t = rng.gen_range(0..k);
+            n_dk[t] += 1;
+            assignments.push(t);
+        }
+
+        let alpha = self.config.alpha;
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..sweeps.max(1) {
+            for (pos, &word) in words.iter().enumerate() {
+                let old = assignments[pos];
+                n_dk[old] -= 1;
+                let mut total = 0.0;
+                for (t, weight) in weights.iter_mut().enumerate() {
+                    let w = (n_dk[t] as f64 + alpha) * self.topic_word[t][word];
+                    *weight = w;
+                    total += w;
+                }
+                let new = sample_discrete(&weights, total, &mut rng);
+                assignments[pos] = new;
+                n_dk[new] += 1;
+            }
+        }
+
+        let total = words.len() as f64 + alpha * k as f64;
+        n_dk.iter().map(|&c| (c as f64 + alpha) / total).collect()
+    }
+}
+
+/// Samples an index proportionally to `weights` (which sum to `total`).
+fn sample_discrete(weights: &[f64], total: f64, rng: &mut SmallRng) -> usize {
+    if total <= 0.0 || !total.is_finite() {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut pick = rng.gen_range(0.0..total);
+    for (idx, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return idx;
+        }
+        pick -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny corpus with two obvious themes: museum-words and park-words.
+    fn themed_corpus() -> (Vec<Vec<usize>>, Vocabulary) {
+        let museum_words = ["museum", "gallery", "art", "exhibition"];
+        let park_words = ["park", "garden", "picnic", "lake"];
+        let mut docs_str: Vec<Vec<&str>> = Vec::new();
+        for i in 0..30 {
+            let source: &[&str] = if i % 2 == 0 { &museum_words } else { &park_words };
+            let doc: Vec<&str> = (0..6).map(|j| source[(i + j) % source.len()]).collect();
+            docs_str.push(doc);
+        }
+        let vocab = Vocabulary::from_documents(docs_str.clone());
+        let docs = docs_str.iter().map(|d| vocab.encode(d)).collect();
+        (docs, vocab)
+    }
+
+    fn two_topic_config(seed: u64) -> LdaConfig {
+        LdaConfig {
+            num_topics: 2,
+            alpha: 0.1,
+            beta: 0.05,
+            iterations: 150,
+            seed,
+        }
+    }
+
+    #[test]
+    fn document_topic_distributions_sum_to_one() {
+        let (docs, vocab) = themed_corpus();
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(1)).unwrap();
+        for theta in model.all_document_topics() {
+            let sum: f64 = theta.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(theta.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn topic_word_distributions_sum_to_one() {
+        let (docs, vocab) = themed_corpus();
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(2)).unwrap();
+        for t in 0..model.num_topics() {
+            let sum: f64 = model.topic_words(t).unwrap().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_the_two_themes() {
+        let (docs, vocab) = themed_corpus();
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(3)).unwrap();
+        // Museum documents (even indices) should concentrate on one topic and
+        // park documents (odd indices) on the other.
+        let museum_major: usize = {
+            let theta = model.document_topics(0).unwrap();
+            if theta[0] > theta[1] {
+                0
+            } else {
+                1
+            }
+        };
+        let park_major = 1 - museum_major;
+        let mut correct = 0;
+        for (idx, theta) in model.all_document_topics().iter().enumerate() {
+            let major = if theta[0] > theta[1] { 0 } else { 1 };
+            let expected = if idx % 2 == 0 { museum_major } else { park_major };
+            if major == expected {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct >= 27,
+            "only {correct}/30 documents matched their theme"
+        );
+    }
+
+    #[test]
+    fn top_words_of_a_topic_are_from_one_theme() {
+        let (docs, vocab) = themed_corpus();
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(4)).unwrap();
+        let museum_ids: Vec<usize> = ["museum", "gallery", "art", "exhibition"]
+            .iter()
+            .filter_map(|w| vocab.id_of(w))
+            .collect();
+        // For each topic, its top-4 words should be (almost) all museum words
+        // or (almost) all park words.
+        for t in 0..2 {
+            let top = model.top_words(t, 4);
+            let museum_count = top.iter().filter(|w| museum_ids.contains(w)).count();
+            assert!(
+                museum_count >= 3 || museum_count <= 1,
+                "topic {t} mixes themes: {museum_count}/4 museum words"
+            );
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_a_seed() {
+        let (docs, vocab) = themed_corpus();
+        let a = LdaModel::train(&docs, &vocab, two_topic_config(9)).unwrap();
+        let b = LdaModel::train(&docs, &vocab, two_topic_config(9)).unwrap();
+        assert_eq!(a.all_document_topics(), b.all_document_topics());
+    }
+
+    #[test]
+    fn infer_assigns_new_documents_to_the_right_theme() {
+        let (docs, vocab) = themed_corpus();
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(5)).unwrap();
+        let museum_doc = vocab.encode(&["museum", "art", "gallery"]);
+        let park_doc = vocab.encode(&["park", "garden", "lake"]);
+        let theta_m = model.infer(&museum_doc, 50, 7);
+        let theta_p = model.infer(&park_doc, 50, 7);
+        let major_m = if theta_m[0] > theta_m[1] { 0 } else { 1 };
+        let major_p = if theta_p[0] > theta_p[1] { 0 } else { 1 };
+        assert_ne!(major_m, major_p);
+    }
+
+    #[test]
+    fn infer_on_empty_or_unknown_document_is_uniform() {
+        let (docs, vocab) = themed_corpus();
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(6)).unwrap();
+        let theta = model.infer(&[], 10, 1);
+        assert_eq!(theta, vec![0.5, 0.5]);
+        let theta = model.infer(&[9999], 10, 1);
+        assert_eq!(theta, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let (docs, vocab) = themed_corpus();
+        let bad = LdaConfig {
+            num_topics: 0,
+            ..two_topic_config(1)
+        };
+        assert!(LdaModel::train(&docs, &vocab, bad).is_none());
+        // Word id outside the vocabulary.
+        let bad_docs = vec![vec![vocab.len() + 5]];
+        assert!(LdaModel::train(&bad_docs, &vocab, two_topic_config(1)).is_none());
+    }
+
+    #[test]
+    fn empty_documents_get_uniform_topics() {
+        let (mut docs, vocab) = themed_corpus();
+        docs.push(Vec::new());
+        let model = LdaModel::train(&docs, &vocab, two_topic_config(8)).unwrap();
+        let theta = model.document_topics(docs.len() - 1).unwrap();
+        assert!((theta[0] - 0.5).abs() < 1e-9);
+        assert!((theta[1] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! Latent Dirichlet Allocation over POI tags.
+//!
+//! The paper derives restaurant and attraction *types* by applying LDA to the
+//! tags users left on Foursquare (§2.2), obtaining latent topics such as
+//! "art gallery, museum, library" and "garden, park, event hall". The topic
+//! distribution of a POI's tag document then becomes its item vector (§3.2).
+//!
+//! This crate implements that substrate from scratch:
+//!
+//! * [`vocab`] — a tag vocabulary with word↔id mapping and tokenization.
+//! * [`lda`] — a collapsed Gibbs sampler for LDA with symmetric Dirichlet
+//!   priors, producing per-document topic distributions (θ) and per-topic
+//!   word distributions (φ).
+//! * [`poi_topics`] — glue that runs LDA over all POIs of a category in a
+//!   catalog and returns per-POI topic vectors plus human-readable topic
+//!   labels (the top words of each topic).
+
+pub mod lda;
+pub mod poi_topics;
+pub mod vocab;
+
+pub use lda::{LdaConfig, LdaModel};
+pub use poi_topics::{CategoryTopicModel, TopicLabel};
+pub use vocab::Vocabulary;

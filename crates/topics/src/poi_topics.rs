@@ -1,0 +1,199 @@
+//! Topic models over the POIs of a catalog category.
+//!
+//! This is the glue the paper describes in §2.2/§3.2: run LDA over the tag
+//! documents of all restaurants (or attractions) in a city, keep the
+//! resulting per-POI topic distributions as item vectors, and describe each
+//! topic by its most probable tags so that users can rate "types" like
+//! *"garden, park, event hall"*.
+
+use crate::lda::{LdaConfig, LdaModel};
+use crate::vocab::Vocabulary;
+use grouptravel_dataset::{Category, Poi, PoiCatalog, PoiId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Human-readable description of a latent topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopicLabel {
+    /// Topic index.
+    pub topic: usize,
+    /// The most probable tags of the topic, most probable first.
+    pub top_tags: Vec<String>,
+}
+
+impl TopicLabel {
+    /// The label as the paper prints it, e.g. `"garden, park, event hall"`.
+    #[must_use]
+    pub fn display(&self) -> String {
+        self.top_tags.join(", ")
+    }
+}
+
+/// A trained topic model for one POI category of one catalog.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CategoryTopicModel {
+    category: Category,
+    vocabulary: Vocabulary,
+    model: LdaModel,
+    labels: Vec<TopicLabel>,
+    poi_topics: HashMap<PoiId, Vec<f64>>,
+}
+
+impl CategoryTopicModel {
+    /// Trains an LDA model over the tag documents of every POI of `category`
+    /// in `catalog`.
+    ///
+    /// Returns `None` if the category has no POIs (or no tags at all) or the
+    /// LDA configuration is invalid.
+    #[must_use]
+    pub fn train(catalog: &PoiCatalog, category: Category, config: LdaConfig) -> Option<Self> {
+        let pois = catalog.by_category(category);
+        if pois.is_empty() {
+            return None;
+        }
+        let mut vocabulary = Vocabulary::new();
+        let documents: Vec<Vec<usize>> = pois
+            .iter()
+            .map(|p| vocabulary.encode_interning(&p.tags))
+            .collect();
+        if vocabulary.is_empty() {
+            return None;
+        }
+        let model = LdaModel::train(&documents, &vocabulary, config)?;
+
+        let labels = (0..model.num_topics())
+            .map(|t| TopicLabel {
+                topic: t,
+                top_tags: model
+                    .top_words(t, 3)
+                    .into_iter()
+                    .filter_map(|w| vocabulary.word_of(w).map(str::to_string))
+                    .collect(),
+            })
+            .collect();
+
+        let poi_topics = pois
+            .iter()
+            .enumerate()
+            .map(|(idx, p)| {
+                (
+                    p.id,
+                    model
+                        .document_topics(idx)
+                        .map(<[f64]>::to_vec)
+                        .unwrap_or_else(|| vec![1.0 / config.num_topics as f64; config.num_topics]),
+                )
+            })
+            .collect();
+
+        Some(Self {
+            category,
+            vocabulary,
+            model,
+            labels,
+            poi_topics,
+        })
+    }
+
+    /// The category this model covers.
+    #[must_use]
+    pub fn category(&self) -> Category {
+        self.category
+    }
+
+    /// Number of topics (= dimensionality of item vectors for this category).
+    #[must_use]
+    pub fn num_topics(&self) -> usize {
+        self.model.num_topics()
+    }
+
+    /// Human-readable labels of all topics.
+    #[must_use]
+    pub fn labels(&self) -> &[TopicLabel] {
+        &self.labels
+    }
+
+    /// The topic distribution (item vector) of a POI seen during training.
+    #[must_use]
+    pub fn topics_of(&self, id: PoiId) -> Option<&[f64]> {
+        self.poi_topics.get(&id).map(Vec::as_slice)
+    }
+
+    /// Topic distribution of an arbitrary POI, folding in its tags if it was
+    /// not part of the training catalog.
+    #[must_use]
+    pub fn topics_of_poi(&self, poi: &Poi) -> Vec<f64> {
+        if let Some(known) = self.topics_of(poi.id) {
+            return known.to_vec();
+        }
+        let encoded = self.vocabulary.encode(&poi.tags);
+        self.model.infer(&encoded, 30, poi.id.0)
+    }
+
+    /// The underlying vocabulary.
+    #[must_use]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+
+    fn paris() -> PoiCatalog {
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(21)).generate()
+    }
+
+    fn config() -> LdaConfig {
+        LdaConfig {
+            num_topics: 4,
+            iterations: 80,
+            ..LdaConfig::default()
+        }
+    }
+
+    #[test]
+    fn trains_on_attractions_and_covers_every_poi() {
+        let catalog = paris();
+        let model = CategoryTopicModel::train(&catalog, Category::Attraction, config()).unwrap();
+        assert_eq!(model.category(), Category::Attraction);
+        assert_eq!(model.num_topics(), 4);
+        for poi in catalog.by_category(Category::Attraction) {
+            let topics = model.topics_of(poi.id).unwrap();
+            let sum: f64 = topics.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn labels_have_three_tags_each() {
+        let catalog = paris();
+        let model = CategoryTopicModel::train(&catalog, Category::Restaurant, config()).unwrap();
+        assert_eq!(model.labels().len(), 4);
+        for label in model.labels() {
+            assert!(!label.top_tags.is_empty());
+            assert!(label.top_tags.len() <= 3);
+            assert!(!label.display().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_poi_topics_are_inferred_from_tags() {
+        let catalog = paris();
+        let model = CategoryTopicModel::train(&catalog, Category::Attraction, config()).unwrap();
+        let mut foreign = catalog.by_category(Category::Attraction)[0].clone();
+        foreign.id = PoiId(999_999);
+        let topics = model.topics_of_poi(&foreign);
+        assert_eq!(topics.len(), 4);
+        let sum: f64 = topics.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_category_returns_none() {
+        let empty = PoiCatalog::new("Empty", vec![]);
+        assert!(CategoryTopicModel::train(&empty, Category::Restaurant, config()).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Tag vocabulary: maps tag strings to dense word ids and back.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A bidirectional mapping between tag strings and dense word ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vocabulary from an iterator of documents, where each document
+    /// is an iterator of tag strings. Word ids are assigned in first-seen
+    /// order.
+    pub fn from_documents<D, W, S>(documents: D) -> Self
+    where
+        D: IntoIterator<Item = W>,
+        W: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut vocab = Self::new();
+        for doc in documents {
+            for word in doc {
+                vocab.intern(word.as_ref());
+            }
+        }
+        vocab
+    }
+
+    /// Rebuilds the string→id index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+    }
+
+    /// Returns the id for `word`, adding it if unseen.
+    pub fn intern(&mut self, word: &str) -> usize {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len();
+        self.words.push(word.to_string());
+        self.index.insert(word.to_string(), id);
+        id
+    }
+
+    /// Id of a word, if it has been interned.
+    #[must_use]
+    pub fn id_of(&self, word: &str) -> Option<usize> {
+        self.index.get(word).copied()
+    }
+
+    /// Word for an id.
+    #[must_use]
+    pub fn word_of(&self, id: usize) -> Option<&str> {
+        self.words.get(id).map(String::as_str)
+    }
+
+    /// Number of distinct words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Encodes a document (slice of tag strings) as word ids, skipping
+    /// unknown words.
+    #[must_use]
+    pub fn encode<S: AsRef<str>>(&self, document: &[S]) -> Vec<usize> {
+        document
+            .iter()
+            .filter_map(|w| self.id_of(w.as_ref()))
+            .collect()
+    }
+
+    /// Encodes a document, interning unseen words.
+    pub fn encode_interning<S: AsRef<str>>(&mut self, document: &[S]) -> Vec<usize> {
+        document.iter().map(|w| self.intern(w.as_ref())).collect()
+    }
+
+    /// All words in id order.
+    #[must_use]
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_sequential_ids() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("museum"), 0);
+        assert_eq!(v.intern("park"), 1);
+        assert_eq!(v.intern("museum"), 0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn from_documents_collects_all_words() {
+        let docs = vec![vec!["a", "b"], vec!["b", "c"]];
+        let v = Vocabulary::from_documents(docs);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.id_of("c"), Some(2));
+        assert_eq!(v.word_of(0), Some("a"));
+        assert_eq!(v.word_of(7), None);
+    }
+
+    #[test]
+    fn encode_skips_unknown_words() {
+        let v = Vocabulary::from_documents(vec![vec!["a", "b"]]);
+        assert_eq!(v.encode(&["a", "zzz", "b"]), vec![0, 1]);
+    }
+
+    #[test]
+    fn encode_interning_adds_unknown_words() {
+        let mut v = Vocabulary::from_documents(vec![vec!["a"]]);
+        assert_eq!(v.encode_interning(&["a", "new"]), vec![0, 1]);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup_after_serde() {
+        let v = Vocabulary::from_documents(vec![vec!["a", "b", "c"]]);
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocabulary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id_of("b"), None); // index skipped by serde
+        back.rebuild_index();
+        assert_eq!(back.id_of("b"), Some(1));
+    }
+}

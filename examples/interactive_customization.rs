@@ -1,0 +1,157 @@
+//! Interactive customization and profile refinement (§3.3 and Figure 3).
+//!
+//! A non-uniform group gets a personalized Paris package, every member
+//! interacts with it (remove / add / replace / generate), the group profile
+//! is refined with both the *individual* and the *batch* strategy, and the
+//! refined profiles are used to build a package in a different city
+//! (Barcelona) — the robustness test of §4.4.4.
+//!
+//! Run with: `cargo run --example interactive_customization`
+
+use grouptravel::prelude::*;
+use grouptravel::{
+    refine_batch, refine_individual, CustomizationOp, MemberInteractions, ObjectiveWeights,
+};
+
+fn main() {
+    // Paris and Barcelona sessions sharing one item vectorizer, so profiles
+    // refined in Paris are meaningful in Barcelona.
+    let paris_catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::default()).generate();
+    let paris = GroupTravelSession::new(paris_catalog, SessionConfig::default())
+        .expect("paris session");
+    let barcelona_catalog =
+        SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::default())
+            .generate();
+    let barcelona = GroupTravelSession::with_vectorizer(
+        barcelona_catalog,
+        paris.vectorizer().clone(),
+        paris.metric(),
+    )
+    .expect("barcelona session");
+
+    // A non-uniform group: members with very different tastes.
+    let mut generator = SyntheticGroupGenerator::new(paris.profile_schema(), 11);
+    let group = generator.group(GroupSize::Small, Uniformity::NonUniform);
+    let consensus = ConsensusMethod::disagreement_variance();
+    let profile = group.profile(consensus);
+    let query = GroupQuery::paper_default();
+    let weights = ObjectiveWeights::default();
+
+    let mut package = paris
+        .build_package(&profile, &query, &BuildConfig::default())
+        .expect("paris package");
+    println!(
+        "Initial Paris package: {} composite items, {} distinct POIs",
+        package.len(),
+        package.distinct_poi_ids().len()
+    );
+
+    // Each member performs one operation; the logs are kept per member so
+    // both refinement strategies can be compared.
+    let mut interactions: Vec<MemberInteractions> = Vec::new();
+
+    // Member 1 removes the first POI of day 1.
+    let removed = package.get(0).expect("k >= 1").poi_ids()[0];
+    let log = paris
+        .apply(
+            &mut package,
+            &CustomizationOp::Remove { ci_index: 0, poi: removed },
+            &profile,
+            &query,
+            &weights,
+        )
+        .expect("remove");
+    println!("Member 1 removed {removed}");
+    interactions.push(MemberInteractions::with_log(group.members()[0].user_id, log));
+
+    // Member 2 asks the system to replace a POI on day 2.
+    let to_replace = package.get(1).expect("k >= 2").poi_ids()[0];
+    let log = paris
+        .apply(
+            &mut package,
+            &CustomizationOp::Replace { ci_index: 1, poi: to_replace },
+            &profile,
+            &query,
+            &weights,
+        )
+        .expect("replace");
+    println!(
+        "Member 2 replaced {to_replace} with {}",
+        log.added.first().map_or("nothing".into(), ToString::to_string)
+    );
+    interactions.push(MemberInteractions::with_log(group.members()[1].user_id, log));
+
+    // Member 3 adds the closest attraction to day 3.
+    if let Some(candidate) = paris
+        .add_candidates(&package, 2, Category::Attraction, None, 1)
+        .first()
+    {
+        let id = candidate.id;
+        let name = candidate.name.clone();
+        let log = paris
+            .apply(
+                &mut package,
+                &CustomizationOp::Add { ci_index: 2, poi: id },
+                &profile,
+                &query,
+                &weights,
+            )
+            .expect("add");
+        println!("Member 3 added \"{name}\"");
+        interactions.push(MemberInteractions::with_log(group.members()[2].user_id, log));
+    }
+
+    // Member 4 draws a rectangle around the city centre and generates a new
+    // composite item inside it.
+    let bbox = paris.catalog().bounding_box().expect("non-empty catalog");
+    let rect = Rectangle::new(
+        bbox.min_lon + bbox.lon_span() * 0.3,
+        bbox.max_lat - bbox.lat_span() * 0.3,
+        bbox.lon_span() * 0.4,
+        bbox.lat_span() * 0.4,
+    );
+    let log = paris
+        .apply(
+            &mut package,
+            &CustomizationOp::Generate { rectangle: rect },
+            &profile,
+            &query,
+            &weights,
+        )
+        .expect("generate");
+    println!(
+        "Member 4 generated a new composite item with {} POIs inside the rectangle",
+        log.added.len()
+    );
+    interactions.push(MemberInteractions::with_log(group.members()[3].user_id, log));
+
+    // Refine the group profile with both strategies.
+    let batch_profile = refine_batch(&profile, &interactions, paris.catalog(), paris.vectorizer());
+    let (_, individual_profile) = refine_individual(
+        &group,
+        consensus,
+        &interactions,
+        paris.catalog(),
+        paris.vectorizer(),
+    );
+
+    // Build Barcelona packages from the original and refined profiles and
+    // compare their personalization towards the refined (batch) profile —
+    // the profile that now encodes what the group actually asked for.
+    println!("\nBarcelona packages (profile robustness across cities):");
+    for (name, p) in [
+        ("original profile", &profile),
+        ("batch-refined", &batch_profile),
+        ("individually-refined", &individual_profile),
+    ] {
+        let package = barcelona
+            .build_package(p, &query, &BuildConfig::default())
+            .expect("barcelona package");
+        let dims = barcelona.measure(&package, &batch_profile);
+        println!(
+            "  {:<22} personalization towards the refined profile: {:.2}",
+            name, dims.personalization
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the full GroupTravel flow in one file (Figure 2 of the paper).
+//!
+//! 1. Generate a synthetic Paris POI catalog (TourPedia/Foursquare substitute).
+//! 2. Create a session (trains the LDA topic models, wires item vectors).
+//! 3. Build a group of travelers and aggregate their profiles with a
+//!    consensus function.
+//! 4. Build a personalized 5-composite-item travel package.
+//! 5. Measure representativity, cohesiveness and personalization.
+//! 6. Customize the package and refine the group profile from the
+//!    interactions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use grouptravel::prelude::*;
+use grouptravel::{refine_batch, CustomizationOp, MemberInteractions, ObjectiveWeights};
+
+fn main() {
+    // 1. A synthetic Paris catalog.
+    let catalog = SyntheticCityGenerator::new(
+        CitySpec::paris(),
+        SyntheticCityConfig::default(),
+    )
+    .generate();
+    println!(
+        "Generated {} POIs in {} ({} attractions, {} restaurants)",
+        catalog.len(),
+        catalog.city(),
+        catalog.count_category(Category::Attraction),
+        catalog.count_category(Category::Restaurant),
+    );
+
+    // 2. The session trains LDA over restaurant/attraction tags.
+    let session = GroupTravelSession::new(catalog, SessionConfig::default())
+        .expect("the synthetic catalog is never empty");
+    println!("\nLatent attraction types (LDA topics):");
+    for label in session.vectorizer().topic_labels(Category::Attraction) {
+        println!("  - {label}");
+    }
+
+    // 3. A travel group and its consensus profile.
+    let mut generator = SyntheticGroupGenerator::new(session.profile_schema(), 7);
+    let group = generator.group(GroupSize::Small, Uniformity::Uniform);
+    let consensus = ConsensusMethod::pairwise_disagreement();
+    let profile = group.profile(consensus);
+    println!(
+        "\nGroup of {} travelers (uniformity {:.2}), consensus: {}",
+        group.size(),
+        group.uniformity(),
+        consensus
+    );
+
+    // 4. Build the package for the paper's default query.
+    let query = GroupQuery::paper_default();
+    let package = session
+        .build_package(&profile, &query, &BuildConfig::default())
+        .expect("package build");
+    println!("\nTravel package for query {query}:");
+    for (day, ci) in package.composite_items().iter().enumerate() {
+        println!("  Day {} — {} POIs, cost {:.2}", day + 1, ci.len(), ci.total_cost(session.catalog()));
+        for poi in ci.resolve(session.catalog()) {
+            println!("      [{}] {}", poi.category, poi.name);
+        }
+    }
+
+    // 5. Measure the optimization dimensions (Eq. 2-4).
+    let dims = session.measure(&package, &profile);
+    println!(
+        "\nRepresentativity {:.2} km · cohesiveness {:.2} · personalization {:.2}",
+        dims.representativity, dims.cohesiveness, dims.personalization
+    );
+
+    // 6. Customize: drop the first POI of day 1, then refine the profile.
+    let mut customized = package.clone();
+    let victim = customized.get(0).expect("k >= 1").poi_ids()[0];
+    let log = session
+        .apply(
+            &mut customized,
+            &CustomizationOp::Remove { ci_index: 0, poi: victim },
+            &profile,
+            &query,
+            &ObjectiveWeights::default(),
+        )
+        .expect("remove operation");
+    let interactions = vec![MemberInteractions::with_log(group.members()[0].user_id, log)];
+    let refined = refine_batch(&profile, &interactions, session.catalog(), session.vectorizer());
+    let changed = Category::ALL
+        .iter()
+        .any(|&c| refined.vector(c) != profile.vector(c));
+    println!(
+        "\nAfter removing {victim}, the batch-refined group profile changed: {changed}"
+    );
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the customization study (Tables 6–7) and the
+//! profile-refinement machinery across cities.
+
+use grouptravel::prelude::*;
+use grouptravel::{refine_batch, refine_individual, MemberInteractions};
+use grouptravel_experiments::common::UserStudyWorld;
+use grouptravel_experiments::{table6, table7, ExperimentScale};
+
+fn scale() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+#[test]
+fn customization_study_produces_complete_tables_6_and_7() {
+    let world = UserStudyWorld::build(scale());
+    let study = table6::run_study(&world);
+
+    // Both group classes are present with the paper's member counts.
+    assert_eq!(study.groups.len(), 2);
+    assert_eq!(study.groups[0].group.size(), 11);
+    assert_eq!(study.groups[1].group.size(), 7);
+
+    // Every member interacted and the pooled feedback is non-trivial.
+    for group_study in &study.groups {
+        let total_interactions: usize = group_study
+            .interactions
+            .iter()
+            .map(|i| i.log.len())
+            .sum();
+        assert!(
+            total_interactions >= group_study.group.size(),
+            "expected at least one interaction per member"
+        );
+        // Barcelona packages exist for all three strategies and are valid.
+        let query = GroupQuery::paper_default();
+        for (strategy, package) in &group_study.barcelona_packages {
+            assert_eq!(package.len(), 5, "{strategy} package has the wrong k");
+            assert!(
+                package.is_valid(world.barcelona.catalog(), &query),
+                "{strategy} package should be valid"
+            );
+        }
+    }
+
+    // Table 6: every (uniformity, strategy) cell exists with a sane rating.
+    let table6 = table6::from_study(&world, &study);
+    for uniformity in Uniformity::ALL {
+        for strategy in table6::STRATEGIES {
+            let cell = table6
+                .cell(uniformity, strategy)
+                .unwrap_or_else(|| panic!("missing cell {uniformity:?}/{strategy}"));
+            assert!((1.0..=5.0).contains(&cell.rating));
+        }
+    }
+
+    // Table 7: all three pairs for both groups, and the refined (batch or
+    // individual) packages collectively do not lose badly to the
+    // non-personalized baseline — the paper's core customization claim is
+    // that refinement helps, with batch the strongest.
+    let table7 = table7::from_study(&world, &study);
+    assert_eq!(table7.cells.len(), 6);
+    let mut refined_vs_np = Vec::new();
+    for uniformity in Uniformity::ALL {
+        for first in ["batch", "individual"] {
+            if let Some(rate) = table7.win_rate(uniformity, first, "non-personalized") {
+                refined_vs_np.push(rate);
+            }
+        }
+    }
+    assert!(!refined_vs_np.is_empty());
+    let avg = refined_vs_np.iter().sum::<f64>() / refined_vs_np.len() as f64;
+    assert!(
+        avg >= 0.4,
+        "refined packages should hold their own against the non-personalized baseline (avg win rate {avg})"
+    );
+}
+
+#[test]
+fn batch_refinement_moves_the_profile_towards_what_the_group_added() {
+    let world = UserStudyWorld::build(scale());
+    let group = world
+        .platform
+        .form_group_sized(&world.population, 7, Uniformity::NonUniform, 42)
+        .expect("group");
+    let profile = group.profile(ConsensusMethod::pairwise_disagreement());
+
+    // The group "adds" every POI of one attraction type and "removes"
+    // nothing; the refined profile must gain affinity for those POIs.
+    let added: Vec<_> = world
+        .paris
+        .catalog()
+        .by_category(Category::Attraction)
+        .into_iter()
+        .take(5)
+        .map(|p| p.id)
+        .collect();
+    let mut member = MemberInteractions::new(group.members()[0].user_id);
+    for id in &added {
+        member.log.record_add(*id);
+    }
+    let refined = refine_batch(
+        &profile,
+        &[member.clone()],
+        world.paris.catalog(),
+        world.paris.vectorizer(),
+    );
+
+    let affinity = |p: &GroupProfile| -> f64 {
+        added
+            .iter()
+            .map(|id| {
+                let poi = world.paris.catalog().get(*id).unwrap();
+                p.item_affinity(poi.category, &world.paris.vectorizer().item_vector(poi))
+            })
+            .sum()
+    };
+    assert!(
+        affinity(&refined) >= affinity(&profile),
+        "refinement should not reduce affinity towards the added POIs"
+    );
+
+    // The individual strategy refines only the interacting member but still
+    // produces a valid group profile with the same schema.
+    let (refined_group, individual_profile) = refine_individual(
+        &group,
+        ConsensusMethod::pairwise_disagreement(),
+        &[member],
+        world.paris.catalog(),
+        world.paris.vectorizer(),
+    );
+    assert_eq!(refined_group.size(), group.size());
+    assert_eq!(individual_profile.schema(), profile.schema());
+}
+
+#[test]
+fn refined_profiles_transfer_to_barcelona_and_change_the_package() {
+    let world = UserStudyWorld::build(scale());
+    let group = world
+        .platform
+        .form_group_sized(&world.population, 7, Uniformity::NonUniform, 7)
+        .expect("group");
+    let profile = group.profile(ConsensusMethod::pairwise_disagreement());
+    let query = GroupQuery::paper_default();
+    let config = BuildConfig::default();
+
+    // A strong, one-sided refinement (every museum-ish POI added) should be
+    // able to change the Barcelona package relative to the original profile.
+    let added: Vec<_> = world
+        .paris
+        .catalog()
+        .by_category(Category::Attraction)
+        .into_iter()
+        .take(10)
+        .map(|p| p.id)
+        .collect();
+    let mut member = MemberInteractions::new(group.members()[0].user_id);
+    for id in &added {
+        member.log.record_add(*id);
+    }
+    let refined = refine_batch(
+        &profile,
+        &[member],
+        world.paris.catalog(),
+        world.paris.vectorizer(),
+    );
+
+    let original_package = world
+        .barcelona
+        .build_package(&profile, &query, &config)
+        .unwrap();
+    let refined_package = world
+        .barcelona
+        .build_package(&refined, &query, &config)
+        .unwrap();
+    let non_personalized_package = world
+        .barcelona
+        .build_non_personalized(&refined, &query, &config)
+        .unwrap();
+    assert!(original_package.is_valid(world.barcelona.catalog(), &query));
+    assert!(refined_package.is_valid(world.barcelona.catalog(), &query));
+    // Personalization measured against the refined profile: the package built
+    // *for* the refined profile must clearly beat the purely geographic
+    // baseline, i.e. the refinement signal survives the change of city.
+    let dims_refined = world.barcelona.measure(&refined_package, &refined);
+    let dims_baseline = world.barcelona.measure(&non_personalized_package, &refined);
+    assert!(dims_refined.personalization > 0.0);
+    assert!(
+        dims_refined.personalization >= dims_baseline.personalization - 1e-9,
+        "the refined-profile package ({}) should serve the refined profile at least as well as the non-personalized baseline ({})",
+        dims_refined.personalization,
+        dims_baseline.personalization
+    );
+}

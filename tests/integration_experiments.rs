@@ -1,0 +1,198 @@
+//! Integration tests asserting the qualitative findings of the paper's
+//! evaluation (Tables 2–5 and the §4.3 analysis) on a scaled-down but
+//! otherwise identical experiment pipeline.
+//!
+//! We assert *shape*, not absolute numbers: who wins, in which direction the
+//! trends point, and which baselines lose — the claims the paper's
+//! conclusions rest on.
+
+use grouptravel::prelude::*;
+use grouptravel_experiments::common::{SyntheticWorld, UserStudyWorld};
+use grouptravel_experiments::{analysis, table2, table3, table4, table5, ExperimentScale};
+
+/// A scale a bit bigger than `smoke` so that averages are stable enough for
+/// directional assertions while keeping the test fast.
+fn assertion_scale() -> ExperimentScale {
+    ExperimentScale {
+        groups_per_cell: 6,
+        study_groups_per_cell: 2,
+        ..ExperimentScale::smoke()
+    }
+}
+
+#[test]
+fn synthetic_experiment_reproduces_the_papers_main_orderings() {
+    let world = SyntheticWorld::build(assertion_scale());
+    let records = table2::collect_records(&world);
+    let table = table2::from_records(&records);
+
+    // 1. Least misery is the weakest personalization strategy overall
+    //    ("optimizing towards one single group member is not an effective
+    //    personalization strategy").
+    let lm = table.method_average("least misery");
+    for method in ["average preference", "pair-wise disagreement", "disagreement variance"] {
+        let other = table.method_average(method);
+        assert!(
+            other.personalization >= lm.personalization,
+            "{method} should personalize at least as well as least misery ({} vs {})",
+            other.personalization,
+            lm.personalization
+        );
+    }
+
+    // 2. For non-uniform groups, least misery's personalization collapses
+    //    (the paper reports 7%, 7%, 0%).
+    for size in GroupSize::ALL {
+        let cell = table
+            .cell(Uniformity::NonUniform, size, "least misery")
+            .expect("cell exists");
+        assert!(
+            cell.personalization < 0.3,
+            "least misery personalization for non-uniform {} groups should collapse, got {}",
+            size.name(),
+            cell.personalization
+        );
+    }
+
+    // 3. Representativity is driven by the clustering, not the consensus:
+    //    within a cell all methods agree (the paper: "average preference and
+    //    disagreement-based methods result in similar representativity").
+    for uniformity in Uniformity::ALL {
+        for size in GroupSize::ALL {
+            let values: Vec<f64> = ConsensusMethod::paper_variants()
+                .iter()
+                .map(|m| {
+                    table
+                        .cell(uniformity, size, m.name())
+                        .expect("cell exists")
+                        .representativity
+                })
+                .collect();
+            let spread = values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+                - values.iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(
+                spread < 0.2,
+                "representativity should barely depend on the consensus (spread {spread})"
+            );
+        }
+    }
+
+    // 4. For uniform groups cohesiveness grows with group size while
+    //    personalization does not grow (the paper's PCC signs).
+    for method in ConsensusMethod::paper_variants() {
+        let c_small = table
+            .cell(Uniformity::Uniform, GroupSize::Small, method.name())
+            .unwrap()
+            .cohesiveness;
+        let c_large = table
+            .cell(Uniformity::Uniform, GroupSize::Large, method.name())
+            .unwrap()
+            .cohesiveness;
+        assert!(
+            c_large >= c_small - 0.05,
+            "{}: cohesiveness should not shrink as uniform groups grow ({c_small} -> {c_large})",
+            method.name()
+        );
+        let p_small = table
+            .cell(Uniformity::Uniform, GroupSize::Small, method.name())
+            .unwrap()
+            .personalization;
+        let p_large = table
+            .cell(Uniformity::Uniform, GroupSize::Large, method.name())
+            .unwrap()
+            .personalization;
+        assert!(
+            p_large <= p_small + 0.05,
+            "{}: personalization should not grow as uniform groups grow ({p_small} -> {p_large})",
+            method.name()
+        );
+    }
+
+    // 5. Non-uniform small/medium groups are at least as cohesive as their
+    //    uniform counterparts under average preference (diluted
+    //    personalization favours geography).
+    for size in [GroupSize::Small, GroupSize::Medium] {
+        let uniform = table
+            .cell(Uniformity::Uniform, size, "average preference")
+            .unwrap()
+            .cohesiveness;
+        let non_uniform = table
+            .cell(Uniformity::NonUniform, size, "average preference")
+            .unwrap()
+            .cohesiveness;
+        assert!(
+            non_uniform >= uniform - 0.1,
+            "non-uniform {} groups should be at least as cohesive ({} vs {})",
+            size.name(),
+            non_uniform,
+            uniform
+        );
+    }
+
+    // Table 3: for non-uniform groups least misery satisfies the median user
+    // at least as well (on personalization agreement) as the
+    // disagreement-based methods — the paper's "least misery is more
+    // successful at satisfying the median user in groups with diverse
+    // tastes".
+    let table3 = table3::from_records(&records);
+    let lm_median = table3.average_agreement(Uniformity::NonUniform, "least misery");
+    let ad_median = table3.average_agreement(Uniformity::NonUniform, "pair-wise disagreement");
+    assert!(
+        lm_median >= ad_median - 0.15,
+        "least misery should not be far worse for the median user of diverse groups ({lm_median} vs {ad_median})"
+    );
+
+    // The §4.3 analysis runs and the cohesiveness-vs-size correlation for
+    // uniform groups is non-negative for every method (paper: +0.73..+0.99).
+    let analysis = analysis::from_records(&records);
+    for method in ConsensusMethod::paper_variants() {
+        if let Some(pcc) = analysis.pcc(method.name(), "cohesiveness") {
+            assert!(
+                pcc > -0.2,
+                "{}: cohesiveness should not anti-correlate with size (PCC {pcc})",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn user_study_reproduces_the_personalization_advantage() {
+    let world = UserStudyWorld::build(assertion_scale());
+
+    // Table 4: personalized packages are liked better than the random and
+    // non-personalized baselines, on average.
+    let table4 = table4::run(&world);
+    let random = table4.kind_average("random");
+    let non_personalized = table4.kind_average("non-personalized");
+    let best_personalized = ConsensusMethod::paper_variants()
+        .iter()
+        .map(|m| table4.kind_average(m.name()))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best_personalized > random,
+        "personalized packages ({best_personalized}) should beat the random baseline ({random})"
+    );
+    assert!(
+        best_personalized > non_personalized,
+        "personalized packages ({best_personalized}) should beat the non-personalized baseline ({non_personalized})"
+    );
+
+    // Table 5: averaged over sizes, every personalized variant beats the
+    // non-personalized package more often than not for uniform groups.
+    let table5 = table5::run(&world);
+    for name in ["AVTP", "ADTP", "DVTP"] {
+        let vs_np: Vec<f64> = GroupSize::ALL
+            .iter()
+            .filter_map(|&size| table5.win_rate(Uniformity::Uniform, size, name, "NPTP"))
+            .collect();
+        if vs_np.is_empty() {
+            continue;
+        }
+        let avg = vs_np.iter().sum::<f64>() / vs_np.len() as f64;
+        assert!(
+            avg >= 0.45,
+            "{name} should not lose clearly to the non-personalized package (win rate {avg})"
+        );
+    }
+}

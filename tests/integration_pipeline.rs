@@ -1,0 +1,172 @@
+//! End-to-end integration test of the full GroupTravel pipeline: synthetic
+//! dataset → topic models → profiles → consensus → package building →
+//! metrics → customization → refinement → rebuilding in a second city.
+
+use grouptravel::prelude::*;
+use grouptravel::{refine_batch, CustomizationOp, MemberInteractions, ObjectiveWeights};
+use grouptravel_topics::LdaConfig;
+
+fn session_for(city: CitySpec, seed: u64) -> GroupTravelSession {
+    let catalog = SyntheticCityGenerator::new(city, SyntheticCityConfig::small(seed)).generate();
+    GroupTravelSession::new(
+        catalog,
+        SessionConfig {
+            lda: LdaConfig {
+                iterations: 40,
+                ..LdaConfig::default()
+            },
+            ..SessionConfig::default()
+        },
+    )
+    .expect("synthetic catalogs are non-empty")
+}
+
+#[test]
+fn full_pipeline_from_dataset_to_refined_profile_in_another_city() {
+    let paris = session_for(CitySpec::paris(), 101);
+    let barcelona_catalog =
+        SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::small(102))
+            .generate();
+    let barcelona = GroupTravelSession::with_vectorizer(
+        barcelona_catalog,
+        paris.vectorizer().clone(),
+        paris.metric(),
+    )
+    .expect("barcelona session");
+
+    // Profiles and consensus.
+    let mut generator = SyntheticGroupGenerator::new(paris.profile_schema(), 3);
+    let group = generator.group(GroupSize::Small, Uniformity::Uniform);
+    let profile = group.profile(ConsensusMethod::pairwise_disagreement());
+    assert_eq!(profile.schema(), paris.profile_schema());
+
+    // Build and validate the package.
+    let query = GroupQuery::paper_default();
+    let mut package = paris
+        .build_package(&profile, &query, &BuildConfig::default())
+        .expect("paris package");
+    assert_eq!(package.len(), 5);
+    assert!(package.is_valid(paris.catalog(), &query));
+
+    // Measure the dimensions.
+    let dims = paris.measure(&package, &profile);
+    assert!(dims.representativity > 0.0);
+    assert!(dims.personalization > 0.0);
+
+    // Customize: remove then replace.
+    let weights = ObjectiveWeights::default();
+    let mut log_total = 0usize;
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    let log = paris
+        .apply(
+            &mut package,
+            &CustomizationOp::Remove { ci_index: 0, poi: victim },
+            &profile,
+            &query,
+            &weights,
+        )
+        .unwrap();
+    log_total += log.len();
+    let replace_target = package.get(1).unwrap().poi_ids()[0];
+    let log = paris
+        .apply(
+            &mut package,
+            &CustomizationOp::Replace { ci_index: 1, poi: replace_target },
+            &profile,
+            &query,
+            &weights,
+        )
+        .unwrap();
+    log_total += log.len();
+    assert!(log_total >= 3);
+
+    // Refine the profile from the pooled interactions.
+    let mut member = MemberInteractions::new(group.members()[0].user_id);
+    member.log.record_remove(victim);
+    member.log.record_add(replace_target);
+    let refined = refine_batch(&profile, &[member], paris.catalog(), paris.vectorizer());
+    assert_eq!(refined.schema(), profile.schema());
+
+    // The refined profile builds a valid package in Barcelona.
+    let barcelona_package = barcelona
+        .build_package(&refined, &query, &BuildConfig::default())
+        .expect("barcelona package");
+    assert_eq!(barcelona_package.len(), 5);
+    assert!(barcelona_package.is_valid(barcelona.catalog(), &query));
+    // The Barcelona package only contains Barcelona POIs.
+    for id in barcelona_package.distinct_poi_ids() {
+        assert!(barcelona.catalog().get(id).is_some());
+    }
+}
+
+#[test]
+fn consensus_methods_produce_different_packages_for_diverse_groups() {
+    let session = session_for(CitySpec::paris(), 103);
+    let mut generator = SyntheticGroupGenerator::new(session.profile_schema(), 5);
+    let group = generator.group(GroupSize::Medium, Uniformity::NonUniform);
+    let query = GroupQuery::paper_default();
+    let config = BuildConfig::default();
+
+    let packages: Vec<TravelPackage> = ConsensusMethod::paper_variants()
+        .iter()
+        .map(|m| {
+            session
+                .build_package(&group.profile(*m), &query, &config)
+                .expect("package")
+        })
+        .collect();
+    // At least one pair of methods must disagree on the package for a
+    // diverse group — otherwise the choice of consensus would be irrelevant.
+    let any_different = packages
+        .iter()
+        .enumerate()
+        .any(|(i, a)| packages[i + 1..].iter().any(|b| a != b));
+    assert!(any_different);
+    // And every package is valid regardless of the consensus used.
+    for p in &packages {
+        assert!(p.is_valid(session.catalog(), &query));
+    }
+}
+
+#[test]
+fn packages_for_the_same_profile_are_reproducible_across_sessions() {
+    // Two sessions over the same seed produce identical catalogs, topic
+    // models and therefore identical packages — the determinism the
+    // experiment harness relies on.
+    let a = session_for(CitySpec::paris(), 104);
+    let b = session_for(CitySpec::paris(), 104);
+    let mut gen_a = SyntheticGroupGenerator::new(a.profile_schema(), 9);
+    let mut gen_b = SyntheticGroupGenerator::new(b.profile_schema(), 9);
+    let group_a = gen_a.group(GroupSize::Small, Uniformity::Uniform);
+    let group_b = gen_b.group(GroupSize::Small, Uniformity::Uniform);
+    let profile_a = group_a.profile(ConsensusMethod::average_preference());
+    let profile_b = group_b.profile(ConsensusMethod::average_preference());
+    let query = GroupQuery::paper_default();
+    let pkg_a = a
+        .build_package(&profile_a, &query, &BuildConfig::default())
+        .unwrap();
+    let pkg_b = b
+        .build_package(&profile_b, &query, &BuildConfig::default())
+        .unwrap();
+    assert_eq!(pkg_a, pkg_b);
+}
+
+#[test]
+fn budgeted_queries_keep_every_composite_item_affordable() {
+    let session = session_for(CitySpec::paris(), 105);
+    let mut generator = SyntheticGroupGenerator::new(session.profile_schema(), 11);
+    let group = generator.group(GroupSize::Small, Uniformity::Uniform);
+    let profile = group.profile(ConsensusMethod::average_preference());
+    for budget in [15.0, 25.0, 100.0] {
+        let query = GroupQuery::paper_default().with_budget(Some(budget));
+        let package = session
+            .build_package(&profile, &query, &BuildConfig::default())
+            .expect("budgeted package");
+        for ci in package.composite_items() {
+            assert!(
+                ci.total_cost(session.catalog()) <= budget + 1e-9,
+                "budget {budget} exceeded"
+            );
+        }
+    }
+}
