@@ -1,0 +1,111 @@
+//! Serving-engine throughput: packages/sec for cold (empty model cache) vs.
+//! warm (cached clustering + vectorizer) builds at batch sizes 1, 8 and 64.
+//!
+//! The cold path retrains fuzzy c-means on the first request of each (city,
+//! configuration) pair; the warm path reuses it. The delta between the two
+//! groups is exactly the amortization the engine exists to provide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_engine::{Engine, EngineConfig, PackageRequest};
+
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+
+fn paris_catalog() -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(97)).generate()
+}
+
+fn engine_with_paris() -> Engine {
+    let engine = Engine::new(EngineConfig::fast());
+    engine
+        .register_catalog(paris_catalog())
+        .expect("catalog registers");
+    engine
+}
+
+/// A batch of `size` requests; `fcm_seed` selects the clustering cache key
+/// (same seed → warm after the first build, fresh seed → cold).
+fn batch(engine: &Engine, size: usize, salt: u64, fcm_seed: u64) -> Vec<PackageRequest> {
+    let schema = engine.profile_schema("Paris").expect("Paris registered");
+    (0..size as u64)
+        .map(|i| {
+            let mut groups = SyntheticGroupGenerator::new(schema, salt.wrapping_mul(10_000) + i);
+            let profile = groups
+                .group(GroupSize::Small, Uniformity::Uniform)
+                .profile(ConsensusMethod::pairwise_disagreement());
+            PackageRequest {
+                session_id: salt.wrapping_mul(10_000) + i,
+                city: "Paris".to_string(),
+                profile,
+                query: GroupQuery::paper_default(),
+                config: BuildConfig {
+                    seed: fcm_seed,
+                    ..BuildConfig::default()
+                },
+            }
+        })
+        .collect()
+}
+
+/// Cold path: one long-lived engine (catalog registration/LDA is a
+/// deploy-time cost and stays outside the timed section), but every
+/// iteration uses a fresh clustering seed, so its cache key has never been
+/// served and the batch pays one full fuzzy-c-means training.
+fn bench_cold(c: &mut Criterion) {
+    let engine = engine_with_paris();
+    let mut group = c.benchmark_group("engine/cold");
+    group.sample_size(10);
+    for size in BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut fcm_seed = size as u64 * 1_000_000;
+            b.iter(|| {
+                fcm_seed += 1;
+                let trainings_before = engine.stats().fcm_trainings;
+                let responses = engine.serve_batch(batch(&engine, size, 7, fcm_seed));
+                assert!(responses.iter().all(|r| r.outcome.is_ok()));
+                // Checked via the monotonic counter, not per-response flags:
+                // with multi-threaded batches, which request observes the
+                // miss is racy, but a fresh seed must train at least once.
+                assert!(
+                    engine.stats().fcm_trainings > trainings_before,
+                    "cold batch must run a clustering"
+                );
+                responses
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Warm path: one long-lived engine; the clustering cache is primed before
+/// timing, every measured batch reuses the models.
+fn bench_warm(c: &mut Criterion) {
+    let engine = engine_with_paris();
+    // Prime the cache for the configuration the batches use.
+    let primed = engine.serve_batch(batch(&engine, 1, 1, 42));
+    assert!(primed[0].outcome.is_ok());
+
+    let mut group = c.benchmark_group("engine/warm");
+    group.sample_size(10);
+    for size in BATCH_SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut salt = 100;
+            b.iter(|| {
+                salt += 1;
+                let responses = engine.serve_batch(batch(&engine, size, salt, 42));
+                assert!(responses.iter().all(|r| r.clustering_cache_hit));
+                responses
+            });
+        });
+    }
+    group.finish();
+
+    let stats = engine.stats();
+    println!(
+        "warm engine after benching: {} requests, {} FCM trainings, {} cache hits",
+        stats.requests, stats.fcm_trainings, stats.clustering_cache_hits
+    );
+}
+
+criterion_group!(benches, bench_cold, bench_warm);
+criterion_main!(benches);

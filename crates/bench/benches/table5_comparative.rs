@@ -12,7 +12,12 @@ fn bench_pairwise_comparison(c: &mut Criterion) {
     let world = user_study_world();
     let group = world
         .platform
-        .form_group(&world.population, GroupSize::Small, Uniformity::NonUniform, 9)
+        .form_group(
+            &world.population,
+            GroupSize::Small,
+            Uniformity::NonUniform,
+            9,
+        )
         .expect("group");
     let packages = table4::build_study_packages(&world, &group, 11);
     let raters = table4::raters_for_group(&world, &group, 5);

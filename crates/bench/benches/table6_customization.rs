@@ -26,8 +26,12 @@ fn bench_refinement_strategies(c: &mut Criterion) {
         .enumerate()
         .map(|(idx, member)| {
             let mut record = MemberInteractions::new(member.user_id);
-            record.log.record_add(attractions[idx % attractions.len()].id);
-            record.log.record_remove(restaurants[idx % restaurants.len()].id);
+            record
+                .log
+                .record_add(attractions[idx % attractions.len()].id);
+            record
+                .log
+                .record_remove(restaurants[idx % restaurants.len()].id);
             record
         })
         .collect();

@@ -68,21 +68,13 @@ mod tests {
 
     #[test]
     fn hard_assignments_pick_the_max_membership() {
-        let result = fake_result(vec![
-            vec![0.8, 0.2],
-            vec![0.3, 0.7],
-            vec![0.5, 0.5],
-        ]);
+        let result = fake_result(vec![vec![0.8, 0.2], vec![0.3, 0.7], vec![0.5, 0.5]]);
         assert_eq!(hard_assignments(&result), vec![0, 1, 0]);
     }
 
     #[test]
     fn top_members_are_sorted_by_membership() {
-        let result = fake_result(vec![
-            vec![0.1, 0.9],
-            vec![0.8, 0.2],
-            vec![0.6, 0.4],
-        ]);
+        let result = fake_result(vec![vec![0.1, 0.9], vec![0.8, 0.2], vec![0.6, 0.4]]);
         assert_eq!(top_members(&result, 0, 2), vec![1, 2]);
         assert_eq!(top_members(&result, 1, 1), vec![0]);
         assert_eq!(top_members(&result, 1, 10).len(), 3);

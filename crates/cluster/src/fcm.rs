@@ -54,6 +54,28 @@ impl FcmConfig {
             ..Self::default()
         }
     }
+
+    /// A 64-bit key identifying every parameter that influences the result
+    /// of [`FuzzyCMeans::fit`] (FNV-1a over the exact field bits).
+    ///
+    /// Combined with a catalog fingerprint this keys the serving engine's
+    /// model cache: equal keys over the same point set are guaranteed to
+    /// produce identical clusterings, so a cached [`FcmResult`] can stand in
+    /// for a fresh fit.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        let mut hash = grouptravel_geo::Fnv1a::new();
+        hash.write_u64(self.k as u64);
+        hash.write_f64(self.fuzzifier);
+        hash.write_u64(self.max_iterations as u64);
+        hash.write_f64(self.tolerance_km);
+        hash.write(&[match self.metric {
+            DistanceMetric::Haversine => 0,
+            DistanceMetric::Equirectangular => 1,
+        }]);
+        hash.write_u64(self.seed);
+        hash.finish()
+    }
 }
 
 /// Errors raised by [`FuzzyCMeans::fit`].
@@ -117,6 +139,38 @@ impl FuzzyCMeans {
 
     /// Runs fuzzy c-means over `points`.
     pub fn fit(&self, points: &[GeoPoint]) -> Result<FcmResult, FcmError> {
+        self.validate(points)?;
+        let centroids = self.initial_centroids(points);
+        Ok(self.iterate(points, centroids))
+    }
+
+    /// Runs fuzzy c-means warm-started from `initial` centroids instead of
+    /// k-means++ seeding — the resumable path: feeding back the centroids of
+    /// a previous [`FcmResult`] (e.g. one pulled from the serving engine's
+    /// model cache after a small catalog update) converges in a handful of
+    /// iterations instead of a full fit.
+    ///
+    /// # Errors
+    /// Same preconditions as [`FuzzyCMeans::fit`], plus `initial` must hold
+    /// exactly `k` centroids (`FcmError::ZeroClusters` is returned for a
+    /// mismatch of zero, `FcmError::NotEnoughPoints` otherwise).
+    pub fn fit_from(
+        &self,
+        points: &[GeoPoint],
+        initial: &[GeoPoint],
+    ) -> Result<FcmResult, FcmError> {
+        self.validate(points)?;
+        if initial.len() != self.config.k {
+            return Err(if initial.is_empty() {
+                FcmError::ZeroClusters
+            } else {
+                FcmError::NotEnoughPoints
+            });
+        }
+        Ok(self.iterate(points, initial.to_vec()))
+    }
+
+    fn validate(&self, points: &[GeoPoint]) -> Result<(), FcmError> {
         let k = self.config.k;
         if k == 0 {
             return Err(FcmError::ZeroClusters);
@@ -127,8 +181,11 @@ impl FuzzyCMeans {
         if self.config.fuzzifier <= 1.0 {
             return Err(FcmError::InvalidFuzzifier);
         }
+        Ok(())
+    }
 
-        let mut centroids = self.initial_centroids(points);
+    fn iterate(&self, points: &[GeoPoint], mut centroids: Vec<GeoPoint>) -> FcmResult {
+        let k = self.config.k;
         let mut memberships = vec![vec![0.0; k]; points.len()];
         let mut iterations = 0;
         let mut converged = false;
@@ -154,13 +211,13 @@ impl FuzzyCMeans {
         self.update_memberships(points, &centroids, &mut memberships);
 
         let objective = self.objective(points, &centroids, &memberships);
-        Ok(FcmResult {
+        FcmResult {
             centroids,
             memberships,
             iterations,
             converged,
             objective,
-        })
+        }
     }
 
     /// k-means++-style seeding: the first centroid is a random point, each
@@ -312,7 +369,11 @@ mod tests {
     fn converges_on_well_separated_blobs() {
         let points = three_blobs();
         let result = FuzzyCMeans::new(FcmConfig::with_k(3)).fit(&points).unwrap();
-        assert!(result.converged, "did not converge in {} iterations", result.iterations);
+        assert!(
+            result.converged,
+            "did not converge in {} iterations",
+            result.iterations
+        );
         assert_eq!(result.centroids.len(), 3);
     }
 
@@ -358,7 +419,9 @@ mod tests {
     fn error_cases_are_reported() {
         let points = three_blobs();
         assert_eq!(
-            FuzzyCMeans::new(FcmConfig::with_k(0)).fit(&points).unwrap_err(),
+            FuzzyCMeans::new(FcmConfig::with_k(0))
+                .fit(&points)
+                .unwrap_err(),
             FcmError::ZeroClusters
         );
         assert_eq!(
@@ -413,6 +476,63 @@ mod tests {
                 / result.memberships.len() as f64
         };
         assert!(avg_max(&crisp) > avg_max(&fuzzy));
+    }
+
+    #[test]
+    fn cache_key_separates_configs_and_is_stable() {
+        let base = FcmConfig::with_k(5);
+        assert_eq!(base.cache_key(), FcmConfig::with_k(5).cache_key());
+        assert_ne!(base.cache_key(), FcmConfig::with_k(6).cache_key());
+        assert_ne!(
+            base.cache_key(),
+            FcmConfig {
+                fuzzifier: 2.5,
+                ..base
+            }
+            .cache_key()
+        );
+        assert_ne!(base.cache_key(), FcmConfig { seed: 43, ..base }.cache_key());
+        assert_ne!(
+            base.cache_key(),
+            FcmConfig {
+                metric: DistanceMetric::Haversine,
+                ..base
+            }
+            .cache_key()
+        );
+    }
+
+    #[test]
+    fn fit_from_resumes_a_converged_state_in_one_iteration() {
+        let points = three_blobs();
+        let solver = FuzzyCMeans::new(FcmConfig::with_k(3));
+        let cold = solver.fit(&points).unwrap();
+        let warm = solver.fit_from(&points, &cold.centroids).unwrap();
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= 2,
+            "warm start took {} iterations",
+            warm.iterations
+        );
+        // The resumed solution stays at the converged optimum.
+        for (a, b) in cold.centroids.iter().zip(&warm.centroids) {
+            assert!(DistanceMetric::Haversine.distance_km(a, b) < 0.01);
+        }
+    }
+
+    #[test]
+    fn fit_from_validates_the_initial_centroid_count() {
+        let points = three_blobs();
+        let solver = FuzzyCMeans::new(FcmConfig::with_k(3));
+        assert_eq!(
+            solver.fit_from(&points, &[]).unwrap_err(),
+            FcmError::ZeroClusters
+        );
+        let two = vec![points[0], points[1]];
+        assert_eq!(
+            solver.fit_from(&points, &two).unwrap_err(),
+            FcmError::NotEnoughPoints
+        );
     }
 
     #[test]

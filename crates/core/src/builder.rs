@@ -20,13 +20,56 @@ use crate::items::ItemVectorizer;
 use crate::objective::ObjectiveWeights;
 use crate::package::TravelPackage;
 use crate::query::GroupQuery;
-use grouptravel_cluster::{FcmConfig, FuzzyCMeans};
+use grouptravel_cluster::{FcmConfig, FcmResult, FuzzyCMeans};
 use grouptravel_dataset::{Category, Poi, PoiCatalog};
 use grouptravel_geo::{DistanceMetric, DistanceNormalizer, GeoPoint};
 use grouptravel_profile::GroupProfile;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Produces the per-category candidate pool a composite item is assembled
+/// from.
+///
+/// The builder scores whatever the provider returns and picks greedily, so a
+/// provider narrows *where the builder looks*, not *how it ranks*. The
+/// default, [`BruteForceCandidates`], returns every POI of the category —
+/// the seed's original behavior. The serving engine plugs in a spatial-grid
+/// provider that only surfaces POIs near the centroid, turning candidate
+/// generation from O(catalog) into O(cells touched).
+///
+/// Implementations must return each POI at most once. Returning fewer
+/// candidates than `needed` is allowed (e.g. a sparse region); the composite
+/// item then simply comes out smaller, exactly as with a small catalog.
+pub trait CandidateProvider {
+    /// Candidate POIs of `category` for a composite item anchored at
+    /// `centroid`. `needed` is the number of POIs the query requests for
+    /// this category — providers can use it to size their pool.
+    fn candidates<'c>(
+        &self,
+        catalog: &'c PoiCatalog,
+        category: Category,
+        centroid: &GeoPoint,
+        needed: usize,
+    ) -> Vec<&'c Poi>;
+}
+
+/// The default provider: every POI of the category, via the catalog's
+/// category index (a full scan of that category).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BruteForceCandidates;
+
+impl CandidateProvider for BruteForceCandidates {
+    fn candidates<'c>(
+        &self,
+        catalog: &'c PoiCatalog,
+        category: Category,
+        _centroid: &GeoPoint,
+        _needed: usize,
+    ) -> Vec<&'c Poi> {
+        catalog.by_category(category)
+    }
+}
 
 /// Configuration of a package build.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -110,30 +153,82 @@ impl<'a> PackageBuilder<'a> {
         query: &GroupQuery,
         config: &BuildConfig,
     ) -> Result<TravelPackage, GroupTravelError> {
+        self.build_with(&BruteForceCandidates, None, profile, query, config)
+    }
+
+    /// Builds a package with an explicit candidate provider and, optionally,
+    /// precomputed cluster centroids — the serving engine's entry point.
+    ///
+    /// * `provider` narrows the POIs considered around each centroid; pass
+    ///   [`BruteForceCandidates`] for the paper's exhaustive behavior.
+    /// * `clustering` short-circuits the fuzzy-c-means fit when cached
+    ///   centroids for this catalog and configuration are available (e.g.
+    ///   from a prior [`PackageBuilder::cluster`] run). They are used only
+    ///   if there are exactly `config.k` of them; a mismatched slice is
+    ///   ignored and a fresh fit is run instead.
+    ///
+    /// # Errors
+    /// Same failure modes as [`PackageBuilder::build`].
+    pub fn build_with(
+        &self,
+        provider: &dyn CandidateProvider,
+        clustering: Option<&[GeoPoint]>,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> Result<TravelPackage, GroupTravelError> {
         self.validate(query, config)?;
         let weights = config.weights.sanitized();
 
-        let locations = self.catalog.locations();
-        let fcm = FuzzyCMeans::new(FcmConfig {
+        let owned;
+        let centroids: &[GeoPoint] = match clustering {
+            Some(cached) if cached.len() == config.k => cached,
+            _ => {
+                owned = self.cluster(config)?;
+                &owned.centroids
+            }
+        };
+
+        let normalizer = self.catalog.distance_normalizer(config.metric);
+        let composite_items = centroids
+            .iter()
+            .map(|centroid| {
+                self.assemble_ci_with(provider, *centroid, profile, query, &weights, &normalizer)
+            })
+            .collect();
+
+        Ok(TravelPackage::new(composite_items))
+    }
+
+    /// Runs the fuzzy-c-means clustering a build with `config` would run,
+    /// without assembling composite items.
+    ///
+    /// The serving engine calls this to populate its model cache; the result
+    /// can then be fed back into [`PackageBuilder::build_with`] for any
+    /// number of requests against the same catalog.
+    ///
+    /// # Errors
+    /// Fails when clustering cannot place `config.k` centroids.
+    pub fn cluster(&self, config: &BuildConfig) -> Result<FcmResult, GroupTravelError> {
+        let fcm = FuzzyCMeans::new(self.fcm_config(config));
+        fcm.fit(&self.catalog.locations())
+            .map_err(|e| GroupTravelError::Clustering(e.to_string()))
+    }
+
+    /// The exact clustering configuration a build with `config` uses
+    /// (weights sanitized internally, exactly as the build path does) —
+    /// exposed so cache keys derived from it (via `FcmConfig::cache_key`)
+    /// always match what [`PackageBuilder::cluster`] actually runs.
+    #[must_use]
+    pub fn fcm_config(&self, config: &BuildConfig) -> FcmConfig {
+        FcmConfig {
             k: config.k,
-            fuzzifier: weights.fuzzifier,
+            fuzzifier: config.weights.sanitized().fuzzifier,
             max_iterations: config.max_fcm_iterations,
             tolerance_km: 0.001,
             metric: config.metric,
             seed: config.seed,
-        });
-        let clustering = fcm
-            .fit(&locations)
-            .map_err(|e| GroupTravelError::Clustering(e.to_string()))?;
-
-        let normalizer = self.catalog.distance_normalizer(config.metric);
-        let composite_items = clustering
-            .centroids
-            .iter()
-            .map(|centroid| self.assemble_ci(*centroid, profile, query, &weights, &normalizer))
-            .collect();
-
-        Ok(TravelPackage::new(composite_items))
+        }
     }
 
     /// Builds the non-personalized baseline (γ = 0) for the same query.
@@ -194,6 +289,27 @@ impl<'a> PackageBuilder<'a> {
         weights: &ObjectiveWeights,
         normalizer: &DistanceNormalizer,
     ) -> CompositeItem {
+        self.assemble_ci_with(
+            &BruteForceCandidates,
+            centroid,
+            profile,
+            query,
+            weights,
+            normalizer,
+        )
+    }
+
+    /// [`PackageBuilder::assemble_ci`] with an explicit candidate provider.
+    #[must_use]
+    pub fn assemble_ci_with(
+        &self,
+        provider: &dyn CandidateProvider,
+        centroid: GeoPoint,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        weights: &ObjectiveWeights,
+        normalizer: &DistanceNormalizer,
+    ) -> CompositeItem {
         let mut chosen: Vec<&Poi> = Vec::with_capacity(query.total_pois());
         let mut spent = 0.0f64;
         let budget = query.budget();
@@ -203,9 +319,8 @@ impl<'a> PackageBuilder<'a> {
             if needed == 0 {
                 continue;
             }
-            let mut candidates: Vec<(&Poi, f64)> = self
-                .catalog
-                .by_category(category)
+            let mut candidates: Vec<(&Poi, f64)> = provider
+                .candidates(self.catalog, category, &centroid, needed)
                 .into_iter()
                 .map(|poi| {
                     let geo = normalizer.similarity(&poi.location, &centroid);
@@ -214,8 +329,7 @@ impl<'a> PackageBuilder<'a> {
                     (poi, weights.item_score(geo, affinity))
                 })
                 .collect();
-            candidates
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
             let mut taken = 0usize;
             let mut skipped: Vec<&Poi> = Vec::new();
@@ -243,7 +357,9 @@ impl<'a> PackageBuilder<'a> {
                 // candidates that still fit (best-effort; the CI may end up
                 // invalid if the budget is simply too tight).
                 skipped.sort_by(|a, b| {
-                    a.cost.partial_cmp(&b.cost).unwrap_or(std::cmp::Ordering::Equal)
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 });
                 for poi in skipped {
                     if taken == needed {
@@ -265,7 +381,18 @@ impl<'a> PackageBuilder<'a> {
         CompositeItem::with_anchor(chosen.iter().map(|p| p.id).collect(), centroid)
     }
 
-    fn validate(&self, query: &GroupQuery, config: &BuildConfig) -> Result<(), GroupTravelError> {
+    /// Checks that a build with `query` and `config` can succeed against
+    /// this catalog — the exact precondition [`PackageBuilder::build`]
+    /// enforces. The serving engine calls this up front so invalid requests
+    /// are rejected before any clustering work (or cache traffic) happens.
+    ///
+    /// # Errors
+    /// The same validation failures [`PackageBuilder::build`] reports.
+    pub fn validate(
+        &self,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> Result<(), GroupTravelError> {
         if config.k == 0 {
             return Err(GroupTravelError::ZeroCompositeItems);
         }
@@ -338,7 +465,10 @@ mod tests {
             .build(&profile, &query, &BuildConfig::default())
             .unwrap();
         assert_eq!(package.len(), 5);
-        assert!(package.is_valid(&f.catalog, &query), "package should be valid");
+        assert!(
+            package.is_valid(&f.catalog, &query),
+            "package should be valid"
+        );
         for ci in package.composite_items() {
             assert!(ci.anchor().is_some());
             assert_eq!(ci.len(), query.total_pois());
@@ -351,8 +481,12 @@ mod tests {
         let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
         let profile = profile(f.vectorizer.schema(), 2);
         let query = GroupQuery::paper_default();
-        let a = builder.build(&profile, &query, &BuildConfig::default()).unwrap();
-        let b = builder.build(&profile, &query, &BuildConfig::default()).unwrap();
+        let a = builder
+            .build(&profile, &query, &BuildConfig::default())
+            .unwrap();
+        let b = builder
+            .build(&profile, &query, &BuildConfig::default())
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -364,9 +498,16 @@ mod tests {
         let config = BuildConfig::default();
         let p1 = profile(f.vectorizer.schema(), 3);
         let p2 = profile(f.vectorizer.schema(), 4);
-        let a = builder.build_non_personalized(&p1, &query, &config).unwrap();
-        let b = builder.build_non_personalized(&p2, &query, &config).unwrap();
-        assert_eq!(a, b, "without personalization, different profiles give the same package");
+        let a = builder
+            .build_non_personalized(&p1, &query, &config)
+            .unwrap();
+        let b = builder
+            .build_non_personalized(&p2, &query, &config)
+            .unwrap();
+        assert_eq!(
+            a, b,
+            "without personalization, different profiles give the same package"
+        );
     }
 
     #[test]
@@ -386,7 +527,10 @@ mod tests {
                 break;
             }
         }
-        assert!(differs, "personalized packages never differed across profiles");
+        assert!(
+            differs,
+            "personalized packages never differed across profiles"
+        );
     }
 
     #[test]
@@ -420,7 +564,11 @@ mod tests {
         );
         assert_eq!(
             builder
-                .build(&profile, &GroupQuery::new([0, 0, 0, 0], None), &BuildConfig::default())
+                .build(
+                    &profile,
+                    &GroupQuery::new([0, 0, 0, 0], None),
+                    &BuildConfig::default()
+                )
                 .unwrap_err(),
             GroupTravelError::EmptyQuery
         );
@@ -448,6 +596,116 @@ mod tests {
             "the attention-check package should not be valid"
         );
         assert!(builder.build_random(&query, 0, 1).is_err());
+    }
+
+    #[test]
+    fn build_with_brute_force_matches_build() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 8);
+        let query = GroupQuery::paper_default();
+        let config = BuildConfig::default();
+        let direct = builder.build(&profile, &query, &config).unwrap();
+        let via_seam = builder
+            .build_with(&BruteForceCandidates, None, &profile, &query, &config)
+            .unwrap();
+        assert_eq!(direct, via_seam);
+    }
+
+    #[test]
+    fn build_with_precomputed_clustering_matches_a_fresh_fit() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 9);
+        let query = GroupQuery::paper_default();
+        let config = BuildConfig::default();
+        let clustering = builder.cluster(&config).unwrap();
+        let cached = builder
+            .build_with(
+                &BruteForceCandidates,
+                Some(&clustering.centroids),
+                &profile,
+                &query,
+                &config,
+            )
+            .unwrap();
+        let fresh = builder.build(&profile, &query, &config).unwrap();
+        assert_eq!(
+            cached, fresh,
+            "a cached clustering must not change the package"
+        );
+    }
+
+    #[test]
+    fn build_with_ignores_a_mismatched_clustering() {
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 10);
+        let query = GroupQuery::paper_default();
+        let three = builder.cluster(&BuildConfig::with_k(3)).unwrap();
+        // k = 5 build fed a k = 3 clustering: the stale result is discarded.
+        let package = builder
+            .build_with(
+                &BruteForceCandidates,
+                Some(&three.centroids),
+                &profile,
+                &query,
+                &BuildConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(package.len(), 5);
+    }
+
+    #[test]
+    fn a_restrictive_provider_narrows_the_choice() {
+        /// Keeps only the cheapest POI of each category.
+        struct CheapestOnly;
+        impl CandidateProvider for CheapestOnly {
+            fn candidates<'c>(
+                &self,
+                catalog: &'c PoiCatalog,
+                category: Category,
+                _centroid: &GeoPoint,
+                _needed: usize,
+            ) -> Vec<&'c Poi> {
+                let mut pois = catalog.by_category(category);
+                pois.sort_by(|a, b| {
+                    a.cost
+                        .partial_cmp(&b.cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                pois.truncate(1);
+                pois
+            }
+        }
+
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 11);
+        let query = GroupQuery::paper_default();
+        let package = builder
+            .build_with(
+                &CheapestOnly,
+                None,
+                &profile,
+                &query,
+                &BuildConfig::default(),
+            )
+            .unwrap();
+        // One candidate per category: every CI holds at most 4 POIs, all of
+        // them the per-category cheapest.
+        for ci in package.composite_items() {
+            assert!(ci.len() <= Category::ALL.len());
+            for poi in ci.resolve(&f.catalog) {
+                let cheapest = f
+                    .catalog
+                    .by_category(poi.category)
+                    .into_iter()
+                    .map(|p| p.cost)
+                    .fold(f64::INFINITY, f64::min);
+                assert!((poi.cost - cheapest).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -254,7 +254,10 @@ mod tests {
     fn internal_distance_is_zero_for_singletons_and_positive_otherwise() {
         let c = catalog();
         let single = CompositeItem::new(vec![PoiId(1)]);
-        assert_eq!(single.internal_distance_km(&c, DistanceMetric::Haversine), 0.0);
+        assert_eq!(
+            single.internal_distance_km(&c, DistanceMetric::Haversine),
+            0.0
+        );
         let pair = CompositeItem::new(vec![PoiId(1), PoiId(2)]);
         assert!(pair.internal_distance_km(&c, DistanceMetric::Haversine) > 0.0);
     }

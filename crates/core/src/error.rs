@@ -88,9 +88,6 @@ mod tests {
             GroupTravelError::ZeroCompositeItems,
             GroupTravelError::ZeroCompositeItems
         );
-        assert_ne!(
-            GroupTravelError::EmptyCatalog,
-            GroupTravelError::EmptyQuery
-        );
+        assert_ne!(GroupTravelError::EmptyCatalog, GroupTravelError::EmptyQuery);
     }
 }

@@ -63,7 +63,7 @@ pub mod query;
 pub mod refine;
 pub mod session;
 
-pub use builder::{BuildConfig, PackageBuilder};
+pub use builder::{BruteForceCandidates, BuildConfig, CandidateProvider, PackageBuilder};
 pub use composite::CompositeItem;
 pub use customize::{CustomizationOp, InteractionLog, MemberInteractions};
 pub use error::GroupTravelError;
@@ -77,7 +77,9 @@ pub use session::{GroupTravelSession, SessionConfig};
 
 /// Convenience re-exports for downstream code and the examples.
 pub mod prelude {
-    pub use crate::builder::{BuildConfig, PackageBuilder};
+    pub use crate::builder::{
+        BruteForceCandidates, BuildConfig, CandidateProvider, PackageBuilder,
+    };
     pub use crate::composite::CompositeItem;
     pub use crate::customize::{CustomizationOp, InteractionLog, MemberInteractions};
     pub use crate::error::GroupTravelError;

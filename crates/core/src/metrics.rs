@@ -130,12 +130,8 @@ mod tests {
     use crate::builder::{BuildConfig, PackageBuilder};
     use crate::composite::CompositeItem;
     use crate::query::GroupQuery;
-    use grouptravel_dataset::{
-        CitySpec, PoiId, SyntheticCityConfig, SyntheticCityGenerator,
-    };
-    use grouptravel_profile::{
-        ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity,
-    };
+    use grouptravel_dataset::{CitySpec, PoiId, SyntheticCityConfig, SyntheticCityGenerator};
+    use grouptravel_profile::{ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity};
     use grouptravel_topics::LdaConfig;
 
     struct Fixture {
@@ -191,8 +187,14 @@ mod tests {
         // Two CIs anchored at opposite corners of Paris vs. two at the same spot.
         let bbox = f.catalog.bounding_box().unwrap();
         let far = TravelPackage::new(vec![
-            CompositeItem::with_anchor(vec![], grouptravel_geo::GeoPoint::new_unchecked(bbox.min_lat, bbox.min_lon)),
-            CompositeItem::with_anchor(vec![], grouptravel_geo::GeoPoint::new_unchecked(bbox.max_lat, bbox.max_lon)),
+            CompositeItem::with_anchor(
+                vec![],
+                grouptravel_geo::GeoPoint::new_unchecked(bbox.min_lat, bbox.min_lon),
+            ),
+            CompositeItem::with_anchor(
+                vec![],
+                grouptravel_geo::GeoPoint::new_unchecked(bbox.max_lat, bbox.max_lon),
+            ),
         ]);
         let near = TravelPackage::new(vec![
             CompositeItem::with_anchor(vec![], bbox.center()),
@@ -261,7 +263,11 @@ mod tests {
         let f = fixture();
         let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
         let package = builder
-            .build(&f.profile, &GroupQuery::paper_default(), &BuildConfig::default())
+            .build(
+                &f.profile,
+                &GroupQuery::paper_default(),
+                &BuildConfig::default(),
+            )
             .unwrap();
         let dims = OptimizationDimensions::measure(
             &package,

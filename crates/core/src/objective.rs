@@ -78,7 +78,11 @@ impl ObjectiveWeights {
             alpha: self.alpha.clamp(0.0, 1.0),
             beta: self.beta.clamp(0.0, 1.0),
             gamma: self.gamma.clamp(0.0, 1.0),
-            fuzzifier: if self.fuzzifier > 1.0 { self.fuzzifier } else { 2.0 },
+            fuzzifier: if self.fuzzifier > 1.0 {
+                self.fuzzifier
+            } else {
+                2.0
+            },
         }
     }
 

@@ -154,7 +154,9 @@ mod tests {
         assert_eq!(GroupQuery::new([1, 1, 1, 1], Some(f64::NAN)).budget(), None);
         assert_eq!(GroupQuery::new([1, 1, 1, 1], Some(-5.0)).budget(), None);
         assert_eq!(
-            GroupQuery::paper_default().with_budget(Some(f64::INFINITY)).budget(),
+            GroupQuery::paper_default()
+                .with_budget(Some(f64::INFINITY))
+                .budget(),
             None
         );
     }
@@ -180,6 +182,8 @@ mod tests {
         assert!(s.contains("1 acco"));
         assert!(s.contains("3 attr"));
         assert!(s.contains("$100"));
-        assert!(GroupQuery::paper_default().to_string().contains("unlimited"));
+        assert!(GroupQuery::paper_default()
+            .to_string()
+            .contains("unlimited"));
     }
 }

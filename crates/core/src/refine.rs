@@ -89,7 +89,11 @@ fn refine_vector(
         .enumerate()
         .map(|(j, &g)| {
             let p = plus.as_ref().and_then(|v| v.get(j)).copied().unwrap_or(0.0);
-            let m = minus.as_ref().and_then(|v| v.get(j)).copied().unwrap_or(0.0);
+            let m = minus
+                .as_ref()
+                .and_then(|v| v.get(j))
+                .copied()
+                .unwrap_or(0.0);
             (g + p - m).max(0.0)
         })
         .collect()
@@ -208,7 +212,10 @@ mod tests {
         assert_eq!(refined, f.profile);
         let empty_member = MemberInteractions::new(f.group.members()[0].user_id);
         let refined = refine_batch(&f.profile, &[empty_member], &f.catalog, &f.vectorizer);
-        assert_eq!(refined.vector(Category::Attraction), f.profile.vector(Category::Attraction));
+        assert_eq!(
+            refined.vector(Category::Attraction),
+            f.profile.vector(Category::Attraction)
+        );
     }
 
     #[test]

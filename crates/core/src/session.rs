@@ -143,7 +143,8 @@ impl GroupTravelSession {
             metric: self.metric,
             ..*config
         };
-        self.builder().build_non_personalized(profile, query, &config)
+        self.builder()
+            .build_non_personalized(profile, query, &config)
     }
 
     /// Builds the random attention-check package of the user study.
@@ -188,12 +189,8 @@ impl GroupTravelSession {
         if !exclude.contains(&poi) {
             exclude.push(poi);
         }
-        self.catalog.nearest_in_category(
-            &current.location,
-            current.category,
-            self.metric,
-            &exclude,
-        )
+        self.catalog
+            .nearest_in_category(&current.location, current.category, self.metric, &exclude)
     }
 
     /// Candidate POIs for `ADD`: the `k` closest POIs of `category` to the
@@ -216,9 +213,13 @@ impl GroupTravelSession {
             return Vec::new();
         };
         let exclude: Vec<PoiId> = ci.poi_ids().to_vec();
-        let mut candidates =
-            self.catalog
-                .k_nearest_in_category(&centroid, category, self.catalog.len(), self.metric, &exclude);
+        let mut candidates = self.catalog.k_nearest_in_category(
+            &centroid,
+            category,
+            self.catalog.len(),
+            self.metric,
+            &exclude,
+        );
         if let Some(filter) = type_filter {
             candidates.retain(|p| p.poi_type == filter);
         }
@@ -331,9 +332,7 @@ mod tests {
     use super::*;
     use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
     use grouptravel_geo::Rectangle;
-    use grouptravel_profile::{
-        ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity,
-    };
+    use grouptravel_profile::{ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity};
 
     struct Fixture {
         session: GroupTravelSession,
@@ -400,7 +399,10 @@ mod tests {
             .session
             .apply(
                 &mut f.package,
-                &CustomizationOp::Remove { ci_index: 0, poi: victim },
+                &CustomizationOp::Remove {
+                    ci_index: 0,
+                    poi: victim,
+                },
                 &f.profile,
                 &f.query,
                 &weights,
@@ -413,7 +415,10 @@ mod tests {
             .session
             .apply(
                 &mut f.package,
-                &CustomizationOp::Add { ci_index: 0, poi: victim },
+                &CustomizationOp::Add {
+                    ci_index: 0,
+                    poi: victim,
+                },
                 &f.profile,
                 &f.query,
                 &weights,
@@ -433,7 +438,10 @@ mod tests {
             .session
             .apply(
                 &mut f.package,
-                &CustomizationOp::Replace { ci_index: 0, poi: victim },
+                &CustomizationOp::Replace {
+                    ci_index: 0,
+                    poi: victim,
+                },
                 &f.profile,
                 &f.query,
                 &weights,
@@ -454,12 +462,7 @@ mod tests {
     fn generate_adds_a_valid_cohesive_ci_inside_the_rectangle_area() {
         let mut f = fixture();
         let bbox = f.session.catalog().bounding_box().unwrap();
-        let rect = Rectangle::new(
-            bbox.min_lon,
-            bbox.max_lat,
-            bbox.lon_span(),
-            bbox.lat_span(),
-        );
+        let rect = Rectangle::new(bbox.min_lon, bbox.max_lat, bbox.lon_span(), bbox.lat_span());
         let weights = ObjectiveWeights::default();
         let before = f.package.len();
         let log = f
@@ -503,7 +506,10 @@ mod tests {
         let weights = ObjectiveWeights::default();
         let bad_ci = f.session.apply(
             &mut f.package,
-            &CustomizationOp::Remove { ci_index: 99, poi: PoiId(1) },
+            &CustomizationOp::Remove {
+                ci_index: 99,
+                poi: PoiId(1),
+            },
             &f.profile,
             &f.query,
             &weights,
@@ -511,28 +517,40 @@ mod tests {
         assert!(matches!(bad_ci, Err(GroupTravelError::InvalidOperation(_))));
         let bad_poi = f.session.apply(
             &mut f.package,
-            &CustomizationOp::Add { ci_index: 0, poi: PoiId(123_456) },
+            &CustomizationOp::Add {
+                ci_index: 0,
+                poi: PoiId(123_456),
+            },
             &f.profile,
             &f.query,
             &weights,
         );
-        assert!(matches!(bad_poi, Err(GroupTravelError::InvalidOperation(_))));
+        assert!(matches!(
+            bad_poi,
+            Err(GroupTravelError::InvalidOperation(_))
+        ));
         let not_in_ci = f.session.apply(
             &mut f.package,
-            &CustomizationOp::Remove { ci_index: 0, poi: PoiId(123_456) },
+            &CustomizationOp::Remove {
+                ci_index: 0,
+                poi: PoiId(123_456),
+            },
             &f.profile,
             &f.query,
             &weights,
         );
-        assert!(matches!(not_in_ci, Err(GroupTravelError::InvalidOperation(_))));
+        assert!(matches!(
+            not_in_ci,
+            Err(GroupTravelError::InvalidOperation(_))
+        ));
     }
 
     #[test]
     fn add_candidates_respect_category_filter_and_exclusion() {
         let f = fixture();
-        let candidates =
-            f.session
-                .add_candidates(&f.package, 0, Category::Attraction, None, 5);
+        let candidates = f
+            .session
+            .add_candidates(&f.package, 0, Category::Attraction, None, 5);
         assert!(!candidates.is_empty());
         assert!(candidates.len() <= 5);
         let ci = f.package.get(0).unwrap();
@@ -542,13 +560,9 @@ mod tests {
         }
         // Type filter keeps only matching types.
         let filter_type = candidates[0].poi_type.clone();
-        let filtered = f.session.add_candidates(
-            &f.package,
-            0,
-            Category::Attraction,
-            Some(&filter_type),
-            5,
-        );
+        let filtered =
+            f.session
+                .add_candidates(&f.package, 0, Category::Attraction, Some(&filter_type), 5);
         assert!(filtered.iter().all(|p| p.poi_type == filter_type));
         // Out-of-range CI index yields nothing.
         assert!(f

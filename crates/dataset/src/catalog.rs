@@ -201,6 +201,36 @@ impl PoiCatalog {
         self.pois.iter().map(|p| p.location).collect()
     }
 
+    /// A 64-bit content fingerprint of the catalog (FNV-1a over the city
+    /// name and every POI's identity-relevant fields).
+    ///
+    /// Two catalogs with the same city, POIs, coordinates, types, tags and
+    /// costs fingerprint identically; any content change almost surely
+    /// changes the value. The serving engine keys its model caches on this,
+    /// so cached fuzzy-c-means results and topic models are never reused
+    /// across different catalog contents.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = grouptravel_geo::Fnv1a::new();
+        hash.write_str(&self.city);
+        hash.write_u64(self.pois.len() as u64);
+        for poi in &self.pois {
+            hash.write_u64(poi.id.0);
+            hash.write_str(&poi.name);
+            hash.write(&[poi.category as u8]);
+            hash.write_f64(poi.location.lat);
+            hash.write_f64(poi.location.lon);
+            hash.write_str(&poi.poi_type);
+            hash.write_u64(poi.tags.len() as u64);
+            for tag in &poi.tags {
+                hash.write_str(tag);
+            }
+            hash.write_u64(poi.checkins);
+            hash.write_f64(poi.cost);
+        }
+        hash.finish()
+    }
+
     /// All distinct types present for a category, sorted.
     #[must_use]
     pub fn types_in_category(&self, category: Category) -> Vec<String> {
@@ -274,7 +304,12 @@ mod tests {
         let c = catalog();
         let origin = GeoPoint::new_unchecked(48.8679, 2.3256);
         let nearest = c
-            .nearest_in_category(&origin, Category::Accommodation, DistanceMetric::Haversine, &[])
+            .nearest_in_category(
+                &origin,
+                Category::Accommodation,
+                DistanceMetric::Haversine,
+                &[],
+            )
             .unwrap();
         assert_eq!(nearest.id, PoiId(1));
         let nearest_excluding = c.nearest_in_category(
@@ -290,9 +325,21 @@ mod tests {
     fn k_nearest_is_sorted_by_distance() {
         let c = catalog();
         let origin = GeoPoint::new_unchecked(48.8679, 2.3256);
-        let all = c.k_nearest_in_category(&origin, Category::Attraction, 10, DistanceMetric::Haversine, &[]);
+        let all = c.k_nearest_in_category(
+            &origin,
+            Category::Attraction,
+            10,
+            DistanceMetric::Haversine,
+            &[],
+        );
         assert_eq!(all.len(), 1);
-        let none = c.k_nearest_in_category(&origin, Category::Attraction, 0, DistanceMetric::Haversine, &[]);
+        let none = c.k_nearest_in_category(
+            &origin,
+            Category::Attraction,
+            0,
+            DistanceMetric::Haversine,
+            &[],
+        );
         assert!(none.is_empty());
     }
 
@@ -333,12 +380,47 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = catalog();
+        let b = catalog();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        let renamed = PoiCatalog::new("Lyon", table1_pois());
+        assert_ne!(a.fingerprint(), renamed.fingerprint());
+
+        let mut fewer = table1_pois();
+        fewer.pop();
+        assert_ne!(
+            a.fingerprint(),
+            PoiCatalog::new("Paris", fewer).fingerprint()
+        );
+
+        let mut tweaked = table1_pois();
+        tweaked[0].cost += 0.25;
+        assert_ne!(
+            a.fingerprint(),
+            PoiCatalog::new("Paris", tweaked).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_survives_serde_round_trip() {
+        let c = catalog();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: PoiCatalog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
     fn serde_round_trip_rebuilds_indexes() {
         let c = catalog();
         let json = serde_json::to_string(&c).unwrap();
         let mut back: PoiCatalog = serde_json::from_str(&json).unwrap();
         back.rebuild_indexes();
         assert_eq!(back, c);
-        assert_eq!(back.get(PoiId(3)).unwrap().name, c.get(PoiId(3)).unwrap().name);
+        assert_eq!(
+            back.get(PoiId(3)).unwrap().name,
+            c.get(PoiId(3)).unwrap().name
+        );
     }
 }

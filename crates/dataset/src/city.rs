@@ -51,7 +51,11 @@ pub struct CitySpec {
 impl CitySpec {
     /// Creates a city spec.
     #[must_use]
-    pub fn new(name: impl Into<String>, bbox: BoundingBox, neighborhoods: Vec<Neighborhood>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        bbox: BoundingBox,
+        neighborhoods: Vec<Neighborhood>,
+    ) -> Self {
         Self {
             name: name.into(),
             bbox,
@@ -218,7 +222,11 @@ mod tests {
     #[test]
     fn every_city_has_neighborhoods_inside_its_bbox() {
         for city in CitySpec::all_tourpedia_cities() {
-            assert!(!city.neighborhoods.is_empty(), "{} has no neighborhoods", city.name);
+            assert!(
+                !city.neighborhoods.is_empty(),
+                "{} has no neighborhoods",
+                city.name
+            );
             for n in &city.neighborhoods {
                 assert!(
                     city.bbox.contains(&n.center),

@@ -262,8 +262,7 @@ mod tests {
     fn different_cities_differ_even_with_same_seed() {
         let cfg = SyntheticCityConfig::small(3);
         let paris = SyntheticCityGenerator::new(CitySpec::paris(), cfg.clone()).generate();
-        let barcelona =
-            SyntheticCityGenerator::new(CitySpec::barcelona(), cfg).generate();
+        let barcelona = SyntheticCityGenerator::new(CitySpec::barcelona(), cfg).generate();
         assert_ne!(paris.pois()[0].location, barcelona.pois()[0].location);
     }
 
@@ -302,7 +301,10 @@ mod tests {
         let catalog = paris_catalog(17);
         assert!(catalog.pois().iter().all(|p| p.cost >= 0.0));
         let positive = catalog.pois().iter().filter(|p| p.cost > 0.0).count();
-        assert!(positive * 10 >= catalog.len() * 9, "too many zero-cost POIs");
+        assert!(
+            positive * 10 >= catalog.len() * 9,
+            "too many zero-cost POIs"
+        );
     }
 
     #[test]

@@ -89,14 +89,7 @@ pub fn default_attraction_themes() -> Vec<TagTheme> {
             "nightlife & shows",
             Category::Attraction,
             [
-                "theater",
-                "cabaret",
-                "concert",
-                "live",
-                "music",
-                "show",
-                "comedy",
-                "club",
+                "theater", "cabaret", "concert", "live", "music", "show", "comedy", "club",
             ],
         ),
     ]
@@ -117,7 +110,14 @@ pub fn default_restaurant_themes() -> Vec<TagTheme> {
             "bistro & wine",
             Category::Restaurant,
             [
-                "beer", "wine", "bistro", "brasserie", "terrace", "cheese", "charcuterie", "bar",
+                "beer",
+                "wine",
+                "bistro",
+                "brasserie",
+                "terrace",
+                "cheese",
+                "charcuterie",
+                "bar",
             ],
         ),
         TagTheme::new(
@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn vocabulary_is_deduplicated_union() {
         let vocab = tag_vocabulary(Category::Restaurant);
-        let total: usize = default_restaurant_themes().iter().map(|t| t.tags.len()).sum();
+        let total: usize = default_restaurant_themes()
+            .iter()
+            .map(|t| t.tags.len())
+            .sum();
         assert!(vocab.len() <= total);
         assert!(vocab.contains(&"sushi".to_string()));
         // No duplicates.

@@ -1,0 +1,186 @@
+//! A small thread-safe LRU for expensive model artifacts.
+//!
+//! Two instantiations serve the engine: [`ClusteringCache`] holds
+//! fuzzy-c-means **centroids** keyed by `(catalog fingerprint, FcmConfig
+//! cache key)` — centroids are all a build consumes, and dropping the
+//! `n × k` membership matrix keeps each entry a few hundred bytes instead
+//! of megabytes at large catalog scale — and the registry holds trained
+//! item vectorizers keyed by `(catalog fingerprint, LdaConfig cache key)`.
+//! Both key components cover every input that influences the artifact, so
+//! equal keys guarantee an identical result and a cached value can be
+//! substituted for a fresh computation.
+//!
+//! Values are `Arc`-shared — a hit never copies the artifact, and evicted
+//! entries stay alive for requests already holding them. The cache is a
+//! plain `Mutex` around a `HashMap` with logical-clock LRU stamps: lookups
+//! and insertions are O(1); eviction scans for the oldest stamp, which is
+//! O(capacity) but only runs on insertion past capacity over a deliberately
+//! small map (tens of entries — one per city × configuration in use).
+
+use grouptravel_geo::GeoPoint;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key of model artifacts: `(catalog fingerprint, config cache key)`.
+pub type ModelKey = (u64, u64);
+
+/// The engine's clustering cache: fuzzy-c-means centroids by [`ModelKey`].
+pub type ClusteringCache = LruCache<ModelKey, Vec<GeoPoint>>;
+
+struct Slot<V> {
+    value: Arc<V>,
+    last_used: u64,
+}
+
+/// A thread-safe LRU cache of `Arc`-shared values.
+pub struct LruCache<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` values (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a value, refreshing its recency on a hit.
+    #[must_use]
+    pub fn get(&self, key: K) -> Option<Arc<V>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().expect("model cache poisoned");
+        match slots.get_mut(&key) {
+            Some(slot) => {
+                slot.last_used = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when the
+    /// cache is full. Returns the value as stored (if another thread raced
+    /// the same key in first, the incumbent wins, so concurrent requests
+    /// converge on one shared result).
+    pub fn insert(&self, key: K, value: V) -> Arc<V> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().expect("model cache poisoned");
+        if let Some(existing) = slots.get_mut(&key) {
+            existing.last_used = stamp;
+            return Arc::clone(&existing.value);
+        }
+        if slots.len() >= self.capacity {
+            if let Some(oldest) = slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k)
+            {
+                slots.remove(&oldest);
+            }
+        }
+        let value = Arc::new(value);
+        slots.insert(
+            key,
+            Slot {
+                value: Arc::clone(&value),
+                last_used: stamp,
+            },
+        );
+        value
+    }
+
+    /// Number of cached values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("model cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(tag: f64) -> Vec<GeoPoint> {
+        vec![GeoPoint::new_unchecked(tag, tag)]
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = ClusteringCache::new(4);
+        assert!(cache.get((1, 1)).is_none());
+        cache.insert((1, 1), dummy(1.0));
+        let hit = cache.get((1, 1)).unwrap();
+        assert_eq!(hit[0].lat, 1.0);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let cache = ClusteringCache::new(2);
+        cache.insert((1, 0), dummy(1.0));
+        cache.insert((2, 0), dummy(2.0));
+        // Touch (1, 0) so (2, 0) is the LRU.
+        assert!(cache.get((1, 0)).is_some());
+        cache.insert((3, 0), dummy(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get((2, 0)).is_none(), "LRU entry should be evicted");
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((3, 0)).is_some());
+    }
+
+    #[test]
+    fn racing_insert_keeps_the_incumbent() {
+        let cache = ClusteringCache::new(2);
+        cache.insert((1, 0), dummy(1.0));
+        let stored = cache.insert((1, 0), dummy(9.0));
+        assert_eq!(stored[0].lat, 1.0);
+    }
+
+    #[test]
+    fn evicted_entries_stay_alive_for_holders() {
+        let cache = ClusteringCache::new(1);
+        let held = cache.insert((1, 0), dummy(1.0));
+        cache.insert((2, 0), dummy(2.0));
+        assert!(cache.get((1, 0)).is_none());
+        assert_eq!(held[0].lat, 1.0);
+    }
+
+    #[test]
+    fn works_for_non_clustering_values_too() {
+        let cache: LruCache<u32, String> = LruCache::new(2);
+        cache.insert(1, "one".to_string());
+        assert_eq!(cache.get(1).unwrap().as_str(), "one");
+        assert!(cache.get(2).is_none());
+    }
+}

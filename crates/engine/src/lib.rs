@@ -1,0 +1,635 @@
+//! # grouptravel-engine — the concurrent package-serving layer
+//!
+//! The core library answers one group's query at a time and re-derives its
+//! expensive substrate — LDA topic models, fuzzy-c-means clusterings, full
+//! catalog scans — on every call. This crate turns that one-shot pipeline
+//! into a multi-tenant engine that amortizes the substrate across requests:
+//!
+//! * [`EngineCatalogRegistry`] loads and fingerprints city catalogs, trains
+//!   their [`grouptravel::ItemVectorizer`]s once and keeps them warm, and
+//!   builds one spatial [`grouptravel_geo::GridIndex`] per POI category.
+//! * [`ClusteringCache`] is an LRU of fuzzy-c-means centroids keyed by
+//!   `(catalog fingerprint, FcmConfig cache key)` — repeated builds against
+//!   the same catalog and configuration reuse centroids instead of
+//!   re-clustering.
+//! * [`GridCandidates`] plugs the grids into the core builder's
+//!   `CandidateProvider` seam so composite items only score POIs near their
+//!   centroid.
+//! * [`SessionStore`] tracks per-group serving state behind
+//!   `Arc<RwLock<…>>`, and [`Engine::serve_batch`] fans a batch of requests
+//!   out over OS threads with per-request latency accounting.
+//!
+//! ```
+//! use grouptravel::prelude::*;
+//! use grouptravel_engine::{Engine, EngineConfig, PackageRequest};
+//!
+//! let engine = Engine::new(EngineConfig::fast());
+//! let catalog = SyntheticCityGenerator::new(
+//!     CitySpec::paris(),
+//!     SyntheticCityConfig::small(7),
+//! )
+//! .generate();
+//! engine.register_catalog(catalog).unwrap();
+//!
+//! let schema = engine.profile_schema("Paris").unwrap();
+//! let mut groups = SyntheticGroupGenerator::new(schema, 1);
+//! let profile = groups
+//!     .group(GroupSize::Small, Uniformity::Uniform)
+//!     .profile(ConsensusMethod::pairwise_disagreement());
+//!
+//! let responses = engine.serve_batch(vec![PackageRequest {
+//!     session_id: 1,
+//!     city: "Paris".to_string(),
+//!     profile,
+//!     query: GroupQuery::paper_default(),
+//!     config: BuildConfig::default(),
+//! }]);
+//! assert_eq!(responses[0].package().unwrap().len(), 5);
+//! ```
+
+pub mod cache;
+pub mod provider;
+pub mod registry;
+pub mod store;
+
+pub use cache::{ClusteringCache, LruCache, ModelKey};
+pub use provider::GridCandidates;
+pub use registry::{CategoryGrid, CityEntry, EngineCatalogRegistry};
+pub use store::{SessionId, SessionState, SessionStore};
+
+use grouptravel::{BuildConfig, GroupQuery, GroupTravelError, PackageBuilder, TravelPackage};
+use grouptravel_dataset::PoiCatalog;
+use grouptravel_geo::DistanceMetric;
+use grouptravel_profile::{GroupProfile, ProfileSchema};
+use grouptravel_topics::LdaConfig;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Errors surfaced per request by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The request named a city no catalog is registered for.
+    UnknownCity(String),
+    /// The underlying package build failed.
+    Build(GroupTravelError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownCity(city) => {
+                write!(f, "no catalog registered for city `{city}`")
+            }
+            EngineError::Build(e) => write!(f, "package build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<GroupTravelError> for EngineError {
+    fn from(e: GroupTravelError) -> Self {
+        EngineError::Build(e)
+    }
+}
+
+/// Tuning knobs of the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// LDA configuration used when training vectorizers at registration.
+    pub lda: LdaConfig,
+    /// Distance metric applied to every build (overrides the per-request
+    /// `BuildConfig::metric`, mirroring `GroupTravelSession`).
+    pub metric: DistanceMetric,
+    /// Capacity of the clustering LRU cache.
+    pub model_cache_capacity: usize,
+    /// Minimum per-category candidate pool surfaced by the grid provider.
+    /// `usize::MAX` makes candidate generation exhaustive (bit-identical to
+    /// brute force).
+    pub min_candidate_pool: usize,
+    /// Pool size multiplier over the query's per-category count.
+    pub candidate_oversample: usize,
+    /// Worker threads for [`Engine::serve_batch`] (clamped to at least 1).
+    pub worker_threads: usize,
+    /// Maximum tracked sessions; past it the stalest sessions are evicted.
+    pub max_sessions: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            lda: LdaConfig {
+                iterations: 80,
+                ..LdaConfig::default()
+            },
+            metric: DistanceMetric::Equirectangular,
+            model_cache_capacity: 64,
+            min_candidate_pool: 64,
+            candidate_oversample: 8,
+            worker_threads: std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .min(8),
+            max_sessions: SessionStore::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration with cheap LDA training, for tests and examples.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            lda: LdaConfig {
+                iterations: 30,
+                ..LdaConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// A configuration whose candidate generation is exhaustive: grid pools
+    /// always cover whole categories, making every build bit-identical to
+    /// the brute-force path (used by the equivalence tests).
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        Self {
+            min_candidate_pool: usize::MAX,
+            ..Self::fast()
+        }
+    }
+}
+
+/// One group's package request.
+#[derive(Debug, Clone)]
+pub struct PackageRequest {
+    /// The group session this request belongs to.
+    pub session_id: SessionId,
+    /// City to serve from (must be registered).
+    pub city: String,
+    /// The group's consensus profile.
+    pub profile: GroupProfile,
+    /// The group query ⟨#acco, #trans, #rest, #attr, budget⟩.
+    pub query: GroupQuery,
+    /// Build configuration (`metric` is overridden by the engine's).
+    pub config: BuildConfig,
+}
+
+/// The engine's answer to one [`PackageRequest`].
+#[derive(Debug, Clone)]
+pub struct PackageResponse {
+    /// The session the response belongs to.
+    pub session_id: SessionId,
+    /// The city it was served from.
+    pub city: String,
+    /// The built package, or why the build failed.
+    pub outcome: Result<TravelPackage, EngineError>,
+    /// Wall-clock time spent serving this request.
+    pub latency: Duration,
+    /// Whether the clustering came out of the model cache.
+    pub clustering_cache_hit: bool,
+}
+
+impl PackageResponse {
+    /// The package, if the build succeeded.
+    #[must_use]
+    pub fn package(&self) -> Option<&TravelPackage> {
+        self.outcome.as_ref().ok()
+    }
+}
+
+/// Aggregate serving counters (monotonic since engine construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served (successes and failures).
+    pub requests: u64,
+    /// Requests whose clustering came from the cache.
+    pub clustering_cache_hits: u64,
+    /// Fuzzy-c-means trainings actually run.
+    pub fcm_trainings: u64,
+    /// LDA vectorizer trainings actually run.
+    pub lda_trainings: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    requests: AtomicU64,
+    clustering_cache_hits: AtomicU64,
+    fcm_trainings: AtomicU64,
+    lda_trainings: AtomicU64,
+}
+
+/// The multi-city, multi-session package-serving engine.
+pub struct Engine {
+    config: EngineConfig,
+    registry: EngineCatalogRegistry,
+    clusterings: ClusteringCache,
+    sessions: SessionStore,
+    stats: StatCounters,
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            registry: EngineCatalogRegistry::new(),
+            clusterings: ClusteringCache::new(config.model_cache_capacity),
+            sessions: SessionStore::with_capacity(config.max_sessions),
+            stats: StatCounters::default(),
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Registers a city catalog: fingerprints it, trains (or re-uses) its
+    /// vectorizer with the engine's LDA configuration, and builds its
+    /// spatial grids. The catalog is addressable by its city name.
+    ///
+    /// # Errors
+    /// Fails when the catalog is empty or topic-model training fails.
+    pub fn register_catalog(&self, catalog: PoiCatalog) -> Result<u64, EngineError> {
+        let (entry, trained) = self.registry.register(catalog, self.config.lda)?;
+        if trained {
+            self.stats.lda_trainings.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(entry.fingerprint())
+    }
+
+    /// The catalog registry.
+    #[must_use]
+    pub fn registry(&self) -> &EngineCatalogRegistry {
+        &self.registry
+    }
+
+    /// The session store (clonable handle; shares state with the engine).
+    #[must_use]
+    pub fn sessions(&self) -> &SessionStore {
+        &self.sessions
+    }
+
+    /// The clustering model cache.
+    #[must_use]
+    pub fn clustering_cache(&self) -> &ClusteringCache {
+        &self.clusterings
+    }
+
+    /// The profile schema group profiles must use with a city.
+    #[must_use]
+    pub fn profile_schema(&self, city: &str) -> Option<ProfileSchema> {
+        self.registry.get(city).map(|e| e.vectorizer().schema())
+    }
+
+    /// Aggregate serving counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            clustering_cache_hits: self.stats.clustering_cache_hits.load(Ordering::Relaxed),
+            fcm_trainings: self.stats.fcm_trainings.load(Ordering::Relaxed),
+            lda_trainings: self.stats.lda_trainings.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serves one request synchronously on the calling thread.
+    pub fn serve(&self, request: &PackageRequest) -> PackageResponse {
+        let start = Instant::now();
+        let (outcome, cache_hit) = self.build(request);
+        let latency = start.elapsed();
+
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.stats
+                .clustering_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.sessions.record(
+            request.session_id,
+            &request.city,
+            outcome.as_ref().ok(),
+            latency,
+        );
+        PackageResponse {
+            session_id: request.session_id,
+            city: request.city.clone(),
+            outcome,
+            latency,
+            clustering_cache_hit: cache_hit,
+        }
+    }
+
+    /// Serves a batch of requests, fanning out over
+    /// `EngineConfig::worker_threads` OS threads. Responses come back in
+    /// request order; every request gets a response (failures are carried in
+    /// `PackageResponse::outcome`, they never abort the batch).
+    #[must_use]
+    pub fn serve_batch(&self, requests: Vec<PackageRequest>) -> Vec<PackageResponse> {
+        let threads = self.config.worker_threads.max(1);
+        if threads == 1 || requests.len() <= 1 {
+            return requests.iter().map(|r| self.serve(r)).collect();
+        }
+
+        let chunk_size = requests.len().div_ceil(threads);
+        let mut responses: Vec<Option<PackageResponse>> = Vec::new();
+        responses.resize_with(requests.len(), || None);
+
+        std::thread::scope(|scope| {
+            for (request_chunk, response_chunk) in requests
+                .chunks(chunk_size)
+                .zip(responses.chunks_mut(chunk_size))
+            {
+                scope.spawn(move || {
+                    for (request, slot) in request_chunk.iter().zip(response_chunk.iter_mut()) {
+                        *slot = Some(self.serve(request));
+                    }
+                });
+            }
+        });
+
+        responses
+            .into_iter()
+            .map(|r| r.expect("every batch slot is filled by its worker"))
+            .collect()
+    }
+
+    /// The build path shared by [`Engine::serve`] and the batch fan-out:
+    /// resolve the city, fetch or fit the clustering, assemble through the
+    /// grid provider.
+    fn build(&self, request: &PackageRequest) -> (Result<TravelPackage, EngineError>, bool) {
+        let Some(entry) = self.registry.get(&request.city) else {
+            return (Err(EngineError::UnknownCity(request.city.clone())), false);
+        };
+        let config = BuildConfig {
+            metric: self.config.metric,
+            ..request.config
+        };
+        let builder = PackageBuilder::new(entry.catalog(), entry.vectorizer());
+
+        // Reject invalid requests before any clustering work: otherwise a
+        // stream of unsatisfiable requests with varying seeds would force
+        // one full FCM training each and churn warm entries out of the LRU.
+        // This also keeps error variants identical to the core path (e.g.
+        // ZeroCompositeItems for k = 0, not a clustering error).
+        if let Err(e) = builder.validate(&request.query, &config) {
+            return (Err(e.into()), false);
+        }
+
+        let fcm_config = builder.fcm_config(&config);
+        let key: ModelKey = (entry.fingerprint(), fcm_config.cache_key());
+        let (clustering, cache_hit) = match self.clusterings.get(key) {
+            Some(cached) => (cached, true),
+            None => match builder.cluster(&config) {
+                Ok(fresh) => {
+                    self.stats.fcm_trainings.fetch_add(1, Ordering::Relaxed);
+                    // Only the centroids are cached: they are all a build
+                    // consumes, and the n × k membership matrix would
+                    // dominate cache memory at large catalog scale.
+                    (self.clusterings.insert(key, fresh.centroids), false)
+                }
+                Err(e) => return (Err(e.into()), false),
+            },
+        };
+
+        let provider = GridCandidates::new(
+            &entry,
+            self.config.min_candidate_pool,
+            self.config.candidate_oversample,
+        );
+        let outcome = builder
+            .build_with(
+                &provider,
+                Some(clustering.as_slice()),
+                &request.profile,
+                &request.query,
+                &config,
+            )
+            .map_err(EngineError::from);
+        (outcome, cache_hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+    use grouptravel_profile::{ConsensusMethod, GroupSize, SyntheticGroupGenerator, Uniformity};
+
+    fn catalog(city: CitySpec, seed: u64) -> PoiCatalog {
+        SyntheticCityGenerator::new(city, SyntheticCityConfig::small(seed)).generate()
+    }
+
+    fn profile_for(engine: &Engine, city: &str, seed: u64) -> GroupProfile {
+        let schema = engine.profile_schema(city).unwrap();
+        let mut groups = SyntheticGroupGenerator::new(schema, seed);
+        groups
+            .group(GroupSize::Small, Uniformity::Uniform)
+            .profile(ConsensusMethod::pairwise_disagreement())
+    }
+
+    fn request(engine: &Engine, session_id: u64, city: &str, seed: u64) -> PackageRequest {
+        PackageRequest {
+            session_id,
+            city: city.to_string(),
+            profile: profile_for(engine, city, seed),
+            query: GroupQuery::paper_default(),
+            config: BuildConfig::default(),
+        }
+    }
+
+    #[test]
+    fn serve_builds_a_valid_package() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let req = request(&engine, 1, "Paris", 1);
+        let response = engine.serve(&req);
+        let package = response.package().expect("build should succeed");
+        assert_eq!(package.len(), 5);
+        assert!(package.is_valid(
+            engine.registry().get("Paris").unwrap().catalog(),
+            &req.query
+        ));
+        assert!(!response.clustering_cache_hit, "first build is cold");
+    }
+
+    #[test]
+    fn unknown_city_is_an_error_not_a_panic() {
+        let engine = Engine::new(EngineConfig::fast());
+        let mut req = request_for_unregistered();
+        req.city = "Atlantis".to_string();
+        let response = engine.serve(&req);
+        assert_eq!(
+            response.outcome.unwrap_err(),
+            EngineError::UnknownCity("Atlantis".to_string())
+        );
+    }
+
+    fn request_for_unregistered() -> PackageRequest {
+        // A profile built against a throwaway engine, since the target
+        // engine has no schema to offer.
+        let scratch = Engine::new(EngineConfig::fast());
+        scratch
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        request(&scratch, 9, "Paris", 9)
+    }
+
+    #[test]
+    fn warm_requests_reuse_the_clustering() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let cold = engine.serve(&request(&engine, 1, "Paris", 1));
+        let warm = engine.serve(&request(&engine, 2, "Paris", 2));
+        assert!(!cold.clustering_cache_hit);
+        assert!(warm.clustering_cache_hit);
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.fcm_trainings, 1, "no retraining on the warm path");
+        assert_eq!(stats.clustering_cache_hits, 1);
+    }
+
+    #[test]
+    fn exhaustive_engine_matches_the_session_exactly() {
+        use grouptravel::{GroupTravelSession, SessionConfig};
+
+        let engine = Engine::new(EngineConfig::exhaustive());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let req = request(&engine, 1, "Paris", 3);
+        let engine_package = engine.serve(&req).outcome.unwrap();
+
+        let session = GroupTravelSession::new(
+            catalog(CitySpec::paris(), 11),
+            SessionConfig {
+                lda: engine.config().lda,
+                metric: engine.config().metric,
+            },
+        )
+        .unwrap();
+        let session_package = session
+            .build_package(&req.profile, &req.query, &req.config)
+            .unwrap();
+        assert_eq!(
+            engine_package, session_package,
+            "exhaustive engine must be bit-identical to the one-shot session"
+        );
+    }
+
+    #[test]
+    fn serve_batch_preserves_order_and_session_state() {
+        // Force the scoped-thread fan-out path even on single-core CI.
+        let engine = Engine::new(EngineConfig {
+            worker_threads: 4,
+            ..EngineConfig::fast()
+        });
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        engine
+            .register_catalog(catalog(CitySpec::barcelona(), 13))
+            .unwrap();
+
+        let mut requests = Vec::new();
+        for i in 0..12u64 {
+            let city = if i % 2 == 0 { "Paris" } else { "Barcelona" };
+            requests.push(request(&engine, i, city, 100 + i));
+        }
+        let responses = engine.serve_batch(requests);
+        assert_eq!(responses.len(), 12);
+        for (i, response) in responses.iter().enumerate() {
+            assert_eq!(response.session_id, i as u64);
+            let expected = if i % 2 == 0 { "Paris" } else { "Barcelona" };
+            assert_eq!(response.city, expected);
+            assert!(response.outcome.is_ok(), "request {i} failed");
+            assert!(response.latency > Duration::ZERO);
+        }
+        assert_eq!(engine.sessions().len(), 12);
+        let state = engine.sessions().snapshot(3).unwrap();
+        assert_eq!(state.city, "Barcelona");
+        assert_eq!(state.packages_served, 1);
+        // Two cities, one build configuration: exactly two FCM trainings no
+        // matter how the batch was scheduled (modulo benign races computing
+        // the same key twice, which insert() collapses — so at most one per
+        // (city, config) pair plus duplicates; requests must still total 12).
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 12);
+        assert!(stats.fcm_trainings >= 2);
+        assert!(
+            stats.clustering_cache_hits + stats.fcm_trainings >= 12,
+            "every request either hit the cache or trained"
+        );
+    }
+
+    #[test]
+    fn invalid_requests_do_no_clustering_work() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        // Unsatisfiable category counts, each with a distinct seed: without
+        // up-front validation every one would force a fresh FCM training.
+        for seed in 0..5u64 {
+            let mut bad = request(&engine, seed, "Paris", seed);
+            bad.query = GroupQuery::new([1000, 1, 1, 1], None);
+            bad.config.seed = 7000 + seed;
+            let response = engine.serve(&bad);
+            assert!(matches!(
+                response.outcome,
+                Err(EngineError::Build(
+                    GroupTravelError::InsufficientCategory { .. }
+                ))
+            ));
+        }
+        assert_eq!(
+            engine.stats().fcm_trainings,
+            0,
+            "no clustering for invalid requests"
+        );
+        assert!(engine.clustering_cache().is_empty());
+
+        // Error parity with the core path for k = 0.
+        let mut zero_k = request(&engine, 9, "Paris", 9);
+        zero_k.config = BuildConfig::with_k(0);
+        assert_eq!(
+            engine.serve(&zero_k).outcome.unwrap_err(),
+            EngineError::Build(GroupTravelError::ZeroCompositeItems)
+        );
+    }
+
+    #[test]
+    fn batch_with_failures_still_answers_everything() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let good = request(&engine, 1, "Paris", 1);
+        let mut missing = request(&engine, 2, "Paris", 2);
+        missing.city = "Nowhere".to_string();
+        let mut impossible = request(&engine, 3, "Paris", 3);
+        impossible.query = GroupQuery::new([1000, 1, 1, 1], None);
+
+        let responses = engine.serve_batch(vec![good, missing, impossible]);
+        assert!(responses[0].outcome.is_ok());
+        assert!(matches!(
+            responses[1].outcome,
+            Err(EngineError::UnknownCity(_))
+        ));
+        assert!(matches!(
+            responses[2].outcome,
+            Err(EngineError::Build(
+                GroupTravelError::InsufficientCategory { .. }
+            ))
+        ));
+        let state = engine.sessions().snapshot(3).unwrap();
+        assert_eq!(state.failures, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! The grid-backed candidate provider.
+//!
+//! Plugs the registry's per-category [`GridIndex`]es into the core builder's
+//! `CandidateProvider` seam: instead of scoring every POI of a category for
+//! every composite item (the brute-force default), only POIs in grid cells
+//! around the centroid are surfaced, expanding ring by ring until the pool
+//! is comfortably larger than what the query needs.
+
+use crate::registry::CityEntry;
+use grouptravel::CandidateProvider;
+use grouptravel_dataset::{Category, Poi, PoiCatalog};
+use grouptravel_geo::GeoPoint;
+
+/// Candidate generation via the city's spatial grids.
+///
+/// The pool per category is
+/// `max(needed × oversample, min_pool)` points around the centroid (all of
+/// the category when it is smaller than that): large enough that greedy
+/// selection under budget constraints has slack, small enough that scoring
+/// stays O(pool) instead of O(category).
+///
+/// With `min_pool = usize::MAX` (see `EngineConfig::exhaustive`) the pool is
+/// always the whole category and builds are bit-for-bit identical to the
+/// brute-force path — the configuration the equivalence tests exercise.
+pub struct GridCandidates<'e> {
+    entry: &'e CityEntry,
+    min_pool: usize,
+    oversample: usize,
+}
+
+impl<'e> GridCandidates<'e> {
+    /// Creates a provider over a registered city.
+    #[must_use]
+    pub fn new(entry: &'e CityEntry, min_pool: usize, oversample: usize) -> Self {
+        Self {
+            entry,
+            min_pool,
+            oversample: oversample.max(1),
+        }
+    }
+}
+
+impl CandidateProvider for GridCandidates<'_> {
+    fn candidates<'c>(
+        &self,
+        catalog: &'c PoiCatalog,
+        category: Category,
+        centroid: &GeoPoint,
+        needed: usize,
+    ) -> Vec<&'c Poi> {
+        // The grids' stored positions are only valid for the exact catalog
+        // they were built from. The engine always passes that instance; any
+        // other caller (both types are public API) gets the correct
+        // brute-force answer instead of out-of-bounds/wrong-POI lookups.
+        if !std::ptr::eq(catalog, self.entry.catalog()) {
+            return catalog.by_category(category);
+        }
+        let Some(category_grid) = self.entry.category_grid(category) else {
+            return Vec::new();
+        };
+        let pool = needed.saturating_mul(self.oversample).max(self.min_pool);
+        let grid_indices = category_grid.grid().candidates_around(centroid, pool);
+        let pois = catalog.pois();
+        category_grid
+            .to_catalog_positions(&grid_indices)
+            .into_iter()
+            .map(|pos| &pois[pos])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EngineCatalogRegistry;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+    use grouptravel_topics::LdaConfig;
+
+    #[test]
+    fn foreign_catalog_falls_back_to_brute_force() {
+        let catalog = SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(5))
+            .generate();
+        let registry = EngineCatalogRegistry::new();
+        let (entry, _) = registry
+            .register(
+                catalog,
+                LdaConfig {
+                    iterations: 20,
+                    ..LdaConfig::default()
+                },
+            )
+            .unwrap();
+        // A different catalog instance — even a smaller one — must get a
+        // correct answer out of its own POIs, not grid positions from the
+        // registered one.
+        let other =
+            SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::small(6))
+                .generate();
+        let provider = GridCandidates::new(&entry, 8, 4);
+        let center = other.bounding_box().unwrap().center();
+        for &category in &Category::ALL {
+            let pool = provider.candidates(&other, category, &center, 2);
+            assert_eq!(pool.len(), other.count_category(category));
+            assert!(pool.iter().all(|p| p.category == category));
+        }
+    }
+
+    #[test]
+    fn exhaustive_pool_equals_the_whole_category() {
+        let catalog = SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(3))
+            .generate();
+        let registry = EngineCatalogRegistry::new();
+        let (entry, _) = registry
+            .register(
+                catalog,
+                LdaConfig {
+                    iterations: 20,
+                    ..LdaConfig::default()
+                },
+            )
+            .unwrap();
+        let provider = GridCandidates::new(&entry, usize::MAX, 8);
+        let catalog = entry.catalog();
+        let center = catalog.bounding_box().unwrap().center();
+        for &category in &Category::ALL {
+            let mut pool: Vec<u64> = provider
+                .candidates(catalog, category, &center, 2)
+                .iter()
+                .map(|p| p.id.0)
+                .collect();
+            pool.sort_unstable();
+            let mut all: Vec<u64> = catalog
+                .by_category(category)
+                .iter()
+                .map(|p| p.id.0)
+                .collect();
+            all.sort_unstable();
+            assert_eq!(pool, all);
+        }
+    }
+
+    #[test]
+    fn bounded_pool_is_a_subset_with_enough_candidates() {
+        let catalog = SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(4))
+            .generate();
+        let registry = EngineCatalogRegistry::new();
+        let (entry, _) = registry
+            .register(
+                catalog,
+                LdaConfig {
+                    iterations: 20,
+                    ..LdaConfig::default()
+                },
+            )
+            .unwrap();
+        let provider = GridCandidates::new(&entry, 8, 4);
+        let catalog = entry.catalog();
+        let center = catalog.bounding_box().unwrap().center();
+        for &category in &Category::ALL {
+            let pool = provider.candidates(catalog, category, &center, 2);
+            let category_size = catalog.count_category(category);
+            assert!(pool.len() >= 8.min(category_size));
+            assert!(pool.len() <= category_size);
+            for poi in &pool {
+                assert_eq!(poi.category, category);
+            }
+        }
+    }
+}

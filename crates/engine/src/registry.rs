@@ -1,0 +1,304 @@
+//! The catalog registry: loaded cities, their fingerprints, warm item
+//! vectorizers, and per-category spatial grids.
+//!
+//! Registering a city is the expensive, once-per-catalog step — it trains
+//! (or re-uses) the LDA-backed [`ItemVectorizer`] and builds one
+//! [`GridIndex`] per POI category. Everything a request needs afterwards
+//! hangs off an `Arc<CityEntry>`, so serving threads share the substrate
+//! without copying or locking it.
+//!
+//! Vectorizers are cached across registrations in a bounded LRU keyed by
+//! `(catalog fingerprint, LdaConfig cache key)`: re-registering the same
+//! catalog content (a restart, a replica, an A/B twin) skips LDA training
+//! entirely, while superseded catalog versions age out instead of
+//! accumulating forever.
+
+use crate::cache::LruCache;
+use grouptravel::{GroupTravelError, ItemVectorizer};
+use grouptravel_dataset::{Category, PoiCatalog};
+use grouptravel_geo::{GeoPoint, GridIndex};
+use grouptravel_topics::LdaConfig;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One POI category's spatial index: the grid over that category's
+/// locations plus the mapping from grid point index back to catalog
+/// position.
+#[derive(Debug, Clone)]
+pub struct CategoryGrid {
+    grid: GridIndex,
+    /// `catalog_positions[i]` is the index into `catalog.pois()` of the
+    /// grid's `i`-th point.
+    catalog_positions: Vec<usize>,
+}
+
+impl CategoryGrid {
+    fn build(catalog: &PoiCatalog, category: Category) -> Self {
+        let mut catalog_positions = Vec::new();
+        let mut locations: Vec<GeoPoint> = Vec::new();
+        for (pos, poi) in catalog.pois().iter().enumerate() {
+            if poi.category == category {
+                catalog_positions.push(pos);
+                locations.push(poi.location);
+            }
+        }
+        Self {
+            grid: GridIndex::build(&locations),
+            catalog_positions,
+        }
+    }
+
+    /// The underlying grid over this category's locations.
+    #[must_use]
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Catalog positions (indices into `catalog.pois()`) of a grid query
+    /// result.
+    #[must_use]
+    pub fn to_catalog_positions(&self, grid_indices: &[usize]) -> Vec<usize> {
+        grid_indices
+            .iter()
+            .map(|&i| self.catalog_positions[i])
+            .collect()
+    }
+}
+
+/// A fully-prepared city: catalog, fingerprint, warm vectorizer, grids.
+#[derive(Debug)]
+pub struct CityEntry {
+    catalog: PoiCatalog,
+    fingerprint: u64,
+    vectorizer: Arc<ItemVectorizer>,
+    grids: HashMap<Category, CategoryGrid>,
+}
+
+impl CityEntry {
+    /// The city's catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &PoiCatalog {
+        &self.catalog
+    }
+
+    /// The catalog's content fingerprint.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The item vectorizer trained for this catalog.
+    #[must_use]
+    pub fn vectorizer(&self) -> &ItemVectorizer {
+        &self.vectorizer
+    }
+
+    /// The spatial grid for one category.
+    #[must_use]
+    pub fn category_grid(&self, category: Category) -> Option<&CategoryGrid> {
+        self.grids.get(&category)
+    }
+}
+
+/// Thread-safe registry of loaded city catalogs.
+pub struct EngineCatalogRegistry {
+    cities: RwLock<HashMap<String, Arc<CityEntry>>>,
+    /// Warm LDA models: `(catalog fingerprint, LdaConfig::cache_key())` →
+    /// trained vectorizer. Bounded so superseded catalog contents age out.
+    vectorizers: LruCache<(u64, u64), ItemVectorizer>,
+}
+
+impl Default for EngineCatalogRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineCatalogRegistry {
+    /// Default capacity of the warm-vectorizer LRU: comfortably more than
+    /// the number of catalogs a single engine serves at once, small enough
+    /// that stale catalog versions cannot pile up.
+    pub const DEFAULT_VECTORIZER_CAPACITY: usize = 16;
+
+    /// An empty registry with the default warm-model capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_vectorizer_capacity(Self::DEFAULT_VECTORIZER_CAPACITY)
+    }
+
+    /// An empty registry keeping at most `capacity` warm vectorizers.
+    #[must_use]
+    pub fn with_vectorizer_capacity(capacity: usize) -> Self {
+        Self {
+            cities: RwLock::new(HashMap::new()),
+            vectorizers: LruCache::new(capacity),
+        }
+    }
+
+    /// Registers a catalog under its city name, training the vectorizer if
+    /// no warm model exists for this exact catalog content and LDA
+    /// configuration. Replaces any previous entry for the same city name.
+    ///
+    /// Returns the prepared entry and whether a vectorizer training run was
+    /// needed (`false` means a warm model was reused).
+    ///
+    /// # Errors
+    /// Fails when the catalog is empty or topic-model training fails.
+    pub fn register(
+        &self,
+        catalog: PoiCatalog,
+        lda: LdaConfig,
+    ) -> Result<(Arc<CityEntry>, bool), GroupTravelError> {
+        if catalog.is_empty() {
+            return Err(GroupTravelError::EmptyCatalog);
+        }
+        let fingerprint = catalog.fingerprint();
+        let model_key = (fingerprint, lda.cache_key());
+
+        let (vectorizer, trained) = match self.vectorizers.get(model_key) {
+            Some(model) => (model, false),
+            None => {
+                let model = ItemVectorizer::fit(&catalog, lda)?;
+                (self.vectorizers.insert(model_key, model), true)
+            }
+        };
+
+        let grids = Category::ALL
+            .iter()
+            .map(|&category| (category, CategoryGrid::build(&catalog, category)))
+            .collect();
+
+        let entry = Arc::new(CityEntry {
+            fingerprint,
+            vectorizer,
+            grids,
+            catalog,
+        });
+        self.cities
+            .write()
+            .expect("city registry poisoned")
+            .insert(entry.catalog.city().to_string(), Arc::clone(&entry));
+        Ok((entry, trained))
+    }
+
+    /// The entry for a city, if registered.
+    #[must_use]
+    pub fn get(&self, city: &str) -> Option<Arc<CityEntry>> {
+        self.cities
+            .read()
+            .expect("city registry poisoned")
+            .get(city)
+            .cloned()
+    }
+
+    /// Registered city names, sorted.
+    #[must_use]
+    pub fn cities(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .cities
+            .read()
+            .expect("city registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered cities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cities.read().expect("city registry poisoned").len()
+    }
+
+    /// Whether no city is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
+
+    fn small_catalog(seed: u64) -> PoiCatalog {
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+    }
+
+    fn fast_lda() -> LdaConfig {
+        LdaConfig {
+            iterations: 20,
+            ..LdaConfig::default()
+        }
+    }
+
+    #[test]
+    fn register_then_get_round_trips() {
+        let registry = EngineCatalogRegistry::new();
+        let catalog = small_catalog(1);
+        let fingerprint = catalog.fingerprint();
+        let (entry, trained) = registry.register(catalog, fast_lda()).unwrap();
+        assert!(trained, "first registration must train");
+        assert_eq!(entry.fingerprint(), fingerprint);
+        assert_eq!(registry.len(), 1);
+        let fetched = registry.get("Paris").unwrap();
+        assert_eq!(fetched.fingerprint(), fingerprint);
+        assert!(registry.get("Atlantis").is_none());
+    }
+
+    #[test]
+    fn identical_content_reuses_the_warm_vectorizer() {
+        let registry = EngineCatalogRegistry::new();
+        let (_, first) = registry.register(small_catalog(1), fast_lda()).unwrap();
+        let (_, second) = registry.register(small_catalog(1), fast_lda()).unwrap();
+        assert!(first);
+        assert!(!second, "same content + config must reuse the warm model");
+
+        // Different LDA config on the same content trains a new model.
+        let other = LdaConfig {
+            iterations: 21,
+            ..fast_lda()
+        };
+        let (_, third) = registry.register(small_catalog(1), other).unwrap();
+        assert!(third);
+    }
+
+    #[test]
+    fn warm_vectorizer_cache_is_bounded() {
+        let registry = EngineCatalogRegistry::with_vectorizer_capacity(1);
+        let (_, first) = registry.register(small_catalog(1), fast_lda()).unwrap();
+        assert!(first);
+        // A second catalog evicts the first warm model (capacity 1)…
+        let (_, second) = registry.register(small_catalog(2), fast_lda()).unwrap();
+        assert!(second);
+        // …so re-registering the first content trains again instead of
+        // growing the cache without bound.
+        let (_, third) = registry.register(small_catalog(1), fast_lda()).unwrap();
+        assert!(third, "evicted model must be retrained, not resurrected");
+        // Registered cities themselves are unaffected by vectorizer
+        // eviction: the entry keeps its own Arc.
+        assert_eq!(registry.len(), 1, "same city name replaced in place");
+    }
+
+    #[test]
+    fn empty_catalogs_are_rejected() {
+        let registry = EngineCatalogRegistry::new();
+        let err = registry
+            .register(PoiCatalog::new("Empty", vec![]), fast_lda())
+            .unwrap_err();
+        assert_eq!(err, GroupTravelError::EmptyCatalog);
+    }
+
+    #[test]
+    fn category_grids_cover_the_whole_catalog() {
+        let registry = EngineCatalogRegistry::new();
+        let (entry, _) = registry.register(small_catalog(2), fast_lda()).unwrap();
+        let total: usize = Category::ALL
+            .iter()
+            .map(|&c| entry.category_grid(c).unwrap().grid().len())
+            .sum();
+        assert_eq!(total, entry.catalog().len());
+    }
+}

@@ -1,0 +1,243 @@
+//! The thread-safe session store.
+//!
+//! Tracks, per group session, which city it is in, how many packages it has
+//! been served, the latest package, and cumulative latency — the state a
+//! front-end needs to resume a group's interaction (display → customize →
+//! refine) on any serving thread. Shared as `Arc<RwLock<…>>`: batch serving
+//! reads catalogs lock-free and only takes this write lock for the short
+//! bookkeeping at the end of each request.
+//!
+//! The store is **bounded**: each state clones the session's latest
+//! package, so an unbounded map would grow linearly with every distinct
+//! group ever served. Past the capacity, admitting a new session evicts the
+//! stalest ~1/8 of existing sessions in one sweep (amortizing the O(n) scan
+//! over many admissions), which behaves like a coarse LRU/TTL for
+//! abandoned groups.
+
+use grouptravel::TravelPackage;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Identifier of a group session.
+pub type SessionId = u64;
+
+/// Per-session serving state.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The city the session is currently being served in.
+    pub city: String,
+    /// Packages successfully served to this session.
+    pub packages_served: u64,
+    /// Requests that failed for this session.
+    pub failures: u64,
+    /// The most recent successfully-built package.
+    pub last_package: Option<TravelPackage>,
+    /// Total build latency accumulated by this session.
+    pub total_latency: Duration,
+    /// Logical-clock stamp of the last touch (drives staleness eviction).
+    touched: u64,
+}
+
+impl SessionState {
+    fn new(city: &str) -> Self {
+        Self {
+            city: city.to_string(),
+            packages_served: 0,
+            failures: 0,
+            last_package: None,
+            total_latency: Duration::ZERO,
+            touched: 0,
+        }
+    }
+
+    /// Mean build latency over every request of this session.
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        let requests = self.packages_served + self.failures;
+        if requests == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / u32::try_from(requests).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A clonable, thread-safe, bounded map of session states.
+#[derive(Clone)]
+pub struct SessionStore {
+    sessions: Arc<RwLock<HashMap<SessionId, SessionState>>>,
+    clock: Arc<AtomicU64>,
+    capacity: usize,
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionStore {
+    /// Default session capacity: generous for a single engine process,
+    /// bounded so abandoned sessions cannot exhaust memory.
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// An empty store with the default capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An empty store tracking at most `capacity` sessions (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            sessions: Arc::new(RwLock::new(HashMap::new())),
+            clock: Arc::new(AtomicU64::new(0)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records the outcome of one served request. Admitting a session past
+    /// the capacity evicts the stalest existing sessions first.
+    pub fn record(
+        &self,
+        id: SessionId,
+        city: &str,
+        package: Option<&TravelPackage>,
+        latency: Duration,
+    ) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut sessions = self.sessions.write().expect("session store poisoned");
+        if !sessions.contains_key(&id) && sessions.len() >= self.capacity {
+            Self::evict_stalest(&mut sessions, self.capacity);
+        }
+        let state = sessions
+            .entry(id)
+            .or_insert_with(|| SessionState::new(city));
+        state.city = city.to_string();
+        state.total_latency += latency;
+        state.touched = stamp;
+        match package {
+            Some(p) => {
+                state.packages_served += 1;
+                state.last_package = Some(p.clone());
+            }
+            None => state.failures += 1,
+        }
+    }
+
+    /// Removes the least-recently-touched eighth of the map (at least one
+    /// entry), amortizing the O(n) staleness scan over many admissions.
+    fn evict_stalest(sessions: &mut HashMap<SessionId, SessionState>, capacity: usize) {
+        let evict = (capacity / 8).max(1);
+        let mut by_age: Vec<(u64, SessionId)> =
+            sessions.iter().map(|(id, s)| (s.touched, *id)).collect();
+        by_age.sort_unstable();
+        for (_, id) in by_age.into_iter().take(evict) {
+            sessions.remove(&id);
+        }
+    }
+
+    /// A snapshot of one session's state.
+    #[must_use]
+    pub fn snapshot(&self, id: SessionId) -> Option<SessionState> {
+        self.sessions
+            .read()
+            .expect("session store poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Number of tracked sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("session store poisoned").len()
+    }
+
+    /// Whether no session is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops a session's state, returning it if present.
+    pub fn remove(&self, id: SessionId) -> Option<SessionState> {
+        self.sessions
+            .write()
+            .expect("session store poisoned")
+            .remove(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_snapshot_reads() {
+        let store = SessionStore::new();
+        assert!(store.is_empty());
+        let package = TravelPackage::new(vec![]);
+        store.record(7, "Paris", Some(&package), Duration::from_millis(10));
+        store.record(7, "Paris", None, Duration::from_millis(30));
+        let state = store.snapshot(7).unwrap();
+        assert_eq!(state.city, "Paris");
+        assert_eq!(state.packages_served, 1);
+        assert_eq!(state.failures, 1);
+        assert_eq!(state.total_latency, Duration::from_millis(40));
+        assert_eq!(state.mean_latency(), Duration::from_millis(20));
+        assert!(state.last_package.is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn sessions_can_move_between_cities() {
+        let store = SessionStore::new();
+        let package = TravelPackage::new(vec![]);
+        store.record(1, "Paris", Some(&package), Duration::ZERO);
+        store.record(1, "Barcelona", Some(&package), Duration::ZERO);
+        assert_eq!(store.snapshot(1).unwrap().city, "Barcelona");
+        assert_eq!(store.snapshot(1).unwrap().packages_served, 2);
+    }
+
+    #[test]
+    fn remove_clears_state() {
+        let store = SessionStore::new();
+        store.record(1, "Paris", None, Duration::ZERO);
+        assert!(store.remove(1).is_some());
+        assert!(store.snapshot(1).is_none());
+        assert!(store.remove(1).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_the_stalest_sessions() {
+        let store = SessionStore::with_capacity(8);
+        for id in 0..8u64 {
+            store.record(id, "Paris", None, Duration::ZERO);
+        }
+        // Touch session 0 so it is fresh again.
+        store.record(0, "Paris", None, Duration::ZERO);
+        // Admitting a ninth session evicts the stalest entry (id 1), never
+        // letting the map exceed its capacity.
+        store.record(100, "Paris", None, Duration::ZERO);
+        assert!(store.len() <= 8);
+        assert!(store.snapshot(0).is_some(), "freshly-touched survives");
+        assert!(store.snapshot(100).is_some(), "new session admitted");
+        assert!(store.snapshot(1).is_none(), "stalest session evicted");
+        // Hammering many unique ids keeps the store bounded.
+        for id in 1000..2000u64 {
+            store.record(id, "Paris", None, Duration::ZERO);
+        }
+        assert!(store.len() <= 8);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store = SessionStore::new();
+        let clone = store.clone();
+        store.record(5, "Paris", None, Duration::ZERO);
+        assert_eq!(clone.len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Round-trip guarantees of the serving engine against the one-shot
+//! pipeline: an exhaustive engine is bit-identical to
+//! `GroupTravelSession::build_package`, and the default (grid-bounded)
+//! engine always serves valid packages while reusing cached models.
+
+use grouptravel::prelude::*;
+use grouptravel::{GroupTravelSession, SessionConfig};
+use grouptravel_engine::{Engine, EngineConfig, PackageRequest};
+use proptest::prelude::*;
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+fn profile_for(engine: &Engine, city: &str, seed: u64) -> GroupProfile {
+    let schema = engine.profile_schema(city).unwrap();
+    SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For random profiles, k and seeds, the exhaustive engine reproduces
+    /// the one-shot session exactly — the serving layer adds caching and
+    /// concurrency, never different answers.
+    #[test]
+    fn exhaustive_engine_round_trips_the_session(
+        profile_seed in 0u64..1000,
+        k in 2usize..7,
+        fcm_seed in 0u64..1000,
+    ) {
+        let engine = Engine::new(EngineConfig::exhaustive());
+        engine.register_catalog(paris(17)).unwrap();
+        let config = BuildConfig {
+            k,
+            seed: fcm_seed,
+            ..BuildConfig::default()
+        };
+        let request = PackageRequest {
+            session_id: profile_seed,
+            city: "Paris".to_string(),
+            profile: profile_for(&engine, "Paris", profile_seed),
+            query: GroupQuery::paper_default(),
+            config,
+        };
+        let served = engine.serve(&request).outcome.unwrap();
+
+        let session = GroupTravelSession::new(
+            paris(17),
+            SessionConfig {
+                lda: engine.config().lda,
+                metric: engine.config().metric,
+            },
+        )
+        .unwrap();
+        let direct = session
+            .build_package(&request.profile, &request.query, &config)
+            .unwrap();
+        prop_assert_eq!(&served, &direct);
+    }
+}
+
+#[test]
+fn warm_batches_never_retrain_and_stay_valid() {
+    // worker_threads > 1 exercises the scoped-thread fan-out even on
+    // single-core CI machines.
+    let engine = Engine::new(EngineConfig {
+        worker_threads: 3,
+        ..EngineConfig::fast()
+    });
+    engine.register_catalog(paris(29)).unwrap();
+
+    let make_batch = |salt: u64| -> Vec<PackageRequest> {
+        (0..8u64)
+            .map(|i| PackageRequest {
+                session_id: salt * 100 + i,
+                city: "Paris".to_string(),
+                profile: profile_for(&engine, "Paris", salt * 37 + i),
+                query: GroupQuery::paper_default(),
+                config: BuildConfig::default(),
+            })
+            .collect()
+    };
+
+    let cold = engine.serve_batch(make_batch(1));
+    assert!(cold.iter().all(|r| r.outcome.is_ok()));
+    let trainings_after_cold = engine.stats().fcm_trainings;
+    assert!(trainings_after_cold >= 1);
+
+    let warm = engine.serve_batch(make_batch(2));
+    let entry = engine.registry().get("Paris").unwrap();
+    for response in &warm {
+        assert!(
+            response.clustering_cache_hit,
+            "warm batch must hit the cache"
+        );
+        let package = response.package().unwrap();
+        assert_eq!(package.len(), 5);
+        assert!(package.is_valid(entry.catalog(), &GroupQuery::paper_default()));
+    }
+    assert_eq!(
+        engine.stats().fcm_trainings,
+        trainings_after_cold,
+        "no retraining may happen once the cache is warm"
+    );
+    assert_eq!(
+        engine.stats().lda_trainings,
+        1,
+        "one vectorizer training total"
+    );
+}

@@ -53,7 +53,11 @@ pub fn distance_precision(world: &SyntheticWorld) -> DistancePrecision {
     }
     DistancePrecision {
         pairs,
-        mean_relative_error: if pairs == 0 { 0.0 } else { total_err / pairs as f64 },
+        mean_relative_error: if pairs == 0 {
+            0.0
+        } else {
+            total_err / pairs as f64
+        },
         max_relative_error: max_err,
     }
 }

@@ -74,8 +74,7 @@ impl Analysis {
             .map(|a| {
                 vec![
                     a.dimension.clone(),
-                    a.result
-                        .map_or("n/a".to_string(), |r| r.paper_notation()),
+                    a.result.map_or("n/a".to_string(), |r| r.paper_notation()),
                     a.result.map_or("-".to_string(), |r| {
                         if r.is_significant(0.05) {
                             "significant (p < 0.05)".to_string()
@@ -195,8 +194,6 @@ mod tests {
         assert!(out.contains("ANOVA"));
         assert!(out.contains("Pearson"));
         // Accessors work.
-        assert!(analysis
-            .pcc("average preference", "cohesiveness")
-            .is_some());
+        assert!(analysis.pcc("average preference", "cohesiveness").is_some());
     }
 }

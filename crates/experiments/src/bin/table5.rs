@@ -11,5 +11,8 @@ fn main() {
     let world = UserStudyWorld::build(scale);
     let table = table5::run(&world);
     println!("{}", table.render());
-    println!("participants filtered by the attention check: {}", table.filtered_out);
+    println!(
+        "participants filtered by the attention check: {}",
+        table.filtered_out
+    );
 }

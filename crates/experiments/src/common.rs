@@ -225,9 +225,18 @@ mod tests {
 
     #[test]
     fn scale_resolution_from_names() {
-        assert_eq!(ExperimentScale::from_name("paper"), ExperimentScale::paper());
-        assert_eq!(ExperimentScale::from_name("smoke"), ExperimentScale::smoke());
-        assert_eq!(ExperimentScale::from_name("anything"), ExperimentScale::quick());
+        assert_eq!(
+            ExperimentScale::from_name("paper"),
+            ExperimentScale::paper()
+        );
+        assert_eq!(
+            ExperimentScale::from_name("smoke"),
+            ExperimentScale::smoke()
+        );
+        assert_eq!(
+            ExperimentScale::from_name("anything"),
+            ExperimentScale::quick()
+        );
     }
 
     #[test]
@@ -238,7 +247,11 @@ mod tests {
         let profile = group.profile(ConsensusMethod::average_preference());
         let package = world
             .session
-            .build_package(&profile, &GroupQuery::paper_default(), &world.build_config(1))
+            .build_package(
+                &profile,
+                &GroupQuery::paper_default(),
+                &world.build_config(1),
+            )
             .unwrap();
         assert_eq!(package.len(), 5);
     }

@@ -8,7 +8,9 @@
 
 use crate::common::SyntheticWorld;
 use grouptravel::prelude::*;
-use grouptravel::{refine_batch, CustomizationOp, MemberInteractions, ObjectiveWeights, TravelPackage};
+use grouptravel::{
+    refine_batch, CustomizationOp, MemberInteractions, ObjectiveWeights, TravelPackage,
+};
 use grouptravel_dataset::Category;
 
 /// Renders one package as a day-by-day listing (the textual equivalent of the
@@ -145,7 +147,10 @@ pub fn figure3(world: &SyntheticWorld) -> String {
         .session
         .apply(
             &mut package,
-            &CustomizationOp::Remove { ci_index: 0, poi: remove_target },
+            &CustomizationOp::Remove {
+                ci_index: 0,
+                poi: remove_target,
+            },
             &profile,
             &query,
             &weights,
@@ -165,7 +170,10 @@ pub fn figure3(world: &SyntheticWorld) -> String {
             .session
             .apply(
                 &mut package,
-                &CustomizationOp::Add { ci_index: 0, poi: id },
+                &CustomizationOp::Add {
+                    ci_index: 0,
+                    poi: id,
+                },
                 &profile,
                 &query,
                 &weights,
@@ -180,7 +188,10 @@ pub fn figure3(world: &SyntheticWorld) -> String {
         .session
         .apply(
             &mut package,
-            &CustomizationOp::Replace { ci_index: 1, poi: replace_target },
+            &CustomizationOp::Replace {
+                ci_index: 1,
+                poi: replace_target,
+            },
             &profile,
             &query,
             &weights,
@@ -224,7 +235,9 @@ pub fn figure3(world: &SyntheticWorld) -> String {
         rect.w,
         rect.h,
         before + 1,
-        package.get(before).map_or(0, grouptravel::CompositeItem::len)
+        package
+            .get(before)
+            .map_or(0, grouptravel::CompositeItem::len)
     ));
     out
 }

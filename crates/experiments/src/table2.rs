@@ -70,10 +70,15 @@ pub struct Table2 {
 impl Table2 {
     /// Looks a cell up.
     #[must_use]
-    pub fn cell(&self, uniformity: Uniformity, size: GroupSize, method: &str) -> Option<&Table2Cell> {
-        self.cells.iter().find(|c| {
-            c.uniformity == uniformity && c.size == size && c.method == method
-        })
+    pub fn cell(
+        &self,
+        uniformity: Uniformity,
+        size: GroupSize,
+        method: &str,
+    ) -> Option<&Table2Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.uniformity == uniformity && c.size == size && c.method == method)
     }
 
     /// Average of one dimension over every cell of a method (used by the
@@ -136,9 +141,7 @@ pub fn collect_records(world: &SyntheticWorld) -> Vec<GroupRecord> {
         for size in GroupSize::ALL {
             for idx in 0..world.scale.groups_per_cell {
                 let group = generator.group(size, uniformity);
-                let build_seed = world.scale.seed
-                    ^ (group.group_id << 8)
-                    ^ idx as u64;
+                let build_seed = world.scale.seed ^ (group.group_id << 8) ^ idx as u64;
                 let config = world.build_config(build_seed);
 
                 // The median user's package is independent of the consensus
@@ -191,9 +194,7 @@ pub fn from_records(records: &[GroupRecord]) -> Table2 {
                 let matching: Vec<&GroupRecord> = records
                     .iter()
                     .filter(|r| {
-                        r.uniformity == uniformity
-                            && r.size == size
-                            && r.method == method.name()
+                        r.uniformity == uniformity && r.size == size && r.method == method.name()
                     })
                     .collect();
                 if matching.is_empty() {

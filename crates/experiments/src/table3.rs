@@ -42,10 +42,15 @@ pub struct Table3 {
 impl Table3 {
     /// Looks a cell up.
     #[must_use]
-    pub fn cell(&self, uniformity: Uniformity, size: GroupSize, method: &str) -> Option<&Table3Cell> {
-        self.cells.iter().find(|c| {
-            c.uniformity == uniformity && c.size == size && c.method == method
-        })
+    pub fn cell(
+        &self,
+        uniformity: Uniformity,
+        size: GroupSize,
+        method: &str,
+    ) -> Option<&Table3Cell> {
+        self.cells
+            .iter()
+            .find(|c| c.uniformity == uniformity && c.size == size && c.method == method)
     }
 
     /// Average agreement (mean of the three dimensions) for one method within
@@ -111,9 +116,7 @@ pub fn from_records(records: &[GroupRecord]) -> Table3 {
                 let matching: Vec<&GroupRecord> = records
                     .iter()
                     .filter(|r| {
-                        r.uniformity == uniformity
-                            && r.size == size
-                            && r.method == method.name()
+                        r.uniformity == uniformity && r.size == size && r.method == method.name()
                     })
                     .collect();
                 if matching.is_empty() {
@@ -166,8 +169,6 @@ mod tests {
         }
         let out = table.render();
         assert!(out.contains("Agreement"));
-        assert!(
-            table.average_agreement(Uniformity::Uniform, "average preference") > 0.0
-        );
+        assert!(table.average_agreement(Uniformity::Uniform, "average preference") > 0.0);
     }
 }

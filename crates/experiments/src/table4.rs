@@ -198,7 +198,8 @@ pub fn run(world: &UserStudyWorld) -> Table4 {
                 ) else {
                     continue;
                 };
-                let packages = build_study_packages(world, &group, world.scale.seed ^ group_counter);
+                let packages =
+                    build_study_packages(world, &group, world.scale.seed ^ group_counter);
                 let raters = raters_for_group(world, &group, world.scale.large_group_sample);
 
                 for worker in raters {
@@ -217,7 +218,10 @@ pub fn run(world: &UserStudyWorld) -> Table4 {
                     // Attention check: discard raters whose highest rating
                     // went to the injected random package.
                     let random_rating = ratings[0];
-                    let best_other = ratings[1..].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let best_other = ratings[1..]
+                        .iter()
+                        .copied()
+                        .fold(f64::NEG_INFINITY, f64::max);
                     if random_rating > best_other {
                         filtered_out += 1;
                         continue;

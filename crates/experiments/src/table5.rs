@@ -69,7 +69,10 @@ impl Table5 {
         self.cells
             .iter()
             .find(|c| {
-                c.uniformity == uniformity && c.size == size && c.first == first && c.second == second
+                c.uniformity == uniformity
+                    && c.size == size
+                    && c.first == first
+                    && c.second == second
             })
             .map(|c| c.first_wins)
     }

@@ -128,7 +128,10 @@ fn simulate_member_interactions(
     if let Some(&(ci_idx, poi, _)) = scored.first() {
         if let Ok(log) = world.paris.apply(
             &mut working,
-            &grouptravel::CustomizationOp::Remove { ci_index: ci_idx, poi },
+            &grouptravel::CustomizationOp::Remove {
+                ci_index: ci_idx,
+                poi,
+            },
             profile,
             query,
             &weights,
@@ -140,7 +143,10 @@ fn simulate_member_interactions(
     if let Some(&(ci_idx, poi, _)) = scored.get(1) {
         if let Ok(log) = world.paris.apply(
             &mut working,
-            &grouptravel::CustomizationOp::Replace { ci_index: ci_idx, poi },
+            &grouptravel::CustomizationOp::Replace {
+                ci_index: ci_idx,
+                poi,
+            },
             profile,
             query,
             &weights,
@@ -166,7 +172,10 @@ fn simulate_member_interactions(
     if let Some(poi) = best {
         if let Ok(log) = world.paris.apply(
             &mut working,
-            &grouptravel::CustomizationOp::Add { ci_index: 0, poi: poi.id },
+            &grouptravel::CustomizationOp::Add {
+                ci_index: 0,
+                poi: poi.id,
+            },
             profile,
             query,
             &weights,

@@ -169,10 +169,7 @@ mod tests {
     #[test]
     fn louvre_to_eiffel_is_about_three_km() {
         let d = haversine_km(&paris_louvre(), &paris_eiffel());
-        assert!(
-            (2.9..3.5).contains(&d),
-            "expected ~3.2 km, got {d}"
-        );
+        assert!((2.9..3.5).contains(&d), "expected ~3.2 km, got {d}");
     }
 
     #[test]

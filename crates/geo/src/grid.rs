@@ -1,0 +1,479 @@
+//! A uniform spatial grid index over geographic points.
+//!
+//! The serving engine answers "which POIs are near this centroid / inside
+//! this rectangle" for every composite item of every request; the seed's
+//! linear scans are O(n) per question. [`GridIndex`] buckets points into an
+//! `rows × cols` lattice over their bounding box so a query only visits the
+//! cells its search region overlaps — O(cells touched + matches) instead of
+//! O(n).
+//!
+//! All queries are **exact**: the cell lattice is only a prefilter, every
+//! candidate is checked against the true predicate before being returned, so
+//! results are always identical to a brute-force scan (the property tests in
+//! `tests/prop_geo.rs` enforce this for random rectangles and radii).
+//! Returned indices are sorted ascending, which makes results deterministic
+//! and cheap to compare.
+
+use crate::bbox::BoundingBox;
+use crate::distance::DistanceMetric;
+use crate::point::GeoPoint;
+
+/// Kilometres per degree of latitude (and of longitude at the equator).
+const KM_PER_DEG: f64 = crate::distance::EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+
+/// A uniform grid over a point set, indexing points by cell.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    bbox: BoundingBox,
+    rows: usize,
+    cols: usize,
+    cell_lat: f64,
+    cell_lon: f64,
+    /// Row-major cells, each holding indices into `points`.
+    cells: Vec<Vec<u32>>,
+    points: Vec<GeoPoint>,
+}
+
+impl GridIndex {
+    /// Builds a grid sized `⌈√n⌉ × ⌈√n⌉` over the points' bounding box — a
+    /// good default that keeps expected cell occupancy constant.
+    #[must_use]
+    pub fn build(points: &[GeoPoint]) -> Self {
+        let side = (points.len() as f64).sqrt().ceil().max(1.0) as usize;
+        Self::with_resolution(points, side, side)
+    }
+
+    /// Builds a grid with an explicit `rows × cols` resolution (both clamped
+    /// to at least 1).
+    #[must_use]
+    pub fn with_resolution(points: &[GeoPoint], rows: usize, cols: usize) -> Self {
+        let rows = rows.max(1);
+        let cols = cols.max(1);
+        let bbox = BoundingBox::from_points(points)
+            .unwrap_or_else(|| BoundingBox::new(0.0, 0.0, 0.0, 0.0));
+        // Degenerate spans (single point, collinear points) get a tiny
+        // positive extent so every point maps to a valid cell.
+        let cell_lat = (bbox.lat_span() / rows as f64).max(f64::EPSILON);
+        let cell_lon = (bbox.lon_span() / cols as f64).max(f64::EPSILON);
+        let mut cells = vec![Vec::new(); rows * cols];
+        let mut index = Self {
+            bbox,
+            rows,
+            cols,
+            cell_lat,
+            cell_lon,
+            cells: Vec::new(),
+            points: points.to_vec(),
+        };
+        for (i, p) in points.iter().enumerate() {
+            let (r, c) = index.cell_of(p);
+            cells[r * cols + c].push(i as u32);
+        }
+        index.cells = cells;
+        index
+    }
+
+    /// Number of indexed points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The grid resolution as `(rows, cols)`.
+    #[must_use]
+    pub fn resolution(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The indexed points, in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// The bounding box the lattice covers.
+    #[must_use]
+    pub fn bounding_box(&self) -> BoundingBox {
+        self.bbox
+    }
+
+    /// The cell coordinates of a point (clamped onto the lattice, so points
+    /// on the max edges land in the last row/column).
+    fn cell_of(&self, p: &GeoPoint) -> (usize, usize) {
+        let r = ((p.lat - self.bbox.min_lat) / self.cell_lat) as usize;
+        let c = ((p.lon - self.bbox.min_lon) / self.cell_lon) as usize;
+        (r.min(self.rows - 1), c.min(self.cols - 1))
+    }
+
+    /// Indices of all points inside `query` (inclusive edges, like
+    /// [`BoundingBox::contains`]), sorted ascending.
+    ///
+    /// Exactly equivalent to filtering all points through
+    /// `query.contains(p)`.
+    #[must_use]
+    pub fn within_bbox(&self, query: &BoundingBox) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<usize> = self
+            .candidate_cells(query)
+            .filter(|&i| query.contains(&self.points[i]))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Indices of all points within `radius_km` of `center` under `metric`
+    /// (inclusive), sorted ascending.
+    ///
+    /// Exactly equivalent to filtering all points through
+    /// `metric.distance_km(center, p) <= radius_km`.
+    #[must_use]
+    pub fn within_radius_km(
+        &self,
+        center: &GeoPoint,
+        radius_km: f64,
+        metric: DistanceMetric,
+    ) -> Vec<usize> {
+        if self.points.is_empty() || radius_km < 0.0 {
+            return Vec::new();
+        }
+        let (dlat, dlon) = radius_degrees(center, radius_km);
+        // The great-circle distance wraps at the ±180° meridian, so a search
+        // band reaching past it must also cover the far side's longitudes.
+        // One or two non-wrapping boxes cover every case; the exact per-point
+        // filter below makes overlap harmless (dedup at the end).
+        let (min_lat, max_lat) = (center.lat - dlat, center.lat + dlat);
+        let mut searches = Vec::with_capacity(2);
+        if dlon >= 180.0 {
+            searches.push(BoundingBox::new(min_lat, max_lat, -180.0, 180.0));
+        } else {
+            let (lon_lo, lon_hi) = (center.lon - dlon, center.lon + dlon);
+            searches.push(BoundingBox::new(
+                min_lat,
+                max_lat,
+                lon_lo.max(-180.0),
+                lon_hi.min(180.0),
+            ));
+            if lon_lo < -180.0 {
+                searches.push(BoundingBox::new(min_lat, max_lat, lon_lo + 360.0, 180.0));
+            }
+            if lon_hi > 180.0 {
+                searches.push(BoundingBox::new(min_lat, max_lat, -180.0, lon_hi - 360.0));
+            }
+        }
+        let mut out = Vec::new();
+        for search in &searches {
+            for i in self.candidate_cells(search) {
+                if metric.distance_km(center, &self.points[i]) <= radius_km {
+                    out.push(i);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A candidate pool of at least `min_count` points "around" `center`
+    /// (all indexed points if fewer exist), produced by expanding square
+    /// rings of cells outward from the centre cell; sorted ascending.
+    ///
+    /// This is the engine's candidate-generation primitive: a superset pool
+    /// for scoring, **not** an exact k-nearest answer. Each expansion adds
+    /// one ring; after the pool reaches `min_count`, one extra ring is added
+    /// so near-boundary neighbours are not missed.
+    #[must_use]
+    pub fn candidates_around(&self, center: &GeoPoint, min_count: usize) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let clamped = self.bbox.clamp(center);
+        let (r0, c0) = self.cell_of(&clamped);
+        let max_ring = self.rows.max(self.cols);
+        let mut out: Vec<usize> = Vec::new();
+        let mut reached_at: Option<usize> = None;
+        for ring in 0..=max_ring {
+            for (r, c) in ring_cells(r0, c0, ring, self.rows, self.cols) {
+                for &i in &self.cells[r * self.cols + c] {
+                    out.push(i as usize);
+                }
+            }
+            if reached_at.is_none() && out.len() >= min_count {
+                reached_at = Some(ring);
+            }
+            // One safety ring beyond the one that satisfied the count.
+            if let Some(hit) = reached_at {
+                if ring > hit {
+                    break;
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Iterates point indices in cells overlapping `search` (an unfiltered
+    /// superset of any query against that region).
+    fn candidate_cells(&self, search: &BoundingBox) -> impl Iterator<Item = usize> + '_ {
+        let empty = search.max_lat < self.bbox.min_lat
+            || search.min_lat > self.bbox.max_lat
+            || search.max_lon < self.bbox.min_lon
+            || search.min_lon > self.bbox.max_lon;
+        let (lo, hi) = if empty {
+            ((1, 1), (0, 0)) // empty iteration
+        } else {
+            (
+                self.cell_of(
+                    &self
+                        .bbox
+                        .clamp(&GeoPoint::new_unchecked(search.min_lat, search.min_lon)),
+                ),
+                self.cell_of(
+                    &self
+                        .bbox
+                        .clamp(&GeoPoint::new_unchecked(search.max_lat, search.max_lon)),
+                ),
+            )
+        };
+        (lo.0..=hi.0)
+            .flat_map(move |r| (lo.1..=hi.1).map(move |c| r * self.cols + c))
+            .flat_map(|cell| self.cells[cell].iter().map(|&i| i as usize))
+    }
+}
+
+/// The latitude/longitude half-spans (degrees) of a band guaranteed to
+/// contain every point within `radius_km` of `center` under either supported
+/// metric (before accounting for longitude wrap-around, which the caller
+/// handles by splitting the band at ±180°).
+fn radius_degrees(center: &GeoPoint, radius_km: f64) -> (f64, f64) {
+    // Margin absorbs the difference between the metrics and floating-point
+    // slack; the exact per-point filter discards the excess.
+    let margin = 1.0 + 1e-9;
+    let dlat = radius_km * margin / KM_PER_DEG;
+    // Longitude degrees shrink with cos(lat); use the smallest cosine in the
+    // latitude band the radius can reach. Near the poles (or for radii
+    // spanning them) fall back to the whole longitude range.
+    let band_lo = (center.lat - dlat).max(-90.0).to_radians().cos();
+    let band_hi = (center.lat + dlat).min(90.0).to_radians().cos();
+    let min_cos = band_lo.min(band_hi);
+    let dlon = if min_cos <= 1e-6 {
+        360.0
+    } else {
+        (radius_km * margin / (KM_PER_DEG * min_cos)).min(360.0)
+    };
+    (dlat, dlon)
+}
+
+/// The cells of the square ring at Chebyshev distance `ring` around
+/// `(r0, c0)`, clipped to the lattice. Enumerates only the perimeter —
+/// top and bottom rows plus the side columns — so each ring costs
+/// O(ring) cell-visits, not O(ring²).
+fn ring_cells(r0: usize, c0: usize, ring: usize, rows: usize, cols: usize) -> Vec<(usize, usize)> {
+    let (r0, c0, ring) = (r0 as i64, c0 as i64, ring as i64);
+    let mut cells = Vec::new();
+    let push = |r: i64, c: i64, cells: &mut Vec<(usize, usize)>| {
+        if r >= 0 && (r as usize) < rows && c >= 0 && (c as usize) < cols {
+            cells.push((r as usize, c as usize));
+        }
+    };
+    if ring == 0 {
+        push(r0, c0, &mut cells);
+        return cells;
+    }
+    for dc in -ring..=ring {
+        push(r0 - ring, c0 + dc, &mut cells); // top edge
+        push(r0 + ring, c0 + dc, &mut cells); // bottom edge
+    }
+    for dr in (-ring + 1)..ring {
+        push(r0 + dr, c0 - ring, &mut cells); // left edge (corners excluded)
+        push(r0 + dr, c0 + ring, &mut cells); // right edge
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scatter(n: usize) -> Vec<GeoPoint> {
+        // A deterministic pseudo-random scatter over a Paris-sized box.
+        let mut points = Vec::with_capacity(n);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let lat = 48.80 + (x >> 32) as f64 / u32::MAX as f64 * 0.12;
+            let lon = 2.25 + (x & 0xffff_ffff) as f64 / u32::MAX as f64 * 0.20;
+            points.push(GeoPoint::new_unchecked(lat, lon));
+        }
+        points
+    }
+
+    fn brute_bbox(points: &[GeoPoint], bbox: &BoundingBox) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| bbox.contains(p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn brute_radius(
+        points: &[GeoPoint],
+        center: &GeoPoint,
+        radius_km: f64,
+        metric: DistanceMetric,
+    ) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| metric.distance_km(center, p) <= radius_km)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn bbox_query_matches_brute_force() {
+        let points = scatter(500);
+        let index = GridIndex::build(&points);
+        let query = BoundingBox::new(48.84, 48.88, 2.30, 2.38);
+        assert_eq!(index.within_bbox(&query), brute_bbox(&points, &query));
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force_under_both_metrics() {
+        let points = scatter(400);
+        let index = GridIndex::build(&points);
+        let center = GeoPoint::new_unchecked(48.86, 2.33);
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            for radius in [0.0, 0.5, 2.0, 50.0] {
+                assert_eq!(
+                    index.within_radius_km(&center, radius, metric),
+                    brute_radius(&points, &center, radius, metric),
+                    "radius {radius} metric {metric:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_query_is_empty() {
+        let points = scatter(100);
+        let index = GridIndex::build(&points);
+        let far = BoundingBox::new(10.0, 11.0, 10.0, 11.0);
+        assert!(index.within_bbox(&far).is_empty());
+        assert!(index
+            .within_radius_km(
+                &GeoPoint::new_unchecked(0.0, 0.0),
+                1.0,
+                DistanceMetric::Haversine
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn whole_world_query_returns_everything() {
+        let points = scatter(200);
+        let index = GridIndex::build(&points);
+        let world = BoundingBox::new(-90.0, 90.0, -180.0, 180.0);
+        assert_eq!(
+            index.within_bbox(&world),
+            (0..points.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_indexes_work() {
+        let empty = GridIndex::build(&[]);
+        assert!(empty.is_empty());
+        assert!(empty
+            .within_bbox(&BoundingBox::new(0.0, 1.0, 0.0, 1.0))
+            .is_empty());
+        assert!(empty
+            .candidates_around(&GeoPoint::new_unchecked(0.0, 0.0), 3)
+            .is_empty());
+
+        let single = GridIndex::build(&[GeoPoint::new_unchecked(48.86, 2.33)]);
+        assert_eq!(single.len(), 1);
+        let hit = single.within_radius_km(
+            &GeoPoint::new_unchecked(48.86, 2.33),
+            0.1,
+            DistanceMetric::Haversine,
+        );
+        assert_eq!(hit, vec![0]);
+    }
+
+    #[test]
+    fn candidates_around_reaches_the_requested_count() {
+        let points = scatter(300);
+        let index = GridIndex::build(&points);
+        let center = GeoPoint::new_unchecked(48.86, 2.33);
+        for min_count in [1, 10, 50, 299, 1000] {
+            let pool = index.candidates_around(&center, min_count);
+            assert!(
+                pool.len() >= min_count.min(points.len()),
+                "pool of {} for request {min_count}",
+                pool.len()
+            );
+            // No duplicates.
+            let mut dedup = pool.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), pool.len());
+        }
+    }
+
+    #[test]
+    fn candidates_around_center_outside_the_box_still_works() {
+        let points = scatter(64);
+        let index = GridIndex::build(&points);
+        let far = GeoPoint::new_unchecked(0.0, 0.0);
+        let pool = index.candidates_around(&far, points.len());
+        assert_eq!(pool.len(), points.len());
+    }
+
+    #[test]
+    fn radius_query_wraps_across_the_antimeridian() {
+        // Two points 0.2° of longitude apart but on opposite sides of ±180°:
+        // ~22 km by great circle, nearly a full circumference by naive
+        // longitude difference.
+        let points = vec![
+            GeoPoint::new_unchecked(0.0, 179.9),
+            GeoPoint::new_unchecked(0.0, -179.9),
+            GeoPoint::new_unchecked(0.0, 0.0),
+        ];
+        let index = GridIndex::build(&points);
+        let center = GeoPoint::new_unchecked(0.0, 179.95);
+        let hits = index.within_radius_km(&center, 20.0, DistanceMetric::Haversine);
+        assert_eq!(
+            hits,
+            brute_radius(&points, &center, 20.0, DistanceMetric::Haversine)
+        );
+        assert_eq!(hits, vec![0, 1], "both near-antimeridian points are hits");
+
+        // Mirror case: the centre sits just west of the antimeridian.
+        let center = GeoPoint::new_unchecked(0.0, -179.95);
+        let hits = index.within_radius_km(&center, 20.0, DistanceMetric::Haversine);
+        assert_eq!(
+            hits,
+            brute_radius(&points, &center, 20.0, DistanceMetric::Haversine)
+        );
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn coincident_points_all_land_in_one_cell() {
+        let p = GeoPoint::new_unchecked(48.86, 2.33);
+        let points = vec![p; 9];
+        let index = GridIndex::build(&points);
+        let hits = index.within_radius_km(&p, 0.001, DistanceMetric::Equirectangular);
+        assert_eq!(hits.len(), 9);
+    }
+}

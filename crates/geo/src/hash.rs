@@ -1,0 +1,88 @@
+//! A minimal FNV-1a streaming hasher.
+//!
+//! Catalog fingerprints and model-configuration cache keys all need the same
+//! thing: a cheap, deterministic, well-mixed 64-bit digest of a byte stream,
+//! stable across runs and platforms (unlike `std`'s `DefaultHasher`, which
+//! is randomly keyed per process). This lives in the geo crate only because
+//! it is the workspace's common root dependency.
+
+/// Streaming FNV-1a over bytes.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: Self::OFFSET,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// Feeds an `f64` by exact bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Feeds a length-prefixed string (prefixing prevents concatenation
+    /// collisions between adjacent fields).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// The digest so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") per the reference implementation.
+        assert_eq!(Fnv1a::new().write(b"a").finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn field_order_and_boundaries_matter() {
+        let ab_c = Fnv1a::new().write_str("ab").write_str("c").finish();
+        let a_bc = Fnv1a::new().write_str("a").write_str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn floats_hash_by_bits() {
+        let zero = Fnv1a::new().write_f64(0.0).finish();
+        let neg_zero = Fnv1a::new().write_f64(-0.0).finish();
+        assert_ne!(zero, neg_zero);
+    }
+}

@@ -12,12 +12,16 @@
 //!   used by the `GENERATE(RECTANGLE(x, y, w, h))` customization operator.
 //! * [`centroid`] — centroid math over weighted point sets, used by the fuzzy
 //!   clustering substrate.
+//! * [`grid`] — a uniform spatial grid index with exact rectangle/radius
+//!   queries, the candidate-generation substrate of the serving engine.
 //!
 //! All distances are returned in kilometres unless stated otherwise.
 
 pub mod bbox;
 pub mod centroid;
 pub mod distance;
+pub mod grid;
+pub mod hash;
 pub mod point;
 
 pub use bbox::{BoundingBox, Rectangle};
@@ -25,4 +29,6 @@ pub use centroid::{weighted_centroid, Centroid};
 pub use distance::{
     equirectangular_km, haversine_km, DistanceMetric, DistanceNormalizer, EARTH_RADIUS_KM,
 };
+pub use grid::GridIndex;
+pub use hash::Fnv1a;
 pub use point::GeoPoint;

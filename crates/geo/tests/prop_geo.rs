@@ -4,7 +4,7 @@
 
 use grouptravel_geo::{
     equirectangular_km, haversine_km, BoundingBox, DistanceMetric, DistanceNormalizer, GeoPoint,
-    Rectangle,
+    GridIndex, Rectangle,
 };
 use proptest::prelude::*;
 
@@ -88,5 +88,88 @@ proptest! {
     fn rectangle_center_is_contained(x in -5.0f64..10.0, y in 36.0f64..55.0, w in 0.0f64..2.0, h in 0.0f64..2.0) {
         let r = Rectangle::new(x, y, w, h);
         prop_assert!(r.contains(&r.center()));
+    }
+
+    // ── Grid-index ↔ brute-force equivalence ───────────────────────────────
+    //
+    // The serving engine's candidate generation rides on these guarantees:
+    // whatever rectangle or radius is asked of the grid, the answer must be
+    // exactly the set a linear scan produces.
+
+    #[test]
+    fn grid_bbox_query_equals_brute_force(
+        pts in prop::collection::vec(city_point(), 1..120),
+        a in city_point(),
+        b in city_point(),
+    ) {
+        let index = GridIndex::build(&pts);
+        let query = BoundingBox::new(a.lat, b.lat, a.lon, b.lon);
+        let brute: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(index.within_bbox(&query), brute);
+    }
+
+    #[test]
+    fn grid_rectangle_query_equals_brute_force(
+        pts in prop::collection::vec(region_point(), 1..80),
+        x in -5.0f64..10.0,
+        y in 36.0f64..55.0,
+        w in 0.0f64..4.0,
+        h in 0.0f64..4.0,
+    ) {
+        let index = GridIndex::build(&pts);
+        let query = Rectangle::new(x, y, w, h).to_bbox();
+        let brute: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(index.within_bbox(&query), brute);
+    }
+
+    #[test]
+    fn grid_radius_query_equals_brute_force(
+        pts in prop::collection::vec(city_point(), 1..120),
+        center in region_point(),
+        radius_km in 0.0f64..50.0,
+    ) {
+        let index = GridIndex::build(&pts);
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            let brute: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| metric.distance_km(&center, p) <= radius_km)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(
+                index.within_radius_km(&center, radius_km, metric),
+                brute,
+                "metric {:?} radius {}",
+                metric,
+                radius_km
+            );
+        }
+    }
+
+    #[test]
+    fn grid_candidate_pools_reach_the_requested_size(
+        pts in prop::collection::vec(city_point(), 1..100),
+        center in city_point(),
+        min_count in 1usize..120,
+    ) {
+        let index = GridIndex::build(&pts);
+        let pool = index.candidates_around(&center, min_count);
+        prop_assert!(pool.len() >= min_count.min(pts.len()));
+        // Sorted, unique, and in range — a well-formed index subset.
+        let mut dedup = pool.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), pool.len());
+        prop_assert!(pool.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(pool.iter().all(|&i| i < pts.len()));
     }
 }

@@ -36,9 +36,7 @@ impl PreferenceFunction {
         }
         match self {
             PreferenceFunction::Average => scores.iter().sum::<f64>() / scores.len() as f64,
-            PreferenceFunction::LeastMisery => {
-                scores.iter().copied().fold(f64::INFINITY, f64::min)
-            }
+            PreferenceFunction::LeastMisery => scores.iter().copied().fold(f64::INFINITY, f64::min),
         }
     }
 }

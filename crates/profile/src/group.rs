@@ -82,11 +82,8 @@ impl Group {
         ];
         if !self.members.is_empty() {
             for category in Category::ALL {
-                let member_vectors: Vec<&[f64]> = self
-                    .members
-                    .iter()
-                    .map(|m| m.vector(category))
-                    .collect();
+                let member_vectors: Vec<&[f64]> =
+                    self.members.iter().map(|m| m.vector(category)).collect();
                 vectors[category.index()] = method.aggregate_vectors(&member_vectors);
             }
         }
@@ -274,12 +271,22 @@ mod tests {
         let a = UserProfile::from_scores(
             1,
             schema(),
-            [vec![0.5, 1.0], vec![0.5, 1.0], vec![0.5, 1.0], vec![0.5, 1.0]],
+            [
+                vec![0.5, 1.0],
+                vec![0.5, 1.0],
+                vec![0.5, 1.0],
+                vec![0.5, 1.0],
+            ],
         );
         let b = UserProfile::from_scores(
             2,
             schema(),
-            [vec![0.5, 0.0], vec![0.5, 0.0], vec![0.5, 0.0], vec![0.5, 0.0]],
+            [
+                vec![0.5, 0.0],
+                vec![0.5, 0.0],
+                vec![0.5, 0.0],
+                vec![0.5, 0.0],
+            ],
         );
         let g = Group::new(1, vec![a, b]);
         let p = g.profile(ConsensusMethod::pairwise_disagreement());

@@ -42,11 +42,7 @@ impl UserProfile {
     /// category independently. Ratings shorter than the schema dimension are
     /// zero-padded; longer ones are truncated.
     #[must_use]
-    pub fn from_ratings(
-        user_id: u64,
-        schema: ProfileSchema,
-        ratings: [&[f64]; 4],
-    ) -> Self {
+    pub fn from_ratings(user_id: u64, schema: ProfileSchema, ratings: [&[f64]; 4]) -> Self {
         let mut profile = Self::empty(user_id, schema);
         for (idx, category) in Category::ALL.iter().enumerate() {
             profile.set_ratings(*category, ratings[idx]);
@@ -189,8 +185,16 @@ mod tests {
 
     #[test]
     fn similarity_of_disjoint_profiles_is_zero() {
-        let a = UserProfile::from_ratings(1, schema(), [&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]]);
-        let b = UserProfile::from_ratings(2, schema(), [&[0.0, 1.0], &[0.0, 1.0], &[0.0, 1.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let a = UserProfile::from_ratings(
+            1,
+            schema(),
+            [&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]],
+        );
+        let b = UserProfile::from_ratings(
+            2,
+            schema(),
+            [&[0.0, 1.0], &[0.0, 1.0], &[0.0, 1.0, 0.0], &[0.0, 1.0, 0.0]],
+        );
         assert!(a.similarity(&b).abs() < 1e-12);
     }
 }

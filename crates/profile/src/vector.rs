@@ -51,9 +51,7 @@ pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
 pub fn sub_clamped(a: &[f64], b: &[f64]) -> Vec<f64> {
     let len = a.len().max(b.len());
     (0..len)
-        .map(|i| {
-            (a.get(i).copied().unwrap_or(0.0) - b.get(i).copied().unwrap_or(0.0)).max(0.0)
-        })
+        .map(|i| (a.get(i).copied().unwrap_or(0.0) - b.get(i).copied().unwrap_or(0.0)).max(0.0))
         .collect()
 }
 

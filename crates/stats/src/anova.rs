@@ -60,8 +60,7 @@ pub fn one_way_anova(groups: &[Vec<f64>]) -> Option<AnovaResult> {
         return None;
     }
 
-    let grand_mean: f64 =
-        groups.iter().flatten().sum::<f64>() / n_total as f64;
+    let grand_mean: f64 = groups.iter().flatten().sum::<f64>() / n_total as f64;
 
     let mut ss_between = 0.0;
     let mut ss_within = 0.0;
@@ -214,7 +213,11 @@ mod tests {
 
     #[test]
     fn identical_groups_have_f_near_zero_and_p_near_one() {
-        let groups = vec![vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0], vec![1.0, 2.0, 3.0]];
+        let groups = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 2.0, 3.0],
+        ];
         let result = one_way_anova(&groups).unwrap();
         assert!(result.f_statistic.abs() < 1e-12);
         assert!(result.p_value > 0.99);
@@ -245,7 +248,11 @@ mod tests {
         let result = one_way_anova(&groups).unwrap();
         assert_eq!(result.df_between, 2);
         assert_eq!(result.df_within, 15);
-        assert!((result.f_statistic - 9.264).abs() < 0.05, "F = {}", result.f_statistic);
+        assert!(
+            (result.f_statistic - 9.264).abs() < 0.05,
+            "F = {}",
+            result.f_statistic
+        );
         assert!(result.p_value < 0.05);
         assert!(result.p_value > 0.0001);
     }

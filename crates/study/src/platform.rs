@@ -125,12 +125,12 @@ impl CrowdPlatform {
         let mut worker_id = 1u64;
 
         let recruit_from = |platform: Platform,
-                                count: usize,
-                                rng: &mut SmallRng,
-                                profile_gen: &mut SyntheticGroupGenerator,
-                                workers: &mut Vec<SimulatedWorker>,
-                                pruned: &mut usize,
-                                worker_id: &mut u64| {
+                            count: usize,
+                            rng: &mut SmallRng,
+                            profile_gen: &mut SyntheticGroupGenerator,
+                            workers: &mut Vec<SimulatedWorker>,
+                            pruned: &mut usize,
+                            worker_id: &mut u64| {
             for _ in 0..count {
                 let mut profile: UserProfile = profile_gen.random_user();
                 profile.user_id = *worker_id;

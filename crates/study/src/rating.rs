@@ -276,7 +276,12 @@ mod tests {
         let f = fixture();
         let empty = TravelPackage::default();
         assert_eq!(
-            RatingModel::affinity(&f.worker, &empty, f.session.catalog(), f.session.vectorizer()),
+            RatingModel::affinity(
+                &f.worker,
+                &empty,
+                f.session.catalog(),
+                f.session.vectorizer()
+            ),
             0.0
         );
     }
@@ -331,7 +336,10 @@ mod tests {
             .collect();
         let min = ratings.iter().copied().fold(f64::INFINITY, f64::min);
         let max = ratings.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 2.0, "careless ratings did not spread: {min}..{max}");
+        assert!(
+            max - min > 2.0,
+            "careless ratings did not spread: {min}..{max}"
+        );
     }
 
     #[test]

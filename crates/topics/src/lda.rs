@@ -38,6 +38,23 @@ impl Default for LdaConfig {
     }
 }
 
+impl LdaConfig {
+    /// A 64-bit key over every field that influences training (FNV-1a over
+    /// the exact bits). Two configurations with equal keys train identical
+    /// models on the same corpus; the serving engine combines this with a
+    /// catalog fingerprint to key its vectorizer cache.
+    #[must_use]
+    pub fn cache_key(&self) -> u64 {
+        let mut hash = grouptravel_geo::Fnv1a::new();
+        hash.write_u64(self.num_topics as u64);
+        hash.write_f64(self.alpha);
+        hash.write_f64(self.beta);
+        hash.write_u64(self.iterations as u64);
+        hash.write_u64(self.seed);
+        hash.finish()
+    }
+}
+
 /// A trained LDA model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LdaModel {
@@ -70,11 +87,7 @@ impl LdaModel {
         if v == 0 && documents.iter().any(|d| !d.is_empty()) {
             return None;
         }
-        if documents
-            .iter()
-            .flatten()
-            .any(|&w| w >= v)
-        {
+        if documents.iter().flatten().any(|&w| w >= v) {
             return None;
         }
 
@@ -116,8 +129,7 @@ impl LdaModel {
                     // Full conditional P(z = t | rest).
                     let mut total = 0.0;
                     for (t, weight) in weights.iter_mut().enumerate() {
-                        let w = (n_dk[doc_idx][t] as f64 + alpha)
-                            * (n_kw[t][word] as f64 + beta)
+                        let w = (n_dk[doc_idx][t] as f64 + alpha) * (n_kw[t][word] as f64 + beta)
                             / (n_k[t] as f64 + v_beta);
                         *weight = w;
                         total += w;
@@ -138,10 +150,7 @@ impl LdaModel {
             .zip(documents)
             .map(|(counts, doc)| {
                 let total = doc.len() as f64 + alpha * k as f64;
-                counts
-                    .iter()
-                    .map(|&c| (c as f64 + alpha) / total)
-                    .collect()
+                counts.iter().map(|&c| (c as f64 + alpha) / total).collect()
             })
             .collect();
 
@@ -150,10 +159,7 @@ impl LdaModel {
             .zip(&n_k)
             .map(|(counts, &total)| {
                 let denom = total as f64 + v_beta;
-                counts
-                    .iter()
-                    .map(|&c| (c as f64 + beta) / denom)
-                    .collect()
+                counts.iter().map(|&c| (c as f64 + beta) / denom).collect()
             })
             .collect();
 
@@ -278,7 +284,11 @@ mod tests {
         let park_words = ["park", "garden", "picnic", "lake"];
         let mut docs_str: Vec<Vec<&str>> = Vec::new();
         for i in 0..30 {
-            let source: &[&str] = if i % 2 == 0 { &museum_words } else { &park_words };
+            let source: &[&str] = if i % 2 == 0 {
+                &museum_words
+            } else {
+                &park_words
+            };
             let doc: Vec<&str> = (0..6).map(|j| source[(i + j) % source.len()]).collect();
             docs_str.push(doc);
         }
@@ -336,7 +346,11 @@ mod tests {
         let mut correct = 0;
         for (idx, theta) in model.all_document_topics().iter().enumerate() {
             let major = if theta[0] > theta[1] { 0 } else { 1 };
-            let expected = if idx % 2 == 0 { museum_major } else { park_major };
+            let expected = if idx % 2 == 0 {
+                museum_major
+            } else {
+                park_major
+            };
             if major == expected {
                 correct += 1;
             }

@@ -1,0 +1,143 @@
+//! The serving engine end-to-end: two cities, dozens of concurrent groups,
+//! cold vs. warm model caches.
+//!
+//! ```sh
+//! cargo run --release --example engine_serving
+//! ```
+//!
+//! The demo registers synthetic Paris and Barcelona catalogs, fans 48 group
+//! requests out over the engine's worker threads, then serves the same
+//! batch again with warm caches and prints the per-phase latency and cache
+//! statistics.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{Engine, EngineConfig, PackageRequest};
+use std::time::{Duration, Instant};
+
+const GROUPS: u64 = 48;
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn batch(engine: &Engine, salt: u64) -> Vec<PackageRequest> {
+    (0..GROUPS)
+        .map(|i| {
+            let city = if i % 2 == 0 { "Paris" } else { "Barcelona" };
+            let schema = engine.profile_schema(city).expect("city registered");
+            let mut groups = SyntheticGroupGenerator::new(schema, salt.wrapping_mul(1000) + i);
+            let size = match i % 3 {
+                0 => GroupSize::Small,
+                1 => GroupSize::Medium,
+                _ => GroupSize::Large,
+            };
+            let uniformity = if i % 2 == 0 {
+                Uniformity::Uniform
+            } else {
+                Uniformity::NonUniform
+            };
+            let profile = groups
+                .group(size, uniformity)
+                .profile(ConsensusMethod::pairwise_disagreement());
+            PackageRequest {
+                session_id: i,
+                city: city.to_string(),
+                profile,
+                query: GroupQuery::paper_default(),
+                config: BuildConfig::default(),
+            }
+        })
+        .collect()
+}
+
+fn report(
+    label: &str,
+    engine: &Engine,
+    wall: Duration,
+    responses: &[grouptravel_engine::PackageResponse],
+) {
+    let ok = responses.iter().filter(|r| r.outcome.is_ok()).count();
+    let hits = responses.iter().filter(|r| r.clustering_cache_hit).count();
+    let mut latencies: Vec<Duration> = responses.iter().map(|r| r.latency).collect();
+    latencies.sort();
+    println!("── {label}");
+    println!(
+        "   {ok}/{} packages built in {wall:?} wall-clock",
+        responses.len()
+    );
+    println!(
+        "   per-request latency p50 {:?} · p95 {:?} · max {:?}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 1.00),
+    );
+    println!(
+        "   clustering cache hits: {hits}/{} · throughput {:.1} packages/s",
+        responses.len(),
+        ok as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    let stats = engine.stats();
+    println!(
+        "   cumulative: {} requests, {} FCM trainings, {} LDA trainings",
+        stats.requests, stats.fcm_trainings, stats.lda_trainings
+    );
+}
+
+fn main() {
+    let engine = Engine::new(EngineConfig::default());
+    println!(
+        "spinning up the engine with {} worker threads…",
+        engine.config().worker_threads
+    );
+
+    let t = Instant::now();
+    for (spec, seed) in [(CitySpec::paris(), 41), (CitySpec::barcelona(), 43)] {
+        let catalog =
+            SyntheticCityGenerator::new(spec, SyntheticCityConfig::small(seed)).generate();
+        let city = catalog.city().to_string();
+        let pois = catalog.len();
+        let fingerprint = engine.register_catalog(catalog).expect("catalog registers");
+        println!("registered {city}: {pois} POIs, fingerprint {fingerprint:#018x}");
+    }
+    println!("registration (incl. LDA training) took {:?}\n", t.elapsed());
+
+    // Cold pass: every (city, config) pair trains its clustering once.
+    let requests = batch(&engine, 1);
+    let t = Instant::now();
+    let cold = engine.serve_batch(requests);
+    report(
+        "cold batch (empty model cache)",
+        &engine,
+        t.elapsed(),
+        &cold,
+    );
+
+    // Warm pass: same cities and configs, new groups — models are reused.
+    let requests = batch(&engine, 2);
+    let t = Instant::now();
+    let warm = engine.serve_batch(requests);
+    report(
+        "warm batch (cached clusterings)",
+        &engine,
+        t.elapsed(),
+        &warm,
+    );
+
+    // Every session kept its state.
+    println!(
+        "\nsession store holds {} group sessions",
+        engine.sessions().len()
+    );
+    if let Some(state) = engine.sessions().snapshot(0) {
+        println!(
+            "session 0: {} packages in {}, mean latency {:?}",
+            state.packages_served,
+            state.city,
+            state.mean_latency()
+        );
+    }
+}

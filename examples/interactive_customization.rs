@@ -18,8 +18,8 @@ fn main() {
     // refined in Paris are meaningful in Barcelona.
     let paris_catalog =
         SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::default()).generate();
-    let paris = GroupTravelSession::new(paris_catalog, SessionConfig::default())
-        .expect("paris session");
+    let paris =
+        GroupTravelSession::new(paris_catalog, SessionConfig::default()).expect("paris session");
     let barcelona_catalog =
         SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::default())
             .generate();
@@ -56,21 +56,30 @@ fn main() {
     let log = paris
         .apply(
             &mut package,
-            &CustomizationOp::Remove { ci_index: 0, poi: removed },
+            &CustomizationOp::Remove {
+                ci_index: 0,
+                poi: removed,
+            },
             &profile,
             &query,
             &weights,
         )
         .expect("remove");
     println!("Member 1 removed {removed}");
-    interactions.push(MemberInteractions::with_log(group.members()[0].user_id, log));
+    interactions.push(MemberInteractions::with_log(
+        group.members()[0].user_id,
+        log,
+    ));
 
     // Member 2 asks the system to replace a POI on day 2.
     let to_replace = package.get(1).expect("k >= 2").poi_ids()[0];
     let log = paris
         .apply(
             &mut package,
-            &CustomizationOp::Replace { ci_index: 1, poi: to_replace },
+            &CustomizationOp::Replace {
+                ci_index: 1,
+                poi: to_replace,
+            },
             &profile,
             &query,
             &weights,
@@ -78,9 +87,14 @@ fn main() {
         .expect("replace");
     println!(
         "Member 2 replaced {to_replace} with {}",
-        log.added.first().map_or("nothing".into(), ToString::to_string)
+        log.added
+            .first()
+            .map_or("nothing".into(), ToString::to_string)
     );
-    interactions.push(MemberInteractions::with_log(group.members()[1].user_id, log));
+    interactions.push(MemberInteractions::with_log(
+        group.members()[1].user_id,
+        log,
+    ));
 
     // Member 3 adds the closest attraction to day 3.
     if let Some(candidate) = paris
@@ -92,14 +106,20 @@ fn main() {
         let log = paris
             .apply(
                 &mut package,
-                &CustomizationOp::Add { ci_index: 2, poi: id },
+                &CustomizationOp::Add {
+                    ci_index: 2,
+                    poi: id,
+                },
                 &profile,
                 &query,
                 &weights,
             )
             .expect("add");
         println!("Member 3 added \"{name}\"");
-        interactions.push(MemberInteractions::with_log(group.members()[2].user_id, log));
+        interactions.push(MemberInteractions::with_log(
+            group.members()[2].user_id,
+            log,
+        ));
     }
 
     // Member 4 draws a rectangle around the city centre and generates a new
@@ -124,7 +144,10 @@ fn main() {
         "Member 4 generated a new composite item with {} POIs inside the rectangle",
         log.added.len()
     );
-    interactions.push(MemberInteractions::with_log(group.members()[3].user_id, log));
+    interactions.push(MemberInteractions::with_log(
+        group.members()[3].user_id,
+        log,
+    ));
 
     // Refine the group profile with both strategies.
     let batch_profile = refine_batch(&profile, &interactions, paris.catalog(), paris.vectorizer());

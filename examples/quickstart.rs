@@ -16,11 +16,8 @@ use grouptravel::{refine_batch, CustomizationOp, MemberInteractions, ObjectiveWe
 
 fn main() {
     // 1. A synthetic Paris catalog.
-    let catalog = SyntheticCityGenerator::new(
-        CitySpec::paris(),
-        SyntheticCityConfig::default(),
-    )
-    .generate();
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::default()).generate();
     println!(
         "Generated {} POIs in {} ({} attractions, {} restaurants)",
         catalog.len(),
@@ -56,7 +53,12 @@ fn main() {
         .expect("package build");
     println!("\nTravel package for query {query}:");
     for (day, ci) in package.composite_items().iter().enumerate() {
-        println!("  Day {} — {} POIs, cost {:.2}", day + 1, ci.len(), ci.total_cost(session.catalog()));
+        println!(
+            "  Day {} — {} POIs, cost {:.2}",
+            day + 1,
+            ci.len(),
+            ci.total_cost(session.catalog())
+        );
         for poi in ci.resolve(session.catalog()) {
             println!("      [{}] {}", poi.category, poi.name);
         }
@@ -75,18 +77,27 @@ fn main() {
     let log = session
         .apply(
             &mut customized,
-            &CustomizationOp::Remove { ci_index: 0, poi: victim },
+            &CustomizationOp::Remove {
+                ci_index: 0,
+                poi: victim,
+            },
             &profile,
             &query,
             &ObjectiveWeights::default(),
         )
         .expect("remove operation");
-    let interactions = vec![MemberInteractions::with_log(group.members()[0].user_id, log)];
-    let refined = refine_batch(&profile, &interactions, session.catalog(), session.vectorizer());
+    let interactions = vec![MemberInteractions::with_log(
+        group.members()[0].user_id,
+        log,
+    )];
+    let refined = refine_batch(
+        &profile,
+        &interactions,
+        session.catalog(),
+        session.vectorizer(),
+    );
     let changed = Category::ALL
         .iter()
         .any(|&c| refined.vector(c) != profile.vector(c));
-    println!(
-        "\nAfter removing {victim}, the batch-refined group profile changed: {changed}"
-    );
+    println!("\nAfter removing {victim}, the batch-refined group profile changed: {changed}");
 }

@@ -1,0 +1,14 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the repository-root `examples/` and `tests/` directories are
+//! cargo targets; the library itself only re-exports the crates the examples
+//! exercise. Start from [`grouptravel`] (the core pipeline) or
+//! [`grouptravel_engine`] (the concurrent serving layer).
+
+pub use grouptravel;
+pub use grouptravel_dataset;
+pub use grouptravel_engine;
+pub use grouptravel_experiments;
+pub use grouptravel_geo;
+pub use grouptravel_profile;
+pub use grouptravel_topics;

@@ -22,11 +22,7 @@ fn customization_study_produces_complete_tables_6_and_7() {
 
     // Every member interacted and the pooled feedback is non-trivial.
     for group_study in &study.groups {
-        let total_interactions: usize = group_study
-            .interactions
-            .iter()
-            .map(|i| i.log.len())
-            .sum();
+        let total_interactions: usize = group_study.interactions.iter().map(|i| i.log.len()).sum();
         assert!(
             total_interactions >= group_study.group.size(),
             "expected at least one interaction per member"

@@ -30,7 +30,11 @@ fn synthetic_experiment_reproduces_the_papers_main_orderings() {
     //    ("optimizing towards one single group member is not an effective
     //    personalization strategy").
     let lm = table.method_average("least misery");
-    for method in ["average preference", "pair-wise disagreement", "disagreement variance"] {
+    for method in [
+        "average preference",
+        "pair-wise disagreement",
+        "disagreement variance",
+    ] {
         let other = table.method_average(method);
         assert!(
             other.personalization >= lm.personalization,

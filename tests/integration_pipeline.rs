@@ -60,7 +60,10 @@ fn full_pipeline_from_dataset_to_refined_profile_in_another_city() {
     let log = paris
         .apply(
             &mut package,
-            &CustomizationOp::Remove { ci_index: 0, poi: victim },
+            &CustomizationOp::Remove {
+                ci_index: 0,
+                poi: victim,
+            },
             &profile,
             &query,
             &weights,
@@ -71,7 +74,10 @@ fn full_pipeline_from_dataset_to_refined_profile_in_another_city() {
     let log = paris
         .apply(
             &mut package,
-            &CustomizationOp::Replace { ci_index: 1, poi: replace_target },
+            &CustomizationOp::Replace {
+                ci_index: 1,
+                poi: replace_target,
+            },
             &profile,
             &query,
             &weights,

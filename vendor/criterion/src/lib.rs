@@ -1,0 +1,186 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the macro/API surface the workspace benches use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `bench_function`/`bench_with_input`, `sample_size`, and
+//! [`Bencher::iter`] — backed by a simple wall-clock timer. Statistical
+//! machinery (outlier analysis, HTML reports) is intentionally absent; each
+//! benchmark reports mean ns/iter over a short measured run.
+//!
+//! Unless cargo passes `--bench` (i.e. a real `cargo bench` run), every
+//! benchmark body runs exactly once, so benches act as smoke tests under
+//! `cargo test` without dominating the test cycle.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Just the parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo passes `--bench` when running `cargo bench`; under
+        // `cargo test` it does not, and may pass `--test`. Mirror real
+        // criterion: anything but an explicit bench run is a quick smoke run.
+        let args: Vec<String> = std::env::args().collect();
+        Self {
+            test_mode: !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), 10, self.test_mode, |b| f(b));
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.criterion.test_mode, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Display, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.criterion.test_mode, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark bodies; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `samples` times (once in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let runs = if self.test_mode { 1 } else { self.samples };
+        for _ in 0..runs {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iterations += 1;
+            drop(out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        test_mode,
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label:<50} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.total.as_nanos() / u128::from(bencher.iterations);
+    println!(
+        "{label:<50} {:>12} ns/iter ({} iters)",
+        per_iter, bencher.iterations
+    );
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box` (std's implementation).
+pub use std::hint::black_box;
