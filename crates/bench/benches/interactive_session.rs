@@ -1,0 +1,153 @@
+//! Interactive-session latency: one whole group interaction — a package
+//! build followed by 8 customization steps — cold (fresh clustering cache
+//! key) vs. warm (primed cache).
+//!
+//! Recorded alongside `engine_throughput`: throughput measures independent
+//! one-shot builds, this bench measures the multi-step session flow the
+//! paper's §3.3 interaction loop produces. Customization steps never
+//! cluster, so the cold/warm delta isolates exactly the one fuzzy-c-means
+//! training the first build of a cold key pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grouptravel::prelude::*;
+use grouptravel_engine::{CommandRequest, Engine, EngineConfig, SessionCommand};
+
+const CUSTOMIZATION_STEPS: usize = 8;
+
+fn paris_catalog() -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(97)).generate()
+}
+
+fn engine_with_paris() -> Engine {
+    let engine = Engine::new(EngineConfig::fast());
+    engine
+        .register_catalog(paris_catalog())
+        .expect("catalog registers");
+    engine
+}
+
+/// Runs one full session: build, 8 customization steps (generate/delete —
+/// expressible without reading build output), batch refinement, end.
+/// Returns the number of successful commands.
+fn run_session(engine: &Engine, session: u64, fcm_seed: u64) -> usize {
+    let schema = engine.profile_schema("Paris").expect("Paris registered");
+    let group =
+        SyntheticGroupGenerator::new(schema, session).group(GroupSize::Small, Uniformity::Uniform);
+    let bbox = engine
+        .registry()
+        .get("Paris")
+        .unwrap()
+        .catalog()
+        .bounding_box()
+        .unwrap();
+    let config = BuildConfig {
+        seed: fcm_seed,
+        ..BuildConfig::default()
+    };
+
+    let mut commands = vec![CommandRequest::new(
+        session,
+        SessionCommand::build_for_group(
+            "Paris",
+            group,
+            ConsensusMethod::pairwise_disagreement(),
+            GroupQuery::paper_default(),
+            config,
+        ),
+    )];
+    for step in 0..CUSTOMIZATION_STEPS {
+        let op = if step % 2 == 0 {
+            let f = (step / 2) as f64 * 0.15;
+            CustomizationOp::Generate {
+                rectangle: Rectangle::new(
+                    bbox.min_lon + bbox.lon_span() * f,
+                    bbox.max_lat - bbox.lat_span() * f,
+                    bbox.lon_span() * 0.5,
+                    bbox.lat_span() * 0.5,
+                ),
+            }
+        } else {
+            CustomizationOp::DeleteCi { ci_index: 0 }
+        };
+        commands.push(CommandRequest::from_member(
+            session,
+            step as u64,
+            SessionCommand::Customize(op),
+        ));
+    }
+    commands.push(CommandRequest::new(
+        session,
+        SessionCommand::Refine(RefinementStrategy::Batch),
+    ));
+    commands.push(CommandRequest::new(session, SessionCommand::End));
+
+    commands
+        .iter()
+        .map(|c| engine.serve_command(c))
+        .filter(|r| r.outcome.is_ok())
+        .count()
+}
+
+/// Cold: every iteration uses a fresh clustering seed, so the session's
+/// build pays one full fuzzy-c-means training.
+fn bench_cold(c: &mut Criterion) {
+    let engine = engine_with_paris();
+    let mut group = c.benchmark_group("interactive_session/cold");
+    group.sample_size(10);
+    let mut fcm_seed = 5_000_000u64;
+    let mut session = 0u64;
+    group.bench_function("build+8steps", |b| {
+        b.iter(|| {
+            fcm_seed += 1;
+            session += 1;
+            let trainings_before = engine.stats().fcm_trainings;
+            let ok = run_session(&engine, session, fcm_seed);
+            assert_eq!(ok, CUSTOMIZATION_STEPS + 3, "every command must succeed");
+            assert!(
+                engine.stats().fcm_trainings > trainings_before,
+                "a cold session must run one clustering"
+            );
+            ok
+        });
+    });
+    group.finish();
+}
+
+/// Warm: the clustering cache is primed for the seed every session reuses;
+/// no step of the measured session trains anything.
+fn bench_warm(c: &mut Criterion) {
+    let engine = engine_with_paris();
+    run_session(&engine, 1, 42); // prime the (catalog, config) cache key
+    let trainings_primed = engine.stats().fcm_trainings;
+
+    let mut group = c.benchmark_group("interactive_session/warm");
+    group.sample_size(10);
+    let mut session = 1_000u64;
+    group.bench_function("build+8steps", |b| {
+        b.iter(|| {
+            session += 1;
+            let ok = run_session(&engine, session, 42);
+            assert_eq!(ok, CUSTOMIZATION_STEPS + 3, "every command must succeed");
+            ok
+        });
+    });
+    group.finish();
+
+    assert_eq!(
+        engine.stats().fcm_trainings,
+        trainings_primed,
+        "warm sessions must never retrain"
+    );
+    let stats = engine.stats();
+    println!(
+        "warm engine after benching: {} commands ({} builds, {} customizations, {} refinements), {} FCM trainings",
+        stats.commands.total(),
+        stats.commands.builds,
+        stats.commands.customizations,
+        stats.commands.refinements,
+        stats.fcm_trainings
+    );
+}
+
+criterion_group!(benches, bench_cold, bench_warm);
+criterion_main!(benches);

@@ -128,6 +128,29 @@ impl MemberInteractions {
     }
 }
 
+/// Attributes `log` to `user_id` in a running per-member ledger: merged
+/// into the member's existing record when present, appended (in
+/// first-interaction order) otherwise. Empty logs are dropped.
+///
+/// The serving engine's interactive sessions and the one-shot replay in the
+/// differential tests both accumulate through this function, so the pooled
+/// feedback — and therefore every refinement derived from it — is
+/// bit-identical between the two paths (floating-point means depend on
+/// accumulation order).
+pub fn record_member_log(
+    members: &mut Vec<MemberInteractions>,
+    user_id: u64,
+    log: &InteractionLog,
+) {
+    if log.is_empty() {
+        return;
+    }
+    match members.iter_mut().find(|m| m.user_id == user_id) {
+        Some(member) => member.log.merge(log),
+        None => members.push(MemberInteractions::with_log(user_id, log.clone())),
+    }
+}
+
 /// Pools the interactions of all members into a single log (the *batch*
 /// refinement strategy works on this pooled view).
 #[must_use]

@@ -65,7 +65,7 @@ pub mod session;
 
 pub use builder::{BruteForceCandidates, BuildConfig, CandidateProvider, PackageBuilder};
 pub use composite::CompositeItem;
-pub use customize::{CustomizationOp, InteractionLog, MemberInteractions};
+pub use customize::{record_member_log, CustomizationOp, InteractionLog, MemberInteractions};
 pub use error::GroupTravelError;
 pub use items::ItemVectorizer;
 pub use metrics::{cohesiveness, personalization, representativity, OptimizationDimensions};
@@ -73,7 +73,7 @@ pub use objective::ObjectiveWeights;
 pub use package::TravelPackage;
 pub use query::GroupQuery;
 pub use refine::{refine_batch, refine_individual, RefinementStrategy};
-pub use session::{GroupTravelSession, SessionConfig};
+pub use session::{apply_op, suggest_replacement_in, GroupTravelSession, SessionConfig};
 
 /// Convenience re-exports for downstream code and the examples.
 pub mod prelude {

@@ -43,6 +43,140 @@ impl Default for SessionConfig {
     }
 }
 
+/// The system's recommendation for `REPLACE(poi, CI)` against a bare
+/// catalog: the geographically closest POI of the same category that is not
+/// already in the composite item.
+///
+/// This is the replay entry point shared by
+/// [`GroupTravelSession::suggest_replacement`] and the serving engine's
+/// interactive path — both routes call this exact function, so a suggestion
+/// computed through either is provably the same POI.
+#[must_use]
+pub fn suggest_replacement_in<'c>(
+    catalog: &'c PoiCatalog,
+    metric: DistanceMetric,
+    package: &TravelPackage,
+    ci_index: usize,
+    poi: PoiId,
+) -> Option<&'c Poi> {
+    let ci = package.get(ci_index)?;
+    let current = catalog.get(poi)?;
+    let mut exclude: Vec<PoiId> = ci.poi_ids().to_vec();
+    if !exclude.contains(&poi) {
+        exclude.push(poi);
+    }
+    catalog.nearest_in_category(&current.location, current.category, metric, &exclude)
+}
+
+/// Applies one customization operation to `package` against a bare
+/// `(catalog, vectorizer, metric)` triple, returning the log of POIs that
+/// entered and left the package.
+///
+/// This is the replay entry point shared by [`GroupTravelSession::apply`]
+/// and the serving engine's interactive sessions: both routes execute this
+/// exact function, which is what makes the engine path provably
+/// bit-identical to a one-shot replay of the same operations.
+///
+/// # Errors
+/// [`GroupTravelError::InvalidOperation`] when the operation does not apply
+/// to the package (bad composite-item index, POI not present, no
+/// replacement available, or an empty `GENERATE` rectangle). On error the
+/// package is untouched.
+#[allow(clippy::too_many_arguments)]
+pub fn apply_op(
+    catalog: &PoiCatalog,
+    vectorizer: &ItemVectorizer,
+    metric: DistanceMetric,
+    package: &mut TravelPackage,
+    op: &CustomizationOp,
+    profile: &GroupProfile,
+    query: &GroupQuery,
+    weights: &ObjectiveWeights,
+) -> Result<InteractionLog, GroupTravelError> {
+    let mut log = InteractionLog::new();
+    match op {
+        CustomizationOp::Remove { ci_index, poi } => {
+            let ci = package.get_mut(*ci_index).ok_or_else(|| {
+                GroupTravelError::InvalidOperation(format!(
+                    "composite item {ci_index} does not exist"
+                ))
+            })?;
+            if !ci.remove(*poi) {
+                return Err(GroupTravelError::InvalidOperation(format!(
+                    "{poi} is not part of composite item {ci_index}"
+                )));
+            }
+            log.record_remove(*poi);
+        }
+        CustomizationOp::Add { ci_index, poi } => {
+            if catalog.get(*poi).is_none() {
+                return Err(GroupTravelError::InvalidOperation(format!(
+                    "{poi} does not exist in the catalog"
+                )));
+            }
+            let ci = package.get_mut(*ci_index).ok_or_else(|| {
+                GroupTravelError::InvalidOperation(format!(
+                    "composite item {ci_index} does not exist"
+                ))
+            })?;
+            if ci.add(*poi) {
+                log.record_add(*poi);
+            }
+        }
+        CustomizationOp::Replace { ci_index, poi } => {
+            let replacement = suggest_replacement_in(catalog, metric, package, *ci_index, *poi)
+                .map(|p| p.id)
+                .ok_or_else(|| {
+                    GroupTravelError::InvalidOperation(format!(
+                        "no replacement available for {poi} in composite item {ci_index}"
+                    ))
+                })?;
+            let ci = package.get_mut(*ci_index).ok_or_else(|| {
+                GroupTravelError::InvalidOperation(format!(
+                    "composite item {ci_index} does not exist"
+                ))
+            })?;
+            if !ci.replace(*poi, replacement) {
+                return Err(GroupTravelError::InvalidOperation(format!(
+                    "{poi} is not part of composite item {ci_index}"
+                )));
+            }
+            log.record_remove(*poi);
+            log.record_add(replacement);
+        }
+        CustomizationOp::Generate { rectangle } => {
+            let normalizer = catalog.distance_normalizer(metric);
+            let ci = PackageBuilder::new(catalog, vectorizer).assemble_ci(
+                rectangle.center(),
+                profile,
+                query,
+                &weights.sanitized(),
+                &normalizer,
+            );
+            if ci.is_empty() {
+                return Err(GroupTravelError::InvalidOperation(
+                    "the rectangle produced an empty composite item".to_string(),
+                ));
+            }
+            for &id in ci.poi_ids() {
+                log.record_add(id);
+            }
+            package.push(ci);
+        }
+        CustomizationOp::DeleteCi { ci_index } => {
+            let removed: CompositeItem = package.remove(*ci_index).ok_or_else(|| {
+                GroupTravelError::InvalidOperation(format!(
+                    "composite item {ci_index} does not exist"
+                ))
+            })?;
+            for &id in removed.poi_ids() {
+                log.record_remove(id);
+            }
+        }
+    }
+    Ok(log)
+}
+
 /// A session over one city.
 #[derive(Debug, Clone)]
 pub struct GroupTravelSession {
@@ -183,14 +317,7 @@ impl GroupTravelSession {
         ci_index: usize,
         poi: PoiId,
     ) -> Option<&Poi> {
-        let ci = package.get(ci_index)?;
-        let current = self.catalog.get(poi)?;
-        let mut exclude: Vec<PoiId> = ci.poi_ids().to_vec();
-        if !exclude.contains(&poi) {
-            exclude.push(poi);
-        }
-        self.catalog
-            .nearest_in_category(&current.location, current.category, self.metric, &exclude)
+        suggest_replacement_in(&self.catalog, self.metric, package, ci_index, poi)
     }
 
     /// Candidate POIs for `ADD`: the `k` closest POIs of `category` to the
@@ -241,89 +368,16 @@ impl GroupTravelSession {
         query: &GroupQuery,
         weights: &ObjectiveWeights,
     ) -> Result<InteractionLog, GroupTravelError> {
-        let mut log = InteractionLog::new();
-        match op {
-            CustomizationOp::Remove { ci_index, poi } => {
-                let ci = package.get_mut(*ci_index).ok_or_else(|| {
-                    GroupTravelError::InvalidOperation(format!(
-                        "composite item {ci_index} does not exist"
-                    ))
-                })?;
-                if !ci.remove(*poi) {
-                    return Err(GroupTravelError::InvalidOperation(format!(
-                        "{poi} is not part of composite item {ci_index}"
-                    )));
-                }
-                log.record_remove(*poi);
-            }
-            CustomizationOp::Add { ci_index, poi } => {
-                if self.catalog.get(*poi).is_none() {
-                    return Err(GroupTravelError::InvalidOperation(format!(
-                        "{poi} does not exist in the catalog"
-                    )));
-                }
-                let ci = package.get_mut(*ci_index).ok_or_else(|| {
-                    GroupTravelError::InvalidOperation(format!(
-                        "composite item {ci_index} does not exist"
-                    ))
-                })?;
-                if ci.add(*poi) {
-                    log.record_add(*poi);
-                }
-            }
-            CustomizationOp::Replace { ci_index, poi } => {
-                let replacement = self
-                    .suggest_replacement(package, *ci_index, *poi)
-                    .map(|p| p.id)
-                    .ok_or_else(|| {
-                        GroupTravelError::InvalidOperation(format!(
-                            "no replacement available for {poi} in composite item {ci_index}"
-                        ))
-                    })?;
-                let ci = package.get_mut(*ci_index).ok_or_else(|| {
-                    GroupTravelError::InvalidOperation(format!(
-                        "composite item {ci_index} does not exist"
-                    ))
-                })?;
-                if !ci.replace(*poi, replacement) {
-                    return Err(GroupTravelError::InvalidOperation(format!(
-                        "{poi} is not part of composite item {ci_index}"
-                    )));
-                }
-                log.record_remove(*poi);
-                log.record_add(replacement);
-            }
-            CustomizationOp::Generate { rectangle } => {
-                let normalizer = self.catalog.distance_normalizer(self.metric);
-                let ci = self.builder().assemble_ci(
-                    rectangle.center(),
-                    profile,
-                    query,
-                    &weights.sanitized(),
-                    &normalizer,
-                );
-                if ci.is_empty() {
-                    return Err(GroupTravelError::InvalidOperation(
-                        "the rectangle produced an empty composite item".to_string(),
-                    ));
-                }
-                for &id in ci.poi_ids() {
-                    log.record_add(id);
-                }
-                package.push(ci);
-            }
-            CustomizationOp::DeleteCi { ci_index } => {
-                let removed: CompositeItem = package.remove(*ci_index).ok_or_else(|| {
-                    GroupTravelError::InvalidOperation(format!(
-                        "composite item {ci_index} does not exist"
-                    ))
-                })?;
-                for &id in removed.poi_ids() {
-                    log.record_remove(id);
-                }
-            }
-        }
-        Ok(log)
+        apply_op(
+            &self.catalog,
+            &self.vectorizer,
+            self.metric,
+            package,
+            op,
+            profile,
+            query,
+            weights,
+        )
     }
 }
 

@@ -1,0 +1,248 @@
+//! Interactive sessions through the engine (§3.3 served concurrently).
+//!
+//! The paper's central claim is *interactive* generation and customization:
+//! a group builds a package, members add/remove/replace POIs, the system
+//! suggests replacements, and the accumulated feedback refines the group
+//! profile for the next build. PR 1 served only the first step (one-shot
+//! builds) through the concurrent engine; this module routes the whole
+//! multi-step interaction through it.
+//!
+//! A [`SessionCommand`] is one step of a group's interaction. Commands are
+//! served by [`crate::Engine::serve_command`] (single step) and
+//! [`crate::Engine::serve_commands_batch`] (many groups at once — commands
+//! of one session run in submission order, distinct sessions fan out over
+//! worker threads). The session's authoritative state — current package,
+//! refined profile, pooled interactions, step counter — lives in the
+//! engine's [`crate::SessionStore`]; the client only ships deltas.
+//!
+//! Every mutation goes through the same `grouptravel` core entry points the
+//! one-shot [`grouptravel::GroupTravelSession`] uses ([`grouptravel::apply_op`],
+//! [`grouptravel::refine_batch`], [`grouptravel::refine_individual`]), which
+//! is what makes the engine path provably bit-identical to a one-shot
+//! replay (property-tested in `tests/interactive_differential.rs`).
+
+use crate::store::{SessionId, SessionState};
+use crate::EngineError;
+use grouptravel::{BuildConfig, CustomizationOp, GroupQuery, RefinementStrategy, TravelPackage};
+use grouptravel_dataset::{Poi, PoiId};
+use grouptravel_profile::{ConsensusMethod, Group, GroupProfile};
+use std::time::Duration;
+
+/// Everything a `Build` step ships: where to build and for whom.
+#[derive(Debug, Clone)]
+pub struct BuildSpec {
+    /// City to build in (must be registered with the engine). Later builds
+    /// may name a different city: the session moves, keeping its profile —
+    /// the cross-city transfer scenario of §4.4.4.
+    pub city: String,
+    /// The group's consensus profile; `None` reuses the session's.
+    pub profile: Option<GroupProfile>,
+    /// Member profiles, enabling [`RefinementStrategy::Individual`].
+    pub group: Option<Group>,
+    /// Consensus method used to re-aggregate after individual refinement
+    /// (and to derive `profile` when it is `None`).
+    pub consensus: Option<ConsensusMethod>,
+    /// The group query ⟨#acco, #trans, #rest, #attr, budget⟩.
+    pub query: GroupQuery,
+    /// Build configuration (`metric` is overridden by the engine's).
+    pub config: BuildConfig,
+}
+
+/// One step of a group's interactive session.
+#[derive(Debug, Clone)]
+pub enum SessionCommand {
+    /// Build (or rebuild) the session's package. The first build must carry
+    /// a profile — either explicitly or derivable from `group` +
+    /// `consensus`; later builds may pass `profile: None` to reuse the
+    /// session's current (possibly refined) profile, which is how a
+    /// refinement becomes visible in the next package. (Boxed: the spec
+    /// dwarfs every other command.)
+    Build(Box<BuildSpec>),
+    /// Apply one customization operator to the session's current package.
+    Customize(CustomizationOp),
+    /// Refine the session's profile from the interactions accumulated since
+    /// the last refinement (which are consumed).
+    Refine(RefinementStrategy),
+    /// Ask the system for the `REPLACE` recommendation without applying it.
+    SuggestReplacement {
+        /// Index of the composite item in the package.
+        ci_index: usize,
+        /// The POI a replacement is wanted for.
+        poi: PoiId,
+    },
+    /// End the session, returning its final state and freeing its slot.
+    End,
+}
+
+impl SessionCommand {
+    /// A minimal `Build` carrying an explicit profile.
+    #[must_use]
+    pub fn build(
+        city: impl Into<String>,
+        profile: GroupProfile,
+        query: GroupQuery,
+        config: BuildConfig,
+    ) -> Self {
+        SessionCommand::Build(Box::new(BuildSpec {
+            city: city.into(),
+            profile: Some(profile),
+            group: None,
+            consensus: None,
+            query,
+            config,
+        }))
+    }
+
+    /// A `Build` carrying the member profiles and consensus method, so the
+    /// session supports [`RefinementStrategy::Individual`]. The consensus
+    /// profile is derived from the group.
+    #[must_use]
+    pub fn build_for_group(
+        city: impl Into<String>,
+        group: Group,
+        consensus: ConsensusMethod,
+        query: GroupQuery,
+        config: BuildConfig,
+    ) -> Self {
+        SessionCommand::Build(Box::new(BuildSpec {
+            city: city.into(),
+            profile: None,
+            group: Some(group),
+            consensus: Some(consensus),
+            query,
+            config,
+        }))
+    }
+
+    /// A `Build` reusing the session's current (possibly refined) profile.
+    #[must_use]
+    pub fn rebuild(city: impl Into<String>, query: GroupQuery, config: BuildConfig) -> Self {
+        SessionCommand::Build(Box::new(BuildSpec {
+            city: city.into(),
+            profile: None,
+            group: None,
+            consensus: None,
+            query,
+            config,
+        }))
+    }
+
+    /// Display name of the command kind (used in stats and errors).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionCommand::Build(_) => "build",
+            SessionCommand::Customize(_) => "customize",
+            SessionCommand::Refine(_) => "refine",
+            SessionCommand::SuggestReplacement { .. } => "suggest-replacement",
+            SessionCommand::End => "end",
+        }
+    }
+}
+
+/// One addressed command: which session it belongs to, which member issued
+/// it, and the step itself.
+#[derive(Debug, Clone)]
+pub struct CommandRequest {
+    /// The group session the command belongs to.
+    pub session_id: SessionId,
+    /// The group member who issued the command (attributes `Customize`
+    /// interaction logs for the *individual* refinement strategy). `None`
+    /// attributes to the anonymous member id 0.
+    pub member: Option<u64>,
+    /// The step to execute.
+    pub command: SessionCommand,
+}
+
+impl CommandRequest {
+    /// A command issued by the group as a whole (no member attribution).
+    #[must_use]
+    pub fn new(session_id: SessionId, command: SessionCommand) -> Self {
+        Self {
+            session_id,
+            member: None,
+            command,
+        }
+    }
+
+    /// A command issued by one member.
+    #[must_use]
+    pub fn from_member(session_id: SessionId, member: u64, command: SessionCommand) -> Self {
+        Self {
+            session_id,
+            member: Some(member),
+            command,
+        }
+    }
+}
+
+/// What a successfully executed command produced.
+#[derive(Debug, Clone)]
+pub enum CommandOutcome {
+    /// `Build`/`Customize`: the session's current package after the step.
+    Package(TravelPackage),
+    /// `Refine`: the profile the session will build with from now on.
+    Refined(GroupProfile),
+    /// `SuggestReplacement`: the system's recommendation, if any exists.
+    Suggestion(Option<Poi>),
+    /// `End`: the session's final state.
+    Ended(Box<SessionState>),
+}
+
+impl CommandOutcome {
+    /// The package, when the outcome carries one.
+    #[must_use]
+    pub fn package(&self) -> Option<&TravelPackage> {
+        match self {
+            CommandOutcome::Package(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The refined profile, when the outcome carries one.
+    #[must_use]
+    pub fn refined_profile(&self) -> Option<&GroupProfile> {
+        match self {
+            CommandOutcome::Refined(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The engine's answer to one [`CommandRequest`].
+#[derive(Debug, Clone)]
+pub struct CommandResponse {
+    /// The session the response belongs to.
+    pub session_id: SessionId,
+    /// The city the session was served in (empty when the session — and
+    /// hence its city — is unknown).
+    pub city: String,
+    /// The session's step counter after this command (0 when the command
+    /// never reached a session).
+    pub step: u64,
+    /// What the command produced, or why it failed.
+    pub outcome: Result<CommandOutcome, EngineError>,
+    /// Wall-clock time spent serving this command (including any wait for
+    /// the session's turn).
+    pub latency: Duration,
+    /// Whether a build served by this command hit the clustering cache
+    /// (always `false` for non-build commands).
+    pub clustering_cache_hit: bool,
+}
+
+impl CommandResponse {
+    /// The current package, when this command produced one.
+    #[must_use]
+    pub fn package(&self) -> Option<&TravelPackage> {
+        self.outcome.as_ref().ok().and_then(CommandOutcome::package)
+    }
+
+    /// The refined profile, when this command produced one.
+    #[must_use]
+    pub fn refined_profile(&self) -> Option<&GroupProfile> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .and_then(CommandOutcome::refined_profile)
+    }
+}

@@ -48,20 +48,26 @@
 //! ```
 
 pub mod cache;
+pub mod interactive;
 pub mod provider;
 pub mod registry;
 pub mod store;
 
 pub use cache::{ClusteringCache, LruCache, ModelKey};
+pub use interactive::{BuildSpec, CommandOutcome, CommandRequest, CommandResponse, SessionCommand};
 pub use provider::GridCandidates;
 pub use registry::{CategoryGrid, CityEntry, EngineCatalogRegistry};
 pub use store::{SessionId, SessionState, SessionStore};
 
-use grouptravel::{BuildConfig, GroupQuery, GroupTravelError, PackageBuilder, TravelPackage};
+use grouptravel::{
+    apply_op, refine_batch, refine_individual, suggest_replacement_in, BuildConfig, GroupQuery,
+    GroupTravelError, PackageBuilder, RefinementStrategy, TravelPackage,
+};
 use grouptravel_dataset::PoiCatalog;
 use grouptravel_geo::DistanceMetric;
 use grouptravel_profile::{GroupProfile, ProfileSchema};
 use grouptravel_topics::LdaConfig;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -71,6 +77,15 @@ use std::time::{Duration, Instant};
 pub enum EngineError {
     /// The request named a city no catalog is registered for.
     UnknownCity(String),
+    /// The command addressed a session the store does not know — never
+    /// built, already ended, or evicted for staleness. The client must
+    /// start over with a `Build` carrying a profile; the engine never
+    /// silently rebuilds lost state.
+    UnknownSession(SessionId),
+    /// The command cannot be executed in the session's current state (e.g.
+    /// `Customize` before any successful build, or
+    /// `Refine(Individual)` without member profiles).
+    InvalidCommand(String),
     /// The underlying package build failed.
     Build(GroupTravelError),
 }
@@ -81,6 +96,13 @@ impl fmt::Display for EngineError {
             EngineError::UnknownCity(city) => {
                 write!(f, "no catalog registered for city `{city}`")
             }
+            EngineError::UnknownSession(id) => {
+                write!(
+                    f,
+                    "session {id} is unknown (never built, ended, or evicted)"
+                )
+            }
+            EngineError::InvalidCommand(why) => write!(f, "invalid command: {why}"),
             EngineError::Build(e) => write!(f, "package build failed: {e}"),
         }
     }
@@ -198,17 +220,45 @@ impl PackageResponse {
     }
 }
 
+/// Interactive-command counters, one per [`SessionCommand`] kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandStats {
+    /// `Build` commands served through interactive sessions.
+    pub builds: u64,
+    /// `Customize` commands served.
+    pub customizations: u64,
+    /// `Refine` commands served.
+    pub refinements: u64,
+    /// `SuggestReplacement` commands served.
+    pub suggestions: u64,
+    /// `End` commands served.
+    pub ended: u64,
+    /// Commands (of any kind) that returned an error.
+    pub failures: u64,
+}
+
+impl CommandStats {
+    /// Total interactive commands served (successes and failures).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.builds + self.customizations + self.refinements + self.suggestions + self.ended
+    }
+}
+
 /// Aggregate serving counters (monotonic since engine construction).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
-    /// Requests served (successes and failures).
+    /// One-shot requests served (successes and failures).
     pub requests: u64,
-    /// Requests whose clustering came from the cache.
+    /// Builds (one-shot or interactive) whose clustering came from the
+    /// cache.
     pub clustering_cache_hits: u64,
     /// Fuzzy-c-means trainings actually run.
     pub fcm_trainings: u64,
     /// LDA vectorizer trainings actually run.
     pub lda_trainings: u64,
+    /// Per-kind interactive-command counters.
+    pub commands: CommandStats,
 }
 
 #[derive(Default)]
@@ -217,6 +267,12 @@ struct StatCounters {
     clustering_cache_hits: AtomicU64,
     fcm_trainings: AtomicU64,
     lda_trainings: AtomicU64,
+    cmd_builds: AtomicU64,
+    cmd_customizations: AtomicU64,
+    cmd_refinements: AtomicU64,
+    cmd_suggestions: AtomicU64,
+    cmd_ended: AtomicU64,
+    cmd_failures: AtomicU64,
 }
 
 /// The multi-city, multi-session package-serving engine.
@@ -293,6 +349,14 @@ impl Engine {
             clustering_cache_hits: self.stats.clustering_cache_hits.load(Ordering::Relaxed),
             fcm_trainings: self.stats.fcm_trainings.load(Ordering::Relaxed),
             lda_trainings: self.stats.lda_trainings.load(Ordering::Relaxed),
+            commands: CommandStats {
+                builds: self.stats.cmd_builds.load(Ordering::Relaxed),
+                customizations: self.stats.cmd_customizations.load(Ordering::Relaxed),
+                refinements: self.stats.cmd_refinements.load(Ordering::Relaxed),
+                suggestions: self.stats.cmd_suggestions.load(Ordering::Relaxed),
+                ended: self.stats.cmd_ended.load(Ordering::Relaxed),
+                failures: self.stats.cmd_failures.load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -358,15 +422,27 @@ impl Engine {
     }
 
     /// The build path shared by [`Engine::serve`] and the batch fan-out:
-    /// resolve the city, fetch or fit the clustering, assemble through the
-    /// grid provider.
+    /// resolve the city, then [`Engine::build_in`].
     fn build(&self, request: &PackageRequest) -> (Result<TravelPackage, EngineError>, bool) {
         let Some(entry) = self.registry.get(&request.city) else {
             return (Err(EngineError::UnknownCity(request.city.clone())), false);
         };
+        self.build_in(&entry, &request.profile, &request.query, &request.config)
+    }
+
+    /// The build path shared by every route into the engine (one-shot
+    /// requests and interactive `Build` commands): fetch or fit the
+    /// clustering, assemble through the grid provider.
+    fn build_in(
+        &self,
+        entry: &CityEntry,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        config: &BuildConfig,
+    ) -> (Result<TravelPackage, EngineError>, bool) {
         let config = BuildConfig {
             metric: self.config.metric,
-            ..request.config
+            ..*config
         };
         let builder = PackageBuilder::new(entry.catalog(), entry.vectorizer());
 
@@ -375,7 +451,7 @@ impl Engine {
         // one full FCM training each and churn warm entries out of the LRU.
         // This also keeps error variants identical to the core path (e.g.
         // ZeroCompositeItems for k = 0, not a clustering error).
-        if let Err(e) = builder.validate(&request.query, &config) {
+        if let Err(e) = builder.validate(query, &config) {
             return (Err(e.into()), false);
         }
 
@@ -396,7 +472,7 @@ impl Engine {
         };
 
         let provider = GridCandidates::new(
-            &entry,
+            entry,
             self.config.min_candidate_pool,
             self.config.candidate_oversample,
         );
@@ -404,12 +480,436 @@ impl Engine {
             .build_with(
                 &provider,
                 Some(clustering.as_slice()),
-                &request.profile,
-                &request.query,
+                profile,
+                query,
                 &config,
             )
             .map_err(EngineError::from);
         (outcome, cache_hit)
+    }
+
+    /// Serves one interactive-session command on the calling thread. Steps
+    /// of the same session serialize on the session's own lock; distinct
+    /// sessions proceed in parallel.
+    pub fn serve_command(&self, request: &CommandRequest) -> CommandResponse {
+        let start = Instant::now();
+        let (outcome, cache_hit, step, city) = self.execute_command(request, start);
+        let latency = start.elapsed();
+
+        let counter = match &request.command {
+            SessionCommand::Build(_) => &self.stats.cmd_builds,
+            SessionCommand::Customize(_) => &self.stats.cmd_customizations,
+            SessionCommand::Refine(_) => &self.stats.cmd_refinements,
+            SessionCommand::SuggestReplacement { .. } => &self.stats.cmd_suggestions,
+            SessionCommand::End => &self.stats.cmd_ended,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if outcome.is_err() {
+            self.stats.cmd_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        if cache_hit {
+            self.stats
+                .clustering_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+
+        CommandResponse {
+            session_id: request.session_id,
+            city,
+            step,
+            outcome,
+            latency,
+            clustering_cache_hit: cache_hit,
+        }
+    }
+
+    /// Serves a batch of interactive commands, fanning *sessions* out over
+    /// `EngineConfig::worker_threads` OS threads. Commands addressed to the
+    /// same session run in submission order on one worker (a group's
+    /// interaction is sequential); distinct sessions run concurrently.
+    /// Responses come back in request order and failures never abort the
+    /// batch.
+    #[must_use]
+    pub fn serve_commands_batch(&self, requests: Vec<CommandRequest>) -> Vec<CommandResponse> {
+        let threads = self.config.worker_threads.max(1);
+        if threads == 1 || requests.len() <= 1 {
+            return requests.iter().map(|r| self.serve_command(r)).collect();
+        }
+
+        // One lane per session, in first-appearance order; a lane holds the
+        // indices of that session's commands in submission order.
+        let mut lanes: Vec<Vec<usize>> = Vec::new();
+        let mut lane_of: HashMap<SessionId, usize> = HashMap::new();
+        for (index, request) in requests.iter().enumerate() {
+            let lane = *lane_of.entry(request.session_id).or_insert_with(|| {
+                lanes.push(Vec::new());
+                lanes.len() - 1
+            });
+            lanes[lane].push(index);
+        }
+
+        let workers = threads.min(lanes.len());
+        let lanes = &lanes;
+        let requests = &requests;
+        let scattered: Vec<Vec<(usize, CommandResponse)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut served = Vec::new();
+                        for lane in lanes.iter().skip(worker).step_by(workers) {
+                            for &index in lane {
+                                served.push((index, self.serve_command(&requests[index])));
+                            }
+                        }
+                        served
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("command worker panicked"))
+                .collect()
+        });
+
+        let mut responses: Vec<Option<CommandResponse>> = Vec::new();
+        responses.resize_with(requests.len(), || None);
+        for (index, response) in scattered.into_iter().flatten() {
+            responses[index] = Some(response);
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every command slot is filled by its worker"))
+            .collect()
+    }
+
+    /// Executes one command against the session store, returning the
+    /// outcome, whether a build hit the clustering cache, the session's
+    /// step counter after the command, and the city it ran in.
+    fn execute_command(
+        &self,
+        request: &CommandRequest,
+        start: Instant,
+    ) -> (Result<CommandOutcome, EngineError>, bool, u64, String) {
+        let id = request.session_id;
+        match &request.command {
+            SessionCommand::Build(spec) => {
+                let interactive::BuildSpec {
+                    city,
+                    profile,
+                    group,
+                    consensus,
+                    // query/config reach build_step through `spec`
+                    query: _,
+                    config: _,
+                } = spec.as_ref();
+                let Some(entry) = self.registry.get(city) else {
+                    return (
+                        Err(EngineError::UnknownCity(city.clone())),
+                        false,
+                        0,
+                        city.clone(),
+                    );
+                };
+                // Profile resolution from the command alone: an explicit
+                // profile wins; else a group shipped with *this* command
+                // (fresh information) is aggregated. An existing session
+                // additionally falls back to its current — possibly
+                // refined — profile.
+                let command_profile = match (profile, group, consensus) {
+                    (Some(p), _, _) => Some(p.clone()),
+                    (None, Some(g), Some(c)) => Some(g.profile(*c)),
+                    (None, _, _) => None,
+                };
+                let existing = self.sessions.with_session(id, |state| {
+                    match command_profile.clone().or_else(|| state.profile.clone()) {
+                        Some(profile) => self.build_step(state, &entry, spec, profile, start),
+                        None => {
+                            let step = Self::complete_step(state, start, false);
+                            (Err(Self::profile_needed()), false, step)
+                        }
+                    }
+                });
+                let (outcome, hit, step) = match existing {
+                    Some(served) => served,
+                    // Only a Build that can produce a profile may create a
+                    // session: a malformed first Build must not occupy a
+                    // slot (or evict live sessions to claim one).
+                    None => match command_profile {
+                        Some(profile) => self.sessions.with_session_or_insert(id, city, |state| {
+                            self.build_step(state, &entry, spec, profile, start)
+                        }),
+                        None => (Err(Self::profile_needed()), false, 0),
+                    },
+                };
+                (outcome, hit, step, city.clone())
+            }
+            SessionCommand::Customize(op) => {
+                let member = request.member.unwrap_or(0);
+                match self.sessions.with_session(id, |state| {
+                    let city = state.city.clone();
+                    let Some(entry) = self.registry.get(&state.city) else {
+                        let step = Self::complete_step(state, start, false);
+                        return (Err(EngineError::UnknownCity(city.clone())), step, city);
+                    };
+                    let Some(mut package) = state.last_package.take() else {
+                        let step = Self::complete_step(state, start, false);
+                        return (
+                            Err(EngineError::InvalidCommand(
+                                "Customize requires a successfully built package".to_string(),
+                            )),
+                            step,
+                            city,
+                        );
+                    };
+                    // A session served only by the one-shot `serve()` path
+                    // has a package but no interactive build context —
+                    // customizing it must fail typed, never panic.
+                    let (Some(profile), Some(query)) =
+                        (state.profile.as_ref(), state.query.as_ref())
+                    else {
+                        state.last_package = Some(package);
+                        let step = Self::complete_step(state, start, false);
+                        return (
+                            Err(EngineError::InvalidCommand(
+                                "the session has a package but no interactive build context; \
+                                 issue a Build first"
+                                    .to_string(),
+                            )),
+                            step,
+                            city,
+                        );
+                    };
+                    let weights = state.config.map(|c| c.weights).unwrap_or_default();
+                    let applied = apply_op(
+                        entry.catalog(),
+                        entry.vectorizer(),
+                        self.config.metric,
+                        &mut package,
+                        op,
+                        profile,
+                        query,
+                        &weights,
+                    );
+                    let outcome = match applied {
+                        Ok(log) => {
+                            grouptravel::record_member_log(&mut state.interactions, member, &log);
+                            state.customizations += 1;
+                            state.last_package = Some(package.clone());
+                            Ok(CommandOutcome::Package(package))
+                        }
+                        Err(e) => {
+                            // `apply_op` leaves the package untouched on
+                            // error; restore it as the current package.
+                            state.last_package = Some(package);
+                            Err(EngineError::Build(e))
+                        }
+                    };
+                    let ok = outcome.is_ok();
+                    let step = Self::complete_step(state, start, ok);
+                    (outcome, step, city)
+                }) {
+                    Some((outcome, step, city)) => (outcome, false, step, city),
+                    None => Self::unknown_session(id),
+                }
+            }
+            SessionCommand::Refine(strategy) => {
+                match self.sessions.with_session(id, |state| {
+                    let city = state.city.clone();
+                    let Some(entry) = self.registry.get(&state.city) else {
+                        let step = Self::complete_step(state, start, false);
+                        return (Err(EngineError::UnknownCity(city.clone())), step, city);
+                    };
+                    let Some(profile) = state.profile.clone() else {
+                        let step = Self::complete_step(state, start, false);
+                        return (
+                            Err(EngineError::InvalidCommand(
+                                "Refine requires a built session (no profile yet)".to_string(),
+                            )),
+                            step,
+                            city,
+                        );
+                    };
+                    let outcome = match strategy {
+                        RefinementStrategy::Batch => {
+                            let refined = refine_batch(
+                                &profile,
+                                &state.interactions,
+                                entry.catalog(),
+                                entry.vectorizer(),
+                            );
+                            state.profile = Some(refined.clone());
+                            state.interactions.clear();
+                            state.refinements += 1;
+                            Ok(CommandOutcome::Refined(refined))
+                        }
+                        RefinementStrategy::Individual => match (&state.group, state.consensus) {
+                            (Some(group), Some(consensus)) => {
+                                let (refined_group, refined_profile) = refine_individual(
+                                    group,
+                                    consensus,
+                                    &state.interactions,
+                                    entry.catalog(),
+                                    entry.vectorizer(),
+                                );
+                                state.group = Some(refined_group);
+                                state.profile = Some(refined_profile.clone());
+                                state.interactions.clear();
+                                state.refinements += 1;
+                                Ok(CommandOutcome::Refined(refined_profile))
+                            }
+                            _ => Err(EngineError::InvalidCommand(
+                                "Refine(Individual) needs member profiles: Build with group + \
+                                 consensus first"
+                                    .to_string(),
+                            )),
+                        },
+                    };
+                    let ok = outcome.is_ok();
+                    let step = Self::complete_step(state, start, ok);
+                    (outcome, step, city)
+                }) {
+                    Some((outcome, step, city)) => (outcome, false, step, city),
+                    None => Self::unknown_session(id),
+                }
+            }
+            SessionCommand::SuggestReplacement { ci_index, poi } => {
+                match self.sessions.with_session(id, |state| {
+                    let city = state.city.clone();
+                    let Some(entry) = self.registry.get(&state.city) else {
+                        let step = Self::complete_step(state, start, false);
+                        return (Err(EngineError::UnknownCity(city.clone())), step, city);
+                    };
+                    let Some(package) = state.last_package.as_ref() else {
+                        let step = Self::complete_step(state, start, false);
+                        return (
+                            Err(EngineError::InvalidCommand(
+                                "SuggestReplacement requires a successfully built package"
+                                    .to_string(),
+                            )),
+                            step,
+                            city,
+                        );
+                    };
+                    let suggestion = suggest_replacement_in(
+                        entry.catalog(),
+                        self.config.metric,
+                        package,
+                        *ci_index,
+                        *poi,
+                    )
+                    .cloned();
+                    let step = Self::complete_step(state, start, true);
+                    (Ok(CommandOutcome::Suggestion(suggestion)), step, city)
+                }) {
+                    Some((outcome, step, city)) => (outcome, false, step, city),
+                    None => Self::unknown_session(id),
+                }
+            }
+            SessionCommand::End => match self.sessions.remove(id) {
+                Some(state) => {
+                    let step = state.steps;
+                    let city = state.city.clone();
+                    (
+                        Ok(CommandOutcome::Ended(Box::new(state))),
+                        false,
+                        step,
+                        city,
+                    )
+                }
+                None => Self::unknown_session(id),
+            },
+        }
+    }
+
+    /// Runs one interactive build against a locked session. The session's
+    /// interactive context (city, group, consensus, profile, query,
+    /// config) commits **only on success**: a failed build changes nothing
+    /// but the step/failure counters, so a session can never end up
+    /// stranded between cities or configurations with a stale package.
+    fn build_step(
+        &self,
+        state: &mut SessionState,
+        entry: &CityEntry,
+        spec: &interactive::BuildSpec,
+        profile: GroupProfile,
+        start: Instant,
+    ) -> (Result<CommandOutcome, EngineError>, bool, u64) {
+        let (result, hit) = self.build_in(entry, &profile, &spec.query, &spec.config);
+        let (outcome, ok) = match result {
+            Ok(package) => {
+                state.city = spec.city.clone();
+                if let Some(g) = &spec.group {
+                    state.group = Some(g.clone());
+                }
+                if let Some(c) = spec.consensus {
+                    state.consensus = Some(c);
+                }
+                state.profile = Some(profile);
+                state.query = Some(spec.query);
+                state.config = Some(spec.config);
+                state.packages_served += 1;
+                state.last_package = Some(package.clone());
+                (Ok(CommandOutcome::Package(package)), true)
+            }
+            Err(e) => (Err(e), false),
+        };
+        let step = Self::complete_step(state, start, ok);
+        (outcome, hit, step)
+    }
+
+    /// The error a `Build` that cannot resolve any profile fails with.
+    fn profile_needed() -> EngineError {
+        EngineError::InvalidCommand(
+            "Build needs a profile: pass one explicitly, ship group + consensus, or build the \
+             session successfully once before relying on its stored profile"
+                .to_string(),
+        )
+    }
+
+    /// The response tuple for a command addressed to an unknown session.
+    fn unknown_session(id: SessionId) -> (Result<CommandOutcome, EngineError>, bool, u64, String) {
+        (
+            Err(EngineError::UnknownSession(id)),
+            false,
+            0,
+            String::new(),
+        )
+    }
+
+    /// Closes one interactive step: bumps the monotone step counter,
+    /// accounts the step's latency, and counts failures.
+    fn complete_step(state: &mut SessionState, start: Instant, ok: bool) -> u64 {
+        state.steps += 1;
+        let latency = start.elapsed();
+        state.total_latency += latency;
+        state.record_step_latency(latency);
+        if !ok {
+            state.failures += 1;
+        }
+        state.steps
+    }
+
+    /// Registers `catalog` re-using the item vectorizer — and therefore the
+    /// profile schema — of an already-registered city, with no LDA
+    /// training. Profiles elicited (or refined) against the source city
+    /// stay meaningful in the new one: this is the cross-city transfer
+    /// scenario of §4.4.4 served by the engine. Item vectors for POIs the
+    /// vectorizer never saw are folded in from their tags.
+    ///
+    /// # Errors
+    /// Fails when `source_city` is not registered or `catalog` is empty.
+    pub fn register_catalog_sharing_schema(
+        &self,
+        catalog: PoiCatalog,
+        source_city: &str,
+    ) -> Result<u64, EngineError> {
+        let Some(source) = self.registry.get(source_city) else {
+            return Err(EngineError::UnknownCity(source_city.to_string()));
+        };
+        let entry = self
+            .registry
+            .register_shared(catalog, source.vectorizer_arc())?;
+        Ok(entry.fingerprint())
     }
 }
 
@@ -603,6 +1103,298 @@ mod tests {
             engine.serve(&zero_k).outcome.unwrap_err(),
             EngineError::Build(GroupTravelError::ZeroCompositeItems)
         );
+    }
+
+    #[test]
+    fn interactive_session_build_customize_refine_rebuild() {
+        use grouptravel::CustomizationOp;
+        use grouptravel_profile::Group;
+
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let schema = engine.profile_schema("Paris").unwrap();
+        let group: Group =
+            SyntheticGroupGenerator::new(schema, 3).group(GroupSize::Small, Uniformity::NonUniform);
+        let consensus = ConsensusMethod::pairwise_disagreement();
+
+        // Build for the whole group (enables individual refinement).
+        let built = engine.serve_command(&CommandRequest::new(
+            7,
+            SessionCommand::build_for_group(
+                "Paris",
+                group.clone(),
+                consensus,
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ));
+        let package = built.package().expect("build succeeds").clone();
+        assert_eq!(built.step, 1);
+        assert_eq!(package.len(), 5);
+        assert!(!built.clustering_cache_hit, "first build is cold");
+
+        // A member removes one POI; the package shrinks by one.
+        let victim = package.get(0).unwrap().poi_ids()[0];
+        let member = group.members()[0].user_id;
+        let customized = engine.serve_command(&CommandRequest::from_member(
+            7,
+            member,
+            SessionCommand::Customize(CustomizationOp::Remove {
+                ci_index: 0,
+                poi: victim,
+            }),
+        ));
+        assert_eq!(customized.step, 2);
+        assert!(!customized
+            .package()
+            .unwrap()
+            .get(0)
+            .unwrap()
+            .contains(victim));
+
+        // The system suggests a replacement without mutating anything.
+        let suggested = engine.serve_command(&CommandRequest::new(
+            7,
+            SessionCommand::SuggestReplacement {
+                ci_index: 1,
+                poi: package.get(1).unwrap().poi_ids()[0],
+            },
+        ));
+        assert!(matches!(
+            suggested.outcome,
+            Ok(CommandOutcome::Suggestion(Some(_)))
+        ));
+        assert_eq!(suggested.step, 3);
+
+        // Refinement consumes the pooled interactions and moves the profile.
+        let before = engine.sessions().snapshot(7).unwrap();
+        assert_eq!(before.pending_interactions(), 1);
+        let refined = engine.serve_command(&CommandRequest::new(
+            7,
+            SessionCommand::Refine(RefinementStrategy::Individual),
+        ));
+        let refined_profile = refined.refined_profile().expect("refined").clone();
+        assert_eq!(
+            engine
+                .sessions()
+                .snapshot(7)
+                .unwrap()
+                .pending_interactions(),
+            0
+        );
+
+        // A rebuild with no explicit profile uses the refined one, warm.
+        let rebuilt = engine.serve_command(&CommandRequest::new(
+            7,
+            SessionCommand::rebuild("Paris", GroupQuery::paper_default(), BuildConfig::default()),
+        ));
+        assert!(rebuilt.clustering_cache_hit, "rebuild must be warm");
+        assert_eq!(
+            engine.sessions().snapshot(7).unwrap().profile.unwrap(),
+            refined_profile
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.fcm_trainings, 1, "interactive steps never retrain");
+        assert_eq!(stats.lda_trainings, 1);
+        assert_eq!(stats.commands.builds, 2);
+        assert_eq!(stats.commands.customizations, 1);
+        assert_eq!(stats.commands.refinements, 1);
+        assert_eq!(stats.commands.suggestions, 1);
+        assert_eq!(stats.commands.failures, 0);
+
+        // End returns the final state and frees the slot.
+        let ended = engine.serve_command(&CommandRequest::new(7, SessionCommand::End));
+        match ended.outcome.unwrap() {
+            CommandOutcome::Ended(state) => {
+                assert_eq!(state.steps, 5);
+                assert_eq!(state.packages_served, 2);
+                assert_eq!(state.refinements, 1);
+            }
+            other => panic!("expected Ended, got {other:?}"),
+        }
+        assert!(engine.sessions().snapshot(7).is_none());
+    }
+
+    #[test]
+    fn interactive_commands_fail_typed_without_a_session() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        for command in [
+            SessionCommand::Customize(grouptravel::CustomizationOp::DeleteCi { ci_index: 0 }),
+            SessionCommand::Refine(RefinementStrategy::Batch),
+            SessionCommand::SuggestReplacement {
+                ci_index: 0,
+                poi: grouptravel_dataset::PoiId(1),
+            },
+            SessionCommand::End,
+        ] {
+            let response = engine.serve_command(&CommandRequest::new(99, command));
+            assert_eq!(
+                response.outcome.unwrap_err(),
+                EngineError::UnknownSession(99)
+            );
+            assert_eq!(response.step, 0);
+        }
+        assert_eq!(engine.stats().commands.failures, 4);
+        assert!(engine.sessions().is_empty(), "errors never create sessions");
+    }
+
+    #[test]
+    fn customizing_a_one_shot_session_fails_typed_not_poisoned() {
+        // `serve()` records a package without any interactive context; a
+        // Customize on that session must fail typed — and must not poison
+        // the session's lock for later commands.
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let one_shot = engine.serve(&request(&engine, 8, "Paris", 8));
+        assert!(one_shot.outcome.is_ok());
+
+        let response = engine.serve_command(&CommandRequest::new(
+            8,
+            SessionCommand::Customize(grouptravel::CustomizationOp::DeleteCi { ci_index: 0 }),
+        ));
+        assert!(matches!(
+            response.outcome,
+            Err(EngineError::InvalidCommand(_))
+        ));
+        // The session is intact and upgradeable to an interactive one.
+        let state = engine.sessions().snapshot(8).expect("lock not poisoned");
+        assert!(state.last_package.is_some(), "one-shot package survives");
+        let upgraded = engine.serve_command(&CommandRequest::new(
+            8,
+            SessionCommand::build(
+                "Paris",
+                profile_for(&engine, "Paris", 8),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ));
+        assert!(upgraded.outcome.is_ok());
+    }
+
+    #[test]
+    fn failed_builds_do_not_move_the_session_between_cities() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        engine
+            .register_catalog(catalog(CitySpec::barcelona(), 13))
+            .unwrap();
+        let built = engine.serve_command(&CommandRequest::new(
+            4,
+            SessionCommand::build(
+                "Paris",
+                profile_for(&engine, "Paris", 4),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ));
+        let paris_package = built.package().unwrap().clone();
+
+        // An unsatisfiable rebuild in Barcelona fails — and must leave the
+        // session's context (city, query, config, package) untouched, or
+        // later commands would resolve Paris POIs against Barcelona.
+        let failed = engine.serve_command(&CommandRequest::new(
+            4,
+            SessionCommand::rebuild(
+                "Barcelona",
+                GroupQuery::new([1000, 1, 1, 1], None),
+                BuildConfig::default(),
+            ),
+        ));
+        assert!(matches!(failed.outcome, Err(EngineError::Build(_))));
+        let state = engine.sessions().snapshot(4).unwrap();
+        assert_eq!(state.city, "Paris", "failed build must not move the city");
+        assert_eq!(state.query, Some(GroupQuery::paper_default()));
+        assert_eq!(state.last_package.as_ref(), Some(&paris_package));
+        assert_eq!(state.failures, 1);
+
+        // Customization still applies against Paris.
+        let victim = paris_package.get(0).unwrap().poi_ids()[0];
+        let customized = engine.serve_command(&CommandRequest::new(
+            4,
+            SessionCommand::Customize(grouptravel::CustomizationOp::Remove {
+                ci_index: 0,
+                poi: victim,
+            }),
+        ));
+        assert!(customized.outcome.is_ok());
+    }
+
+    #[test]
+    fn profile_less_first_builds_never_occupy_or_evict_sessions() {
+        let engine = Engine::new(EngineConfig {
+            max_sessions: 2,
+            ..EngineConfig::fast()
+        });
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        for session in [1, 2] {
+            let response = engine.serve_command(&CommandRequest::new(
+                session,
+                SessionCommand::build(
+                    "Paris",
+                    profile_for(&engine, "Paris", session),
+                    GroupQuery::paper_default(),
+                    BuildConfig::default(),
+                ),
+            ));
+            assert!(response.outcome.is_ok());
+        }
+        // A malformed first Build (no resolvable profile) on a full store
+        // must not create a session — and must not evict live ones.
+        let response = engine.serve_command(&CommandRequest::new(
+            3,
+            SessionCommand::rebuild("Paris", GroupQuery::paper_default(), BuildConfig::default()),
+        ));
+        assert!(matches!(
+            response.outcome,
+            Err(EngineError::InvalidCommand(_))
+        ));
+        assert!(engine.sessions().snapshot(3).is_none());
+        assert!(engine.sessions().snapshot(1).is_some(), "no eviction");
+        assert!(engine.sessions().snapshot(2).is_some(), "no eviction");
+        assert_eq!(engine.sessions().len(), 2);
+    }
+
+    #[test]
+    fn individual_refinement_requires_member_profiles() {
+        let engine = Engine::new(EngineConfig::fast());
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let profile = profile_for(&engine, "Paris", 5);
+        engine.serve_command(&CommandRequest::new(
+            1,
+            SessionCommand::build(
+                "Paris",
+                profile,
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ));
+        let response = engine.serve_command(&CommandRequest::new(
+            1,
+            SessionCommand::Refine(RefinementStrategy::Individual),
+        ));
+        assert!(matches!(
+            response.outcome,
+            Err(EngineError::InvalidCommand(_))
+        ));
+        // Batch refinement works without member profiles.
+        let response = engine.serve_command(&CommandRequest::new(
+            1,
+            SessionCommand::Refine(RefinementStrategy::Batch),
+        ));
+        assert!(response.refined_profile().is_some());
     }
 
     #[test]

@@ -93,6 +93,13 @@ impl CityEntry {
         &self.vectorizer
     }
 
+    /// A shareable handle to the vectorizer (for registering other cities
+    /// with the same profile schema).
+    #[must_use]
+    pub fn vectorizer_arc(&self) -> Arc<ItemVectorizer> {
+        Arc::clone(&self.vectorizer)
+    }
+
     /// The spatial grid for one category.
     #[must_use]
     pub fn category_grid(&self, category: Category) -> Option<&CategoryGrid> {
@@ -179,6 +186,42 @@ impl EngineCatalogRegistry {
             .expect("city registry poisoned")
             .insert(entry.catalog.city().to_string(), Arc::clone(&entry));
         Ok((entry, trained))
+    }
+
+    /// Registers a catalog that reuses an already-trained vectorizer
+    /// (typically another registered city's) so both cities share one
+    /// profile schema — profiles elicited or refined against one remain
+    /// meaningful in the other (the §4.4.4 cross-city transfer). No LDA
+    /// training runs; the shared model is *not* entered into the warm-model
+    /// LRU because its key (its own catalog's fingerprint) does not
+    /// describe this catalog.
+    ///
+    /// # Errors
+    /// Fails when the catalog is empty.
+    pub fn register_shared(
+        &self,
+        catalog: PoiCatalog,
+        vectorizer: Arc<ItemVectorizer>,
+    ) -> Result<Arc<CityEntry>, GroupTravelError> {
+        if catalog.is_empty() {
+            return Err(GroupTravelError::EmptyCatalog);
+        }
+        let fingerprint = catalog.fingerprint();
+        let grids = Category::ALL
+            .iter()
+            .map(|&category| (category, CategoryGrid::build(&catalog, category)))
+            .collect();
+        let entry = Arc::new(CityEntry {
+            fingerprint,
+            vectorizer,
+            grids,
+            catalog,
+        });
+        self.cities
+            .write()
+            .expect("city registry poisoned")
+            .insert(entry.catalog.city().to_string(), Arc::clone(&entry));
+        Ok(entry)
     }
 
     /// The entry for a city, if registered.

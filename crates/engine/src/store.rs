@@ -1,46 +1,80 @@
-//! The thread-safe session store.
+//! The thread-safe session store: the authoritative per-group state
+//! machine of the engine.
 //!
-//! Tracks, per group session, which city it is in, how many packages it has
-//! been served, the latest package, and cumulative latency — the state a
-//! front-end needs to resume a group's interaction (display → customize →
-//! refine) on any serving thread. Shared as `Arc<RwLock<…>>`: batch serving
-//! reads catalogs lock-free and only takes this write lock for the short
-//! bookkeeping at the end of each request.
+//! PR 1 used this store as a latency ledger — city, counters, last package.
+//! It now owns everything a multi-step interaction needs: the current
+//! package, the group's (possibly refined) profile, the member profiles and
+//! consensus method that enable individual refinement, the pooled
+//! per-member [`MemberInteractions`], a monotone step counter, and recent
+//! per-step latencies.
 //!
-//! The store is **bounded**: each state clones the session's latest
-//! package, so an unbounded map would grow linearly with every distinct
-//! group ever served. Past the capacity, admitting a new session evicts the
-//! stalest ~1/8 of existing sessions in one sweep (amortizing the O(n) scan
-//! over many admissions), which behaves like a coarse LRU/TTL for
-//! abandoned groups.
+//! **Locking.** The map itself sits behind an `RwLock` that is only held
+//! long enough to clone an `Arc` to a session's slot; every slot carries its
+//! own `Mutex` around the [`SessionState`]. Steps *within* one session
+//! therefore serialize (a group's customize/refine/build commands are a
+//! sequential interaction), while steps of *distinct* sessions run fully in
+//! parallel — including expensive package builds.
+//!
+//! **Bounds.** Each state clones the session's latest package, so the map
+//! is capacity-bounded: admitting a new session past the capacity evicts
+//! the stalest ~1/8 of *idle* sessions in one sweep (slots currently
+//! checked out by a serving thread are never evicted mid-step; the map may
+//! transiently exceed its capacity while every slot is busy).
 
-use grouptravel::TravelPackage;
+use grouptravel::{BuildConfig, GroupQuery, MemberInteractions, TravelPackage};
+use grouptravel_profile::{ConsensusMethod, Group, GroupProfile};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// Identifier of a group session.
 pub type SessionId = u64;
 
-/// Per-session serving state.
+/// Per-session serving state: the group's whole interaction so far.
 #[derive(Debug, Clone)]
 pub struct SessionState {
     /// The city the session is currently being served in.
     pub city: String,
     /// Packages successfully served to this session.
     pub packages_served: u64,
-    /// Requests that failed for this session.
+    /// Requests/commands that failed for this session.
     pub failures: u64,
-    /// The most recent successfully-built package.
+    /// The most recent successfully-built (and possibly customized)
+    /// package — the package the group is currently looking at.
     pub last_package: Option<TravelPackage>,
-    /// Total build latency accumulated by this session.
+    /// Total serving latency accumulated by this session.
     pub total_latency: Duration,
-    /// Logical-clock stamp of the last touch (drives staleness eviction).
-    touched: u64,
+    /// Monotone count of interactive commands served to this session
+    /// (successes and failures alike).
+    pub steps: u64,
+    /// Customization operations successfully applied.
+    pub customizations: u64,
+    /// Profile refinements performed.
+    pub refinements: u64,
+    /// The group's current consensus profile — refined in place by
+    /// `Refine` commands, used by profile-less rebuilds.
+    pub profile: Option<GroupProfile>,
+    /// The member profiles, when provided at build time (enables the
+    /// *individual* refinement strategy). Refined in place.
+    pub group: Option<Group>,
+    /// Consensus method used to re-aggregate after individual refinement.
+    pub consensus: Option<ConsensusMethod>,
+    /// The query of the most recent build (customizations validate/score
+    /// against it).
+    pub query: Option<GroupQuery>,
+    /// The build configuration of the most recent build.
+    pub config: Option<BuildConfig>,
+    /// Per-member interactions accumulated since the last refinement.
+    pub interactions: Vec<MemberInteractions>,
+    /// Latency of the most recent steps (bounded ring, newest last).
+    pub step_latencies: Vec<Duration>,
 }
 
 impl SessionState {
+    /// How many per-step latencies are retained per session.
+    pub const MAX_STEP_LATENCIES: usize = 256;
+
     fn new(city: &str) -> Self {
         Self {
             city: city.to_string(),
@@ -48,26 +82,68 @@ impl SessionState {
             failures: 0,
             last_package: None,
             total_latency: Duration::ZERO,
-            touched: 0,
+            steps: 0,
+            customizations: 0,
+            refinements: 0,
+            profile: None,
+            group: None,
+            consensus: None,
+            query: None,
+            config: None,
+            interactions: Vec::new(),
+            step_latencies: Vec::new(),
         }
     }
 
-    /// Mean build latency over every request of this session.
+    /// Appends one step latency, keeping only the most recent
+    /// [`SessionState::MAX_STEP_LATENCIES`].
+    pub fn record_step_latency(&mut self, latency: Duration) {
+        if self.step_latencies.len() == Self::MAX_STEP_LATENCIES {
+            self.step_latencies.remove(0);
+        }
+        self.step_latencies.push(latency);
+    }
+
+    /// Mean serving latency over every request of this session.
     #[must_use]
     pub fn mean_latency(&self) -> Duration {
-        let requests = self.packages_served + self.failures;
+        let requests = (self.packages_served + self.failures).max(self.steps);
         if requests == 0 {
             Duration::ZERO
         } else {
             self.total_latency / u32::try_from(requests).unwrap_or(u32::MAX)
         }
     }
+
+    /// Total interactions (POIs added + removed) pooled since the last
+    /// refinement.
+    #[must_use]
+    pub fn pending_interactions(&self) -> usize {
+        self.interactions.iter().map(|m| m.log.len()).sum()
+    }
 }
 
-/// A clonable, thread-safe, bounded map of session states.
+/// One session's slot: recency stamp outside the lock (so eviction scans
+/// never block on busy sessions), state behind its own mutex.
+#[derive(Debug)]
+struct SessionSlot {
+    touched: AtomicU64,
+    state: Mutex<SessionState>,
+}
+
+impl SessionSlot {
+    fn new(city: &str, stamp: u64) -> Self {
+        Self {
+            touched: AtomicU64::new(stamp),
+            state: Mutex::new(SessionState::new(city)),
+        }
+    }
+}
+
+/// A clonable, thread-safe, bounded map of per-session state machines.
 #[derive(Clone)]
 pub struct SessionStore {
-    sessions: Arc<RwLock<HashMap<SessionId, SessionState>>>,
+    sessions: Arc<RwLock<HashMap<SessionId, Arc<SessionSlot>>>>,
     clock: Arc<AtomicU64>,
     capacity: usize,
 }
@@ -99,8 +175,88 @@ impl SessionStore {
         }
     }
 
-    /// Records the outcome of one served request. Admitting a session past
-    /// the capacity evicts the stalest existing sessions first.
+    fn stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The slot for `id`, touched, if the session exists.
+    fn slot(&self, id: SessionId) -> Option<Arc<SessionSlot>> {
+        let slot = self
+            .sessions
+            .read()
+            .expect("session store poisoned")
+            .get(&id)
+            .cloned()?;
+        slot.touched.store(self.stamp(), Ordering::Relaxed);
+        Some(slot)
+    }
+
+    /// The slot for `id`, created (evicting stale sessions if at capacity)
+    /// when absent.
+    fn slot_or_insert(&self, id: SessionId, city: &str) -> Arc<SessionSlot> {
+        if let Some(slot) = self.slot(id) {
+            return slot;
+        }
+        let stamp = self.stamp();
+        let mut sessions = self.sessions.write().expect("session store poisoned");
+        if !sessions.contains_key(&id) && sessions.len() >= self.capacity {
+            Self::evict_stalest(&mut sessions, self.capacity);
+        }
+        let slot = sessions
+            .entry(id)
+            .or_insert_with(|| Arc::new(SessionSlot::new(city, stamp)));
+        slot.touched.store(stamp, Ordering::Relaxed);
+        Arc::clone(slot)
+    }
+
+    /// Removes the least-recently-touched eighth of the *idle* sessions (at
+    /// least one entry when possible). Slots another thread has checked out
+    /// (`Arc` strong count > 1) are skipped: evicting them would detach an
+    /// in-flight step's updates — a lost update. Called under the write
+    /// lock, so no new checkout can race the scan.
+    fn evict_stalest(sessions: &mut HashMap<SessionId, Arc<SessionSlot>>, capacity: usize) {
+        let evict = (capacity / 8).max(1);
+        let mut by_age: Vec<(u64, SessionId)> = sessions
+            .iter()
+            .filter(|(_, slot)| Arc::strong_count(slot) == 1)
+            .map(|(id, slot)| (slot.touched.load(Ordering::Relaxed), *id))
+            .collect();
+        by_age.sort_unstable();
+        for (_, id) in by_age.into_iter().take(evict) {
+            sessions.remove(&id);
+        }
+    }
+
+    /// Runs `f` with exclusive access to an **existing** session's state —
+    /// the step serializes with every other step of the same session, while
+    /// distinct sessions proceed in parallel. Returns `None` when the
+    /// session is unknown (never served, ended, or evicted).
+    pub fn with_session<R>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut SessionState) -> R,
+    ) -> Option<R> {
+        let slot = self.slot(id)?;
+        let mut state = slot.state.lock().expect("session state poisoned");
+        Some(f(&mut state))
+    }
+
+    /// Runs `f` with exclusive access to the session's state, creating the
+    /// session in `city` first when absent (evicting stale idle sessions if
+    /// the store is at capacity).
+    pub fn with_session_or_insert<R>(
+        &self,
+        id: SessionId,
+        city: &str,
+        f: impl FnOnce(&mut SessionState) -> R,
+    ) -> R {
+        let slot = self.slot_or_insert(id, city);
+        let mut state = slot.state.lock().expect("session state poisoned");
+        f(&mut state)
+    }
+
+    /// Records the outcome of one served one-shot request. Admitting a
+    /// session past the capacity evicts the stalest idle sessions first.
     pub fn record(
         &self,
         id: SessionId,
@@ -108,46 +264,23 @@ impl SessionStore {
         package: Option<&TravelPackage>,
         latency: Duration,
     ) {
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut sessions = self.sessions.write().expect("session store poisoned");
-        if !sessions.contains_key(&id) && sessions.len() >= self.capacity {
-            Self::evict_stalest(&mut sessions, self.capacity);
-        }
-        let state = sessions
-            .entry(id)
-            .or_insert_with(|| SessionState::new(city));
-        state.city = city.to_string();
-        state.total_latency += latency;
-        state.touched = stamp;
-        match package {
-            Some(p) => {
-                state.packages_served += 1;
-                state.last_package = Some(p.clone());
+        self.with_session_or_insert(id, city, |state| {
+            state.city = city.to_string();
+            state.total_latency += latency;
+            match package {
+                Some(p) => {
+                    state.packages_served += 1;
+                    state.last_package = Some(p.clone());
+                }
+                None => state.failures += 1,
             }
-            None => state.failures += 1,
-        }
-    }
-
-    /// Removes the least-recently-touched eighth of the map (at least one
-    /// entry), amortizing the O(n) staleness scan over many admissions.
-    fn evict_stalest(sessions: &mut HashMap<SessionId, SessionState>, capacity: usize) {
-        let evict = (capacity / 8).max(1);
-        let mut by_age: Vec<(u64, SessionId)> =
-            sessions.iter().map(|(id, s)| (s.touched, *id)).collect();
-        by_age.sort_unstable();
-        for (_, id) in by_age.into_iter().take(evict) {
-            sessions.remove(&id);
-        }
+        });
     }
 
     /// A snapshot of one session's state.
     #[must_use]
     pub fn snapshot(&self, id: SessionId) -> Option<SessionState> {
-        self.sessions
-            .read()
-            .expect("session store poisoned")
-            .get(&id)
-            .cloned()
+        self.with_session(id, |state| state.clone())
     }
 
     /// Number of tracked sessions.
@@ -164,10 +297,17 @@ impl SessionStore {
 
     /// Drops a session's state, returning it if present.
     pub fn remove(&self, id: SessionId) -> Option<SessionState> {
-        self.sessions
+        let slot = self
+            .sessions
             .write()
             .expect("session store poisoned")
-            .remove(&id)
+            .remove(&id)?;
+        match Arc::try_unwrap(slot) {
+            Ok(slot) => Some(slot.state.into_inner().expect("session state poisoned")),
+            // Another thread still holds the slot mid-step: hand back a
+            // snapshot; their updates land on the detached state.
+            Err(shared) => Some(shared.state.lock().expect("session state poisoned").clone()),
+        }
     }
 }
 
@@ -239,5 +379,70 @@ mod tests {
         let clone = store.clone();
         store.record(5, "Paris", None, Duration::ZERO);
         assert_eq!(clone.len(), 1);
+    }
+
+    #[test]
+    fn with_session_requires_an_existing_session() {
+        let store = SessionStore::new();
+        assert!(store.with_session(1, |_| ()).is_none());
+        let created = store.with_session_or_insert(1, "Paris", |state| {
+            state.steps += 1;
+            state.steps
+        });
+        assert_eq!(created, 1);
+        assert_eq!(store.with_session(1, |state| state.steps), Some(1));
+    }
+
+    #[test]
+    fn steps_within_a_session_serialize() {
+        // Hammer one session from many threads; the per-slot mutex must
+        // make every increment visible (no lost updates).
+        let store = SessionStore::new();
+        store.with_session_or_insert(9, "Paris", |_| ());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        store.with_session(9, |state| state.steps += 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.snapshot(9).unwrap().steps, 1000);
+    }
+
+    #[test]
+    fn step_latency_ring_is_bounded() {
+        let mut state = SessionState::new("Paris");
+        for i in 0..(SessionState::MAX_STEP_LATENCIES + 10) {
+            state.record_step_latency(Duration::from_micros(i as u64));
+        }
+        assert_eq!(state.step_latencies.len(), SessionState::MAX_STEP_LATENCIES);
+        assert_eq!(
+            *state.step_latencies.last().unwrap(),
+            Duration::from_micros((SessionState::MAX_STEP_LATENCIES + 9) as u64)
+        );
+    }
+
+    #[test]
+    fn busy_sessions_are_never_evicted() {
+        let store = SessionStore::with_capacity(2);
+        store.record(1, "Paris", None, Duration::ZERO);
+        store.record(2, "Paris", None, Duration::ZERO);
+        // Hold session 1's slot checked out (strong count > 1) while a new
+        // session forces an eviction sweep: the stalest *idle* session (2)
+        // must go, not the busy one.
+        let clone = store.clone();
+        store.with_session(1, |_| {
+            // `with_session` holds an Arc to slot 1 for this closure's
+            // duration; admit session 3 from another thread meanwhile.
+            std::thread::scope(|scope| {
+                scope.spawn(|| clone.record(3, "Paris", None, Duration::ZERO));
+            });
+        });
+        assert!(store.snapshot(1).is_some(), "busy session survives");
+        assert!(store.snapshot(3).is_some(), "new session admitted");
+        assert!(store.snapshot(2).is_none(), "idle session evicted");
     }
 }

@@ -1,11 +1,14 @@
 //! Round-trip guarantees of the serving engine against the one-shot
 //! pipeline: an exhaustive engine is bit-identical to
-//! `GroupTravelSession::build_package`, and the default (grid-bounded)
-//! engine always serves valid packages while reusing cached models.
+//! `GroupTravelSession::build_package`, the default (grid-bounded) engine
+//! always serves valid packages while reusing cached models, and
+//! interleaved interactive sessions lose no updates under concurrency.
 
 use grouptravel::prelude::*;
 use grouptravel::{GroupTravelSession, SessionConfig};
-use grouptravel_engine::{Engine, EngineConfig, PackageRequest};
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, PackageRequest, SessionCommand, SessionId,
+};
 use proptest::prelude::*;
 
 fn paris(seed: u64) -> PoiCatalog {
@@ -110,4 +113,157 @@ fn warm_batches_never_retrain_and_stay_valid() {
         1,
         "one vectorizer training total"
     );
+}
+
+/// One group's interactive script, expressible without knowing any build
+/// output up front (Generate/DeleteCi address positions, not POI ids) so
+/// whole scripts can be batched.
+fn interleaved_script(engine: &Engine, session: SessionId) -> Vec<CommandRequest> {
+    let bbox = engine
+        .registry()
+        .get("Paris")
+        .unwrap()
+        .catalog()
+        .bounding_box()
+        .unwrap();
+    let rect = |f: f64| {
+        Rectangle::new(
+            bbox.min_lon + bbox.lon_span() * 0.2 * f,
+            bbox.max_lat - bbox.lat_span() * 0.2 * f,
+            bbox.lon_span() * 0.5,
+            bbox.lat_span() * 0.5,
+        )
+    };
+    let group = SyntheticGroupGenerator::new(engine.profile_schema("Paris").unwrap(), session)
+        .group(GroupSize::Small, Uniformity::NonUniform);
+    vec![
+        CommandRequest::new(
+            session,
+            SessionCommand::build_for_group(
+                "Paris",
+                group,
+                ConsensusMethod::pairwise_disagreement(),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ),
+        CommandRequest::new(
+            session,
+            SessionCommand::Customize(CustomizationOp::Generate {
+                rectangle: rect(1.0),
+            }),
+        ),
+        CommandRequest::new(
+            session,
+            SessionCommand::Customize(CustomizationOp::Generate {
+                rectangle: rect(2.0),
+            }),
+        ),
+        CommandRequest::new(
+            session,
+            SessionCommand::Customize(CustomizationOp::DeleteCi { ci_index: 0 }),
+        ),
+        CommandRequest::new(session, SessionCommand::Refine(RefinementStrategy::Batch)),
+        CommandRequest::new(
+            session,
+            SessionCommand::rebuild("Paris", GroupQuery::paper_default(), BuildConfig::default()),
+        ),
+    ]
+}
+
+#[test]
+fn interleaved_sessions_lose_no_updates_and_stay_monotone() {
+    const GROUPS: u64 = 6;
+    let engine = Engine::new(EngineConfig {
+        worker_threads: 4,
+        ..EngineConfig::fast()
+    });
+    engine.register_catalog(paris(29)).unwrap();
+
+    // N groups × M commands, interleaved round-robin: command j of every
+    // session appears before command j+1 of any session, so the batch
+    // exercises cross-session contention at every step.
+    let scripts: Vec<Vec<CommandRequest>> = (0..GROUPS)
+        .map(|s| interleaved_script(&engine, s))
+        .collect();
+    let steps_per_session = scripts[0].len() as u64;
+    let mut batch = Vec::new();
+    for j in 0..scripts[0].len() {
+        for script in &scripts {
+            batch.push(script[j].clone());
+        }
+    }
+
+    let responses = engine.serve_commands_batch(batch.clone());
+    assert_eq!(responses.len(), batch.len());
+    let mut last_step = vec![0u64; GROUPS as usize];
+    for (request, response) in batch.iter().zip(&responses) {
+        assert_eq!(response.session_id, request.session_id, "order preserved");
+        assert!(
+            response.outcome.is_ok(),
+            "session {} step {} failed: {:?}",
+            response.session_id,
+            response.step,
+            response.outcome
+        );
+        // Monotone step counters: within a session, steps come back as
+        // 1, 2, …, M in submission order — no reordering, no lost steps.
+        let seen = &mut last_step[response.session_id as usize];
+        assert_eq!(response.step, *seen + 1, "steps must be consecutive");
+        *seen = response.step;
+    }
+
+    for session in 0..GROUPS {
+        let state = engine.sessions().snapshot(session).unwrap();
+        assert_eq!(state.steps, steps_per_session);
+        assert_eq!(state.packages_served, 2, "initial build + rebuild");
+        assert_eq!(state.customizations, 3);
+        assert_eq!(state.refinements, 1);
+        assert_eq!(state.failures, 0);
+        // 5 CIs built + 2 generated − 1 deleted, then rebuilt at k = 5.
+        assert_eq!(state.last_package.as_ref().unwrap().len(), 5);
+        assert_eq!(
+            state.pending_interactions(),
+            0,
+            "refinement consumed the interactions"
+        );
+
+        // No lost updates: the concurrent result must equal the same script
+        // served strictly sequentially on a fresh engine.
+        let sequential = Engine::new(EngineConfig {
+            worker_threads: 1,
+            ..EngineConfig::fast()
+        });
+        sequential.register_catalog(paris(29)).unwrap();
+        for request in interleaved_script(&sequential, session) {
+            let response = sequential.serve_command(&request);
+            assert!(response.outcome.is_ok());
+        }
+        let expected = sequential.sessions().snapshot(session).unwrap();
+        assert_eq!(state.last_package, expected.last_package);
+        assert_eq!(
+            state.profile.as_ref().unwrap(),
+            expected.profile.as_ref().unwrap(),
+            "refined profiles must not race"
+        );
+    }
+
+    // Warm runs trigger zero retrainings: the same shape of batch over new
+    // sessions reuses every cached model.
+    let trainings_after_first = engine.stats().fcm_trainings;
+    assert!(engine.stats().lda_trainings <= 1, "one LDA training total");
+    let mut second = Vec::new();
+    for j in 0..scripts[0].len() {
+        for s in 0..GROUPS {
+            second.push(interleaved_script(&engine, 100 + s)[j].clone());
+        }
+    }
+    let responses = engine.serve_commands_batch(second);
+    assert!(responses.iter().all(|r| r.outcome.is_ok()));
+    assert_eq!(
+        engine.stats().fcm_trainings,
+        trainings_after_first,
+        "warm interactive batches must not retrain FCM"
+    );
+    assert_eq!(engine.stats().lda_trainings, 1, "LDA is never retrained");
 }

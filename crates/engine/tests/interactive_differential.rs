@@ -1,0 +1,391 @@
+//! Differential suite: an engine-driven interactive session must be
+//! **bit-identical** to replaying the same steps through the one-shot
+//! `GroupTravelSession` (`apply` + `refine_batch`/`refine_individual` +
+//! `build_package`).
+//!
+//! The engine adds caching, spatial candidate pruning (exhaustive here) and
+//! concurrency — never different answers. Scripts are randomized but the
+//! vendored proptest derives its RNG seed from the test name, so every run
+//! (locally and in CI) replays the exact same scripts: any nondeterminism
+//! between the two paths fails deterministically.
+
+use grouptravel::prelude::*;
+use grouptravel::{
+    record_member_log, refine_batch, refine_individual, GroupTravelSession, SessionConfig,
+};
+use grouptravel_engine::{CommandOutcome, CommandRequest, Engine, EngineConfig, SessionCommand};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+const SESSION: u64 = 1;
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+/// The one-shot replica of the engine session's state machine.
+struct Reference {
+    session: GroupTravelSession,
+    group: Group,
+    consensus: ConsensusMethod,
+    profile: GroupProfile,
+    package: TravelPackage,
+    interactions: Vec<MemberInteractions>,
+    query: GroupQuery,
+    config: BuildConfig,
+}
+
+impl Reference {
+    fn pending(&self) -> usize {
+        self.interactions.iter().map(|m| m.log.len()).sum()
+    }
+}
+
+/// One interpreted step of a script.
+enum Step {
+    Op(CustomizationOp),
+    Refine(RefinementStrategy),
+    Rebuild,
+    Suggest { ci_index: usize, poi: PoiId },
+}
+
+/// Maps one raw `(kind, a, b)` tuple onto a step that is *mostly* valid for
+/// the current package. The interpretation only reads state both paths
+/// provably share (the current package and the catalog), so engine and
+/// replay execute the same step sequence.
+fn interpret(kind: u8, a: usize, b: usize, package: &TravelPackage, catalog: &PoiCatalog) -> Step {
+    let ci_index = a % package.len().max(1);
+    let ci_poi = |idx: usize| {
+        package
+            .get(ci_index)
+            .filter(|ci| !ci.is_empty())
+            .map(|ci| ci.poi_ids()[idx % ci.len()])
+    };
+    let any_poi = catalog.pois()[b % catalog.len()].id;
+    match kind {
+        0..=2 => match ci_poi(b) {
+            Some(poi) => Step::Op(CustomizationOp::Remove { ci_index, poi }),
+            None => Step::Op(CustomizationOp::Add {
+                ci_index,
+                poi: any_poi,
+            }),
+        },
+        3 | 4 => Step::Op(CustomizationOp::Add {
+            ci_index,
+            poi: any_poi,
+        }),
+        5..=7 => match ci_poi(b) {
+            Some(poi) => Step::Op(CustomizationOp::Replace { ci_index, poi }),
+            None => Step::Op(CustomizationOp::Add {
+                ci_index,
+                poi: any_poi,
+            }),
+        },
+        8 | 9 => {
+            let bbox = catalog.bounding_box().expect("non-empty catalog");
+            let fx = (a % 5) as f64 / 8.0;
+            let fy = (b % 5) as f64 / 8.0;
+            Step::Op(CustomizationOp::Generate {
+                rectangle: Rectangle::new(
+                    bbox.min_lon + bbox.lon_span() * fx,
+                    bbox.max_lat - bbox.lat_span() * fy,
+                    bbox.lon_span() * 0.4,
+                    bbox.lat_span() * 0.4,
+                ),
+            })
+        }
+        10 => {
+            if package.len() > 1 {
+                Step::Op(CustomizationOp::DeleteCi { ci_index })
+            } else {
+                Step::Op(CustomizationOp::Add {
+                    ci_index,
+                    poi: any_poi,
+                })
+            }
+        }
+        11 | 12 => Step::Refine(RefinementStrategy::Batch),
+        13 => Step::Refine(RefinementStrategy::Individual),
+        14 | 15 => Step::Rebuild,
+        16 => match ci_poi(b) {
+            Some(poi) => Step::Suggest { ci_index, poi },
+            None => Step::Rebuild,
+        },
+        _ => match ci_poi(a.wrapping_add(b)) {
+            Some(poi) => Step::Op(CustomizationOp::Remove { ci_index, poi }),
+            None => Step::Op(CustomizationOp::Add {
+                ci_index,
+                poi: any_poi,
+            }),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For arbitrary command scripts, every step of an engine interactive
+    /// session matches a one-shot replay: same packages (bit-identical),
+    /// same refined profiles, same suggestions, same failures — and the
+    /// engine never retrains FCM/LDA after the cold start.
+    #[test]
+    fn engine_interactive_sessions_replay_the_one_shot_session(
+        group_seed in 0u64..500,
+        script in prop::collection::vec((0u8..20, 0usize..64, 0usize..64), 0..10),
+    ) {
+        let engine = Engine::new(EngineConfig::exhaustive());
+        engine.register_catalog(paris(17)).unwrap();
+        let schema = engine.profile_schema("Paris").unwrap();
+        let group = SyntheticGroupGenerator::new(schema, group_seed)
+            .group(GroupSize::Small, Uniformity::NonUniform);
+        let consensus = ConsensusMethod::pairwise_disagreement();
+        let query = GroupQuery::paper_default();
+        let config = BuildConfig::default();
+
+        // The one-shot replica trains its own substrate from the same
+        // inputs — bit-identical by construction, as PR 1's round-trip
+        // suite already proves for plain builds.
+        let session = GroupTravelSession::new(
+            paris(17),
+            SessionConfig { lda: engine.config().lda, metric: engine.config().metric },
+        )
+        .unwrap();
+        let profile = group.profile(consensus);
+        let initial = session.build_package(&profile, &query, &config).unwrap();
+
+        let built = engine.serve_command(&CommandRequest::new(
+            SESSION,
+            SessionCommand::build_for_group("Paris", group.clone(), consensus, query, config),
+        ));
+        prop_assert_eq!(built.package().expect("engine build succeeds"), &initial);
+
+        let mut reference = Reference {
+            session,
+            group,
+            consensus,
+            profile,
+            package: initial,
+            interactions: Vec::new(),
+            query,
+            config,
+        };
+
+        let mut replay_failures = 0u64;
+        for (case, &(kind, a, b)) in script.iter().enumerate() {
+            let member = reference.group.members()[b % reference.group.size()].user_id;
+            match interpret(kind, a, b, &reference.package, reference.session.catalog()) {
+                Step::Op(op) => {
+                    let response = engine.serve_command(&CommandRequest::from_member(
+                        SESSION,
+                        member,
+                        SessionCommand::Customize(op),
+                    ));
+                    let replayed = reference.session.apply(
+                        &mut reference.package,
+                        &op,
+                        &reference.profile,
+                        &reference.query,
+                        &reference.config.weights,
+                    );
+                    match replayed {
+                        Ok(log) => {
+                            record_member_log(&mut reference.interactions, member, &log);
+                            prop_assert_eq!(
+                                response.package().expect("replay succeeded, engine must too"),
+                                &reference.package,
+                                "step {}: packages diverged", case
+                            );
+                        }
+                        Err(_) => {
+                            replay_failures += 1;
+                            prop_assert!(
+                                response.outcome.is_err(),
+                                "step {}: replay failed, engine succeeded", case
+                            );
+                        }
+                    }
+                }
+                Step::Refine(strategy) => {
+                    let response = engine.serve_command(&CommandRequest::new(
+                        SESSION,
+                        SessionCommand::Refine(strategy),
+                    ));
+                    let refined = match strategy {
+                        RefinementStrategy::Batch => refine_batch(
+                            &reference.profile,
+                            &reference.interactions,
+                            reference.session.catalog(),
+                            reference.session.vectorizer(),
+                        ),
+                        RefinementStrategy::Individual => {
+                            let (refined_group, refined_profile) = refine_individual(
+                                &reference.group,
+                                reference.consensus,
+                                &reference.interactions,
+                                reference.session.catalog(),
+                                reference.session.vectorizer(),
+                            );
+                            reference.group = refined_group;
+                            refined_profile
+                        }
+                    };
+                    reference.interactions.clear();
+                    reference.profile = refined.clone();
+                    prop_assert_eq!(
+                        response.refined_profile().expect("refine succeeds"),
+                        &refined,
+                        "step {}: refined profiles diverged", case
+                    );
+                }
+                Step::Rebuild => {
+                    let response = engine.serve_command(&CommandRequest::new(
+                        SESSION,
+                        SessionCommand::rebuild("Paris", reference.query, reference.config),
+                    ));
+                    prop_assert!(
+                        response.clustering_cache_hit,
+                        "step {}: interactive rebuild must be warm", case
+                    );
+                    reference.package = reference
+                        .session
+                        .build_package(&reference.profile, &reference.query, &reference.config)
+                        .unwrap();
+                    prop_assert_eq!(
+                        response.package().expect("rebuild succeeds"),
+                        &reference.package,
+                        "step {}: rebuilt packages diverged", case
+                    );
+                }
+                Step::Suggest { ci_index, poi } => {
+                    let response = engine.serve_command(&CommandRequest::new(
+                        SESSION,
+                        SessionCommand::SuggestReplacement { ci_index, poi },
+                    ));
+                    let expected = reference
+                        .session
+                        .suggest_replacement(&reference.package, ci_index, poi)
+                        .cloned();
+                    match response.outcome {
+                        Ok(CommandOutcome::Suggestion(actual)) => {
+                            prop_assert_eq!(actual, expected, "step {}: suggestions diverged", case);
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "step {case}: expected a suggestion, got {other:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+
+            // The authoritative state tracks the replica exactly.
+            let state = engine.sessions().snapshot(SESSION).unwrap();
+            prop_assert_eq!(
+                state.last_package.as_ref(),
+                Some(&reference.package),
+                "step {}: stored package diverged", case
+            );
+            prop_assert_eq!(
+                state.pending_interactions(),
+                reference.pending(),
+                "step {}: pooled interactions diverged", case
+            );
+        }
+
+        // Warm guarantee: one cold FCM fit and one LDA training total, no
+        // matter what the script did.
+        let stats = engine.stats();
+        prop_assert_eq!(stats.fcm_trainings, 1, "interactive steps must never retrain FCM");
+        prop_assert_eq!(stats.lda_trainings, 1, "interactive steps must never retrain LDA");
+        prop_assert_eq!(
+            stats.commands.failures, replay_failures,
+            "engine and replay must fail on exactly the same steps"
+        );
+    }
+}
+
+/// The final profile after a whole interactive session matches the one-shot
+/// replay — a fixed, human-readable script touching every command kind,
+/// independent of the randomized suite above.
+#[test]
+fn fixed_script_round_trips_end_to_end() {
+    let engine = Engine::new(EngineConfig::exhaustive());
+    engine.register_catalog(paris(23)).unwrap();
+    let schema = engine.profile_schema("Paris").unwrap();
+    let group =
+        SyntheticGroupGenerator::new(schema, 9).group(GroupSize::Large, Uniformity::NonUniform);
+    let consensus = ConsensusMethod::disagreement_variance();
+    let query = GroupQuery::paper_default();
+    let config = BuildConfig::default();
+
+    let session = GroupTravelSession::new(
+        paris(23),
+        SessionConfig {
+            lda: engine.config().lda,
+            metric: engine.config().metric,
+        },
+    )
+    .unwrap();
+    let mut profile = group.profile(consensus);
+    let mut package = session.build_package(&profile, &query, &config).unwrap();
+
+    let built = engine.serve_command(&CommandRequest::new(
+        2,
+        SessionCommand::build_for_group("Paris", group.clone(), consensus, query, config),
+    ));
+    assert_eq!(built.package().unwrap(), &package);
+
+    // Two members interact: a removal and a replacement.
+    let mut interactions: Vec<MemberInteractions> = Vec::new();
+    let removed = package.get(0).unwrap().poi_ids()[0];
+    let ops = [
+        (
+            group.members()[0].user_id,
+            CustomizationOp::Remove {
+                ci_index: 0,
+                poi: removed,
+            },
+        ),
+        (
+            group.members()[1].user_id,
+            CustomizationOp::Replace {
+                ci_index: 1,
+                poi: package.get(1).unwrap().poi_ids()[1],
+            },
+        ),
+    ];
+    for (member, op) in ops {
+        let response = engine.serve_command(&CommandRequest::from_member(
+            2,
+            member,
+            SessionCommand::Customize(op),
+        ));
+        let log = session
+            .apply(&mut package, &op, &profile, &query, &config.weights)
+            .unwrap();
+        record_member_log(&mut interactions, member, &log);
+        assert_eq!(response.package().unwrap(), &package);
+    }
+
+    // Batch refinement, then a warm rebuild with the refined profile.
+    let refined = engine.serve_command(&CommandRequest::new(
+        2,
+        SessionCommand::Refine(RefinementStrategy::Batch),
+    ));
+    profile = refine_batch(
+        &profile,
+        &interactions,
+        session.catalog(),
+        session.vectorizer(),
+    );
+    assert_eq!(refined.refined_profile().unwrap(), &profile);
+
+    let rebuilt = engine.serve_command(&CommandRequest::new(
+        2,
+        SessionCommand::rebuild("Paris", query, config),
+    ));
+    package = session.build_package(&profile, &query, &config).unwrap();
+    assert_eq!(rebuilt.package().unwrap(), &package);
+    assert!(rebuilt.clustering_cache_hit);
+    assert_eq!(engine.stats().fcm_trainings, 1);
+}

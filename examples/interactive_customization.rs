@@ -1,180 +1,226 @@
-//! Interactive customization and profile refinement (§3.3 and Figure 3).
+//! Interactive customization and profile refinement (§3.3 and Figure 3),
+//! served through the engine's interactive sessions.
 //!
-//! A non-uniform group gets a personalized Paris package, every member
-//! interacts with it (remove / add / replace / generate), the group profile
-//! is refined with both the *individual* and the *batch* strategy, and the
-//! refined profiles are used to build a package in a different city
-//! (Barcelona) — the robustness test of §4.4.4.
+//! Two identical non-uniform groups interact with their personalized Paris
+//! package — remove, system-suggested replace, add, generate — then each
+//! refines its profile with a different strategy (*batch* vs *individual*).
+//! Finally both sessions rebuild **in Barcelona** (registered to share
+//! Paris's item vectorizer, so profiles stay meaningful) with no profile in
+//! the command: the engine carries each session's refined profile across
+//! cities — the robustness test of §4.4.4, multi-step and stateful, on the
+//! concurrent serving path.
 //!
-//! Run with: `cargo run --example interactive_customization`
+//! Run with: `cargo run --release --example interactive_customization`
 
 use grouptravel::prelude::*;
-use grouptravel::{
-    refine_batch, refine_individual, CustomizationOp, MemberInteractions, ObjectiveWeights,
-};
+use grouptravel::OptimizationDimensions;
+use grouptravel_engine::{CommandOutcome, CommandRequest, Engine, EngineConfig, SessionCommand};
 
 fn main() {
-    // Paris and Barcelona sessions sharing one item vectorizer, so profiles
-    // refined in Paris are meaningful in Barcelona.
-    let paris_catalog =
-        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::default()).generate();
-    let paris =
-        GroupTravelSession::new(paris_catalog, SessionConfig::default()).expect("paris session");
-    let barcelona_catalog =
-        SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::default())
-            .generate();
-    let barcelona = GroupTravelSession::with_vectorizer(
-        barcelona_catalog,
-        paris.vectorizer().clone(),
-        paris.metric(),
-    )
-    .expect("barcelona session");
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .register_catalog(
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::default())
+                .generate(),
+        )
+        .expect("paris registers");
+    // Barcelona reuses Paris's vectorizer: one profile schema, two cities.
+    engine
+        .register_catalog_sharing_schema(
+            SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::default())
+                .generate(),
+            "Paris",
+        )
+        .expect("barcelona registers sharing the Paris schema");
 
     // A non-uniform group: members with very different tastes.
-    let mut generator = SyntheticGroupGenerator::new(paris.profile_schema(), 11);
-    let group = generator.group(GroupSize::Small, Uniformity::NonUniform);
+    let schema = engine.profile_schema("Paris").expect("Paris registered");
+    let group =
+        SyntheticGroupGenerator::new(schema, 11).group(GroupSize::Small, Uniformity::NonUniform);
     let consensus = ConsensusMethod::disagreement_variance();
-    let profile = group.profile(consensus);
     let query = GroupQuery::paper_default();
-    let weights = ObjectiveWeights::default();
+    let config = BuildConfig::default();
 
-    let mut package = paris
-        .build_package(&profile, &query, &BuildConfig::default())
-        .expect("paris package");
-    println!(
-        "Initial Paris package: {} composite items, {} distinct POIs",
-        package.len(),
-        package.distinct_poi_ids().len()
-    );
+    // Two sessions with the same group and the same interactions, so the
+    // two refinement strategies can be compared head to head.
+    let strategies = [
+        (1u64, RefinementStrategy::Batch),
+        (2u64, RefinementStrategy::Individual),
+    ];
+    for &(session, _) in &strategies {
+        let response = engine.serve_command(&CommandRequest::new(
+            session,
+            SessionCommand::build_for_group("Paris", group.clone(), consensus, query, config),
+        ));
+        let package = response.package().expect("paris package");
+        if session == 1 {
+            println!(
+                "Initial Paris package: {} composite items, {} distinct POIs (cold build, {:?})",
+                package.len(),
+                package.distinct_poi_ids().len(),
+                response.latency
+            );
+        } else {
+            println!(
+                "Session {session} built the same package warm (cache hit: {}, {:?})",
+                response.clustering_cache_hit, response.latency
+            );
+        }
+    }
 
-    // Each member performs one operation; the logs are kept per member so
-    // both refinement strategies can be compared.
-    let mut interactions: Vec<MemberInteractions> = Vec::new();
+    // Members interact; every command goes to both sessions.
+    let package = engine.sessions().snapshot(1).unwrap().last_package.unwrap();
 
     // Member 1 removes the first POI of day 1.
     let removed = package.get(0).expect("k >= 1").poi_ids()[0];
-    let log = paris
-        .apply(
-            &mut package,
-            &CustomizationOp::Remove {
+    for &(session, _) in &strategies {
+        engine.serve_command(&CommandRequest::from_member(
+            session,
+            group.members()[0].user_id,
+            SessionCommand::Customize(CustomizationOp::Remove {
                 ci_index: 0,
                 poi: removed,
-            },
-            &profile,
-            &query,
-            &weights,
-        )
-        .expect("remove");
+            }),
+        ));
+    }
     println!("Member 1 removed {removed}");
-    interactions.push(MemberInteractions::with_log(
-        group.members()[0].user_id,
-        log,
-    ));
 
-    // Member 2 asks the system to replace a POI on day 2.
+    // Member 2 asks the system for a replacement on day 2, then applies it.
     let to_replace = package.get(1).expect("k >= 2").poi_ids()[0];
-    let log = paris
-        .apply(
-            &mut package,
-            &CustomizationOp::Replace {
+    let suggestion = match engine
+        .serve_command(&CommandRequest::new(
+            1,
+            SessionCommand::SuggestReplacement {
                 ci_index: 1,
                 poi: to_replace,
             },
-            &profile,
-            &query,
-            &weights,
-        )
-        .expect("replace");
+        ))
+        .outcome
+    {
+        Ok(CommandOutcome::Suggestion(s)) => s,
+        other => panic!("expected a suggestion, got {other:?}"),
+    };
+    if suggestion.is_some() {
+        for &(session, _) in &strategies {
+            engine.serve_command(&CommandRequest::from_member(
+                session,
+                group.members()[1].user_id,
+                SessionCommand::Customize(CustomizationOp::Replace {
+                    ci_index: 1,
+                    poi: to_replace,
+                }),
+            ));
+        }
+    }
     println!(
         "Member 2 replaced {to_replace} with {}",
-        log.added
-            .first()
-            .map_or("nothing".into(), ToString::to_string)
+        suggestion.map_or("nothing".into(), |p| format!("\"{}\"", p.name))
     );
-    interactions.push(MemberInteractions::with_log(
-        group.members()[1].user_id,
-        log,
-    ));
 
-    // Member 3 adds the closest attraction to day 3.
-    if let Some(candidate) = paris
-        .add_candidates(&package, 2, Category::Attraction, None, 1)
-        .first()
-    {
-        let id = candidate.id;
-        let name = candidate.name.clone();
-        let log = paris
-            .apply(
-                &mut package,
-                &CustomizationOp::Add {
-                    ci_index: 2,
-                    poi: id,
-                },
-                &profile,
-                &query,
-                &weights,
-            )
-            .expect("add");
-        println!("Member 3 added \"{name}\"");
-        interactions.push(MemberInteractions::with_log(
+    // Member 3 adds the first attraction of the catalog to day 3.
+    let added = engine
+        .registry()
+        .get("Paris")
+        .unwrap()
+        .catalog()
+        .by_category(Category::Attraction)[0]
+        .id;
+    for &(session, _) in &strategies {
+        engine.serve_command(&CommandRequest::from_member(
+            session,
             group.members()[2].user_id,
-            log,
+            SessionCommand::Customize(CustomizationOp::Add {
+                ci_index: 2,
+                poi: added,
+            }),
         ));
     }
+    println!("Member 3 added {added}");
 
     // Member 4 draws a rectangle around the city centre and generates a new
     // composite item inside it.
-    let bbox = paris.catalog().bounding_box().expect("non-empty catalog");
+    let bbox = engine
+        .registry()
+        .get("Paris")
+        .unwrap()
+        .catalog()
+        .bounding_box()
+        .expect("non-empty catalog");
     let rect = Rectangle::new(
         bbox.min_lon + bbox.lon_span() * 0.3,
         bbox.max_lat - bbox.lat_span() * 0.3,
         bbox.lon_span() * 0.4,
         bbox.lat_span() * 0.4,
     );
-    let log = paris
-        .apply(
-            &mut package,
-            &CustomizationOp::Generate { rectangle: rect },
-            &profile,
-            &query,
-            &weights,
-        )
-        .expect("generate");
-    println!(
-        "Member 4 generated a new composite item with {} POIs inside the rectangle",
-        log.added.len()
-    );
-    interactions.push(MemberInteractions::with_log(
-        group.members()[3].user_id,
-        log,
-    ));
+    for &(session, _) in &strategies {
+        let response = engine.serve_command(&CommandRequest::from_member(
+            session,
+            group.members()[3].user_id,
+            SessionCommand::Customize(CustomizationOp::Generate { rectangle: rect }),
+        ));
+        if session == 1 {
+            let generated = response.package().expect("generate succeeds");
+            println!(
+                "Member 4 generated a new composite item ({} composite items now)",
+                generated.len()
+            );
+        }
+    }
 
-    // Refine the group profile with both strategies.
-    let batch_profile = refine_batch(&profile, &interactions, paris.catalog(), paris.vectorizer());
-    let (_, individual_profile) = refine_individual(
-        &group,
-        consensus,
-        &interactions,
-        paris.catalog(),
-        paris.vectorizer(),
-    );
-
-    // Build Barcelona packages from the original and refined profiles and
-    // compare their personalization towards the refined (batch) profile —
-    // the profile that now encodes what the group actually asked for.
+    // Each session refines with its own strategy, consuming the pooled
+    // interactions, then rebuilds in Barcelona with *no* profile in the
+    // command — the engine's session state carries the refined profile.
     println!("\nBarcelona packages (profile robustness across cities):");
-    for (name, p) in [
-        ("original profile", &profile),
-        ("batch-refined", &batch_profile),
-        ("individually-refined", &individual_profile),
-    ] {
-        let package = barcelona
-            .build_package(p, &query, &BuildConfig::default())
-            .expect("barcelona package");
-        let dims = barcelona.measure(&package, &batch_profile);
+    let barcelona = engine.registry().get("Barcelona").unwrap();
+    for &(session, strategy) in &strategies {
+        let refined = engine
+            .serve_command(&CommandRequest::new(
+                session,
+                SessionCommand::Refine(strategy),
+            ))
+            .refined_profile()
+            .expect("refinement succeeds")
+            .clone();
+        let response = engine.serve_command(&CommandRequest::new(
+            session,
+            SessionCommand::rebuild("Barcelona", query, config),
+        ));
+        let package = response.package().expect("barcelona package");
+        let dims = OptimizationDimensions::measure(
+            package,
+            barcelona.catalog(),
+            barcelona.vectorizer(),
+            &refined,
+            engine.config().metric,
+        );
         println!(
-            "  {:<22} personalization towards the refined profile: {:.2}",
-            name, dims.personalization
+            "  {:<11} personalization towards its refined profile: {:.2} (warm: {})",
+            strategy.name(),
+            dims.personalization,
+            response.clustering_cache_hit
         );
     }
+
+    // End both sessions and show what the engine accounted.
+    for &(session, _) in &strategies {
+        if let Ok(CommandOutcome::Ended(state)) = engine
+            .serve_command(&CommandRequest::new(session, SessionCommand::End))
+            .outcome
+        {
+            println!(
+                "Session {session}: {} steps, {} customizations, {} refinement(s), mean step latency {:?}",
+                state.steps,
+                state.customizations,
+                state.refinements,
+                state.mean_latency()
+            );
+        }
+    }
+    let stats = engine.stats();
+    println!(
+        "Engine totals: {} commands, {} FCM trainings, {} LDA trainings",
+        stats.commands.total(),
+        stats.fcm_trainings,
+        stats.lda_trainings
+    );
 }

@@ -1,8 +1,10 @@
 //! Integration tests for the customization study (Tables 6–7) and the
-//! profile-refinement machinery across cities.
+//! profile-refinement machinery across cities — through both the one-shot
+//! `GroupTravelSession` and the serving engine's interactive sessions.
 
 use grouptravel::prelude::*;
 use grouptravel::{refine_batch, refine_individual, MemberInteractions};
+use grouptravel_engine::{CommandRequest, Engine, EngineConfig, EngineError, SessionCommand};
 use grouptravel_experiments::common::UserStudyWorld;
 use grouptravel_experiments::{table6, table7, ExperimentScale};
 
@@ -186,4 +188,173 @@ fn refined_profiles_transfer_to_barcelona_and_change_the_package() {
         dims_refined.personalization,
         dims_baseline.personalization
     );
+}
+
+fn small_catalog(city: CitySpec, seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(city, SyntheticCityConfig::small(seed)).generate()
+}
+
+/// The §4.4.4 flow — customize in Paris, refine, rebuild in Barcelona with
+/// the refined profile — served entirely through the engine's interactive
+/// sessions, checked bit-identical against the one-shot replay that the
+/// rest of this file exercises.
+#[test]
+fn engine_interactive_path_matches_the_one_shot_customization_flow() {
+    let engine = Engine::new(EngineConfig::exhaustive());
+    engine
+        .register_catalog(small_catalog(CitySpec::paris(), 41))
+        .unwrap();
+    // Barcelona shares Paris's vectorizer, so refined profiles transfer.
+    engine
+        .register_catalog_sharing_schema(small_catalog(CitySpec::barcelona(), 43), "Paris")
+        .unwrap();
+
+    let schema = engine.profile_schema("Paris").unwrap();
+    let group =
+        SyntheticGroupGenerator::new(schema, 7).group(GroupSize::Small, Uniformity::NonUniform);
+    let consensus = ConsensusMethod::pairwise_disagreement();
+    let query = GroupQuery::paper_default();
+    let config = BuildConfig::default();
+
+    // One-shot replica: Paris session + Barcelona session sharing the
+    // vectorizer, exactly as `examples/interactive_customization.rs` did
+    // before the engine existed.
+    let paris = GroupTravelSession::new(
+        small_catalog(CitySpec::paris(), 41),
+        SessionConfig {
+            lda: engine.config().lda,
+            metric: engine.config().metric,
+        },
+    )
+    .unwrap();
+    let barcelona = GroupTravelSession::with_vectorizer(
+        small_catalog(CitySpec::barcelona(), 43),
+        paris.vectorizer().clone(),
+        paris.metric(),
+    )
+    .unwrap();
+
+    let profile = group.profile(consensus);
+    let mut package = paris.build_package(&profile, &query, &config).unwrap();
+    let built = engine.serve_command(&CommandRequest::new(
+        5,
+        SessionCommand::build_for_group("Paris", group.clone(), consensus, query, config),
+    ));
+    assert_eq!(built.package().unwrap(), &package);
+
+    // A member removes a POI, another replaces one.
+    let mut interactions: Vec<MemberInteractions> = Vec::new();
+    let ops = [
+        (
+            group.members()[0].user_id,
+            CustomizationOp::Remove {
+                ci_index: 0,
+                poi: package.get(0).unwrap().poi_ids()[0],
+            },
+        ),
+        (
+            group.members()[1].user_id,
+            CustomizationOp::Replace {
+                ci_index: 2,
+                poi: package.get(2).unwrap().poi_ids()[0],
+            },
+        ),
+    ];
+    for (member, op) in ops {
+        let response = engine.serve_command(&CommandRequest::from_member(
+            5,
+            member,
+            SessionCommand::Customize(op),
+        ));
+        let log = paris
+            .apply(&mut package, &op, &profile, &query, &config.weights)
+            .unwrap();
+        grouptravel::record_member_log(&mut interactions, member, &log);
+        assert_eq!(response.package().unwrap(), &package);
+    }
+
+    // Batch refinement, then rebuild *in Barcelona* with no explicit
+    // profile: the engine must carry the refined profile across cities.
+    let refined_response = engine.serve_command(&CommandRequest::new(
+        5,
+        SessionCommand::Refine(RefinementStrategy::Batch),
+    ));
+    let refined = refine_batch(&profile, &interactions, paris.catalog(), paris.vectorizer());
+    assert_eq!(refined_response.refined_profile().unwrap(), &refined);
+
+    let transferred = engine.serve_command(&CommandRequest::new(
+        5,
+        SessionCommand::rebuild("Barcelona", query, config),
+    ));
+    let expected = barcelona.build_package(&refined, &query, &config).unwrap();
+    assert_eq!(
+        transferred.package().unwrap(),
+        &expected,
+        "the refined profile must transfer to Barcelona bit-identically"
+    );
+    let state = engine.sessions().snapshot(5).unwrap();
+    assert_eq!(state.city, "Barcelona");
+    assert_eq!(state.refinements, 1);
+}
+
+/// Customizing a session the store evicted must surface a typed error —
+/// never a panic, and never a silent rebuild from scratch.
+#[test]
+fn customizing_after_session_store_eviction_is_a_typed_error() {
+    let engine = Engine::new(EngineConfig {
+        max_sessions: 2,
+        ..EngineConfig::fast()
+    });
+    engine
+        .register_catalog(small_catalog(CitySpec::paris(), 41))
+        .unwrap();
+    let schema = engine.profile_schema("Paris").unwrap();
+    let build_for = |session: u64| {
+        let profile = SyntheticGroupGenerator::new(schema, session)
+            .group(GroupSize::Small, Uniformity::Uniform)
+            .profile(ConsensusMethod::pairwise_disagreement());
+        CommandRequest::new(
+            session,
+            SessionCommand::build(
+                "Paris",
+                profile,
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        )
+    };
+
+    // Fill the store, then admit a third session: the stalest (1) is
+    // evicted to stay within capacity.
+    for session in [1, 2, 3] {
+        assert!(engine.serve_command(&build_for(session)).outcome.is_ok());
+    }
+    assert!(engine.sessions().len() <= 2);
+    assert!(engine.sessions().snapshot(1).is_none(), "session 1 evicted");
+
+    let builds_before = engine.stats().commands.builds;
+    let response = engine.serve_command(&CommandRequest::new(
+        1,
+        SessionCommand::Customize(CustomizationOp::DeleteCi { ci_index: 0 }),
+    ));
+    assert_eq!(
+        response.outcome.unwrap_err(),
+        EngineError::UnknownSession(1),
+        "evicted sessions fail typed"
+    );
+    assert_eq!(response.step, 0);
+    assert_eq!(
+        engine.stats().commands.builds,
+        builds_before,
+        "no silent rebuild of evicted state"
+    );
+    assert!(
+        engine.sessions().snapshot(1).is_none(),
+        "the failed customize must not resurrect the session"
+    );
+
+    // The client recovers by building again with an explicit profile.
+    let rebuilt = engine.serve_command(&build_for(1));
+    assert!(rebuilt.outcome.is_ok());
+    assert_eq!(rebuilt.step, 1, "a recovered session starts a fresh life");
 }
