@@ -1,0 +1,100 @@
+//! Candidate-generation and k-NN scaling: grid vs the seed's brute force at
+//! catalog sizes 10³–10⁵ (10⁶ runs in the `candidate_scaling_report` binary,
+//! which also writes `BENCH_candidates.json`; it is kept out of the
+//! criterion path so `cargo test`'s one-shot bench smoke stays fast).
+//!
+//! Two measurements per size, both against the restaurant category (the
+//! largest, 3/8 of the catalog):
+//!
+//! * `knn`: the 16 nearest POIs to a query point — the `ADD`/`REPLACE` hot
+//!   path. Brute is the seed implementation (full scan + full sort).
+//! * `pool`: candidate generation **plus the builder's ranking** — the
+//!   `GENERATE`/build hot path. Brute ranks the whole category (what
+//!   `BruteForceCandidates` hands the builder); grid ranks an exact-k
+//!   64-candidate pool.
+//!
+//! Set `GT_CANDIDATE_SCALING_SMOKE=1` to restrict to the 10³ catalog — the
+//! CI invocation that proves the scaling path compiles and runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel_bench::candidates::{
+    brute_force_k_nearest, brute_force_pool, grid_pool, query_points, rank_candidates,
+    scaling_catalog, CI_TAKE, KNN_K, METRIC, POOL_SIZE,
+};
+use grouptravel_dataset::Category;
+
+fn sizes() -> Vec<usize> {
+    if std::env::var_os("GT_CANDIDATE_SCALING_SMOKE").is_some() {
+        vec![1_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    }
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_scaling/knn");
+    group.sample_size(10);
+    for size in sizes() {
+        let catalog = scaling_catalog(size, 0xC0FFEE ^ size as u64);
+        let queries = query_points(&catalog, 64);
+        let _ = catalog.spatial(); // primed, as the engine does at registration
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new("grid", size), |b| {
+            b.iter(|| {
+                cursor = (cursor + 1) % queries.len();
+                catalog.k_nearest_in_category(
+                    &queries[cursor],
+                    Category::Restaurant,
+                    KNN_K,
+                    METRIC,
+                    &[],
+                )
+            });
+        });
+        group.bench_function(BenchmarkId::new("brute", size), |b| {
+            b.iter(|| {
+                cursor = (cursor + 1) % queries.len();
+                brute_force_k_nearest(
+                    &catalog,
+                    &queries[cursor],
+                    Category::Restaurant,
+                    KNN_K,
+                    METRIC,
+                    &[],
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate_scaling/pool");
+    group.sample_size(10);
+    for size in sizes() {
+        let catalog = scaling_catalog(size, 0xC0FFEE ^ size as u64);
+        let queries = query_points(&catalog, 64);
+        let _ = catalog.spatial();
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new("grid", size), |b| {
+            b.iter(|| {
+                cursor = (cursor + 1) % queries.len();
+                let q = &queries[cursor];
+                let pool = grid_pool(&catalog, q, Category::Restaurant, POOL_SIZE);
+                rank_candidates(&pool, q, CI_TAKE).len()
+            });
+        });
+        group.bench_function(BenchmarkId::new("brute", size), |b| {
+            b.iter(|| {
+                cursor = (cursor + 1) % queries.len();
+                let q = &queries[cursor];
+                let pool = brute_force_pool(&catalog, Category::Restaurant);
+                rank_candidates(&pool, q, CI_TAKE).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_pool);
+criterion_main!(benches);

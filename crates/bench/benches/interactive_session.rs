@@ -7,10 +7,16 @@
 //! paper's §3.3 interaction loop produces. Customization steps never
 //! cluster, so the cold/warm delta isolates exactly the one fuzzy-c-means
 //! training the first build of a cold key pays.
+//!
+//! A second pair of benches isolates CUSTOMIZE itself on a full-size city
+//! (600 POIs, categories larger than the engine's 64-POI pool floor):
+//! `GENERATE` + `REPLACE` steps through the grid-backed candidate provider
+//! versus the seed's brute-force provider.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use grouptravel::prelude::*;
-use grouptravel_engine::{CommandRequest, Engine, EngineConfig, SessionCommand};
+use grouptravel::{apply_op, BruteForceCandidates, CandidateProvider};
+use grouptravel_engine::{CommandRequest, Engine, EngineConfig, GridCandidates, SessionCommand};
 
 const CUSTOMIZATION_STEPS: usize = 8;
 
@@ -149,5 +155,133 @@ fn bench_warm(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_cold, bench_warm);
+/// Applies one `GENERATE` and one `REPLACE` per iteration through the given
+/// provider against a prebuilt package on a full-size city, returning the
+/// package length (kept growing/shrinking in balance by a `DeleteCi`).
+#[allow(clippy::too_many_arguments)]
+fn customize_round(
+    entry: &grouptravel_engine::CityEntry,
+    metric: grouptravel_geo::DistanceMetric,
+    bbox: &grouptravel_geo::BoundingBox,
+    provider: &dyn CandidateProvider,
+    package: &mut TravelPackage,
+    profile: &GroupProfile,
+    query: &GroupQuery,
+    step: usize,
+) -> usize {
+    let f = (step % 5) as f64 * 0.12;
+    let ops = [
+        CustomizationOp::Generate {
+            rectangle: Rectangle::new(
+                bbox.min_lon + bbox.lon_span() * f,
+                bbox.max_lat - bbox.lat_span() * f,
+                bbox.lon_span() * 0.4,
+                bbox.lat_span() * 0.4,
+            ),
+        },
+        CustomizationOp::Replace {
+            ci_index: 0,
+            poi: package.get(0).unwrap().poi_ids()[step % package.get(0).unwrap().len()],
+        },
+        CustomizationOp::DeleteCi {
+            ci_index: package.len() - 1,
+        },
+    ];
+    for op in &ops {
+        apply_op(
+            entry.catalog(),
+            entry.vectorizer(),
+            metric,
+            provider,
+            package,
+            op,
+            profile,
+            query,
+            &ObjectiveWeights::default(),
+        )
+        .expect("customize op applies");
+    }
+    package.len()
+}
+
+/// CUSTOMIZE steps on a TourPedia-scale city (2 000 POIs — the paper's
+/// cities run to thousands; categories far exceed the 64-POI pool floor, so
+/// grid pools are genuinely bounded): grid-backed vs brute-force candidate
+/// provider.
+fn bench_customize_grid_vs_brute(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig::fast());
+    let catalog = SyntheticCityGenerator::new(
+        CitySpec::paris(),
+        SyntheticCityConfig {
+            counts: [250, 150, 800, 800],
+            seed: 23,
+            ..SyntheticCityConfig::default()
+        },
+    )
+    .generate();
+    engine.register_catalog(catalog).expect("catalog registers");
+    let schema = engine.profile_schema("Paris").unwrap();
+    let profile = SyntheticGroupGenerator::new(schema, 11)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    let query = GroupQuery::paper_default();
+    let built = engine.serve_command(&CommandRequest::new(
+        1,
+        SessionCommand::build("Paris", profile.clone(), query, BuildConfig::default()),
+    ));
+    let package = built.package().expect("build succeeds").clone();
+    let entry = engine.registry().get("Paris").unwrap();
+    let bbox = entry.catalog().bounding_box().unwrap();
+
+    let mut group = c.benchmark_group("interactive_session/customize");
+    group.sample_size(10);
+    let config = *engine.config();
+    let grid = GridCandidates::new(
+        &entry,
+        config.min_candidate_pool,
+        config.candidate_oversample,
+        config.metric,
+    );
+    let mut step = 0usize;
+    let mut working = package.clone();
+    group.bench_function("generate+replace/grid", |b| {
+        b.iter(|| {
+            step += 1;
+            customize_round(
+                &entry,
+                config.metric,
+                &bbox,
+                &grid,
+                &mut working,
+                &profile,
+                &query,
+                step,
+            )
+        });
+    });
+    let mut working = package.clone();
+    group.bench_function("generate+replace/brute", |b| {
+        b.iter(|| {
+            step += 1;
+            customize_round(
+                &entry,
+                config.metric,
+                &bbox,
+                &BruteForceCandidates,
+                &mut working,
+                &profile,
+                &query,
+                step,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold,
+    bench_warm,
+    bench_customize_grid_vs_brute
+);
 criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Measures grid vs brute-force candidate generation and k-NN at catalog
+//! sizes 10³/10⁴/10⁵/10⁶ and writes the numbers to `BENCH_candidates.json`
+//! (first CLI argument overrides the output path).
+//!
+//! Run with `cargo run --release -p grouptravel-bench --bin
+//! candidate_scaling_report`. The JSON is committed at the repository root
+//! so the speed-ups travel with the code that produced them.
+
+use grouptravel_bench::candidates::{measure_scale, ScalingRow, KNN_K, POOL_SIZE};
+
+fn row_json(row: &ScalingRow) -> String {
+    format!(
+        "    {{\"pois\": {}, \"grid_build_ms\": {:.3}, \
+         \"knn_brute_ns\": {:.0}, \"knn_grid_ns\": {:.0}, \"knn_speedup\": {:.1}, \
+         \"pool_brute_ns\": {:.0}, \"pool_grid_ns\": {:.0}, \"pool_speedup\": {:.1}}}",
+        row.pois,
+        row.grid_build_ms,
+        row.knn_brute_ns,
+        row.knn_grid_ns,
+        row.knn_speedup(),
+        row.pool_brute_ns,
+        row.pool_grid_ns,
+        row.pool_speedup()
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_candidates.json".to_string());
+    let queries_per_size = 64;
+    let sizes = [1_000usize, 10_000, 100_000, 1_000_000];
+
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        eprintln!("measuring {size} POIs…");
+        let row = measure_scale(size, queries_per_size);
+        eprintln!(
+            "  grid build {:.1} ms | knn {:.0} ns vs {:.0} ns ({:.1}x) | pool {:.0} ns vs {:.0} ns ({:.1}x)",
+            row.grid_build_ms,
+            row.knn_grid_ns,
+            row.knn_brute_ns,
+            row.knn_speedup(),
+            row.pool_grid_ns,
+            row.pool_brute_ns,
+            row.pool_speedup()
+        );
+        rows.push(row);
+    }
+
+    let body: Vec<String> = rows.iter().map(row_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"candidate_scaling\",\n  \"metric\": \"Equirectangular\",\n  \
+         \"k\": {KNN_K},\n  \"pool\": {POOL_SIZE},\n  \"queries_per_size\": {queries_per_size},\n  \
+         \"category\": \"Restaurant (3/8 of the catalog)\",\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_candidates.json");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,242 @@
+//! Fixtures and reference implementations for the candidate-scaling bench
+//! (`benches/candidate_scaling.rs`), its CI smoke test, and the
+//! `candidate_scaling_report` binary that writes `BENCH_candidates.json`.
+//!
+//! The brute-force reference here is deliberately the *seed's* hot path — a
+//! full per-category scan with an `O(k·n)` exclusion filter and a full sort
+//! — so the bench measures exactly what the grid k-NN replaced.
+
+use grouptravel_dataset::{
+    Category, CitySpec, Poi, PoiCatalog, PoiId, SyntheticCityConfig, SyntheticCityGenerator,
+};
+use grouptravel_geo::{DistanceMetric, GeoPoint};
+use std::time::Instant;
+
+/// The k the scaling bench asks for — a generous `ADD`-candidate page.
+pub const KNN_K: usize = 16;
+/// The candidate-pool size the scaling bench generates — the engine's
+/// default `min_candidate_pool`.
+pub const POOL_SIZE: usize = 64;
+/// Distance metric of all scaling measurements (the paper's default).
+pub const METRIC: DistanceMetric = DistanceMetric::Equirectangular;
+
+/// A synthetic catalog of `total` POIs (split 1/8 accommodation, 1/8
+/// transportation, 3/8 restaurants, 3/8 attractions, like a real city) with
+/// minimal tag payload so the 10⁶ size stays memory-friendly.
+#[must_use]
+pub fn scaling_catalog(total: usize, seed: u64) -> PoiCatalog {
+    let eighth = (total / 8).max(1);
+    let config = SyntheticCityConfig {
+        counts: [
+            eighth,
+            eighth,
+            3 * eighth,
+            // Remainder category; saturate so a total below 8 still yields
+            // a small valid catalog instead of underflowing.
+            total.saturating_sub(5 * eighth).max(1),
+        ],
+        seed,
+        tags_per_poi: 1,
+        ..SyntheticCityConfig::default()
+    };
+    SyntheticCityGenerator::new(CitySpec::paris(), config).generate()
+}
+
+/// Deterministic query points scattered over the catalog's bounding box
+/// (plus a margin, so some queries come from outside the lattice).
+#[must_use]
+pub fn query_points(catalog: &PoiCatalog, count: usize) -> Vec<GeoPoint> {
+    let bbox = catalog
+        .bounding_box()
+        .expect("scaling catalogs are non-empty")
+        .expanded(0.01);
+    let mut points = Vec::with_capacity(count);
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    for _ in 0..count {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let fx = (x >> 32) as f64 / f64::from(u32::MAX);
+        let fy = (x & 0xffff_ffff) as f64 / f64::from(u32::MAX);
+        points.push(GeoPoint::new_unchecked(
+            bbox.min_lat + bbox.lat_span() * fx,
+            bbox.min_lon + bbox.lon_span() * fy,
+        ));
+    }
+    points
+}
+
+/// The seed's k-nearest implementation: full category scan, `O(k·n)`
+/// `exclude.contains` filter, full sort by distance (stable, so ties keep
+/// catalog order), then take `k`.
+#[must_use]
+pub fn brute_force_k_nearest<'c>(
+    catalog: &'c PoiCatalog,
+    point: &GeoPoint,
+    category: Category,
+    k: usize,
+    metric: DistanceMetric,
+    exclude: &[PoiId],
+) -> Vec<&'c Poi> {
+    let mut candidates: Vec<(&Poi, f64)> = catalog
+        .by_category(category)
+        .into_iter()
+        .filter(|p| !exclude.contains(&p.id))
+        .map(|p| (p, metric.distance_km(point, &p.location)))
+        .collect();
+    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.into_iter().take(k).map(|(p, _)| p).collect()
+}
+
+/// The seed-era candidate-pool generation: score-agnostic full category
+/// scan (what `BruteForceCandidates` hands the builder to rank).
+#[must_use]
+pub fn brute_force_pool(catalog: &PoiCatalog, category: Category) -> Vec<&Poi> {
+    catalog.by_category(category)
+}
+
+/// The builder's per-category work on a candidate pool: score every
+/// candidate (geography blended with a non-geographic term, so the ranking
+/// is *not* monotone in distance, exactly like the real
+/// `β·geo + γ·affinity` score), sort by score, keep the best `take`.
+///
+/// Handing the builder a whole category means this runs O(category); the
+/// grid's exact-k pool caps it at O(pool) — that difference, not the pool
+/// copy itself, is the cost candidate generation controls.
+#[must_use]
+pub fn rank_candidates<'c>(pool: &[&'c Poi], center: &GeoPoint, take: usize) -> Vec<&'c Poi> {
+    let mut scored: Vec<(&Poi, f64)> = pool
+        .iter()
+        .map(|&p| {
+            let d = METRIC.distance_km(center, &p.location);
+            // A deterministic stand-in for the profile-affinity cosine:
+            // per-POI, cheap, and uncorrelated with distance.
+            let affinity =
+                (p.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64 / (1u64 << 24) as f64;
+            (p, 0.5 / (1.0 + d) + 0.5 * affinity)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(take).map(|(p, _)| p).collect()
+}
+
+/// POIs one composite item requests from a category (the paper's default
+/// query asks for up to 2 per category; 6 total).
+pub const CI_TAKE: usize = 2;
+
+/// The grid-backed candidate pool: the exact `pool`-nearest POIs of the
+/// category, resolved to catalog positions (what `GridCandidates` serves).
+#[must_use]
+pub fn grid_pool<'c>(
+    catalog: &'c PoiCatalog,
+    point: &GeoPoint,
+    category: Category,
+    pool: usize,
+) -> Vec<&'c Poi> {
+    catalog.k_nearest_in_category(point, category, pool, METRIC, &[])
+}
+
+/// Mean wall-clock nanoseconds per invocation of `f` over `queries`.
+pub fn mean_ns_per_query<T>(queries: &[GeoPoint], mut f: impl FnMut(&GeoPoint) -> T) -> f64 {
+    let start = Instant::now();
+    for q in queries {
+        std::hint::black_box(f(q));
+    }
+    start.elapsed().as_nanos() as f64 / queries.len() as f64
+}
+
+/// One catalog size's measurements, ready for JSON serialization.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Total POIs in the catalog.
+    pub pois: usize,
+    /// Time to build the per-category spatial index (ms).
+    pub grid_build_ms: f64,
+    /// Mean ns per k-NN query, seed implementation.
+    pub knn_brute_ns: f64,
+    /// Mean ns per k-NN query, grid-backed.
+    pub knn_grid_ns: f64,
+    /// Mean ns per candidate generation + ranking, full-category scan.
+    pub pool_brute_ns: f64,
+    /// Mean ns per candidate generation + ranking, grid-backed exact-k.
+    pub pool_grid_ns: f64,
+}
+
+impl ScalingRow {
+    /// brute/grid speed-up of the k-NN query.
+    #[must_use]
+    pub fn knn_speedup(&self) -> f64 {
+        self.knn_brute_ns / self.knn_grid_ns.max(1.0)
+    }
+
+    /// brute/grid speed-up of candidate generation (pool of
+    /// [`POOL_SIZE`] versus scanning the category).
+    #[must_use]
+    pub fn pool_speedup(&self) -> f64 {
+        self.pool_brute_ns / self.pool_grid_ns.max(1.0)
+    }
+}
+
+/// Measures one catalog size: k-NN and candidate-pool generation, grid vs
+/// the seed's brute force, averaged over `queries_per_size` query points.
+/// The catalog's grid is built (and timed) up front, exactly as the engine
+/// primes it at registration.
+#[must_use]
+pub fn measure_scale(total: usize, queries_per_size: usize) -> ScalingRow {
+    let catalog = scaling_catalog(total, 0xC0FFEE ^ total as u64);
+    let queries = query_points(&catalog, queries_per_size);
+    let category = Category::Restaurant;
+
+    let build_start = Instant::now();
+    let _ = std::hint::black_box(catalog.spatial());
+    let grid_build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    let knn_grid_ns = mean_ns_per_query(&queries, |q| {
+        catalog.k_nearest_in_category(q, category, KNN_K, METRIC, &[])
+    });
+    let knn_brute_ns = mean_ns_per_query(&queries, |q| {
+        brute_force_k_nearest(&catalog, q, category, KNN_K, METRIC, &[])
+    });
+    let pool_grid_ns = mean_ns_per_query(&queries, |q| {
+        let pool = grid_pool(&catalog, q, category, POOL_SIZE);
+        rank_candidates(&pool, q, CI_TAKE).len()
+    });
+    let pool_brute_ns = mean_ns_per_query(&queries, |q| {
+        let pool = brute_force_pool(&catalog, category);
+        rank_candidates(&pool, q, CI_TAKE).len()
+    });
+
+    ScalingRow {
+        pois: total,
+        grid_build_ms,
+        knn_brute_ns,
+        knn_grid_ns,
+        pool_brute_ns,
+        pool_grid_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_and_brute_agree_on_a_scaling_catalog() {
+        let catalog = scaling_catalog(1_000, 7);
+        for q in query_points(&catalog, 8) {
+            for &category in &Category::ALL {
+                let grid: Vec<PoiId> = catalog
+                    .k_nearest_in_category(&q, category, KNN_K, METRIC, &[])
+                    .iter()
+                    .map(|p| p.id)
+                    .collect();
+                let brute: Vec<PoiId> =
+                    brute_force_k_nearest(&catalog, &q, category, KNN_K, METRIC, &[])
+                        .iter()
+                        .map(|p| p.id)
+                        .collect();
+                assert_eq!(grid, brute, "category {category:?} query {q:?}");
+            }
+        }
+    }
+}

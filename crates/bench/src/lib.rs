@@ -5,6 +5,8 @@
 //! training, worker recruitment — lives here so the timed sections measure
 //! only the algorithmic work the paper's evaluation exercises.
 
+pub mod candidates;
+
 use grouptravel::prelude::*;
 use grouptravel_experiments::common::{SyntheticWorld, UserStudyWorld};
 use grouptravel_experiments::ExperimentScale;

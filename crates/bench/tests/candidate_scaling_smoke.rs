@@ -1,0 +1,43 @@
+//! Size-guarded smoke run of the candidate-scaling measurements: CI proves
+//! the scaling path (catalog generation at scale, grid build, grid and
+//! brute k-NN, pool generation, speed-up computation) compiles and runs —
+//! at the 10³ size only, so the suite stays fast.
+
+use grouptravel_bench::candidates::{
+    brute_force_k_nearest, measure_scale, scaling_catalog, KNN_K, METRIC,
+};
+use grouptravel_dataset::Category;
+
+#[test]
+fn measure_scale_runs_at_the_smallest_size() {
+    let row = measure_scale(1_000, 8);
+    assert_eq!(row.pois, 1_000);
+    assert!(row.grid_build_ms >= 0.0);
+    assert!(row.knn_brute_ns > 0.0);
+    assert!(row.knn_grid_ns > 0.0);
+    assert!(row.pool_brute_ns > 0.0);
+    assert!(row.pool_grid_ns > 0.0);
+    assert!(row.knn_speedup() > 0.0);
+    assert!(row.pool_speedup() > 0.0);
+}
+
+#[test]
+fn grid_knn_equals_the_seed_implementation_at_scale() {
+    // The same equivalence the property tests prove, exercised on the
+    // bench's own catalog shape so the measured paths are the proven ones.
+    let catalog = scaling_catalog(2_000, 3);
+    let center = catalog.bounding_box().unwrap().center();
+    for &category in &Category::ALL {
+        let grid: Vec<u64> = catalog
+            .k_nearest_in_category(&center, category, KNN_K, METRIC, &[])
+            .iter()
+            .map(|p| p.id.0)
+            .collect();
+        let brute: Vec<u64> =
+            brute_force_k_nearest(&catalog, &center, category, KNN_K, METRIC, &[])
+                .iter()
+                .map(|p| p.id.0)
+                .collect();
+        assert_eq!(grid, brute, "category {category:?}");
+    }
+}

@@ -52,6 +52,28 @@ pub trait CandidateProvider {
         centroid: &GeoPoint,
         needed: usize,
     ) -> Vec<&'c Poi>;
+
+    /// A strictly larger candidate pool after a shortfall: the greedy pass
+    /// could not place `needed` POIs from a pool of `previous` candidates
+    /// (typically because the budget rejected the well-scored ones), so the
+    /// builder asks for more before settling for an under-filled item.
+    ///
+    /// Returns `None` when no larger pool exists — the previous pool already
+    /// covered everything the provider can see. The default implementation
+    /// returns `None`, which is correct for exhaustive providers like
+    /// [`BruteForceCandidates`]: their first pool is already the whole
+    /// category, so a shortfall there is a genuine budget infeasibility.
+    fn widen<'c>(
+        &self,
+        catalog: &'c PoiCatalog,
+        category: Category,
+        centroid: &GeoPoint,
+        needed: usize,
+        previous: usize,
+    ) -> Option<Vec<&'c Poi>> {
+        let _ = (catalog, category, centroid, needed, previous);
+        None
+    }
 }
 
 /// The default provider: every POI of the category, via the catalog's
@@ -300,6 +322,15 @@ impl<'a> PackageBuilder<'a> {
     }
 
     /// [`PackageBuilder::assemble_ci`] with an explicit candidate provider.
+    ///
+    /// When the greedy pass (plus its cheapest-skipped top-up) cannot place
+    /// the requested number of POIs for a category — a budget-driven
+    /// shortfall — the provider is asked to [`CandidateProvider::widen`] the
+    /// pool and that category's selection reruns from scratch, until either
+    /// the count is met or the pool cannot grow further. A widened pool that
+    /// reaches the whole category therefore reproduces the brute-force
+    /// selection exactly; only genuinely infeasible budgets leave an item
+    /// under-filled.
     #[must_use]
     pub fn assemble_ci_with(
         &self,
@@ -319,66 +350,116 @@ impl<'a> PackageBuilder<'a> {
             if needed == 0 {
                 continue;
             }
-            let mut candidates: Vec<(&Poi, f64)> = provider
-                .candidates(self.catalog, category, &centroid, needed)
-                .into_iter()
-                .map(|poi| {
-                    let geo = normalizer.similarity(&poi.location, &centroid);
-                    let affinity =
-                        profile.item_affinity(category, &self.vectorizer.item_vector(poi));
-                    (poi, weights.item_score(geo, affinity))
-                })
-                .collect();
-            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-
-            let mut taken = 0usize;
-            let mut skipped: Vec<&Poi> = Vec::new();
-            for (poi, _) in &candidates {
+            let mut pool = provider.candidates(self.catalog, category, &centroid, needed);
+            // Selection is transactional per category so a widened pool can
+            // rerun it without carrying picks made from the smaller one.
+            let chosen_mark = chosen.len();
+            let spent_mark = spent;
+            loop {
+                let taken = self.select_category(
+                    &pool,
+                    category,
+                    &centroid,
+                    profile,
+                    query,
+                    weights,
+                    normalizer,
+                    budget,
+                    &mut chosen,
+                    &mut spent,
+                );
                 if taken == needed {
                     break;
                 }
-                if chosen.iter().any(|p| p.id == poi.id) {
-                    continue;
-                }
-                let fits = match budget {
-                    Some(b) => spent + poi.cost <= b + 1e-9,
-                    None => true,
-                };
-                if fits {
-                    chosen.push(poi);
-                    spent += poi.cost;
-                    taken += 1;
-                } else {
-                    skipped.push(poi);
-                }
-            }
-            if taken < needed {
-                // Budget-driven shortfall: top up with the cheapest skipped
-                // candidates that still fit (best-effort; the CI may end up
-                // invalid if the budget is simply too tight).
-                skipped.sort_by(|a, b| {
-                    a.cost
-                        .partial_cmp(&b.cost)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                });
-                for poi in skipped {
-                    if taken == needed {
-                        break;
+                match provider.widen(self.catalog, category, &centroid, needed, pool.len()) {
+                    Some(wider) if wider.len() > pool.len() => {
+                        chosen.truncate(chosen_mark);
+                        spent = spent_mark;
+                        pool = wider;
                     }
-                    let fits = match budget {
-                        Some(b) => spent + poi.cost <= b + 1e-9,
-                        None => true,
-                    };
-                    if fits && !chosen.iter().any(|p| p.id == poi.id) {
-                        chosen.push(poi);
-                        spent += poi.cost;
-                        taken += 1;
-                    }
+                    _ => break,
                 }
             }
         }
 
         CompositeItem::with_anchor(chosen.iter().map(|p| p.id).collect(), centroid)
+    }
+
+    /// One category's greedy selection: rank `pool` by
+    /// `β · geo-similarity + γ · profile affinity`, pick while the budget
+    /// allows, then top the count up with the cheapest skipped candidates.
+    /// Returns how many POIs were placed.
+    #[allow(clippy::too_many_arguments)]
+    fn select_category<'c>(
+        &self,
+        pool: &[&'c Poi],
+        category: Category,
+        centroid: &GeoPoint,
+        profile: &GroupProfile,
+        query: &GroupQuery,
+        weights: &ObjectiveWeights,
+        normalizer: &DistanceNormalizer,
+        budget: Option<f64>,
+        chosen: &mut Vec<&'c Poi>,
+        spent: &mut f64,
+    ) -> usize {
+        let needed = query.count(category);
+        let mut candidates: Vec<(&Poi, f64)> = pool
+            .iter()
+            .map(|&poi| {
+                let geo = normalizer.similarity(&poi.location, centroid);
+                let affinity = profile.item_affinity(category, &self.vectorizer.item_vector(poi));
+                (poi, weights.item_score(geo, affinity))
+            })
+            .collect();
+        candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut taken = 0usize;
+        let mut skipped: Vec<&Poi> = Vec::new();
+        for (poi, _) in &candidates {
+            if taken == needed {
+                break;
+            }
+            if chosen.iter().any(|p| p.id == poi.id) {
+                continue;
+            }
+            let fits = match budget {
+                Some(b) => *spent + poi.cost <= b + 1e-9,
+                None => true,
+            };
+            if fits {
+                chosen.push(poi);
+                *spent += poi.cost;
+                taken += 1;
+            } else {
+                skipped.push(poi);
+            }
+        }
+        if taken < needed {
+            // Budget-driven shortfall: top up with the cheapest skipped
+            // candidates that still fit (best-effort; the CI may end up
+            // invalid if the budget is simply too tight).
+            skipped.sort_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for poi in skipped {
+                if taken == needed {
+                    break;
+                }
+                let fits = match budget {
+                    Some(b) => *spent + poi.cost <= b + 1e-9,
+                    None => true,
+                };
+                if fits && !chosen.iter().any(|p| p.id == poi.id) {
+                    chosen.push(poi);
+                    *spent += poi.cost;
+                    taken += 1;
+                }
+            }
+        }
+        taken
     }
 
     /// Checks that a build with `query` and `config` can succeed against
@@ -706,6 +787,141 @@ mod tests {
                 assert!((poi.cost - cheapest).abs() < 1e-12);
             }
         }
+    }
+
+    /// Serves the first `start` POIs of each category and doubles the pool
+    /// on every widen until the whole category is exposed — the same
+    /// escalation contract the engine's grid provider follows.
+    struct Escalating {
+        start: usize,
+        widenings: std::cell::Cell<usize>,
+    }
+    impl CandidateProvider for Escalating {
+        fn candidates<'c>(
+            &self,
+            catalog: &'c PoiCatalog,
+            category: Category,
+            _centroid: &GeoPoint,
+            _needed: usize,
+        ) -> Vec<&'c Poi> {
+            let mut pois = catalog.by_category(category);
+            pois.truncate(self.start);
+            pois
+        }
+        fn widen<'c>(
+            &self,
+            catalog: &'c PoiCatalog,
+            category: Category,
+            _centroid: &GeoPoint,
+            _needed: usize,
+            previous: usize,
+        ) -> Option<Vec<&'c Poi>> {
+            let all = catalog.by_category(category);
+            if previous >= all.len() {
+                return None;
+            }
+            self.widenings.set(self.widenings.get() + 1);
+            let mut pois = all;
+            pois.truncate((previous * 2).max(1));
+            Some(pois)
+        }
+    }
+
+    #[test]
+    fn a_widening_provider_recovers_the_brute_force_package_under_tight_budgets() {
+        use std::cell::Cell;
+
+        /// The same truncated pools, but refusing to widen — the old
+        /// fixed-pool behavior a shortfall used to be stuck with.
+        struct Fixed {
+            start: usize,
+        }
+        impl CandidateProvider for Fixed {
+            fn candidates<'c>(
+                &self,
+                catalog: &'c PoiCatalog,
+                category: Category,
+                _centroid: &GeoPoint,
+                _needed: usize,
+            ) -> Vec<&'c Poi> {
+                let mut pois = catalog.by_category(category);
+                pois.truncate(self.start);
+                pois
+            }
+        }
+
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 12);
+        // A budget tight enough that a one-POI pool cannot fill the
+        // per-category counts: without widening the item comes out
+        // under-filled; with widening the selection escalates until the
+        // counts are met and the package is as valid as brute force's.
+        let query = GroupQuery::paper_default().with_budget(Some(30.0));
+        let config = BuildConfig::default();
+        let brute = builder.build(&profile, &query, &config).unwrap();
+        let provider = Escalating {
+            start: 1,
+            widenings: Cell::new(0),
+        };
+        let widened = builder
+            .build_with(&provider, None, &profile, &query, &config)
+            .unwrap();
+        let stuck = builder
+            .build_with(&Fixed { start: 1 }, None, &profile, &query, &config)
+            .unwrap();
+        assert!(
+            provider.widenings.get() > 0,
+            "the tight pool must trigger at least one widening"
+        );
+        let total = |p: &TravelPackage| -> usize {
+            p.composite_items().iter().map(CompositeItem::len).sum()
+        };
+        assert!(
+            total(&stuck) < total(&brute),
+            "a fixed one-POI pool must under-fill ({} vs {})",
+            total(&stuck),
+            total(&brute)
+        );
+        assert_eq!(
+            total(&widened),
+            total(&brute),
+            "widening must recover every placement brute force makes"
+        );
+        assert_eq!(
+            brute.is_valid(&f.catalog, &query),
+            widened.is_valid(&f.catalog, &query)
+        );
+        for ci in widened.composite_items() {
+            assert!(ci.total_cost(&f.catalog) <= 30.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_escalation_matches_brute_force_exactly() {
+        use std::cell::Cell;
+
+        let f = fixture();
+        let builder = PackageBuilder::new(&f.catalog, &f.vectorizer);
+        let profile = profile(f.vectorizer.schema(), 13);
+        // The query demands every POI of every category, so no proper pool
+        // can satisfy it: widening must escalate to the whole category and
+        // then stop (widen returns None) — at which point the selection is
+        // running on exactly the brute-force pool, in the brute-force
+        // order, and the packages are bit-identical (same POIs, same
+        // in-item order).
+        let query = GroupQuery::new([20, 15, 40, 40], None);
+        let config = BuildConfig::default();
+        let brute = builder.build(&profile, &query, &config).unwrap();
+        let provider = Escalating {
+            start: 1,
+            widenings: Cell::new(0),
+        };
+        let widened = builder
+            .build_with(&provider, None, &profile, &query, &config)
+            .unwrap();
+        assert!(provider.widenings.get() > 0);
+        assert_eq!(widened, brute);
     }
 
     #[test]

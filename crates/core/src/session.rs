@@ -6,7 +6,7 @@
 //! customization operators, and refine group profiles from the recorded
 //! interactions so the next package (possibly in another city) is better.
 
-use crate::builder::{BuildConfig, PackageBuilder};
+use crate::builder::{BruteForceCandidates, BuildConfig, CandidateProvider, PackageBuilder};
 use crate::composite::CompositeItem;
 use crate::customize::{CustomizationOp, InteractionLog};
 use crate::error::GroupTravelError;
@@ -77,6 +77,14 @@ pub fn suggest_replacement_in<'c>(
 /// exact function, which is what makes the engine path provably
 /// bit-identical to a one-shot replay of the same operations.
 ///
+/// `provider` supplies the candidate pool `GENERATE` assembles its new
+/// composite item from: [`BruteForceCandidates`] gives the paper's
+/// exhaustive behavior (what [`GroupTravelSession::apply`] passes), the
+/// serving engine plugs in its grid-backed provider so a `GENERATE` scores
+/// POIs near the rectangle's centre instead of whole categories. `REPLACE`
+/// always resolves through the catalog's exact nearest-neighbour index, so
+/// it is identical under every provider.
+///
 /// # Errors
 /// [`GroupTravelError::InvalidOperation`] when the operation does not apply
 /// to the package (bad composite-item index, POI not present, no
@@ -87,6 +95,7 @@ pub fn apply_op(
     catalog: &PoiCatalog,
     vectorizer: &ItemVectorizer,
     metric: DistanceMetric,
+    provider: &dyn CandidateProvider,
     package: &mut TravelPackage,
     op: &CustomizationOp,
     profile: &GroupProfile,
@@ -146,7 +155,8 @@ pub fn apply_op(
         }
         CustomizationOp::Generate { rectangle } => {
             let normalizer = catalog.distance_normalizer(metric);
-            let ci = PackageBuilder::new(catalog, vectorizer).assemble_ci(
+            let ci = PackageBuilder::new(catalog, vectorizer).assemble_ci_with(
+                provider,
                 rectangle.center(),
                 profile,
                 query,
@@ -324,6 +334,10 @@ impl GroupTravelSession {
     /// composite item's centroid, optionally filtered by type, excluding POIs
     /// already in the CI (§3.3's "closest items to CI satisfying the user
     /// filter").
+    ///
+    /// Served by the catalog's spatial grid with the type filter applied
+    /// *inside* the ring-bounded search, so only `k` POIs are ever ranked —
+    /// never the whole category.
     #[must_use]
     pub fn add_candidates(
         &self,
@@ -340,18 +354,14 @@ impl GroupTravelSession {
             return Vec::new();
         };
         let exclude: Vec<PoiId> = ci.poi_ids().to_vec();
-        let mut candidates = self.catalog.k_nearest_in_category(
+        self.catalog.k_nearest_in_category_where(
             &centroid,
             category,
-            self.catalog.len(),
+            k,
             self.metric,
             &exclude,
-        );
-        if let Some(filter) = type_filter {
-            candidates.retain(|p| p.poi_type == filter);
-        }
-        candidates.truncate(k);
-        candidates
+            |p| type_filter.is_none_or(|filter| p.poi_type == filter),
+        )
     }
 
     /// Applies one customization operation to `package`, returning the log of
@@ -359,7 +369,9 @@ impl GroupTravelSession {
     /// refinement).
     ///
     /// `GENERATE` assembles a new valid, cohesive composite item centred in
-    /// the rectangle, using the group profile for personalization.
+    /// the rectangle, using the group profile for personalization. The
+    /// candidate pool is exhaustive ([`BruteForceCandidates`]) — the paper's
+    /// reference behavior the engine's grid-backed path is tested against.
     pub fn apply(
         &self,
         package: &mut TravelPackage,
@@ -372,6 +384,7 @@ impl GroupTravelSession {
             &self.catalog,
             &self.vectorizer,
             self.metric,
+            &BruteForceCandidates,
             package,
             op,
             profile,

@@ -4,16 +4,27 @@
 //! answer questions such as "all restaurants", "the nearest attraction to
 //! this point", "every POI inside this rectangle of the map", or "the maximum
 //! pairwise distance in the city" (used to normalize distances in Eq. 1).
-//! [`PoiCatalog`] pre-indexes POIs by category and id to keep those queries
-//! cheap without pulling in a spatial-index dependency — city-scale catalogs
-//! are a few hundred to a few thousand POIs, for which linear scans over a
-//! per-category index are more than fast enough (and are what we benchmark).
+//! [`PoiCatalog`] pre-indexes POIs by category and id, and lazily attaches a
+//! per-category spatial grid ([`crate::spatial::SpatialIndex`]) the first
+//! time a nearest-neighbour question is asked. Grid answers are **exact** —
+//! bit-identical to a linear scan, ties broken by catalog position — so
+//! routing the hot paths through the grid never changes results, only their
+//! cost: O(cells touched + k) instead of O(category) per query. Categories
+//! small enough that a scan beats the grid's ring bookkeeping stay on a
+//! select-k brute-force path with the same tie-breaking.
 
 use crate::category::Category;
 use crate::poi::{Poi, PoiId};
+use crate::spatial::SpatialIndex;
 use grouptravel_geo::{BoundingBox, DistanceMetric, DistanceNormalizer, GeoPoint};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Categories at or below this size answer nearest-neighbour queries with a
+/// select-k scan instead of the grid: the ring machinery only pays for
+/// itself once a scan has enough points to lose to.
+const BRUTE_FORCE_CATEGORY_MAX: usize = 16;
 
 /// An immutable collection of POIs for one city, indexed by category and id.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -24,6 +35,11 @@ pub struct PoiCatalog {
     by_category: HashMap<Category, Vec<usize>>,
     #[serde(skip)]
     by_id: HashMap<PoiId, usize>,
+    /// Per-category spatial grids, built on first spatial query (or primed
+    /// by the serving engine at registration) and shared by all clones made
+    /// afterwards. Never serialized; deserialization starts cold.
+    #[serde(skip)]
+    spatial: OnceLock<Arc<SpatialIndex>>,
 }
 
 impl PartialEq for PoiCatalog {
@@ -42,19 +58,33 @@ impl PoiCatalog {
             pois,
             by_category: HashMap::new(),
             by_id: HashMap::new(),
+            spatial: OnceLock::new(),
         };
         catalog.rebuild_indexes();
         catalog
     }
 
-    /// Rebuilds the internal indexes; called after deserialization.
+    /// Rebuilds the internal indexes; called after deserialization. Any
+    /// lazily-built spatial index is dropped (it would describe the old
+    /// contents) and rebuilt on the next spatial query.
     pub fn rebuild_indexes(&mut self) {
         self.by_category.clear();
         self.by_id.clear();
+        self.spatial = OnceLock::new();
         for (idx, poi) in self.pois.iter().enumerate() {
             self.by_category.entry(poi.category).or_default().push(idx);
             self.by_id.entry(poi.id).or_insert(idx);
         }
+    }
+
+    /// The per-category spatial index, built on first use and cached for
+    /// the catalog's lifetime (clones taken afterwards share it). The
+    /// serving engine calls this once at registration so no request ever
+    /// pays the O(n) build.
+    #[must_use]
+    pub fn spatial(&self) -> &SpatialIndex {
+        self.spatial
+            .get_or_init(|| Arc::new(SpatialIndex::build(&self.pois)))
     }
 
     /// The city name.
@@ -130,6 +160,7 @@ impl PoiCatalog {
     }
 
     /// The POI of `category` nearest to `point`, excluding ids in `exclude`.
+    /// Distance ties resolve to the lower catalog position.
     #[must_use]
     pub fn nearest_in_category(
         &self,
@@ -138,18 +169,18 @@ impl PoiCatalog {
         metric: DistanceMetric,
         exclude: &[PoiId],
     ) -> Option<&Poi> {
-        self.by_category(category)
+        self.k_nearest_in_category(point, category, 1, metric, exclude)
             .into_iter()
-            .filter(|p| !exclude.contains(&p.id))
-            .min_by(|a, b| {
-                let da = metric.distance_km(point, &a.location);
-                let db = metric.distance_km(point, &b.location);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .next()
     }
 
-    /// The `k` POIs of `category` nearest to `point`, sorted by distance,
-    /// excluding ids in `exclude`.
+    /// The `k` POIs of `category` nearest to `point`, sorted by
+    /// `(distance, catalog position)` ascending, excluding ids in `exclude`.
+    ///
+    /// Served by the per-category spatial grid (ring-bounded exact k-NN);
+    /// categories of at most [`BRUTE_FORCE_CATEGORY_MAX`] POIs — or requests
+    /// for the whole category — use a select-k scan instead. Both paths
+    /// return the identical ranking.
     #[must_use]
     pub fn k_nearest_in_category(
         &self,
@@ -159,21 +190,85 @@ impl PoiCatalog {
         metric: DistanceMetric,
         exclude: &[PoiId],
     ) -> Vec<&Poi> {
-        let mut candidates: Vec<(&Poi, f64)> = self
-            .by_category(category)
-            .into_iter()
-            .filter(|p| !exclude.contains(&p.id))
-            .map(|p| (p, metric.distance_km(point, &p.location)))
-            .collect();
-        candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        candidates.into_iter().take(k).map(|(p, _)| p).collect()
+        self.k_nearest_in_category_where(point, category, k, metric, exclude, |_| true)
     }
 
-    /// The bounding box of all POIs, if the catalog is non-empty.
+    /// [`PoiCatalog::k_nearest_in_category`] restricted to POIs accepted by
+    /// `accept`: the exact `k` nearest of the category that pass the filter
+    /// (e.g. a type filter for `ADD` candidates), in the same
+    /// `(distance, catalog position)` order.
+    ///
+    /// Filtering happens *inside* the grid search, so a selective filter
+    /// keeps the ring-bound termination tight instead of forcing a post-hoc
+    /// truncation of an over-fetched pool.
+    #[must_use]
+    pub fn k_nearest_in_category_where(
+        &self,
+        point: &GeoPoint,
+        category: Category,
+        k: usize,
+        metric: DistanceMetric,
+        exclude: &[PoiId],
+        mut accept: impl FnMut(&Poi) -> bool,
+    ) -> Vec<&Poi> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let Some(positions) = self.by_category.get(&category) else {
+            return Vec::new();
+        };
+        // Exclusion lists are small (a composite item's worth of ids); a
+        // sorted slice gives O(log m) membership without hashing overhead.
+        let mut excluded: Vec<PoiId> = exclude.to_vec();
+        excluded.sort_unstable();
+        let eligible = |poi: &Poi| excluded.binary_search(&poi.id).is_err();
+
+        if positions.len() <= BRUTE_FORCE_CATEGORY_MAX || k >= positions.len() {
+            // Select-k scan: O(n) selection plus an O(k log k) sort of the
+            // winners, never a full-category sort.
+            let mut scored: Vec<(f64, usize)> = positions
+                .iter()
+                .filter(|&&pos| {
+                    let poi = &self.pois[pos];
+                    eligible(poi) && accept(poi)
+                })
+                .map(|&pos| (metric.distance_km(point, &self.pois[pos].location), pos))
+                .collect();
+            let cmp = |a: &(f64, usize), b: &(f64, usize)| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            };
+            let k = k.min(scored.len());
+            if k == 0 {
+                return Vec::new();
+            }
+            if k < scored.len() {
+                scored.select_nth_unstable_by(k - 1, cmp);
+                scored.truncate(k);
+            }
+            scored.sort_unstable_by(cmp);
+            scored.into_iter().map(|(_, pos)| &self.pois[pos]).collect()
+        } else {
+            let grid = self
+                .spatial()
+                .category(category)
+                .expect("spatial index covers every category");
+            grid.k_nearest(point, k, metric, |pos| {
+                let poi = &self.pois[pos];
+                eligible(poi) && accept(poi)
+            })
+            .into_iter()
+            .map(|pos| &self.pois[pos])
+            .collect()
+        }
+    }
+
+    /// The bounding box of all POIs, if the catalog is non-empty (one
+    /// streaming pass; nothing is collected).
     #[must_use]
     pub fn bounding_box(&self) -> Option<BoundingBox> {
-        let points: Vec<GeoPoint> = self.pois.iter().map(|p| p.location).collect();
-        BoundingBox::from_points(&points)
+        BoundingBox::from_points_iter(self.pois.iter().map(|p| p.location))
     }
 
     /// Builds the distance normalizer the objective function uses: distances

@@ -19,6 +19,9 @@
 //! * [`catalog`] — an indexed, queryable collection of POIs (by category,
 //!   type, bounding box, nearest-neighbour) used by the package builder and
 //!   the customization operators.
+//! * [`spatial`] — per-category spatial grids with exact ring-bounded k-NN,
+//!   lazily attached to a catalog; the one spatial hot path every
+//!   nearest-neighbour query routes through.
 //! * [`sample`] — the four hand-written Paris POIs of Table 1.
 //! * [`io`] — JSON (de)serialization of catalogs.
 
@@ -28,6 +31,7 @@ pub mod city;
 pub mod io;
 pub mod poi;
 pub mod sample;
+pub mod spatial;
 pub mod synth;
 pub mod tags;
 
@@ -35,4 +39,5 @@ pub use catalog::PoiCatalog;
 pub use category::{Category, TypeVocabulary};
 pub use city::{CitySpec, Neighborhood};
 pub use poi::{Poi, PoiId};
+pub use spatial::{CategoryGrid, SpatialIndex};
 pub use synth::{SyntheticCityConfig, SyntheticCityGenerator};

@@ -1,0 +1,178 @@
+//! Per-category spatial indexes over a catalog's POIs.
+//!
+//! Every spatial question the system asks — "the nearest restaurant to this
+//! point", "a candidate pool around this centroid", "the k closest
+//! attractions not already in the composite item" — is scoped to one POI
+//! category. [`SpatialIndex`] therefore keeps one [`grouptravel_geo::GridIndex`]
+//! per category, together with the mapping from grid point index back to
+//! catalog position, so grid answers resolve to `catalog.pois()` entries.
+//!
+//! The index is **exact**: grid k-NN returns precisely the brute-force
+//! ranking (ties broken by catalog position — the grid stores each
+//! category's POIs in ascending catalog order, so grid-index ties *are*
+//! catalog-position ties). [`crate::PoiCatalog`] builds one lazily on first
+//! use and the serving engine primes it at registration, so the O(n) build
+//! is paid once per catalog, never per query.
+
+use crate::category::Category;
+use crate::poi::Poi;
+use grouptravel_geo::{DistanceMetric, GeoPoint, GridIndex};
+use std::collections::HashMap;
+
+/// One POI category's spatial index: the grid over that category's
+/// locations plus the mapping from grid point index back to catalog
+/// position.
+#[derive(Debug, Clone)]
+pub struct CategoryGrid {
+    grid: GridIndex,
+    /// `catalog_positions[i]` is the index into `catalog.pois()` of the
+    /// grid's `i`-th point. Ascending by construction (POIs are scanned in
+    /// catalog order), which is what makes grid-index tie-breaking equal to
+    /// catalog-position tie-breaking.
+    catalog_positions: Vec<u32>,
+}
+
+impl CategoryGrid {
+    fn build(pois: &[Poi], category: Category) -> Self {
+        let mut catalog_positions = Vec::new();
+        let mut locations: Vec<GeoPoint> = Vec::new();
+        for (pos, poi) in pois.iter().enumerate() {
+            if poi.category == category {
+                catalog_positions.push(pos as u32);
+                locations.push(poi.location);
+            }
+        }
+        Self {
+            grid: GridIndex::build(&locations),
+            catalog_positions,
+        }
+    }
+
+    /// The underlying grid over this category's locations.
+    #[must_use]
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Number of POIs of this category.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.catalog_positions.len()
+    }
+
+    /// Whether the category holds no POIs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.catalog_positions.is_empty()
+    }
+
+    /// Catalog positions (indices into `catalog.pois()`) of a grid query
+    /// result.
+    #[must_use]
+    pub fn to_catalog_positions(&self, grid_indices: &[usize]) -> Vec<usize> {
+        grid_indices
+            .iter()
+            .map(|&i| self.catalog_positions[i] as usize)
+            .collect()
+    }
+
+    /// The catalog positions of the `k` POIs of this category nearest to
+    /// `center` among those accepted by `accept` (which receives a catalog
+    /// position), ordered by `(distance, catalog position)` ascending —
+    /// exactly the brute-force ranking.
+    #[must_use]
+    pub fn k_nearest(
+        &self,
+        center: &GeoPoint,
+        k: usize,
+        metric: DistanceMetric,
+        mut accept: impl FnMut(usize) -> bool,
+    ) -> Vec<usize> {
+        let grid_indices = self.grid.k_nearest_filtered(center, k, metric, |i| {
+            accept(self.catalog_positions[i] as usize)
+        });
+        self.to_catalog_positions(&grid_indices)
+    }
+}
+
+/// Per-category spatial indexes over one catalog's POIs.
+#[derive(Debug, Clone)]
+pub struct SpatialIndex {
+    grids: HashMap<Category, CategoryGrid>,
+}
+
+impl SpatialIndex {
+    /// Builds one grid per category (empty categories get empty grids).
+    #[must_use]
+    pub fn build(pois: &[Poi]) -> Self {
+        Self {
+            grids: Category::ALL
+                .iter()
+                .map(|&category| (category, CategoryGrid::build(pois, category)))
+                .collect(),
+        }
+    }
+
+    /// The grid for one category. Always present for the four categories in
+    /// [`Category::ALL`] (possibly empty).
+    #[must_use]
+    pub fn category(&self, category: Category) -> Option<&CategoryGrid> {
+        self.grids.get(&category)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::table1_pois;
+
+    #[test]
+    fn grids_partition_the_catalog() {
+        let pois = table1_pois();
+        let index = SpatialIndex::build(&pois);
+        let total: usize = Category::ALL
+            .iter()
+            .map(|&c| index.category(c).unwrap().len())
+            .sum();
+        assert_eq!(total, pois.len());
+    }
+
+    #[test]
+    fn k_nearest_resolves_to_catalog_positions_of_the_category() {
+        let pois = table1_pois();
+        let index = SpatialIndex::build(&pois);
+        let origin = pois[0].location;
+        for &category in &Category::ALL {
+            let grid = index.category(category).unwrap();
+            let positions =
+                grid.k_nearest(&origin, pois.len(), DistanceMetric::Haversine, |_| true);
+            assert_eq!(positions.len(), grid.len());
+            for pos in positions {
+                assert_eq!(pois[pos].category, category);
+            }
+        }
+    }
+
+    #[test]
+    fn accept_filter_receives_catalog_positions() {
+        let pois = table1_pois();
+        let index = SpatialIndex::build(&pois);
+        let origin = pois[0].location;
+        for &category in &Category::ALL {
+            let grid = index.category(category).unwrap();
+            let mut seen = Vec::new();
+            let _ = grid.k_nearest(
+                &origin,
+                pois.len(),
+                DistanceMetric::Equirectangular,
+                |pos| {
+                    seen.push(pos);
+                    false
+                },
+            );
+            for pos in seen {
+                assert_eq!(pois[pos].category, category);
+            }
+        }
+    }
+}

@@ -108,6 +108,77 @@ proptest! {
     }
 
     #[test]
+    fn catalog_k_nearest_equals_a_full_sort_reference(
+        seed in 0u64..1000,
+        k in 1usize..40,
+        exclude_count in 0usize..6,
+    ) {
+        // Categories big enough (> 16) to take the grid path and small
+        // enough to double-check: the grid-backed answer must equal the
+        // seed implementation (full stable sort by distance, ties by
+        // catalog position) element for element.
+        let catalog = SyntheticCityGenerator::new(
+            CitySpec::paris(),
+            tiny_config(seed, [18, 18, 19, 19]),
+        )
+        .generate();
+        let origin = catalog.pois()[seed as usize % catalog.len()].location;
+        let exclude: Vec<_> = catalog.pois().iter().take(exclude_count).map(|p| p.id).collect();
+        for category in Category::ALL {
+            for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+                let mut reference: Vec<(f64, u64)> = catalog
+                    .by_category(category)
+                    .into_iter()
+                    .filter(|p| !exclude.contains(&p.id))
+                    .map(|p| (metric.distance_km(&origin, &p.location), p.id.0))
+                    .collect();
+                reference.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                reference.truncate(k);
+                let got: Vec<(f64, u64)> = catalog
+                    .k_nearest_in_category(&origin, category, k, metric, &exclude)
+                    .into_iter()
+                    .map(|p| (metric.distance_km(&origin, &p.location), p.id.0))
+                    .collect();
+                prop_assert_eq!(got, reference, "category {:?} metric {:?}", category, metric);
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_k_nearest_where_equals_filtered_reference(
+        seed in 0u64..1000,
+        k in 1usize..20,
+    ) {
+        let catalog = SyntheticCityGenerator::new(
+            CitySpec::barcelona(),
+            tiny_config(seed, [20, 20, 30, 30]),
+        )
+        .generate();
+        let origin = catalog.pois()[0].location;
+        let metric = DistanceMetric::Equirectangular;
+        for category in Category::ALL {
+            let types = catalog.types_in_category(category);
+            let Some(wanted) = types.first() else { continue };
+            let mut scored: Vec<(f64, u64)> = catalog
+                .by_category(category)
+                .into_iter()
+                .filter(|p| &p.poi_type == wanted)
+                .map(|p| (metric.distance_km(&origin, &p.location), p.id.0))
+                .collect();
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let reference: Vec<u64> = scored.into_iter().take(k).map(|(_, id)| id).collect();
+            let got: Vec<u64> = catalog
+                .k_nearest_in_category_where(&origin, category, k, metric, &[], |p| {
+                    &p.poi_type == wanted
+                })
+                .into_iter()
+                .map(|p| p.id.0)
+                .collect();
+            prop_assert_eq!(got, reference, "category {:?} type {}", category, wanted);
+        }
+    }
+
+    #[test]
     fn distance_normalizer_bounds_every_pair(seed in 0u64..1000) {
         let catalog = SyntheticCityGenerator::new(
             CitySpec::paris(),

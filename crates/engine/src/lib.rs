@@ -54,9 +54,10 @@ pub mod registry;
 pub mod store;
 
 pub use cache::{ClusteringCache, LruCache, ModelKey};
+pub use grouptravel_dataset::CategoryGrid;
 pub use interactive::{BuildSpec, CommandOutcome, CommandRequest, CommandResponse, SessionCommand};
 pub use provider::GridCandidates;
-pub use registry::{CategoryGrid, CityEntry, EngineCatalogRegistry};
+pub use registry::{CityEntry, EngineCatalogRegistry};
 pub use store::{SessionId, SessionState, SessionStore};
 
 use grouptravel::{
@@ -475,6 +476,7 @@ impl Engine {
             entry,
             self.config.min_candidate_pool,
             self.config.candidate_oversample,
+            self.config.metric,
         );
         let outcome = builder
             .build_with(
@@ -680,10 +682,19 @@ impl Engine {
                         );
                     };
                     let weights = state.config.map(|c| c.weights).unwrap_or_default();
+                    // GENERATE assembles its new composite item from the
+                    // grid-backed pool, exactly like engine builds do.
+                    let provider = GridCandidates::new(
+                        &entry,
+                        self.config.min_candidate_pool,
+                        self.config.candidate_oversample,
+                        self.config.metric,
+                    );
                     let applied = apply_op(
                         entry.catalog(),
                         entry.vectorizer(),
                         self.config.metric,
+                        &provider,
                         &mut package,
                         op,
                         profile,
@@ -1022,6 +1033,37 @@ mod tests {
             engine_package, session_package,
             "exhaustive engine must be bit-identical to the one-shot session"
         );
+    }
+
+    #[test]
+    fn default_grid_engine_matches_the_session_when_pools_cover_categories() {
+        use grouptravel::{GroupTravelSession, SessionConfig};
+
+        // The *default* (non-exhaustive) grid configuration: pools are
+        // exact-k nearest sets, and `min_candidate_pool` covers every
+        // category of this small test catalog — so the grid pool is the
+        // brute-force pool in brute-force order and the build is
+        // bit-identical, without flipping the exhaustive switch.
+        let engine = Engine::new(EngineConfig::fast());
+        assert_ne!(engine.config().min_candidate_pool, usize::MAX);
+        engine
+            .register_catalog(catalog(CitySpec::paris(), 11))
+            .unwrap();
+        let req = request(&engine, 1, "Paris", 5);
+        let engine_package = engine.serve(&req).outcome.unwrap();
+
+        let session = GroupTravelSession::new(
+            catalog(CitySpec::paris(), 11),
+            SessionConfig {
+                lda: engine.config().lda,
+                metric: engine.config().metric,
+            },
+        )
+        .unwrap();
+        let session_package = session
+            .build_package(&req.profile, &req.query, &req.config)
+            .unwrap();
+        assert_eq!(engine_package, session_package);
     }
 
     #[test]

@@ -1,42 +1,90 @@
 //! The grid-backed candidate provider.
 //!
-//! Plugs the registry's per-category [`GridIndex`]es into the core builder's
+//! Plugs the catalog's per-category spatial grids into the core builder's
 //! `CandidateProvider` seam: instead of scoring every POI of a category for
-//! every composite item (the brute-force default), only POIs in grid cells
-//! around the centroid are surfaced, expanding ring by ring until the pool
-//! is comfortably larger than what the query needs.
+//! every composite item (the brute-force default), only the *exact*
+//! `pool`-nearest POIs to the centroid are surfaced — computed by the
+//! ring-bounded k-NN of `GridIndex`, so the pool is precisely what a full
+//! sort by distance would yield, at O(cells touched + pool) cost.
+//!
+//! When the builder reports a shortfall (the budget rejected too many of
+//! the pooled candidates), [`CandidateProvider::widen`] doubles the pool —
+//! continuing the ring expansion rather than restarting from a full
+//! category scan — until the count is met or the pool covers the whole
+//! category, at which point the selection is running on exactly the
+//! brute-force pool in the brute-force order.
 
 use crate::registry::CityEntry;
 use grouptravel::CandidateProvider;
 use grouptravel_dataset::{Category, Poi, PoiCatalog};
-use grouptravel_geo::GeoPoint;
+use grouptravel_geo::{DistanceMetric, GeoPoint};
 
 /// Candidate generation via the city's spatial grids.
 ///
-/// The pool per category is
-/// `max(needed × oversample, min_pool)` points around the centroid (all of
-/// the category when it is smaller than that): large enough that greedy
-/// selection under budget constraints has slack, small enough that scoring
-/// stays O(pool) instead of O(category).
+/// The pool per category is the exact `max(needed × oversample, min_pool)`
+/// nearest POIs to the centroid (the whole category when it is smaller than
+/// that): large enough that greedy selection under budget constraints has
+/// slack, small enough that scoring stays O(pool) instead of O(category).
+/// Candidates are returned in catalog order — the builder re-ranks by score,
+/// and catalog order makes its tie-breaking identical to the brute-force
+/// path's, so a pool that covers the category is bit-for-bit equivalent to
+/// brute force.
 ///
 /// With `min_pool = usize::MAX` (see `EngineConfig::exhaustive`) the pool is
-/// always the whole category and builds are bit-for-bit identical to the
-/// brute-force path — the configuration the equivalence tests exercise.
+/// always the whole category and builds are bit-identical to the brute-force
+/// path by construction — the configuration the equivalence tests exercise.
 pub struct GridCandidates<'e> {
     entry: &'e CityEntry,
     min_pool: usize,
     oversample: usize,
+    metric: DistanceMetric,
 }
 
 impl<'e> GridCandidates<'e> {
-    /// Creates a provider over a registered city.
+    /// Creates a provider over a registered city. `metric` must be the
+    /// engine's serving metric so pool distances agree with build scoring.
     #[must_use]
-    pub fn new(entry: &'e CityEntry, min_pool: usize, oversample: usize) -> Self {
+    pub fn new(
+        entry: &'e CityEntry,
+        min_pool: usize,
+        oversample: usize,
+        metric: DistanceMetric,
+    ) -> Self {
         Self {
             entry,
             min_pool,
             oversample: oversample.max(1),
+            metric,
         }
+    }
+
+    /// The exact `pool_size`-nearest POIs of `category` around `centroid`,
+    /// in catalog order; the whole category when `pool_size` covers it.
+    fn pool<'c>(
+        &self,
+        catalog: &'c PoiCatalog,
+        category: Category,
+        centroid: &GeoPoint,
+        pool_size: usize,
+    ) -> Vec<&'c Poi> {
+        if pool_size >= catalog.count_category(category) {
+            return catalog.by_category(category);
+        }
+        let Some(grid) = self.entry.category_grid(category) else {
+            return Vec::new();
+        };
+        let mut positions = grid.k_nearest(centroid, pool_size, self.metric, |_| true);
+        // Catalog order, not distance order: the builder re-scores anyway,
+        // and catalog order keeps score ties resolving exactly as the
+        // brute-force path resolves them.
+        positions.sort_unstable();
+        let pois = catalog.pois();
+        positions.into_iter().map(|pos| &pois[pos]).collect()
+    }
+
+    /// Whether `catalog` is the instance the grids were built from.
+    fn owns(&self, catalog: &PoiCatalog) -> bool {
+        std::ptr::eq(catalog, self.entry.catalog())
     }
 }
 
@@ -52,20 +100,32 @@ impl CandidateProvider for GridCandidates<'_> {
         // they were built from. The engine always passes that instance; any
         // other caller (both types are public API) gets the correct
         // brute-force answer instead of out-of-bounds/wrong-POI lookups.
-        if !std::ptr::eq(catalog, self.entry.catalog()) {
+        if !self.owns(catalog) {
             return catalog.by_category(category);
         }
-        let Some(category_grid) = self.entry.category_grid(category) else {
-            return Vec::new();
-        };
-        let pool = needed.saturating_mul(self.oversample).max(self.min_pool);
-        let grid_indices = category_grid.grid().candidates_around(centroid, pool);
-        let pois = catalog.pois();
-        category_grid
-            .to_catalog_positions(&grid_indices)
-            .into_iter()
-            .map(|pos| &pois[pos])
-            .collect()
+        let pool_size = needed.saturating_mul(self.oversample).max(self.min_pool);
+        self.pool(catalog, category, centroid, pool_size)
+    }
+
+    fn widen<'c>(
+        &self,
+        catalog: &'c PoiCatalog,
+        category: Category,
+        centroid: &GeoPoint,
+        _needed: usize,
+        previous: usize,
+    ) -> Option<Vec<&'c Poi>> {
+        if !self.owns(catalog) || previous >= catalog.count_category(category) {
+            // Foreign catalogs already got the whole category; a pool that
+            // covered the category cannot grow.
+            return None;
+        }
+        Some(self.pool(
+            catalog,
+            category,
+            centroid,
+            previous.saturating_mul(2).max(1),
+        ))
     }
 }
 
@@ -76,10 +136,12 @@ mod tests {
     use grouptravel_dataset::{CitySpec, SyntheticCityConfig, SyntheticCityGenerator};
     use grouptravel_topics::LdaConfig;
 
-    #[test]
-    fn foreign_catalog_falls_back_to_brute_force() {
-        let catalog = SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(5))
-            .generate();
+    const METRIC: DistanceMetric = DistanceMetric::Equirectangular;
+
+    fn registered(seed: u64) -> (EngineCatalogRegistry, std::sync::Arc<CityEntry>) {
+        let catalog =
+            SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed))
+                .generate();
         let registry = EngineCatalogRegistry::new();
         let (entry, _) = registry
             .register(
@@ -90,80 +152,123 @@ mod tests {
                 },
             )
             .unwrap();
+        (registry, entry)
+    }
+
+    #[test]
+    fn foreign_catalog_falls_back_to_brute_force() {
+        let (_registry, entry) = registered(5);
         // A different catalog instance — even a smaller one — must get a
         // correct answer out of its own POIs, not grid positions from the
         // registered one.
         let other =
             SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::small(6))
                 .generate();
-        let provider = GridCandidates::new(&entry, 8, 4);
+        let provider = GridCandidates::new(&entry, 8, 4, METRIC);
         let center = other.bounding_box().unwrap().center();
         for &category in &Category::ALL {
             let pool = provider.candidates(&other, category, &center, 2);
             assert_eq!(pool.len(), other.count_category(category));
             assert!(pool.iter().all(|p| p.category == category));
+            assert!(provider
+                .widen(&other, category, &center, 2, pool.len())
+                .is_none());
         }
     }
 
     #[test]
     fn exhaustive_pool_equals_the_whole_category() {
-        let catalog = SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(3))
-            .generate();
-        let registry = EngineCatalogRegistry::new();
-        let (entry, _) = registry
-            .register(
-                catalog,
-                LdaConfig {
-                    iterations: 20,
-                    ..LdaConfig::default()
-                },
-            )
-            .unwrap();
-        let provider = GridCandidates::new(&entry, usize::MAX, 8);
+        let (_registry, entry) = registered(3);
+        let provider = GridCandidates::new(&entry, usize::MAX, 8, METRIC);
         let catalog = entry.catalog();
         let center = catalog.bounding_box().unwrap().center();
         for &category in &Category::ALL {
-            let mut pool: Vec<u64> = provider
+            let pool: Vec<u64> = provider
                 .candidates(catalog, category, &center, 2)
                 .iter()
                 .map(|p| p.id.0)
                 .collect();
-            pool.sort_unstable();
-            let mut all: Vec<u64> = catalog
+            let all: Vec<u64> = catalog
                 .by_category(category)
                 .iter()
                 .map(|p| p.id.0)
                 .collect();
-            all.sort_unstable();
-            assert_eq!(pool, all);
+            assert_eq!(pool, all, "exhaustive pools surface the category in order");
         }
     }
 
     #[test]
-    fn bounded_pool_is_a_subset_with_enough_candidates() {
-        let catalog = SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(4))
-            .generate();
-        let registry = EngineCatalogRegistry::new();
-        let (entry, _) = registry
-            .register(
-                catalog,
-                LdaConfig {
-                    iterations: 20,
-                    ..LdaConfig::default()
-                },
-            )
-            .unwrap();
-        let provider = GridCandidates::new(&entry, 8, 4);
+    fn bounded_pool_is_the_exact_nearest_set_in_catalog_order() {
+        let (_registry, entry) = registered(4);
+        let provider = GridCandidates::new(&entry, 8, 4, METRIC);
         let catalog = entry.catalog();
         let center = catalog.bounding_box().unwrap().center();
         for &category in &Category::ALL {
             let pool = provider.candidates(catalog, category, &center, 2);
             let category_size = catalog.count_category(category);
-            assert!(pool.len() >= 8.min(category_size));
-            assert!(pool.len() <= category_size);
-            for poi in &pool {
-                assert_eq!(poi.category, category);
-            }
+            let expected_size = 8.min(category_size);
+            assert_eq!(
+                pool.len(),
+                expected_size,
+                "pool is exactly k, not a superset"
+            );
+            // The pool must be exactly the brute-force k nearest…
+            let brute: Vec<u64> = catalog
+                .k_nearest_in_category(&center, category, expected_size, METRIC, &[])
+                .iter()
+                .map(|p| p.id.0)
+                .collect();
+            let mut pool_ids: Vec<u64> = pool.iter().map(|p| p.id.0).collect();
+            let mut brute_sorted = brute.clone();
+            brute_sorted.sort_unstable();
+            let sorted_pool = {
+                pool_ids.sort_unstable();
+                pool_ids.clone()
+            };
+            assert_eq!(sorted_pool, brute_sorted);
+            // …and come back in catalog order.
+            let positions: Vec<usize> = pool
+                .iter()
+                .map(|p| catalog.pois().iter().position(|q| q.id == p.id).unwrap())
+                .collect();
+            assert!(positions.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn widen_doubles_until_the_category_is_covered() {
+        let (_registry, entry) = registered(7);
+        let provider = GridCandidates::new(&entry, 4, 1, METRIC);
+        let catalog = entry.catalog();
+        let center = catalog.bounding_box().unwrap().center();
+        let category = Category::Restaurant;
+        let category_size = catalog.count_category(category);
+        let mut pool = provider.candidates(catalog, category, &center, 2);
+        assert_eq!(pool.len(), 4);
+        let mut widenings = 0;
+        while let Some(wider) = provider.widen(catalog, category, &center, 2, pool.len()) {
+            assert!(
+                wider.len() > pool.len(),
+                "widen must strictly grow the pool"
+            );
+            pool = wider;
+            widenings += 1;
+            assert!(widenings < 64, "widening must terminate");
+        }
+        assert_eq!(
+            pool.len(),
+            category_size,
+            "widening ends at the whole category"
+        );
+        let all: Vec<u64> = catalog
+            .by_category(category)
+            .iter()
+            .map(|p| p.id.0)
+            .collect();
+        let pool_ids: Vec<u64> = pool.iter().map(|p| p.id.0).collect();
+        assert_eq!(
+            pool_ids, all,
+            "the final pool is brute force in brute order"
+        );
     }
 }

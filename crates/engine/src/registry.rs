@@ -2,10 +2,12 @@
 //! vectorizers, and per-category spatial grids.
 //!
 //! Registering a city is the expensive, once-per-catalog step — it trains
-//! (or re-uses) the LDA-backed [`ItemVectorizer`] and builds one
-//! [`GridIndex`] per POI category. Everything a request needs afterwards
-//! hangs off an `Arc<CityEntry>`, so serving threads share the substrate
-//! without copying or locking it.
+//! (or re-uses) the LDA-backed [`ItemVectorizer`] and primes the catalog's
+//! per-category [`grouptravel_dataset::SpatialIndex`] (the grids live on
+//! the catalog itself since the k-NN refactor, so every consumer — engine
+//! provider, `REPLACE` suggestions, `ADD` candidates — shares one build).
+//! Everything a request needs afterwards hangs off an `Arc<CityEntry>`, so
+//! serving threads share the substrate without copying or locking it.
 //!
 //! Vectorizers are cached across registrations in a bounded LRU keyed by
 //! `(catalog fingerprint, LdaConfig cache key)`: re-registering the same
@@ -15,63 +17,18 @@
 
 use crate::cache::LruCache;
 use grouptravel::{GroupTravelError, ItemVectorizer};
-use grouptravel_dataset::{Category, PoiCatalog};
-use grouptravel_geo::{GeoPoint, GridIndex};
+use grouptravel_dataset::{Category, CategoryGrid, PoiCatalog};
 use grouptravel_topics::LdaConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
-/// One POI category's spatial index: the grid over that category's
-/// locations plus the mapping from grid point index back to catalog
-/// position.
-#[derive(Debug, Clone)]
-pub struct CategoryGrid {
-    grid: GridIndex,
-    /// `catalog_positions[i]` is the index into `catalog.pois()` of the
-    /// grid's `i`-th point.
-    catalog_positions: Vec<usize>,
-}
-
-impl CategoryGrid {
-    fn build(catalog: &PoiCatalog, category: Category) -> Self {
-        let mut catalog_positions = Vec::new();
-        let mut locations: Vec<GeoPoint> = Vec::new();
-        for (pos, poi) in catalog.pois().iter().enumerate() {
-            if poi.category == category {
-                catalog_positions.push(pos);
-                locations.push(poi.location);
-            }
-        }
-        Self {
-            grid: GridIndex::build(&locations),
-            catalog_positions,
-        }
-    }
-
-    /// The underlying grid over this category's locations.
-    #[must_use]
-    pub fn grid(&self) -> &GridIndex {
-        &self.grid
-    }
-
-    /// Catalog positions (indices into `catalog.pois()`) of a grid query
-    /// result.
-    #[must_use]
-    pub fn to_catalog_positions(&self, grid_indices: &[usize]) -> Vec<usize> {
-        grid_indices
-            .iter()
-            .map(|&i| self.catalog_positions[i])
-            .collect()
-    }
-}
-
-/// A fully-prepared city: catalog, fingerprint, warm vectorizer, grids.
+/// A fully-prepared city: catalog (with primed spatial grids), fingerprint,
+/// warm vectorizer.
 #[derive(Debug)]
 pub struct CityEntry {
     catalog: PoiCatalog,
     fingerprint: u64,
     vectorizer: Arc<ItemVectorizer>,
-    grids: HashMap<Category, CategoryGrid>,
 }
 
 impl CityEntry {
@@ -100,10 +57,11 @@ impl CityEntry {
         Arc::clone(&self.vectorizer)
     }
 
-    /// The spatial grid for one category.
+    /// The spatial grid for one category (the catalog's own, primed at
+    /// registration).
     #[must_use]
     pub fn category_grid(&self, category: Category) -> Option<&CategoryGrid> {
-        self.grids.get(&category)
+        self.catalog.spatial().category(category)
     }
 }
 
@@ -170,15 +128,13 @@ impl EngineCatalogRegistry {
             }
         };
 
-        let grids = Category::ALL
-            .iter()
-            .map(|&category| (category, CategoryGrid::build(&catalog, category)))
-            .collect();
+        // Prime the catalog's per-category grids now, off the request path:
+        // every spatial query any request makes afterwards finds them built.
+        let _ = catalog.spatial();
 
         let entry = Arc::new(CityEntry {
             fingerprint,
             vectorizer,
-            grids,
             catalog,
         });
         self.cities
@@ -207,14 +163,10 @@ impl EngineCatalogRegistry {
             return Err(GroupTravelError::EmptyCatalog);
         }
         let fingerprint = catalog.fingerprint();
-        let grids = Category::ALL
-            .iter()
-            .map(|&category| (category, CategoryGrid::build(&catalog, category)))
-            .collect();
+        let _ = catalog.spatial();
         let entry = Arc::new(CityEntry {
             fingerprint,
             vectorizer,
-            grids,
             catalog,
         });
         self.cities

@@ -3,11 +3,23 @@
 //! `GroupTravelSession` (`apply` + `refine_batch`/`refine_individual` +
 //! `build_package`).
 //!
-//! The engine adds caching, spatial candidate pruning (exhaustive here) and
-//! concurrency — never different answers. Scripts are randomized but the
-//! vendored proptest derives its RNG seed from the test name, so every run
-//! (locally and in CI) replays the exact same scripts: any nondeterminism
-//! between the two paths fails deterministically.
+//! The engine adds caching, spatial candidate pruning and concurrency —
+//! never different answers. Since the grid k-NN refactor the engine runs
+//! its **default (non-exhaustive) grid configuration** here: builds and
+//! `GENERATE` are served from `GridCandidates`, `REPLACE` suggestions and
+//! `ADD` candidates from the catalog's ring-bounded exact k-NN. Parity is
+//! structural, not luck: k-NN answers are provably exact (ties by catalog
+//! position), and the default `min_candidate_pool` (64) covers every
+//! category of the suite's catalogs (≤ 40 POIs each), at which point the
+//! grid pool *is* the brute-force pool in brute-force order. On catalogs
+//! whose categories exceed the floor, builds become a bounded-pool
+//! approximation — the large-catalog test below pins down what stays exact
+//! there (REPLACE, ADD) regardless of pool size.
+//!
+//! Scripts are randomized but the vendored proptest derives its RNG seed
+//! from the test name, so every run (locally and in CI) replays the exact
+//! same scripts: any nondeterminism between the two paths fails
+//! deterministically.
 
 use grouptravel::prelude::*;
 use grouptravel::{
@@ -133,7 +145,7 @@ proptest! {
         group_seed in 0u64..500,
         script in prop::collection::vec((0u8..20, 0usize..64, 0usize..64), 0..10),
     ) {
-        let engine = Engine::new(EngineConfig::exhaustive());
+        let engine = Engine::new(EngineConfig::fast());
         engine.register_catalog(paris(17)).unwrap();
         let schema = engine.profile_schema("Paris").unwrap();
         let group = SyntheticGroupGenerator::new(schema, group_seed)
@@ -304,12 +316,92 @@ proptest! {
     }
 }
 
+/// On a catalog whose categories exceed the default candidate pool, engine
+/// builds run on genuinely *bounded* grid pools — and the operators whose
+/// answers do not depend on pool size at all (`REPLACE` suggestions, `ADD`
+/// candidates) must still be exact: equal to an independent hand-rolled
+/// linear scan, not merely to another call of the same code path.
+#[test]
+fn bounded_grid_pools_keep_replace_and_add_exact_on_large_catalogs() {
+    let large = SyntheticCityConfig {
+        counts: [40, 30, 150, 150],
+        seed: 29,
+        ..SyntheticCityConfig::default()
+    };
+    let catalog = SyntheticCityGenerator::new(CitySpec::paris(), large).generate();
+    let engine = Engine::new(EngineConfig::fast());
+    assert!(
+        engine.config().min_candidate_pool < 150,
+        "the restaurant/attraction categories must exceed the pool floor"
+    );
+    engine.register_catalog(catalog).unwrap();
+    let schema = engine.profile_schema("Paris").unwrap();
+    let group =
+        SyntheticGroupGenerator::new(schema, 3).group(GroupSize::Small, Uniformity::Uniform);
+    let consensus = ConsensusMethod::pairwise_disagreement();
+    let query = GroupQuery::paper_default();
+
+    let built = engine.serve_command(&CommandRequest::new(
+        9,
+        SessionCommand::build_for_group("Paris", group, consensus, query, BuildConfig::default()),
+    ));
+    let package = built
+        .package()
+        .expect("bounded-pool build succeeds")
+        .clone();
+    let entry = engine.registry().get("Paris").unwrap();
+    assert!(
+        package.is_valid(entry.catalog(), &query),
+        "bounded pools must still produce a valid package"
+    );
+
+    // Every POI of the package gets a REPLACE suggestion; each must equal
+    // the linear-scan nearest same-category POI outside the composite item
+    // (ties to the lower catalog position).
+    let catalog = entry.catalog();
+    for (ci_index, ci) in package.composite_items().iter().enumerate() {
+        for &victim in ci.poi_ids() {
+            let response = engine.serve_command(&CommandRequest::new(
+                9,
+                SessionCommand::SuggestReplacement {
+                    ci_index,
+                    poi: victim,
+                },
+            ));
+            let Ok(CommandOutcome::Suggestion(suggested)) = response.outcome else {
+                panic!("expected a suggestion outcome");
+            };
+            let current = catalog.get(victim).unwrap();
+            let brute = catalog
+                .pois()
+                .iter()
+                .filter(|p| p.category == current.category && p.id != victim && !ci.contains(p.id))
+                .map(|p| {
+                    (
+                        engine
+                            .config()
+                            .metric
+                            .distance_km(&current.location, &p.location),
+                        p.id,
+                    )
+                })
+                .min_by(|a, b| a.partial_cmp(b).unwrap())
+                .map(|(_, id)| id);
+            assert_eq!(
+                suggested.map(|p| p.id),
+                brute,
+                "suggestion diverged from the linear scan for {victim:?}"
+            );
+        }
+    }
+}
+
 /// The final profile after a whole interactive session matches the one-shot
 /// replay — a fixed, human-readable script touching every command kind,
 /// independent of the randomized suite above.
 #[test]
 fn fixed_script_round_trips_end_to_end() {
-    let engine = Engine::new(EngineConfig::exhaustive());
+    let engine = Engine::new(EngineConfig::fast());
     engine.register_catalog(paris(23)).unwrap();
     let schema = engine.profile_schema("Paris").unwrap();
     let group =

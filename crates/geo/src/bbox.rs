@@ -52,9 +52,18 @@ impl BoundingBox {
     /// Returns `None` for an empty slice.
     #[must_use]
     pub fn from_points(points: &[GeoPoint]) -> Option<Self> {
-        let first = points.first()?;
+        Self::from_points_iter(points.iter().copied())
+    }
+
+    /// The smallest box containing every yielded point, computed in one
+    /// streaming pass (no intermediate collection).
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn from_points_iter(points: impl IntoIterator<Item = GeoPoint>) -> Option<Self> {
+        let mut points = points.into_iter();
+        let first = points.next()?;
         let mut bb = Self::new(first.lat, first.lat, first.lon, first.lon);
-        for p in &points[1..] {
+        for p in points {
             bb.min_lat = bb.min_lat.min(p.lat);
             bb.max_lat = bb.max_lat.max(p.lat);
             bb.min_lon = bb.min_lon.min(p.lon);

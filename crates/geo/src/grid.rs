@@ -10,16 +10,45 @@
 //! All queries are **exact**: the cell lattice is only a prefilter, every
 //! candidate is checked against the true predicate before being returned, so
 //! results are always identical to a brute-force scan (the property tests in
-//! `tests/prop_geo.rs` enforce this for random rectangles and radii).
-//! Returned indices are sorted ascending, which makes results deterministic
-//! and cheap to compare.
+//! `tests/prop_geo.rs` enforce this for random rectangles, radii, and k-NN
+//! queries). Rectangle/radius results come back sorted ascending by index;
+//! [`GridIndex::k_nearest`] results by `(distance, index)` — both orders
+//! deterministic and identical to the brute-force reference.
 
 use crate::bbox::BoundingBox;
 use crate::distance::DistanceMetric;
 use crate::point::GeoPoint;
+use std::collections::BinaryHeap;
 
 /// Kilometres per degree of latitude (and of longitude at the equator).
 const KM_PER_DEG: f64 = crate::distance::EARTH_RADIUS_KM * std::f64::consts::PI / 180.0;
+
+/// A candidate neighbour in the bounded k-NN heap, ordered by
+/// `(distance, index)` so the heap's maximum is the *worst* of the current
+/// k best and ties always resolve to the lower index.
+#[derive(PartialEq)]
+struct Neighbor {
+    dist_km: f64,
+    index: usize,
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Distances are finite and non-negative, so total_cmp agrees with
+        // the partial order the brute-force comparison uses.
+        self.dist_km
+            .total_cmp(&other.dist_km)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A uniform grid over a point set, indexing points by cell.
 #[derive(Debug, Clone)]
@@ -181,42 +210,134 @@ impl GridIndex {
         out
     }
 
-    /// A candidate pool of at least `min_count` points "around" `center`
-    /// (all indexed points if fewer exist), produced by expanding square
-    /// rings of cells outward from the centre cell; sorted ascending.
+    /// The `k` indexed points nearest to `center` under `metric`, sorted by
+    /// `(distance, index)` ascending — **exactly** the first `k` entries of a
+    /// brute-force scan sorted the same way (ties always resolve to the
+    /// lower index, i.e. insertion/catalog order).
     ///
-    /// This is the engine's candidate-generation primitive: a superset pool
-    /// for scoring, **not** an exact k-nearest answer. Each expansion adds
-    /// one ring; after the pool reaches `min_count`, one extra ring is added
-    /// so near-boundary neighbours are not missed.
+    /// The search expands square rings of cells outward from the centre
+    /// cell, keeps the best `k` seen so far in a bounded max-heap, and stops
+    /// as soon as a lower bound on the distance to anything in an unvisited
+    /// ring strictly exceeds the current k-th best distance (see
+    /// [`GridIndex::ring_lower_bound_km`]); the bound is conservative under
+    /// both metrics and across the antimeridian, so early termination never
+    /// changes the answer.
     #[must_use]
-    pub fn candidates_around(&self, center: &GeoPoint, min_count: usize) -> Vec<usize> {
-        if self.points.is_empty() {
+    pub fn k_nearest(&self, center: &GeoPoint, k: usize, metric: DistanceMetric) -> Vec<usize> {
+        self.k_nearest_filtered(center, k, metric, |_| true)
+    }
+
+    /// [`GridIndex::k_nearest`] restricted to points accepted by `accept`:
+    /// the exact `k` nearest among `{i | accept(i)}`.
+    ///
+    /// The filter runs before the distance computation, so exclusion sets
+    /// and attribute predicates (e.g. "only POIs of this type") keep their
+    /// full pruning power — rejected points never occupy heap slots.
+    #[must_use]
+    pub fn k_nearest_filtered(
+        &self,
+        center: &GeoPoint,
+        k: usize,
+        metric: DistanceMetric,
+        mut accept: impl FnMut(usize) -> bool,
+    ) -> Vec<usize> {
+        if self.points.is_empty() || k == 0 {
             return Vec::new();
         }
+        // More than n neighbours can never come back; capping here keeps a
+        // huge caller-supplied k (e.g. usize::MAX for "all of them") from
+        // over-allocating the heap.
+        let k = k.min(self.points.len());
         let clamped = self.bbox.clamp(center);
         let (r0, c0) = self.cell_of(&clamped);
-        let max_ring = self.rows.max(self.cols);
-        let mut out: Vec<usize> = Vec::new();
-        let mut reached_at: Option<usize> = None;
-        for ring in 0..=max_ring {
+        // Rings beyond this cover no cells of the lattice.
+        let last_ring = r0.max(self.rows - 1 - r0).max(c0.max(self.cols - 1 - c0));
+        let mut heap: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+        for ring in 0..=last_ring {
             for (r, c) in ring_cells(r0, c0, ring, self.rows, self.cols) {
                 for &i in &self.cells[r * self.cols + c] {
-                    out.push(i as usize);
+                    let index = i as usize;
+                    if !accept(index) {
+                        continue;
+                    }
+                    let dist_km = metric.distance_km(center, &self.points[index]);
+                    let candidate = Neighbor { dist_km, index };
+                    if heap.len() < k {
+                        heap.push(candidate);
+                    } else if candidate < *heap.peek().expect("heap holds k entries") {
+                        heap.pop();
+                        heap.push(candidate);
+                    }
                 }
             }
-            if reached_at.is_none() && out.len() >= min_count {
-                reached_at = Some(ring);
-            }
-            // One safety ring beyond the one that satisfied the count.
-            if let Some(hit) = reached_at {
-                if ring > hit {
+            // Everything not yet visited sits in a ring beyond `ring`. If
+            // even the closest conceivable such point is *strictly* farther
+            // than the current k-th best, no future point can enter the heap
+            // — not even on a tie, since its distance would exceed the bound
+            // and therefore the k-th best too.
+            if heap.len() == k {
+                let worst = heap.peek().expect("heap holds k entries").dist_km;
+                if self.ring_lower_bound_km(center, ring, metric) > worst {
                     break;
                 }
             }
         }
-        out.sort_unstable();
-        out
+        let mut best = heap.into_vec();
+        best.sort_unstable();
+        best.into_iter().map(|n| n.index).collect()
+    }
+
+    /// A lower bound (km) on the distance from `center` to any indexed point
+    /// lying in a cell at Chebyshev ring **greater than** `ring` around the
+    /// centre cell, valid under `metric`.
+    ///
+    /// Such a point is at least `ring` whole cells away in latitude *or* in
+    /// longitude from `center` (from the clamped centre when `center` is
+    /// outside the lattice — the true centre is then even farther out, so
+    /// the bound holds a fortiori). Each axis yields a metric-specific
+    /// bound, and the minimum of the two is returned:
+    ///
+    /// * latitude: both metrics satisfy `d ≥ R·|Δlat|` (the central angle is
+    ///   at least the latitude difference);
+    /// * longitude, equirectangular: `d ≥ R·|Δlon|·cos(mean lat)`, with the
+    ///   cosine minimized over the latitudes the lattice can hold (the
+    ///   metric does **not** wrap at ±180°, so the raw separation is used);
+    /// * longitude, Haversine: the separation is first folded across the
+    ///   antimeridian (the wrapped separation is bounded below by
+    ///   `min(sep, 360° − max-sep-to-the-lattice)`), then
+    ///   `d ≥ 2R·asin(√(cos φ₁ cos φ₂)·sin(Δlon/2))` with the cosines again
+    ///   minimized over reachable latitudes.
+    ///
+    /// The result is shrunk by a relative 1e-9 so floating-point slack in
+    /// the bound arithmetic can never make it overtake a true distance.
+    fn ring_lower_bound_km(&self, center: &GeoPoint, ring: usize, metric: DistanceMetric) -> f64 {
+        let sep_lat = ring as f64 * self.cell_lat;
+        let sep_lon = ring as f64 * self.cell_lon;
+        let lat_bound = KM_PER_DEG * sep_lat;
+        let lon_bound = match metric {
+            DistanceMetric::Equirectangular => {
+                let lo = ((center.lat + self.bbox.min_lat) / 2.0).to_radians().cos();
+                let hi = ((center.lat + self.bbox.max_lat) / 2.0).to_radians().cos();
+                KM_PER_DEG * sep_lon * lo.min(hi).max(0.0)
+            }
+            DistanceMetric::Haversine => {
+                let max_sep = (center.lon - self.bbox.min_lon)
+                    .abs()
+                    .max((center.lon - self.bbox.max_lon).abs());
+                let wrapped = sep_lon.min(360.0 - max_sep).max(0.0);
+                let band_cos = self
+                    .bbox
+                    .min_lat
+                    .to_radians()
+                    .cos()
+                    .min(self.bbox.max_lat.to_radians().cos())
+                    .max(0.0);
+                let cos_term = (center.lat.to_radians().cos().max(0.0) * band_cos).sqrt();
+                let sine = (cos_term.min(1.0) * (wrapped.to_radians() / 2.0).sin()).clamp(0.0, 1.0);
+                2.0 * crate::distance::EARTH_RADIUS_KM * sine.asin()
+            }
+        };
+        lat_bound.min(lon_bound) * (1.0 - 1e-9)
     }
 
     /// Iterates point indices in cells overlapping `search` (an unfiltered
@@ -397,10 +518,6 @@ mod tests {
         assert!(empty
             .within_bbox(&BoundingBox::new(0.0, 1.0, 0.0, 1.0))
             .is_empty());
-        assert!(empty
-            .candidates_around(&GeoPoint::new_unchecked(0.0, 0.0), 3)
-            .is_empty());
-
         let single = GridIndex::build(&[GeoPoint::new_unchecked(48.86, 2.33)]);
         assert_eq!(single.len(), 1);
         let hit = single.within_radius_km(
@@ -409,34 +526,6 @@ mod tests {
             DistanceMetric::Haversine,
         );
         assert_eq!(hit, vec![0]);
-    }
-
-    #[test]
-    fn candidates_around_reaches_the_requested_count() {
-        let points = scatter(300);
-        let index = GridIndex::build(&points);
-        let center = GeoPoint::new_unchecked(48.86, 2.33);
-        for min_count in [1, 10, 50, 299, 1000] {
-            let pool = index.candidates_around(&center, min_count);
-            assert!(
-                pool.len() >= min_count.min(points.len()),
-                "pool of {} for request {min_count}",
-                pool.len()
-            );
-            // No duplicates.
-            let mut dedup = pool.clone();
-            dedup.dedup();
-            assert_eq!(dedup.len(), pool.len());
-        }
-    }
-
-    #[test]
-    fn candidates_around_center_outside_the_box_still_works() {
-        let points = scatter(64);
-        let index = GridIndex::build(&points);
-        let far = GeoPoint::new_unchecked(0.0, 0.0);
-        let pool = index.candidates_around(&far, points.len());
-        assert_eq!(pool.len(), points.len());
     }
 
     #[test]
@@ -466,6 +555,130 @@ mod tests {
             brute_radius(&points, &center, 20.0, DistanceMetric::Haversine)
         );
         assert_eq!(hits, vec![0, 1]);
+    }
+
+    fn brute_knn(
+        points: &[GeoPoint],
+        center: &GeoPoint,
+        k: usize,
+        metric: DistanceMetric,
+    ) -> Vec<usize> {
+        let mut scored: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (metric.distance_km(center, p), i))
+            .collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    #[test]
+    fn k_nearest_matches_brute_force_under_both_metrics() {
+        let points = scatter(400);
+        let index = GridIndex::build(&points);
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            for center in [
+                GeoPoint::new_unchecked(48.86, 2.33), // inside the box
+                GeoPoint::new_unchecked(48.70, 2.00), // outside, south-west
+                GeoPoint::new_unchecked(50.00, 3.00), // outside, north-east
+            ] {
+                for k in [1, 2, 7, 50, 399, 400, 1000] {
+                    assert_eq!(
+                        index.k_nearest(&center, k, metric),
+                        brute_knn(&points, &center, k, metric),
+                        "k {k} metric {metric:?} center {center:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_breaks_ties_by_index() {
+        // Five copies of the same point: ties must come back in index order.
+        let p = GeoPoint::new_unchecked(48.86, 2.33);
+        let points = vec![p; 5];
+        let index = GridIndex::build(&points);
+        assert_eq!(
+            index.k_nearest(&p, 3, DistanceMetric::Haversine),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            index.k_nearest(&p, 9, DistanceMetric::Equirectangular),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn k_nearest_degenerate_inputs() {
+        let empty = GridIndex::build(&[]);
+        assert!(empty
+            .k_nearest(
+                &GeoPoint::new_unchecked(0.0, 0.0),
+                3,
+                DistanceMetric::Haversine
+            )
+            .is_empty());
+        let points = scatter(10);
+        let index = GridIndex::build(&points);
+        assert!(index
+            .k_nearest(&points[0], 0, DistanceMetric::Haversine)
+            .is_empty());
+        // "All of them" via a huge k must return every point, not panic on
+        // heap allocation.
+        let all = index.k_nearest(&points[0], usize::MAX, DistanceMetric::Haversine);
+        assert_eq!(all.len(), points.len());
+    }
+
+    #[test]
+    fn k_nearest_filtered_skips_rejected_points() {
+        let points = scatter(200);
+        let index = GridIndex::build(&points);
+        let center = GeoPoint::new_unchecked(48.86, 2.33);
+        let metric = DistanceMetric::Equirectangular;
+        // Only even indices are eligible.
+        let got = index.k_nearest_filtered(&center, 10, metric, |i| i % 2 == 0);
+        let want: Vec<usize> = brute_knn(&points, &center, points.len(), metric)
+            .into_iter()
+            .filter(|i| i % 2 == 0)
+            .take(10)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_nearest_wraps_across_the_antimeridian() {
+        // The nearest neighbour of a point just east of ±180° lies just
+        // west of it under Haversine; a termination bound using raw
+        // longitude separations would stop before reaching it.
+        let points = vec![
+            GeoPoint::new_unchecked(0.0, -179.9), // ~22 km away (wrapped)
+            GeoPoint::new_unchecked(0.0, 170.0),  // ~1100 km away
+            GeoPoint::new_unchecked(0.0, 0.0),
+        ];
+        let index = GridIndex::build(&points);
+        let center = GeoPoint::new_unchecked(0.0, 179.95);
+        assert_eq!(
+            index.k_nearest(&center, 2, DistanceMetric::Haversine),
+            brute_knn(&points, &center, 2, DistanceMetric::Haversine)
+        );
+        assert_eq!(
+            index.k_nearest(&center, 2, DistanceMetric::Haversine),
+            vec![0, 1]
+        );
+        // Equirectangular does not wrap: the raw-longitude order holds.
+        assert_eq!(
+            index.k_nearest(&center, 2, DistanceMetric::Equirectangular),
+            brute_knn(&points, &center, 2, DistanceMetric::Equirectangular)
+        );
+        assert_eq!(
+            index.k_nearest(&center, 2, DistanceMetric::Equirectangular),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -19,6 +19,39 @@ fn region_point() -> impl Strategy<Value = GeoPoint> {
     (36.0f64..55.0, -5.0f64..10.0).prop_map(|(lat, lon)| GeoPoint::new_unchecked(lat, lon))
 }
 
+/// Points straddling the ±180° antimeridian (Fiji-ish latitudes), where
+/// naive longitude arithmetic breaks and Haversine wraps.
+fn antimeridian_point() -> impl Strategy<Value = GeoPoint> {
+    // Longitudes drawn from (178, 182) and folded into (178, 180] ∪
+    // [-180, -178): both sides of the wrap are equally likely.
+    (-20.0f64..-15.0, 178.0f64..182.0).prop_map(|(lat, lon)| {
+        let lon = if lon >= 180.0 { lon - 360.0 } else { lon };
+        GeoPoint::new_unchecked(lat, lon)
+    })
+}
+
+/// The reference k-NN: full scan, sort by `(distance, index)`, take `k`.
+/// Ties resolve to the lower index — the exact contract `GridIndex::k_nearest`
+/// promises.
+fn brute_knn(
+    points: &[GeoPoint],
+    center: &GeoPoint,
+    k: usize,
+    metric: DistanceMetric,
+) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (metric.distance_km(center, p), i))
+        .collect();
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    scored.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
 proptest! {
     #[test]
     fn haversine_non_negative_and_symmetric(a in region_point(), b in region_point()) {
@@ -156,20 +189,101 @@ proptest! {
         }
     }
 
+    // ── Exact k-NN ≡ brute force (order *and* ties) ────────────────────────
+    //
+    // The customization operators (REPLACE suggestions, ADD candidates) and
+    // the engine's candidate pools all ride on `k_nearest`: it must return
+    // exactly the brute-force ranking, including tie resolution by index,
+    // under both metrics, for centres inside and far outside the lattice.
+
     #[test]
-    fn grid_candidate_pools_reach_the_requested_size(
-        pts in prop::collection::vec(city_point(), 1..100),
-        center in city_point(),
-        min_count in 1usize..120,
+    fn grid_k_nearest_equals_brute_force(
+        pts in prop::collection::vec(city_point(), 1..120),
+        center in region_point(),
+        k in 1usize..140,
     ) {
         let index = GridIndex::build(&pts);
-        let pool = index.candidates_around(&center, min_count);
-        prop_assert!(pool.len() >= min_count.min(pts.len()));
-        // Sorted, unique, and in range — a well-formed index subset.
-        let mut dedup = pool.clone();
-        dedup.dedup();
-        prop_assert_eq!(dedup.len(), pool.len());
-        prop_assert!(pool.windows(2).all(|w| w[0] < w[1]));
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            prop_assert_eq!(
+                index.k_nearest(&center, k, metric),
+                brute_knn(&pts, &center, k, metric),
+                "metric {:?} k {}", metric, k
+            );
+        }
+    }
+
+    #[test]
+    fn grid_k_nearest_wraps_the_antimeridian(
+        pts in prop::collection::vec(antimeridian_point(), 1..80),
+        center in antimeridian_point(),
+        k in 1usize..90,
+    ) {
+        let index = GridIndex::build(&pts);
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            prop_assert_eq!(
+                index.k_nearest(&center, k, metric),
+                brute_knn(&pts, &center, k, metric),
+                "metric {:?} k {}", metric, k
+            );
+        }
+    }
+
+    #[test]
+    fn grid_k_nearest_orders_coincident_points_by_index(
+        anchor in city_point(),
+        copies in 1usize..40,
+        extras in prop::collection::vec(city_point(), 0..40),
+        k in 1usize..90,
+    ) {
+        // A catalog where many points coincide exactly: ties dominate, and
+        // the grid must still reproduce the brute-force (distance, index)
+        // order.
+        let mut pts = vec![anchor; copies];
+        pts.extend(extras);
+        let index = GridIndex::build(&pts);
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            prop_assert_eq!(
+                index.k_nearest(&anchor, k, metric),
+                brute_knn(&pts, &anchor, k, metric),
+                "metric {:?} k {}", metric, k
+            );
+        }
+    }
+
+    #[test]
+    fn grid_k_nearest_filtered_equals_filtered_brute_force(
+        pts in prop::collection::vec(city_point(), 1..100),
+        center in city_point(),
+        k in 1usize..40,
+        modulus in 2usize..5,
+    ) {
+        let index = GridIndex::build(&pts);
+        for metric in [DistanceMetric::Haversine, DistanceMetric::Equirectangular] {
+            let got = index.k_nearest_filtered(&center, k, metric, |i| i % modulus != 0);
+            let want: Vec<usize> = brute_knn(&pts, &center, pts.len(), metric)
+                .into_iter()
+                .filter(|i| i % modulus != 0)
+                .take(k)
+                .collect();
+            prop_assert_eq!(got, want, "metric {:?} k {} modulus {}", metric, k, modulus);
+        }
+    }
+
+    #[test]
+    fn grid_k_nearest_pools_are_well_formed(
+        pts in prop::collection::vec(city_point(), 1..100),
+        center in city_point(),
+        k in 1usize..120,
+    ) {
+        // The candidate-pool shape the engine's provider relies on: exactly
+        // min(k, n) results, unique, in range.
+        let index = GridIndex::build(&pts);
+        let pool = index.k_nearest(&center, k, DistanceMetric::Equirectangular);
+        prop_assert_eq!(pool.len(), k.min(pts.len()));
+        let mut sorted = pool.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), pool.len());
         prop_assert!(pool.iter().all(|&i| i < pts.len()));
     }
 }
