@@ -1,0 +1,78 @@
+//! Model-training scaling: the flat FCM/LDA hot paths vs the seed's
+//! nested-`Vec` implementations, across point-set and corpus sizes (the
+//! largest sizes run in the `model_training_report` binary, which also
+//! writes `BENCH_models.json`; they are kept out of the criterion path so
+//! `cargo test`'s one-shot bench smoke stays fast).
+//!
+//! Two measurements per size:
+//!
+//! * `fcm`: one full fuzzy-c-means fit over a synthetic city's POI
+//!   locations — the cold-build clustering cost. Sweep count is pinned
+//!   (`tolerance_km: 0.0`), so seed and flat runs do identical algorithmic
+//!   work.
+//! * `lda`: one full collapsed-Gibbs training over a synthetic tag corpus —
+//!   the cold-build vectorizer cost.
+//!
+//! Set `GT_MODEL_TRAINING_SMOKE=1` to restrict to the smallest sizes — the
+//! CI invocation that proves the measurement pipeline compiles and runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grouptravel_bench::models::{fcm_config, lda_config, training_corpus, training_points};
+use grouptravel_cluster::{reference_fit, FuzzyCMeans};
+use grouptravel_topics::{reference_train, LdaModel};
+
+fn smoke() -> bool {
+    std::env::var_os("GT_MODEL_TRAINING_SMOKE").is_some()
+}
+
+fn fcm_sizes() -> Vec<usize> {
+    if smoke() {
+        vec![500]
+    } else {
+        vec![500, 2_000, 10_000]
+    }
+}
+
+fn lda_sizes() -> Vec<usize> {
+    if smoke() {
+        vec![200]
+    } else {
+        vec![200, 1_000, 4_000]
+    }
+}
+
+fn bench_fcm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_training/fcm");
+    group.sample_size(10);
+    for size in fcm_sizes() {
+        let points = training_points(size, 0xF00D ^ size as u64);
+        let config = fcm_config(7);
+        let solver = FuzzyCMeans::new(config);
+        group.bench_function(BenchmarkId::new("flat", size), |b| {
+            b.iter(|| solver.fit(&points).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("seed", size), |b| {
+            b.iter(|| reference_fit(&config, &points).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_lda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_training/lda");
+    group.sample_size(10);
+    for size in lda_sizes() {
+        let (encoded, vocab) = training_corpus(size, 0xBEEF ^ size as u64);
+        let config = lda_config(11);
+        group.bench_function(BenchmarkId::new("flat", size), |b| {
+            b.iter(|| LdaModel::train(&encoded, &vocab, config).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("seed", size), |b| {
+            b.iter(|| reference_train(&encoded, &vocab, config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fcm, bench_lda);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Measures flat vs seed model training (FCM fit and LDA train) across
+//! point-set/corpus sizes and writes the numbers to `BENCH_models.json`
+//! (first CLI argument overrides the output path).
+//!
+//! Run with `cargo run --release -p grouptravel-bench --bin
+//! model_training_report`. The JSON is committed at the repository root so
+//! the speed-ups travel with the code that produced them, in the same
+//! before/after style as `BENCH_candidates.json`.
+
+use grouptravel_bench::models::{
+    measure_fcm, measure_lda, FcmRow, LdaRow, FCM_K, FCM_SWEEPS, LDA_SWEEPS, LDA_TOPICS,
+};
+
+fn fcm_row_json(row: &FcmRow) -> String {
+    format!(
+        "      {{\"points\": {}, \"seed_ms\": {:.3}, \"flat_ms\": {:.3}, \"speedup\": {:.1}}}",
+        row.points,
+        row.seed_ms,
+        row.flat_ms,
+        row.speedup()
+    )
+}
+
+fn lda_row_json(row: &LdaRow) -> String {
+    format!(
+        "      {{\"docs\": {}, \"tokens\": {}, \"vocab\": {}, \"seed_ms\": {:.3}, \
+         \"flat_ms\": {:.3}, \"speedup\": {:.1}}}",
+        row.docs,
+        row.tokens,
+        row.vocab,
+        row.seed_ms,
+        row.flat_ms,
+        row.speedup()
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_models.json".to_string());
+    let repeats = 3;
+
+    let mut fcm_rows = Vec::new();
+    for &size in &[1_000usize, 5_000, 20_000] {
+        eprintln!("FCM fit over {size} points…");
+        let row = measure_fcm(size, repeats);
+        eprintln!(
+            "  flat {:.1} ms vs seed {:.1} ms ({:.1}x)",
+            row.flat_ms,
+            row.seed_ms,
+            row.speedup()
+        );
+        fcm_rows.push(row);
+    }
+
+    let mut lda_rows = Vec::new();
+    for &docs in &[2_000usize, 20_000, 100_000] {
+        eprintln!("LDA train over {docs} documents…");
+        let row = measure_lda(docs, repeats);
+        eprintln!(
+            "  flat {:.1} ms vs seed {:.1} ms ({:.1}x, {} tokens, vocab {})",
+            row.flat_ms,
+            row.seed_ms,
+            row.speedup(),
+            row.tokens,
+            row.vocab
+        );
+        lda_rows.push(row);
+    }
+
+    let fcm_body: Vec<String> = fcm_rows.iter().map(fcm_row_json).collect();
+    let lda_body: Vec<String> = lda_rows.iter().map(lda_row_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"model_training\",\n  \
+         \"fcm\": {{\n    \"k\": {FCM_K}, \"fuzzifier\": 2.0, \"sweeps\": {FCM_SWEEPS}, \
+         \"metric\": \"Equirectangular\",\n    \"sizes\": [\n{}\n    ]\n  }},\n  \
+         \"lda\": {{\n    \"topics\": {LDA_TOPICS}, \"sweeps\": {LDA_SWEEPS},\n    \
+         \"sizes\": [\n{}\n    ]\n  }}\n}}\n",
+        fcm_body.join(",\n"),
+        lda_body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_models.json");
+    eprintln!("wrote {out_path}");
+}

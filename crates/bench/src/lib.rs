@@ -6,6 +6,7 @@
 //! only the algorithmic work the paper's evaluation exercises.
 
 pub mod candidates;
+pub mod models;
 
 use grouptravel::prelude::*;
 use grouptravel_experiments::common::{SyntheticWorld, UserStudyWorld};

@@ -1,0 +1,225 @@
+//! Fixtures and measurement helpers for the model-training bench
+//! (`benches/model_training.rs`), its CI smoke test, and the
+//! `model_training_report` binary that writes `BENCH_models.json`.
+//!
+//! The "seed" side of every measurement is the nested-`Vec` implementation
+//! preserved in `grouptravel_cluster::reference` and
+//! `grouptravel_topics::reference` — deliberately the exact algorithms the
+//! flat hot paths replaced, the same way `candidates::brute_force_k_nearest`
+//! preserves the seed spatial path.
+//!
+//! Configurations pin the sweep counts (`tolerance_km: 0.0` for FCM, a fixed
+//! iteration budget for LDA) so seed and flat runs do identical algorithmic
+//! work and the ratio measures implementation cost only.
+
+use crate::candidates::scaling_catalog;
+use grouptravel_cluster::{reference_fit, FcmConfig, FuzzyCMeans};
+use grouptravel_geo::{DistanceMetric, GeoPoint};
+use grouptravel_topics::{reference_train, LdaConfig, LdaModel, Vocabulary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Clusters used by every FCM measurement — the paper's package size `k`
+/// rounded up to a busier serving configuration.
+pub const FCM_K: usize = 8;
+/// FCM sweeps per fit; convergence is disabled (`tolerance_km: 0.0`) so
+/// seed and flat runs execute exactly this many sweeps.
+pub const FCM_SWEEPS: usize = 40;
+/// Topics used by every LDA measurement.
+pub const LDA_TOPICS: usize = 16;
+/// Gibbs sweeps per LDA training run.
+pub const LDA_SWEEPS: usize = 40;
+
+/// The FCM configuration of all model-training measurements.
+#[must_use]
+pub fn fcm_config(seed: u64) -> FcmConfig {
+    FcmConfig {
+        k: FCM_K,
+        fuzzifier: 2.0,
+        max_iterations: FCM_SWEEPS,
+        tolerance_km: 0.0,
+        metric: DistanceMetric::Equirectangular,
+        seed,
+    }
+}
+
+/// The LDA configuration of all model-training measurements.
+#[must_use]
+pub fn lda_config(seed: u64) -> LdaConfig {
+    LdaConfig {
+        num_topics: LDA_TOPICS,
+        alpha: 0.5,
+        beta: 0.1,
+        iterations: LDA_SWEEPS,
+        seed,
+    }
+}
+
+/// POI locations of a synthetic city with `total` POIs — the exact point
+/// set a cold package build hands to `FuzzyCMeans::fit`.
+#[must_use]
+pub fn training_points(total: usize, seed: u64) -> Vec<GeoPoint> {
+    scaling_catalog(total, seed).locations()
+}
+
+/// A synthetic tag corpus: `docs` documents of 2–9 tokens over a vocabulary
+/// that grows with the corpus (like real per-category tag sets), with loose
+/// per-document themes so the topics are learnable.
+#[must_use]
+pub fn training_corpus(docs: usize, seed: u64) -> (Vec<Vec<usize>>, Vocabulary) {
+    let vocab_size = (docs / 4).clamp(64, 32_768);
+    let words: Vec<String> = (0..vocab_size).map(|i| format!("tag{i}")).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let docs_str: Vec<Vec<&str>> = (0..docs)
+        .map(|_| {
+            let len = rng.gen_range(2usize..10);
+            let theme = rng.gen_range(0..vocab_size);
+            (0..len)
+                .map(|_| {
+                    let w = if rng.gen_bool(0.7) {
+                        (theme + rng.gen_range(0..1 + vocab_size / 8)) % vocab_size
+                    } else {
+                        rng.gen_range(0..vocab_size)
+                    };
+                    words[w].as_str()
+                })
+                .collect()
+        })
+        .collect();
+    let vocab = Vocabulary::from_documents(docs_str.clone());
+    let encoded = docs_str.iter().map(|d| vocab.encode(d)).collect();
+    (encoded, vocab)
+}
+
+/// One FCM point-set size's measurements.
+#[derive(Debug, Clone)]
+pub struct FcmRow {
+    /// Points clustered.
+    pub points: usize,
+    /// Seed (nested-`Vec`, trig-per-pair) fit, milliseconds.
+    pub seed_ms: f64,
+    /// Flat (trig-free, fused-sweep) fit, milliseconds.
+    pub flat_ms: f64,
+}
+
+impl FcmRow {
+    /// seed/flat speed-up.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.seed_ms / self.flat_ms.max(1e-9)
+    }
+}
+
+/// One LDA corpus size's measurements.
+#[derive(Debug, Clone)]
+pub struct LdaRow {
+    /// Documents in the corpus.
+    pub docs: usize,
+    /// Total tokens across the corpus.
+    pub tokens: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Seed (topic-major nested-`Vec`) training, milliseconds.
+    pub seed_ms: f64,
+    /// Flat (word-major, sparse-short-doc) training, milliseconds.
+    pub flat_ms: f64,
+}
+
+impl LdaRow {
+    /// seed/flat speed-up.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.seed_ms / self.flat_ms.max(1e-9)
+    }
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measures one FCM point-set size, seed vs flat, best of `repeats` runs
+/// each (model training is long enough that the minimum is stable).
+#[must_use]
+pub fn measure_fcm(total: usize, repeats: usize) -> FcmRow {
+    let points = training_points(total, 0xF00D ^ total as u64);
+    let config = fcm_config(7);
+    let solver = FuzzyCMeans::new(config);
+    let mut seed_ms = f64::INFINITY;
+    let mut flat_ms = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        flat_ms = flat_ms.min(time_ms(|| solver.fit(&points).unwrap()));
+        seed_ms = seed_ms.min(time_ms(|| reference_fit(&config, &points).unwrap()));
+    }
+    FcmRow {
+        points: total,
+        seed_ms,
+        flat_ms,
+    }
+}
+
+/// Measures one LDA corpus size, seed vs flat, best of `repeats` runs each.
+#[must_use]
+pub fn measure_lda(docs: usize, repeats: usize) -> LdaRow {
+    let (encoded, vocab) = training_corpus(docs, 0xBEEF ^ docs as u64);
+    let config = lda_config(11);
+    let tokens = encoded.iter().map(Vec::len).sum();
+    let mut seed_ms = f64::INFINITY;
+    let mut flat_ms = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        flat_ms = flat_ms.min(time_ms(|| {
+            LdaModel::train(&encoded, &vocab, config).unwrap()
+        }));
+        seed_ms = seed_ms.min(time_ms(|| {
+            reference_train(&encoded, &vocab, config).unwrap()
+        }));
+    }
+    LdaRow {
+        docs,
+        tokens,
+        vocab: vocab.len(),
+        seed_ms,
+        flat_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcm_fixture_agrees_with_the_reference() {
+        let points = training_points(500, 3);
+        let config = fcm_config(5);
+        let flat = FuzzyCMeans::new(config).fit(&points).unwrap();
+        let seed = reference_fit(&config, &points).unwrap();
+        assert_eq!(flat.iterations, seed.iterations);
+        for (a, b) in flat.centroids.iter().zip(&seed.centroids) {
+            assert!((a.lat - b.lat).abs() < 1e-9 && (a.lon - b.lon).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lda_fixture_agrees_with_the_reference_bitwise() {
+        let (encoded, vocab) = training_corpus(120, 3);
+        let config = lda_config(5);
+        let flat = LdaModel::train(&encoded, &vocab, config).unwrap();
+        let seed = reference_train(&encoded, &vocab, config).unwrap();
+        for (flat_theta, seed_theta) in flat.all_document_topics().rows().zip(&seed.doc_topic) {
+            for (a, b) in flat_theta.iter().zip(seed_theta) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn measurements_produce_positive_times() {
+        let fcm = measure_fcm(300, 1);
+        assert!(fcm.seed_ms > 0.0 && fcm.flat_ms > 0.0);
+        let lda = measure_lda(80, 1);
+        assert!(lda.seed_ms > 0.0 && lda.flat_ms > 0.0);
+        assert!(lda.tokens > 0);
+    }
+}

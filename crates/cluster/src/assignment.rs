@@ -8,7 +8,7 @@ use crate::fcm::FcmResult;
 pub fn hard_assignments(result: &FcmResult) -> Vec<usize> {
     result
         .memberships
-        .iter()
+        .rows()
         .map(|row| {
             let mut best = 0;
             for (idx, &w) in row.iter().enumerate() {
@@ -27,7 +27,7 @@ pub fn hard_assignments(result: &FcmResult) -> Vec<usize> {
 pub fn top_members(result: &FcmResult, cluster: usize, n: usize) -> Vec<usize> {
     let mut indexed: Vec<(usize, f64)> = result
         .memberships
-        .iter()
+        .rows()
         .enumerate()
         .filter_map(|(idx, row)| row.get(cluster).map(|&w| (idx, w)))
         .collect();
@@ -42,24 +42,22 @@ pub fn fuzzy_partition_coefficient(result: &FcmResult) -> f64 {
     if result.memberships.is_empty() {
         return 0.0;
     }
-    let total: f64 = result
-        .memberships
-        .iter()
-        .flat_map(|row| row.iter().map(|&w| w * w))
-        .sum();
-    total / result.memberships.len() as f64
+    // The membership matrix is one contiguous buffer, so the double sum is
+    // a single linear scan.
+    let total: f64 = result.memberships.as_slice().iter().map(|&w| w * w).sum();
+    total / result.memberships.nrows() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use grouptravel_geo::GeoPoint;
+    use grouptravel_geo::{DenseMatrix, GeoPoint};
 
     fn fake_result(memberships: Vec<Vec<f64>>) -> FcmResult {
         let k = memberships.first().map_or(0, Vec::len);
         FcmResult {
             centroids: vec![GeoPoint::new_unchecked(0.0, 0.0); k],
-            memberships,
+            memberships: DenseMatrix::from_rows(memberships),
             iterations: 1,
             converged: true,
             objective: 0.0,

@@ -7,8 +7,43 @@
 //! Haversine, configurable). The paper writes the fuzzifier as `f`; the
 //! conventional constraint `m > 1` applies — `m → 1` degenerates to hard
 //! k-means, larger `m` makes memberships fuzzier.
+//!
+//! # The flat training hot path
+//!
+//! Cold package builds are dominated by this fit, so the solver is built on
+//! flat buffers and precomputed geometry instead of the seed's nested
+//! `Vec<Vec<f64>>` matrices (preserved in [`crate::reference`] for
+//! differential tests and the before/after bench):
+//!
+//! * **Memberships** live in one row-major [`DenseMatrix`]; every scratch
+//!   buffer (distance row, inverse row, coincidence flags, centroid
+//!   accumulators) is hoisted out of the iteration loop — zero allocations
+//!   per sweep.
+//! * **No trig in the inner loop.** Each point is projected once into
+//!   `(lat_rad, lon_rad, cos(lat/2), sin(lat/2), cos(lat))`; the
+//!   equirectangular mean-latitude cosine is recovered with the angle-sum
+//!   identity `cos((φ_p+φ_c)/2) = cos(φ_p/2)cos(φ_c/2) −
+//!   sin(φ_p/2)sin(φ_c/2)` — a multiply-add per pair instead of a `cos`.
+//!   Distances stay squared throughout (no `sqrt`): memberships only need
+//!   ratios and the objective needs `d²`.
+//! * **Fuzzifier fast path.** For `m == 2` (the default and the paper's
+//!   setting) the membership row collapses to `w_j = (1/d²_j) / Σ_l 1/d²_l`
+//!   — `O(k)` per point with no `powf`, versus the seed's `O(k²)` with a
+//!   `powf` per ratio. The general-`m` path uses the same factorization with
+//!   one `powf` per centroid, normalized by the row minimum so powered
+//!   ratios stay in `(0, 1]`.
+//! * **Fused sweep.** Membership update and centroid accumulation are one
+//!   pass over the points, and the final objective reuses the fuzzified
+//!   weights and squared distances already in the scratch buffers.
+//!
+//! Results are tolerance-equal (centroids/memberships within `1e-9`, hard
+//! assignments identical) rather than bit-identical to the seed: the
+//! refactored arithmetic rounds differently at the last ulp. k-means++
+//! seeding, by contrast, *is* bit-identical — the running nearest-centroid
+//! distance array (`O(n·k)` total instead of `O(n·k²)`) takes the same
+//! minima over the same floats.
 
-use grouptravel_geo::{weighted_centroid, DistanceMetric, GeoPoint};
+use grouptravel_geo::{DenseMatrix, DistanceMetric, GeoPoint, EARTH_RADIUS_KM};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -106,9 +141,10 @@ impl std::error::Error for FcmError {}
 pub struct FcmResult {
     /// Final centroid positions, `k` of them.
     pub centroids: Vec<GeoPoint>,
-    /// Membership matrix `W`: `memberships[i][j]` is the degree to which
-    /// point `i` belongs to cluster `j`. Every row sums to 1.
-    pub memberships: Vec<Vec<f64>>,
+    /// Membership matrix `W` as a flat row-major `n × k` [`DenseMatrix`]:
+    /// `memberships[i][j]` is the degree to which point `i` belongs to
+    /// cluster `j`. Every row sums to 1.
+    pub memberships: DenseMatrix,
     /// Number of iterations actually run.
     pub iterations: usize,
     /// Whether the run converged before hitting the iteration cap.
@@ -116,6 +152,107 @@ pub struct FcmResult {
     /// Value of the FCM objective `Σ_ij w_ij^m d_ij²` at the final state
     /// (kilometres squared).
     pub objective: f64,
+}
+
+impl FcmResult {
+    /// The membership row of point `i` (`k` weights summing to 1), or
+    /// `None` when `i` is out of range.
+    #[must_use]
+    pub fn membership_row(&self, i: usize) -> Option<&[f64]> {
+        self.memberships.get_row(i)
+    }
+}
+
+/// Squared coincidence threshold: the seed treated `d <= f64::EPSILON` km
+/// as "point sits on the centroid"; squared distances compare against the
+/// squared bound.
+const COINCIDENT_D2: f64 = f64::EPSILON * f64::EPSILON;
+
+const EARTH_RADIUS_SQ: f64 = EARTH_RADIUS_KM * EARTH_RADIUS_KM;
+
+/// Per-point (or per-centroid) precomputed geometry: everything the squared
+/// distance kernels need, so the inner loop is trig-free.
+struct Projection {
+    lat_rad: Vec<f64>,
+    lon_rad: Vec<f64>,
+    /// `cos(lat_rad / 2)` — one factor of the angle-sum identity for the
+    /// equirectangular mean-latitude cosine.
+    cos_half: Vec<f64>,
+    /// `sin(lat_rad / 2)` — the other factor.
+    sin_half: Vec<f64>,
+    /// `cos(lat_rad)` — the Haversine latitude factor.
+    cos_lat: Vec<f64>,
+}
+
+impl Projection {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            lat_rad: Vec::with_capacity(n),
+            lon_rad: Vec::with_capacity(n),
+            cos_half: Vec::with_capacity(n),
+            sin_half: Vec::with_capacity(n),
+            cos_lat: Vec::with_capacity(n),
+        }
+    }
+
+    fn of_points(points: &[GeoPoint]) -> Self {
+        let mut proj = Self::with_capacity(points.len());
+        proj.recompute(points);
+        proj
+    }
+
+    /// Refills the buffers from `points` (used per iteration for the moving
+    /// centroids — `k` trig evaluations per sweep instead of `n·k`).
+    fn recompute(&mut self, points: &[GeoPoint]) {
+        self.lat_rad.clear();
+        self.lon_rad.clear();
+        self.cos_half.clear();
+        self.sin_half.clear();
+        self.cos_lat.clear();
+        for p in points {
+            let lat = p.lat_rad();
+            let (sin_half, cos_half) = (lat * 0.5).sin_cos();
+            self.lat_rad.push(lat);
+            self.lon_rad.push(p.lon_rad());
+            self.cos_half.push(cos_half);
+            self.sin_half.push(sin_half);
+            self.cos_lat.push(lat.cos());
+        }
+    }
+}
+
+/// Iteration scratch, allocated once per fit and reused by every sweep.
+struct Scratch {
+    /// Squared distances of the current point to every centroid.
+    d2: Vec<f64>,
+    /// Inverse (powered) distances — the membership numerators.
+    inv: Vec<f64>,
+    /// Which centroids the current point coincides with (boolean row, the
+    /// seed used an `O(k²)` `Vec::contains` scan here).
+    coincident: Vec<bool>,
+    /// Fused centroid accumulators: Σ w^m · lat, Σ w^m · lon, Σ w^m.
+    acc_lat: Vec<f64>,
+    acc_lon: Vec<f64>,
+    acc_w: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(k: usize) -> Self {
+        Self {
+            d2: vec![0.0; k],
+            inv: vec![0.0; k],
+            coincident: vec![false; k],
+            acc_lat: vec![0.0; k],
+            acc_lon: vec![0.0; k],
+            acc_w: vec![0.0; k],
+        }
+    }
+
+    fn reset_accumulators(&mut self) {
+        self.acc_lat.fill(0.0);
+        self.acc_lon.fill(0.0);
+        self.acc_w.fill(0.0);
+    }
 }
 
 /// The fuzzy c-means solver.
@@ -186,31 +323,45 @@ impl FuzzyCMeans {
 
     fn iterate(&self, points: &[GeoPoint], mut centroids: Vec<GeoPoint>) -> FcmResult {
         let k = self.config.k;
-        let mut memberships = vec![vec![0.0; k]; points.len()];
+        let proj = Projection::of_points(points);
+        let mut cent_proj = Projection::with_capacity(k);
+        let mut memberships = DenseMatrix::zeros(points.len(), k);
+        let mut scratch = Scratch::new(k);
         let mut iterations = 0;
         let mut converged = false;
 
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
-            self.update_memberships(points, &centroids, &mut memberships);
-            let new_centroids = self.update_centroids(points, &memberships, &centroids);
+            cent_proj.recompute(&centroids);
+            scratch.reset_accumulators();
+            self.sweep(
+                points,
+                &proj,
+                &cent_proj,
+                &mut memberships,
+                &mut scratch,
+                true,
+            );
 
-            let max_shift = centroids
-                .iter()
-                .zip(&new_centroids)
-                .map(|(old, new)| self.config.metric.distance_km(old, new))
-                .fold(0.0f64, f64::max);
-            centroids = new_centroids;
-
+            let max_shift = self.apply_centroids(&mut centroids, &scratch);
             if max_shift < self.config.tolerance_km {
                 converged = true;
                 break;
             }
         }
-        // Make the memberships consistent with the final centroids.
-        self.update_memberships(points, &centroids, &mut memberships);
+        // Make the memberships consistent with the final centroids; the
+        // same pass accumulates the objective from the weights and squared
+        // distances it just computed.
+        cent_proj.recompute(&centroids);
+        let objective = self.sweep(
+            points,
+            &proj,
+            &cent_proj,
+            &mut memberships,
+            &mut scratch,
+            false,
+        );
 
-        let objective = self.objective(points, &centroids, &memberships);
         FcmResult {
             centroids,
             memberships,
@@ -223,110 +374,181 @@ impl FuzzyCMeans {
     /// k-means++-style seeding: the first centroid is a random point, each
     /// subsequent centroid is drawn with probability proportional to the
     /// squared distance from the nearest centroid chosen so far.
+    ///
+    /// The nearest-centroid distances are maintained as a running-minimum
+    /// array updated once per new centroid (`O(n·k)` total); the seed
+    /// re-scanned every chosen centroid every round (`O(n·k²)`). Both take
+    /// the same minima over the same floats, so the chosen centroids are
+    /// bit-identical.
     fn initial_centroids(&self, points: &[GeoPoint]) -> Vec<GeoPoint> {
+        let metric = self.config.metric;
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut centroids = Vec::with_capacity(self.config.k);
-        centroids.push(points[rng.gen_range(0..points.len())]);
+
+        let first = points[rng.gen_range(0..points.len())];
+        centroids.push(first);
+        let mut nearest_d2: Vec<f64> = points
+            .iter()
+            .map(|p| metric.distance_km(p, &first).powi(2))
+            .collect();
 
         while centroids.len() < self.config.k {
-            let distances: Vec<f64> = points
-                .iter()
-                .map(|p| {
-                    centroids
-                        .iter()
-                        .map(|c| self.config.metric.distance_km(p, c).powi(2))
-                        .fold(f64::INFINITY, f64::min)
-                })
-                .collect();
-            let total: f64 = distances.iter().sum();
-            if total <= f64::EPSILON {
+            let total: f64 = nearest_d2.iter().sum();
+            let chosen = if total <= f64::EPSILON {
                 // All remaining points coincide with existing centroids.
-                centroids.push(points[rng.gen_range(0..points.len())]);
-                continue;
-            }
-            let mut pick = rng.gen_range(0.0..total);
-            let mut chosen = points.len() - 1;
-            for (idx, &d) in distances.iter().enumerate() {
-                if pick < d {
-                    chosen = idx;
-                    break;
+                rng.gen_range(0..points.len())
+            } else {
+                let mut pick = rng.gen_range(0.0..total);
+                let mut chosen = points.len() - 1;
+                for (idx, &d) in nearest_d2.iter().enumerate() {
+                    if pick < d {
+                        chosen = idx;
+                        break;
+                    }
+                    pick -= d;
                 }
-                pick -= d;
+                chosen
+            };
+            let centroid = points[chosen];
+            centroids.push(centroid);
+            for (best, p) in nearest_d2.iter_mut().zip(points) {
+                let d = metric.distance_km(p, &centroid).powi(2);
+                if d < *best {
+                    *best = d;
+                }
             }
-            centroids.push(points[chosen]);
         }
         centroids
     }
 
-    fn update_memberships(
+    /// Squared distances from point `i` to every centroid, written into
+    /// `out` — pure multiply-add under the equirectangular metric.
+    fn distance_sq_row(&self, proj: &Projection, i: usize, cent: &Projection, out: &mut [f64]) {
+        let lat = proj.lat_rad[i];
+        let lon = proj.lon_rad[i];
+        match self.config.metric {
+            DistanceMetric::Equirectangular => {
+                let cos_half = proj.cos_half[i];
+                let sin_half = proj.sin_half[i];
+                for (j, d2) in out.iter_mut().enumerate() {
+                    let cos_mean = cent.cos_half[j] * cos_half - cent.sin_half[j] * sin_half;
+                    let x = (cent.lon_rad[j] - lon) * cos_mean;
+                    let y = cent.lat_rad[j] - lat;
+                    *d2 = (x * x + y * y) * EARTH_RADIUS_SQ;
+                }
+            }
+            DistanceMetric::Haversine => {
+                let cos_lat = proj.cos_lat[i];
+                for (j, d2) in out.iter_mut().enumerate() {
+                    let s = ((cent.lat_rad[j] - lat) * 0.5).sin().powi(2)
+                        + cos_lat * cent.cos_lat[j] * ((cent.lon_rad[j] - lon) * 0.5).sin().powi(2);
+                    let d = 2.0 * EARTH_RADIUS_KM * s.sqrt().asin();
+                    *d2 = d * d;
+                }
+            }
+        }
+    }
+
+    /// One fused pass over the points: membership rows and, depending on
+    /// `accumulate`, either the centroid accumulators (iteration sweeps) or
+    /// the objective (final sweep). Returns the objective (0 while
+    /// iterating).
+    fn sweep(
         &self,
         points: &[GeoPoint],
-        centroids: &[GeoPoint],
-        memberships: &mut [Vec<f64>],
-    ) {
-        let exponent = 2.0 / (self.config.fuzzifier - 1.0);
+        proj: &Projection,
+        cent: &Projection,
+        memberships: &mut DenseMatrix,
+        scratch: &mut Scratch,
+        accumulate: bool,
+    ) -> f64 {
+        let m = self.config.fuzzifier;
+        let fast = m == 2.0;
+        let inv_exponent = 1.0 / (m - 1.0);
+        let mut objective = 0.0;
+
         for (i, point) in points.iter().enumerate() {
-            let distances: Vec<f64> = centroids
-                .iter()
-                .map(|c| self.config.metric.distance_km(point, c))
-                .collect();
+            self.distance_sq_row(proj, i, cent, &mut scratch.d2);
 
             // A point sitting exactly on one or more centroids belongs to
             // them (equally) and to nothing else.
-            let coincident: Vec<usize> = distances
-                .iter()
-                .enumerate()
-                .filter(|(_, &d)| d <= f64::EPSILON)
-                .map(|(j, _)| j)
-                .collect();
-            if !coincident.is_empty() {
-                let share = 1.0 / coincident.len() as f64;
-                for (j, slot) in memberships[i].iter_mut().enumerate() {
-                    *slot = if coincident.contains(&j) { share } else { 0.0 };
-                }
-                continue;
+            let mut coincident_count = 0usize;
+            for (flag, &d2) in scratch.coincident.iter_mut().zip(&scratch.d2) {
+                *flag = d2 <= COINCIDENT_D2;
+                coincident_count += usize::from(*flag);
             }
 
-            for j in 0..centroids.len() {
-                let mut denom = 0.0;
-                for &other in &distances {
-                    denom += (distances[j] / other).powf(exponent);
+            let row = memberships.row_mut(i);
+            if coincident_count > 0 {
+                let share = 1.0 / coincident_count as f64;
+                for (slot, &flag) in row.iter_mut().zip(&scratch.coincident) {
+                    *slot = if flag { share } else { 0.0 };
                 }
-                memberships[i][j] = 1.0 / denom;
+            } else if fast {
+                // m == 2: w_j = (1/d²_j) / Σ_l 1/d²_l — no powf at all.
+                let mut total_inv = 0.0;
+                for (inv, &d2) in scratch.inv.iter_mut().zip(&scratch.d2) {
+                    *inv = 1.0 / d2;
+                    total_inv += *inv;
+                }
+                for (slot, &inv) in row.iter_mut().zip(&scratch.inv) {
+                    *slot = inv / total_inv;
+                }
+            } else {
+                // General m: w_j ∝ d²_j^(−1/(m−1)). Normalizing by the row
+                // minimum keeps every powered ratio in (0, 1], so fuzzifiers
+                // close to 1 cannot overflow the way a raw reciprocal power
+                // would.
+                let d2_min = scratch.d2.iter().copied().fold(f64::INFINITY, f64::min);
+                let mut total_inv = 0.0;
+                for (inv, &d2) in scratch.inv.iter_mut().zip(&scratch.d2) {
+                    *inv = (d2_min / d2).powf(inv_exponent);
+                    total_inv += *inv;
+                }
+                for (slot, &inv) in row.iter_mut().zip(&scratch.inv) {
+                    *slot = inv / total_inv;
+                }
+            }
+
+            if accumulate {
+                for (((&w, acc_w), acc_lat), acc_lon) in row
+                    .iter()
+                    .zip(&mut scratch.acc_w)
+                    .zip(&mut scratch.acc_lat)
+                    .zip(&mut scratch.acc_lon)
+                {
+                    let u = if fast { w * w } else { w.powf(m) };
+                    *acc_w += u;
+                    *acc_lat += point.lat * u;
+                    *acc_lon += point.lon * u;
+                }
+            } else {
+                for (&w, &d2) in row.iter().zip(&scratch.d2) {
+                    let u = if fast { w * w } else { w.powf(m) };
+                    objective += u * d2;
+                }
             }
         }
+        objective
     }
 
-    fn update_centroids(
-        &self,
-        points: &[GeoPoint],
-        memberships: &[Vec<f64>],
-        previous: &[GeoPoint],
-    ) -> Vec<GeoPoint> {
-        let m = self.config.fuzzifier;
-        (0..self.config.k)
-            .map(|j| {
-                let weights: Vec<f64> = memberships.iter().map(|row| row[j].powf(m)).collect();
-                weighted_centroid(points, &weights).unwrap_or(previous[j])
-            })
-            .collect()
-    }
-
-    fn objective(
-        &self,
-        points: &[GeoPoint],
-        centroids: &[GeoPoint],
-        memberships: &[Vec<f64>],
-    ) -> f64 {
-        let m = self.config.fuzzifier;
-        let mut total = 0.0;
-        for (point, row) in points.iter().zip(memberships) {
-            for (centroid, &w) in centroids.iter().zip(row) {
-                let d = self.config.metric.distance_km(point, centroid);
-                total += w.powf(m) * d * d;
-            }
+    /// Replaces `centroids` with the accumulated weighted means (falling
+    /// back to the previous centroid when a cluster's total weight is
+    /// numerically zero, as the seed's `weighted_centroid` did) and returns
+    /// the maximum displacement in kilometres.
+    fn apply_centroids(&self, centroids: &mut [GeoPoint], scratch: &Scratch) -> f64 {
+        let mut max_shift = 0.0f64;
+        for (j, centroid) in centroids.iter_mut().enumerate() {
+            let total = scratch.acc_w[j];
+            let new = if total > f64::EPSILON {
+                GeoPoint::new_unchecked(scratch.acc_lat[j] / total, scratch.acc_lon[j] / total)
+            } else {
+                *centroid
+            };
+            max_shift = max_shift.max(self.config.metric.distance_km(centroid, &new));
+            *centroid = new;
         }
-        total
+        max_shift
     }
 }
 
@@ -470,12 +692,60 @@ mod tests {
         let avg_max = |result: &FcmResult| {
             result
                 .memberships
-                .iter()
+                .rows()
                 .map(|row| row.iter().copied().fold(0.0f64, f64::max))
                 .sum::<f64>()
-                / result.memberships.len() as f64
+                / result.memberships.nrows() as f64
         };
         assert!(avg_max(&crisp) > avg_max(&fuzzy));
+    }
+
+    #[test]
+    fn angle_sum_identity_recovers_the_mean_latitude_cosine() {
+        let points = vec![
+            GeoPoint::new_unchecked(48.8606, 2.3376),
+            GeoPoint::new_unchecked(41.4036, 2.1744),
+            GeoPoint::new_unchecked(-33.8688, 151.2093),
+        ];
+        let proj = Projection::of_points(&points);
+        for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let direct = ((points[a].lat + points[b].lat) / 2.0).to_radians().cos();
+            let identity =
+                proj.cos_half[a] * proj.cos_half[b] - proj.sin_half[a] * proj.sin_half[b];
+            assert!(
+                (direct - identity).abs() < 1e-14,
+                "identity drifted: {direct} vs {identity}"
+            );
+        }
+    }
+
+    #[test]
+    fn squared_distance_row_matches_the_scalar_metrics() {
+        let points = three_blobs();
+        let centroids = vec![
+            GeoPoint::new_unchecked(48.87, 2.34),
+            GeoPoint::new_unchecked(48.85, 2.37),
+        ];
+        for metric in [DistanceMetric::Equirectangular, DistanceMetric::Haversine] {
+            let solver = FuzzyCMeans::new(FcmConfig {
+                metric,
+                ..FcmConfig::with_k(2)
+            });
+            let proj = Projection::of_points(&points);
+            let cent = Projection::of_points(&centroids);
+            let mut d2 = vec![0.0; centroids.len()];
+            for (i, p) in points.iter().enumerate() {
+                solver.distance_sq_row(&proj, i, &cent, &mut d2);
+                for (j, c) in centroids.iter().enumerate() {
+                    let direct = metric.distance_km(p, c);
+                    assert!(
+                        (d2[j].sqrt() - direct).abs() < 1e-9,
+                        "{metric:?} point {i} centroid {j}: {} vs {direct}",
+                        d2[j].sqrt()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,14 @@
 //!   centroid displacement.
 //! * [`assignment`] — helpers to read the fuzzy result: hard assignments,
 //!   per-cluster top members, and the fuzzy partition coefficient.
+//! * [`reference`] — the seed's nested-`Vec` solver, kept verbatim so the
+//!   differential tests and the `model_training` bench can measure the flat
+//!   hot path against exactly what it replaced.
 
 pub mod assignment;
 pub mod fcm;
+pub mod reference;
 
 pub use assignment::{fuzzy_partition_coefficient, hard_assignments, top_members};
 pub use fcm::{FcmConfig, FcmError, FcmResult, FuzzyCMeans};
+pub use reference::{reference_fit, reference_fit_from, ReferenceFcmResult};

@@ -1,0 +1,227 @@
+//! The seed fuzzy-c-means implementation, kept as a reference.
+//!
+//! This is the nested-`Vec`, trig-per-pair, `powf`-per-ratio solver the flat
+//! [`crate::FuzzyCMeans`] replaced. It exists for two reasons:
+//!
+//! * the differential test suite proves the optimized solver reproduces it
+//!   (identical hard assignments under equal seeds, centroids and
+//!   memberships within `1e-9`), and
+//! * the `model_training` bench and `model_training_report` binary measure
+//!   the optimized solver *against exactly what it replaced*, the same way
+//!   `candidates::brute_force_k_nearest` preserves the seed spatial path.
+//!
+//! Do not "fix" or speed up this module: its value is bit-for-bit fidelity
+//! to the seed algorithm.
+
+use crate::fcm::{FcmConfig, FcmError};
+use grouptravel_geo::{weighted_centroid, GeoPoint};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a reference run, with the seed's nested-`Vec` membership rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceFcmResult {
+    /// Final centroid positions, `k` of them.
+    pub centroids: Vec<GeoPoint>,
+    /// Membership matrix, one `Vec` per point.
+    pub memberships: Vec<Vec<f64>>,
+    /// Number of iterations actually run.
+    pub iterations: usize,
+    /// Whether the run converged before hitting the iteration cap.
+    pub converged: bool,
+    /// FCM objective at the final state (km²).
+    pub objective: f64,
+}
+
+/// Runs the seed fuzzy-c-means algorithm with `config` over `points`.
+///
+/// # Errors
+/// Same preconditions as [`crate::FuzzyCMeans::fit`].
+pub fn reference_fit(
+    config: &FcmConfig,
+    points: &[GeoPoint],
+) -> Result<ReferenceFcmResult, FcmError> {
+    if config.k == 0 {
+        return Err(FcmError::ZeroClusters);
+    }
+    if points.len() < config.k {
+        return Err(FcmError::NotEnoughPoints);
+    }
+    if config.fuzzifier <= 1.0 {
+        return Err(FcmError::InvalidFuzzifier);
+    }
+    let centroids = initial_centroids(config, points);
+    Ok(iterate(config, points, centroids))
+}
+
+/// Runs the seed algorithm warm-started from `initial` centroids (the
+/// counterpart of [`crate::FuzzyCMeans::fit_from`]).
+///
+/// # Errors
+/// Same preconditions as [`reference_fit`], plus `initial` must hold exactly
+/// `config.k` centroids.
+pub fn reference_fit_from(
+    config: &FcmConfig,
+    points: &[GeoPoint],
+    initial: &[GeoPoint],
+) -> Result<ReferenceFcmResult, FcmError> {
+    if config.k == 0 {
+        return Err(FcmError::ZeroClusters);
+    }
+    if points.len() < config.k {
+        return Err(FcmError::NotEnoughPoints);
+    }
+    if config.fuzzifier <= 1.0 {
+        return Err(FcmError::InvalidFuzzifier);
+    }
+    if initial.len() != config.k {
+        return Err(if initial.is_empty() {
+            FcmError::ZeroClusters
+        } else {
+            FcmError::NotEnoughPoints
+        });
+    }
+    Ok(iterate(config, points, initial.to_vec()))
+}
+
+fn iterate(
+    config: &FcmConfig,
+    points: &[GeoPoint],
+    mut centroids: Vec<GeoPoint>,
+) -> ReferenceFcmResult {
+    let k = config.k;
+    let mut memberships = vec![vec![0.0; k]; points.len()];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        update_memberships(config, points, &centroids, &mut memberships);
+        let new_centroids = update_centroids(config, points, &memberships, &centroids);
+
+        let max_shift = centroids
+            .iter()
+            .zip(&new_centroids)
+            .map(|(old, new)| config.metric.distance_km(old, new))
+            .fold(0.0f64, f64::max);
+        centroids = new_centroids;
+
+        if max_shift < config.tolerance_km {
+            converged = true;
+            break;
+        }
+    }
+    update_memberships(config, points, &centroids, &mut memberships);
+
+    let objective = objective(config, points, &centroids, &memberships);
+    ReferenceFcmResult {
+        centroids,
+        memberships,
+        iterations,
+        converged,
+        objective,
+    }
+}
+
+fn initial_centroids(config: &FcmConfig, points: &[GeoPoint]) -> Vec<GeoPoint> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut centroids = Vec::with_capacity(config.k);
+    centroids.push(points[rng.gen_range(0..points.len())]);
+
+    while centroids.len() < config.k {
+        let distances: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| config.metric.distance_km(p, c).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = distances.iter().sum();
+        if total <= f64::EPSILON {
+            centroids.push(points[rng.gen_range(0..points.len())]);
+            continue;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = points.len() - 1;
+        for (idx, &d) in distances.iter().enumerate() {
+            if pick < d {
+                chosen = idx;
+                break;
+            }
+            pick -= d;
+        }
+        centroids.push(points[chosen]);
+    }
+    centroids
+}
+
+fn update_memberships(
+    config: &FcmConfig,
+    points: &[GeoPoint],
+    centroids: &[GeoPoint],
+    memberships: &mut [Vec<f64>],
+) {
+    let exponent = 2.0 / (config.fuzzifier - 1.0);
+    for (i, point) in points.iter().enumerate() {
+        let distances: Vec<f64> = centroids
+            .iter()
+            .map(|c| config.metric.distance_km(point, c))
+            .collect();
+
+        let coincident: Vec<usize> = distances
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d <= f64::EPSILON)
+            .map(|(j, _)| j)
+            .collect();
+        if !coincident.is_empty() {
+            let share = 1.0 / coincident.len() as f64;
+            for (j, slot) in memberships[i].iter_mut().enumerate() {
+                *slot = if coincident.contains(&j) { share } else { 0.0 };
+            }
+            continue;
+        }
+
+        for j in 0..centroids.len() {
+            let mut denom = 0.0;
+            for &other in &distances {
+                denom += (distances[j] / other).powf(exponent);
+            }
+            memberships[i][j] = 1.0 / denom;
+        }
+    }
+}
+
+fn update_centroids(
+    config: &FcmConfig,
+    points: &[GeoPoint],
+    memberships: &[Vec<f64>],
+    previous: &[GeoPoint],
+) -> Vec<GeoPoint> {
+    let m = config.fuzzifier;
+    (0..config.k)
+        .map(|j| {
+            let weights: Vec<f64> = memberships.iter().map(|row| row[j].powf(m)).collect();
+            weighted_centroid(points, &weights).unwrap_or(previous[j])
+        })
+        .collect()
+}
+
+fn objective(
+    config: &FcmConfig,
+    points: &[GeoPoint],
+    centroids: &[GeoPoint],
+    memberships: &[Vec<f64>],
+) -> f64 {
+    let m = config.fuzzifier;
+    let mut total = 0.0;
+    for (point, row) in points.iter().zip(memberships) {
+        for (centroid, &w) in centroids.iter().zip(row) {
+            let d = config.metric.distance_km(point, centroid);
+            total += w.powf(m) * d * d;
+        }
+    }
+    total
+}

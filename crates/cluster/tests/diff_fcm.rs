@@ -1,0 +1,210 @@
+//! Differential tests: the flat, trig-free fuzzy-c-means solver must
+//! reproduce the seed implementation (preserved in
+//! `grouptravel_cluster::reference`).
+//!
+//! Equivalence contract (documented in the README's "model-training hot
+//! path" section):
+//!
+//! * k-means++ seeding is **bit-identical** — the running nearest-centroid
+//!   minimum takes the same minima over the same floats as the seed's
+//!   per-round re-scan.
+//! * Iterated results are **tolerance-equal**: the refactored inner loop
+//!   (angle-sum cosine, squared distances, inverse-sum memberships) rounds
+//!   differently at the last ulp, so centroids, memberships, and the
+//!   objective agree to `1e-9` rather than bitwise. Hard assignments,
+//!   iteration counts, and convergence flags are identical.
+
+use grouptravel_cluster::reference::{reference_fit, reference_fit_from, ReferenceFcmResult};
+use grouptravel_cluster::{FcmConfig, FcmResult, FuzzyCMeans};
+use grouptravel_geo::{DistanceMetric, GeoPoint};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic mixture of Gaussian-ish blobs over Paris.
+fn blob_points(n: usize, blobs: usize, seed: u64) -> Vec<GeoPoint> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centres: Vec<(f64, f64)> = (0..blobs)
+        .map(|_| (rng.gen_range(48.80f64..48.92), rng.gen_range(2.25f64..2.45)))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let (clat, clon) = centres[i % blobs];
+            GeoPoint::new_unchecked(
+                clat + rng.gen_range(-0.01f64..0.01),
+                clon + rng.gen_range(-0.01f64..0.01),
+            )
+        })
+        .collect()
+}
+
+fn argmax(row: &[f64]) -> usize {
+    let mut best = 0;
+    for (idx, &w) in row.iter().enumerate() {
+        if w > row[best] {
+            best = idx;
+        }
+    }
+    best
+}
+
+/// Asserts the equivalence contract between a flat and a reference run.
+fn assert_equivalent(flat: &FcmResult, seed: &ReferenceFcmResult, context: &str) {
+    assert_eq!(flat.iterations, seed.iterations, "{context}: iterations");
+    assert_eq!(flat.converged, seed.converged, "{context}: converged");
+    assert_eq!(
+        flat.centroids.len(),
+        seed.centroids.len(),
+        "{context}: centroid count"
+    );
+    for (j, (a, b)) in flat.centroids.iter().zip(&seed.centroids).enumerate() {
+        assert!(
+            (a.lat - b.lat).abs() < 1e-9 && (a.lon - b.lon).abs() < 1e-9,
+            "{context}: centroid {j} drifted: {a} vs {b}"
+        );
+    }
+    assert_eq!(
+        flat.memberships.nrows(),
+        seed.memberships.len(),
+        "{context}: membership rows"
+    );
+    for (i, (flat_row, seed_row)) in flat.memberships.rows().zip(&seed.memberships).enumerate() {
+        assert_eq!(
+            argmax(flat_row),
+            argmax(seed_row),
+            "{context}: hard assignment of point {i}"
+        );
+        for (j, (a, b)) in flat_row.iter().zip(seed_row).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{context}: membership [{i}][{j}] drifted: {a} vs {b}"
+            );
+        }
+    }
+    let scale = seed.objective.abs().max(1.0);
+    assert!(
+        (flat.objective - seed.objective).abs() / scale < 1e-9,
+        "{context}: objective drifted: {} vs {}",
+        flat.objective,
+        seed.objective
+    );
+}
+
+#[test]
+fn fast_path_reproduces_the_seed_under_both_metrics() {
+    for metric in [DistanceMetric::Equirectangular, DistanceMetric::Haversine] {
+        for (n, k, seed) in [(60, 3, 1u64), (120, 5, 2), (200, 8, 3)] {
+            let points = blob_points(n, k, seed * 31 + 7);
+            // fuzzifier 2.0: the multiplication fast path vs the seed's
+            // powf(exponent) with exponent == 2.
+            let config = FcmConfig {
+                k,
+                metric,
+                seed,
+                ..FcmConfig::default()
+            };
+            let flat = FuzzyCMeans::new(config).fit(&points).unwrap();
+            let reference = reference_fit(&config, &points).unwrap();
+            assert_equivalent(&flat, &reference, &format!("{metric:?} n={n} k={k}"));
+        }
+    }
+}
+
+#[test]
+fn general_fuzzifier_path_reproduces_the_seed() {
+    for fuzzifier in [1.5, 2.5, 3.0] {
+        let points = blob_points(90, 4, 11);
+        let config = FcmConfig {
+            k: 4,
+            fuzzifier,
+            seed: 5,
+            ..FcmConfig::default()
+        };
+        let flat = FuzzyCMeans::new(config).fit(&points).unwrap();
+        let reference = reference_fit(&config, &points).unwrap();
+        assert_equivalent(&flat, &reference, &format!("m={fuzzifier}"));
+    }
+}
+
+#[test]
+fn fast_path_agrees_with_the_general_path_at_m_two() {
+    // The m == 2 fast path (pure multiplication) and the powf path must be
+    // the same function; nudge the fuzzifier off 2.0 by a hair to force the
+    // general branch and compare against the true fast path.
+    let points = blob_points(80, 4, 21);
+    let fast = FuzzyCMeans::new(FcmConfig {
+        k: 4,
+        fuzzifier: 2.0,
+        ..FcmConfig::default()
+    })
+    .fit(&points)
+    .unwrap();
+    let nudged = FuzzyCMeans::new(FcmConfig {
+        k: 4,
+        fuzzifier: 2.0 + 1e-12,
+        ..FcmConfig::default()
+    })
+    .fit(&points)
+    .unwrap();
+    assert_eq!(fast.iterations, nudged.iterations);
+    for (a, b) in fast.centroids.iter().zip(&nudged.centroids) {
+        assert!((a.lat - b.lat).abs() < 1e-7 && (a.lon - b.lon).abs() < 1e-7);
+    }
+}
+
+#[test]
+fn kmeanspp_seeding_is_bit_identical_to_the_seed() {
+    // With zero iterations the returned centroids are exactly the k-means++
+    // seeds; the running-minimum rewrite must pick the same points bit for
+    // bit (same RNG draws, same minima, same prefix sums).
+    for seed in 0..20u64 {
+        let points = blob_points(150, 6, seed.wrapping_mul(0x9E37) + 1);
+        let config = FcmConfig {
+            k: 6,
+            max_iterations: 0,
+            seed,
+            ..FcmConfig::default()
+        };
+        let flat = FuzzyCMeans::new(config).fit(&points).unwrap();
+        let reference = reference_fit(&config, &points).unwrap();
+        for (a, b) in flat.centroids.iter().zip(&reference.centroids) {
+            assert_eq!(a.lat.to_bits(), b.lat.to_bits(), "seed {seed}");
+            assert_eq!(a.lon.to_bits(), b.lon.to_bits(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn duplicate_and_coincident_points_are_handled_identically() {
+    let p = GeoPoint::new_unchecked(48.86, 2.33);
+    let q = GeoPoint::new_unchecked(48.90, 2.40);
+    let r = GeoPoint::new_unchecked(48.82, 2.28);
+    let points = vec![p, p, p, q, q, q, r, r];
+    for k in [2usize, 3] {
+        let config = FcmConfig::with_k(k);
+        let flat = FuzzyCMeans::new(config).fit(&points).unwrap();
+        let reference = reference_fit(&config, &points).unwrap();
+        assert_equivalent(&flat, &reference, &format!("duplicates k={k}"));
+    }
+}
+
+#[test]
+fn warm_started_fits_are_equivalent_too() {
+    let points = blob_points(100, 4, 77);
+    let config = FcmConfig {
+        k: 4,
+        seed: 9,
+        ..FcmConfig::default()
+    };
+    let cold = FuzzyCMeans::new(config).fit(&points).unwrap();
+    // Perturb the catalog slightly and resume both solvers from the cold
+    // centroids, as the engine's incremental path would.
+    let moved: Vec<GeoPoint> = points
+        .iter()
+        .map(|p| GeoPoint::new_unchecked(p.lat + 0.0003, p.lon - 0.0002))
+        .collect();
+    let flat = FuzzyCMeans::new(config)
+        .fit_from(&moved, &cold.centroids)
+        .unwrap();
+    let reference = reference_fit_from(&config, &moved, &cold.centroids).unwrap();
+    assert_equivalent(&flat, &reference, "warm start");
+}

@@ -227,7 +227,9 @@ impl<'a> PackageBuilder<'a> {
     ///
     /// The serving engine calls this to populate its model cache; the result
     /// can then be fed back into [`PackageBuilder::build_with`] for any
-    /// number of requests against the same catalog.
+    /// number of requests against the same catalog. The returned
+    /// [`FcmResult`] carries its membership matrix as a flat row-major
+    /// `DenseMatrix` (the engine caches only the centroids).
     ///
     /// # Errors
     /// Fails when clustering cannot place `config.k` centroids.

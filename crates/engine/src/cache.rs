@@ -3,9 +3,12 @@
 //! Two instantiations serve the engine: [`ClusteringCache`] holds
 //! fuzzy-c-means **centroids** keyed by `(catalog fingerprint, FcmConfig
 //! cache key)` — centroids are all a build consumes, and dropping the
-//! `n × k` membership matrix keeps each entry a few hundred bytes instead
-//! of megabytes at large catalog scale — and the registry holds trained
-//! item vectorizers keyed by `(catalog fingerprint, LdaConfig cache key)`.
+//! flat `n × k` `DenseMatrix` of memberships keeps each entry a few
+//! hundred bytes instead of megabytes at large catalog scale — and the
+//! registry holds trained item vectorizers keyed by `(catalog fingerprint,
+//! LdaConfig cache key)`; since PR 4 the vectorizer's LDA θ/φ payloads are
+//! flat matrices too, so a cached entry is two contiguous buffers rather
+//! than a forest of per-row allocations.
 //! Both key components cover every input that influences the artifact, so
 //! equal keys guarantee an identical result and a cached value can be
 //! substituted for a fresh computation.

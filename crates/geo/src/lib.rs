@@ -14,6 +14,8 @@
 //!   clustering substrate.
 //! * [`grid`] — a uniform spatial grid index with exact rectangle/radius
 //!   queries, the candidate-generation substrate of the serving engine.
+//! * [`matrix`] — a row-major dense `f64` matrix, the flat storage behind
+//!   the model-training hot paths (FCM memberships, LDA θ/φ).
 //!
 //! All distances are returned in kilometres unless stated otherwise.
 
@@ -22,6 +24,7 @@ pub mod centroid;
 pub mod distance;
 pub mod grid;
 pub mod hash;
+pub mod matrix;
 pub mod point;
 
 pub use bbox::{BoundingBox, Rectangle};
@@ -31,4 +34,5 @@ pub use distance::{
 };
 pub use grid::GridIndex;
 pub use hash::Fnv1a;
+pub use matrix::DenseMatrix;
 pub use point::GeoPoint;

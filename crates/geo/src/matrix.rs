@@ -1,0 +1,256 @@
+//! A minimal row-major dense matrix over `f64`.
+//!
+//! The model-training hot paths (fuzzy c-means memberships, LDA θ/φ, group
+//! profile concatenations) previously stored `Vec<Vec<f64>>`: one heap
+//! allocation per row, rows scattered across the heap, and a pointer chase
+//! per access. [`DenseMatrix`] packs the same data into a single contiguous
+//! buffer with a fixed stride, so a row is one cache-friendly slice and a
+//! full sweep is a linear scan. It is deliberately tiny — just the storage
+//! and row-access surface those paths need, not a linear-algebra library.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense `f64` matrix: one contiguous buffer, `cols` stride.
+///
+/// Invariant: `data.len() == rows * cols`. Degenerate shapes are
+/// well-defined: a matrix with zero rows iterates no rows, and a matrix
+/// with `rows > 0` but `cols == 0` iterates exactly `rows` empty slices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Iterator over the rows of a [`DenseMatrix`] as slices (including empty
+/// slices for a zero-column matrix, which `chunks_exact` could not yield).
+pub struct Rows<'a> {
+    matrix: &'a DenseMatrix,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [f64];
+
+    fn next(&mut self) -> Option<&'a [f64]> {
+        self.range.next().map(|r| self.matrix.row(r))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+impl DenseMatrix {
+    /// A `rows × cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from equal-length rows. Returns an empty matrix for
+    /// an empty input.
+    ///
+    /// # Panics
+    /// Panics if the rows have differing lengths.
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        let n = rows.len();
+        for row in &rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self {
+            rows: n,
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the row stride).
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The `r`-th row as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= nrows()`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The `r`-th row as a mutable slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= nrows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The `r`-th row, or `None` when out of range (mirrors `slice::get`).
+    #[must_use]
+    pub fn get_row(&self, r: usize) -> Option<&[f64]> {
+        (r < self.rows).then(|| self.row(r))
+    }
+
+    /// Iterates over the rows as slices — exactly [`DenseMatrix::nrows`]
+    /// of them, even when the matrix has zero columns.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            matrix: self,
+            range: 0..self.rows,
+        }
+    }
+
+    /// The whole buffer in row-major order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copies the matrix out as one `Vec` per row (compatibility helper for
+    /// call sites that genuinely need owned rows).
+    #[must_use]
+    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+        self.rows().map(<[f64]>::to_vec).collect()
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+}
+
+impl std::ops::Index<usize> for DenseMatrix {
+    type Output = [f64];
+
+    fn index(&self, r: usize) -> &[f64] {
+        self.row(r)
+    }
+}
+
+impl std::ops::IndexMut<usize> for DenseMatrix {
+    fn index_mut(&mut self, r: usize) -> &mut [f64] {
+        self.row_mut(r)
+    }
+}
+
+impl<'a> IntoIterator for &'a DenseMatrix {
+    type Item = &'a [f64];
+    type IntoIter = Rows<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_the_right_shape() {
+        let m = DenseMatrix::zeros(3, 2);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert!(!m.is_empty());
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let m = DenseMatrix::from_rows(rows.clone());
+        assert_eq!(m.to_rows(), rows);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_matrix_iterates_no_rows() {
+        let m = DenseMatrix::from_rows(Vec::new());
+        assert!(m.is_empty());
+        assert_eq!(m.rows().count(), 0);
+        assert_eq!((&m).into_iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_column_matrix_iterates_all_its_rows() {
+        let m = DenseMatrix::zeros(3, 0);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.rows().count(), 3);
+        assert!(m.rows().all(<[f64]>::is_empty));
+        // from_rows/to_rows round-trips the degenerate shape too.
+        let n = DenseMatrix::from_rows(vec![Vec::new(), Vec::new()]);
+        assert_eq!(n.nrows(), 2);
+        assert_eq!(n.to_rows(), vec![Vec::<f64>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn row_mut_and_index_agree() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.row_mut(1)[2] = 7.0;
+        assert_eq!(m[1][2], 7.0);
+        m[0][0] = 1.0;
+        assert_eq!(m.row(0)[0], 1.0);
+    }
+
+    #[test]
+    fn get_row_bounds_check() {
+        let m = DenseMatrix::zeros(2, 2);
+        assert!(m.get_row(1).is_some());
+        assert!(m.get_row(2).is_none());
+    }
+
+    #[test]
+    fn rows_iterate_in_order() {
+        let m = DenseMatrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        let firsts: Vec<f64> = (&m).into_iter().map(|r| r[0]).collect();
+        assert_eq!(firsts, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn ragged_rows_are_rejected() {
+        let _ = DenseMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m.fill(0.5);
+        assert!(m.as_slice().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = DenseMatrix::from_rows(vec![vec![1.5, -2.0], vec![0.0, 4.25]]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: DenseMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

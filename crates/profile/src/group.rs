@@ -5,6 +5,7 @@ use crate::schema::ProfileSchema;
 use crate::user::UserProfile;
 use crate::vector::cosine_similarity;
 use grouptravel_dataset::Category;
+use grouptravel_geo::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 /// A group of travelers.
@@ -57,17 +58,49 @@ impl Group {
         if n < 2 {
             return 1.0;
         }
-        let concatenated: Vec<Vec<f64>> =
-            self.members.iter().map(UserProfile::concatenated).collect();
+        let (concatenated, lengths) = self.member_matrix();
         let mut total = 0.0;
         let mut pairs = 0usize;
-        for (i, a) in concatenated.iter().enumerate() {
-            for b in &concatenated[i + 1..] {
-                total += cosine_similarity(a, b);
+        for i in 0..n {
+            for j in i + 1..n {
+                // cosine_similarity's length-mismatch guard, preserved
+                // across the fixed-stride rows: members whose whole-profile
+                // lengths differ contribute 0 similarity, exactly as the
+                // per-member `Vec` comparison did.
+                if lengths[i] == lengths[j] {
+                    total += cosine_similarity(concatenated.row(i), concatenated.row(j));
+                }
                 pairs += 1;
             }
         }
         total / pairs as f64
+    }
+
+    /// All member profiles concatenated into one flat matrix — the
+    /// whole-profile comparisons (uniformity, median user) read member rows
+    /// out of a single contiguous buffer instead of one heap `Vec` per
+    /// member. The stride is the largest member's *actual* concatenated
+    /// length (not the schema's, which deserialized profiles are not
+    /// forced to honour), so no member is ever truncated; shorter members
+    /// are zero-padded (padding never changes a cosine: it adds nothing to
+    /// dot products or norms). The second return value holds each member's
+    /// true concatenated length, which the callers use to reproduce
+    /// `cosine_similarity`'s length-mismatch guard.
+    fn member_matrix(&self) -> (DenseMatrix, Vec<usize>) {
+        let dim = self
+            .members
+            .iter()
+            .map(UserProfile::concatenated_len)
+            .max()
+            .unwrap_or(0);
+        let mut matrix = DenseMatrix::zeros(self.members.len(), dim);
+        let lengths = self
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, member)| member.concat_into(matrix.row_mut(i)))
+            .collect();
+        (matrix, lengths)
     }
 
     /// Aggregates the members into a group profile using `method`.
@@ -106,16 +139,19 @@ impl Group {
         if self.members.len() == 1 {
             return self.members.first();
         }
-        let concatenated: Vec<Vec<f64>> =
-            self.members.iter().map(UserProfile::concatenated).collect();
+        let (concatenated, lengths) = self.member_matrix();
         let mut best_idx = 0;
         let mut best_score = f64::NEG_INFINITY;
-        for (i, a) in concatenated.iter().enumerate() {
-            let score: f64 = concatenated
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .map(|(_, b)| cosine_similarity(a, b))
+        for i in 0..self.members.len() {
+            let score: f64 = (0..self.members.len())
+                .filter(|&j| j != i)
+                .map(|j| {
+                    if lengths[i] == lengths[j] {
+                        cosine_similarity(concatenated.row(i), concatenated.row(j))
+                    } else {
+                        0.0
+                    }
+                })
                 .sum();
             if score > best_score {
                 best_score = score;
@@ -249,6 +285,46 @@ mod tests {
         let g = Group::new(1, vec![member(1, [0.5, 0.5])]);
         assert_eq!(g.uniformity(), 1.0);
         assert_eq!(Group::new(2, vec![]).uniformity(), 1.0);
+    }
+
+    #[test]
+    fn zero_dimensional_schema_has_zero_uniformity_not_nan() {
+        let empty_schema = ProfileSchema::new([0, 0, 0, 0]);
+        let members = vec![
+            UserProfile::empty(1, empty_schema),
+            UserProfile::empty(2, empty_schema),
+            UserProfile::empty(3, empty_schema),
+        ];
+        let g = Group::new(1, members);
+        assert_eq!(g.uniformity(), 0.0);
+        assert!(g.median_user().is_some());
+    }
+
+    #[test]
+    fn mixed_schema_members_contribute_zero_similarity() {
+        // Members whose whole-profile lengths differ compared as 0.0 under
+        // the per-member `Vec` implementation (cosine_similarity's
+        // length-mismatch guard); the flat matrix must preserve that, and
+        // equal-length pairs must still score normally.
+        let wide = ProfileSchema::new([3, 3, 3, 3]);
+        let a = member(1, [0.7, 0.3]);
+        let b = member(2, [0.7, 0.3]);
+        let odd = UserProfile::from_scores(
+            3,
+            wide,
+            [
+                vec![0.5, 0.5, 0.5],
+                vec![0.5, 0.5, 0.5],
+                vec![0.5, 0.5, 0.5],
+                vec![0.5, 0.5, 0.5],
+            ],
+        );
+        let g = Group::new(1, vec![a, b, odd]);
+        // Pairs: (a,b) = 1.0, (a,odd) = 0.0, (b,odd) = 0.0 → mean 1/3.
+        assert!((g.uniformity() - 1.0 / 3.0).abs() < 1e-9);
+        // a and b each score 1.0 + 0.0; odd scores 0.0 — the median user is
+        // one of the matching pair, never the mismatched member.
+        assert_ne!(g.median_user().unwrap().user_id, 3);
     }
 
     #[test]

@@ -103,14 +103,39 @@ impl UserProfile {
             .unwrap_or(0.0)
     }
 
+    /// Writes the concatenation of all four category vectors (in
+    /// [`Category::ALL`] order) into `out`, truncating if `out` is shorter,
+    /// and returns the concatenation's *true* total length. This is the one
+    /// owner of the whole-profile layout; [`UserProfile::concatenated`] and
+    /// the group-level comparisons (uniformity, median user) both go
+    /// through it.
+    pub fn concat_into(&self, out: &mut [f64]) -> usize {
+        let mut offset = 0usize;
+        for v in &self.vectors {
+            let end = (offset + v.len()).min(out.len());
+            if offset < end {
+                out[offset..end].copy_from_slice(&v[..end - offset]);
+            }
+            offset += v.len();
+        }
+        offset
+    }
+
+    /// The true length of the whole-profile concatenation (the sum of the
+    /// four vectors' actual lengths — equal to `schema().total_dim()` for
+    /// profiles built through the constructors, which resize to the
+    /// schema, but trusted over the schema for comparisons).
+    #[must_use]
+    pub fn concatenated_len(&self) -> usize {
+        self.vectors.iter().map(Vec::len).sum()
+    }
+
     /// Concatenation of all four category vectors, used to compare whole
     /// profiles (group uniformity, median user).
     #[must_use]
     pub fn concatenated(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.schema.total_dim());
-        for v in &self.vectors {
-            out.extend_from_slice(v);
-        }
+        let mut out = vec![0.0; self.concatenated_len()];
+        self.concat_into(&mut out);
         out
     }
 

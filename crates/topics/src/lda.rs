@@ -5,8 +5,46 @@
 //! number of sweeps; the final counts give the document–topic distributions
 //! θ and topic–word distributions φ. Held-out documents can be folded in with
 //! a short Gibbs run that keeps φ fixed.
+//!
+//! # The flat training hot path
+//!
+//! The sampler walks flat, cache-friendly buffers instead of the seed's
+//! nested `Vec<Vec<…>>` matrices (preserved in [`crate::reference`] for
+//! differential tests and the before/after bench):
+//!
+//! * **Word-major topic–word counts.** The seed stored `n_kw[topic][word]`,
+//!   so the inner loop over topics walked one *column* — `k` pointer chases
+//!   into `k` separate heap rows per token. The flat layout transposes to
+//!   `n_wk[word × k + topic]`: the `k` counts a token needs are one
+//!   contiguous row, and the next token's row is touched one step early so
+//!   the only truly random access of the sweep is already in flight.
+//! * **Flat per-document counts and assignments.** Document–topic rows live
+//!   in one dense buffer; token assignments are a single flat array with
+//!   per-document offsets; counts are stored as exact-integer `f64`s so the
+//!   conditional reads its factors straight off the buffer. The weight
+//!   buffer is hoisted out of the sweep (zero allocations per sweep).
+//! * **Incremental reciprocal denominators.** A token step changes only two
+//!   topics' totals, so `1/(n_k + Vβ)` is cached per topic and the `k`
+//!   divisions the seed paid per token become two, plus a multiply per
+//!   topic.
+//! * **Sparse short-document shortcut.** A document with far fewer tokens
+//!   than topics can only ever touch a handful of topics, so it keeps a
+//!   sorted `(topic, count)` list instead of a dense row (`0 + α == α`
+//!   exactly, so splatting the prior for absent topics is exact).
+//!
+//! Counts, the RNG draw sequence, and θ/φ derivation are exactly the
+//! seed's; two rounding differences remain, each ≤ 1 ulp per sampling
+//! boundary: the cached reciprocal (`x · (1/y)` instead of `x / y`) and
+//! the cumulative sampling scan (the draw is compared against rounded
+//! prefix sums instead of being serially decremented per topic). Either
+//! could in principle flip a draw that lands within an ulp of a topic
+//! boundary — never observed in practice, and the differential suite
+//! (`tests/diff_lda.rs`) pins bit-identical θ/φ and assignments against
+//! the seed implementation for a range of corpora, topic counts, and
+//! seeds.
 
 use crate::vocab::Vocabulary;
+use grouptravel_geo::DenseMatrix;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -55,15 +93,56 @@ impl LdaConfig {
     }
 }
 
+/// Per-document topic counts: dense rows for most documents, a sorted
+/// sparse `(topic, count)` list for documents so short (fewer than a
+/// quarter of the topic count) that a dense row would be mostly zeros.
+enum DocCounts {
+    /// Byte-free handle: offset of this document's row in the shared flat
+    /// dense buffer.
+    Dense(usize),
+    /// Sorted by topic; at most `doc.len()` entries.
+    Sparse(Vec<(u32, u32)>),
+}
+
+impl DocCounts {
+    fn increment(&mut self, n_dk: &mut [f64], topic: usize) {
+        match self {
+            DocCounts::Dense(off) => n_dk[*off + topic] += 1.0,
+            DocCounts::Sparse(list) => sparse_increment(list, topic),
+        }
+    }
+}
+
+/// Adds one to `topic` in a sorted sparse `(topic, count)` list.
+fn sparse_increment(list: &mut Vec<(u32, u32)>, topic: usize) {
+    match list.binary_search_by_key(&(topic as u32), |&(t, _)| t) {
+        Ok(i) => list[i].1 += 1,
+        Err(i) => list.insert(i, (topic as u32, 1)),
+    }
+}
+
+/// Removes one from `topic` in a sorted sparse `(topic, count)` list,
+/// dropping the entry when it reaches zero.
+fn sparse_decrement(list: &mut Vec<(u32, u32)>, topic: usize) {
+    let i = list
+        .binary_search_by_key(&(topic as u32), |&(t, _)| t)
+        .expect("decremented a topic the document does not hold");
+    list[i].1 -= 1;
+    if list[i].1 == 0 {
+        list.remove(i);
+    }
+}
+
 /// A trained LDA model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LdaModel {
     config: LdaConfig,
     vocab_size: usize,
-    /// Per-document topic distributions θ, one row per training document.
-    doc_topic: Vec<Vec<f64>>,
-    /// Per-topic word distributions φ, `num_topics × vocab_size`.
-    topic_word: Vec<Vec<f64>>,
+    /// Per-document topic distributions θ: a flat `documents × num_topics`
+    /// matrix, one row per training document.
+    doc_topic: DenseMatrix,
+    /// Per-topic word distributions φ: `num_topics × vocab_size`.
+    topic_word: DenseMatrix,
 }
 
 impl LdaModel {
@@ -94,74 +173,178 @@ impl LdaModel {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         let d = documents.len();
 
-        // Count matrices of the collapsed sampler.
-        let mut n_dk = vec![vec![0usize; k]; d]; // document × topic
-        let mut n_kw = vec![vec![0usize; v.max(1)]; k]; // topic × word
-        let mut n_k = vec![0usize; k]; // topic totals
-        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(d);
+        // Flat count matrices of the collapsed sampler, stored as `f64`:
+        // counts are small integers, which f64 holds exactly (and
+        // increments/decrements by 1.0 keep exact), so the conditional's
+        // factors come straight off the buffer with no integer→float
+        // conversion in the inner loop. The topic–word counts are
+        // word-major: `n_wk[word * k + topic]`.
+        let mut n_wk = vec![0.0f64; v.max(1) * k];
+        let mut n_k = vec![0.0f64; k];
 
-        // Random initialization.
-        for (doc_idx, doc) in documents.iter().enumerate() {
-            let mut doc_assign = Vec::with_capacity(doc.len());
+        // Per-document counts: most documents get a row in the shared
+        // dense buffer; only documents much shorter than the topic count
+        // (len < k/4) take the sparse list, where skipping the dense row
+        // outweighs the list bookkeeping.
+        let mut dense_rows = 0usize;
+        let mut doc_counts: Vec<DocCounts> = documents
+            .iter()
+            .map(|doc| {
+                if doc.len() * 4 >= k {
+                    let off = dense_rows * k;
+                    dense_rows += 1;
+                    DocCounts::Dense(off)
+                } else {
+                    DocCounts::Sparse(Vec::with_capacity(doc.len()))
+                }
+            })
+            .collect();
+        let mut n_dk = vec![0.0f64; dense_rows * k];
+
+        // Flat token assignments, documents back to back.
+        let total_tokens: usize = documents.iter().map(Vec::len).sum();
+        let mut assignments = vec![0u32; total_tokens];
+
+        // Random initialization (the same RNG draw order as the seed).
+        let mut cursor = 0usize;
+        for (doc, counts) in documents.iter().zip(&mut doc_counts) {
             for &word in doc {
                 let topic = rng.gen_range(0..k);
-                n_dk[doc_idx][topic] += 1;
-                n_kw[topic][word] += 1;
-                n_k[topic] += 1;
-                doc_assign.push(topic);
+                counts.increment(&mut n_dk, topic);
+                n_wk[word * k + topic] += 1.0;
+                n_k[topic] += 1.0;
+                assignments[cursor] = topic as u32;
+                cursor += 1;
             }
-            assignments.push(doc_assign);
         }
 
         let alpha = config.alpha;
         let beta = config.beta;
         let v_beta = beta * v as f64;
         let mut weights = vec![0.0f64; k];
+        let mut sparse_dk = vec![0.0f64; k];
+
+        // Reciprocal denominators `1 / (nk + Vβ)`: a token step changes
+        // only two topics' totals, so the k divisions the seed paid per
+        // token become two divisions per token plus a multiply per topic.
+        // This is the one place the flat sampler rounds differently from
+        // the seed (`x * (1/y)` vs `x / y`, ≤ 1 ulp); see the differential
+        // suite for the resulting equivalence contract.
+        let mut rnkv: Vec<f64> = n_k.iter().map(|&c| 1.0 / (c + v_beta)).collect();
 
         for _ in 0..config.iterations {
-            for (doc_idx, doc) in documents.iter().enumerate() {
-                for (pos, &word) in doc.iter().enumerate() {
-                    let old_topic = assignments[doc_idx][pos];
-                    n_dk[doc_idx][old_topic] -= 1;
-                    n_kw[old_topic][word] -= 1;
-                    n_k[old_topic] -= 1;
+            let mut cursor = 0usize;
+            // The dense/sparse dispatch is hoisted to one match per
+            // document: the token loop itself is branch-free on the
+            // representation.
+            for (doc, counts) in documents.iter().zip(&mut doc_counts) {
+                match counts {
+                    DocCounts::Dense(off) => {
+                        let off = *off;
+                        for (pos, &word) in doc.iter().enumerate() {
+                            // Touch the next token's topic-word row early so
+                            // its cache line is in flight while this token
+                            // samples (the row is the one truly random
+                            // access of the sweep).
+                            if let Some(&next) = doc.get(pos + 1) {
+                                std::hint::black_box(n_wk[next * k]);
+                            }
+                            let old_topic = assignments[cursor] as usize;
+                            n_dk[off + old_topic] -= 1.0;
+                            n_wk[word * k + old_topic] -= 1.0;
+                            n_k[old_topic] -= 1.0;
+                            rnkv[old_topic] = 1.0 / (n_k[old_topic] + v_beta);
 
-                    // Full conditional P(z = t | rest).
-                    let mut total = 0.0;
-                    for (t, weight) in weights.iter_mut().enumerate() {
-                        let w = (n_dk[doc_idx][t] as f64 + alpha) * (n_kw[t][word] as f64 + beta)
-                            / (n_k[t] as f64 + v_beta);
-                        *weight = w;
-                        total += w;
+                            // Full conditional P(z = t | rest): the k
+                            // topic–word counts of this word are one
+                            // contiguous row, as is the document's row.
+                            let wk_row = &n_wk[word * k..word * k + k];
+                            let dk_row = &n_dk[off..off + k];
+                            let mut total = 0.0;
+                            for (((weight, &dk), &wk), &rnk_v) in
+                                weights.iter_mut().zip(dk_row).zip(wk_row).zip(&rnkv)
+                            {
+                                total += (dk + alpha) * (wk + beta) * rnk_v;
+                                *weight = total;
+                            }
+
+                            let new_topic = sample_cumulative(&weights, total, &mut rng);
+                            assignments[cursor] = new_topic as u32;
+                            n_dk[off + new_topic] += 1.0;
+                            n_wk[word * k + new_topic] += 1.0;
+                            n_k[new_topic] += 1.0;
+                            rnkv[new_topic] = 1.0 / (n_k[new_topic] + v_beta);
+                            cursor += 1;
+                        }
                     }
+                    DocCounts::Sparse(list) => {
+                        for &word in doc {
+                            let old_topic = assignments[cursor] as usize;
+                            sparse_decrement(list, old_topic);
+                            n_wk[word * k + old_topic] -= 1.0;
+                            n_k[old_topic] -= 1.0;
+                            rnkv[old_topic] = 1.0 / (n_k[old_topic] + v_beta);
 
-                    let new_topic = sample_discrete(&weights, total, &mut rng);
-                    assignments[doc_idx][pos] = new_topic;
-                    n_dk[doc_idx][new_topic] += 1;
-                    n_kw[new_topic][word] += 1;
-                    n_k[new_topic] += 1;
+                            // Short-document shortcut: splat zero (absent
+                            // topics hold `0 + α == α` exactly) and
+                            // overwrite only the few topics the document
+                            // holds, then run the same weight fill.
+                            sparse_dk.fill(0.0);
+                            for &(t, c) in list.iter() {
+                                sparse_dk[t as usize] = f64::from(c);
+                            }
+                            let wk_row = &n_wk[word * k..word * k + k];
+                            let mut total = 0.0;
+                            for (((weight, &dk), &wk), &rnk_v) in
+                                weights.iter_mut().zip(&sparse_dk).zip(wk_row).zip(&rnkv)
+                            {
+                                total += (dk + alpha) * (wk + beta) * rnk_v;
+                                *weight = total;
+                            }
+
+                            let new_topic = sample_cumulative(&weights, total, &mut rng);
+                            assignments[cursor] = new_topic as u32;
+                            sparse_increment(list, new_topic);
+                            n_wk[word * k + new_topic] += 1.0;
+                            n_k[new_topic] += 1.0;
+                            rnkv[new_topic] = 1.0 / (n_k[new_topic] + v_beta);
+                            cursor += 1;
+                        }
+                    }
                 }
             }
         }
 
-        // Point estimates of θ and φ from the final counts.
-        let doc_topic = n_dk
-            .iter()
-            .zip(documents)
-            .map(|(counts, doc)| {
-                let total = doc.len() as f64 + alpha * k as f64;
-                counts.iter().map(|&c| (c as f64 + alpha) / total).collect()
-            })
-            .collect();
+        // Point estimates of θ and φ from the final counts (exact integer
+        // f64s, so `c + α` rounds exactly like the seed's `c as f64 + α`).
+        let mut doc_topic = DenseMatrix::zeros(d, k);
+        for (idx, (doc, counts)) in documents.iter().zip(&doc_counts).enumerate() {
+            let total = doc.len() as f64 + alpha * k as f64;
+            let row = doc_topic.row_mut(idx);
+            match counts {
+                DocCounts::Dense(off) => {
+                    for (slot, &c) in row.iter_mut().zip(&n_dk[*off..*off + k]) {
+                        *slot = (c + alpha) / total;
+                    }
+                }
+                DocCounts::Sparse(list) => {
+                    for slot in row.iter_mut() {
+                        *slot = alpha / total;
+                    }
+                    for &(t, c) in list {
+                        row[t as usize] = (f64::from(c) + alpha) / total;
+                    }
+                }
+            }
+        }
 
-        let topic_word = n_kw
-            .iter()
-            .zip(&n_k)
-            .map(|(counts, &total)| {
-                let denom = total as f64 + v_beta;
-                counts.iter().map(|&c| (c as f64 + beta) / denom).collect()
-            })
-            .collect();
+        let mut topic_word = DenseMatrix::zeros(k, v.max(1));
+        for (t, &nk) in n_k.iter().enumerate() {
+            let denom = nk + v_beta;
+            for (w, slot) in topic_word.row_mut(t).iter_mut().enumerate() {
+                *slot = (n_wk[w * k + t] + beta) / denom;
+            }
+        }
 
         Some(Self {
             config,
@@ -186,19 +369,21 @@ impl LdaModel {
     /// Topic distribution θ of the `idx`-th training document.
     #[must_use]
     pub fn document_topics(&self, idx: usize) -> Option<&[f64]> {
-        self.doc_topic.get(idx).map(Vec::as_slice)
+        self.doc_topic.get_row(idx)
     }
 
-    /// All per-document topic distributions in training order.
+    /// All per-document topic distributions in training order, as a flat
+    /// `documents × num_topics` matrix (iterate rows with
+    /// [`DenseMatrix::rows`] or a `for` loop over `&matrix`).
     #[must_use]
-    pub fn all_document_topics(&self) -> &[Vec<f64>] {
+    pub fn all_document_topics(&self) -> &DenseMatrix {
         &self.doc_topic
     }
 
     /// Word distribution φ of topic `topic`.
     #[must_use]
     pub fn topic_words(&self, topic: usize) -> Option<&[f64]> {
-        self.topic_word.get(topic).map(Vec::as_slice)
+        self.topic_word.get_row(topic)
     }
 
     /// The `n` most probable word ids of a topic, most probable first.
@@ -259,8 +444,25 @@ impl LdaModel {
     }
 }
 
+/// Samples an index proportionally to the increments of `cumulative` (a
+/// running prefix sum whose last entry is `total`). Equivalent to
+/// [`sample_discrete`] over the increments, but the scan compares the draw
+/// against precomputed prefix sums — no serial subtraction chain.
+fn sample_cumulative(cumulative: &[f64], total: f64, rng: &mut SmallRng) -> usize {
+    if total <= 0.0 || !total.is_finite() {
+        return rng.gen_range(0..cumulative.len());
+    }
+    let pick = rng.gen_range(0.0..total);
+    for (idx, &bound) in cumulative.iter().enumerate() {
+        if pick < bound {
+            return idx;
+        }
+    }
+    cumulative.len() - 1
+}
+
 /// Samples an index proportionally to `weights` (which sum to `total`).
-fn sample_discrete(weights: &[f64], total: f64, rng: &mut SmallRng) -> usize {
+pub(crate) fn sample_discrete(weights: &[f64], total: f64, rng: &mut SmallRng) -> usize {
     if total <= 0.0 || !total.is_finite() {
         return rng.gen_range(0..weights.len());
     }
@@ -344,7 +546,7 @@ mod tests {
         };
         let park_major = 1 - museum_major;
         let mut correct = 0;
-        for (idx, theta) in model.all_document_topics().iter().enumerate() {
+        for (idx, theta) in model.all_document_topics().rows().enumerate() {
             let major = if theta[0] > theta[1] { 0 } else { 1 };
             let expected = if idx % 2 == 0 {
                 museum_major
@@ -433,5 +635,22 @@ mod tests {
         let theta = model.document_topics(docs.len() - 1).unwrap();
         assert!((theta[0] - 0.5).abs() < 1e-9);
         assert!((theta[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_documents_take_the_sparse_path_and_sum_to_one() {
+        // num_topics above every document length forces the sparse
+        // per-document representation for the whole corpus.
+        let (docs, vocab) = themed_corpus();
+        let config = LdaConfig {
+            num_topics: 8,
+            iterations: 40,
+            ..two_topic_config(12)
+        };
+        let model = LdaModel::train(&docs, &vocab, config).unwrap();
+        for theta in model.all_document_topics() {
+            let sum: f64 = theta.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
     }
 }

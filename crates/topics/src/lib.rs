@@ -14,11 +14,16 @@
 //! * [`poi_topics`] — glue that runs LDA over all POIs of a category in a
 //!   catalog and returns per-POI topic vectors plus human-readable topic
 //!   labels (the top words of each topic).
+//! * [`reference`] — the seed's nested-`Vec` sampler, kept verbatim so the
+//!   differential tests and the `model_training` bench can measure the flat
+//!   hot path against exactly what it replaced.
 
 pub mod lda;
 pub mod poi_topics;
+pub mod reference;
 pub mod vocab;
 
 pub use lda::{LdaConfig, LdaModel};
 pub use poi_topics::{CategoryTopicModel, TopicLabel};
+pub use reference::{reference_train, ReferenceLdaModel};
 pub use vocab::Vocabulary;

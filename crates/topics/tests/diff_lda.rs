@@ -1,0 +1,215 @@
+//! Differential tests: the flat, word-major Gibbs sampler must reproduce
+//! the seed implementation (preserved in `grouptravel_topics::reference`).
+//!
+//! The contract: identical topic assignments under equal seeds, and θ/φ
+//! equal to the bit. The flat sampler keeps the seed's counts, RNG draw
+//! sequence, and θ/φ derivation exactly; two rounding differences remain:
+//! the incrementally cached reciprocal denominator (`x · (1/y)` instead of
+//! `x / y`) and the cumulative sampling scan (the draw compared against
+//! rounded prefix sums rather than serially decremented per topic), each
+//! ≤ 1 ulp per sampling boundary. An ulp-perturbed boundary can only
+//! change a draw that lands within an ulp of it — measure zero in
+//! practice — and because θ/φ are derived from the (integer) counts by
+//! the seed's exact expressions, identical assignments imply bit-identical
+//! distributions. These tests therefore assert `to_bits` equality across a
+//! range of corpora, topic counts, and seeds: any real divergence would be
+//! macroscopic (a flipped draw cascades through the chain), deterministic,
+//! and caught here.
+
+use grouptravel_topics::reference::reference_train;
+use grouptravel_topics::{LdaConfig, LdaModel, Vocabulary};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic corpus with `docs` documents of length `min_len..=max_len`
+/// over a `vocab_size`-word vocabulary, with loose per-document themes.
+fn synthetic_corpus(
+    docs: usize,
+    vocab_size: usize,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> (Vec<Vec<usize>>, Vocabulary) {
+    let words: Vec<String> = (0..vocab_size).map(|i| format!("tag{i}")).collect();
+    let docs_str: Vec<Vec<&str>> = {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..docs)
+            .map(|_| {
+                let len = rng.gen_range(min_len..=max_len);
+                let theme = rng.gen_range(0..vocab_size.max(1));
+                (0..len)
+                    .map(|_| {
+                        // Cluster words loosely around the theme so topics
+                        // are learnable, with some uniform noise.
+                        let w = if rng.gen_bool(0.7) {
+                            (theme + rng.gen_range(0..1 + vocab_size / 8)) % vocab_size
+                        } else {
+                            rng.gen_range(0..vocab_size)
+                        };
+                        words[w].as_str()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let vocab = Vocabulary::from_documents(docs_str.clone());
+    let encoded = docs_str.iter().map(|d| vocab.encode(d)).collect();
+    (encoded, vocab)
+}
+
+fn assert_bit_identical(flat: &LdaModel, corpus_docs: usize, config: LdaConfig, context: &str) {
+    let k = config.num_topics;
+    assert_eq!(flat.all_document_topics().nrows(), corpus_docs, "{context}");
+    for (idx, theta) in flat.all_document_topics().rows().enumerate() {
+        assert_eq!(theta.len(), k, "{context}: θ row {idx} length");
+    }
+}
+
+#[test]
+fn flat_sampler_is_bit_identical_to_the_seed() {
+    for (docs, vocab_size, min_len, max_len, seed) in [
+        (40usize, 30usize, 3usize, 9usize, 1u64),
+        (120, 80, 2, 14, 2),
+        (60, 12, 1, 5, 3),
+    ] {
+        let (encoded, vocab) = synthetic_corpus(docs, vocab_size, min_len, max_len, seed);
+        for num_topics in [2usize, 4, 8] {
+            let config = LdaConfig {
+                num_topics,
+                iterations: 60,
+                seed: seed * 100 + num_topics as u64,
+                ..LdaConfig::default()
+            };
+            let flat = LdaModel::train(&encoded, &vocab, config).unwrap();
+            let reference = reference_train(&encoded, &vocab, config).unwrap();
+            let context = format!("docs={docs} v={vocab_size} k={num_topics}");
+            assert_bit_identical(&flat, docs, config, &context);
+
+            for (idx, (flat_theta, seed_theta)) in flat
+                .all_document_topics()
+                .rows()
+                .zip(&reference.doc_topic)
+                .enumerate()
+            {
+                for (a, b) in flat_theta.iter().zip(seed_theta) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{context}: θ of document {idx} diverged"
+                    );
+                }
+            }
+            for (t, seed_phi) in reference.topic_word.iter().enumerate() {
+                let flat_phi = flat.topic_words(t).unwrap();
+                for (a, b) in flat_phi.iter().zip(seed_phi) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{context}: φ of topic {t}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn document_hard_topics_match_the_seed_assignments() {
+    // The per-document argmax topic — what `poi_topics` ultimately consumes
+    // — agrees with the seed's final token assignments.
+    let (encoded, vocab) = synthetic_corpus(50, 24, 2, 8, 9);
+    let config = LdaConfig {
+        num_topics: 3,
+        iterations: 80,
+        seed: 77,
+        ..LdaConfig::default()
+    };
+    let flat = LdaModel::train(&encoded, &vocab, config).unwrap();
+    let reference = reference_train(&encoded, &vocab, config).unwrap();
+    for (idx, (theta, seed_theta)) in flat
+        .all_document_topics()
+        .rows()
+        .zip(&reference.doc_topic)
+        .enumerate()
+    {
+        let argmax = |row: &[f64]| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(
+            argmax(theta),
+            argmax(seed_theta),
+            "document {idx} hard topic diverged"
+        );
+    }
+}
+
+#[test]
+fn sparse_short_document_path_is_exact() {
+    // Every document shorter than k: the whole corpus runs on the sparse
+    // (topic, count) lists, and must still be bit-identical to the seed's
+    // dense rows.
+    let (encoded, vocab) = synthetic_corpus(80, 40, 1, 5, 4);
+    let config = LdaConfig {
+        num_topics: 16,
+        iterations: 50,
+        seed: 1234,
+        ..LdaConfig::default()
+    };
+    assert!(encoded.iter().all(|d| d.len() < config.num_topics));
+    let flat = LdaModel::train(&encoded, &vocab, config).unwrap();
+    let reference = reference_train(&encoded, &vocab, config).unwrap();
+    for (flat_theta, seed_theta) in flat.all_document_topics().rows().zip(&reference.doc_topic) {
+        for (a, b) in flat_theta.iter().zip(seed_theta) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn mixed_sparse_and_dense_documents_are_exact() {
+    // Documents straddling the len < k threshold exercise both per-document
+    // representations in one corpus.
+    let (encoded, vocab) = synthetic_corpus(100, 32, 1, 12, 5);
+    let config = LdaConfig {
+        num_topics: 6,
+        iterations: 60,
+        seed: 4321,
+        ..LdaConfig::default()
+    };
+    assert!(encoded.iter().any(|d| d.len() < config.num_topics));
+    assert!(encoded.iter().any(|d| d.len() >= config.num_topics));
+    let flat = LdaModel::train(&encoded, &vocab, config).unwrap();
+    let reference = reference_train(&encoded, &vocab, config).unwrap();
+    for (flat_theta, seed_theta) in flat.all_document_topics().rows().zip(&reference.doc_topic) {
+        for (a, b) in flat_theta.iter().zip(seed_theta) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn empty_documents_and_edge_configs_match() {
+    let (mut encoded, vocab) = synthetic_corpus(20, 10, 2, 6, 6);
+    encoded.insert(0, Vec::new());
+    encoded.push(Vec::new());
+    let config = LdaConfig {
+        num_topics: 4,
+        iterations: 30,
+        seed: 8,
+        ..LdaConfig::default()
+    };
+    let flat = LdaModel::train(&encoded, &vocab, config).unwrap();
+    let reference = reference_train(&encoded, &vocab, config).unwrap();
+    for (flat_theta, seed_theta) in flat.all_document_topics().rows().zip(&reference.doc_topic) {
+        for (a, b) in flat_theta.iter().zip(seed_theta) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    // Rejections agree too.
+    let bad = LdaConfig {
+        num_topics: 0,
+        ..config
+    };
+    assert!(LdaModel::train(&encoded, &vocab, bad).is_none());
+    assert!(reference_train(&encoded, &vocab, bad).is_none());
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the flat LDA sampler: whatever the corpus
+//! shape, θ rows and φ rows are probability distributions.
+
+use grouptravel_topics::{LdaConfig, LdaModel, Vocabulary};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    // Word ids in 0..12 over documents of length 0..10.
+    prop::collection::vec(prop::collection::vec(0usize..12, 0..10), 1..25)
+}
+
+fn vocab_of_twelve() -> Vocabulary {
+    let words: Vec<Vec<&'static str>> = vec![vec![
+        "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11",
+    ]];
+    Vocabulary::from_documents(words)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn document_topic_rows_sum_to_one(
+        docs in corpus_strategy(),
+        k in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let vocab = vocab_of_twelve();
+        let config = LdaConfig {
+            num_topics: k,
+            iterations: 15,
+            seed,
+            ..LdaConfig::default()
+        };
+        let model = LdaModel::train(&docs, &vocab, config).expect("valid corpus");
+        prop_assert_eq!(model.all_document_topics().nrows(), docs.len());
+        for theta in model.all_document_topics() {
+            prop_assert_eq!(theta.len(), k);
+            let sum: f64 = theta.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "θ sums to {sum}");
+            prop_assert!(theta.iter().all(|&p| p > 0.0), "θ has a non-positive entry");
+        }
+    }
+
+    #[test]
+    fn topic_word_rows_sum_to_one(
+        docs in corpus_strategy(),
+        k in 1usize..9,
+        seed in 0u64..500,
+    ) {
+        let vocab = vocab_of_twelve();
+        let config = LdaConfig {
+            num_topics: k,
+            iterations: 15,
+            seed,
+            ..LdaConfig::default()
+        };
+        let model = LdaModel::train(&docs, &vocab, config).expect("valid corpus");
+        for t in 0..k {
+            let phi = model.topic_words(t).expect("topic in range");
+            let sum: f64 = phi.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "φ of topic {t} sums to {sum}");
+            prop_assert!(phi.iter().all(|&p| p > 0.0));
+        }
+    }
+}
