@@ -1,0 +1,122 @@
+//! The seed LDA trainer, kept as a reference.
+//!
+//! This is the nested-`Vec` collapsed Gibbs sampler the flat
+//! [`crate::LdaModel::train`] replaced. It exists so the differential test
+//! suite can prove the flat sampler is **bit-identical** (same seeds ⇒ same
+//! topic assignments and θ/φ floats), and so the `model_training` bench and
+//! `model_training_report` binary measure the flat path against exactly
+//! what it replaced.
+//!
+//! Do not "fix" or speed up this module: its value is bit-for-bit fidelity
+//! to the seed algorithm.
+
+use crate::lda::{sample_discrete, LdaConfig};
+use crate::vocab::Vocabulary;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The seed trainer's outputs: θ, φ, and the final token assignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceLdaModel {
+    /// Per-document topic distributions θ, one row per training document.
+    pub doc_topic: Vec<Vec<f64>>,
+    /// Per-topic word distributions φ, `num_topics × vocab_size`.
+    pub topic_word: Vec<Vec<f64>>,
+    /// Final topic assignment of every token, per document.
+    pub assignments: Vec<Vec<usize>>,
+}
+
+/// Runs the seed training algorithm. Same preconditions and `None` cases as
+/// [`crate::LdaModel::train`].
+#[must_use]
+pub fn reference_train(
+    documents: &[Vec<usize>],
+    vocabulary: &Vocabulary,
+    config: LdaConfig,
+) -> Option<ReferenceLdaModel> {
+    let k = config.num_topics;
+    let v = vocabulary.len();
+    if k == 0 {
+        return None;
+    }
+    if v == 0 && documents.iter().any(|d| !d.is_empty()) {
+        return None;
+    }
+    if documents.iter().flatten().any(|&w| w >= v) {
+        return None;
+    }
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let d = documents.len();
+
+    let mut n_dk = vec![vec![0usize; k]; d];
+    let mut n_kw = vec![vec![0usize; v.max(1)]; k];
+    let mut n_k = vec![0usize; k];
+    let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(d);
+
+    for (doc_idx, doc) in documents.iter().enumerate() {
+        let mut doc_assign = Vec::with_capacity(doc.len());
+        for &word in doc {
+            let topic = rng.gen_range(0..k);
+            n_dk[doc_idx][topic] += 1;
+            n_kw[topic][word] += 1;
+            n_k[topic] += 1;
+            doc_assign.push(topic);
+        }
+        assignments.push(doc_assign);
+    }
+
+    let alpha = config.alpha;
+    let beta = config.beta;
+    let v_beta = beta * v as f64;
+    let mut weights = vec![0.0f64; k];
+
+    for _ in 0..config.iterations {
+        for (doc_idx, doc) in documents.iter().enumerate() {
+            for (pos, &word) in doc.iter().enumerate() {
+                let old_topic = assignments[doc_idx][pos];
+                n_dk[doc_idx][old_topic] -= 1;
+                n_kw[old_topic][word] -= 1;
+                n_k[old_topic] -= 1;
+
+                let mut total = 0.0;
+                for (t, weight) in weights.iter_mut().enumerate() {
+                    let w = (n_dk[doc_idx][t] as f64 + alpha) * (n_kw[t][word] as f64 + beta)
+                        / (n_k[t] as f64 + v_beta);
+                    *weight = w;
+                    total += w;
+                }
+
+                let new_topic = sample_discrete(&weights, total, &mut rng);
+                assignments[doc_idx][pos] = new_topic;
+                n_dk[doc_idx][new_topic] += 1;
+                n_kw[new_topic][word] += 1;
+                n_k[new_topic] += 1;
+            }
+        }
+    }
+
+    let doc_topic = n_dk
+        .iter()
+        .zip(documents)
+        .map(|(counts, doc)| {
+            let total = doc.len() as f64 + alpha * k as f64;
+            counts.iter().map(|&c| (c as f64 + alpha) / total).collect()
+        })
+        .collect();
+
+    let topic_word = n_kw
+        .iter()
+        .zip(&n_k)
+        .map(|(counts, &total)| {
+            let denom = total as f64 + v_beta;
+            counts.iter().map(|&c| (c as f64 + beta) / denom).collect()
+        })
+        .collect();
+
+    Some(ReferenceLdaModel {
+        doc_topic,
+        topic_word,
+        assignments,
+    })
+}
