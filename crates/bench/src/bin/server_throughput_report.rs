@@ -1,0 +1,157 @@
+//! Measures requests/sec through the HTTP/JSON front-end vs. the
+//! in-process engine — same engine instance, same catalog, same warm model
+//! substrate, so the delta is exactly the wire: TCP connect, HTTP parse,
+//! JSON encode/decode on both sides.
+//!
+//! Writes `BENCH_server.json` (first CLI argument overrides the output
+//! path). Run with `cargo run --release -p grouptravel-bench --bin
+//! server_throughput_report`. `GT_SERVER_THROUGHPUT_SMOKE=1` shrinks the
+//! request counts to a CI-sized smoke run.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{Engine, EngineConfig, EngineRequest, EngineResponse, PackageRequest};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{RunningServer, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn paris_catalog() -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(97)).generate()
+}
+
+fn request_for(engine: &Engine, session_id: u64, fcm_seed: u64) -> PackageRequest {
+    let schema = engine.profile_schema("Paris").expect("Paris registered");
+    let profile = SyntheticGroupGenerator::new(schema, session_id)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    PackageRequest {
+        session_id,
+        city: "Paris".to_string(),
+        profile,
+        query: GroupQuery::paper_default(),
+        config: BuildConfig {
+            seed: fcm_seed,
+            ..BuildConfig::default()
+        },
+    }
+}
+
+/// Serves `n` warm one-shot requests in-process, returns requests/sec.
+fn measure_in_process(engine: &Engine, n: u64) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        let response = engine.serve(&request_for(engine, 10_000 + i, 42));
+        assert!(response.outcome.is_ok());
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Serves `n` warm one-shot requests over HTTP from `clients` concurrent
+/// client threads (connection per request), returns aggregate requests/sec.
+fn measure_http(engine: &Engine, addr: std::net::SocketAddr, n: u64, clients: u64) -> f64 {
+    let per_client = n / clients.max(1);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients.max(1) {
+            let client = EngineClient::new(addr);
+            let engine = &engine;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    let request = request_for(engine, 50_000 + c * per_client + i, 42);
+                    let response = client
+                        .request(EngineRequest::Build {
+                            request: Box::new(request),
+                        })
+                        .expect("transport works");
+                    match response {
+                        EngineResponse::Package { response } => {
+                            assert!(response.outcome.is_ok());
+                        }
+                        other => panic!("expected Package, got {}", other.kind()),
+                    }
+                }
+            });
+        }
+    });
+    (per_client * clients.max(1)) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One cold build (fresh clustering seed), returns latency in microseconds.
+fn measure_cold_once(engine: &Engine, client: Option<&EngineClient>, fcm_seed: u64) -> f64 {
+    let request = request_for(engine, 90_000 + fcm_seed, fcm_seed);
+    let start = Instant::now();
+    match client {
+        Some(client) => {
+            let response = client
+                .request(EngineRequest::Build {
+                    request: Box::new(request),
+                })
+                .expect("transport works");
+            assert!(matches!(response, EngineResponse::Package { .. }));
+        }
+        None => {
+            let response = engine.serve(&request);
+            assert!(response.outcome.is_ok());
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".to_string());
+    let smoke = std::env::var("GT_SERVER_THROUGHPUT_SMOKE").is_ok();
+    let warm_requests: u64 = if smoke { 32 } else { 2_000 };
+    let client_counts: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    let engine = Arc::new(Engine::new(EngineConfig::fast()));
+    engine.register_catalog(paris_catalog()).unwrap();
+    let server = RunningServer::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            worker_threads: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+
+    // Cold latencies first (each uses a fresh clustering seed).
+    let cold_in_process_us = measure_cold_once(&engine, None, 7_001);
+    let cold_http_us = measure_cold_once(&engine, Some(&client), 7_002);
+
+    // Warm the cache for the measured configuration, then throughput.
+    engine.serve(&request_for(&engine, 1, 42));
+    let in_process_rps = measure_in_process(&engine, warm_requests);
+    let mut http_rows = Vec::new();
+    for &clients in client_counts {
+        let rps = measure_http(&engine, server.addr(), warm_requests, clients);
+        eprintln!(
+            "http warm, {clients} client(s): {rps:.0} req/s \
+             (in-process sequential: {in_process_rps:.0} req/s)"
+        );
+        http_rows.push(format!(
+            "    {{\"clients\": {clients}, \"requests_per_sec\": {rps:.1}, \
+             \"relative_to_in_process\": {:.3}}}",
+            rps / in_process_rps
+        ));
+    }
+
+    let stats = engine.stats();
+    let json = format!(
+        "{{\n  \"bench\": \"server_throughput\",\n  \"mode\": \"{}\",\n  \
+         \"warm_requests\": {warm_requests},\n  \
+         \"in_process_warm_rps\": {in_process_rps:.1},\n  \
+         \"cold_build_us\": {{\"in_process\": {cold_in_process_us:.0}, \"http\": {cold_http_us:.0}}},\n  \
+         \"fcm_trainings\": {},\n  \"lda_trainings\": {},\n  \
+         \"http_warm\": [\n{}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        stats.fcm_trainings,
+        stats.lda_trainings,
+        http_rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_server.json");
+    eprintln!("wrote {out_path}");
+    server.stop();
+}

@@ -1,10 +1,16 @@
 //! Error type of the core library.
 
 use grouptravel_dataset::Category;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised while building or customizing travel packages.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every variant has a **stable numeric code** ([`GroupTravelError::code`])
+/// used verbatim on the serving engine's wire protocol, so clients can
+/// match on errors without parsing messages. Codes are append-only: a
+/// variant's code never changes or gets reused.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum GroupTravelError {
     /// The catalog has no POIs at all.
     EmptyCatalog,
@@ -28,6 +34,22 @@ pub enum GroupTravelError {
     TopicModel(Category),
     /// A customization operation referenced a POI or CI that does not exist.
     InvalidOperation(String),
+}
+
+impl GroupTravelError {
+    /// The stable numeric code of this error on the wire protocol.
+    #[must_use]
+    pub fn code(&self) -> u16 {
+        match self {
+            GroupTravelError::EmptyCatalog => 10,
+            GroupTravelError::InsufficientCategory { .. } => 11,
+            GroupTravelError::ZeroCompositeItems => 12,
+            GroupTravelError::EmptyQuery => 13,
+            GroupTravelError::Clustering(_) => 14,
+            GroupTravelError::TopicModel(_) => 15,
+            GroupTravelError::InvalidOperation(_) => 16,
+        }
+    }
 }
 
 impl fmt::Display for GroupTravelError {
@@ -64,6 +86,36 @@ impl std::error::Error for GroupTravelError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let all = [
+            GroupTravelError::EmptyCatalog,
+            GroupTravelError::InsufficientCategory {
+                category: Category::Restaurant,
+                required: 2,
+                available: 1,
+            },
+            GroupTravelError::ZeroCompositeItems,
+            GroupTravelError::EmptyQuery,
+            GroupTravelError::Clustering("k".into()),
+            GroupTravelError::TopicModel(Category::Attraction),
+            GroupTravelError::InvalidOperation("x".into()),
+        ];
+        let codes: Vec<u16> = all.iter().map(GroupTravelError::code).collect();
+        assert_eq!(codes, vec![10, 11, 12, 13, 14, 15, 16]);
+    }
+
+    #[test]
+    fn errors_round_trip_through_json() {
+        let e = GroupTravelError::InsufficientCategory {
+            category: Category::Restaurant,
+            required: 2,
+            available: 1,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(serde_json::from_str::<GroupTravelError>(&json).unwrap(), e);
+    }
 
     #[test]
     fn display_messages_are_informative() {

@@ -87,6 +87,15 @@ impl PoiCatalog {
             .get_or_init(|| Arc::new(SpatialIndex::build(&self.pois)))
     }
 
+    /// Whether the per-category spatial index has already been built (at
+    /// registration or by an earlier spatial query). A freshly deserialized
+    /// catalog starts unprimed; the serving engine asserts priming on the
+    /// paths that must never pay the O(n) build inside a request.
+    #[must_use]
+    pub fn spatial_primed(&self) -> bool {
+        self.spatial.get().is_some()
+    }
+
     /// The city name.
     #[must_use]
     pub fn city(&self) -> &str {

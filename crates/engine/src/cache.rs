@@ -21,10 +21,10 @@
 //! small map (tens of entries — one per city × configuration in use).
 
 use grouptravel_geo::GeoPoint;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Cache key of model artifacts: `(catalog fingerprint, config cache key)`.
 pub type ModelKey = (u64, u64);
@@ -37,6 +37,18 @@ struct Slot<V> {
     last_used: u64,
 }
 
+/// How [`LruCache::get_or_train`] satisfied a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The value was already cached; nothing ran.
+    Hit,
+    /// This call ran the training closure and cached the result.
+    Trained,
+    /// Another thread was already training the same key; this call waited
+    /// for its result instead of training a duplicate.
+    Coalesced,
+}
+
 /// A thread-safe LRU cache of `Arc`-shared values.
 pub struct LruCache<K, V> {
     slots: Mutex<HashMap<K, Slot<V>>>,
@@ -44,6 +56,11 @@ pub struct LruCache<K, V> {
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Keys whose value is being computed right now, for request
+    /// coalescing: concurrent cold misses on one key run the expensive
+    /// training once ([`LruCache::get_or_train`]).
+    inflight: Mutex<HashSet<K>>,
+    inflight_done: Condvar,
 }
 
 impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
@@ -56,7 +73,77 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_done: Condvar::new(),
         }
+    }
+
+    /// The cached value for `key`, or the result of running `train` —
+    /// **coalesced**: when several threads miss the same key concurrently,
+    /// exactly one runs `train` and the others block until its result lands
+    /// in the cache, instead of burning cores on identical trainings. This
+    /// is the single-flight discipline the HTTP front-end relies on for a
+    /// stampede of identical cold build requests.
+    ///
+    /// Distinct keys never wait on each other's trainings (waiters
+    /// re-check their own key whenever any training finishes). A failed
+    /// training is not cached: its waiters retry, one of them becoming the
+    /// next trainer.
+    ///
+    /// # Errors
+    /// Propagates `train`'s error to the caller that ran it.
+    pub fn get_or_train<E>(
+        &self,
+        key: K,
+        train: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(Arc<V>, CacheOutcome), E> {
+        if let Some(value) = self.get(key) {
+            return Ok((value, CacheOutcome::Hit));
+        }
+        {
+            let mut inflight = self.inflight.lock().expect("in-flight set poisoned");
+            loop {
+                // Re-check the cache under the in-flight lock: a training
+                // for this key may have completed (inserted + left the
+                // in-flight set) between our miss above — or our last
+                // wake-up — and acquiring the lock. Claiming leadership on
+                // that stale miss would re-run work that is already cached.
+                if let Some(value) = self.get(key) {
+                    return Ok((value, CacheOutcome::Coalesced));
+                }
+                if !inflight.contains(&key) {
+                    inflight.insert(key);
+                    break;
+                }
+                // A trainer is in flight for our key: wait for *some*
+                // training to finish, then loop. If ours succeeded the
+                // re-check returns its value; if it failed (nothing
+                // cached, key gone) we become the new trainer.
+                inflight = self
+                    .inflight_done
+                    .wait(inflight)
+                    .expect("in-flight set poisoned");
+            }
+        }
+        // Always leave the in-flight set consistent — even when `train`
+        // panics — or every later request for this key would block forever.
+        struct Unflight<'c, K: Eq + Hash + Copy, V> {
+            cache: &'c LruCache<K, V>,
+            key: K,
+        }
+        impl<K: Eq + Hash + Copy, V> Drop for Unflight<'_, K, V> {
+            fn drop(&mut self) {
+                self.cache
+                    .inflight
+                    .lock()
+                    .expect("in-flight set poisoned")
+                    .remove(&self.key);
+                self.cache.inflight_done.notify_all();
+            }
+        }
+        let _cleanup = Unflight { cache: self, key };
+        let value = train()?;
+        Ok((self.insert(key, value), CacheOutcome::Trained))
     }
 
     /// Looks up a value, refreshing its recency on a hit.
@@ -177,6 +264,86 @@ mod tests {
         cache.insert((2, 0), dummy(2.0));
         assert!(cache.get((1, 0)).is_none());
         assert_eq!(held[0].lat, 1.0);
+    }
+
+    #[test]
+    fn concurrent_cold_misses_train_exactly_once() {
+        let cache = ClusteringCache::new(4);
+        let trainings = AtomicU64::new(0);
+        let outcomes: Vec<CacheOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let (value, outcome) = cache
+                            .get_or_train((1, 1), || {
+                                trainings.fetch_add(1, Ordering::Relaxed);
+                                // Hold the flight long enough that the other
+                                // threads really do arrive mid-training.
+                                std::thread::sleep(std::time::Duration::from_millis(30));
+                                Ok::<_, ()>(dummy(1.0))
+                            })
+                            .unwrap();
+                        assert_eq!(value[0].lat, 1.0);
+                        outcome
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            trainings.load(Ordering::Relaxed),
+            1,
+            "identical cold misses must coalesce onto one training"
+        );
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| **o == CacheOutcome::Trained)
+                .count(),
+            1
+        );
+        assert!(outcomes
+            .iter()
+            .all(|o| matches!(o, CacheOutcome::Trained | CacheOutcome::Coalesced)));
+        // A later lookup is a plain hit.
+        let (_, outcome) = cache
+            .get_or_train((1, 1), || Ok::<_, ()>(dummy(9.0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let cache = ClusteringCache::new(4);
+        let trainings = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for key in 0..4u64 {
+                let cache = &cache;
+                let trainings = &trainings;
+                scope.spawn(move || {
+                    cache
+                        .get_or_train((key, 0), || {
+                            trainings.fetch_add(1, Ordering::Relaxed);
+                            Ok::<_, ()>(dummy(key as f64))
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(trainings.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn failed_trainings_are_not_cached_and_waiters_retry() {
+        let cache = ClusteringCache::new(4);
+        let err = cache.get_or_train((1, 1), || Err::<Vec<GeoPoint>, _>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        // The key is not stuck in-flight: the next call trains again.
+        let (value, outcome) = cache
+            .get_or_train((1, 1), || Ok::<_, &str>(dummy(2.0)))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Trained);
+        assert_eq!(value[0].lat, 2.0);
     }
 
     #[test]

@@ -26,10 +26,11 @@ use crate::EngineError;
 use grouptravel::{BuildConfig, CustomizationOp, GroupQuery, RefinementStrategy, TravelPackage};
 use grouptravel_dataset::{Poi, PoiId};
 use grouptravel_profile::{ConsensusMethod, Group, GroupProfile};
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Everything a `Build` step ships: where to build and for whom.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BuildSpec {
     /// City to build in (must be registered with the engine). Later builds
     /// may name a different city: the session moves, keeping its profile —
@@ -49,7 +50,7 @@ pub struct BuildSpec {
 }
 
 /// One step of a group's interactive session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SessionCommand {
     /// Build (or rebuild) the session's package. The first build must carry
     /// a profile — either explicitly or derivable from `group` +
@@ -142,7 +143,7 @@ impl SessionCommand {
 
 /// One addressed command: which session it belongs to, which member issued
 /// it, and the step itself.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommandRequest {
     /// The group session the command belongs to.
     pub session_id: SessionId,
@@ -177,7 +178,7 @@ impl CommandRequest {
 }
 
 /// What a successfully executed command produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CommandOutcome {
     /// `Build`/`Customize`: the session's current package after the step.
     Package(TravelPackage),
@@ -210,7 +211,7 @@ impl CommandOutcome {
 }
 
 /// The engine's answer to one [`CommandRequest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommandResponse {
     /// The session the response belongs to.
     pub session_id: SessionId,

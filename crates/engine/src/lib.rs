@@ -49,13 +49,18 @@
 
 pub mod cache;
 pub mod interactive;
+pub mod protocol;
 pub mod provider;
 pub mod registry;
 pub mod store;
 
-pub use cache::{ClusteringCache, LruCache, ModelKey};
+pub use cache::{CacheOutcome, ClusteringCache, LruCache, ModelKey};
 pub use grouptravel_dataset::CategoryGrid;
 pub use interactive::{BuildSpec, CommandOutcome, CommandRequest, CommandResponse, SessionCommand};
+pub use protocol::{
+    CatalogInfo, EngineRequest, EngineResponse, ImportInfo, ProtocolError, RequestEnvelope,
+    ResponseEnvelope, SessionSnapshot, PROTOCOL_VERSION, SNAPSHOT_VERSION,
+};
 pub use provider::GridCandidates;
 pub use registry::{CityEntry, EngineCatalogRegistry};
 pub use store::{SessionId, SessionState, SessionStore};
@@ -68,12 +73,20 @@ use grouptravel_dataset::PoiCatalog;
 use grouptravel_geo::DistanceMetric;
 use grouptravel_profile::{GroupProfile, ProfileSchema};
 use grouptravel_topics::LdaConfig;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Errors surfaced per request by the engine.
+///
+/// Every variant has a **stable numeric code** ([`EngineError::code`]) the
+/// wire protocol exposes verbatim (see [`protocol`]): `1`–`3` for the
+/// engine's own variants, `10`+ delegating to
+/// [`GroupTravelError::code`] for build failures. Codes are append-only
+/// and never reused, so a client matching on a code keeps working across
+/// engine versions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
     /// The request named a city no catalog is registered for.
@@ -114,6 +127,22 @@ impl std::error::Error for EngineError {}
 impl From<GroupTravelError> for EngineError {
     fn from(e: GroupTravelError) -> Self {
         EngineError::Build(e)
+    }
+}
+
+impl EngineError {
+    /// The stable numeric code of this error on the wire protocol. Build
+    /// failures expose the underlying [`GroupTravelError::code`] directly,
+    /// so in-process and over-HTTP callers see the same code for the same
+    /// failure.
+    #[must_use]
+    pub fn code(&self) -> u16 {
+        match self {
+            EngineError::UnknownCity(_) => 1,
+            EngineError::UnknownSession(_) => 2,
+            EngineError::InvalidCommand(_) => 3,
+            EngineError::Build(inner) => inner.code(),
+        }
     }
 }
 
@@ -184,7 +213,7 @@ impl EngineConfig {
 }
 
 /// One group's package request.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PackageRequest {
     /// The group session this request belongs to.
     pub session_id: SessionId,
@@ -199,7 +228,7 @@ pub struct PackageRequest {
 }
 
 /// The engine's answer to one [`PackageRequest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PackageResponse {
     /// The session the response belongs to.
     pub session_id: SessionId,
@@ -222,7 +251,7 @@ impl PackageResponse {
 }
 
 /// Interactive-command counters, one per [`SessionCommand`] kind.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CommandStats {
     /// `Build` commands served through interactive sessions.
     pub builds: u64,
@@ -247,7 +276,7 @@ impl CommandStats {
 }
 
 /// Aggregate serving counters (monotonic since engine construction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineStats {
     /// One-shot requests served (successes and failures).
     pub requests: u64,
@@ -311,11 +340,83 @@ impl Engine {
     /// # Errors
     /// Fails when the catalog is empty or topic-model training fails.
     pub fn register_catalog(&self, catalog: PoiCatalog) -> Result<u64, EngineError> {
+        self.register_catalog_info(catalog)
+            .map(|info| info.fingerprint)
+    }
+
+    /// [`Engine::register_catalog`] with the full wire-protocol answer
+    /// (city, fingerprint, whether LDA training ran).
+    fn register_catalog_info(&self, catalog: PoiCatalog) -> Result<CatalogInfo, EngineError> {
         let (entry, trained) = self.registry.register(catalog, self.config.lda)?;
         if trained {
             self.stats.lda_trainings.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(entry.fingerprint())
+        Ok(CatalogInfo {
+            city: entry.catalog().city().to_string(),
+            fingerprint: entry.fingerprint(),
+            lda_trained: trained,
+        })
+    }
+
+    /// Snapshots one session's complete state for persistence or migration
+    /// (the wire protocol's `ExportSession`). The session keeps serving —
+    /// exporting is a read.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownSession`] when the session does not exist.
+    pub fn export_session(&self, id: SessionId) -> Result<SessionSnapshot, EngineError> {
+        let state = self
+            .sessions
+            .snapshot(id)
+            .ok_or(EngineError::UnknownSession(id))?;
+        Ok(SessionSnapshot {
+            v: SNAPSHOT_VERSION,
+            session_id: id,
+            state,
+        })
+    }
+
+    /// Reinstates a previously exported session (the wire protocol's
+    /// `ImportSession`): an evicted or migrated session resumes exactly
+    /// where it left off instead of failing with `UnknownSession`.
+    ///
+    /// The snapshot's city must already be registered with this engine —
+    /// a session is only meaningful against its catalog. Importing
+    /// **re-primes the catalog's lazy spatial index** before the session
+    /// becomes reachable, so the resumed session's first `Customize` runs
+    /// on the grid path with no silent cold rebuild inside a request.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidCommand`] for an unsupported snapshot
+    /// version, [`EngineError::UnknownCity`] when the session's city is
+    /// not registered.
+    pub fn import_session(&self, snapshot: SessionSnapshot) -> Result<ImportInfo, EngineError> {
+        if snapshot.v != SNAPSHOT_VERSION {
+            return Err(EngineError::InvalidCommand(format!(
+                "snapshot version {} is not supported; this engine speaks {SNAPSHOT_VERSION}",
+                snapshot.v
+            )));
+        }
+        let SessionSnapshot {
+            session_id, state, ..
+        } = snapshot;
+        let Some(entry) = self.registry.get(&state.city) else {
+            return Err(EngineError::UnknownCity(state.city));
+        };
+        // Registration primes the grids, but catalogs can also arrive
+        // through paths that leave the `OnceLock` cold (a deserialized
+        // catalog starts unprimed by design). Priming here makes resume
+        // self-sufficient: the invariant is re-established at import time,
+        // off the request path, whatever route the catalog took in.
+        let _ = entry.catalog().spatial();
+        debug_assert!(entry.catalog().spatial_primed());
+        let city = state.city.clone();
+        let replaced = self.sessions.restore(session_id, state);
+        Ok(ImportInfo {
+            session_id,
+            city,
+            replaced,
+        })
     }
 
     /// The catalog registry.
@@ -361,8 +462,88 @@ impl Engine {
         }
     }
 
-    /// Serves one request synchronously on the calling thread.
+    /// Serves one wire-protocol request — **the** public entry point of the
+    /// engine. Every other serving method ([`Engine::serve`],
+    /// [`Engine::serve_batch`], [`Engine::serve_command`],
+    /// [`Engine::serve_commands_batch`]) is a thin compatibility wrapper
+    /// that wraps its argument in the matching [`EngineRequest`] variant
+    /// and unwraps the matching [`EngineResponse`] variant.
+    ///
+    /// Single-item requests route through the batch paths internally, so
+    /// latency and stats accounting exists exactly once.
+    pub fn dispatch(&self, request: EngineRequest) -> EngineResponse {
+        match request {
+            EngineRequest::Build { request } => {
+                let response = self
+                    .serve_package_batch(vec![*request])
+                    .pop()
+                    .expect("a one-request batch yields one response");
+                EngineResponse::Package { response }
+            }
+            EngineRequest::Batch { requests } => EngineResponse::Batch {
+                responses: self.serve_package_batch(requests),
+            },
+            EngineRequest::Command { request } => {
+                let response = self
+                    .serve_command_batch(vec![request])
+                    .pop()
+                    .expect("a one-command batch yields one response");
+                EngineResponse::Command { response }
+            }
+            EngineRequest::CommandBatch { requests } => EngineResponse::CommandBatch {
+                responses: self.serve_command_batch(requests),
+            },
+            EngineRequest::RegisterCatalog { catalog } => {
+                // Wire catalogs arrive with their derived indexes skipped
+                // (`#[serde(skip)]`): rebuild them before registration so
+                // category/id lookups — and the spatial priming inside
+                // `register` — see the real content.
+                let mut catalog = *catalog;
+                catalog.rebuild_indexes();
+                EngineResponse::Registered {
+                    outcome: self.register_catalog_info(catalog),
+                }
+            }
+            EngineRequest::ExportSession { session_id } => EngineResponse::Session {
+                outcome: self.export_session(session_id).map(Box::new),
+            },
+            EngineRequest::ImportSession { snapshot } => EngineResponse::Imported {
+                outcome: self.import_session(*snapshot),
+            },
+            EngineRequest::Stats => EngineResponse::Stats {
+                stats: self.stats(),
+            },
+        }
+    }
+
+    /// Serves one version-stamped frame: rejects envelopes of a version
+    /// this build does not speak with
+    /// [`ProtocolError::UNSUPPORTED_VERSION`], otherwise dispatches the
+    /// request. This is what the HTTP front-end calls per decoded body.
+    pub fn dispatch_envelope(&self, envelope: RequestEnvelope) -> ResponseEnvelope {
+        if envelope.v != PROTOCOL_VERSION {
+            return ResponseEnvelope::new(EngineResponse::Error {
+                error: ProtocolError::unsupported_version(envelope.v),
+            });
+        }
+        ResponseEnvelope::new(self.dispatch(envelope.request))
+    }
+
+    /// Serves one request synchronously (compatibility wrapper over
+    /// [`Engine::dispatch`]).
     pub fn serve(&self, request: &PackageRequest) -> PackageResponse {
+        match self.dispatch(EngineRequest::Build {
+            request: Box::new(request.clone()),
+        }) {
+            EngineResponse::Package { response } => response,
+            other => unreachable!("Build must answer Package, got {}", other.kind()),
+        }
+    }
+
+    /// One request, served and accounted: the only place one-shot latency
+    /// and stats bookkeeping happens (both the single and the batch route
+    /// of the protocol land here).
+    fn serve_one(&self, request: &PackageRequest) -> PackageResponse {
         let start = Instant::now();
         let (outcome, cache_hit) = self.build(request);
         let latency = start.elapsed();
@@ -388,15 +569,24 @@ impl Engine {
         }
     }
 
-    /// Serves a batch of requests, fanning out over
-    /// `EngineConfig::worker_threads` OS threads. Responses come back in
-    /// request order; every request gets a response (failures are carried in
-    /// `PackageResponse::outcome`, they never abort the batch).
+    /// Serves a batch of requests (compatibility wrapper over
+    /// [`Engine::dispatch`]).
     #[must_use]
     pub fn serve_batch(&self, requests: Vec<PackageRequest>) -> Vec<PackageResponse> {
+        match self.dispatch(EngineRequest::Batch { requests }) {
+            EngineResponse::Batch { responses } => responses,
+            other => unreachable!("Batch must answer Batch, got {}", other.kind()),
+        }
+    }
+
+    /// The batch build path: fans out over `EngineConfig::worker_threads`
+    /// OS threads. Responses come back in request order; every request gets
+    /// a response (failures are carried in `PackageResponse::outcome`, they
+    /// never abort the batch).
+    fn serve_package_batch(&self, requests: Vec<PackageRequest>) -> Vec<PackageResponse> {
         let threads = self.config.worker_threads.max(1);
         if threads == 1 || requests.len() <= 1 {
-            return requests.iter().map(|r| self.serve(r)).collect();
+            return requests.iter().map(|r| self.serve_one(r)).collect();
         }
 
         let chunk_size = requests.len().div_ceil(threads);
@@ -410,7 +600,7 @@ impl Engine {
             {
                 scope.spawn(move || {
                     for (request, slot) in request_chunk.iter().zip(response_chunk.iter_mut()) {
-                        *slot = Some(self.serve(request));
+                        *slot = Some(self.serve_one(request));
                     }
                 });
             }
@@ -458,18 +648,24 @@ impl Engine {
 
         let fcm_config = builder.fcm_config(&config);
         let key: ModelKey = (entry.fingerprint(), fcm_config.cache_key());
-        let (clustering, cache_hit) = match self.clusterings.get(key) {
-            Some(cached) => (cached, true),
-            None => match builder.cluster(&config) {
-                Ok(fresh) => {
-                    self.stats.fcm_trainings.fetch_add(1, Ordering::Relaxed);
-                    // Only the centroids are cached: they are all a build
-                    // consumes, and the n × k membership matrix would
-                    // dominate cache memory at large catalog scale.
-                    (self.clusterings.insert(key, fresh.centroids), false)
-                }
-                Err(e) => return (Err(e.into()), false),
-            },
+        // Single-flight: N concurrent cold misses on one (catalog, config)
+        // key run exactly one FCM training — the rest wait for its result
+        // instead of shouldering duplicate work (the stampede case an HTTP
+        // front-end funnels in). Only the centroids are cached: they are
+        // all a build consumes, and the n × k membership matrix would
+        // dominate cache memory at large catalog scale.
+        let trained = self.clusterings.get_or_train(key, || {
+            builder.cluster(&config).map(|fresh| fresh.centroids)
+        });
+        let (clustering, cache_hit) = match trained {
+            Ok((cached, CacheOutcome::Trained)) => {
+                self.stats.fcm_trainings.fetch_add(1, Ordering::Relaxed);
+                (cached, false)
+            }
+            // A coalesced wait is a cache hit from the requester's view:
+            // its build consumed a model someone else trained.
+            Ok((cached, _)) => (cached, true),
+            Err(e) => return (Err(e.into()), false),
         };
 
         let provider = GridCandidates::new(
@@ -490,10 +686,22 @@ impl Engine {
         (outcome, cache_hit)
     }
 
-    /// Serves one interactive-session command on the calling thread. Steps
-    /// of the same session serialize on the session's own lock; distinct
-    /// sessions proceed in parallel.
+    /// Serves one interactive-session command (compatibility wrapper over
+    /// [`Engine::dispatch`]). Steps of the same session serialize on the
+    /// session's own lock; distinct sessions proceed in parallel.
     pub fn serve_command(&self, request: &CommandRequest) -> CommandResponse {
+        match self.dispatch(EngineRequest::Command {
+            request: request.clone(),
+        }) {
+            EngineResponse::Command { response } => response,
+            other => unreachable!("Command must answer Command, got {}", other.kind()),
+        }
+    }
+
+    /// One command, served and accounted: the only place interactive
+    /// latency and stats bookkeeping happens (both the single and the
+    /// batch route of the protocol land here).
+    fn serve_command_one(&self, request: &CommandRequest) -> CommandResponse {
         let start = Instant::now();
         let (outcome, cache_hit, step, city) = self.execute_command(request, start);
         let latency = start.elapsed();
@@ -525,17 +733,29 @@ impl Engine {
         }
     }
 
-    /// Serves a batch of interactive commands, fanning *sessions* out over
+    /// Serves a batch of interactive commands (compatibility wrapper over
+    /// [`Engine::dispatch`]).
+    #[must_use]
+    pub fn serve_commands_batch(&self, requests: Vec<CommandRequest>) -> Vec<CommandResponse> {
+        match self.dispatch(EngineRequest::CommandBatch { requests }) {
+            EngineResponse::CommandBatch { responses } => responses,
+            other => unreachable!(
+                "CommandBatch must answer CommandBatch, got {}",
+                other.kind()
+            ),
+        }
+    }
+
+    /// The batch command path: fans *sessions* out over
     /// `EngineConfig::worker_threads` OS threads. Commands addressed to the
     /// same session run in submission order on one worker (a group's
     /// interaction is sequential); distinct sessions run concurrently.
     /// Responses come back in request order and failures never abort the
     /// batch.
-    #[must_use]
-    pub fn serve_commands_batch(&self, requests: Vec<CommandRequest>) -> Vec<CommandResponse> {
+    fn serve_command_batch(&self, requests: Vec<CommandRequest>) -> Vec<CommandResponse> {
         let threads = self.config.worker_threads.max(1);
         if threads == 1 || requests.len() <= 1 {
-            return requests.iter().map(|r| self.serve_command(r)).collect();
+            return requests.iter().map(|r| self.serve_command_one(r)).collect();
         }
 
         // One lane per session, in first-appearance order; a lane holds the
@@ -560,7 +780,7 @@ impl Engine {
                         let mut served = Vec::new();
                         for lane in lanes.iter().skip(worker).step_by(workers) {
                             for &index in lane {
-                                served.push((index, self.serve_command(&requests[index])));
+                                served.push((index, self.serve_command_one(&requests[index])));
                             }
                         }
                         served

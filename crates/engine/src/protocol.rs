@@ -1,0 +1,459 @@
+//! The engine's **versioned wire protocol**: one typed request/response
+//! pair in front of every way into the engine.
+//!
+//! PR 1 and PR 2 grew four parallel entry points (`serve`, `serve_batch`,
+//! `serve_command`, `serve_commands_batch`) with disjoint request and
+//! response types — workable in-process, a dead end for a network boundary.
+//! This module collapses them into a single envelope:
+//!
+//! * [`EngineRequest`] — everything a client can ask: one-shot builds,
+//!   batches, interactive session commands (single or batched), catalog
+//!   registration, session snapshot/resume, and stats.
+//! * [`EngineResponse`] — the matching answers, one variant per request
+//!   kind, plus [`EngineResponse::Error`] for protocol-level failures.
+//! * [`RequestEnvelope`]/[`ResponseEnvelope`] — the version-stamped frames
+//!   that actually travel. **Versioning rule:** `v` is a single integer
+//!   ([`PROTOCOL_VERSION`]); additions of new request/response variants or
+//!   new *optional* fields keep the version; renaming or changing the
+//!   meaning of anything that already shipped bumps it. A server answers
+//!   exactly one version and rejects others with
+//!   [`ProtocolError::UNSUPPORTED_VERSION`] — clients must not guess.
+//!
+//! Every type here round-trips JSON **bit-identically** (pinned by the
+//! `protocol_roundtrip` proptest suite): floats use shortest round-trip
+//! formatting, durations split into `{secs, nanos}`, and errors carry
+//! their full typed payload alongside the stable numeric code, so a
+//! response relayed through any number of JSON hops is the response the
+//! engine produced.
+//!
+//! [`crate::Engine::dispatch`] serves the protocol in-process; the
+//! `grouptravel-server` crate serves the same bytes over HTTP/1.1.
+
+use crate::interactive::{CommandRequest, CommandResponse};
+use crate::store::{SessionId, SessionState};
+use crate::{EngineError, EngineStats, PackageRequest, PackageResponse};
+use grouptravel_dataset::PoiCatalog;
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// The one protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// The snapshot-format version [`SessionSnapshot`] carries (independent of
+/// the protocol version: snapshots outlive connections — they get parked
+/// in files and object stores — so they version separately).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A protocol-level failure: the request never reached (or never named) a
+/// serving path. Application-level failures — unknown city, unsatisfiable
+/// query, unknown session — ride *inside* the matching response variant as
+/// [`EngineError`] instead, so a batch of 50 requests with one bad entry
+/// still answers the other 49.
+///
+/// `code` is stable and machine-matchable; `message` is the human-readable
+/// rendering and carries no contract.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolError {
+    /// Stable numeric code (`9x` for protocol-level, `1`–`16` mirror
+    /// [`EngineError::code`] when an engine error is flattened to the wire).
+    pub code: u16,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// The envelope named a protocol version this server does not speak.
+    pub const UNSUPPORTED_VERSION: u16 = 90;
+    /// The request body did not parse as a [`RequestEnvelope`].
+    pub const MALFORMED_REQUEST: u16 = 91;
+    /// The HTTP path does not exist.
+    pub const NOT_FOUND: u16 = 92;
+    /// The HTTP method is not valid for the path.
+    pub const METHOD_NOT_ALLOWED: u16 = 93;
+    /// The server failed internally while serving the request.
+    pub const INTERNAL: u16 = 94;
+    /// The request body exceeded the server's size limit.
+    pub const BODY_TOO_LARGE: u16 = 95;
+
+    /// A protocol error with the given stable code and message.
+    #[must_use]
+    pub fn new(code: u16, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The error a wrong-version envelope is rejected with.
+    #[must_use]
+    pub fn unsupported_version(got: u32) -> Self {
+        Self::new(
+            Self::UNSUPPORTED_VERSION,
+            format!(
+                "protocol version {got} is not supported; this server speaks {PROTOCOL_VERSION}"
+            ),
+        )
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<EngineError> for ProtocolError {
+    /// Flattens an engine error to the wire pair: its stable code and its
+    /// `Display` message, verbatim.
+    fn from(e: EngineError) -> Self {
+        Self::new(e.code(), e.to_string())
+    }
+}
+
+/// A complete, resumable snapshot of one interactive session.
+///
+/// [`crate::Engine::export_session`] produces it; feeding it to
+/// [`crate::Engine::import_session`] — on the same engine after an
+/// eviction, or on a different engine entirely — reinstates the session's
+/// whole history: current package, (refined) profile, pooled interactions,
+/// counters. The target engine must have the session's city registered;
+/// import re-primes the catalog's spatial index so the resumed session's
+/// first command runs on the grid path, never a cold rebuild.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`] at export time).
+    pub v: u32,
+    /// The session the snapshot belongs to.
+    pub session_id: SessionId,
+    /// The session's full state machine.
+    pub state: SessionState,
+}
+
+/// Everything a newly registered catalog reports back.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogInfo {
+    /// The city the catalog is now addressable by.
+    pub city: String,
+    /// The catalog's content fingerprint (model-cache key component).
+    pub fingerprint: u64,
+    /// Whether registering trained a fresh LDA vectorizer (`false` means a
+    /// warm model was reused).
+    pub lda_trained: bool,
+}
+
+/// The acknowledgement of a successful session import.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportInfo {
+    /// The session id the snapshot was installed under.
+    pub session_id: SessionId,
+    /// The city the resumed session is served in.
+    pub city: String,
+    /// Whether an existing session with the same id was replaced.
+    pub replaced: bool,
+}
+
+/// Every request the engine can serve — the single public surface of the
+/// serving layer. The legacy `serve*` methods are thin wrappers that wrap
+/// their argument in the matching variant and unwrap the matching response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineRequest {
+    /// Build one package (the PR 1 `serve` path). (Boxed: the request —
+    /// profile included — dwarfs every other variant.)
+    Build {
+        /// The one-shot package request.
+        request: Box<PackageRequest>,
+    },
+    /// Build a batch of packages with worker fan-out (`serve_batch`).
+    Batch {
+        /// The batch, answered in order.
+        requests: Vec<PackageRequest>,
+    },
+    /// One interactive-session command (`serve_command`).
+    Command {
+        /// The addressed command.
+        request: CommandRequest,
+    },
+    /// A batch of interactive commands — per-session lanes, distinct
+    /// sessions fan out (`serve_commands_batch`).
+    CommandBatch {
+        /// The batch, answered in order.
+        requests: Vec<CommandRequest>,
+    },
+    /// Register (or replace) a city catalog, training or reusing its
+    /// vectorizer.
+    RegisterCatalog {
+        /// The catalog to register under its city name.
+        catalog: Box<PoiCatalog>,
+    },
+    /// Snapshot one session for persistence or migration.
+    ExportSession {
+        /// The session to snapshot.
+        session_id: SessionId,
+    },
+    /// Reinstate a previously exported session.
+    ImportSession {
+        /// The snapshot to resume from.
+        snapshot: Box<SessionSnapshot>,
+    },
+    /// Aggregate serving counters.
+    Stats,
+}
+
+impl EngineRequest {
+    /// Display name of the request kind (used in logs and errors).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineRequest::Build { .. } => "build",
+            EngineRequest::Batch { .. } => "batch",
+            EngineRequest::Command { .. } => "command",
+            EngineRequest::CommandBatch { .. } => "command-batch",
+            EngineRequest::RegisterCatalog { .. } => "register-catalog",
+            EngineRequest::ExportSession { .. } => "export-session",
+            EngineRequest::ImportSession { .. } => "import-session",
+            EngineRequest::Stats => "stats",
+        }
+    }
+}
+
+/// The engine's answer to one [`EngineRequest`] — variants correspond
+/// one-to-one (plus [`EngineResponse::Error`] for protocol-level
+/// failures). Per-request failures are typed [`EngineError`]s inside the
+/// variant payloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineResponse {
+    /// Answer to [`EngineRequest::Build`].
+    Package {
+        /// The built package (or typed failure) with serving metadata.
+        response: PackageResponse,
+    },
+    /// Answer to [`EngineRequest::Batch`], in request order.
+    Batch {
+        /// One response per request; failures never abort the batch.
+        responses: Vec<PackageResponse>,
+    },
+    /// Answer to [`EngineRequest::Command`].
+    Command {
+        /// The command's outcome with session metadata.
+        response: CommandResponse,
+    },
+    /// Answer to [`EngineRequest::CommandBatch`], in request order.
+    CommandBatch {
+        /// One response per command; failures never abort the batch.
+        responses: Vec<CommandResponse>,
+    },
+    /// Answer to [`EngineRequest::RegisterCatalog`].
+    Registered {
+        /// The registered catalog's identity, or why registration failed.
+        outcome: Result<CatalogInfo, EngineError>,
+    },
+    /// Answer to [`EngineRequest::ExportSession`].
+    Session {
+        /// The snapshot, or why it could not be taken.
+        outcome: Result<Box<SessionSnapshot>, EngineError>,
+    },
+    /// Answer to [`EngineRequest::ImportSession`].
+    Imported {
+        /// The resumed session's identity, or why the import failed.
+        outcome: Result<ImportInfo, EngineError>,
+    },
+    /// Answer to [`EngineRequest::Stats`].
+    Stats {
+        /// Aggregate serving counters since engine construction.
+        stats: EngineStats,
+    },
+    /// The request failed before reaching a serving path (bad version,
+    /// malformed body, transport-level trouble).
+    Error {
+        /// What went wrong, with its stable code.
+        error: ProtocolError,
+    },
+}
+
+impl EngineResponse {
+    /// Display name of the response kind (used in logs and errors).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineResponse::Package { .. } => "package",
+            EngineResponse::Batch { .. } => "batch",
+            EngineResponse::Command { .. } => "command",
+            EngineResponse::CommandBatch { .. } => "command-batch",
+            EngineResponse::Registered { .. } => "registered",
+            EngineResponse::Session { .. } => "session",
+            EngineResponse::Imported { .. } => "imported",
+            EngineResponse::Stats { .. } => "stats",
+            EngineResponse::Error { .. } => "error",
+        }
+    }
+
+    /// The protocol-level error, when this response is one.
+    #[must_use]
+    pub fn protocol_error(&self) -> Option<&ProtocolError> {
+        match self {
+            EngineResponse::Error { error } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// The version-stamped frame a request travels in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version the client speaks (must equal
+    /// [`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// The request proper.
+    pub request: EngineRequest,
+}
+
+impl RequestEnvelope {
+    /// Wraps a request in the current protocol version.
+    #[must_use]
+    pub fn new(request: EngineRequest) -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            request,
+        }
+    }
+}
+
+/// The version-stamped frame a response travels in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version the server answered with.
+    pub v: u32,
+    /// The response proper.
+    pub response: EngineResponse,
+}
+
+impl ResponseEnvelope {
+    /// Wraps a response in the current protocol version.
+    #[must_use]
+    pub fn new(response: EngineResponse) -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            response,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EngineError on the wire
+// ---------------------------------------------------------------------------
+
+/// The typed payload of an [`EngineError`], in the derive-friendly shape.
+/// Kept private: the public wire form wraps it with the stable code and the
+/// rendered message (see the manual impls below).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum EngineErrorKind {
+    UnknownCity(String),
+    UnknownSession(SessionId),
+    InvalidCommand(String),
+    Build(grouptravel::GroupTravelError),
+}
+
+impl From<&EngineError> for EngineErrorKind {
+    fn from(e: &EngineError) -> Self {
+        match e {
+            EngineError::UnknownCity(city) => EngineErrorKind::UnknownCity(city.clone()),
+            EngineError::UnknownSession(id) => EngineErrorKind::UnknownSession(*id),
+            EngineError::InvalidCommand(why) => EngineErrorKind::InvalidCommand(why.clone()),
+            EngineError::Build(inner) => EngineErrorKind::Build(inner.clone()),
+        }
+    }
+}
+
+impl From<EngineErrorKind> for EngineError {
+    fn from(kind: EngineErrorKind) -> Self {
+        match kind {
+            EngineErrorKind::UnknownCity(city) => EngineError::UnknownCity(city),
+            EngineErrorKind::UnknownSession(id) => EngineError::UnknownSession(id),
+            EngineErrorKind::InvalidCommand(why) => EngineError::InvalidCommand(why),
+            EngineErrorKind::Build(inner) => EngineError::Build(inner),
+        }
+    }
+}
+
+/// The wire form of an [`EngineError`] is
+/// `{"code": <stable u16>, "message": <Display, verbatim>, "kind": <typed payload>}`:
+/// `code` is what clients match on, `message` is what they log, and `kind`
+/// is what makes the round trip bit-identical — decoding reads only
+/// `kind` (code and message are derived data and re-derived on re-encode).
+impl Serialize for EngineError {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".to_string(), Value::UInt(u64::from(self.code()))),
+            ("message".to_string(), Value::Str(self.to_string())),
+            ("kind".to_string(), EngineErrorKind::from(self).to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EngineError {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("EngineError: expected object, got {v:?}")))?;
+        let kind: EngineErrorKind = serde::field(obj, "kind", "EngineError")?;
+        Ok(kind.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel::GroupTravelError;
+
+    #[test]
+    fn engine_error_wire_form_carries_code_message_and_kind() {
+        let e = EngineError::UnknownSession(42);
+        let v = e.to_value();
+        assert_eq!(v.get("code"), Some(&Value::UInt(2)));
+        assert_eq!(
+            v.get("message"),
+            Some(&Value::Str(e.to_string())),
+            "wire message is the Display rendering, verbatim"
+        );
+        let back = EngineError::from_value(&v).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn engine_errors_round_trip_bit_identically_through_json() {
+        let all = [
+            EngineError::UnknownCity("Atlantis".to_string()),
+            EngineError::UnknownSession(7),
+            EngineError::InvalidCommand("no package yet".to_string()),
+            EngineError::Build(GroupTravelError::ZeroCompositeItems),
+            EngineError::Build(GroupTravelError::InsufficientCategory {
+                category: grouptravel_dataset::Category::Restaurant,
+                required: 3,
+                available: 1,
+            }),
+        ];
+        for e in all {
+            let json = serde_json::to_string(&e).unwrap();
+            assert_eq!(serde_json::from_str::<EngineError>(&json).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn protocol_error_flattens_code_and_display_verbatim() {
+        let e = EngineError::UnknownSession(9);
+        let wire: ProtocolError = e.clone().into();
+        assert_eq!(wire.code, e.code());
+        assert_eq!(wire.message, e.to_string());
+    }
+
+    #[test]
+    fn envelopes_default_to_the_current_version() {
+        let env = RequestEnvelope::new(EngineRequest::Stats);
+        assert_eq!(env.v, PROTOCOL_VERSION);
+        let json = serde_json::to_string(&env).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, env);
+    }
+}

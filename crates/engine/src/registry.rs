@@ -15,7 +15,7 @@
 //! entirely, while superseded catalog versions age out instead of
 //! accumulating forever.
 
-use crate::cache::LruCache;
+use crate::cache::{CacheOutcome, LruCache};
 use grouptravel::{GroupTravelError, ItemVectorizer};
 use grouptravel_dataset::{Category, CategoryGrid, PoiCatalog};
 use grouptravel_topics::LdaConfig;
@@ -120,13 +120,13 @@ impl EngineCatalogRegistry {
         let fingerprint = catalog.fingerprint();
         let model_key = (fingerprint, lda.cache_key());
 
-        let (vectorizer, trained) = match self.vectorizers.get(model_key) {
-            Some(model) => (model, false),
-            None => {
-                let model = ItemVectorizer::fit(&catalog, lda)?;
-                (self.vectorizers.insert(model_key, model), true)
-            }
-        };
+        // Single-flight training: concurrent registrations of identical
+        // catalog content coalesce onto one LDA run (the same stampede
+        // protection the clustering cache applies to cold builds).
+        let (vectorizer, outcome) = self
+            .vectorizers
+            .get_or_train(model_key, || ItemVectorizer::fit(&catalog, lda))?;
+        let trained = outcome == CacheOutcome::Trained;
 
         // Prime the catalog's per-category grids now, off the request path:
         // every spatial query any request makes afterwards finds them built.

@@ -23,6 +23,7 @@
 
 use grouptravel::{BuildConfig, GroupQuery, MemberInteractions, TravelPackage};
 use grouptravel_profile::{ConsensusMethod, Group, GroupProfile};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -32,7 +33,11 @@ use std::time::Duration;
 pub type SessionId = u64;
 
 /// Per-session serving state: the group's whole interaction so far.
-#[derive(Debug, Clone)]
+///
+/// Serializable end to end: [`crate::Engine::export_session`] snapshots it
+/// onto the wire protocol so an evicted or migrated session can be resumed
+/// on another engine instead of failing with `UnknownSession`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionState {
     /// The city the session is currently being served in.
     pub city: String,
@@ -293,6 +298,24 @@ impl SessionStore {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Installs a complete session state under `id` — the resume half of
+    /// snapshot/restore. Replaces any existing session with that id (the
+    /// snapshot is the authoritative history); admitting a new id past the
+    /// capacity evicts the stalest idle sessions first, exactly like
+    /// organic admission. Returns whether an existing session was replaced.
+    pub fn restore(&self, id: SessionId, state: SessionState) -> bool {
+        let stamp = self.stamp();
+        let mut sessions = self.sessions.write().expect("session store poisoned");
+        if !sessions.contains_key(&id) && sessions.len() >= self.capacity {
+            Self::evict_stalest(&mut sessions, self.capacity);
+        }
+        let slot = Arc::new(SessionSlot {
+            touched: AtomicU64::new(stamp),
+            state: Mutex::new(state),
+        });
+        sessions.insert(id, slot).is_some()
     }
 
     /// Drops a session's state, returning it if present.

@@ -1,0 +1,335 @@
+//! Dispatch-level guarantees of the unified protocol:
+//!
+//! * **Coalescing** — N concurrent identical cold builds perform exactly
+//!   one FCM training (and one LDA training at registration): the
+//!   clustering cache is single-flight, so a stampede trains once and
+//!   everyone shares the result.
+//! * **Snapshot/resume** — an exported session imported into another
+//!   engine (or the same one after eviction) continues **bit-identically**,
+//!   and the import re-primes the catalog's spatial index so the resumed
+//!   session's first command runs the grid path. Grid-vs-brute parity
+//!   after resume is pinned by running the same continuation on a
+//!   default-grid engine and an exhaustive (brute-force-equivalent) one.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineError, EngineRequest, EngineResponse,
+    PackageRequest, SessionCommand, SessionSnapshot, SNAPSHOT_VERSION,
+};
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+fn engine_with_paris(config: EngineConfig) -> Engine {
+    let engine = Engine::new(config);
+    engine.register_catalog(paris(11)).unwrap();
+    engine
+}
+
+fn profile_for(engine: &Engine, seed: u64) -> GroupProfile {
+    let schema = engine.profile_schema("Paris").unwrap();
+    SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement())
+}
+
+#[test]
+fn concurrent_identical_cold_builds_train_exactly_once() {
+    // Force real fan-out even on single-core CI, and make every request
+    // identical in its model key: same city, same build configuration.
+    let engine = engine_with_paris(EngineConfig {
+        worker_threads: 8,
+        ..EngineConfig::fast()
+    });
+    let profile = profile_for(&engine, 1);
+    let requests: Vec<PackageRequest> = (0..16u64)
+        .map(|session_id| PackageRequest {
+            session_id,
+            city: "Paris".to_string(),
+            profile: profile.clone(),
+            query: GroupQuery::paper_default(),
+            config: BuildConfig::default(),
+        })
+        .collect();
+
+    let responses = match engine.dispatch(EngineRequest::Batch { requests }) {
+        EngineResponse::Batch { responses } => responses,
+        other => panic!("expected Batch, got {}", other.kind()),
+    };
+    assert_eq!(responses.len(), 16);
+    let first = responses[0].package().expect("builds succeed");
+    for response in &responses {
+        assert_eq!(
+            response.package().expect("builds succeed"),
+            first,
+            "identical requests must produce identical packages"
+        );
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 16);
+    assert_eq!(
+        stats.fcm_trainings, 1,
+        "16 concurrent cold misses must coalesce onto ONE FCM training"
+    );
+    assert_eq!(stats.lda_trainings, 1, "registration trained LDA once");
+    assert_eq!(
+        stats.clustering_cache_hits, 15,
+        "everyone but the trainer consumed the coalesced model"
+    );
+}
+
+#[test]
+fn concurrent_identical_registrations_train_lda_once() {
+    let engine = Engine::new(EngineConfig::fast());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let engine = &engine;
+            scope.spawn(move || {
+                engine.register_catalog(paris(29)).unwrap();
+            });
+        }
+    });
+    assert_eq!(
+        engine.stats().lda_trainings,
+        1,
+        "identical concurrent registrations must coalesce onto one LDA training"
+    );
+}
+
+/// The continuation script both engines replay after the snapshot point.
+fn continuation(package: &TravelPackage) -> Vec<CommandRequest> {
+    let remove_victim = package.get(1).unwrap().poi_ids()[0];
+    let suggest_poi = package.get(2).unwrap().poi_ids()[0];
+    vec![
+        CommandRequest::from_member(
+            7,
+            1,
+            SessionCommand::Customize(CustomizationOp::Remove {
+                ci_index: 1,
+                poi: remove_victim,
+            }),
+        ),
+        CommandRequest::new(
+            7,
+            SessionCommand::SuggestReplacement {
+                ci_index: 2,
+                poi: suggest_poi,
+            },
+        ),
+        CommandRequest::new(7, SessionCommand::Refine(RefinementStrategy::Batch)),
+        CommandRequest::new(
+            7,
+            SessionCommand::rebuild("Paris", GroupQuery::paper_default(), BuildConfig::default()),
+        ),
+    ]
+}
+
+/// Runs the continuation and returns the step outcomes (latency and step
+/// counters aside — those legitimately differ across engines).
+fn run_continuation(engine: &Engine, script: &[CommandRequest]) -> Vec<String> {
+    script
+        .iter()
+        .map(|request| {
+            let response = engine.serve_command(request);
+            format!("{:?}", response.outcome)
+        })
+        .collect()
+}
+
+#[test]
+fn resumed_sessions_continue_bit_identically_on_grid_and_brute_paths() {
+    // The original engine: build, customize once, snapshot mid-session.
+    let origin = engine_with_paris(EngineConfig::fast());
+    let built = origin.serve_command(&CommandRequest::new(
+        7,
+        SessionCommand::build(
+            "Paris",
+            profile_for(&origin, 3),
+            GroupQuery::paper_default(),
+            BuildConfig::default(),
+        ),
+    ));
+    let package = built.package().expect("build succeeds").clone();
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    origin.serve_command(&CommandRequest::from_member(
+        7,
+        2,
+        SessionCommand::Customize(CustomizationOp::Remove {
+            ci_index: 0,
+            poi: victim,
+        }),
+    ));
+    let snapshot = origin.export_session(7).expect("session exists");
+    assert_eq!(snapshot.v, SNAPSHOT_VERSION);
+    let package_at_snapshot = snapshot
+        .state
+        .last_package
+        .clone()
+        .expect("snapshot carries the current package");
+
+    // Exporting is a read: the origin continues unaffected.
+    let script = continuation(&package_at_snapshot);
+    let origin_outcomes = run_continuation(&origin, &script);
+
+    // Resume on a fresh default-grid engine: the catalog's spatial index
+    // must be primed by the import itself, before any command runs.
+    let grid = engine_with_paris(EngineConfig::fast());
+    let info = grid
+        .import_session(snapshot.clone())
+        .expect("import succeeds");
+    assert_eq!(info.session_id, 7);
+    assert_eq!(info.city, "Paris");
+    assert!(!info.replaced);
+    assert!(
+        grid.registry()
+            .get("Paris")
+            .unwrap()
+            .catalog()
+            .spatial_primed(),
+        "import must leave the catalog's spatial index primed"
+    );
+    assert_eq!(
+        grid.sessions().snapshot(7).unwrap().last_package.as_ref(),
+        Some(&package_at_snapshot),
+        "the resumed session sees the snapshotted package"
+    );
+    let grid_outcomes = run_continuation(&grid, &script);
+
+    // And on an exhaustive engine (provably bit-identical to brute force):
+    // grid-vs-brute parity must survive the snapshot/resume boundary.
+    let brute = engine_with_paris(EngineConfig::exhaustive());
+    brute.import_session(snapshot).expect("import succeeds");
+    let brute_outcomes = run_continuation(&brute, &script);
+
+    assert_eq!(
+        origin_outcomes, grid_outcomes,
+        "a resumed session must continue exactly as the original would"
+    );
+    assert_eq!(
+        grid_outcomes, brute_outcomes,
+        "grid-served continuation must be bit-identical to brute force after resume"
+    );
+    // The resumed rebuild really did serve a package (not vacuous parity).
+    assert!(grid_outcomes.last().unwrap().contains("Package"));
+}
+
+#[test]
+fn eviction_then_import_resumes_instead_of_unknown_session() {
+    let engine = Engine::new(EngineConfig {
+        max_sessions: 2,
+        ..EngineConfig::fast()
+    });
+    engine.register_catalog(paris(11)).unwrap();
+
+    let built = engine.serve_command(&CommandRequest::new(
+        1,
+        SessionCommand::build(
+            "Paris",
+            profile_for(&engine, 1),
+            GroupQuery::paper_default(),
+            BuildConfig::default(),
+        ),
+    ));
+    let package = built.package().expect("build succeeds").clone();
+    let snapshot = engine.export_session(1).unwrap();
+
+    // Flood the tiny store so session 1 is evicted.
+    for session in 2..=4u64 {
+        engine.serve_command(&CommandRequest::new(
+            session,
+            SessionCommand::build(
+                "Paris",
+                profile_for(&engine, session),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ));
+    }
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    let customize = CommandRequest::new(
+        1,
+        SessionCommand::Customize(CustomizationOp::Remove {
+            ci_index: 0,
+            poi: victim,
+        }),
+    );
+    let lost = engine.serve_command(&customize);
+    assert_eq!(lost.outcome.unwrap_err(), EngineError::UnknownSession(1));
+
+    // Import brings the session back; the same command now succeeds
+    // against the snapshotted package.
+    engine.import_session(snapshot).expect("import succeeds");
+    let resumed = engine.serve_command(&customize);
+    let resumed_package = resumed.package().expect("customize succeeds");
+    assert!(!resumed_package.get(0).unwrap().contains(victim));
+}
+
+#[test]
+fn import_rejects_unknown_cities_and_foreign_versions() {
+    let engine = engine_with_paris(EngineConfig::fast());
+    engine.serve_command(&CommandRequest::new(
+        5,
+        SessionCommand::build(
+            "Paris",
+            profile_for(&engine, 5),
+            GroupQuery::paper_default(),
+            BuildConfig::default(),
+        ),
+    ));
+    let snapshot = engine.export_session(5).unwrap();
+
+    // A version this engine does not speak.
+    let foreign = SessionSnapshot {
+        v: SNAPSHOT_VERSION + 1,
+        ..snapshot.clone()
+    };
+    assert!(matches!(
+        engine.import_session(foreign),
+        Err(EngineError::InvalidCommand(_))
+    ));
+
+    // An engine that never registered the session's city.
+    let elsewhere = Engine::new(EngineConfig::fast());
+    assert_eq!(
+        elsewhere.import_session(snapshot.clone()).unwrap_err(),
+        EngineError::UnknownCity("Paris".to_string())
+    );
+
+    // Importing over a live session replaces it.
+    let info = engine.import_session(snapshot).unwrap();
+    assert!(info.replaced);
+}
+
+#[test]
+fn legacy_wrappers_and_dispatch_share_one_accounting_path() {
+    let engine = engine_with_paris(EngineConfig::fast());
+    let request = PackageRequest {
+        session_id: 1,
+        city: "Paris".to_string(),
+        profile: profile_for(&engine, 1),
+        query: GroupQuery::paper_default(),
+        config: BuildConfig::default(),
+    };
+    // One request through each route: the wrapper and the protocol count
+    // identically (no double accounting in either).
+    let via_wrapper = engine.serve(&request);
+    assert!(via_wrapper.outcome.is_ok());
+    assert_eq!(engine.stats().requests, 1);
+
+    let via_dispatch = engine.dispatch(EngineRequest::Build {
+        request: Box::new(request.clone()),
+    });
+    assert!(matches!(via_dispatch, EngineResponse::Package { .. }));
+    assert_eq!(engine.stats().requests, 2);
+
+    let via_batch = engine.serve_batch(vec![request]);
+    assert!(via_batch[0].outcome.is_ok());
+    assert_eq!(engine.stats().requests, 3);
+
+    let ended = engine.serve_command(&CommandRequest::new(1, SessionCommand::End));
+    assert!(ended.outcome.is_ok());
+    assert_eq!(engine.stats().commands.ended, 1);
+    assert_eq!(engine.stats().commands.total(), 1);
+}

@@ -1,0 +1,433 @@
+//! Wire-protocol round-trip suite: every [`EngineRequest`] and
+//! [`EngineResponse`] variant must survive JSON encode → decode
+//! **bit-identically** — floats by shortest round-trip formatting,
+//! durations as exact `{secs, nanos}` pairs, errors with their full typed
+//! payload. A response relayed through any number of JSON hops must be the
+//! response the engine produced.
+//!
+//! Requests are randomized (vendored proptest: seeds derive from the test
+//! name, so CI replays the same cases); responses are the engine's *real*
+//! answers — every variant is produced by an actual `dispatch` call, then
+//! round-tripped.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineError, EngineRequest, EngineResponse,
+    PackageRequest, ProtocolError, RequestEnvelope, ResponseEnvelope, SessionCommand,
+    SessionSnapshot, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+/// One engine, registered once, shared by every case: profile generation
+/// needs its schema and the response tests need its real answers.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let engine = Engine::new(EngineConfig::fast());
+        engine.register_catalog(paris(11)).unwrap();
+        engine
+    })
+}
+
+fn profile_for(seed: u64) -> GroupProfile {
+    let schema = engine().profile_schema("Paris").unwrap();
+    SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::NonUniform)
+        .profile(ConsensusMethod::pairwise_disagreement())
+}
+
+fn package_request(session_id: u64, seed: u64, k: usize, budget: Option<f64>) -> PackageRequest {
+    PackageRequest {
+        session_id,
+        city: "Paris".to_string(),
+        profile: profile_for(seed),
+        query: GroupQuery::new([1, 1, 2, 2], budget),
+        config: BuildConfig::with_k(k.max(1)),
+    }
+}
+
+fn roundtrip_request(request: &EngineRequest) -> EngineRequest {
+    let json = serde_json::to_string(request).expect("requests serialize");
+    serde_json::from_str(&json).expect("requests deserialize")
+}
+
+fn roundtrip_response(response: &EngineResponse) -> EngineResponse {
+    let json = serde_json::to_string(response).expect("responses serialize");
+    serde_json::from_str(&json).expect("responses deserialize")
+}
+
+/// Dispatches, round-trips the response, and asserts bit-identity.
+fn dispatch_and_roundtrip(request: EngineRequest) -> EngineResponse {
+    let response = engine().dispatch(request);
+    assert_eq!(
+        roundtrip_response(&response),
+        response,
+        "response must round-trip bit-identically"
+    );
+    response
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn build_and_batch_requests_roundtrip(
+        session in 0u64..1000,
+        seed in 0u64..50,
+        k in 1usize..5,
+        budget_kind in 0u8..3,
+        n in 1usize..4,
+    ) {
+        let budget = match budget_kind {
+            0 => None,
+            1 => Some(250.0),
+            _ => Some(333.33 + seed as f64 * 0.1),
+        };
+        let single = EngineRequest::Build {
+            request: Box::new(package_request(session, seed, k, budget)),
+        };
+        prop_assert_eq!(roundtrip_request(&single), single);
+
+        let batch = EngineRequest::Batch {
+            requests: (0..n)
+                .map(|i| package_request(session + i as u64, seed + i as u64, k, budget))
+                .collect(),
+        };
+        prop_assert_eq!(roundtrip_request(&batch), batch);
+    }
+
+    #[test]
+    fn command_requests_roundtrip(
+        session in 0u64..1000,
+        seed in 0u64..50,
+        kind in 0u8..8,
+        a in 0usize..10,
+        b in 0u64..100,
+        member in 0u64..4,
+    ) {
+        let command = match kind {
+            0 => SessionCommand::build(
+                "Paris",
+                profile_for(seed),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+            1 => {
+                let schema = engine().profile_schema("Paris").unwrap();
+                let group = SyntheticGroupGenerator::new(schema, seed)
+                    .group(GroupSize::Medium, Uniformity::Uniform);
+                SessionCommand::build_for_group(
+                    "Paris",
+                    group,
+                    ConsensusMethod::pairwise_disagreement(),
+                    GroupQuery::new([2, 1, 1, 1], Some(100.0 + b as f64)),
+                    BuildConfig::with_k(3),
+                )
+            }
+            2 => SessionCommand::rebuild(
+                "Paris",
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+            3 => SessionCommand::Customize(CustomizationOp::Remove {
+                ci_index: a,
+                poi: PoiId(b),
+            }),
+            4 => SessionCommand::Customize(CustomizationOp::Generate {
+                rectangle: Rectangle::new(
+                    2.35 - b as f64 * 0.001,
+                    48.85 + a as f64 * 0.001,
+                    0.01,
+                    0.01,
+                ),
+            }),
+            5 => SessionCommand::Refine(if a % 2 == 0 {
+                RefinementStrategy::Batch
+            } else {
+                RefinementStrategy::Individual
+            }),
+            6 => SessionCommand::SuggestReplacement {
+                ci_index: a,
+                poi: PoiId(b),
+            },
+            _ => SessionCommand::End,
+        };
+        let request = EngineRequest::Command {
+            request: if member == 0 {
+                CommandRequest::new(session, command)
+            } else {
+                CommandRequest::from_member(session, member, command)
+            },
+        };
+        prop_assert_eq!(roundtrip_request(&request), request);
+
+        let batch = EngineRequest::CommandBatch {
+            requests: vec![
+                CommandRequest::new(session, SessionCommand::End),
+                CommandRequest::from_member(
+                    session + 1,
+                    member,
+                    SessionCommand::Refine(RefinementStrategy::Batch),
+                ),
+            ],
+        };
+        prop_assert_eq!(roundtrip_request(&batch), batch);
+    }
+
+    #[test]
+    fn synthetic_error_responses_roundtrip(
+        session in 0u64..1000,
+        code_pick in 0u8..5,
+        micros in 0u64..5_000_000,
+    ) {
+        use std::time::Duration;
+        let error = match code_pick {
+            0 => EngineError::UnknownCity(format!("city-{session}")),
+            1 => EngineError::UnknownSession(session),
+            2 => EngineError::InvalidCommand("no package yet".to_string()),
+            3 => EngineError::Build(grouptravel::GroupTravelError::ZeroCompositeItems),
+            _ => EngineError::Build(grouptravel::GroupTravelError::InsufficientCategory {
+                category: Category::Restaurant,
+                required: 5,
+                available: 2,
+            }),
+        };
+        let response = EngineResponse::Package {
+            response: grouptravel_engine::PackageResponse {
+                session_id: session,
+                city: "Paris".to_string(),
+                outcome: Err(error),
+                latency: Duration::from_micros(micros) + Duration::from_nanos(session % 1000),
+                clustering_cache_hit: session % 2 == 0,
+            },
+        };
+        prop_assert_eq!(roundtrip_response(&response), response);
+    }
+}
+
+#[test]
+fn every_request_variant_roundtrips() {
+    let requests = [
+        EngineRequest::Build {
+            request: Box::new(package_request(1, 1, 5, None)),
+        },
+        EngineRequest::Batch {
+            requests: vec![package_request(1, 1, 5, Some(400.0))],
+        },
+        EngineRequest::Command {
+            request: CommandRequest::new(1, SessionCommand::End),
+        },
+        EngineRequest::CommandBatch {
+            requests: vec![CommandRequest::new(1, SessionCommand::End)],
+        },
+        EngineRequest::RegisterCatalog {
+            catalog: Box::new(paris(17)),
+        },
+        EngineRequest::ExportSession { session_id: 42 },
+        EngineRequest::ImportSession {
+            snapshot: Box::new(SessionSnapshot {
+                v: 1,
+                session_id: 42,
+                state: sample_session_state(),
+            }),
+        },
+        EngineRequest::Stats,
+    ];
+    for request in requests {
+        assert_eq!(
+            roundtrip_request(&request),
+            request,
+            "request kind `{}` must round-trip",
+            request.kind()
+        );
+    }
+}
+
+/// A session state with every optional field populated, produced by a real
+/// interactive session.
+fn sample_session_state() -> grouptravel_engine::SessionState {
+    let engine = Engine::new(EngineConfig::fast());
+    engine.register_catalog(paris(11)).unwrap();
+    let schema = engine.profile_schema("Paris").unwrap();
+    let group =
+        SyntheticGroupGenerator::new(schema, 3).group(GroupSize::Small, Uniformity::Uniform);
+    let built = engine.serve_command(&CommandRequest::new(
+        9,
+        SessionCommand::build_for_group(
+            "Paris",
+            group.clone(),
+            ConsensusMethod::pairwise_disagreement(),
+            GroupQuery::paper_default(),
+            BuildConfig::default(),
+        ),
+    ));
+    let package = built.package().expect("build succeeds").clone();
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    engine.serve_command(&CommandRequest::from_member(
+        9,
+        group.members()[0].user_id,
+        SessionCommand::Customize(CustomizationOp::Remove {
+            ci_index: 0,
+            poi: victim,
+        }),
+    ));
+    engine.sessions().snapshot(9).expect("session exists")
+}
+
+#[test]
+fn every_response_variant_roundtrips_from_real_dispatches() {
+    // Ordered so the engine accumulates state: build → commands → export →
+    // import → stats. Each dispatch's response round-trips bit-identically.
+    let ok = dispatch_and_roundtrip(EngineRequest::Build {
+        request: Box::new(package_request(501, 5, 5, None)),
+    });
+    assert!(matches!(ok, EngineResponse::Package { ref response } if response.outcome.is_ok()));
+
+    // A failing build (unknown city) — the typed error rides the response.
+    let failed = dispatch_and_roundtrip(EngineRequest::Build {
+        request: Box::new(PackageRequest {
+            city: "Atlantis".to_string(),
+            ..package_request(502, 5, 5, None)
+        }),
+    });
+    match failed {
+        EngineResponse::Package { response } => {
+            assert_eq!(
+                response.outcome.unwrap_err(),
+                EngineError::UnknownCity("Atlantis".to_string())
+            );
+        }
+        other => panic!("expected Package, got {}", other.kind()),
+    }
+
+    dispatch_and_roundtrip(EngineRequest::Batch {
+        requests: vec![
+            package_request(503, 6, 4, Some(500.0)),
+            package_request(504, 7, 3, None),
+        ],
+    });
+
+    // Interactive command variants: build, customize, suggest, refine, end.
+    let built = dispatch_and_roundtrip(EngineRequest::Command {
+        request: CommandRequest::new(
+            600,
+            SessionCommand::build(
+                "Paris",
+                profile_for(8),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ),
+    });
+    let package = match built {
+        EngineResponse::Command { response } => response.package().unwrap().clone(),
+        other => panic!("expected Command, got {}", other.kind()),
+    };
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    dispatch_and_roundtrip(EngineRequest::CommandBatch {
+        requests: vec![
+            CommandRequest::from_member(
+                600,
+                1,
+                SessionCommand::Customize(CustomizationOp::Remove {
+                    ci_index: 0,
+                    poi: victim,
+                }),
+            ),
+            CommandRequest::new(
+                600,
+                SessionCommand::SuggestReplacement {
+                    ci_index: 1,
+                    poi: package.get(1).unwrap().poi_ids()[0],
+                },
+            ),
+            CommandRequest::new(600, SessionCommand::Refine(RefinementStrategy::Batch)),
+        ],
+    });
+
+    // Export the live session, end it, and re-import the snapshot.
+    let exported = dispatch_and_roundtrip(EngineRequest::ExportSession { session_id: 600 });
+    let snapshot = match exported {
+        EngineResponse::Session { outcome } => outcome.unwrap(),
+        other => panic!("expected Session, got {}", other.kind()),
+    };
+    dispatch_and_roundtrip(EngineRequest::Command {
+        request: CommandRequest::new(600, SessionCommand::End),
+    });
+    let imported = dispatch_and_roundtrip(EngineRequest::ImportSession { snapshot });
+    match imported {
+        EngineResponse::Imported { outcome } => {
+            let info = outcome.unwrap();
+            assert_eq!(info.session_id, 600);
+            assert_eq!(info.city, "Paris");
+            assert!(!info.replaced, "End freed the slot before the import");
+        }
+        other => panic!("expected Imported, got {}", other.kind()),
+    }
+
+    // Export of a session that never existed: the typed error round-trips.
+    let missing = dispatch_and_roundtrip(EngineRequest::ExportSession { session_id: 9999 });
+    match missing {
+        EngineResponse::Session { outcome } => {
+            assert_eq!(outcome.unwrap_err(), EngineError::UnknownSession(9999));
+        }
+        other => panic!("expected Session, got {}", other.kind()),
+    }
+
+    // Catalog registration over the wire (serde-cold catalog). A city the
+    // shared engine does not serve elsewhere: tests in this binary run
+    // concurrently, and replacing Paris mid-run would yank the catalog out
+    // from under them.
+    let registered = dispatch_and_roundtrip(EngineRequest::RegisterCatalog {
+        catalog: Box::new(
+            SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::small(23))
+                .generate(),
+        ),
+    });
+    match registered {
+        EngineResponse::Registered { outcome } => {
+            let info = outcome.unwrap();
+            assert_eq!(info.city, "Barcelona");
+        }
+        other => panic!("expected Registered, got {}", other.kind()),
+    }
+
+    dispatch_and_roundtrip(EngineRequest::Stats);
+
+    // The protocol-level error variant.
+    let error = EngineResponse::Error {
+        error: ProtocolError::unsupported_version(99),
+    };
+    assert_eq!(roundtrip_response(&error), error);
+}
+
+#[test]
+fn envelopes_roundtrip_and_version_is_enforced() {
+    let envelope = RequestEnvelope::new(EngineRequest::Stats);
+    let json = serde_json::to_string(&envelope).unwrap();
+    let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, envelope);
+
+    let answered = engine().dispatch_envelope(back);
+    assert_eq!(answered.v, PROTOCOL_VERSION);
+    assert!(matches!(answered.response, EngineResponse::Stats { .. }));
+    let json = serde_json::to_string(&answered).unwrap();
+    let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, answered);
+
+    // A wrong version never reaches dispatch.
+    let rejected = engine().dispatch_envelope(RequestEnvelope {
+        v: PROTOCOL_VERSION + 1,
+        request: EngineRequest::Stats,
+    });
+    let error = rejected
+        .response
+        .protocol_error()
+        .expect("wrong versions are protocol errors");
+    assert_eq!(error.code, ProtocolError::UNSUPPORTED_VERSION);
+}

@@ -1,0 +1,302 @@
+//! A deliberately small HTTP/1.1 implementation: request parsing and
+//! response writing over blocking streams.
+//!
+//! The build environment is offline, so there is no hyper/axum to lean on —
+//! and the front-end needs only the fraction of HTTP/1.1 a JSON RPC surface
+//! exercises: request line + headers + `Content-Length` bodies, keep-alive
+//! by default, `Connection: close` honoured, nothing chunked, no TLS. The
+//! parser is strict about what it accepts and typed about how it fails;
+//! everything beyond this subset is answered at the routing layer, not
+//! guessed at here.
+
+use std::io::{self, BufRead, Write};
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path including any query string (`/v1/engine`).
+    pub path: String,
+    /// Lowercased header names with their untrimmed-value pairs.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by case-insensitive name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request off a connection stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed (or timed out) before sending a request line —
+    /// the normal end of a keep-alive connection, not a protocol error.
+    ConnectionClosed,
+    /// The bytes on the wire were not a well-formed HTTP/1.x request.
+    Malformed(String),
+    /// The declared body exceeds the server's limit.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The server's limit.
+        limit: usize,
+    },
+    /// The underlying transport failed mid-request.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Maximum accepted size of the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Reads one request from a blocking stream.
+///
+/// # Errors
+/// See [`ReadError`]; `ConnectionClosed` is the clean end of a keep-alive
+/// connection.
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let request_line = match read_line(stream, MAX_HEAD_BYTES)? {
+        Some(line) if !line.is_empty() => line,
+        // EOF before a request line, or a bare blank line: peer is done.
+        _ => return Err(ReadError::ConnectionClosed),
+    };
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ReadError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "bad request line `{request_line}`"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
+    loop {
+        let Some(line) = read_line(stream, head_budget)? else {
+            return Err(ReadError::Malformed(
+                "connection closed mid-headers".to_string(),
+            ));
+        };
+        if line.is_empty() {
+            break;
+        }
+        head_budget = head_budget.saturating_sub(line.len());
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // This subset of HTTP/1.1 frames bodies by Content-Length only.
+    // Silently treating a chunked body as length 0 would desync the
+    // connection (the chunk bytes would parse as a bogus next request),
+    // so anything transfer-encoded is rejected outright.
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(ReadError::Malformed(
+            "Transfer-Encoding is not supported; send a Content-Length body".to_string(),
+        ));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, without its terminator.
+/// Returns `None` on immediate EOF. Lines longer than `limit` are malformed.
+fn read_line(stream: &mut impl BufRead, limit: usize) -> Result<Option<String>, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ReadError::Malformed("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()));
+                }
+                line.push(byte[0]);
+                if line.len() > limit {
+                    return Err(ReadError::Malformed("request head too large".into()));
+                }
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one `application/json` response. `close` adds
+/// `Connection: close` (the server's keep-alive decision, echoed to the
+/// client).
+///
+/// # Errors
+/// Propagates transport failures.
+pub fn write_json_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{connection}\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/engine HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/engine");
+        assert_eq!(req.body, b"{\"a\"");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_and_connection_close() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn eof_before_a_request_is_a_clean_close() {
+        assert!(matches!(parse(""), Err(ReadError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn garbage_is_malformed_not_a_panic() {
+        assert!(matches!(
+            parse("how now\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / SMTP/1.1\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_bodies_are_rejected_not_desynced() {
+        let result =
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n");
+        assert!(matches!(result, Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_allocation() {
+        let result = parse("POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n");
+        assert!(matches!(
+            result,
+            Err(ReadError::BodyTooLarge {
+                declared: 999_999,
+                limit: 1024
+            })
+        ));
+    }
+
+    #[test]
+    fn responses_have_the_expected_shape() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 200, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

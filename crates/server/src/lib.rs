@@ -1,0 +1,513 @@
+//! # grouptravel-server — the HTTP/JSON front-end of the serving engine
+//!
+//! One process boundary, one protocol: this crate serves the engine's
+//! versioned wire protocol ([`grouptravel_engine::protocol`]) over a
+//! hand-rolled **blocking HTTP/1.1** front-end — `std::net::TcpListener`,
+//! an accept thread, and a fixed worker pool. No external dependencies, in
+//! keeping with the workspace's offline `vendor/` policy; the async/epoll
+//! evolution is a ROADMAP follow-up, not a prerequisite.
+//!
+//! ## Routes
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/engine` | One [`RequestEnvelope`] in, one [`ResponseEnvelope`] out |
+//! | `GET /stats` | The envelope of `EngineRequest::Stats`, as a convenience |
+//! | `GET /healthz` | Liveness: `{"status":"ok","protocol":1}` |
+//!
+//! Status codes carry only *transport and protocol* meaning: `400` for
+//! bodies that are not a well-formed current-version envelope, `404`/`405`
+//! for unknown routes, `413` for oversized bodies, `500` for an internal
+//! serving failure. Application-level failures — unknown city, impossible
+//! query, unknown session — travel *inside* a `200` response as typed
+//! [`grouptravel_engine::EngineError`]s, exactly as in-process callers see
+//! them, with the same stable numeric codes.
+//!
+//! ## Coalescing
+//!
+//! A cold build stampede — N concurrent requests for the same
+//! `(catalog fingerprint, FcmConfig cache key)` — trains one model: the
+//! engine's clustering cache is single-flight
+//! ([`grouptravel_engine::LruCache::get_or_train`]), so the front-end
+//! inherits coalescing on every route with no HTTP-level bookkeeping. The
+//! `http_differential` suite proves it end to end over real sockets.
+
+pub mod http;
+
+use grouptravel_engine::{
+    Engine, EngineRequest, EngineResponse, ProtocolError, RequestEnvelope, ResponseEnvelope,
+    PROTOCOL_VERSION,
+};
+use http::ReadError;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the HTTP front-end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port — the tests'
+    /// and benches' default).
+    pub addr: String,
+    /// Connection-handling worker threads (clamped to at least 1).
+    pub worker_threads: usize,
+    /// Largest accepted request body, in bytes.
+    pub max_body_bytes: usize,
+    /// Read timeout per connection: bounds how long a worker can be held
+    /// by a client that connects and sends nothing, or stalls mid-request.
+    /// (Idle keep-alive sockets never park a worker — connections close
+    /// after responding unless the next request is already pipelined.)
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            worker_threads: std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .min(8),
+            max_body_bytes: 64 * 1024 * 1024,
+            keep_alive_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running front-end: the bound address plus the handles needed to shut
+/// it down. Dropping it stops the server.
+pub struct RunningServer {
+    engine: Arc<Engine>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// Binds `config.addr`, spawns the accept loop and worker pool, and
+    /// returns immediately; the server serves until [`RunningServer::stop`]
+    /// or drop.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn start(engine: Arc<Engine>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let workers = config.worker_threads.max(1);
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            let engine = Arc::clone(&engine);
+            let config = config.clone();
+            worker_handles.push(std::thread::spawn(move || loop {
+                // Holding the lock only for the recv keeps the pool a fair
+                // queue; a closed channel (accept loop gone) ends the worker.
+                let next = receiver.lock().expect("connection queue poisoned").recv();
+                match next {
+                    Ok(stream) => serve_connection(&engine, stream, &config),
+                    Err(_) => break,
+                }
+            }));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    // A send can only fail after shutdown dropped the
+                    // workers; the accept loop is about to exit anyway.
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Dropping the sender drains the workers.
+        });
+
+        Ok(Self {
+            engine,
+            local_addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address the server actually bound (resolves ephemeral ports).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine this server fronts.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn stop(mut self) {
+        self.stop_in_place();
+    }
+
+    fn stop_in_place(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a throwaway connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop_in_place();
+    }
+}
+
+/// Serves one connection: the first request, then any **pipelined**
+/// requests already buffered behind it. A connection with no buffered next
+/// request is closed after responding rather than parked: with a fixed
+/// worker pool, letting idle keep-alive sockets hold workers would let a
+/// handful of silent clients starve every new connection for the duration
+/// of the read timeout — closing is always legal for an HTTP/1.1 server,
+/// and well-behaved clients reconnect. The read timeout still bounds how
+/// long a worker can be held by a client that connects and sends nothing
+/// (or stalls mid-request).
+fn serve_connection(engine: &Engine, stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.keep_alive_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, config.max_body_bytes) {
+            Ok(request) => {
+                // Close unless the next pipelined request is already here.
+                let close = request.wants_close() || reader.buffer().is_empty();
+                let (status, body) = route(engine, &request);
+                if http::write_json_response(&mut writer, status, &body, close).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Err(ReadError::ConnectionClosed) => return,
+            Err(ReadError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle keep-alive connection: reclaim the worker.
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+            Err(ReadError::BodyTooLarge { declared, limit }) => {
+                let error = ProtocolError::new(
+                    ProtocolError::BODY_TOO_LARGE,
+                    format!("request body of {declared} bytes exceeds the {limit}-byte limit"),
+                );
+                let _ = http::write_json_response(&mut writer, 413, &error_body(error), true);
+                return;
+            }
+            Err(ReadError::Malformed(why)) => {
+                let error = ProtocolError::new(
+                    ProtocolError::MALFORMED_REQUEST,
+                    format!("malformed HTTP request: {why}"),
+                );
+                let _ = http::write_json_response(&mut writer, 400, &error_body(error), true);
+                return;
+            }
+        }
+    }
+}
+
+/// Renders a protocol error as a wire response envelope.
+fn error_body(error: ProtocolError) -> String {
+    serde_json::to_string(&ResponseEnvelope::new(EngineResponse::Error { error }))
+        .expect("response envelopes always serialize")
+}
+
+/// Routes one parsed request to `(status, JSON body)`.
+fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/engine") => {
+            let body = match std::str::from_utf8(&request.body) {
+                Ok(text) => text,
+                Err(_) => {
+                    return (
+                        400,
+                        error_body(ProtocolError::new(
+                            ProtocolError::MALFORMED_REQUEST,
+                            "request body is not UTF-8",
+                        )),
+                    )
+                }
+            };
+            let envelope: RequestEnvelope = match serde_json::from_str(body) {
+                Ok(envelope) => envelope,
+                Err(e) => {
+                    return (
+                        400,
+                        error_body(ProtocolError::new(
+                            ProtocolError::MALFORMED_REQUEST,
+                            format!("body is not a request envelope: {e}"),
+                        )),
+                    )
+                }
+            };
+            let response = engine.dispatch_envelope(envelope);
+            // Protocol-level rejections (today: unsupported version) are
+            // client errors; everything else — including per-request
+            // engine errors riding inside the payload — is a served 200.
+            let status = match response.response.protocol_error() {
+                Some(_) => 400,
+                None => 200,
+            };
+            (
+                status,
+                serde_json::to_string(&response).expect("response envelopes always serialize"),
+            )
+        }
+        ("GET", "/stats") => {
+            let response = engine.dispatch(EngineRequest::Stats);
+            (
+                200,
+                serde_json::to_string(&ResponseEnvelope::new(response))
+                    .expect("response envelopes always serialize"),
+            )
+        }
+        ("GET", "/healthz") => (
+            200,
+            format!("{{\"status\":\"ok\",\"protocol\":{PROTOCOL_VERSION}}}"),
+        ),
+        (_, "/v1/engine" | "/stats" | "/healthz") => (
+            405,
+            error_body(ProtocolError::new(
+                ProtocolError::METHOD_NOT_ALLOWED,
+                format!("{} is not valid for {}", request.method, request.path),
+            )),
+        ),
+        (_, path) => (
+            404,
+            error_body(ProtocolError::new(
+                ProtocolError::NOT_FOUND,
+                format!("no route for `{path}`"),
+            )),
+        ),
+    }
+}
+
+pub mod client {
+    //! A minimal blocking HTTP client for the wire protocol — enough for
+    //! the differential tests, the throughput bench, and the examples to
+    //! drive a real server over real sockets without external crates.
+
+    use grouptravel_engine::{EngineRequest, EngineResponse, RequestEnvelope, ResponseEnvelope};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{SocketAddr, TcpStream};
+
+    /// A client bound to one server address. Each call opens a fresh
+    /// connection (`Connection: close`), which keeps the client trivially
+    /// correct; connection reuse is a server-side concern the keep-alive
+    /// path already covers.
+    #[derive(Debug, Clone)]
+    pub struct EngineClient {
+        addr: SocketAddr,
+    }
+
+    /// A transport or decode failure on the client side.
+    #[derive(Debug)]
+    pub struct ClientError(pub String);
+
+    impl std::fmt::Display for ClientError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "client error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for ClientError {}
+
+    impl From<std::io::Error> for ClientError {
+        fn from(e: std::io::Error) -> Self {
+            ClientError(e.to_string())
+        }
+    }
+
+    impl EngineClient {
+        /// A client for the server at `addr`.
+        #[must_use]
+        pub fn new(addr: SocketAddr) -> Self {
+            Self { addr }
+        }
+
+        /// Sends one protocol request and decodes the response envelope.
+        ///
+        /// # Errors
+        /// Fails on transport errors or a body that is not a response
+        /// envelope. Non-2xx statuses are *not* errors: the envelope still
+        /// carries the typed answer (e.g. a protocol error).
+        pub fn request(&self, request: EngineRequest) -> Result<EngineResponse, ClientError> {
+            let body = serde_json::to_string(&RequestEnvelope::new(request))
+                .map_err(|e| ClientError(e.to_string()))?;
+            let (_, text) = self.http("POST", "/v1/engine", Some(&body))?;
+            let envelope: ResponseEnvelope =
+                serde_json::from_str(&text).map_err(|e| ClientError(e.to_string()))?;
+            Ok(envelope.response)
+        }
+
+        /// One raw HTTP exchange: `(status, body)`.
+        ///
+        /// # Errors
+        /// Fails on connect/transport errors or a malformed response head.
+        pub fn http(
+            &self,
+            method: &str,
+            path: &str,
+            body: Option<&str>,
+        ) -> Result<(u16, String), ClientError> {
+            let mut stream = TcpStream::connect(self.addr)?;
+            let body = body.unwrap_or("");
+            write!(
+                stream,
+                "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\
+                 Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+                self.addr,
+                body.len(),
+            )?;
+            stream.flush()?;
+
+            let mut reader = BufReader::new(stream);
+            let mut status_line = String::new();
+            reader.read_line(&mut status_line)?;
+            let status: u16 = status_line
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| ClientError(format!("bad status line `{status_line}`")))?;
+
+            let mut content_length: Option<usize> = None;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line)?;
+                let line = line.trim_end();
+                if line.is_empty() {
+                    break;
+                }
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        content_length = value.trim().parse().ok();
+                    }
+                }
+            }
+            let mut body = match content_length {
+                Some(n) => {
+                    let mut buf = vec![0u8; n];
+                    reader.read_exact(&mut buf)?;
+                    buf
+                }
+                None => {
+                    let mut buf = Vec::new();
+                    reader.read_to_end(&mut buf)?;
+                    buf
+                }
+            };
+            // Tolerate a trailing CRLF from servers that over-send.
+            while body.last() == Some(&b'\n') || body.last() == Some(&b'\r') {
+                body.pop();
+            }
+            let text =
+                String::from_utf8(body).map_err(|_| ClientError("non-UTF-8 body".to_string()))?;
+            Ok((status, text))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouptravel_engine::EngineConfig;
+
+    fn running() -> RunningServer {
+        RunningServer::start(
+            Arc::new(Engine::new(EngineConfig::fast())),
+            ServerConfig {
+                worker_threads: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind an ephemeral port")
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes_answer_typed() {
+        let server = running();
+        let client = client::EngineClient::new(server.addr());
+
+        let (status, body) = client.http("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+
+        let (status, body) = client.http("GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains(&format!("\"code\":{}", ProtocolError::NOT_FOUND)));
+
+        let (status, _) = client.http("DELETE", "/healthz", None).unwrap();
+        assert_eq!(status, 405);
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_bodies_and_wrong_versions_are_400s() {
+        let server = running();
+        let client = client::EngineClient::new(server.addr());
+
+        let (status, body) = client
+            .http("POST", "/v1/engine", Some("this is not json"))
+            .unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains(&format!("\"code\":{}", ProtocolError::MALFORMED_REQUEST)));
+
+        let wrong_version = "{\"v\": 99, \"request\": \"Stats\"}";
+        let (status, body) = client
+            .http("POST", "/v1/engine", Some(wrong_version))
+            .unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains(&format!("\"code\":{}", ProtocolError::UNSUPPORTED_VERSION)));
+        server.stop();
+    }
+
+    #[test]
+    fn stats_round_trips_through_the_wire() {
+        let server = running();
+        let client = client::EngineClient::new(server.addr());
+        let response = client.request(EngineRequest::Stats).unwrap();
+        match response {
+            EngineResponse::Stats { stats } => {
+                assert_eq!(stats.requests, 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        let (status, body) = client.http("GET", "/stats", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"requests\""));
+        server.stop();
+    }
+}

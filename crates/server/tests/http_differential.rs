@@ -1,0 +1,306 @@
+//! End-to-end differential suite for the HTTP front-end: a scripted
+//! interactive session driven through the HTTP/JSON facade must be
+//! **bit-identical** to the same script served by an in-process engine —
+//! same packages, same profiles, same suggestions, same typed errors with
+//! the same stable codes. The wire adds a transport, never different
+//! answers.
+//!
+//! Also proven here, over real sockets: N concurrent identical cold build
+//! requests perform exactly one FCM training (and one LDA training at
+//! registration) — the engine's single-flight caches coalesce the
+//! stampede the front-end funnels in.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineError, EngineRequest, EngineResponse,
+    PackageRequest, SessionCommand,
+};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{RunningServer, ServerConfig};
+use std::sync::Arc;
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+fn start_server(config: EngineConfig) -> RunningServer {
+    RunningServer::start(
+        Arc::new(Engine::new(config)),
+        ServerConfig {
+            worker_threads: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port")
+}
+
+fn profile_for(engine: &Engine, seed: u64) -> GroupProfile {
+    let schema = engine.profile_schema("Paris").unwrap();
+    SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::NonUniform)
+        .profile(ConsensusMethod::pairwise_disagreement())
+}
+
+/// Debug-renders an outcome with wall-clock noise removed: latencies are
+/// measurements of *this run*, not part of the answer, so `Ended` session
+/// states compare with them zeroed. Everything else — packages, profiles,
+/// suggestions, counters, typed errors — must match bit-for-bit.
+fn canonical(outcome: Result<grouptravel_engine::CommandOutcome, EngineError>) -> String {
+    use grouptravel_engine::CommandOutcome;
+    let outcome = outcome.map(|ok| match ok {
+        CommandOutcome::Ended(mut state) => {
+            state.total_latency = std::time::Duration::ZERO;
+            state.step_latencies.clear();
+            CommandOutcome::Ended(state)
+        }
+        other => other,
+    });
+    format!("{outcome:?}")
+}
+
+/// Sends one command over the wire and returns its canonical outcome.
+fn command_over_http(client: &EngineClient, request: CommandRequest) -> String {
+    match client
+        .request(EngineRequest::Command { request })
+        .expect("transport works")
+    {
+        EngineResponse::Command { response } => canonical(response.outcome),
+        other => panic!("expected Command, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn scripted_session_over_http_is_bit_identical_to_in_process() {
+    // The served engine learns its catalog over the wire; the reference
+    // engine in-process. Identical content + config ⇒ identical substrate.
+    let server = start_server(EngineConfig::fast());
+    let client = EngineClient::new(server.addr());
+    match client
+        .request(EngineRequest::RegisterCatalog {
+            catalog: Box::new(paris(11)),
+        })
+        .unwrap()
+    {
+        EngineResponse::Registered { outcome } => {
+            assert!(outcome.unwrap().lda_trained);
+        }
+        other => panic!("expected Registered, got {}", other.kind()),
+    }
+    let reference = Engine::new(EngineConfig::fast());
+    reference.register_catalog(paris(11)).unwrap();
+
+    // One profile, derived from the reference engine's schema (the served
+    // engine's schema is identical by construction — same catalog, same
+    // LDA configuration).
+    let profile = profile_for(&reference, 3);
+
+    // Build, then derive the rest of the script from the built package.
+    let build = |profile: GroupProfile| {
+        CommandRequest::new(
+            7,
+            SessionCommand::build(
+                "Paris",
+                profile,
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        )
+    };
+    let http_build = command_over_http(&client, build(profile.clone()));
+    let ref_build = canonical(reference.serve_command(&build(profile)).outcome);
+    assert_eq!(http_build, ref_build, "cold build must match over the wire");
+
+    let package = reference
+        .sessions()
+        .snapshot(7)
+        .unwrap()
+        .last_package
+        .unwrap();
+    let script = vec![
+        CommandRequest::from_member(
+            7,
+            1,
+            SessionCommand::Customize(CustomizationOp::Remove {
+                ci_index: 0,
+                poi: package.get(0).unwrap().poi_ids()[0],
+            }),
+        ),
+        CommandRequest::from_member(
+            7,
+            2,
+            SessionCommand::Customize(CustomizationOp::Add {
+                ci_index: 1,
+                poi: package.get(0).unwrap().poi_ids()[0],
+            }),
+        ),
+        CommandRequest::new(
+            7,
+            SessionCommand::SuggestReplacement {
+                ci_index: 2,
+                poi: package.get(2).unwrap().poi_ids()[0],
+            },
+        ),
+        CommandRequest::new(7, SessionCommand::Refine(RefinementStrategy::Batch)),
+        CommandRequest::new(
+            7,
+            SessionCommand::rebuild("Paris", GroupQuery::paper_default(), BuildConfig::default()),
+        ),
+        CommandRequest::new(7, SessionCommand::End),
+    ];
+    for request in script {
+        let http_outcome = command_over_http(&client, request.clone());
+        let ref_outcome = canonical(reference.serve_command(&request).outcome);
+        assert_eq!(
+            http_outcome, ref_outcome,
+            "step must be bit-identical over the wire"
+        );
+    }
+
+    // The served engine did the same amount of model work as the
+    // reference: the wire added a transport, not trainings.
+    let stats = server.engine().stats();
+    let ref_stats = reference.stats();
+    assert_eq!(stats.fcm_trainings, ref_stats.fcm_trainings);
+    assert_eq!(stats.lda_trainings, ref_stats.lda_trainings);
+    server.stop();
+}
+
+#[test]
+fn unknown_session_after_eviction_surfaces_the_same_code_over_http() {
+    // Both engines: room for two sessions, so a third build evicts the
+    // first.
+    let config = EngineConfig {
+        max_sessions: 2,
+        ..EngineConfig::fast()
+    };
+    let server = start_server(config);
+    let client = EngineClient::new(server.addr());
+    client
+        .request(EngineRequest::RegisterCatalog {
+            catalog: Box::new(paris(11)),
+        })
+        .unwrap();
+    let in_process = Engine::new(config);
+    in_process.register_catalog(paris(11)).unwrap();
+
+    let build = |session: u64, seed: u64| {
+        CommandRequest::new(
+            session,
+            SessionCommand::build(
+                "Paris",
+                profile_for(&in_process, seed),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        )
+    };
+    for session in 1..=4u64 {
+        command_over_http(&client, build(session, session));
+        in_process.serve_command(&build(session, session));
+    }
+    let customize = CommandRequest::new(
+        1,
+        SessionCommand::Customize(CustomizationOp::DeleteCi { ci_index: 0 }),
+    );
+
+    // In-process: the typed error and its stable code.
+    let expected = in_process.serve_command(&customize).outcome.unwrap_err();
+    assert_eq!(expected, EngineError::UnknownSession(1));
+    assert_eq!(expected.code(), 2);
+
+    // Over HTTP: the decoded error is the same typed value…
+    let response = client
+        .request(EngineRequest::Command {
+            request: customize.clone(),
+        })
+        .unwrap();
+    match response {
+        EngineResponse::Command { response } => {
+            assert_eq!(response.outcome.unwrap_err(), expected);
+        }
+        other => panic!("expected Command, got {}", other.kind()),
+    }
+    // …and the raw wire body carries the same numeric code verbatim.
+    let body = serde_json::to_string(&grouptravel_engine::RequestEnvelope::new(
+        EngineRequest::Command { request: customize },
+    ))
+    .unwrap();
+    let (status, raw) = client.http("POST", "/v1/engine", Some(&body)).unwrap();
+    assert_eq!(status, 200, "application errors are served, not 4xx");
+    assert!(
+        raw.contains(&format!("\"code\":{}", expected.code())),
+        "wire error body must carry the stable code; got: {raw}"
+    );
+    assert!(
+        raw.contains(&expected.to_string()),
+        "wire error body must carry the Display message verbatim"
+    );
+    server.stop();
+}
+
+#[test]
+fn concurrent_cold_builds_over_http_train_exactly_once() {
+    let server = start_server(EngineConfig {
+        worker_threads: 8,
+        ..EngineConfig::fast()
+    });
+    let client = EngineClient::new(server.addr());
+
+    // Concurrent identical registrations: one LDA training.
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let client = client.clone();
+            scope.spawn(move || {
+                client
+                    .request(EngineRequest::RegisterCatalog {
+                        catalog: Box::new(paris(11)),
+                    })
+                    .unwrap();
+            });
+        }
+    });
+
+    // Concurrent identical cold builds: one FCM training.
+    let profile = profile_for(server.engine(), 1);
+    std::thread::scope(|scope| {
+        for session_id in 0..8u64 {
+            let client = client.clone();
+            let profile = profile.clone();
+            scope.spawn(move || {
+                let response = client
+                    .request(EngineRequest::Build {
+                        request: Box::new(PackageRequest {
+                            session_id,
+                            city: "Paris".to_string(),
+                            profile,
+                            query: GroupQuery::paper_default(),
+                            config: BuildConfig::default(),
+                        }),
+                    })
+                    .unwrap();
+                match response {
+                    EngineResponse::Package { response } => {
+                        assert!(response.outcome.is_ok(), "build must succeed");
+                    }
+                    other => panic!("expected Package, got {}", other.kind()),
+                }
+            });
+        }
+    });
+
+    // Read the counters back through the wire.
+    let stats = match client.request(EngineRequest::Stats).unwrap() {
+        EngineResponse::Stats { stats } => stats,
+        other => panic!("expected Stats, got {}", other.kind()),
+    };
+    assert_eq!(stats.requests, 8);
+    assert_eq!(
+        stats.fcm_trainings, 1,
+        "8 concurrent identical cold builds over HTTP must train FCM once"
+    );
+    assert_eq!(
+        stats.lda_trainings, 1,
+        "4 concurrent identical registrations over HTTP must train LDA once"
+    );
+    server.stop();
+}

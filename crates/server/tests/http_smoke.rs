@@ -1,0 +1,112 @@
+//! CI smoke: boot the HTTP front-end on an ephemeral port, drive one cold
+//! build, one warm customize, and `/stats` through real sockets, and
+//! assert nothing answers 5xx. Fast by construction — one small catalog,
+//! a handful of requests — so it runs on every push.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineRequest, RequestEnvelope, SessionCommand,
+};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{RunningServer, ServerConfig};
+use std::sync::Arc;
+
+fn post_engine(client: &EngineClient, request: EngineRequest) -> (u16, String) {
+    let body = serde_json::to_string(&RequestEnvelope::new(request)).unwrap();
+    client.http("POST", "/v1/engine", Some(&body)).unwrap()
+}
+
+#[test]
+fn cold_build_warm_customize_and_stats_answer_non_5xx() {
+    let server = RunningServer::start(
+        Arc::new(Engine::new(EngineConfig::fast())),
+        ServerConfig {
+            worker_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+    let mut statuses = Vec::new();
+
+    // Health first.
+    let (status, body) = client.http("GET", "/healthz", None).unwrap();
+    assert!(body.contains("\"ok\""));
+    statuses.push(("GET /healthz", status));
+
+    // Register the city over the wire.
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
+    let (status, _) = post_engine(
+        &client,
+        EngineRequest::RegisterCatalog {
+            catalog: Box::new(catalog),
+        },
+    );
+    statuses.push(("POST RegisterCatalog", status));
+
+    // One cold interactive build…
+    let schema = server.engine().profile_schema("Paris").expect("registered");
+    let profile = SyntheticGroupGenerator::new(schema, 1)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    let (status, body) = post_engine(
+        &client,
+        EngineRequest::Command {
+            request: CommandRequest::new(
+                1,
+                SessionCommand::build(
+                    "Paris",
+                    profile,
+                    GroupQuery::paper_default(),
+                    BuildConfig::default(),
+                ),
+            ),
+        },
+    );
+    assert!(body.contains("\"Ok\""), "cold build must succeed: {body}");
+    statuses.push(("POST Command(Build)", status));
+
+    // …then a warm customize against the session the build created.
+    let package = server
+        .engine()
+        .sessions()
+        .snapshot(1)
+        .unwrap()
+        .last_package
+        .unwrap();
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    let (status, body) = post_engine(
+        &client,
+        EngineRequest::Command {
+            request: CommandRequest::new(
+                1,
+                SessionCommand::Customize(CustomizationOp::Remove {
+                    ci_index: 0,
+                    poi: victim,
+                }),
+            ),
+        },
+    );
+    assert!(
+        body.contains("\"Ok\""),
+        "warm customize must succeed: {body}"
+    );
+    statuses.push(("POST Command(Customize)", status));
+
+    // Stats over both routes.
+    let (status, body) = client.http("GET", "/stats", None).unwrap();
+    assert!(body.contains("\"fcm_trainings\""));
+    statuses.push(("GET /stats", status));
+    let (status, _) = post_engine(&client, EngineRequest::Stats);
+    statuses.push(("POST Stats", status));
+
+    for (what, status) in statuses {
+        assert!(
+            status < 500,
+            "{what} answered {status}; the smoke gate is non-5xx"
+        );
+        assert_eq!(status, 200, "{what} should in fact be a clean 200");
+    }
+    server.stop();
+}

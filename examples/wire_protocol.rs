@@ -1,0 +1,180 @@
+//! The versioned wire protocol, end to end: boot the HTTP/JSON front-end
+//! on an ephemeral port, register a city over the wire, run a group's
+//! interactive session through `POST /v1/engine`, snapshot it, resume it,
+//! and read the serving counters back — everything a network client can
+//! do, over real sockets.
+//!
+//! Run with: `cargo run --release --example wire_protocol`
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineRequest, EngineResponse, SessionCommand,
+};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{RunningServer, ServerConfig};
+use std::sync::Arc;
+
+fn expect_command(response: EngineResponse) -> grouptravel_engine::CommandResponse {
+    match response {
+        EngineResponse::Command { response } => response,
+        other => panic!("expected a command response, got {}", other.kind()),
+    }
+}
+
+fn main() {
+    // 1. Boot: an empty engine behind the HTTP front-end.
+    let server = RunningServer::start(
+        Arc::new(Engine::new(EngineConfig::fast())),
+        ServerConfig::default(),
+    )
+    .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+    println!("server listening on http://{}", server.addr());
+
+    let (status, body) = client.http("GET", "/healthz", None).unwrap();
+    println!("GET /healthz            -> {status} {body}");
+
+    // 2. Register a synthetic Paris catalog over the wire. The catalog
+    //    travels as JSON; the engine rebuilds its indexes, trains the LDA
+    //    vectorizer, and primes the spatial grids.
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
+    match client
+        .request(EngineRequest::RegisterCatalog {
+            catalog: Box::new(catalog),
+        })
+        .unwrap()
+    {
+        EngineResponse::Registered { outcome } => {
+            let info = outcome.expect("registration succeeds");
+            println!(
+                "RegisterCatalog         -> city={} fingerprint={:#018x} lda_trained={}",
+                info.city, info.fingerprint, info.lda_trained
+            );
+        }
+        other => panic!("expected Registered, got {}", other.kind()),
+    }
+
+    // 3. A group's interactive session, every step one POST.
+    let schema = server.engine().profile_schema("Paris").unwrap();
+    let group =
+        SyntheticGroupGenerator::new(schema, 3).group(GroupSize::Small, Uniformity::NonUniform);
+    let built = expect_command(
+        client
+            .request(EngineRequest::Command {
+                request: CommandRequest::new(
+                    1,
+                    SessionCommand::build_for_group(
+                        "Paris",
+                        group.clone(),
+                        ConsensusMethod::pairwise_disagreement(),
+                        GroupQuery::paper_default(),
+                        BuildConfig::default(),
+                    ),
+                ),
+            })
+            .unwrap(),
+    );
+    let package = built.package().expect("build succeeds").clone();
+    println!(
+        "Command(Build)          -> step={} cis={} cold={}",
+        built.step,
+        package.len(),
+        !built.clustering_cache_hit
+    );
+
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    let customized = expect_command(
+        client
+            .request(EngineRequest::Command {
+                request: CommandRequest::from_member(
+                    1,
+                    group.members()[0].user_id,
+                    SessionCommand::Customize(CustomizationOp::Remove {
+                        ci_index: 0,
+                        poi: victim,
+                    }),
+                ),
+            })
+            .unwrap(),
+    );
+    println!(
+        "Command(Customize)      -> step={} removed {victim}",
+        customized.step
+    );
+
+    let refined = expect_command(
+        client
+            .request(EngineRequest::Command {
+                request: CommandRequest::new(
+                    1,
+                    SessionCommand::Refine(RefinementStrategy::Individual),
+                ),
+            })
+            .unwrap(),
+    );
+    println!(
+        "Command(Refine)         -> step={} refined={}",
+        refined.step,
+        refined.refined_profile().is_some()
+    );
+
+    // 4. Snapshot the session, end it, resume it — the persistence path.
+    let snapshot = match client
+        .request(EngineRequest::ExportSession { session_id: 1 })
+        .unwrap()
+    {
+        EngineResponse::Session { outcome } => outcome.expect("session exists"),
+        other => panic!("expected Session, got {}", other.kind()),
+    };
+    println!(
+        "ExportSession           -> v={} steps={} packages={}",
+        snapshot.v, snapshot.state.steps, snapshot.state.packages_served
+    );
+    expect_command(
+        client
+            .request(EngineRequest::Command {
+                request: CommandRequest::new(1, SessionCommand::End),
+            })
+            .unwrap(),
+    );
+    match client
+        .request(EngineRequest::ImportSession { snapshot })
+        .unwrap()
+    {
+        EngineResponse::Imported { outcome } => {
+            let info = outcome.expect("import succeeds");
+            println!(
+                "ImportSession           -> session {} resumed in {} (replaced={})",
+                info.session_id, info.city, info.replaced
+            );
+        }
+        other => panic!("expected Imported, got {}", other.kind()),
+    }
+    let resumed = expect_command(
+        client
+            .request(EngineRequest::Command {
+                request: CommandRequest::new(
+                    1,
+                    SessionCommand::rebuild(
+                        "Paris",
+                        GroupQuery::paper_default(),
+                        BuildConfig::default(),
+                    ),
+                ),
+            })
+            .unwrap(),
+    );
+    println!(
+        "Command(Rebuild)        -> step={} warm={}",
+        resumed.step, resumed.clustering_cache_hit
+    );
+    assert!(resumed.clustering_cache_hit, "resumed rebuild must be warm");
+
+    // 5. The counters, over the convenience route.
+    let (status, body) = client.http("GET", "/stats", None).unwrap();
+    println!("GET /stats              -> {status} {body}");
+
+    server.stop();
+    println!("server stopped cleanly");
+}

@@ -122,6 +122,78 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+/// `Result` uses serde's externally-tagged representation:
+/// `{"Ok": value}` / `{"Err": error}`.
+impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
+    fn to_value(&self) -> Value {
+        match self {
+            Ok(value) => Value::Object(vec![("Ok".to_string(), value.to_value())]),
+            Err(error) => Value::Object(vec![("Err".to_string(), error.to_value())]),
+        }
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .filter(|entries| entries.len() == 1)
+            .ok_or_else(|| {
+                DeError::custom(format!("Result: expected single-key object, got {v:?}"))
+            })?;
+        let (tag, inner) = &entries[0];
+        match tag.as_str() {
+            "Ok" => T::from_value(inner).map(Ok),
+            "Err" => E::from_value(inner).map(Err),
+            other => Err(DeError::custom(format!(
+                "Result: expected `Ok` or `Err`, got `{other}`"
+            ))),
+        }
+    }
+}
+
+/// `Duration` round-trips as `{"secs": u64, "nanos": u32}` — exact, like
+/// real serde's representation.
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::UInt(self.as_secs())),
+            (
+                "nanos".to_string(),
+                Value::UInt(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::custom(format!("Duration: expected object, got {v:?}")))?;
+        let secs: u64 = field(obj, "secs", "Duration")?;
+        let nanos: u32 = field(obj, "nanos", "Duration")?;
+        if nanos >= 1_000_000_000 {
+            return Err(DeError::custom(format!(
+                "Duration: nanos {nanos} out of range"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
@@ -397,6 +469,31 @@ mod tests {
         assert_eq!(Option::<f64>::from_value(&opt.to_value()).unwrap(), None);
         let pair = ("x".to_string(), 9u64);
         assert_eq!(<(String, u64)>::from_value(&pair.to_value()).unwrap(), pair);
+    }
+
+    #[test]
+    fn box_result_duration_round_trip() {
+        let boxed = Box::new(7u64);
+        assert_eq!(Box::<u64>::from_value(&boxed.to_value()).unwrap(), boxed);
+
+        let ok: Result<u64, String> = Ok(3);
+        let err: Result<u64, String> = Err("boom".to_string());
+        assert_eq!(
+            Result::<u64, String>::from_value(&ok.to_value()).unwrap(),
+            ok
+        );
+        assert_eq!(
+            Result::<u64, String>::from_value(&err.to_value()).unwrap(),
+            err
+        );
+
+        let d = std::time::Duration::new(3, 999_999_999);
+        assert_eq!(std::time::Duration::from_value(&d.to_value()).unwrap(), d);
+        let bad = Value::Object(vec![
+            ("secs".to_string(), Value::UInt(0)),
+            ("nanos".to_string(), Value::UInt(1_000_000_000)),
+        ]);
+        assert!(std::time::Duration::from_value(&bad).is_err());
     }
 
     #[test]
