@@ -1,0 +1,109 @@
+//! Measures what the observability spine costs on the hot path: warm
+//! one-shot build throughput with metrics enabled (the default) vs. the
+//! no-op registry (`metrics_enabled: false`) — same catalog, same warm
+//! model substrate, so the delta is exactly the metric recording, span
+//! timers, and slow-log comparisons.
+//!
+//! The two modes are measured in interleaved rounds and each mode keeps
+//! its best round (peak throughput is far more stable than the mean under
+//! scheduler noise). The spine's budget is <5% overhead; the measured
+//! number lands in `BENCH_obs.json` (first CLI argument overrides the
+//! output path). Run with `cargo run --release -p grouptravel-bench --bin
+//! obs_overhead_report`. `GT_OBS_SMOKE=1` shrinks the request counts to a
+//! CI-sized smoke run.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{Engine, EngineConfig, PackageRequest};
+use std::time::Instant;
+
+fn paris_catalog() -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(97)).generate()
+}
+
+fn request_for(engine: &Engine, session_id: u64) -> PackageRequest {
+    let schema = engine.profile_schema("Paris").expect("Paris registered");
+    let profile = SyntheticGroupGenerator::new(schema, session_id)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    PackageRequest {
+        session_id,
+        city: "Paris".to_string(),
+        profile,
+        query: GroupQuery::paper_default(),
+        config: BuildConfig {
+            seed: 42,
+            ..BuildConfig::default()
+        },
+    }
+}
+
+fn warm_engine(metrics_enabled: bool) -> Engine {
+    let engine = Engine::new(EngineConfig {
+        metrics_enabled,
+        ..EngineConfig::fast()
+    });
+    engine.register_catalog(paris_catalog()).unwrap();
+    // One build trains FCM + LDA; everything measured after is warm.
+    let response = engine.serve(&request_for(&engine, 1));
+    assert!(response.outcome.is_ok());
+    engine
+}
+
+/// Serves `n` warm one-shot requests sequentially, returns requests/sec.
+fn measure_round(engine: &Engine, base_session: u64, n: u64) -> f64 {
+    let start = Instant::now();
+    for i in 0..n {
+        let response = engine.serve(&request_for(engine, base_session + i));
+        assert!(response.outcome.is_ok());
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs.json".to_string());
+    let smoke = std::env::var("GT_OBS_SMOKE").is_ok();
+    let warm_requests: u64 = if smoke { 32 } else { 1_500 };
+    let rounds: u64 = if smoke { 2 } else { 5 };
+
+    let instrumented = warm_engine(true);
+    let baseline = warm_engine(false);
+    assert!(
+        baseline.metrics_registry().render_prometheus().is_empty(),
+        "the baseline must run against the no-op registry"
+    );
+
+    let mut best_on: f64 = 0.0;
+    let mut best_off: f64 = 0.0;
+    for round in 0..rounds {
+        let base = 10_000 + round * 2 * warm_requests;
+        let on = measure_round(&instrumented, base, warm_requests);
+        let off = measure_round(&baseline, base + warm_requests, warm_requests);
+        eprintln!("round {round}: metrics on {on:.0} req/s, off {off:.0} req/s");
+        best_on = best_on.max(on);
+        best_off = best_off.max(off);
+    }
+    let overhead_percent = (1.0 - best_on / best_off) * 100.0;
+
+    // Sanity: the instrumented engine really recorded what it served.
+    let stats = instrumented.stats();
+    assert_eq!(stats.build_latency.count, stats.requests);
+    let scrape_bytes = instrumented.metrics_registry().render_prometheus().len();
+    assert!(scrape_bytes > 0);
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"mode\": \"{}\",\n  \
+         \"warm_requests_per_round\": {warm_requests},\n  \"rounds\": {rounds},\n  \
+         \"metrics_on_rps\": {best_on:.1},\n  \"metrics_off_rps\": {best_off:.1},\n  \
+         \"overhead_percent\": {overhead_percent:.2},\n  \"budget_percent\": 5.0,\n  \
+         \"requests_recorded\": {},\n  \"scrape_bytes\": {scrape_bytes}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        stats.requests,
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_obs.json");
+    eprintln!(
+        "wrote {out_path}: overhead {overhead_percent:.2}% \
+         (budget 5%, on {best_on:.0} vs off {best_off:.0} req/s)"
+    );
+}

@@ -21,10 +21,11 @@
 //! small map (tens of entries — one per city × configuration in use).
 
 use grouptravel_geo::GeoPoint;
+use grouptravel_obs::Counter;
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Cache key of model artifacts: `(catalog fingerprint, config cache key)`.
 pub type ModelKey = (u64, u64);
@@ -61,6 +62,10 @@ pub struct LruCache<K, V> {
     /// training once ([`LruCache::get_or_train`]).
     inflight: Mutex<HashSet<K>>,
     inflight_done: Condvar,
+    /// Optional eviction counter, attached once by the owner
+    /// ([`LruCache::on_evict`]); bumped every time a full cache drops its
+    /// least-recently-used entry.
+    evictions: OnceLock<Arc<Counter>>,
 }
 
 impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
@@ -75,7 +80,14 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
             misses: AtomicU64::new(0),
             inflight: Mutex::new(HashSet::new()),
             inflight_done: Condvar::new(),
+            evictions: OnceLock::new(),
         }
+    }
+
+    /// Attaches a counter that tracks evictions. Only the first attachment
+    /// takes effect (the cache outlives any one metrics registry handle).
+    pub fn on_evict(&self, counter: Arc<Counter>) {
+        let _ = self.evictions.set(counter);
     }
 
     /// The cached value for `key`, or the result of running `train` —
@@ -182,6 +194,9 @@ impl<K: Eq + Hash + Copy, V> LruCache<K, V> {
                 .map(|(k, _)| *k)
             {
                 slots.remove(&oldest);
+                if let Some(counter) = self.evictions.get() {
+                    counter.inc();
+                }
             }
         }
         let value = Arc::new(value);

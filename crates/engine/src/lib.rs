@@ -49,6 +49,7 @@
 
 pub mod cache;
 pub mod interactive;
+pub mod observe;
 pub mod protocol;
 pub mod provider;
 pub mod registry;
@@ -56,7 +57,11 @@ pub mod store;
 
 pub use cache::{CacheOutcome, ClusteringCache, LruCache, ModelKey};
 pub use grouptravel_dataset::CategoryGrid;
+pub use grouptravel_obs::{
+    LatencySummary, MetricsRegistry, SlowEntry, SlowLog, TraceReport, TraceStage,
+};
 pub use interactive::{BuildSpec, CommandOutcome, CommandRequest, CommandResponse, SessionCommand};
+pub use observe::EngineMetrics;
 pub use protocol::{
     CatalogInfo, EngineRequest, EngineResponse, ImportInfo, ProtocolError, RequestEnvelope,
     ResponseEnvelope, SessionSnapshot, PROTOCOL_VERSION, SNAPSHOT_VERSION,
@@ -71,12 +76,14 @@ use grouptravel::{
 };
 use grouptravel_dataset::PoiCatalog;
 use grouptravel_geo::DistanceMetric;
+use grouptravel_obs::span;
 use grouptravel_profile::{GroupProfile, ProfileSchema};
 use grouptravel_topics::LdaConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors surfaced per request by the engine.
@@ -166,6 +173,14 @@ pub struct EngineConfig {
     pub worker_threads: usize,
     /// Maximum tracked sessions; past it the stalest sessions are evicted.
     pub max_sessions: usize,
+    /// Whether the engine records metrics, traces, and the slow log.
+    /// `false` swaps in no-op handles — the overhead-benchmark baseline.
+    pub metrics_enabled: bool,
+    /// Requests at least this slow land in the structured slow-request
+    /// log (`Duration::ZERO` logs everything; see [`Engine::slow_log`]).
+    pub slow_log_threshold: Duration,
+    /// How many slow requests the log's ring retains.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -183,6 +198,9 @@ impl Default for EngineConfig {
                 .map_or(4, std::num::NonZeroUsize::get)
                 .min(8),
             max_sessions: SessionStore::DEFAULT_CAPACITY,
+            metrics_enabled: true,
+            slow_log_threshold: Duration::from_millis(250),
+            slow_log_capacity: 128,
         }
     }
 }
@@ -289,6 +307,15 @@ pub struct EngineStats {
     pub lda_trainings: u64,
     /// Per-kind interactive-command counters.
     pub commands: CommandStats,
+    /// Quantile summary of dispatch latency across every request variant
+    /// (merged from the per-variant histograms; zeroed when metrics are
+    /// disabled).
+    pub dispatch_latency: LatencySummary,
+    /// Quantile summary of one-shot build latency.
+    pub build_latency: LatencySummary,
+    /// Quantile summary of interactive-command latency across every
+    /// command kind.
+    pub command_latency: LatencySummary,
 }
 
 #[derive(Default)]
@@ -312,17 +339,33 @@ pub struct Engine {
     clusterings: ClusteringCache,
     sessions: SessionStore,
     stats: StatCounters,
+    metrics: EngineMetrics,
+    slow_log: SlowLog,
 }
 
 impl Engine {
     /// Creates an engine with the given configuration.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
+        let metrics_registry = Arc::new(if config.metrics_enabled {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
+        let metrics = EngineMetrics::new(metrics_registry);
+        let registry = EngineCatalogRegistry::new();
+        registry.attach_metrics(metrics.registry_metrics());
+        let clusterings = ClusteringCache::new(config.model_cache_capacity);
+        clusterings.on_evict(Arc::clone(&metrics.clustering.eviction));
+        let sessions = SessionStore::with_capacity(config.max_sessions);
+        sessions.attach_metrics(metrics.store_metrics());
         Self {
-            registry: EngineCatalogRegistry::new(),
-            clusterings: ClusteringCache::new(config.model_cache_capacity),
-            sessions: SessionStore::with_capacity(config.max_sessions),
+            registry,
+            clusterings,
+            sessions,
             stats: StatCounters::default(),
+            metrics,
+            slow_log: SlowLog::new(config.slow_log_threshold, config.slow_log_capacity),
             config,
         }
     }
@@ -437,16 +480,51 @@ impl Engine {
         &self.clusterings
     }
 
+    /// The engine's metric handles (the registry behind them is what
+    /// `GET /metrics` renders).
+    #[must_use]
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// The metric registry every engine series is registered in. The HTTP
+    /// layer renders this for `GET /metrics` and registers its own series
+    /// here so one scrape covers the whole process.
+    #[must_use]
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        self.metrics.registry()
+    }
+
+    /// The structured slow-request log (`GET /slowlog` renders it as JSON
+    /// lines).
+    #[must_use]
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
     /// The profile schema group profiles must use with a city.
     #[must_use]
     pub fn profile_schema(&self, city: &str) -> Option<ProfileSchema> {
         self.registry.get(city).map(|e| e.vectorizer().schema())
     }
 
-    /// Aggregate serving counters.
+    /// Aggregate serving counters, including quantile summaries of the
+    /// dispatch, build, and command latency histograms (the same data
+    /// `GET /metrics` exposes, in wire-friendly form).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
+        let mut dispatch = grouptravel_obs::HistogramSnapshot::empty();
+        for histogram in &self.metrics.dispatch {
+            dispatch.merge(&histogram.snapshot());
+        }
+        let mut command = grouptravel_obs::HistogramSnapshot::empty();
+        for histogram in &self.metrics.command_latency {
+            command.merge(&histogram.snapshot());
+        }
         EngineStats {
+            dispatch_latency: dispatch.summary(),
+            build_latency: self.metrics.build_latency.snapshot().summary(),
+            command_latency: command.summary(),
             requests: self.stats.requests.load(Ordering::Relaxed),
             clustering_cache_hits: self.stats.clustering_cache_hits.load(Ordering::Relaxed),
             fcm_trainings: self.stats.fcm_trainings.load(Ordering::Relaxed),
@@ -471,7 +549,16 @@ impl Engine {
     ///
     /// Single-item requests route through the batch paths internally, so
     /// latency and stats accounting exists exactly once.
+    ///
+    /// Every dispatch records its latency on the per-variant
+    /// `gt_dispatch_latency_seconds` histogram; under an active trace the
+    /// same span lands on the stage timeline as `dispatch.<kind>`.
     pub fn dispatch(&self, request: EngineRequest) -> EngineResponse {
+        let slot = observe::dispatch_slot(&request);
+        let _timed = grouptravel_obs::Span::start(
+            observe::DISPATCH_VARIANTS[slot].1,
+            Some(&*self.metrics.dispatch[slot]),
+        );
         match request {
             EngineRequest::Build { request } => {
                 let response = self
@@ -513,6 +600,21 @@ impl Engine {
             EngineRequest::Stats => EngineResponse::Stats {
                 stats: self.stats(),
             },
+            EngineRequest::Trace { request } => {
+                // Single requests serve inline on this thread (one-element
+                // batches take the inline path), so a thread-local trace
+                // captures the whole dispatch. Nested traces refuse to
+                // open (`begin` yields `None`) and report an empty
+                // timeline rather than corrupting the outer trace.
+                let guard = grouptravel_obs::trace::begin(64);
+                let response = self.dispatch(*request);
+                let trace =
+                    guard.map_or_else(TraceReport::default, grouptravel_obs::TraceGuard::finish);
+                EngineResponse::Traced {
+                    response: Box::new(response),
+                    trace,
+                }
+            }
         }
     }
 
@@ -545,9 +647,22 @@ impl Engine {
     /// of the protocol land here).
     fn serve_one(&self, request: &PackageRequest) -> PackageResponse {
         let start = Instant::now();
-        let (outcome, cache_hit) = self.build(request);
+        let (outcome, cache_hit) = {
+            let _timed = span!("request.build");
+            self.build(request)
+        };
         let latency = start.elapsed();
 
+        self.metrics.build_latency.record_duration(latency);
+        if self.slow_log.observe(
+            "build",
+            request.session_id,
+            &request.city,
+            latency,
+            outcome.is_ok(),
+        ) {
+            self.metrics.slow_requests.inc();
+        }
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         if cache_hit {
             self.stats
@@ -642,8 +757,11 @@ impl Engine {
         // one full FCM training each and churn warm entries out of the LRU.
         // This also keeps error variants identical to the core path (e.g.
         // ZeroCompositeItems for k = 0, not a clustering error).
-        if let Err(e) = builder.validate(query, &config) {
-            return (Err(e.into()), false);
+        {
+            let _timed = span!("build.validate");
+            if let Err(e) = builder.validate(query, &config) {
+                return (Err(e.into()), false);
+            }
         }
 
         let fcm_config = builder.fcm_config(&config);
@@ -655,16 +773,29 @@ impl Engine {
         // all a build consumes, and the n × k membership matrix would
         // dominate cache memory at large catalog scale.
         let trained = self.clusterings.get_or_train(key, || {
-            builder.cluster(&config).map(|fresh| fresh.centroids)
+            let _timed = span!("fcm.train", &self.metrics.fcm_train);
+            builder.cluster(&config).map(|fresh| {
+                self.metrics
+                    .fcm_sweeps
+                    .add(u64::try_from(fresh.iterations).unwrap_or(u64::MAX));
+                fresh.centroids
+            })
         });
         let (clustering, cache_hit) = match trained {
             Ok((cached, CacheOutcome::Trained)) => {
+                self.metrics.clustering.miss.inc();
                 self.stats.fcm_trainings.fetch_add(1, Ordering::Relaxed);
                 (cached, false)
             }
             // A coalesced wait is a cache hit from the requester's view:
             // its build consumed a model someone else trained.
-            Ok((cached, _)) => (cached, true),
+            Ok((cached, outcome)) => {
+                match outcome {
+                    CacheOutcome::Coalesced => self.metrics.clustering.coalesced_wait.inc(),
+                    _ => self.metrics.clustering.hit.inc(),
+                }
+                (cached, true)
+            }
             Err(e) => return (Err(e.into()), false),
         };
 
@@ -673,16 +804,20 @@ impl Engine {
             self.config.min_candidate_pool,
             self.config.candidate_oversample,
             self.config.metric,
-        );
-        let outcome = builder
-            .build_with(
-                &provider,
-                Some(clustering.as_slice()),
-                profile,
-                query,
-                &config,
-            )
-            .map_err(EngineError::from);
+        )
+        .with_widen_counters(&self.metrics.widen);
+        let outcome = {
+            let _timed = span!("build.assemble");
+            builder
+                .build_with(
+                    &provider,
+                    Some(clustering.as_slice()),
+                    profile,
+                    query,
+                    &config,
+                )
+                .map_err(EngineError::from)
+        };
         (outcome, cache_hit)
     }
 
@@ -702,9 +837,24 @@ impl Engine {
     /// latency and stats bookkeeping happens (both the single and the
     /// batch route of the protocol land here).
     fn serve_command_one(&self, request: &CommandRequest) -> CommandResponse {
+        let (kind_slot, span_name) = observe::command_slot(&request.command);
         let start = Instant::now();
-        let (outcome, cache_hit, step, city) = self.execute_command(request, start);
+        let (outcome, cache_hit, step, city) = {
+            let _timed = grouptravel_obs::Span::start(span_name, None);
+            self.execute_command(request, start)
+        };
         let latency = start.elapsed();
+
+        self.metrics.command_latency[kind_slot].record_duration(latency);
+        if self.slow_log.observe(
+            span_name,
+            request.session_id,
+            &city,
+            latency,
+            outcome.is_ok(),
+        ) {
+            self.metrics.slow_requests.inc();
+        }
 
         let counter = match &request.command {
             SessionCommand::Build(_) => &self.stats.cmd_builds,
@@ -909,7 +1059,8 @@ impl Engine {
                         self.config.min_candidate_pool,
                         self.config.candidate_oversample,
                         self.config.metric,
-                    );
+                    )
+                    .with_widen_counters(&self.metrics.widen);
                     let applied = apply_op(
                         entry.catalog(),
                         entry.vectorizer(),

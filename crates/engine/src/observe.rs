@@ -1,0 +1,306 @@
+//! The engine's metric catalog: every counter, gauge, and histogram the
+//! engine records, registered once at construction against one
+//! [`MetricsRegistry`] and handed out as `Arc` handles the hot paths
+//! touch lock-free.
+//!
+//! Naming follows the Prometheus conventions: `gt_` prefix, `_total`
+//! suffix on counters, `_seconds` on latency histograms (recorded in
+//! nanoseconds, rendered in seconds). The full catalog:
+//!
+//! | series | kind | labels |
+//! |---|---|---|
+//! | `gt_dispatch_latency_seconds` | histogram | `variant` (request kind) |
+//! | `gt_build_latency_seconds` | histogram | — |
+//! | `gt_command_latency_seconds` | histogram | `kind` (command kind) |
+//! | `gt_model_cache_events_total` | counter | `cache`, `event` |
+//! | `gt_fcm_train_seconds` | histogram | — |
+//! | `gt_fcm_sweeps_total` | counter | — |
+//! | `gt_lda_train_seconds` | histogram | — |
+//! | `gt_lda_sweeps_total` | counter | — |
+//! | `gt_widen_escalations_total` | counter | `category` |
+//! | `gt_sessions_open` | gauge | — |
+//! | `gt_session_evictions_total` | counter | — |
+//! | `gt_session_busy_skips_total` | counter | — |
+//! | `gt_slow_requests_total` | counter | — |
+//!
+//! `gt_model_cache_events_total{cache=…}` covers both model caches
+//! (`"clustering"` centroids, `"vectorizer"` LDA models) with events
+//! `hit` / `miss` / `coalesced_wait` / `eviction`. By construction,
+//! `hit + coalesced_wait` for the clustering cache equals
+//! [`EngineStats::clustering_cache_hits`](crate::EngineStats) and `miss`
+//! equals `fcm_trainings` — the scrape surface and the stats surface
+//! never disagree.
+
+use crate::protocol::EngineRequest;
+use grouptravel_dataset::Category;
+use grouptravel_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
+
+/// `(request kind, dispatch stage name)` per [`EngineRequest`] variant, in
+/// [`dispatch_slot`] order. The stage name doubles as the span name a
+/// traced request reports for its dispatch stage.
+pub(crate) const DISPATCH_VARIANTS: [(&str, &str); 9] = [
+    ("build", "dispatch.build"),
+    ("batch", "dispatch.batch"),
+    ("command", "dispatch.command"),
+    ("command-batch", "dispatch.command-batch"),
+    ("register-catalog", "dispatch.register-catalog"),
+    ("export-session", "dispatch.export-session"),
+    ("import-session", "dispatch.import-session"),
+    ("stats", "dispatch.stats"),
+    ("trace", "dispatch.trace"),
+];
+
+/// `(command kind, slow-log / span name)` per
+/// [`SessionCommand`](crate::SessionCommand) kind, in
+/// [`command_slot`] order.
+pub(crate) const COMMAND_VARIANTS: [(&str, &str); 5] = [
+    ("build", "command.build"),
+    ("customize", "command.customize"),
+    ("refine", "command.refine"),
+    ("suggest-replacement", "command.suggest-replacement"),
+    ("end", "command.end"),
+];
+
+/// The `(histogram slot, span/slow-log name)` for a command kind.
+pub(crate) fn command_slot(command: &crate::SessionCommand) -> (usize, &'static str) {
+    let kind = command.kind();
+    let slot = COMMAND_VARIANTS
+        .iter()
+        .position(|(k, _)| *k == kind)
+        .expect("every SessionCommand kind has a command slot");
+    (slot, COMMAND_VARIANTS[slot].1)
+}
+
+/// The histogram slot for a request variant.
+pub(crate) fn dispatch_slot(request: &EngineRequest) -> usize {
+    let kind = request.kind();
+    DISPATCH_VARIANTS
+        .iter()
+        .position(|(k, _)| *k == kind)
+        .expect("every EngineRequest kind has a dispatch slot")
+}
+
+/// The per-kind counters of one model cache on the shared
+/// `gt_model_cache_events_total` family.
+pub(crate) struct CacheEvents {
+    pub hit: Arc<Counter>,
+    pub miss: Arc<Counter>,
+    pub coalesced_wait: Arc<Counter>,
+    pub eviction: Arc<Counter>,
+}
+
+impl CacheEvents {
+    fn register(registry: &MetricsRegistry, cache: &'static str) -> Self {
+        let help = "Model cache events by cache and event kind.";
+        let event = |event: &str| {
+            registry.counter(
+                "gt_model_cache_events_total",
+                help,
+                &[("cache", cache), ("event", event)],
+            )
+        };
+        CacheEvents {
+            hit: event("hit"),
+            miss: event("miss"),
+            coalesced_wait: event("coalesced_wait"),
+            eviction: event("eviction"),
+        }
+    }
+}
+
+/// Session-store instrumentation, attached to the
+/// [`SessionStore`](crate::SessionStore) at engine construction.
+pub(crate) struct StoreMetrics {
+    /// Sessions currently tracked (set after every len-changing write).
+    pub open: Arc<Gauge>,
+    /// Sessions evicted for staleness.
+    pub evictions: Arc<Counter>,
+    /// Sessions an eviction sweep skipped because a worker held them.
+    pub busy_skips: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        StoreMetrics {
+            open: registry.gauge("gt_sessions_open", "Sessions currently tracked.", &[]),
+            evictions: registry.counter(
+                "gt_session_evictions_total",
+                "Sessions evicted for staleness.",
+                &[],
+            ),
+            busy_skips: registry.counter(
+                "gt_session_busy_skips_total",
+                "Busy sessions skipped by eviction sweeps.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Catalog-registry instrumentation: the vectorizer cache's events and
+/// LDA training cost, attached to the
+/// [`EngineCatalogRegistry`](crate::EngineCatalogRegistry) at engine
+/// construction.
+pub(crate) struct RegistryMetrics {
+    pub vectorizer: CacheEvents,
+    pub lda_train: Arc<Histogram>,
+    pub lda_sweeps: Arc<Counter>,
+}
+
+impl RegistryMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        RegistryMetrics {
+            vectorizer: CacheEvents::register(registry, "vectorizer"),
+            lda_train: registry.histogram(
+                "gt_lda_train_seconds",
+                "LDA vectorizer training duration.",
+                &[],
+            ),
+            lda_sweeps: registry.counter(
+                "gt_lda_sweeps_total",
+                "Gibbs sweeps run by LDA trainings.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Every metric handle the engine itself records into. Constructed live
+/// or against a disabled registry (then every handle is a no-op and
+/// recording costs one branch).
+pub struct EngineMetrics {
+    registry: Arc<MetricsRegistry>,
+    /// Per-variant dispatch latency, indexed by [`dispatch_slot`].
+    pub(crate) dispatch: [Arc<Histogram>; DISPATCH_VARIANTS.len()],
+    /// One-shot build latency (the `serve_one` accounting point).
+    pub(crate) build_latency: Arc<Histogram>,
+    /// Interactive command latency, indexed by command kind
+    /// ([`COMMAND_VARIANTS`] order).
+    pub(crate) command_latency: [Arc<Histogram>; COMMAND_VARIANTS.len()],
+    /// Clustering (centroid) cache events.
+    pub(crate) clustering: CacheEvents,
+    /// Fuzzy-c-means training duration.
+    pub(crate) fcm_train: Arc<Histogram>,
+    /// Iterations run by FCM trainings.
+    pub(crate) fcm_sweeps: Arc<Counter>,
+    /// Candidate-pool widen escalations, indexed by [`Category::index`].
+    pub(crate) widen: [Arc<Counter>; 4],
+    /// Requests that crossed the slow-log threshold.
+    pub(crate) slow_requests: Arc<Counter>,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(registry: Arc<MetricsRegistry>) -> Self {
+        let dispatch = DISPATCH_VARIANTS.map(|(kind, _)| {
+            registry.histogram(
+                "gt_dispatch_latency_seconds",
+                "Engine dispatch latency by request variant.",
+                &[("variant", kind)],
+            )
+        });
+        let command_latency = COMMAND_VARIANTS.map(|(kind, _)| {
+            registry.histogram(
+                "gt_command_latency_seconds",
+                "Interactive command latency by command kind.",
+                &[("kind", kind)],
+            )
+        });
+        let widen = Category::ALL.map(|category| {
+            registry.counter(
+                "gt_widen_escalations_total",
+                "Candidate-pool widen escalations by category.",
+                &[("category", category.short_name())],
+            )
+        });
+        let build_latency = registry.histogram(
+            "gt_build_latency_seconds",
+            "One-shot package build latency.",
+            &[],
+        );
+        let clustering = CacheEvents::register(&registry, "clustering");
+        let fcm_train = registry.histogram(
+            "gt_fcm_train_seconds",
+            "Fuzzy-c-means training duration.",
+            &[],
+        );
+        let fcm_sweeps = registry.counter(
+            "gt_fcm_sweeps_total",
+            "Iterations run by fuzzy-c-means trainings.",
+            &[],
+        );
+        let slow_requests = registry.counter(
+            "gt_slow_requests_total",
+            "Requests recorded by the slow-request log.",
+            &[],
+        );
+        EngineMetrics {
+            registry,
+            dispatch,
+            build_latency,
+            command_latency,
+            clustering,
+            fcm_train,
+            fcm_sweeps,
+            widen,
+            slow_requests,
+        }
+    }
+
+    /// The registry all engine metrics live in — what `GET /metrics`
+    /// renders, and where the HTTP layer registers its own series.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    pub(crate) fn store_metrics(&self) -> StoreMetrics {
+        StoreMetrics::register(&self.registry)
+    }
+
+    pub(crate) fn registry_metrics(&self) -> RegistryMetrics {
+        RegistryMetrics::register(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_kind_has_a_dispatch_slot() {
+        use crate::protocol::EngineRequest;
+        let requests = [
+            EngineRequest::Stats,
+            EngineRequest::ExportSession { session_id: 1 },
+            EngineRequest::Trace {
+                request: Box::new(EngineRequest::Stats),
+            },
+        ];
+        for request in &requests {
+            let slot = dispatch_slot(request);
+            assert_eq!(DISPATCH_VARIANTS[slot].0, request.kind());
+        }
+    }
+
+    #[test]
+    fn the_catalog_registers_without_kind_clashes() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = EngineMetrics::new(Arc::clone(&registry));
+        let _store = metrics.store_metrics();
+        let _reg = metrics.registry_metrics();
+        metrics.clustering.hit.inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains("gt_model_cache_events_total{cache=\"clustering\",event=\"hit\"} 1"));
+        assert!(text.contains("# TYPE gt_dispatch_latency_seconds histogram"));
+        assert!(text.contains("gt_widen_escalations_total{category=\"acco\"} 0"));
+    }
+
+    #[test]
+    fn disabled_metrics_render_nothing() {
+        let registry = Arc::new(MetricsRegistry::disabled());
+        let metrics = EngineMetrics::new(Arc::clone(&registry));
+        metrics.slow_requests.inc();
+        assert_eq!(registry.render_prometheus(), "");
+    }
+}

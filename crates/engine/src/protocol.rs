@@ -33,6 +33,7 @@ use crate::interactive::{CommandRequest, CommandResponse};
 use crate::store::{SessionId, SessionState};
 use crate::{EngineError, EngineStats, PackageRequest, PackageResponse};
 use grouptravel_dataset::PoiCatalog;
+use grouptravel_obs::TraceReport;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
@@ -199,6 +200,16 @@ pub enum EngineRequest {
     },
     /// Aggregate serving counters.
     Stats,
+    /// Serve the inner request with per-request tracing: the response is
+    /// [`EngineResponse::Traced`], carrying the inner response plus the
+    /// stage timeline the dispatch recorded. Tracing a `Trace` answers the
+    /// inner request untraced (traces do not nest). Adding this variant
+    /// did not bump [`PROTOCOL_VERSION`]: old servers reject unknown
+    /// variants as malformed, old clients simply never send it.
+    Trace {
+        /// The request to serve and trace.
+        request: Box<EngineRequest>,
+    },
 }
 
 impl EngineRequest {
@@ -214,6 +225,7 @@ impl EngineRequest {
             EngineRequest::ExportSession { .. } => "export-session",
             EngineRequest::ImportSession { .. } => "import-session",
             EngineRequest::Stats => "stats",
+            EngineRequest::Trace { .. } => "trace",
         }
     }
 }
@@ -264,6 +276,14 @@ pub enum EngineResponse {
         /// Aggregate serving counters since engine construction.
         stats: EngineStats,
     },
+    /// Answer to [`EngineRequest::Trace`]: the inner response plus the
+    /// stage timeline its dispatch recorded.
+    Traced {
+        /// The inner request's response.
+        response: Box<EngineResponse>,
+        /// The stages the dispatch ran through, in completion order.
+        trace: TraceReport,
+    },
     /// The request failed before reaching a serving path (bad version,
     /// malformed body, transport-level trouble).
     Error {
@@ -285,6 +305,7 @@ impl EngineResponse {
             EngineResponse::Session { .. } => "session",
             EngineResponse::Imported { .. } => "imported",
             EngineResponse::Stats { .. } => "stats",
+            EngineResponse::Traced { .. } => "traced",
             EngineResponse::Error { .. } => "error",
         }
     }

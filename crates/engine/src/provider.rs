@@ -18,6 +18,8 @@ use crate::registry::CityEntry;
 use grouptravel::CandidateProvider;
 use grouptravel_dataset::{Category, Poi, PoiCatalog};
 use grouptravel_geo::{DistanceMetric, GeoPoint};
+use grouptravel_obs::Counter;
+use std::sync::Arc;
 
 /// Candidate generation via the city's spatial grids.
 ///
@@ -38,6 +40,9 @@ pub struct GridCandidates<'e> {
     min_pool: usize,
     oversample: usize,
     metric: DistanceMetric,
+    /// Per-category widen-escalation counters ([`Category::index`] order),
+    /// attached by the engine via [`GridCandidates::with_widen_counters`].
+    widen_counters: Option<&'e [Arc<Counter>; 4]>,
 }
 
 impl<'e> GridCandidates<'e> {
@@ -55,7 +60,17 @@ impl<'e> GridCandidates<'e> {
             min_pool,
             oversample: oversample.max(1),
             metric,
+            widen_counters: None,
         }
+    }
+
+    /// Counts every [`CandidateProvider::widen`] escalation on the
+    /// per-category counters (the engine's
+    /// `gt_widen_escalations_total{category=…}` series).
+    #[must_use]
+    pub fn with_widen_counters(mut self, counters: &'e [Arc<Counter>; 4]) -> Self {
+        self.widen_counters = Some(counters);
+        self
     }
 
     /// The exact `pool_size`-nearest POIs of `category` around `centroid`,
@@ -119,6 +134,9 @@ impl CandidateProvider for GridCandidates<'_> {
             // Foreign catalogs already got the whole category; a pool that
             // covered the category cannot grow.
             return None;
+        }
+        if let Some(counters) = self.widen_counters {
+            counters[category.index()].inc();
         }
         Some(self.pool(
             catalog,

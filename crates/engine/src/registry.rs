@@ -16,11 +16,12 @@
 //! accumulating forever.
 
 use crate::cache::{CacheOutcome, LruCache};
+use crate::observe::RegistryMetrics;
 use grouptravel::{GroupTravelError, ItemVectorizer};
 use grouptravel_dataset::{Category, CategoryGrid, PoiCatalog};
 use grouptravel_topics::LdaConfig;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// A fully-prepared city: catalog (with primed spatial grids), fingerprint,
 /// warm vectorizer.
@@ -71,6 +72,9 @@ pub struct EngineCatalogRegistry {
     /// Warm LDA models: `(catalog fingerprint, LdaConfig::cache_key())` →
     /// trained vectorizer. Bounded so superseded catalog contents age out.
     vectorizers: LruCache<(u64, u64), ItemVectorizer>,
+    /// Training-cost / cache-event instrumentation, attached once by the
+    /// engine.
+    metrics: OnceLock<RegistryMetrics>,
 }
 
 impl Default for EngineCatalogRegistry {
@@ -97,7 +101,16 @@ impl EngineCatalogRegistry {
         Self {
             cities: RwLock::new(HashMap::new()),
             vectorizers: LruCache::new(capacity),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Attaches training/cache instrumentation. Only the first attachment
+    /// takes effect; it also hooks the vectorizer LRU's eviction counter.
+    pub(crate) fn attach_metrics(&self, metrics: RegistryMetrics) {
+        self.vectorizers
+            .on_evict(Arc::clone(&metrics.vectorizer.eviction));
+        let _ = self.metrics.set(metrics);
     }
 
     /// Registers a catalog under its city name, training the vectorizer if
@@ -123,10 +136,26 @@ impl EngineCatalogRegistry {
         // Single-flight training: concurrent registrations of identical
         // catalog content coalesce onto one LDA run (the same stampede
         // protection the clustering cache applies to cold builds).
-        let (vectorizer, outcome) = self
-            .vectorizers
-            .get_or_train(model_key, || ItemVectorizer::fit(&catalog, lda))?;
+        let (vectorizer, outcome) = self.vectorizers.get_or_train(model_key, || {
+            let _timed = grouptravel_obs::Span::start(
+                "lda.train",
+                self.metrics.get().map(|m| m.lda_train.as_ref()),
+            );
+            ItemVectorizer::fit(&catalog, lda)
+        })?;
         let trained = outcome == CacheOutcome::Trained;
+        if let Some(metrics) = self.metrics.get() {
+            match outcome {
+                CacheOutcome::Hit => metrics.vectorizer.hit.inc(),
+                CacheOutcome::Coalesced => metrics.vectorizer.coalesced_wait.inc(),
+                CacheOutcome::Trained => {
+                    metrics.vectorizer.miss.inc();
+                    metrics
+                        .lda_sweeps
+                        .add(u64::try_from(lda.iterations).unwrap_or(u64::MAX));
+                }
+            }
+        }
 
         // Prime the catalog's per-category grids now, off the request path:
         // every spatial query any request makes afterwards finds them built.

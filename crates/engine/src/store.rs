@@ -21,12 +21,14 @@
 //! checked out by a serving thread are never evicted mid-step; the map may
 //! transiently exceed its capacity while every slot is busy).
 
+use crate::observe::StoreMetrics;
 use grouptravel::{BuildConfig, GroupQuery, MemberInteractions, TravelPackage};
+use grouptravel_obs::LatencySummary;
 use grouptravel_profile::{ConsensusMethod, Group, GroupProfile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// Identifier of a group session.
@@ -73,6 +75,8 @@ pub struct SessionState {
     /// Per-member interactions accumulated since the last refinement.
     pub interactions: Vec<MemberInteractions>,
     /// Latency of the most recent steps (bounded ring, newest last).
+    /// Kept for snapshot compatibility and exact replay; prefer
+    /// [`SessionState::step_latency_summary`] for a quantile readout.
     pub step_latencies: Vec<Duration>,
 }
 
@@ -126,6 +130,20 @@ impl SessionState {
     pub fn pending_interactions(&self) -> usize {
         self.interactions.iter().map(|m| m.log.len()).sum()
     }
+
+    /// Quantile summary of the retained per-step latencies (exact — the
+    /// ring holds at most [`SessionState::MAX_STEP_LATENCIES`] values, so
+    /// this sorts rather than approximates).
+    #[must_use]
+    pub fn step_latency_summary(&self) -> LatencySummary {
+        let mut ns: Vec<u64> = self
+            .step_latencies
+            .iter()
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .collect();
+        ns.sort_unstable();
+        LatencySummary::from_sorted_ns(&ns)
+    }
 }
 
 /// One session's slot: recency stamp outside the lock (so eviction scans
@@ -151,6 +169,9 @@ pub struct SessionStore {
     sessions: Arc<RwLock<HashMap<SessionId, Arc<SessionSlot>>>>,
     clock: Arc<AtomicU64>,
     capacity: usize,
+    /// Occupancy / eviction instrumentation, attached once by the engine
+    /// (shared across clones like the rest of the store).
+    metrics: Arc<OnceLock<StoreMetrics>>,
 }
 
 impl Default for SessionStore {
@@ -177,6 +198,22 @@ impl SessionStore {
             sessions: Arc::new(RwLock::new(HashMap::new())),
             clock: Arc::new(AtomicU64::new(0)),
             capacity: capacity.max(1),
+            metrics: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Attaches occupancy/eviction instrumentation. Only the first
+    /// attachment takes effect; it is shared by every clone of the store.
+    pub(crate) fn attach_metrics(&self, metrics: StoreMetrics) {
+        let _ = self.metrics.set(metrics);
+    }
+
+    /// Publishes the current occupancy (called at the end of every
+    /// len-changing write section, while the write lock is still held so
+    /// the gauge never goes backwards in time).
+    fn publish_open(&self, len: usize) {
+        if let Some(metrics) = self.metrics.get() {
+            metrics.open.set(i64::try_from(len).unwrap_or(i64::MAX));
         }
     }
 
@@ -205,13 +242,15 @@ impl SessionStore {
         let stamp = self.stamp();
         let mut sessions = self.sessions.write().expect("session store poisoned");
         if !sessions.contains_key(&id) && sessions.len() >= self.capacity {
-            Self::evict_stalest(&mut sessions, self.capacity);
+            Self::evict_stalest(&mut sessions, self.capacity, self.metrics.get());
         }
         let slot = sessions
             .entry(id)
             .or_insert_with(|| Arc::new(SessionSlot::new(city, stamp)));
         slot.touched.store(stamp, Ordering::Relaxed);
-        Arc::clone(slot)
+        let slot = Arc::clone(slot);
+        self.publish_open(sessions.len());
+        slot
     }
 
     /// Removes the least-recently-touched eighth of the *idle* sessions (at
@@ -219,7 +258,11 @@ impl SessionStore {
     /// (`Arc` strong count > 1) are skipped: evicting them would detach an
     /// in-flight step's updates — a lost update. Called under the write
     /// lock, so no new checkout can race the scan.
-    fn evict_stalest(sessions: &mut HashMap<SessionId, Arc<SessionSlot>>, capacity: usize) {
+    fn evict_stalest(
+        sessions: &mut HashMap<SessionId, Arc<SessionSlot>>,
+        capacity: usize,
+        metrics: Option<&StoreMetrics>,
+    ) {
         let evict = (capacity / 8).max(1);
         let mut by_age: Vec<(u64, SessionId)> = sessions
             .iter()
@@ -227,8 +270,14 @@ impl SessionStore {
             .map(|(id, slot)| (slot.touched.load(Ordering::Relaxed), *id))
             .collect();
         by_age.sort_unstable();
+        let busy = sessions.len() - by_age.len();
+        let evicted = by_age.len().min(evict);
         for (_, id) in by_age.into_iter().take(evict) {
             sessions.remove(&id);
+        }
+        if let Some(metrics) = metrics {
+            metrics.busy_skips.add(busy as u64);
+            metrics.evictions.add(evicted as u64);
         }
     }
 
@@ -309,22 +358,23 @@ impl SessionStore {
         let stamp = self.stamp();
         let mut sessions = self.sessions.write().expect("session store poisoned");
         if !sessions.contains_key(&id) && sessions.len() >= self.capacity {
-            Self::evict_stalest(&mut sessions, self.capacity);
+            Self::evict_stalest(&mut sessions, self.capacity, self.metrics.get());
         }
         let slot = Arc::new(SessionSlot {
             touched: AtomicU64::new(stamp),
             state: Mutex::new(state),
         });
-        sessions.insert(id, slot).is_some()
+        let replaced = sessions.insert(id, slot).is_some();
+        self.publish_open(sessions.len());
+        replaced
     }
 
     /// Drops a session's state, returning it if present.
     pub fn remove(&self, id: SessionId) -> Option<SessionState> {
-        let slot = self
-            .sessions
-            .write()
-            .expect("session store poisoned")
-            .remove(&id)?;
+        let mut sessions = self.sessions.write().expect("session store poisoned");
+        let slot = sessions.remove(&id)?;
+        self.publish_open(sessions.len());
+        drop(sessions);
         match Arc::try_unwrap(slot) {
             Ok(slot) => Some(slot.state.into_inner().expect("session state poisoned")),
             // Another thread still holds the slot mid-step: hand back a

@@ -1,0 +1,316 @@
+//! Observability suite: the metrics spine as seen from outside the engine.
+//!
+//! Three surfaces must agree after any scripted workload:
+//! - the Prometheus exposition (`MetricsRegistry::render_prometheus`),
+//! - the stats surface (`EngineStats`), and
+//! - per-request traces (`EngineRequest::Trace`).
+//!
+//! The invariants pinned here are the ones the scrape surface promises in
+//! `observe.rs`: clustering `hit + coalesced_wait` equals
+//! `clustering_cache_hits`, cache `miss` equals trainings, and latency
+//! summaries cover exactly the requests served.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    Engine, EngineConfig, EngineRequest, EngineResponse, PackageRequest, SlowEntry,
+};
+use std::time::Duration;
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+fn engine_with(config: EngineConfig) -> Engine {
+    let engine = Engine::new(config);
+    engine.register_catalog(paris(11)).unwrap();
+    engine
+}
+
+fn package_request(engine: &Engine, session_id: u64, seed: u64) -> PackageRequest {
+    let schema = engine.profile_schema("Paris").unwrap();
+    let profile = SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::NonUniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    PackageRequest {
+        session_id,
+        city: "Paris".to_string(),
+        profile,
+        query: GroupQuery::paper_default(),
+        config: BuildConfig::with_k(3),
+    }
+}
+
+/// The value of one exposition series, by its exact sample name (including
+/// any `{label="…"}` set). Panics when the series is absent.
+fn series_value(exposition: &str, series: &str) -> f64 {
+    let line = exposition
+        .lines()
+        .find(|line| {
+            line.strip_prefix(series)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .unwrap_or_else(|| panic!("series `{series}` not in exposition:\n{exposition}"));
+    line.rsplit(' ').next().unwrap().parse().unwrap()
+}
+
+fn build(engine: &Engine, session_id: u64, seed: u64) {
+    let response = engine.dispatch(EngineRequest::Build {
+        request: Box::new(package_request(engine, session_id, seed)),
+    });
+    match response {
+        EngineResponse::Package { response } => response.outcome.expect("build succeeds"),
+        other => panic!("expected Package, got {}", other.kind()),
+    };
+}
+
+#[test]
+fn a_traced_build_reports_its_stage_timeline() {
+    let engine = engine_with(EngineConfig::fast());
+    let response = engine.dispatch(EngineRequest::Trace {
+        request: Box::new(EngineRequest::Build {
+            request: Box::new(package_request(&engine, 1, 5)),
+        }),
+    });
+    let EngineResponse::Traced { response, trace } = response else {
+        panic!("expected Traced, got {}", response.kind());
+    };
+    assert!(
+        matches!(*response, EngineResponse::Package { ref response } if response.outcome.is_ok())
+    );
+    assert_eq!(trace.dropped, 0);
+
+    let names: Vec<&str> = trace.stages.iter().map(|s| s.stage.as_str()).collect();
+    // A cold build runs validation, an FCM training, and assembly inside
+    // the request, which sits inside the dispatch stage. Stages land in
+    // completion order, so the containing stages come last.
+    for expected in [
+        "build.validate",
+        "fcm.train",
+        "build.assemble",
+        "request.build",
+        "dispatch.build",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "missing `{expected}` in {names:?}"
+        );
+    }
+    assert_eq!(*names.last().unwrap(), "dispatch.build");
+
+    // Every stage fits inside the dispatch stage's window.
+    let dispatch = trace.stages.last().unwrap();
+    for stage in &trace.stages {
+        assert!(stage.start_ns >= dispatch.start_ns);
+        assert!(stage.start_ns + stage.duration_ns <= dispatch.start_ns + dispatch.duration_ns);
+    }
+
+    // A warm build of the same profile skips training: no `fcm.train`.
+    let response = engine.dispatch(EngineRequest::Trace {
+        request: Box::new(EngineRequest::Build {
+            request: Box::new(package_request(&engine, 2, 5)),
+        }),
+    });
+    let EngineResponse::Traced { trace, .. } = response else {
+        panic!("expected Traced");
+    };
+    let names: Vec<&str> = trace.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert!(
+        !names.contains(&"fcm.train"),
+        "warm build must not retrain: {names:?}"
+    );
+    assert!(names.contains(&"dispatch.build"));
+}
+
+#[test]
+fn tracing_a_trace_answers_the_inner_request_untraced() {
+    let engine = engine_with(EngineConfig::fast());
+    let response = engine.dispatch(EngineRequest::Trace {
+        request: Box::new(EngineRequest::Trace {
+            request: Box::new(EngineRequest::Stats),
+        }),
+    });
+    let EngineResponse::Traced { response, trace } = response else {
+        panic!("expected outer Traced");
+    };
+    assert!(!trace.stages.is_empty(), "the outer trace collects");
+    let EngineResponse::Traced { response, trace } = *response else {
+        panic!("expected inner Traced");
+    };
+    assert!(matches!(*response, EngineResponse::Stats { .. }));
+    assert!(
+        trace.stages.is_empty(),
+        "the nested trace yields an empty timeline, not a second collector"
+    );
+}
+
+#[test]
+fn cache_event_counters_agree_with_engine_stats() {
+    let engine = engine_with(EngineConfig::fast());
+    // One cold build (trains), two warm builds (hit the clustering cache).
+    build(&engine, 1, 5);
+    build(&engine, 2, 5);
+    build(&engine, 3, 5);
+
+    let stats = engine.stats();
+    let text = engine.metrics_registry().render_prometheus();
+    let clustering = |event: &str| {
+        series_value(
+            &text,
+            &format!("gt_model_cache_events_total{{cache=\"clustering\",event=\"{event}\"}}"),
+        )
+    };
+    let vectorizer = |event: &str| {
+        series_value(
+            &text,
+            &format!("gt_model_cache_events_total{{cache=\"vectorizer\",event=\"{event}\"}}"),
+        )
+    };
+
+    // The scrape surface and the stats surface never disagree.
+    let hits = clustering("hit") + clustering("coalesced_wait");
+    assert_eq!(hits as u64, stats.clustering_cache_hits);
+    assert_eq!(clustering("miss") as u64, stats.fcm_trainings);
+    assert_eq!(vectorizer("miss") as u64, stats.lda_trainings);
+    assert!(stats.fcm_trainings >= 1);
+    assert_eq!(stats.clustering_cache_hits, 2);
+
+    // Training cost made it into the histograms.
+    assert_eq!(
+        series_value(&text, "gt_fcm_train_seconds_count") as u64,
+        stats.fcm_trainings
+    );
+    assert!(series_value(&text, "gt_fcm_sweeps_total") >= 1.0);
+    assert_eq!(
+        series_value(&text, "gt_lda_train_seconds_count") as u64,
+        stats.lda_trainings
+    );
+    assert!(series_value(&text, "gt_lda_sweeps_total") >= 1.0);
+}
+
+#[test]
+fn stats_quantile_summaries_cover_the_requests_served() {
+    let engine = engine_with(EngineConfig::fast());
+    build(&engine, 1, 5);
+    build(&engine, 2, 6);
+
+    let stats = engine.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.build_latency.count, 2);
+    // Dispatch latency spans every variant; both builds recorded, and the
+    // `stats` dispatch that produced this snapshot is itself in flight
+    // (its span has not dropped yet), so only the builds are visible.
+    assert_eq!(stats.dispatch_latency.count, 2);
+    assert_eq!(stats.command_latency.count, 0);
+
+    let s = stats.build_latency;
+    assert!(s.p50_ns > 0);
+    assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns && s.p999_ns <= s.max_ns);
+    assert!(s.mean_ns <= s.max_ns);
+
+    // The per-variant exposition agrees with the merged summary.
+    let text = engine.metrics_registry().render_prometheus();
+    assert_eq!(
+        series_value(&text, "gt_build_latency_seconds_count") as u64,
+        stats.build_latency.count
+    );
+    assert_eq!(
+        series_value(
+            &text,
+            "gt_dispatch_latency_seconds_count{variant=\"build\"}"
+        ) as u64,
+        2
+    );
+}
+
+#[test]
+fn the_slow_log_records_above_threshold_and_feeds_its_counter() {
+    let engine = engine_with(EngineConfig {
+        slow_log_threshold: Duration::ZERO,
+        ..EngineConfig::fast()
+    });
+    build(&engine, 1, 5);
+    build(&engine, 2, 6);
+
+    assert_eq!(engine.slow_log().total_recorded(), 2);
+    let lines = engine.slow_log().json_lines();
+    let entries: Vec<SlowEntry> = lines
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("slow-log lines are JSON"))
+        .collect();
+    assert_eq!(entries.len(), 2);
+    assert!(entries.iter().all(|e| e.kind == "build" && e.ok));
+    assert_eq!(entries[0].session_id, 1);
+    assert_eq!(entries[1].session_id, 2);
+    assert!(entries[0].at_ns <= entries[1].at_ns);
+
+    let text = engine.metrics_registry().render_prometheus();
+    assert_eq!(series_value(&text, "gt_slow_requests_total"), 2.0);
+
+    // A generous threshold keeps the log quiet.
+    let quiet = engine_with(EngineConfig {
+        slow_log_threshold: Duration::from_secs(3600),
+        ..EngineConfig::fast()
+    });
+    build(&quiet, 1, 5);
+    assert_eq!(quiet.slow_log().total_recorded(), 0);
+    assert_eq!(quiet.slow_log().json_lines(), "");
+}
+
+#[test]
+fn disabled_metrics_serve_an_empty_exposition_but_traces_still_work() {
+    let engine = engine_with(EngineConfig {
+        metrics_enabled: false,
+        ..EngineConfig::fast()
+    });
+    build(&engine, 1, 5);
+
+    assert_eq!(engine.metrics_registry().render_prometheus(), "");
+    let stats = engine.stats();
+    // The legacy counters keep working; the histogram-backed summaries
+    // are zeroed, not fabricated.
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.fcm_trainings, 1);
+    assert_eq!(stats.build_latency.count, 0);
+    assert_eq!(stats.dispatch_latency.count, 0);
+
+    // Tracing is thread-local and does not depend on the registry.
+    let response = engine.dispatch(EngineRequest::Trace {
+        request: Box::new(EngineRequest::Build {
+            request: Box::new(package_request(&engine, 2, 5)),
+        }),
+    });
+    let EngineResponse::Traced { trace, .. } = response else {
+        panic!("expected Traced");
+    };
+    assert!(trace.stages.iter().any(|s| s.stage == "dispatch.build"));
+}
+
+#[test]
+fn the_exposition_has_no_duplicate_series_and_counts_sessions() {
+    let engine = engine_with(EngineConfig::fast());
+    build(&engine, 1, 5);
+
+    let text = engine.metrics_registry().render_prometheus();
+    let mut samples: Vec<&str> = text
+        .lines()
+        .filter(|line| !line.starts_with('#') && !line.is_empty())
+        .map(|line| line.rsplit_once(' ').unwrap().0)
+        .collect();
+    let total = samples.len();
+    samples.sort_unstable();
+    let dups: Vec<String> = samples
+        .windows(2)
+        .filter(|w| w[0] == w[1])
+        .map(|w| w[0].to_string())
+        .collect();
+    samples.dedup();
+    assert_eq!(samples.len(), total, "duplicate series: {dups:?}");
+
+    // The gauge tracks the store exactly (a one-shot build records its
+    // session for replay, so one session is open here).
+    assert_eq!(
+        series_value(&text, "gt_sessions_open") as usize,
+        engine.sessions().len()
+    );
+    assert_eq!(engine.sessions().len(), 1);
+}

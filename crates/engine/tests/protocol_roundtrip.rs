@@ -237,6 +237,11 @@ fn every_request_variant_roundtrips() {
             }),
         },
         EngineRequest::Stats,
+        EngineRequest::Trace {
+            request: Box::new(EngineRequest::Build {
+                request: Box::new(package_request(2, 2, 4, Some(150.0))),
+            }),
+        },
     ];
     for request in requests {
         assert_eq!(
@@ -398,6 +403,27 @@ fn every_response_variant_roundtrips_from_real_dispatches() {
     }
 
     dispatch_and_roundtrip(EngineRequest::Stats);
+
+    // A traced dispatch: the inner response rides inside `Traced` next to
+    // the stage timeline, and the whole thing round-trips bit-identically.
+    let traced = dispatch_and_roundtrip(EngineRequest::Trace {
+        request: Box::new(EngineRequest::Build {
+            request: Box::new(package_request(505, 9, 4, None)),
+        }),
+    });
+    match traced {
+        EngineResponse::Traced { response, trace } => {
+            assert!(
+                matches!(*response, EngineResponse::Package { ref response } if response.outcome.is_ok())
+            );
+            assert!(
+                trace.stages.iter().any(|s| s.stage == "dispatch.build"),
+                "trace must include the dispatch stage, got {:?}",
+                trace.stages
+            );
+        }
+        other => panic!("expected Traced, got {}", other.kind()),
+    }
 
     // The protocol-level error variant.
     let error = EngineResponse::Error {

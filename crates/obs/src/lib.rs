@@ -1,0 +1,34 @@
+//! Observability spine for the GroupTravel engine.
+//!
+//! Everything the engine and server need to *diagnose* themselves under
+//! load, in one std-only crate (the build environment is offline, so there
+//! is no `prometheus`/`tracing` to lean on):
+//!
+//! - [`metrics`] — the primitives: sharded monotonic [`Counter`]s, a
+//!   [`Gauge`], and a log-bucketed atomic [`Histogram`] whose buckets are
+//!   exact and mergeable, with p50/p90/p99/p999 readout.
+//! - [`registry`] — a [`MetricsRegistry`] naming and labelling those
+//!   primitives and rendering them in the Prometheus text exposition
+//!   format for a `GET /metrics` scrape.
+//! - [`trace`] — `span!`-style RAII timers that feed histograms and, when a
+//!   per-request trace is active, record the stage timeline of a single
+//!   dispatch.
+//! - [`slowlog`] — a threshold-configurable ring buffer of the slowest
+//!   requests, rendered as JSON lines.
+//!
+//! The design constraint throughout is *cheap enough to leave on*: every
+//! hot-path operation is a handful of relaxed atomic ops on pre-registered
+//! handles, with no locks and no allocation (tracing allocates, but only
+//! for the one request that opted in). A registry built with
+//! [`MetricsRegistry::disabled`] hands out no-op handles so the overhead
+//! can be benchmarked against a true baseline.
+
+pub mod metrics;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, LatencySummary};
+pub use registry::{MetricsRegistry, PROMETHEUS_CONTENT_TYPE};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use trace::{Span, TraceGuard, TraceReport, TraceStage};

@@ -1,0 +1,648 @@
+//! Lock-free metric primitives: sharded counters, gauges, and log-bucketed
+//! atomic histograms with exact, mergeable buckets.
+//!
+//! # Histogram bucketing
+//!
+//! Buckets are log-linear ("HDR-lite"): each power-of-two octave is split
+//! into [`SUB`] equal sub-buckets, so the relative width of any bucket is
+//! at most `1/SUB` (12.5%). Values below `2 * SUB` get one bucket each —
+//! small values are *exact*. The whole `u64` range maps into
+//! [`NUM_BUCKETS`] fixed buckets, so two histograms (or two snapshots of
+//! the same histogram taken on different threads) merge by adding buckets
+//! index-wise — merging is associative and loses nothing.
+//!
+//! A recorded value touches exactly one bucket with one relaxed
+//! `fetch_add`; the running sum is sharded across cache-line-padded cells
+//! to keep concurrent recorders off each other's cache lines. The total
+//! count is *derived* from the buckets (never stored separately), which is
+//! what makes "bucket counts are exact" a checkable property rather than a
+//! best-effort invariant.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of sub-bucket bits per power-of-two octave.
+pub const SUB_BITS: u32 = 3;
+/// Sub-buckets per octave (`2^SUB_BITS`); also the bound of the exact
+/// region: every value below `2 * SUB` has a bucket to itself.
+pub const SUB: usize = 1 << SUB_BITS;
+/// Total number of histogram buckets covering the whole `u64` range.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS) + SUB;
+
+/// How many cache-line-padded cells counters and histogram sums spread
+/// over. A power of two so the thread id maps with a mask.
+const SHARDS: usize = 16;
+
+/// One atomic on its own cache line, so shards never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// Round-robin assignment of threads to shards.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD: usize =
+        NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (SHARDS - 1);
+}
+
+fn thread_shard() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// The bucket a value falls into. Monotone in `value`, total over `u64`.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < 2 * SUB as u64 {
+        // The exact region: one bucket per value.
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let mantissa = ((value >> (exp - SUB_BITS)) as usize) & (SUB - 1);
+    (((exp - SUB_BITS) as usize) << SUB_BITS) + mantissa + SUB
+}
+
+/// The smallest value that falls into bucket `index`.
+///
+/// # Panics
+/// When `index >= NUM_BUCKETS`.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    assert!(index < NUM_BUCKETS, "bucket index {index} out of range");
+    if index < 2 * SUB {
+        return index as u64;
+    }
+    let j = (index - SUB) as u32;
+    let exp = (j >> SUB_BITS) + SUB_BITS;
+    let mantissa = u64::from(j) & (SUB as u64 - 1);
+    (1u64 << exp) + (mantissa << (exp - SUB_BITS))
+}
+
+/// The largest value that falls into bucket `index` (inclusive).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(index + 1) - 1
+    }
+}
+
+/// A monotonic event counter, sharded to stay contention-free: each thread
+/// adds to its own cache-line-padded cell, reads sum the cells.
+#[derive(Debug)]
+pub struct Counter {
+    enabled: bool,
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// A live counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter {
+            enabled: true,
+            shards: Default::default(),
+        }
+    }
+
+    /// A no-op counter: `inc`/`add` return immediately.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Counter {
+            enabled: false,
+            shards: Default::default(),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled {
+            self.shards[thread_shard()]
+                .0
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current total across all shards.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A signed gauge for levels (occupancy, queue depth). Gauges sit on
+/// cold(er) paths, so a single atomic suffices.
+#[derive(Debug)]
+pub struct Gauge {
+    enabled: bool,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A live gauge starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge {
+            enabled: true,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// A no-op gauge.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Gauge {
+            enabled: false,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        if self.enabled {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if self.enabled {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// A fixed-bucket atomic histogram. Values are unitless `u64`s; the engine
+/// records latencies in nanoseconds via [`Histogram::record_duration`].
+#[derive(Debug)]
+pub struct Histogram {
+    enabled: bool,
+    buckets: Box<[AtomicU64]>,
+    sums: [PaddedU64; SHARDS],
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// A live histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            enabled: true,
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sums: Default::default(),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// A no-op histogram: `record` returns immediately, snapshots are empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram {
+            enabled: false,
+            buckets: Box::new([]),
+            sums: Default::default(),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this histogram records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one value: one bucket increment, one sharded sum add, one
+    /// `fetch_max`. No locks, no allocation.
+    pub fn record(&self, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sums[thread_shard()]
+            .0
+            .fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        if self.enabled {
+            self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// A point-in-time copy of the buckets. Concurrent recording may land
+    /// between bucket reads, but every recorded value ends up in exactly
+    /// one snapshot bucket eventually — snapshots of quiesced histograms
+    /// are exact.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        if !self.enabled {
+            return HistogramSnapshot::empty();
+        }
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sums.iter().map(|s| s.0.load(Ordering::Relaxed)).sum(),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An owned copy of a histogram's state: mergeable, queryable for
+/// quantiles, serializable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with nothing recorded.
+    #[must_use]
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded values — derived from the buckets, so it
+    /// is exact by construction.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Per-bucket counts ([`NUM_BUCKETS`] entries, index = [`bucket_index`]).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Folds `other` into `self` bucket-wise. Associative and commutative:
+    /// merging snapshots in any grouping yields identical buckets.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = other.buckets.clone();
+        } else if !other.buckets.is_empty() {
+            for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+                *a += *b;
+            }
+        }
+        // Wrapping, to match what concurrent `record` calls do to the
+        // atomic sum — merges must equal recording into one histogram.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value range `(lowest, highest)` the nearest-rank `q`-quantile
+    /// can lie in, inclusive on both ends. The reference computation —
+    /// sort every recorded value, take the `ceil(q·n)`-th — is guaranteed
+    /// to fall inside these bounds, because bucket indexing is monotone in
+    /// the value and bucket counts are exact.
+    #[must_use]
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        let count = self.count();
+        if count == 0 {
+            return (0, 0);
+        }
+        let target = (q * count as f64).ceil() as u64;
+        let rank = target.clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (bucket_lower_bound(i), bucket_upper_bound(i).min(self.max));
+            }
+        }
+        (self.max, self.max)
+    }
+
+    /// A conservative point estimate of the `q`-quantile: the upper end of
+    /// [`HistogramSnapshot::quantile_bounds`], so it never under-reports.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q).1
+    }
+
+    /// The fixed quantile digest served in stats responses.
+    #[must_use]
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        LatencySummary {
+            count,
+            sum_ns: self.sum,
+            mean_ns: self.sum.checked_div(count).unwrap_or(0),
+            max_ns: self.max,
+            p50_ns: self.quantile(0.50),
+            p90_ns: self.quantile(0.90),
+            p99_ns: self.quantile(0.99),
+            p999_ns: self.quantile(0.999),
+        }
+    }
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+/// A quantile digest of a latency distribution, in nanoseconds. All-`u64`
+/// and `Copy`, so it round-trips bit-identically through the wire
+/// protocol. Quantiles are conservative upper bounds (within one histogram
+/// bucket, ≤12.5% relative error) — except when produced by
+/// [`LatencySummary::from_sorted_ns`], which is exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum_ns: u64,
+    /// Mean (integer division; 0 when empty).
+    pub mean_ns: u64,
+    /// Largest recorded value.
+    pub max_ns: u64,
+    /// Median (nearest-rank).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+}
+
+impl LatencySummary {
+    /// The exact nearest-rank summary of an already-sorted value list
+    /// (ascending). Used where the raw values are retained anyway, e.g.
+    /// per-session step latencies.
+    #[must_use]
+    pub fn from_sorted_ns(sorted: &[u64]) -> Self {
+        if sorted.is_empty() {
+            return LatencySummary::default();
+        }
+        let count = sorted.len() as u64;
+        let sum: u64 = sorted.iter().fold(0u64, |acc, &v| acc.saturating_add(v));
+        let nearest = |q: f64| {
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        LatencySummary {
+            count,
+            sum_ns: sum,
+            mean_ns: sum / count,
+            max_ns: sorted[sorted.len() - 1],
+            p50_ns: nearest(0.50),
+            p90_ns: nearest(0.90),
+            p99_ns: nearest(0.99),
+            p999_ns: nearest(0.999),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..(2 * SUB as u64) {
+            let i = bucket_index(v);
+            assert_eq!(i, v as usize);
+            assert_eq!(bucket_lower_bound(i), v);
+            assert_eq!(bucket_upper_bound(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_bracket() {
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 30,
+            (1 << 40) + 12_345,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for &v in &probes {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(i < NUM_BUCKETS);
+            assert!(bucket_lower_bound(i) <= v, "lower bound exceeds {v}");
+            assert!(bucket_upper_bound(i) >= v, "upper bound below {v}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_tile_the_u64_range() {
+        // Every bucket starts exactly one past the previous bucket's end.
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(
+                bucket_lower_bound(i),
+                bucket_upper_bound(i - 1).wrapping_add(1),
+                "gap or overlap at bucket {i}"
+            );
+        }
+        assert_eq!(bucket_lower_bound(0), 0);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in 0..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            // Width ≤ lower / SUB (exact region has width 0).
+            assert!(
+                hi - lo <= lo / SUB as u64 + 1,
+                "bucket {i} too wide: [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn disabled_primitives_are_inert() {
+        let c = Counter::disabled();
+        c.add(7);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(3);
+        g.add(4);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::disabled();
+        h.record(42);
+        h.record_duration(Duration::from_millis(5));
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 0);
+        assert!(snap.buckets().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn gauge_tracks_levels() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(10);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_max() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 17, 1_000_000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 4);
+        assert_eq!(snap.sum(), 1_000_023);
+        assert_eq!(snap.max(), 1_000_000);
+        assert_eq!(snap.buckets()[bucket_index(3)], 2);
+        assert_eq!(snap.buckets()[bucket_index(17)], 1);
+    }
+
+    #[test]
+    fn quantiles_of_exact_values_are_exact() {
+        let h = Histogram::new();
+        // All values in the exact region: quantiles must be exact.
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        // Nearest rank: ceil(0.5 * 16) = 8th smallest = value 7.
+        assert_eq!(snap.quantile_bounds(0.5), (7, 7));
+        assert_eq!(snap.quantile_bounds(1.0), (15, 15));
+        let s = snap.summary();
+        assert_eq!(s.count, 16);
+        assert_eq!(s.p50_ns, 7);
+        assert_eq!(s.max_ns, 15);
+    }
+
+    #[test]
+    fn empty_snapshot_summary_is_zeroed() {
+        let s = HistogramSnapshot::empty().summary();
+        assert_eq!(s, LatencySummary::default());
+    }
+
+    #[test]
+    fn merge_adds_buckets() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(500);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.sum(), 510);
+        assert_eq!(m.max(), 500);
+        assert_eq!(m.buckets()[bucket_index(5)], 2);
+    }
+
+    #[test]
+    fn from_sorted_ns_matches_hand_computation() {
+        let s = LatencySummary::from_sorted_ns(&[10, 20, 30, 40]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 100);
+        assert_eq!(s.mean_ns, 25);
+        assert_eq!(s.p50_ns, 20);
+        assert_eq!(s.p90_ns, 40);
+        assert_eq!(s.max_ns, 40);
+        assert_eq!(
+            LatencySummary::from_sorted_ns(&[]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn summary_round_trips_through_serde() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(30));
+        let s = h.snapshot().summary();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LatencySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

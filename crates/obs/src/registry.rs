@@ -1,0 +1,361 @@
+//! A named, labelled registry over the metric primitives, rendering the
+//! Prometheus text exposition format (version 0.0.4) for `GET /metrics`.
+//!
+//! Registration happens once, at construction time of the instrumented
+//! component; the hot path only ever touches the returned `Arc` handles.
+//! The registry's own lock is taken during registration and rendering,
+//! never while recording.
+
+use crate::metrics::{bucket_upper_bound, Counter, Gauge, Histogram, NUM_BUCKETS};
+use std::sync::{Arc, Mutex};
+
+/// The content type a `/metrics` response must carry.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Exported histogram `le` boundaries: powers of two from `2^10` ns
+/// (≈1 µs) to `2^36` ns (≈69 s). Powers of two are always internal bucket
+/// boundaries, so the export ladder is an exact coarsening of the internal
+/// buckets: the `le=2^k ns` bucket holds precisely the observations that
+/// recorded strictly below `2^k` ns (one integral nanosecond under the
+/// printed bound — indistinguishable at float resolution).
+const EXPORT_SHIFTS: std::ops::RangeInclusive<u32> = 10..=36;
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Series {
+    labels: Vec<(&'static str, String)>,
+    handle: Handle,
+}
+
+struct Family {
+    name: &'static str,
+    help: &'static str,
+    series: Vec<Series>,
+}
+
+/// The process-wide metric registry. Cheap to share (`Arc` it once);
+/// constructed either live or [`MetricsRegistry::disabled`], in which case
+/// every handle it hands out is a no-op and rendering yields nothing.
+pub struct MetricsRegistry {
+    enabled: bool,
+    families: Mutex<Vec<Family>>,
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A no-op registry: handles record nothing, `render_prometheus`
+    /// returns an empty string. The baseline for overhead benchmarks.
+    #[must_use]
+    pub fn disabled() -> Self {
+        MetricsRegistry {
+            enabled: false,
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether this registry records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or retrieves) the counter `name{labels}`. Registration
+    /// is idempotent: the same name + label set returns the same handle.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric kind.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        if !self.enabled {
+            return Arc::new(Counter::disabled());
+        }
+        let handle = self.series(name, help, labels, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        });
+        match handle {
+            Handle::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric kind.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        if !self.enabled {
+            return Arc::new(Gauge::disabled());
+        }
+        let handle = self.series(name, help, labels, || Handle::Gauge(Arc::new(Gauge::new())));
+        match handle {
+            Handle::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the nanosecond latency histogram
+    /// `name{labels}` (rendered in seconds on the scrape surface).
+    ///
+    /// # Panics
+    /// When `name` is already registered as a different metric kind.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Histogram> {
+        if !self.enabled {
+            return Arc::new(Histogram::disabled());
+        }
+        let handle = self.series(name, help, labels, || {
+            Handle::Histogram(Arc::new(Histogram::new()))
+        });
+        match handle {
+            Handle::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let labels: Vec<(&'static str, String)> =
+            labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect();
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name,
+                    help,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(existing) = family.series.iter().find(|s| s.labels == labels) {
+            return clone_handle(&existing.handle);
+        }
+        let handle = make();
+        let cloned = clone_handle(&handle);
+        family.series.push(Series { labels, handle });
+        cloned
+    }
+
+    /// Renders every registered series in the Prometheus text exposition
+    /// format. Families render in registration order; histograms export on
+    /// a power-of-two seconds ladder plus `+Inf`, `_sum` and `_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().unwrap();
+        for family in families.iter() {
+            let kind = family.series.first().map_or("counter", |s| s.handle.kind());
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {kind}\n", family.name));
+            for series in &family.series {
+                match &series.handle {
+                    Handle::Counter(c) => {
+                        let labels = render_labels(&series.labels, None);
+                        out.push_str(&format!("{}{labels} {}\n", family.name, c.get()));
+                    }
+                    Handle::Gauge(g) => {
+                        let labels = render_labels(&series.labels, None);
+                        out.push_str(&format!("{}{labels} {}\n", family.name, g.get()));
+                    }
+                    Handle::Histogram(h) => {
+                        render_histogram(&mut out, family.name, &series.labels, h);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+fn clone_handle(handle: &Handle) -> Handle {
+    match handle {
+        Handle::Counter(c) => Handle::Counter(Arc::clone(c)),
+        Handle::Gauge(g) => Handle::Gauge(Arc::clone(g)),
+        Handle::Histogram(h) => Handle::Histogram(Arc::clone(h)),
+    }
+}
+
+/// `{k="v",...}` with the two characters Prometheus requires escaped.
+/// Empty label sets (with no `extra`) render as nothing.
+fn render_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A nanosecond count rendered as seconds.
+fn seconds(ns: u64) -> String {
+    format!("{}", ns as f64 / 1e9)
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(&'static str, String)],
+    h: &Histogram,
+) {
+    let snap = h.snapshot();
+    let count = snap.count();
+    let buckets = snap.buckets();
+    let mut cumulative = 0u64;
+    let mut next = 0usize; // next internal bucket not yet folded in
+    for shift in EXPORT_SHIFTS {
+        let bound_ns = 1u64 << shift;
+        // Fold in every internal bucket lying entirely below the bound.
+        while next < buckets.len() && next < NUM_BUCKETS && bucket_upper_bound(next) < bound_ns {
+            cumulative += buckets[next];
+            next += 1;
+        }
+        let le = render_labels(labels, Some(("le", &seconds(bound_ns))));
+        out.push_str(&format!("{name}_bucket{le} {cumulative}\n"));
+    }
+    let inf = render_labels(labels, Some(("le", "+Inf")));
+    out.push_str(&format!("{name}_bucket{inf} {count}\n"));
+    out.push_str(&format!(
+        "{name}_sum{} {}\n",
+        render_labels(labels, None),
+        seconds(snap.sum())
+    ));
+    out.push_str(&format!(
+        "{name}_count{} {count}\n",
+        render_labels(labels, None)
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("gt_events_total", "events", &[("kind", "hit")]);
+        let b = reg.counter("gt_events_total", "events", &[("kind", "hit")]);
+        let c = reg.counter("gt_events_total", "events", &[("kind", "miss")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same labels must share the handle");
+        assert_eq!(c.get(), 0, "different labels must not");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("gt_thing", "x", &[]);
+        let _ = reg.gauge("gt_thing", "x", &[]);
+    }
+
+    #[test]
+    fn disabled_registry_renders_nothing() {
+        let reg = MetricsRegistry::disabled();
+        let c = reg.counter("gt_events_total", "events", &[]);
+        c.inc();
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.render_prometheus(), "");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gt_requests_total", "requests", &[("variant", "build")])
+            .add(3);
+        reg.gauge("gt_sessions_open", "open sessions", &[]).set(5);
+        let h = reg.histogram("gt_latency_seconds", "latency", &[]);
+        h.record_duration(Duration::from_micros(10));
+        h.record_duration(Duration::from_millis(10));
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE gt_requests_total counter"));
+        assert!(text.contains("gt_requests_total{variant=\"build\"} 3"));
+        assert!(text.contains("# TYPE gt_sessions_open gauge"));
+        assert!(text.contains("gt_sessions_open 5"));
+        assert!(text.contains("# TYPE gt_latency_seconds histogram"));
+        assert!(text.contains("gt_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("gt_latency_seconds_count 2"));
+
+        // Cumulative bucket counts are monotone and end at the count.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("gt_latency_seconds_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 2);
+
+        // 10µs sits above the 1.024µs line and below the ~16.8ms line.
+        assert!(text.contains("gt_latency_seconds_bucket{le=\"0.000001024\"} 0"));
+        assert!(text.contains("gt_latency_seconds_bucket{le=\"0.016777216\"} 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("gt_odd_total", "odd", &[("path", "a\"b\\c")])
+            .inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("gt_odd_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

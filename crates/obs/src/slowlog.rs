@@ -1,0 +1,185 @@
+//! A structured slow-request log: a bounded ring buffer of the requests
+//! that crossed a latency threshold, rendered as JSON lines.
+//!
+//! The hot path pays one comparison per request; only requests over the
+//! threshold take the ring's lock. The ring keeps the most recent entries
+//! (oldest evicted first) and counts what it could not keep.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One slow request, as retained in the ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowEntry {
+    /// When the request finished, nanoseconds since the log was created
+    /// (a monotonic offset, not wall-clock).
+    pub at_ns: u64,
+    /// What kind of request it was (`"build"`, `"command.customize"`, …).
+    pub kind: String,
+    /// The session the request belonged to (0 for sessionless requests).
+    pub session_id: u64,
+    /// The city the request was served in (empty when not applicable).
+    pub city: String,
+    /// How long the request took, nanoseconds.
+    pub latency_ns: u64,
+    /// Whether the request succeeded.
+    pub ok: bool,
+}
+
+/// The slow-request ring. Threshold-configurable at construction;
+/// `Duration::ZERO` logs everything (useful in tests), a very large
+/// threshold effectively disables it.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold: Duration,
+    capacity: usize,
+    origin: Instant,
+    entries: Mutex<VecDeque<SlowEntry>>,
+    recorded: AtomicU64,
+}
+
+impl SlowLog {
+    /// A log keeping the most recent `capacity` requests slower than
+    /// `threshold`.
+    #[must_use]
+    pub fn new(threshold: Duration, capacity: usize) -> Self {
+        SlowLog {
+            threshold,
+            capacity,
+            origin: Instant::now(),
+            entries: Mutex::new(VecDeque::with_capacity(capacity.min(256))),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured threshold.
+    #[must_use]
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// Considers one finished request; records it when it was slow.
+    /// Returns whether it was recorded (the caller typically also bumps a
+    /// `slow_requests_total` counter on `true`).
+    pub fn observe(
+        &self,
+        kind: &str,
+        session_id: u64,
+        city: &str,
+        latency: Duration,
+        ok: bool,
+    ) -> bool {
+        if latency < self.threshold || self.capacity == 0 {
+            return false;
+        }
+        let entry = SlowEntry {
+            at_ns: u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            kind: kind.to_string(),
+            session_id,
+            city: city.to_string(),
+            latency_ns: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+            ok,
+        };
+        let mut ring = self.entries.lock().unwrap();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Every entry currently retained, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Total number of slow requests ever recorded (including those the
+    /// ring has since evicted).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// The retained entries as JSON lines (one object per line, oldest
+    /// first) — the `GET /slowlog` response body.
+    #[must_use]
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries() {
+            // SlowEntry serialization cannot fail: strings and integers only.
+            out.push_str(&serde_json::to_string(&entry).unwrap_or_default());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_requests_are_not_recorded() {
+        let log = SlowLog::new(Duration::from_secs(1), 8);
+        assert!(!log.observe("build", 1, "vienna", Duration::from_millis(1), true));
+        assert!(log.entries().is_empty());
+        assert_eq!(log.total_recorded(), 0);
+    }
+
+    #[test]
+    fn a_zero_threshold_records_everything() {
+        let log = SlowLog::new(Duration::ZERO, 8);
+        assert!(log.observe("build", 7, "vienna", Duration::from_micros(3), true));
+        let entries = log.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].kind, "build");
+        assert_eq!(entries[0].session_id, 7);
+        assert_eq!(entries[0].city, "vienna");
+        assert_eq!(entries[0].latency_ns, 3_000);
+        assert!(entries[0].ok);
+    }
+
+    #[test]
+    fn the_ring_keeps_the_most_recent_entries() {
+        let log = SlowLog::new(Duration::ZERO, 2);
+        for i in 0..5u64 {
+            log.observe("build", i, "", Duration::from_nanos(i), true);
+        }
+        let sessions: Vec<u64> = log.entries().iter().map(|e| e.session_id).collect();
+        assert_eq!(sessions, [3, 4]);
+        assert_eq!(log.total_recorded(), 5);
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let log = SlowLog::new(Duration::ZERO, 4);
+        log.observe(
+            "command.refine",
+            2,
+            "a \"quoted\" city",
+            Duration::from_millis(9),
+            false,
+        );
+        let lines = log.json_lines();
+        let mut parsed = 0;
+        for line in lines.lines() {
+            let entry: SlowEntry = serde_json::from_str(line).unwrap();
+            assert_eq!(entry.kind, "command.refine");
+            assert!(!entry.ok);
+            parsed += 1;
+        }
+        assert_eq!(parsed, 1);
+    }
+
+    #[test]
+    fn zero_capacity_discards_everything() {
+        let log = SlowLog::new(Duration::ZERO, 0);
+        assert!(!log.observe("build", 1, "", Duration::from_secs(5), true));
+        assert!(log.entries().is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! RAII spans and per-request traces.
+//!
+//! A [`Span`] times a named stage: on drop it records into an optional
+//! histogram and, when the current thread has an active trace, appends a
+//! [`TraceStage`] to it. The [`span!`](crate::span) macro is the idiomatic
+//! spelling:
+//!
+//! ```
+//! use grouptravel_obs::{span, Histogram};
+//! let hist = Histogram::new();
+//! {
+//!     let _timed = span!("fcm.train", &hist);
+//!     // ... work ...
+//! }
+//! assert_eq!(hist.snapshot().count(), 1);
+//! ```
+//!
+//! Traces are thread-local and bounded: [`begin`] opens one on the current
+//! thread (at most one at a time — nesting yields `None`), spans append to
+//! it up to its capacity (overflow is counted, not stored), and
+//! [`TraceGuard::finish`] closes it and returns the stage timeline. The
+//! engine serves single requests inline on the dispatching thread, which
+//! is what makes a thread-local trace capture a whole dispatch; batch
+//! fan-out worker threads are outside the trace by design.
+
+use crate::metrics::Histogram;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One timed stage inside a traced request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStage {
+    /// Stage name (e.g. `"fcm.train"`, `"dispatch.build"`).
+    pub stage: String,
+    /// Offset of the stage's start from the trace's origin, nanoseconds.
+    pub start_ns: u64,
+    /// How long the stage ran, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// The stage timeline of one traced request. Stages appear in completion
+/// order (a stage is recorded when its span drops), so an enclosing stage
+/// follows the stages it contains.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// The recorded stages.
+    pub stages: Vec<TraceStage>,
+    /// Stages dropped after the trace reached its capacity.
+    pub dropped: u64,
+}
+
+struct ActiveTrace {
+    origin: Instant,
+    capacity: usize,
+    stages: Vec<TraceStage>,
+    dropped: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
+}
+
+/// Opens a trace on the current thread, holding at most `capacity` stages.
+/// Returns `None` when a trace is already active (the outer trace keeps
+/// collecting; the caller should report an empty timeline).
+#[must_use]
+pub fn begin(capacity: usize) -> Option<TraceGuard> {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_some() {
+            return None;
+        }
+        *slot = Some(ActiveTrace {
+            origin: Instant::now(),
+            capacity,
+            stages: Vec::with_capacity(capacity.min(64)),
+            dropped: 0,
+        });
+        Some(TraceGuard { finished: false })
+    })
+}
+
+/// Whether the current thread is inside an active trace.
+#[must_use]
+pub fn is_active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// Appends a completed stage to the current thread's trace, if one is
+/// active. No-op (and allocation-free) otherwise.
+pub(crate) fn record_stage(name: &str, start: Instant, end: Instant) {
+    ACTIVE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let Some(trace) = slot.as_mut() else {
+            return;
+        };
+        if trace.stages.len() >= trace.capacity {
+            trace.dropped += 1;
+            return;
+        }
+        let start_ns = u64::try_from(start.saturating_duration_since(trace.origin).as_nanos())
+            .unwrap_or(u64::MAX);
+        let duration_ns =
+            u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX);
+        trace.stages.push(TraceStage {
+            stage: name.to_string(),
+            start_ns,
+            duration_ns,
+        });
+    });
+}
+
+/// Closes the trace it came from when dropped; [`TraceGuard::finish`]
+/// closes it and hands back the timeline. Deliberately `!Send` (traces are
+/// thread-local).
+pub struct TraceGuard {
+    finished: bool,
+}
+
+impl TraceGuard {
+    /// Ends the trace and returns its stage timeline.
+    #[must_use]
+    pub fn finish(mut self) -> TraceReport {
+        self.finished = true;
+        ACTIVE
+            .with(|slot| slot.borrow_mut().take())
+            .map_or_else(TraceReport::default, |t| TraceReport {
+                stages: t.stages,
+                dropped: t.dropped,
+            })
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            ACTIVE.with(|slot| slot.borrow_mut().take());
+        }
+    }
+}
+
+/// An RAII stage timer. On drop it records its elapsed time into the
+/// histogram it was started with (if any) and into the current thread's
+/// active trace (if any). Constructed via [`Span::start`] or the
+/// [`span!`](crate::span) macro.
+pub struct Span<'h> {
+    name: &'static str,
+    histogram: Option<&'h Histogram>,
+    start: Instant,
+}
+
+impl<'h> Span<'h> {
+    /// Starts timing the named stage.
+    #[must_use]
+    pub fn start(name: &'static str, histogram: Option<&'h Histogram>) -> Self {
+        Span {
+            name,
+            histogram,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let end = Instant::now();
+        if let Some(h) = self.histogram {
+            h.record(
+                u64::try_from(end.saturating_duration_since(self.start).as_nanos())
+                    .unwrap_or(u64::MAX),
+            );
+        }
+        record_stage(self.name, self.start, end);
+    }
+}
+
+/// Times a named stage until the end of the enclosing scope:
+/// `span!("name")` records into the active trace only,
+/// `span!("name", &histogram)` also records into the histogram. Bind it
+/// (`let _timed = span!(...)`) — an unbound span drops immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::Span::start($name, None)
+    };
+    ($name:expr, $histogram:expr) => {
+        $crate::trace::Span::start($name, Some($histogram))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_outside_a_trace_are_silent() {
+        assert!(!is_active());
+        let _s = span!("quiet");
+        drop(_s);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn a_trace_collects_stages_in_completion_order() {
+        let guard = begin(16).unwrap();
+        assert!(is_active());
+        {
+            let _outer = span!("outer");
+            let _inner = span!("inner");
+        }
+        let report = guard.finish();
+        assert!(!is_active());
+        assert_eq!(report.dropped, 0);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(names, ["inner", "outer"], "inner drops first");
+        // The outer stage starts no later than the inner and spans it.
+        assert!(report.stages[1].start_ns <= report.stages[0].start_ns);
+        assert!(report.stages[1].duration_ns >= report.stages[0].duration_ns);
+    }
+
+    #[test]
+    fn nested_begin_is_refused() {
+        let guard = begin(4).unwrap();
+        assert!(begin(4).is_none());
+        let _ = guard.finish();
+        assert!(begin(4).is_some());
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted_not_stored() {
+        let guard = begin(2).unwrap();
+        for _ in 0..5 {
+            let _s = span!("stage");
+        }
+        let report = guard.finish();
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.dropped, 3);
+    }
+
+    #[test]
+    fn dropping_the_guard_clears_the_trace() {
+        let guard = begin(4).unwrap();
+        drop(guard);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn spans_feed_their_histogram_with_and_without_a_trace() {
+        let h = Histogram::new();
+        {
+            let _s = span!("timed", &h);
+        }
+        let guard = begin(4).unwrap();
+        {
+            let _s = span!("timed", &h);
+        }
+        let report = guard.finish();
+        assert_eq!(h.snapshot().count(), 2);
+        assert_eq!(report.stages.len(), 1);
+    }
+
+    #[test]
+    fn reports_round_trip_through_serde() {
+        let report = TraceReport {
+            stages: vec![TraceStage {
+                stage: "fcm.train".to_string(),
+                start_ns: 10,
+                duration_ns: 250,
+            }],
+            dropped: 1,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+}

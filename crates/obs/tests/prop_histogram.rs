@@ -1,0 +1,167 @@
+//! Property tests for histogram correctness: exact bucket counts under
+//! concurrent recording, associative merges, and quantile readouts that
+//! bracket a reference sorted-vec computation.
+
+use grouptravel_obs::metrics::{bucket_index, bucket_lower_bound, bucket_upper_bound, NUM_BUCKETS};
+use grouptravel_obs::{Histogram, HistogramSnapshot, LatencySummary};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A value mix spanning the exact region, mid-range, and the far tail.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    any::<u64>().prop_map(|raw| match raw % 4 {
+        0 => raw % 16,             // exact region
+        1 => raw % 100_000,        // µs-scale latencies
+        2 => raw % 10_000_000_000, // up to 10s in ns
+        _ => raw,                  // anywhere in u64
+    })
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_are_exact(values in proptest::collection::vec(value_strategy(), 0..400)) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum(), values.iter().copied().fold(0u64, u64::wrapping_add));
+        prop_assert_eq!(snap.max(), values.iter().copied().max().unwrap_or(0));
+        // Every value landed in exactly the bucket the index function names.
+        let mut expected = vec![0u64; NUM_BUCKETS];
+        for &v in &values {
+            let i = bucket_index(v);
+            prop_assert!(bucket_lower_bound(i) <= v && v <= bucket_upper_bound(i));
+            expected[i] += 1;
+        }
+        prop_assert_eq!(snap.buckets(), &expected[..]);
+    }
+
+    #[test]
+    fn merges_are_associative_and_commutative(
+        a in proptest::collection::vec(value_strategy(), 0..120),
+        b in proptest::collection::vec(value_strategy(), 0..120),
+        c in proptest::collection::vec(value_strategy(), 0..120),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // And the merge equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn quantiles_bracket_the_sorted_vec_reference(
+        values in proptest::collection::vec(value_strategy(), 1..400),
+        qsel in 0usize..5,
+    ) {
+        let q = [0.5, 0.9, 0.99, 0.999, 1.0][qsel];
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        // The same nearest-rank definition the histogram uses.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let reference = sorted[rank - 1];
+        let (lo, hi) = snap.quantile_bounds(q);
+        prop_assert!(
+            lo <= reference && reference <= hi,
+            "reference {} outside [{}, {}] at q={}", reference, lo, hi, q
+        );
+        // The point estimate is the (conservative) upper bound.
+        prop_assert_eq!(snap.quantile(q), hi);
+    }
+
+    #[test]
+    fn summaries_bracket_the_exact_summary(
+        values in proptest::collection::vec(value_strategy(), 1..400),
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = LatencySummary::from_sorted_ns(&sorted);
+        let approx = snap.summary();
+        prop_assert_eq!(approx.count, exact.count);
+        prop_assert_eq!(approx.max_ns, exact.max_ns);
+        // Histogram quantiles never under-report the exact ones.
+        prop_assert!(approx.p50_ns >= exact.p50_ns);
+        prop_assert!(approx.p90_ns >= exact.p90_ns);
+        prop_assert!(approx.p99_ns >= exact.p99_ns);
+        prop_assert!(approx.p999_ns >= exact.p999_ns);
+    }
+}
+
+/// Exactness under true concurrency: every recorded value is in the final
+/// buckets, none duplicated, with recorders hammering from many threads.
+#[test]
+fn bucket_counts_are_exact_under_concurrent_recording() {
+    let hist = Arc::new(Histogram::new());
+    let threads = 8;
+    let per_thread = 5_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    // A deterministic spread: exact region, mid, tail.
+                    let v = match i % 3 {
+                        0 => i % 16,
+                        1 => i * 1_000 + t,
+                        _ => (i << 20) | t,
+                    };
+                    hist.record(v);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), threads * per_thread);
+
+    // Rebuild the expected buckets serially and compare exactly.
+    let mut expected = vec![0u64; NUM_BUCKETS];
+    let mut expected_sum = 0u64;
+    let mut expected_max = 0u64;
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let v = match i % 3 {
+                0 => i % 16,
+                1 => i * 1_000 + t,
+                _ => (i << 20) | t,
+            };
+            expected[bucket_index(v)] += 1;
+            expected_sum += v;
+            expected_max = expected_max.max(v);
+        }
+    }
+    assert_eq!(snap.buckets(), &expected[..]);
+    assert_eq!(snap.sum(), expected_sum);
+    assert_eq!(snap.max(), expected_max);
+}

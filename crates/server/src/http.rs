@@ -192,9 +192,31 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one `application/json` response. `close` adds
+/// Writes one response with an explicit content type. `close` adds
 /// `Connection: close` (the server's keep-alive decision, echoed to the
 /// client).
+///
+/// # Errors
+/// Propagates transport failures.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{connection}\r\n",
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// [`write_response`] with `application/json` (the wire protocol's type).
 ///
 /// # Errors
 /// Propagates transport failures.
@@ -204,15 +226,7 @@ pub fn write_json_response(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
-    let connection = if close { "Connection: close\r\n" } else { "" };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{connection}\r\n",
-        reason(status),
-        body.len(),
-    )?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    write_response(stream, status, "application/json", body, close)
 }
 
 #[cfg(test)]

@@ -13,7 +13,9 @@
 //! |---|---|
 //! | `POST /v1/engine` | One [`RequestEnvelope`] in, one [`ResponseEnvelope`] out |
 //! | `GET /stats` | The envelope of `EngineRequest::Stats`, as a convenience |
-//! | `GET /healthz` | Liveness: `{"status":"ok","protocol":1}` |
+//! | `GET /metrics` | Prometheus text exposition of the whole process (engine + HTTP series) |
+//! | `GET /slowlog` | The engine's slow-request log, as JSON lines |
+//! | `GET /healthz` | Liveness: `{"status":"ok","version":…,"protocol":1}` |
 //!
 //! Status codes carry only *transport and protocol* meaning: `400` for
 //! bodies that are not a well-formed current-version envelope, `404`/`405`
@@ -38,6 +40,7 @@ use grouptravel_engine::{
     Engine, EngineRequest, EngineResponse, ProtocolError, RequestEnvelope, ResponseEnvelope,
     PROTOCOL_VERSION,
 };
+use grouptravel_obs::{Counter, Histogram, MetricsRegistry, PROMETHEUS_CONTENT_TYPE};
 use http::ReadError;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -77,6 +80,77 @@ impl Default for ServerConfig {
     }
 }
 
+/// The route labels `gt_http_request_seconds` is partitioned by. Unknown
+/// paths collapse onto `"other"` so scrapes cannot be label-bombed.
+const ROUTE_LABELS: [&str; 6] = [
+    "/v1/engine",
+    "/stats",
+    "/metrics",
+    "/slowlog",
+    "/healthz",
+    "other",
+];
+
+fn route_label(path: &str) -> &'static str {
+    ROUTE_LABELS
+        .iter()
+        .find(|&&label| label == path)
+        .copied()
+        .unwrap_or("other")
+}
+
+/// The HTTP layer's own series, registered into the engine's metric
+/// registry at startup so one `GET /metrics` scrape covers the process.
+struct ServerMetrics {
+    /// Per-route request latency, aligned with [`ROUTE_LABELS`].
+    routes: [Arc<Histogram>; ROUTE_LABELS.len()],
+    /// Connections accepted.
+    connections: Arc<Counter>,
+    /// Extra requests served on an already-open connection (pipelining).
+    keepalive_reuses: Arc<Counter>,
+    /// Connections reclaimed by the read timeout.
+    read_timeouts: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let routes = ROUTE_LABELS.map(|label| {
+            registry.histogram(
+                "gt_http_request_seconds",
+                "HTTP request latency by route.",
+                &[("route", label)],
+            )
+        });
+        Self {
+            routes,
+            connections: registry.counter(
+                "gt_http_connections_total",
+                "TCP connections accepted.",
+                &[],
+            ),
+            keepalive_reuses: registry.counter(
+                "gt_http_keepalive_reuses_total",
+                "Pipelined requests served on kept-alive connections.",
+                &[],
+            ),
+            read_timeouts: registry.counter(
+                "gt_http_read_timeouts_total",
+                "Connections reclaimed by the read timeout.",
+                &[],
+            ),
+        }
+    }
+
+    fn for_path(&self, path: &str) -> &Histogram {
+        let label = route_label(path);
+        let index = ROUTE_LABELS
+            .iter()
+            .position(|&l| l == label)
+            .expect("route_label returns a known label");
+        &self.routes[index]
+    }
+}
+
 /// A running front-end: the bound address plus the handles needed to shut
 /// it down. Dropping it stops the server.
 pub struct RunningServer {
@@ -101,19 +175,21 @@ impl RunningServer {
 
         let (sender, receiver) = mpsc::channel::<TcpStream>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let metrics = Arc::new(ServerMetrics::new(engine.metrics_registry()));
 
         let workers = config.worker_threads.max(1);
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let receiver = Arc::clone(&receiver);
             let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
             let config = config.clone();
             worker_handles.push(std::thread::spawn(move || loop {
                 // Holding the lock only for the recv keeps the pool a fair
                 // queue; a closed channel (accept loop gone) ends the worker.
                 let next = receiver.lock().expect("connection queue poisoned").recv();
                 match next {
-                    Ok(stream) => serve_connection(&engine, stream, &config),
+                    Ok(stream) => serve_connection(&engine, &metrics, stream, &config),
                     Err(_) => break,
                 }
             }));
@@ -191,20 +267,35 @@ impl Drop for RunningServer {
 /// and well-behaved clients reconnect. The read timeout still bounds how
 /// long a worker can be held by a client that connects and sends nothing
 /// (or stalls mid-request).
-fn serve_connection(engine: &Engine, stream: TcpStream, config: &ServerConfig) {
+fn serve_connection(
+    engine: &Engine,
+    metrics: &ServerMetrics,
+    stream: TcpStream,
+    config: &ServerConfig,
+) {
+    metrics.connections.inc();
     let _ = stream.set_read_timeout(Some(config.keep_alive_timeout));
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let mut served: u64 = 0;
     loop {
         match http::read_request(&mut reader, config.max_body_bytes) {
             Ok(request) => {
+                if served > 0 {
+                    metrics.keepalive_reuses.inc();
+                }
+                served += 1;
                 // Close unless the next pipelined request is already here.
                 let close = request.wants_close() || reader.buffer().is_empty();
-                let (status, body) = route(engine, &request);
-                if http::write_json_response(&mut writer, status, &body, close).is_err() {
+                let start = std::time::Instant::now();
+                let (status, content_type, body) = route(engine, &request);
+                metrics
+                    .for_path(&request.path)
+                    .record_duration(start.elapsed());
+                if http::write_response(&mut writer, status, content_type, &body, close).is_err() {
                     return;
                 }
                 if close {
@@ -216,6 +307,7 @@ fn serve_connection(engine: &Engine, stream: TcpStream, config: &ServerConfig) {
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 // Idle keep-alive connection: reclaim the worker.
+                metrics.read_timeouts.inc();
                 return;
             }
             Err(ReadError::Io(_)) => return,
@@ -245,8 +337,9 @@ fn error_body(error: ProtocolError) -> String {
         .expect("response envelopes always serialize")
 }
 
-/// Routes one parsed request to `(status, JSON body)`.
-fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
+/// Routes one parsed request to `(status, content type, body)`.
+fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String) {
+    const JSON: &str = "application/json";
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/engine") => {
             let body = match std::str::from_utf8(&request.body) {
@@ -254,6 +347,7 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
                 Err(_) => {
                     return (
                         400,
+                        JSON,
                         error_body(ProtocolError::new(
                             ProtocolError::MALFORMED_REQUEST,
                             "request body is not UTF-8",
@@ -266,6 +360,7 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
                 Err(e) => {
                     return (
                         400,
+                        JSON,
                         error_body(ProtocolError::new(
                             ProtocolError::MALFORMED_REQUEST,
                             format!("body is not a request envelope: {e}"),
@@ -283,6 +378,7 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
             };
             (
                 status,
+                JSON,
                 serde_json::to_string(&response).expect("response envelopes always serialize"),
             )
         }
@@ -290,16 +386,28 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
             let response = engine.dispatch(EngineRequest::Stats);
             (
                 200,
+                JSON,
                 serde_json::to_string(&ResponseEnvelope::new(response))
                     .expect("response envelopes always serialize"),
             )
         }
+        ("GET", "/metrics") => (
+            200,
+            PROMETHEUS_CONTENT_TYPE,
+            engine.metrics_registry().render_prometheus(),
+        ),
+        ("GET", "/slowlog") => (200, "application/x-ndjson", engine.slow_log().json_lines()),
         ("GET", "/healthz") => (
             200,
-            format!("{{\"status\":\"ok\",\"protocol\":{PROTOCOL_VERSION}}}"),
+            JSON,
+            format!(
+                "{{\"status\":\"ok\",\"version\":\"{}\",\"protocol\":{PROTOCOL_VERSION}}}",
+                env!("CARGO_PKG_VERSION"),
+            ),
         ),
-        (_, "/v1/engine" | "/stats" | "/healthz") => (
+        (_, "/v1/engine" | "/stats" | "/metrics" | "/slowlog" | "/healthz") => (
             405,
+            JSON,
             error_body(ProtocolError::new(
                 ProtocolError::METHOD_NOT_ALLOWED,
                 format!("{} is not valid for {}", request.method, request.path),
@@ -307,6 +415,7 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, String) {
         ),
         (_, path) => (
             404,
+            JSON,
             error_body(ProtocolError::new(
                 ProtocolError::NOT_FOUND,
                 format!("no route for `{path}`"),

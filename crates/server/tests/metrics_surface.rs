@@ -1,0 +1,356 @@
+//! The `/metrics` scrape surface, end to end: a scripted cold + warm
+//! session over real sockets, then a scrape that must parse as Prometheus
+//! text exposition, agree with `/stats`, and stay monotone across scrapes.
+//! Also pins the traced-request wire shape, the versioned `/healthz`, and
+//! the `/slowlog` NDJSON body.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineRequest, RequestEnvelope, SessionCommand,
+};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{RunningServer, ServerConfig};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn post_engine(client: &EngineClient, request: EngineRequest) -> (u16, String) {
+    let body = serde_json::to_string(&RequestEnvelope::new(request)).unwrap();
+    client.http("POST", "/v1/engine", Some(&body)).unwrap()
+}
+
+fn build_command(server: &RunningServer, session_id: u64, seed: u64) -> EngineRequest {
+    let schema = server.engine().profile_schema("Paris").expect("registered");
+    let profile = SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::Uniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    EngineRequest::Command {
+        request: CommandRequest::new(
+            session_id,
+            SessionCommand::build(
+                "Paris",
+                profile,
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ),
+    }
+}
+
+/// Strict shape check over a text exposition. Returns sample name (with
+/// labels) → value. Panics on anything a Prometheus scraper would reject:
+/// samples without a `# TYPE`, duplicate series, non-numeric values,
+/// non-cumulative histogram buckets.
+fn parse_exposition(text: &str) -> HashMap<String, f64> {
+    let mut typed: HashMap<&str, &str> = HashMap::new();
+    let mut samples: HashMap<String, f64> = HashMap::new();
+    let mut last_bucket: HashMap<String, f64> = HashMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let (keyword, name) = (parts.next().unwrap(), parts.next().unwrap_or(""));
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "unknown comment keyword in `{line}`"
+            );
+            assert!(!name.is_empty(), "comment without a metric name: `{line}`");
+            if keyword == "TYPE" {
+                let kind = parts.next().unwrap_or("");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "bad TYPE in `{line}`"
+                );
+                assert!(
+                    typed.insert(name, kind).is_none(),
+                    "metric `{name}` TYPEd twice"
+                );
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .expect("sample lines are `name value`");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric sample value in `{line}`"));
+        // The family name: strip the label set, then any histogram suffix.
+        let base = series.split('{').next().unwrap();
+        let family = base
+            .strip_suffix("_bucket")
+            .or_else(|| base.strip_suffix("_sum"))
+            .or_else(|| base.strip_suffix("_count"))
+            .filter(|f| typed.contains_key(f))
+            .unwrap_or(base);
+        let kind = *typed
+            .get(family)
+            .unwrap_or_else(|| panic!("sample `{series}` has no # TYPE"));
+        if kind == "histogram" && base.ends_with("_bucket") {
+            // Buckets are cumulative within one labelled series; key the
+            // ladder by the series with its `le` label cut out.
+            let start = series.find("le=\"").expect("buckets carry an le label");
+            let end = start + 4 + series[start + 4..].find('"').unwrap();
+            let key = format!("{}{}", &series[..start], &series[end + 1..]);
+            let prev = last_bucket.entry(key).or_insert(0.0);
+            assert!(
+                value >= *prev,
+                "bucket counts must be cumulative at `{line}`"
+            );
+            *prev = value;
+        }
+        assert!(
+            samples.insert(series.to_string(), value).is_none(),
+            "duplicate series `{series}`"
+        );
+    }
+    samples
+}
+
+fn sample(samples: &HashMap<String, f64>, series: &str) -> f64 {
+    *samples
+        .get(series)
+        .unwrap_or_else(|| panic!("series `{series}` missing from scrape"))
+}
+
+/// One raw HTTP exchange, returning (status line, headers, body) — the
+/// typed client hides headers, and `/metrics` must carry the exposition
+/// content type.
+fn raw_get(addr: std::net::SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+    let (status_line, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (
+        status_line.to_string(),
+        headers.to_string(),
+        body.to_string(),
+    )
+}
+
+#[test]
+fn a_scripted_session_yields_a_consistent_monotone_scrape() {
+    let engine = Arc::new(Engine::new(EngineConfig::fast()));
+    let server = RunningServer::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            worker_threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+
+    // Script: register, one cold build (trains FCM + LDA), one warm build
+    // in a second session (clustering cache hit), one customize.
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
+    let (status, _) = post_engine(
+        &client,
+        EngineRequest::RegisterCatalog {
+            catalog: Box::new(catalog),
+        },
+    );
+    assert_eq!(status, 200);
+    let (_, body) = post_engine(&client, build_command(&server, 1, 1));
+    assert!(body.contains("\"Ok\""), "cold build must succeed: {body}");
+    let (_, body) = post_engine(&client, build_command(&server, 2, 1));
+    assert!(body.contains("\"Ok\""), "warm build must succeed: {body}");
+    let (_, body) = post_engine(
+        &client,
+        EngineRequest::Command {
+            request: CommandRequest::new(2, SessionCommand::End),
+        },
+    );
+    assert!(body.contains("\"Ended\""), "end must succeed: {body}");
+
+    // Scrape. The body must parse strictly and carry the exposition type.
+    let (status_line, headers, text) = raw_get(server.addr(), "/metrics");
+    assert!(status_line.contains("200"), "scrape failed: {status_line}");
+    assert!(
+        headers.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "missing exposition content type in: {headers}"
+    );
+    let first = parse_exposition(&text);
+
+    // The scrape surface agrees with the stats surface.
+    let stats = engine.stats();
+    let clustering_hits = sample(
+        &first,
+        "gt_model_cache_events_total{cache=\"clustering\",event=\"hit\"}",
+    ) + sample(
+        &first,
+        "gt_model_cache_events_total{cache=\"clustering\",event=\"coalesced_wait\"}",
+    );
+    assert_eq!(clustering_hits as u64, stats.clustering_cache_hits);
+    assert_eq!(stats.clustering_cache_hits, 1, "the warm build hit");
+    assert_eq!(
+        sample(
+            &first,
+            "gt_model_cache_events_total{cache=\"clustering\",event=\"miss\"}"
+        ) as u64,
+        stats.fcm_trainings
+    );
+    assert_eq!(
+        sample(
+            &first,
+            "gt_model_cache_events_total{cache=\"vectorizer\",event=\"miss\"}"
+        ) as u64,
+        stats.lda_trainings
+    );
+    assert_eq!(
+        sample(&first, "gt_fcm_train_seconds_count") as u64,
+        stats.fcm_trainings
+    );
+
+    // Command latency covers the script's interactive commands.
+    assert_eq!(
+        sample(&first, "gt_command_latency_seconds_count{kind=\"build\"}"),
+        2.0
+    );
+    assert_eq!(
+        sample(&first, "gt_command_latency_seconds_count{kind=\"end\"}"),
+        1.0
+    );
+
+    // The HTTP layer's own series are on the same surface.
+    assert!(
+        sample(
+            &first,
+            "gt_http_request_seconds_count{route=\"/v1/engine\"}"
+        ) >= 4.0,
+        "every scripted POST was timed"
+    );
+    assert!(sample(&first, "gt_http_connections_total") >= 1.0);
+
+    // A second scrape is monotone on every counter and bucket.
+    let (_, _, text) = raw_get(server.addr(), "/metrics");
+    let second = parse_exposition(&text);
+    let monotone_keys: Vec<&String> = first
+        .keys()
+        .filter(|k| k.contains("_total") || k.contains("_count") || k.contains("_bucket"))
+        .collect();
+    assert!(!monotone_keys.is_empty());
+    for key in monotone_keys {
+        assert!(
+            sample(&second, key) >= first[key],
+            "series `{key}` went backwards between scrapes"
+        );
+    }
+    // The scrape itself was counted the second time around.
+    assert!(
+        sample(&second, "gt_http_request_seconds_count{route=\"/metrics\"}")
+            > sample(&first, "gt_http_request_seconds_count{route=\"/metrics\"}")
+    );
+
+    server.stop();
+}
+
+#[test]
+fn traced_requests_return_a_stage_timeline_over_the_wire() {
+    let server = RunningServer::start(
+        Arc::new(Engine::new(EngineConfig::fast())),
+        ServerConfig::default(),
+    )
+    .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
+    let (status, _) = post_engine(
+        &client,
+        EngineRequest::RegisterCatalog {
+            catalog: Box::new(catalog),
+        },
+    );
+    assert_eq!(status, 200);
+
+    let inner = build_command(&server, 5, 3);
+    let (status, body) = post_engine(
+        &client,
+        EngineRequest::Trace {
+            request: Box::new(inner),
+        },
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"Traced\""), "not a Traced response: {body}");
+    assert!(body.contains("\"stages\""));
+    assert!(
+        body.contains("\"dispatch.command\"") && body.contains("\"fcm.train\""),
+        "stage timeline missing expected stages: {body}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn healthz_reports_version_and_protocol() {
+    let server = RunningServer::start(
+        Arc::new(Engine::new(EngineConfig::fast())),
+        ServerConfig::default(),
+    )
+    .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+    let (status, body) = client.http("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""));
+    assert!(
+        body.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+        "healthz must report the crate version: {body}"
+    );
+    assert!(body.contains("\"protocol\":1"));
+    server.stop();
+}
+
+#[test]
+fn slowlog_serves_ndjson_of_slow_requests() {
+    // Threshold zero: every request is "slow", so the script fills the log.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        slow_log_threshold: Duration::ZERO,
+        ..EngineConfig::fast()
+    }));
+    let server = RunningServer::start(Arc::clone(&engine), ServerConfig::default())
+        .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+
+    // Empty log first: 200 with an empty NDJSON body.
+    let (status_line, headers, body) = raw_get(server.addr(), "/slowlog");
+    assert!(status_line.contains("200"));
+    assert!(headers.contains("Content-Type: application/x-ndjson"));
+    assert!(body.is_empty());
+
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
+    post_engine(
+        &client,
+        EngineRequest::RegisterCatalog {
+            catalog: Box::new(catalog),
+        },
+    );
+    let (_, body) = post_engine(&client, build_command(&server, 1, 1));
+    assert!(body.contains("\"Ok\""));
+
+    let (_, _, body) = raw_get(server.addr(), "/slowlog");
+    let entries: Vec<grouptravel_engine::SlowEntry> = body
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("slow-log lines are JSON"))
+        .collect();
+    assert_eq!(engine.slow_log().total_recorded(), 1);
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].kind, "command.build");
+    assert_eq!(entries[0].session_id, 1);
+    assert_eq!(entries[0].city, "Paris");
+    assert!(entries[0].ok);
+
+    server.stop();
+}
