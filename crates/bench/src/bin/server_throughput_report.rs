@@ -1,19 +1,31 @@
 //! Measures requests/sec through the HTTP/JSON front-end vs. the
 //! in-process engine — same engine instance, same catalog, same warm model
-//! substrate, so the delta is exactly the wire: TCP connect, HTTP parse,
-//! JSON encode/decode on both sides.
+//! substrate, so the delta is exactly the wire: HTTP parse and JSON
+//! encode/decode on both sides (the client's keep-alive pool removes the
+//! per-request TCP connect from the steady state).
+//!
+//! Also runs the idle-connection soak: a child process (this binary
+//! re-exec'd with `--soak-client`) holds thousands of idle keep-alive
+//! sockets against the reactor while the parent verifies the thread count
+//! stays flat and the server stays responsive — the one-thread-per-
+//! connection design this replaced could not pass it, and a single
+//! process could not hold both socket ends of 10k connections under the
+//! default fd limit.
 //!
 //! Writes `BENCH_server.json` (first CLI argument overrides the output
 //! path). Run with `cargo run --release -p grouptravel-bench --bin
 //! server_throughput_report`. `GT_SERVER_THROUGHPUT_SMOKE=1` shrinks the
-//! request counts to a CI-sized smoke run.
+//! request counts to a CI-sized smoke run (and skips the soak);
+//! `GT_SERVER_SOAK_SMOKE=1` runs a reduced 1k-connection soak.
 
 use grouptravel::prelude::*;
 use grouptravel_engine::{Engine, EngineConfig, EngineRequest, EngineResponse, PackageRequest};
 use grouptravel_server::client::EngineClient;
-use grouptravel_server::{RunningServer, ServerConfig};
+use grouptravel_server::{Backend, RunningServer, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn paris_catalog() -> PoiCatalog {
     SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(97)).generate()
@@ -37,27 +49,39 @@ fn request_for(engine: &Engine, session_id: u64, fcm_seed: u64) -> PackageReques
 }
 
 /// Serves `n` warm one-shot requests in-process, returns requests/sec.
+/// Requests are generated before the clock starts: the bench measures
+/// serving, not synthetic-profile generation.
 fn measure_in_process(engine: &Engine, n: u64) -> f64 {
+    let requests: Vec<PackageRequest> = (0..n)
+        .map(|i| request_for(engine, 10_000 + i, 42))
+        .collect();
     let start = Instant::now();
-    for i in 0..n {
-        let response = engine.serve(&request_for(engine, 10_000 + i, 42));
+    for request in &requests {
+        let response = engine.serve(request);
         assert!(response.outcome.is_ok());
     }
     n as f64 / start.elapsed().as_secs_f64()
 }
 
 /// Serves `n` warm one-shot requests over HTTP from `clients` concurrent
-/// client threads (connection per request), returns aggregate requests/sec.
+/// client threads (each with its own kept-alive pooled connection),
+/// returns aggregate requests/sec. Requests are pre-generated, as in
+/// [`measure_in_process`].
 fn measure_http(engine: &Engine, addr: std::net::SocketAddr, n: u64, clients: u64) -> f64 {
     let per_client = n / clients.max(1);
+    let prepared: Vec<Vec<PackageRequest>> = (0..clients.max(1))
+        .map(|c| {
+            (0..per_client)
+                .map(|i| request_for(engine, 50_000 + c * per_client + i, 42))
+                .collect()
+        })
+        .collect();
     let start = Instant::now();
     std::thread::scope(|scope| {
-        for c in 0..clients.max(1) {
+        for requests in prepared {
             let client = EngineClient::new(addr);
-            let engine = &engine;
             scope.spawn(move || {
-                for i in 0..per_client {
-                    let request = request_for(engine, 50_000 + c * per_client + i, 42);
+                for request in requests {
                     let response = client
                         .request(EngineRequest::Build {
                             request: Box::new(request),
@@ -74,6 +98,88 @@ fn measure_http(engine: &Engine, addr: std::net::SocketAddr, n: u64, clients: u6
         }
     });
     (per_client * clients.max(1)) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Serves `n` warm requests pipelined in chunks over one connection:
+/// every frame of a chunk is written before the first response is read,
+/// amortizing the write/read turnaround. Returns requests/sec.
+fn measure_http_pipelined(
+    engine: &Engine,
+    addr: std::net::SocketAddr,
+    n: u64,
+    chunk: usize,
+) -> f64 {
+    let client = EngineClient::new(addr);
+    let requests: Vec<EngineRequest> = (0..n)
+        .map(|i| EngineRequest::Build {
+            request: Box::new(request_for(engine, 70_000 + i, 42)),
+        })
+        .collect();
+    let start = Instant::now();
+    for batch in requests.chunks(chunk) {
+        let responses = client.pipeline(batch).expect("pipeline works");
+        assert_eq!(responses.len(), batch.len());
+        for response in responses {
+            assert!(matches!(response, EngineResponse::Package { .. }));
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The pre-reactor design, reproduced for the in-run A/B: the blocking
+/// worker-pool backend with a fresh TCP connection per request (a new
+/// `EngineClient` each iteration starts with an empty pool). Returns
+/// requests/sec.
+fn measure_http_legacy(engine: &Engine, addr: std::net::SocketAddr, n: u64) -> f64 {
+    let requests: Vec<PackageRequest> = (0..n)
+        .map(|i| request_for(engine, 60_000 + i, 42))
+        .collect();
+    let start = Instant::now();
+    for request in requests {
+        let client = EngineClient::new(addr);
+        let response = client
+            .request(EngineRequest::Build {
+                request: Box::new(request),
+            })
+            .expect("transport works");
+        assert!(matches!(response, EngineResponse::Package { .. }));
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// `GET /healthz` on one pooled connection, `n` times: the wire's floor —
+/// no engine work, no profile JSON on either side. Requests/sec.
+fn measure_http_floor(addr: std::net::SocketAddr, n: u64) -> f64 {
+    let client = EngineClient::new(addr);
+    let start = Instant::now();
+    for _ in 0..n {
+        let (status, _) = client.http("GET", "/healthz", None).expect("probe");
+        assert_eq!(status, 200);
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Serves `n` warm requests as `EngineRequest::Batch` frames of `chunk`
+/// builds each: one HTTP exchange per chunk, engine-side fan-out — the
+/// protocol's own amortization of the wire. Returns builds/sec.
+fn measure_http_batched(engine: &Engine, addr: std::net::SocketAddr, n: u64, chunk: u64) -> f64 {
+    let client = EngineClient::new(addr);
+    let chunks: Vec<Vec<PackageRequest>> = (0..n)
+        .map(|i| request_for(engine, 80_000 + i, 42))
+        .collect::<Vec<_>>()
+        .chunks(chunk as usize)
+        .map(<[PackageRequest]>::to_vec)
+        .collect();
+    let start = Instant::now();
+    for requests in chunks {
+        let expected = requests.len();
+        let responses = client.build_batch(requests).expect("batch works");
+        assert_eq!(responses.len(), expected);
+        for response in &responses {
+            assert!(response.outcome.is_ok());
+        }
+    }
+    n as f64 / start.elapsed().as_secs_f64()
 }
 
 /// One cold build (fresh clustering seed), returns latency in microseconds.
@@ -97,11 +203,128 @@ fn measure_cold_once(engine: &Engine, client: Option<&EngineClient>, fcm_seed: u
     start.elapsed().as_secs_f64() * 1e6
 }
 
+/// Threads of this process, from /proc/self/status (0 off Linux).
+fn thread_count() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Child role: hold `n` idle connections to `addr`, report, wait for the
+/// parent to say `done`, exit. Run in a separate process so the 10k
+/// client-side fds don't share the server process's fd budget.
+fn run_soak_client(addr: &str, n: usize) -> ! {
+    let mut held = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while held.len() < n {
+        match TcpStream::connect(addr) {
+            Ok(stream) => held.push(stream),
+            Err(_) => {
+                // Accept backlog overflow under the connect flood: back
+                // off briefly and keep going.
+                attempts += 1;
+                if attempts > 1000 {
+                    println!("FAILED {} of {n}", held.len());
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    println!("HELD {n}");
+    std::io::stdout().flush().ok();
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line); // `done` or parent EOF
+    drop(held);
+    std::process::exit(0);
+}
+
+struct SoakResult {
+    connections: usize,
+    threads_before: u64,
+    threads_during: u64,
+    healthz_under_load_us: f64,
+}
+
+/// Parent side of the soak: spawn the child, wait until it holds every
+/// connection, check thread count and responsiveness, release the child.
+fn run_soak(engine: &Arc<Engine>, n: usize) -> SoakResult {
+    let server = RunningServer::start(
+        Arc::clone(engine),
+        ServerConfig {
+            backend: Backend::Reactor,
+            worker_threads: 2,
+            // The soak holds connections for seconds; don't reap them.
+            keep_alive_timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind the soak server");
+    let threads_before = thread_count();
+
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = std::process::Command::new(exe)
+        .arg("--soak-client")
+        .arg(server.addr().to_string())
+        .arg(n.to_string())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn the soak client");
+    let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    child_out.read_line(&mut line).expect("child reports");
+    assert!(
+        line.starts_with("HELD"),
+        "soak client failed to hold {n} connections: {line}"
+    );
+
+    let threads_during = thread_count();
+    // Responsiveness with every idle connection parked.
+    let client = EngineClient::new(server.addr());
+    let start = Instant::now();
+    let (status, _) = client.http("GET", "/healthz", None).expect("probe");
+    let healthz_under_load_us = start.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(status, 200);
+
+    child
+        .stdin
+        .take()
+        .expect("child stdin")
+        .write_all(b"done\n")
+        .ok();
+    child.wait().ok();
+    server.stop();
+    SoakResult {
+        connections: n,
+        threads_before,
+        threads_during,
+        healthz_under_load_us,
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "--soak-client") {
+        let addr = args.get(2).expect("--soak-client <addr> <n>");
+        let n: usize = args
+            .get(3)
+            .and_then(|v| v.parse().ok())
+            .expect("conn count");
+        run_soak_client(addr, n);
+    }
+
+    let out_path = args
+        .get(1)
+        .cloned()
         .unwrap_or_else(|| "BENCH_server.json".to_string());
     let smoke = std::env::var("GT_SERVER_THROUGHPUT_SMOKE").is_ok();
+    let soak_smoke = std::env::var("GT_SERVER_SOAK_SMOKE").is_ok();
     let warm_requests: u64 = if smoke { 32 } else { 2_000 };
     let client_counts: &[u64] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
 
@@ -110,7 +333,12 @@ fn main() {
     let server = RunningServer::start(
         Arc::clone(&engine),
         ServerConfig {
-            worker_threads: 8,
+            // Dispatch workers sized to the machine: engine work is
+            // CPU-bound, so extra workers are scheduler churn, not
+            // throughput.
+            worker_threads: std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .min(8),
             ..ServerConfig::default()
         },
     )
@@ -137,6 +365,70 @@ fn main() {
             rps / in_process_rps
         ));
     }
+    let pipelined_rps = measure_http_pipelined(&engine, server.addr(), warm_requests, 64);
+    eprintln!("http warm, pipelined x64: {pipelined_rps:.0} req/s");
+    let batched_rps = measure_http_batched(&engine, server.addr(), warm_requests, 64);
+    eprintln!("http warm, batched x64: {batched_rps:.0} builds/s");
+    let floor_rps = measure_http_floor(server.addr(), warm_requests);
+    eprintln!("http healthz floor: {floor_rps:.0} req/s");
+
+    // In-run A/B against the design this PR replaced: blocking backend,
+    // connection per request — same engine, same warm cache, same machine
+    // state, so the delta is the front-end and nothing else.
+    let legacy_server = RunningServer::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            backend: Backend::Blocking,
+            worker_threads: std::thread::available_parallelism()
+                .map_or(2, std::num::NonZeroUsize::get)
+                .min(8),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind the legacy server");
+    let legacy_rps = measure_http_legacy(&engine, legacy_server.addr(), warm_requests);
+    eprintln!("http warm, legacy (blocking + connection/request): {legacy_rps:.0} req/s");
+    legacy_server.stop();
+
+    // The pool must actually be reusing connections, or the numbers above
+    // measure the wrong thing.
+    let keepalive_reuses = engine
+        .metrics_registry()
+        .counter("gt_http_keepalive_reuses_total", "", &[])
+        .get();
+    assert!(
+        keepalive_reuses > 0,
+        "the bench client must reuse kept-alive connections"
+    );
+    server.stop();
+
+    // Idle-connection soak (Linux reactor only; the throughput smoke
+    // skips it unless the reduced soak was asked for explicitly).
+    let soak = if cfg!(target_os = "linux") && (!smoke || soak_smoke) {
+        let conns = if soak_smoke { 1_000 } else { 10_000 };
+        let result = run_soak(&engine, conns);
+        eprintln!(
+            "soak: {} idle connections, threads {} -> {}, healthz under load {:.0}us",
+            result.connections,
+            result.threads_before,
+            result.threads_during,
+            result.healthz_under_load_us
+        );
+        assert!(
+            result.threads_during <= result.threads_before + 4,
+            "idle connections must not spawn threads"
+        );
+        format!(
+            "{{\"connections\": {}, \"threads_before\": {}, \"threads_during\": {}, \
+             \"healthz_under_load_us\": {:.0}, \"passed\": true}}",
+            result.connections,
+            result.threads_before,
+            result.threads_during,
+            result.healthz_under_load_us
+        )
+    } else {
+        "null".to_string()
+    };
 
     let stats = engine.stats();
     let json = format!(
@@ -145,6 +437,12 @@ fn main() {
          \"in_process_warm_rps\": {in_process_rps:.1},\n  \
          \"cold_build_us\": {{\"in_process\": {cold_in_process_us:.0}, \"http\": {cold_http_us:.0}}},\n  \
          \"fcm_trainings\": {},\n  \"lda_trainings\": {},\n  \
+         \"keepalive_reuses\": {keepalive_reuses},\n  \
+         \"http_warm_pipelined_rps\": {pipelined_rps:.1},\n  \
+         \"http_warm_batched_rps\": {batched_rps:.1},\n  \
+         \"http_healthz_floor_rps\": {floor_rps:.1},\n  \
+         \"http_warm_legacy_rps\": {legacy_rps:.1},\n  \
+         \"idle_soak\": {soak},\n  \
          \"http_warm\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         stats.fcm_trainings,
@@ -153,5 +451,4 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write BENCH_server.json");
     eprintln!("wrote {out_path}");
-    server.stop();
 }

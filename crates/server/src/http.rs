@@ -1,5 +1,5 @@
 //! A deliberately small HTTP/1.1 implementation: request parsing and
-//! response writing over blocking streams.
+//! response writing.
 //!
 //! The build environment is offline, so there is no hyper/axum to lean on —
 //! and the front-end needs only the fraction of HTTP/1.1 a JSON RPC surface
@@ -8,6 +8,15 @@
 //! parser is strict about what it accepts and typed about how it fails;
 //! everything beyond this subset is answered at the routing layer, not
 //! guessed at here.
+//!
+//! The core is [`RequestParser`], an **incremental** state machine: bytes
+//! are [`fed`](RequestParser::feed) in whatever fragments the transport
+//! delivers them — a byte at a time under an epoll readiness loop, a whole
+//! pipelined burst at once — and [`poll`](RequestParser::poll) yields each
+//! completed request as soon as its last byte arrives, keeping any
+//! overshoot buffered for the next request on the connection. The blocking
+//! [`read_request`] convenience is a thin loop over the same machine, so
+//! the reactor and the blocking fallback cannot disagree about what parses.
 
 use std::io::{self, BufRead, Write};
 
@@ -16,7 +25,8 @@ use std::io::{self, BufRead, Write};
 pub struct Request {
     /// The method verb, uppercased by the client (`GET`, `POST`, …).
     pub method: String,
-    /// The request path including any query string (`/v1/engine`).
+    /// The request target as sent, including any query string
+    /// (`/v1/engine`, `/stats?pretty`). Routing splits at `?`.
     pub path: String,
     /// Lowercased header names with their untrimmed-value pairs.
     pub headers: Vec<(String, String)>,
@@ -35,12 +45,22 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// The request path with any query string cut off: `/stats?pretty`
+    /// routes (and is metric-labelled) as `/stats`.
+    #[must_use]
+    pub fn route_path(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
     /// Whether the client asked for the connection to close after this
-    /// exchange (HTTP/1.1 defaults to keep-alive).
+    /// exchange (HTTP/1.1 defaults to keep-alive). `Connection` is a
+    /// comma-separated token list, so `keep-alive, close` closes too.
     #[must_use]
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        self.header("connection").is_some_and(|v| {
+            v.split(',')
+                .any(|token| token.trim().eq_ignore_ascii_case("close"))
+        })
     }
 }
 
@@ -70,19 +90,157 @@ impl From<io::Error> for ReadError {
 }
 
 /// Maximum accepted size of the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 64 * 1024;
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 
-/// Reads one request from a blocking stream.
-///
-/// # Errors
-/// See [`ReadError`]; `ConnectionClosed` is the clean end of a keep-alive
-/// connection.
-pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
-    let request_line = match read_line(stream, MAX_HEAD_BYTES)? {
-        Some(line) if !line.is_empty() => line,
-        // EOF before a request line, or a bare blank line: peer is done.
-        _ => return Err(ReadError::ConnectionClosed),
-    };
+/// The head of a request whose body has not finished arriving.
+#[derive(Debug)]
+struct PendingBody {
+    method: String,
+    path: String,
+    headers: Vec<(String, String)>,
+    content_length: usize,
+}
+
+/// An incremental HTTP/1.1 request parser: a connection owns one for its
+/// whole life, feeds it raw reads, and polls completed requests out of it.
+/// Bytes beyond a completed request stay buffered (pipelining), and a
+/// request split across arbitrarily many feeds — one byte per readiness
+/// event, a head/body boundary mid-TCP-segment — resumes where it left
+/// off. All limits (head size, body size) are enforced as bytes arrive,
+/// before anything is buffered unboundedly.
+#[derive(Debug)]
+pub struct RequestParser {
+    max_body: usize,
+    /// Unconsumed input. Head bytes are drained once the head parses;
+    /// body bytes once the request completes.
+    buf: Vec<u8>,
+    /// Resume offset for the blank-line scan, so re-polling after a
+    /// one-byte feed is O(1), not a rescan of the whole head.
+    scanned: usize,
+    /// Set once the head has parsed; the body is still arriving.
+    pending: Option<PendingBody>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `max_body` on declared `Content-Length`s.
+    #[must_use]
+    pub fn new(max_body: usize) -> Self {
+        Self {
+            max_body,
+            buf: Vec::new(),
+            scanned: 0,
+            pending: None,
+        }
+    }
+
+    /// Appends transport bytes. Call [`poll`](Self::poll) afterwards —
+    /// one feed can complete several pipelined requests.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the parser sits cleanly between requests: nothing buffered,
+    /// no partial head or body. EOF here is a clean keep-alive close; EOF
+    /// anywhere else is a peer that died mid-request.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.buf.is_empty() && self.pending.is_none()
+    }
+
+    /// Tries to complete one request from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` when more input is needed. After `Ok(Some(_))`,
+    /// call again — the next pipelined request may already be buffered.
+    ///
+    /// # Errors
+    /// `Malformed` / `BodyTooLarge` as in [`ReadError`]; a parser that has
+    /// returned an error is poisoned for the connection (framing is lost —
+    /// the caller must close).
+    pub fn poll(&mut self) -> Result<Option<Request>, ReadError> {
+        while self.pending.is_none() {
+            match self.find_head_end()? {
+                Some(head_end) => {
+                    let head = &self.buf[..head_end];
+                    // Blank line(s) before the request line are padding
+                    // (RFC 9112 §2.2): skip and rescan.
+                    let pending = if head.iter().all(|&b| b == b'\r' || b == b'\n') {
+                        None
+                    } else {
+                        Some(parse_head(head, self.max_body)?)
+                    };
+                    self.buf.drain(..head_end);
+                    self.scanned = 0;
+                    if let Some(pending) = pending {
+                        self.pending = Some(pending);
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+        let needed = self
+            .pending
+            .as_ref()
+            .expect("pending set above")
+            .content_length;
+        if self.buf.len() < needed {
+            return Ok(None);
+        }
+        let PendingBody {
+            method,
+            path,
+            headers,
+            content_length,
+        } = self.pending.take().expect("pending set above");
+        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        self.scanned = 0;
+        Ok(Some(Request {
+            method,
+            path,
+            headers,
+            body,
+        }))
+    }
+
+    /// Scans for the head-terminating blank line; returns the byte offset
+    /// one past it. Lines end in `\n` with an optional `\r`.
+    fn find_head_end(&mut self) -> Result<Option<usize>, ReadError> {
+        let mut i = self.scanned;
+        while i < self.buf.len() {
+            if self.buf[i] == b'\n' {
+                // A `\n` directly after the previous line's `\n` (modulo
+                // one `\r`) terminates the head.
+                let line_start = self.buf[..i]
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |p| p + 1);
+                let line = &self.buf[line_start..i];
+                if line.is_empty() || line == b"\r" {
+                    return Ok(Some(i + 1));
+                }
+            }
+            i += 1;
+        }
+        self.scanned = i;
+        if self.buf.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+        Ok(None)
+    }
+}
+
+/// Parses a complete head (request line + headers + terminating blank
+/// line) and validates framing headers.
+fn parse_head(head: &[u8], max_body: usize) -> Result<PendingBody, ReadError> {
+    let head = std::str::from_utf8(head)
+        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
@@ -95,19 +253,11 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
             "bad request line `{request_line}`"
         )));
     }
-
     let mut headers = Vec::new();
-    let mut head_budget = MAX_HEAD_BYTES.saturating_sub(request_line.len());
-    loop {
-        let Some(line) = read_line(stream, head_budget)? else {
-            return Err(ReadError::Malformed(
-                "connection closed mid-headers".to_string(),
-            ));
-        };
+    for line in lines {
         if line.is_empty() {
             break;
         }
-        head_budget = head_budget.saturating_sub(line.len());
         let Some((name, value)) = line.split_once(':') else {
             return Err(ReadError::Malformed(format!("bad header line `{line}`")));
         };
@@ -123,58 +273,78 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
             "Transfer-Encoding is not supported; send a Content-Length body".to_string(),
         ));
     }
-    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => v
+    // Duplicate `Content-Length` headers that *disagree* are the classic
+    // request-desync primitive on kept-alive connections: two framings,
+    // one wire. Reject them; agreeing repeats are tolerated per RFC 9110.
+    let mut content_length: Option<usize> = None;
+    for (_, v) in headers.iter().filter(|(k, _)| k == "content-length") {
+        let n = v
             .parse::<usize>()
-            .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{v}`")))?,
-        None => 0,
-    };
+            .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{v}`")))?;
+        match content_length {
+            Some(prev) if prev != n => {
+                return Err(ReadError::Malformed(format!(
+                    "conflicting Content-Length headers ({prev} vs {n})"
+                )));
+            }
+            _ => content_length = Some(n),
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(ReadError::BodyTooLarge {
             declared: content_length,
             limit: max_body,
         });
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
-
-    Ok(Request {
+    Ok(PendingBody {
         method: method.to_string(),
         path: path.to_string(),
         headers,
-        body,
+        content_length,
     })
 }
 
-/// Reads one CRLF- (or LF-) terminated line, without its terminator.
-/// Returns `None` on immediate EOF. Lines longer than `limit` are malformed.
-fn read_line(stream: &mut impl BufRead, limit: usize) -> Result<Option<String>, ReadError> {
-    let mut line = Vec::new();
+/// Reads one request from a blocking stream: a convenience loop over
+/// [`RequestParser`] for one-shot parsing. Connection loops that must
+/// preserve pipelined bytes across requests should hold their own parser
+/// and use [`read_request_with`] instead — this function's parser (and any
+/// overshoot buffered in it) is dropped on return.
+///
+/// # Errors
+/// See [`ReadError`]; `ConnectionClosed` is the clean end of a keep-alive
+/// connection.
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, ReadError> {
+    let mut parser = RequestParser::new(max_body);
+    read_request_with(&mut parser, stream)
+}
+
+/// Reads one request from a blocking stream through a caller-held parser,
+/// so bytes beyond the returned request (the next pipelined request)
+/// survive in the parser for the following call.
+///
+/// # Errors
+/// See [`ReadError`]; `ConnectionClosed` is the clean end of a keep-alive
+/// connection.
+pub fn read_request_with(
+    parser: &mut RequestParser,
+    stream: &mut impl BufRead,
+) -> Result<Request, ReadError> {
     loop {
-        let mut byte = [0u8; 1];
-        match stream.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Ok(None);
-                }
-                return Err(ReadError::Malformed("connection closed mid-line".into()));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
-                    }
-                    return String::from_utf8(line)
-                        .map(Some)
-                        .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()));
-                }
-                line.push(byte[0]);
-                if line.len() > limit {
-                    return Err(ReadError::Malformed("request head too large".into()));
-                }
-            }
-            Err(e) => return Err(ReadError::Io(e)),
+        if let Some(request) = parser.poll()? {
+            return Ok(request);
         }
+        let chunk = stream.fill_buf()?;
+        if chunk.is_empty() {
+            return Err(if parser.is_clean() {
+                ReadError::ConnectionClosed
+            } else {
+                ReadError::Malformed("connection closed mid-request".into())
+            });
+        }
+        let n = chunk.len();
+        parser.feed(chunk);
+        stream.consume(n);
     }
 }
 
@@ -188,13 +358,31 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes one response with an explicit content type. `close` adds
-/// `Connection: close` (the server's keep-alive decision, echoed to the
-/// client).
+/// Renders one response (head + body) into a byte buffer — the reactor's
+/// write state machine sends from this, possibly across many readiness
+/// events. `close` adds `Connection: close` (the server's keep-alive
+/// decision, echoed to the client).
+#[must_use]
+pub fn encode_response(status: u16, content_type: &str, body: &str, close: bool) -> Vec<u8> {
+    let connection = if close { "Connection: close\r\n" } else { "" };
+    let mut out = Vec::with_capacity(body.len() + 128);
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{connection}\r\n",
+        reason(status),
+        body.len(),
+    );
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Writes one response with an explicit content type over a blocking
+/// stream.
 ///
 /// # Errors
 /// Propagates transport failures.
@@ -205,14 +393,7 @@ pub fn write_response(
     body: &str,
     close: bool,
 ) -> io::Result<()> {
-    let connection = if close { "Connection: close\r\n" } else { "" };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{connection}\r\n",
-        reason(status),
-        body.len(),
-    )?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&encode_response(status, content_type, body, close))?;
     stream.flush()
 }
 
@@ -259,8 +440,42 @@ mod tests {
     }
 
     #[test]
+    fn connection_close_is_recognized_as_a_list_token() {
+        // `Connection` is a comma-separated token list: `keep-alive, close`
+        // still closes (regression: only the exact value used to match).
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n").unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.1\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+        // `close` must be a whole token, not a substring of one.
+        let req = parse("GET / HTTP/1.1\r\nConnection: closed-captioning\r\n\r\n").unwrap();
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn route_path_cuts_the_query_string() {
+        let req = parse("GET /healthz?probe=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/healthz?probe=1");
+        assert_eq!(req.route_path(), "/healthz");
+        let req = parse("GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.route_path(), "/stats");
+    }
+
+    #[test]
     fn eof_before_a_request_is_a_clean_close() {
         assert!(matches!(parse(""), Err(ReadError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn eof_mid_request_is_malformed() {
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nhalf"),
+            Err(ReadError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -284,6 +499,18 @@ mod tests {
     }
 
     #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        // Two differing framings on one request is a desync hazard, not a
+        // request (regression: the first value used to win silently).
+        let result = parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nbody");
+        assert!(matches!(result, Err(ReadError::Malformed(_))));
+        // Agreeing repeats are tolerated per RFC 9110 §8.6.
+        let req =
+            parse("POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody").unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
     fn chunked_bodies_are_rejected_not_desynced() {
         let result =
             parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n");
@@ -300,6 +527,56 @@ mod tests {
                 limit: 1024
             })
         ));
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_incrementally() {
+        let mut parser = RequestParser::new(1024);
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        let long_header = format!("X-Padding: {}\r\n", "y".repeat(MAX_HEAD_BYTES));
+        parser.feed(long_header.as_bytes());
+        assert!(matches!(parser.poll(), Err(ReadError::Malformed(_))));
+    }
+
+    #[test]
+    fn byte_at_a_time_feeds_resume_mid_head_and_mid_body() {
+        let raw = "POST /v1/engine HTTP/1.1\r\nContent-Length: 5\r\nX-Torn: yes\r\n\r\nhello";
+        let mut parser = RequestParser::new(1024);
+        for (i, byte) in raw.as_bytes().iter().enumerate() {
+            assert!(
+                parser.poll().unwrap().is_none(),
+                "no request before byte {i}"
+            );
+            parser.feed(&[*byte]);
+        }
+        let req = parser.poll().unwrap().expect("last byte completes it");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.header("x-torn"), Some("yes"));
+        assert_eq!(req.body, b"hello");
+        assert!(parser.is_clean());
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order_from_one_feed() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\nPOST /v1/engine HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /stats HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new(1024);
+        parser.feed(raw.as_bytes());
+        let first = parser.poll().unwrap().expect("first request");
+        assert_eq!(first.path, "/healthz");
+        let second = parser.poll().unwrap().expect("second request");
+        assert_eq!(second.path, "/v1/engine");
+        assert_eq!(second.body, b"hi");
+        let third = parser.poll().unwrap().expect("third request");
+        assert_eq!(third.path, "/stats");
+        assert!(parser.poll().unwrap().is_none());
+        assert!(parser.is_clean());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_parse_too() {
+        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
     }
 
     #[test]

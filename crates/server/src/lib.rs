@@ -2,10 +2,25 @@
 //!
 //! One process boundary, one protocol: this crate serves the engine's
 //! versioned wire protocol ([`grouptravel_engine::protocol`]) over a
-//! hand-rolled **blocking HTTP/1.1** front-end — `std::net::TcpListener`,
-//! an accept thread, and a fixed worker pool. No external dependencies, in
-//! keeping with the workspace's offline `vendor/` policy; the async/epoll
-//! evolution is a ROADMAP follow-up, not a prerequisite.
+//! hand-rolled HTTP/1.1 front-end with **two interchangeable backends**:
+//!
+//! - [`Backend::Reactor`] (the default on Linux): a single-threaded
+//!   `epoll` event loop owning every socket — nonblocking accept,
+//!   per-connection read/parse/write state machines that resume across
+//!   readiness events, a timer wheel for idle keep-alive reaping, and a
+//!   small worker pool that runs engine work off the loop. Connection
+//!   count is decoupled from thread count: 10k idle keep-alive sockets
+//!   cost 10k fds and one thread, not 10k threads. See [`reactor`].
+//! - [`Backend::Blocking`] (the portability fallback, and the default off
+//!   Linux): `std::net::TcpListener`, an accept thread, and a fixed worker
+//!   pool — one worker per in-flight connection.
+//!
+//! Both backends parse with the same incremental [`http::RequestParser`]
+//! and route through the same [`route`] function, so they cannot disagree
+//! about behavior — the `http_differential` suite pins them byte-identical
+//! over real sockets. No external dependencies, in keeping with the
+//! workspace's offline `vendor/` policy (the reactor declares its four
+//! syscalls against the libc std already links).
 //!
 //! ## Routes
 //!
@@ -16,6 +31,9 @@
 //! | `GET /metrics` | Prometheus text exposition of the whole process (engine + HTTP series) |
 //! | `GET /slowlog` | The engine's slow-request log, as JSON lines |
 //! | `GET /healthz` | Liveness: `{"status":"ok","version":…,"protocol":1}` |
+//!
+//! Query strings are cut before routing and metric labeling:
+//! `GET /healthz?probe=1` is `/healthz`, not a 404.
 //!
 //! Status codes carry only *transport and protocol* meaning: `400` for
 //! bodies that are not a well-formed current-version envelope, `404`/`405`
@@ -35,13 +53,15 @@
 //! `http_differential` suite proves it end to end over real sockets.
 
 pub mod http;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 
 use grouptravel_engine::{
     Engine, EngineRequest, EngineResponse, ProtocolError, RequestEnvelope, ResponseEnvelope,
     PROTOCOL_VERSION,
 };
 use grouptravel_obs::{Counter, Histogram, MetricsRegistry, PROMETHEUS_CONTENT_TYPE};
-use http::ReadError;
+use http::{ReadError, RequestParser};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,21 +70,52 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Which front-end implementation serves the sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The epoll event loop (Linux only; elsewhere `start` silently uses
+    /// `Blocking`, the documented portability fallback).
+    Reactor,
+    /// The accept-thread + worker-pool design: simple, portable, but one
+    /// parked worker per in-flight connection.
+    Blocking,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            Backend::Reactor
+        } else {
+            Backend::Blocking
+        }
+    }
+}
+
 /// Tuning knobs of the HTTP front-end.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind (`127.0.0.1:0` picks an ephemeral port — the tests'
     /// and benches' default).
     pub addr: String,
-    /// Connection-handling worker threads (clamped to at least 1).
+    /// Worker threads (clamped to at least 1). Under the reactor these
+    /// only run engine work; under the blocking backend they own whole
+    /// connections.
     pub worker_threads: usize,
     /// Largest accepted request body, in bytes.
     pub max_body_bytes: usize,
-    /// Read timeout per connection: bounds how long a worker can be held
-    /// by a client that connects and sends nothing, or stalls mid-request.
-    /// (Idle keep-alive sockets never park a worker — connections close
-    /// after responding unless the next request is already pipelined.)
+    /// How long a connection may sit idle (or stalled mid-request /
+    /// mid-response) before it is reclaimed.
     pub keep_alive_timeout: Duration,
+    /// Which front-end serves the sockets.
+    pub backend: Backend,
+    /// Connection cap for the reactor: accepts beyond it are shed
+    /// immediately so established connections keep their service level.
+    /// (The blocking backend is implicitly capped by its worker count.)
+    pub max_connections: usize,
+    /// Test knob: cap bytes written per readiness event so partial-write
+    /// resumption is exercised deterministically. `None` (the default)
+    /// writes as much as the socket accepts.
+    pub write_chunk_limit: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +127,9 @@ impl Default for ServerConfig {
                 .min(8),
             max_body_bytes: 64 * 1024 * 1024,
             keep_alive_timeout: Duration::from_secs(5),
+            backend: Backend::default(),
+            max_connections: 16_384,
+            write_chunk_limit: None,
         }
     }
 }
@@ -91,7 +145,10 @@ const ROUTE_LABELS: [&str; 6] = [
     "other",
 ];
 
+/// Maps a request path to its metric label. The query string never
+/// changes the label: `/stats?pretty` is `/stats`, not `other`.
 fn route_label(path: &str) -> &'static str {
+    let path = path.split('?').next().unwrap_or(path);
     ROUTE_LABELS
         .iter()
         .find(|&&label| label == path)
@@ -106,9 +163,10 @@ struct ServerMetrics {
     routes: [Arc<Histogram>; ROUTE_LABELS.len()],
     /// Connections accepted.
     connections: Arc<Counter>,
-    /// Extra requests served on an already-open connection (pipelining).
+    /// Extra requests served on an already-open connection (keep-alive
+    /// reuse, pipelined or not).
     keepalive_reuses: Arc<Counter>,
-    /// Connections reclaimed by the read timeout.
+    /// Connections reclaimed by the idle/stall timeout.
     read_timeouts: Arc<Counter>,
 }
 
@@ -130,12 +188,12 @@ impl ServerMetrics {
             ),
             keepalive_reuses: registry.counter(
                 "gt_http_keepalive_reuses_total",
-                "Pipelined requests served on kept-alive connections.",
+                "Requests served on an already-open (kept-alive) connection.",
                 &[],
             ),
             read_timeouts: registry.counter(
                 "gt_http_read_timeouts_total",
-                "Connections reclaimed by the read timeout.",
+                "Connections reclaimed by the idle/stall timeout.",
                 &[],
             ),
         }
@@ -151,31 +209,59 @@ impl ServerMetrics {
     }
 }
 
+/// The running backend's shutdown handles.
+enum BackendHandle {
+    Blocking {
+        shutdown: Arc<AtomicBool>,
+        accept_handle: Option<JoinHandle<()>>,
+        worker_handles: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Reactor(reactor::ReactorHandle),
+}
+
 /// A running front-end: the bound address plus the handles needed to shut
 /// it down. Dropping it stops the server.
 pub struct RunningServer {
     engine: Arc<Engine>,
     local_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    inner: BackendHandle,
 }
 
 impl RunningServer {
-    /// Binds `config.addr`, spawns the accept loop and worker pool, and
-    /// returns immediately; the server serves until [`RunningServer::stop`]
-    /// or drop.
+    /// Binds `config.addr`, spawns the configured backend, and returns
+    /// immediately; the server serves until [`RunningServer::stop`] or
+    /// drop. A `Backend::Reactor` request on a non-Linux platform falls
+    /// back to the blocking backend.
     ///
     /// # Errors
     /// Fails when the address cannot be bound.
     pub fn start(engine: Arc<Engine>, config: ServerConfig) -> io::Result<Self> {
+        let metrics = Arc::new(ServerMetrics::new(engine.metrics_registry()));
+        #[cfg(target_os = "linux")]
+        if config.backend == Backend::Reactor {
+            let (local_addr, handle) =
+                reactor::start(Arc::clone(&engine), Arc::clone(&metrics), config)?;
+            return Ok(Self {
+                engine,
+                local_addr,
+                inner: BackendHandle::Reactor(handle),
+            });
+        }
+        Self::start_blocking(engine, metrics, config)
+    }
+
+    fn start_blocking(
+        engine: Arc<Engine>,
+        metrics: Arc<ServerMetrics>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let (sender, receiver) = mpsc::channel::<TcpStream>();
         let receiver = Arc::new(Mutex::new(receiver));
-        let metrics = Arc::new(ServerMetrics::new(engine.metrics_registry()));
 
         let workers = config.worker_threads.max(1);
         let mut worker_handles = Vec::with_capacity(workers);
@@ -215,9 +301,11 @@ impl RunningServer {
         Ok(Self {
             engine,
             local_addr,
-            shutdown,
-            accept_handle: Some(accept_handle),
-            worker_handles,
+            inner: BackendHandle::Blocking {
+                shutdown,
+                accept_handle: Some(accept_handle),
+                worker_handles,
+            },
         })
     }
 
@@ -239,15 +327,25 @@ impl RunningServer {
     }
 
     fn stop_in_place(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop blocks in `accept`; a throwaway connection wakes
-        // it so it can observe the flag.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        for handle in self.worker_handles.drain(..) {
-            let _ = handle.join();
+        match &mut self.inner {
+            BackendHandle::Blocking {
+                shutdown,
+                accept_handle,
+                worker_handles,
+            } => {
+                shutdown.store(true, Ordering::SeqCst);
+                // The accept loop blocks in `accept`; a throwaway
+                // connection wakes it so it can observe the flag.
+                let _ = TcpStream::connect(self.local_addr);
+                if let Some(handle) = accept_handle.take() {
+                    let _ = handle.join();
+                }
+                for handle in worker_handles.drain(..) {
+                    let _ = handle.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            BackendHandle::Reactor(handle) => handle.stop(),
         }
     }
 }
@@ -258,15 +356,17 @@ impl Drop for RunningServer {
     }
 }
 
-/// Serves one connection: the first request, then any **pipelined**
-/// requests already buffered behind it. A connection with no buffered next
-/// request is closed after responding rather than parked: with a fixed
-/// worker pool, letting idle keep-alive sockets hold workers would let a
-/// handful of silent clients starve every new connection for the duration
-/// of the read timeout — closing is always legal for an HTTP/1.1 server,
-/// and well-behaved clients reconnect. The read timeout still bounds how
-/// long a worker can be held by a client that connects and sends nothing
-/// (or stalls mid-request).
+/// Serves one connection on the blocking backend: requests are read
+/// through a persistent [`RequestParser`] (so pipelined bytes survive
+/// between requests) and answered in order. A connection with no buffered
+/// next request is closed after responding rather than parked: with a
+/// fixed worker pool, letting idle keep-alive sockets hold workers would
+/// let a handful of silent clients starve every new connection for the
+/// duration of the read timeout — closing is always legal for an HTTP/1.1
+/// server, and well-behaved clients reconnect. (The reactor backend has no
+/// such constraint and parks idle connections for the full keep-alive
+/// timeout.) The read timeout still bounds how long a worker can be held
+/// by a client that connects and sends nothing, or stalls mid-request.
 fn serve_connection(
     engine: &Engine,
     metrics: &ServerMetrics,
@@ -274,26 +374,29 @@ fn serve_connection(
     config: &ServerConfig,
 ) {
     metrics.connections.inc();
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(config.keep_alive_timeout));
     let mut writer = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let mut parser = RequestParser::new(config.max_body_bytes);
     let mut served: u64 = 0;
     loop {
-        match http::read_request(&mut reader, config.max_body_bytes) {
+        match http::read_request_with(&mut parser, &mut reader) {
             Ok(request) => {
                 if served > 0 {
                     metrics.keepalive_reuses.inc();
                 }
                 served += 1;
                 // Close unless the next pipelined request is already here.
-                let close = request.wants_close() || reader.buffer().is_empty();
+                let close =
+                    request.wants_close() || (parser.buffered() == 0 && reader.buffer().is_empty());
                 let start = std::time::Instant::now();
                 let (status, content_type, body) = route(engine, &request);
                 metrics
-                    .for_path(&request.path)
+                    .for_path(request.route_path())
                     .record_duration(start.elapsed());
                 if http::write_response(&mut writer, status, content_type, &body, close).is_err() {
                     return;
@@ -337,10 +440,12 @@ fn error_body(error: ProtocolError) -> String {
         .expect("response envelopes always serialize")
 }
 
-/// Routes one parsed request to `(status, content type, body)`.
+/// Routes one parsed request to `(status, content type, body)`. Both
+/// backends call exactly this, so they cannot diverge. Query strings do
+/// not participate in matching: `/healthz?probe=1` is `/healthz`.
 fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String) {
     const JSON: &str = "application/json";
-    match (request.method.as_str(), request.path.as_str()) {
+    match (request.method.as_str(), request.route_path()) {
         ("POST", "/v1/engine") => {
             let body = match std::str::from_utf8(&request.body) {
                 Ok(text) => text,
@@ -410,7 +515,11 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String
             JSON,
             error_body(ProtocolError::new(
                 ProtocolError::METHOD_NOT_ALLOWED,
-                format!("{} is not valid for {}", request.method, request.path),
+                format!(
+                    "{} is not valid for {}",
+                    request.method,
+                    request.route_path()
+                ),
             )),
         ),
         (_, path) => (
@@ -425,21 +534,57 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String
 }
 
 pub mod client {
-    //! A minimal blocking HTTP client for the wire protocol — enough for
-    //! the differential tests, the throughput bench, and the examples to
-    //! drive a real server over real sockets without external crates.
+    //! A blocking HTTP client for the wire protocol with a keep-alive
+    //! connection pool — enough for the differential tests, the throughput
+    //! bench, and the examples to drive a real server over real sockets
+    //! without external crates.
 
-    use grouptravel_engine::{EngineRequest, EngineResponse, RequestEnvelope, ResponseEnvelope};
+    use grouptravel_engine::{
+        CommandRequest, CommandResponse, EngineRequest, EngineResponse, PackageRequest,
+        PackageResponse, RequestEnvelope, ResponseEnvelope,
+    };
     use std::io::{BufRead, BufReader, Read, Write};
     use std::net::{SocketAddr, TcpStream};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
 
-    /// A client bound to one server address. Each call opens a fresh
-    /// connection (`Connection: close`), which keeps the client trivially
-    /// correct; connection reuse is a server-side concern the keep-alive
-    /// path already covers.
+    /// How long a single response may take before the client gives up.
+    /// Generous: cold registrations train an LDA model synchronously.
+    const RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+
+    /// Idle connections kept per client (clones share the pool).
+    const MAX_IDLE: usize = 8;
+
+    /// A client bound to one server address, holding a bounded pool of
+    /// kept-alive connections: requests check a connection out, exchange,
+    /// and check it back in, so steady-state traffic pays no per-request
+    /// TCP connect. A pooled connection the server has since closed is
+    /// retired and the request retried once on a fresh connection —
+    /// retried only when *zero* response bytes had arrived, so a request
+    /// is never silently executed twice.
     #[derive(Debug, Clone)]
     pub struct EngineClient {
         addr: SocketAddr,
+        pool: Arc<Pool>,
+    }
+
+    #[derive(Debug)]
+    struct Pool {
+        idle: Mutex<Vec<TcpStream>>,
+    }
+
+    impl Pool {
+        fn checkout(&self) -> Option<TcpStream> {
+            self.idle.lock().expect("pool poisoned").pop()
+        }
+
+        fn checkin(&self, stream: TcpStream) {
+            let mut idle = self.idle.lock().expect("pool poisoned");
+            if idle.len() < MAX_IDLE {
+                idle.push(stream);
+            }
+            // Over the bound: drop (close) instead of growing unboundedly.
+        }
     }
 
     /// A transport or decode failure on the client side.
@@ -460,11 +605,33 @@ pub mod client {
         }
     }
 
+    /// One decoded HTTP response plus whether the connection survives it.
+    struct Exchange {
+        status: u16,
+        body: String,
+        /// The connection, when it is safe to reuse (`Content-Length`
+        /// framing, no `Connection: close` from the server).
+        conn: Option<TcpStream>,
+    }
+
+    /// Why an exchange on a pooled connection failed.
+    struct ExchangeError {
+        error: ClientError,
+        /// True when zero response bytes had arrived — the server cannot
+        /// have answered, so a retry on a fresh connection is safe.
+        retryable: bool,
+    }
+
     impl EngineClient {
         /// A client for the server at `addr`.
         #[must_use]
         pub fn new(addr: SocketAddr) -> Self {
-            Self { addr }
+            Self {
+                addr,
+                pool: Arc::new(Pool {
+                    idle: Mutex::new(Vec::new()),
+                }),
+            }
         }
 
         /// Sends one protocol request and decodes the response envelope.
@@ -482,7 +649,110 @@ pub mod client {
             Ok(envelope.response)
         }
 
-        /// One raw HTTP exchange: `(status, body)`.
+        /// Builds a batch of packages in one round trip
+        /// (`EngineRequest::Batch`): one connection, one request frame,
+        /// engine-side fan-out — the cheapest way to amortize the wire
+        /// over many builds.
+        ///
+        /// # Errors
+        /// Transport/decode failures, or a protocol-level error response.
+        pub fn build_batch(
+            &self,
+            requests: Vec<PackageRequest>,
+        ) -> Result<Vec<PackageResponse>, ClientError> {
+            match self.request(EngineRequest::Batch { requests })? {
+                EngineResponse::Batch { responses } => Ok(responses),
+                EngineResponse::Error { error } => {
+                    Err(ClientError(format!("protocol error: {}", error.message)))
+                }
+                other => Err(ClientError(format!(
+                    "expected a batch response, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        /// Sends a batch of session commands in one round trip
+        /// (`EngineRequest::CommandBatch`).
+        ///
+        /// # Errors
+        /// Transport/decode failures, or a protocol-level error response.
+        pub fn command_batch(
+            &self,
+            requests: Vec<CommandRequest>,
+        ) -> Result<Vec<CommandResponse>, ClientError> {
+            match self.request(EngineRequest::CommandBatch { requests })? {
+                EngineResponse::CommandBatch { responses } => Ok(responses),
+                EngineResponse::Error { error } => {
+                    Err(ClientError(format!("protocol error: {}", error.message)))
+                }
+                other => Err(ClientError(format!(
+                    "expected a command-batch response, got {}",
+                    other.kind()
+                ))),
+            }
+        }
+
+        /// Pipelines `requests` over **one** connection: every frame is
+        /// written back-to-back before the first response is read, so N
+        /// requests pay one connection and one write/read turnaround
+        /// instead of N. Responses come back in request order.
+        ///
+        /// No retry: a mid-pipeline transport failure is returned as an
+        /// error (some requests may have been executed).
+        ///
+        /// # Errors
+        /// Transport/decode failures.
+        pub fn pipeline(
+            &self,
+            requests: &[EngineRequest],
+        ) -> Result<Vec<EngineResponse>, ClientError> {
+            if requests.is_empty() {
+                return Ok(Vec::new());
+            }
+            let mut payload = Vec::new();
+            for request in requests {
+                let body = serde_json::to_string(&RequestEnvelope::new(request.clone()))
+                    .map_err(|e| ClientError(e.to_string()))?;
+                payload.extend_from_slice(&frame_request(
+                    "POST",
+                    "/v1/engine",
+                    self.addr,
+                    Some(&body),
+                ));
+            }
+            let mut stream = match self.pool.checkout() {
+                Some(stream) => stream,
+                None => self.connect()?,
+            };
+            if stream.write_all(&payload).is_err() {
+                // A stale pooled connection dies on the first write; one
+                // fresh connection retry (nothing was answered yet).
+                stream = self.connect()?;
+                stream.write_all(&payload)?;
+            }
+            stream.flush()?;
+            let mut reader = BufReader::new(stream);
+            let mut responses = Vec::with_capacity(requests.len());
+            let mut reusable = true;
+            for _ in requests {
+                let response = read_response(&mut reader).map_err(|e| e.error)?;
+                let envelope: ResponseEnvelope =
+                    serde_json::from_str(&response.body).map_err(|e| ClientError(e.to_string()))?;
+                responses.push(envelope.response);
+                if response.close || !response.framed {
+                    reusable = false;
+                }
+            }
+            if reusable {
+                self.pool.checkin(reader.into_inner());
+            }
+            Ok(responses)
+        }
+
+        /// One raw HTTP exchange: `(status, body)`. Uses a pooled
+        /// keep-alive connection when one is idle; checks it back in when
+        /// the response allows reuse.
         ///
         /// # Errors
         /// Fails on connect/transport errors or a malformed response head.
@@ -492,60 +762,174 @@ pub mod client {
             path: &str,
             body: Option<&str>,
         ) -> Result<(u16, String), ClientError> {
-            let mut stream = TcpStream::connect(self.addr)?;
-            let body = body.unwrap_or("");
-            write!(
-                stream,
-                "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\n\
-                 Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
-                self.addr,
-                body.len(),
-            )?;
-            stream.flush()?;
-
-            let mut reader = BufReader::new(stream);
-            let mut status_line = String::new();
-            reader.read_line(&mut status_line)?;
-            let status: u16 = status_line
-                .split(' ')
-                .nth(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| ClientError(format!("bad status line `{status_line}`")))?;
-
-            let mut content_length: Option<usize> = None;
-            loop {
-                let mut line = String::new();
-                reader.read_line(&mut line)?;
-                let line = line.trim_end();
-                if line.is_empty() {
-                    break;
-                }
-                if let Some((name, value)) = line.split_once(':') {
-                    if name.trim().eq_ignore_ascii_case("content-length") {
-                        content_length = value.trim().parse().ok();
+            if let Some(stream) = self.pool.checkout() {
+                match Self::exchange(stream, self.addr, method, path, body) {
+                    Ok(exchange) => {
+                        if let Some(conn) = exchange.conn {
+                            self.pool.checkin(conn);
+                        }
+                        return Ok((exchange.status, exchange.body));
                     }
+                    Err(e) if e.retryable => {
+                        // The pooled connection had been closed server-side
+                        // (idle timeout); fall through to a fresh one.
+                    }
+                    Err(e) => return Err(e.error),
                 }
             }
-            let mut body = match content_length {
-                Some(n) => {
-                    let mut buf = vec![0u8; n];
-                    reader.read_exact(&mut buf)?;
-                    buf
+            let stream = self.connect()?;
+            match Self::exchange(stream, self.addr, method, path, body) {
+                Ok(exchange) => {
+                    if let Some(conn) = exchange.conn {
+                        self.pool.checkin(conn);
+                    }
+                    Ok((exchange.status, exchange.body))
                 }
-                None => {
-                    let mut buf = Vec::new();
-                    reader.read_to_end(&mut buf)?;
-                    buf
-                }
-            };
-            // Tolerate a trailing CRLF from servers that over-send.
-            while body.last() == Some(&b'\n') || body.last() == Some(&b'\r') {
-                body.pop();
+                Err(e) => Err(e.error),
             }
-            let text =
-                String::from_utf8(body).map_err(|_| ClientError("non-UTF-8 body".to_string()))?;
-            Ok((status, text))
         }
+
+        fn connect(&self) -> Result<TcpStream, ClientError> {
+            let stream = TcpStream::connect(self.addr)?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(RESPONSE_TIMEOUT));
+            Ok(stream)
+        }
+
+        /// Writes one request and reads one response off `stream`.
+        fn exchange(
+            mut stream: TcpStream,
+            addr: SocketAddr,
+            method: &str,
+            path: &str,
+            body: Option<&str>,
+        ) -> Result<Exchange, ExchangeError> {
+            let frame = frame_request(method, path, addr, body);
+            if let Err(e) = stream.write_all(&frame).and_then(|()| stream.flush()) {
+                // Nothing read yet: the peer cannot have answered.
+                return Err(ExchangeError {
+                    error: ClientError(e.to_string()),
+                    retryable: true,
+                });
+            }
+            let mut reader = BufReader::new(stream);
+            let response = read_response(&mut reader)?;
+            Ok(Exchange {
+                status: response.status,
+                body: response.body,
+                conn: (!response.close && response.framed).then(|| reader.into_inner()),
+            })
+        }
+    }
+
+    /// Renders one request frame. Keep-alive by default (no
+    /// `Connection: close`): connection reuse is the whole point of the
+    /// pool, and the server reaps idle sockets on its own timeout.
+    fn frame_request(method: &str, path: &str, addr: SocketAddr, body: Option<&str>) -> Vec<u8> {
+        let body = body.unwrap_or("");
+        let mut frame = Vec::with_capacity(body.len() + 128);
+        let _ = write!(
+            frame,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n\
+             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len(),
+        );
+        frame
+    }
+
+    /// One decoded response off a buffered reader.
+    struct RawResponse {
+        status: u16,
+        body: String,
+        /// Server asked to close (`Connection: close`).
+        close: bool,
+        /// Body was `Content-Length`-framed (reuse-safe). When false the
+        /// body ran to EOF and the connection is spent.
+        framed: bool,
+    }
+
+    /// Reads one response; `retryable` is set only if EOF arrived before
+    /// a single status byte.
+    fn read_response(reader: &mut BufReader<TcpStream>) -> Result<RawResponse, ExchangeError> {
+        let mut status_line = String::new();
+        match reader.read_line(&mut status_line) {
+            Ok(0) => {
+                return Err(ExchangeError {
+                    error: ClientError("connection closed before a response".to_string()),
+                    retryable: true,
+                })
+            }
+            Ok(_) => {}
+            Err(e) => {
+                return Err(ExchangeError {
+                    error: ClientError(e.to_string()),
+                    retryable: status_line.is_empty(),
+                })
+            }
+        }
+        let fatal = |message: String| ExchangeError {
+            error: ClientError(message),
+            retryable: false,
+        };
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| fatal(format!("bad status line `{status_line}`")))?;
+
+        let mut content_length: Option<usize> = None;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .map_err(|e| fatal(e.to_string()))?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value
+                        .split(',')
+                        .any(|token| token.trim().eq_ignore_ascii_case("close"));
+                }
+            }
+        }
+        let framed = content_length.is_some();
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader
+                    .read_exact(&mut buf)
+                    .map_err(|e| fatal(e.to_string()))?;
+                buf
+            }
+            None => {
+                // No Content-Length: the body runs to EOF. Tolerate a
+                // trailing CRLF from servers that over-send — and ONLY
+                // here: a length-framed body is exact, and stripping real
+                // trailing newlines would corrupt NDJSON payloads.
+                let mut buf = Vec::new();
+                reader
+                    .read_to_end(&mut buf)
+                    .map_err(|e| fatal(e.to_string()))?;
+                while buf.last() == Some(&b'\n') || buf.last() == Some(&b'\r') {
+                    buf.pop();
+                }
+                buf
+            }
+        };
+        let body = String::from_utf8(body).map_err(|_| fatal("non-UTF-8 body".to_string()))?;
+        Ok(RawResponse {
+            status,
+            body,
+            close,
+            framed,
+        })
     }
 }
 
@@ -554,69 +938,140 @@ mod tests {
     use super::*;
     use grouptravel_engine::EngineConfig;
 
-    fn running() -> RunningServer {
+    fn running_with(backend: Backend) -> RunningServer {
         RunningServer::start(
             Arc::new(Engine::new(EngineConfig::fast())),
             ServerConfig {
                 worker_threads: 2,
+                backend,
                 ..ServerConfig::default()
             },
         )
         .expect("bind an ephemeral port")
     }
 
+    fn both_backends(test: impl Fn(RunningServer)) {
+        test(running_with(Backend::default()));
+        test(running_with(Backend::Blocking));
+    }
+
     #[test]
     fn healthz_and_unknown_routes_answer_typed() {
-        let server = running();
+        both_backends(|server| {
+            let client = client::EngineClient::new(server.addr());
+
+            let (status, body) = client.http("GET", "/healthz", None).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("\"ok\""));
+
+            let (status, body) = client.http("GET", "/nope", None).unwrap();
+            assert_eq!(status, 404);
+            assert!(body.contains(&format!("\"code\":{}", ProtocolError::NOT_FOUND)));
+
+            let (status, _) = client.http("DELETE", "/healthz", None).unwrap();
+            assert_eq!(status, 405);
+            server.stop();
+        });
+    }
+
+    #[test]
+    fn query_strings_do_not_change_the_route() {
+        // Regression: `GET /healthz?probe=1` answered 404 because routing
+        // matched the full request target, query string included.
+        both_backends(|server| {
+            let client = client::EngineClient::new(server.addr());
+            let (status, body) = client.http("GET", "/healthz?probe=1", None).unwrap();
+            assert_eq!(status, 200, "query strings must not 404: {body}");
+            assert!(body.contains("\"ok\""));
+            let (status, body) = client.http("GET", "/stats?pretty", None).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("\"requests\""));
+            server.stop();
+        });
+    }
+
+    #[test]
+    fn query_strings_label_as_their_route_in_metrics() {
+        // Regression: `/stats?pretty` was mislabeled `other` in
+        // `gt_http_request_seconds`.
+        assert_eq!(route_label("/stats?pretty"), "/stats");
+        assert_eq!(route_label("/healthz?probe=1"), "/healthz");
+        assert_eq!(route_label("/stats"), "/stats");
+        assert_eq!(route_label("/nope?x"), "other");
+
+        let server = running_with(Backend::default());
         let client = client::EngineClient::new(server.addr());
-
-        let (status, body) = client.http("GET", "/healthz", None).unwrap();
+        let (status, _) = client.http("GET", "/stats?pretty", None).unwrap();
         assert_eq!(status, 200);
-        assert!(body.contains("\"ok\""));
-
-        let (status, body) = client.http("GET", "/nope", None).unwrap();
-        assert_eq!(status, 404);
-        assert!(body.contains(&format!("\"code\":{}", ProtocolError::NOT_FOUND)));
-
-        let (status, _) = client.http("DELETE", "/healthz", None).unwrap();
-        assert_eq!(status, 405);
+        let (_, scrape) = client.http("GET", "/metrics", None).unwrap();
+        let stats_count = scrape
+            .lines()
+            .find(|l| l.starts_with("gt_http_request_seconds_count{route=\"/stats\"}"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<f64>().ok())
+            .expect("stats route series present");
+        assert!(
+            stats_count >= 1.0,
+            "the query-string request must count under /stats"
+        );
         server.stop();
     }
 
     #[test]
     fn malformed_bodies_and_wrong_versions_are_400s() {
-        let server = running();
-        let client = client::EngineClient::new(server.addr());
+        both_backends(|server| {
+            let client = client::EngineClient::new(server.addr());
 
-        let (status, body) = client
-            .http("POST", "/v1/engine", Some("this is not json"))
-            .unwrap();
-        assert_eq!(status, 400);
-        assert!(body.contains(&format!("\"code\":{}", ProtocolError::MALFORMED_REQUEST)));
+            let (status, body) = client
+                .http("POST", "/v1/engine", Some("this is not json"))
+                .unwrap();
+            assert_eq!(status, 400);
+            assert!(body.contains(&format!("\"code\":{}", ProtocolError::MALFORMED_REQUEST)));
 
-        let wrong_version = "{\"v\": 99, \"request\": \"Stats\"}";
-        let (status, body) = client
-            .http("POST", "/v1/engine", Some(wrong_version))
-            .unwrap();
-        assert_eq!(status, 400);
-        assert!(body.contains(&format!("\"code\":{}", ProtocolError::UNSUPPORTED_VERSION)));
-        server.stop();
+            let wrong_version = "{\"v\": 99, \"request\": \"Stats\"}";
+            let (status, body) = client
+                .http("POST", "/v1/engine", Some(wrong_version))
+                .unwrap();
+            assert_eq!(status, 400);
+            assert!(body.contains(&format!("\"code\":{}", ProtocolError::UNSUPPORTED_VERSION)));
+            server.stop();
+        });
     }
 
     #[test]
     fn stats_round_trips_through_the_wire() {
-        let server = running();
-        let client = client::EngineClient::new(server.addr());
-        let response = client.request(EngineRequest::Stats).unwrap();
-        match response {
-            EngineResponse::Stats { stats } => {
-                assert_eq!(stats.requests, 0);
+        both_backends(|server| {
+            let client = client::EngineClient::new(server.addr());
+            let response = client.request(EngineRequest::Stats).unwrap();
+            match response {
+                EngineResponse::Stats { stats } => {
+                    assert_eq!(stats.requests, 0);
+                }
+                other => panic!("expected Stats, got {other:?}"),
             }
-            other => panic!("expected Stats, got {other:?}"),
+            let (status, body) = client.http("GET", "/stats", None).unwrap();
+            assert_eq!(status, 200);
+            assert!(body.contains("\"requests\""));
+            server.stop();
+        });
+    }
+
+    #[test]
+    fn pooled_connections_are_reused_across_requests() {
+        let server = running_with(Backend::default());
+        let client = client::EngineClient::new(server.addr());
+        for _ in 0..5 {
+            let (status, _) = client.http("GET", "/healthz", None).unwrap();
+            assert_eq!(status, 200);
         }
-        let (status, body) = client.http("GET", "/stats", None).unwrap();
-        assert_eq!(status, 200);
-        assert!(body.contains("\"requests\""));
+        let registry = server.engine().metrics_registry();
+        let reuses = registry
+            .counter("gt_http_keepalive_reuses_total", "", &[])
+            .get();
+        assert!(
+            reuses >= 4,
+            "five sequential requests on one pooled connection must reuse it; got {reuses}"
+        );
         server.stop();
     }
 }

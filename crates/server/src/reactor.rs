@@ -1,0 +1,901 @@
+//! The epoll reactor front-end: one event-loop thread owns every
+//! connection's sockets, a small worker pool owns every request's engine
+//! work, and the two never block each other.
+//!
+//! ## Why a reactor
+//!
+//! The blocking front-end parks one worker thread per in-flight
+//! *connection*: a client that connects and stalls holds a worker for the
+//! whole read timeout, and 10k idle keep-alive sockets would need 10k
+//! threads (or starve). Here connection count is decoupled from thread
+//! count — the reactor multiplexes every socket over one `epoll` instance,
+//! idle connections cost one fd and ~1 KiB of state, and the only threads
+//! are the reactor itself plus `worker_threads` dispatchers.
+//!
+//! ## Connection lifecycle
+//!
+//! ```text
+//!            accept (nonblocking, EPOLLIN on the listener)
+//!              │
+//!              ▼
+//!   ┌──► Reading ── bytes feed an incremental RequestParser; a completed
+//!   │       │        request moves on, a parse error answers 400 + close
+//!   │       ▼
+//!   │   Dispatched ─ request queued to the worker pool; epoll interest is
+//!   │       │        dropped so a pipelining client cannot flood the loop
+//!   │       ▼        (worker rings an eventfd when the response is ready)
+//!   │   Writing ──── response bytes drain under EPOLLOUT, resuming across
+//!   │       │        readiness events on partial writes
+//!   └───────┘ keep-alive: back to Reading (a buffered pipelined request
+//!             dispatches immediately); `Connection: close` closes.
+//! ```
+//!
+//! Idle/keep-alive and stalled-mid-request timeouts come from a coarse
+//! timer wheel (`TIMER_GRANULARITY` buckets): every connection has exactly
+//! one wheel entry; activity just moves its deadline, and a fired entry
+//! re-inserts itself unless the deadline truly passed. Connections waiting
+//! on the engine (`Dispatched`) are never reaped.
+//!
+//! ## Offline policy
+//!
+//! No mio/tokio under the vendored-dependency rule: the `sys` module
+//! declares the four syscalls this needs (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `eventfd`) directly against libc, which std already
+//! links. The module is Linux-only; other platforms fall back to the
+//! blocking front-end (see `Backend` in the crate root).
+
+use crate::http::{self, ReadError, RequestParser};
+use crate::{error_body, route, ServerConfig, ServerMetrics};
+use grouptravel_engine::{Engine, ProtocolError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Minimal epoll + eventfd syscall surface, declared against the libc std
+/// already links (offline policy: no `libc` crate to depend on).
+mod sys {
+    use std::io;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// `struct epoll_event`; packed on x86_64 per the kernel ABI.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn close(fd: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    /// An owned epoll instance.
+    pub struct Epoll {
+        fd: i32,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { fd })
+        }
+
+        fn ctl(&self, op: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            let mut event = EpollEvent { events, data };
+            // SAFETY: `event` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, events, data)
+        }
+
+        pub fn modify(&self, fd: i32, events: u32, data: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, events, data)
+        }
+
+        pub fn delete(&self, fd: i32) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        /// Waits up to `timeout_ms` and fills `events`; EINTR retries.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            loop {
+                // SAFETY: the buffer is valid for `events.len()` entries.
+                let n = unsafe {
+                    epoll_wait(
+                        self.fd,
+                        events.as_mut_ptr(),
+                        events.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n >= 0 {
+                    return Ok(n as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: fd is owned and valid until here.
+            unsafe { close(self.fd) };
+        }
+    }
+
+    /// An owned nonblocking eventfd: the cross-thread wakeup the worker
+    /// pool uses to pull the reactor out of `epoll_wait`.
+    pub struct EventFd {
+        fd: i32,
+    }
+
+    impl EventFd {
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers.
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { fd })
+        }
+
+        pub fn raw(&self) -> i32 {
+            self.fd
+        }
+
+        /// Rings the wakeup (adds 1 to the counter). Infallible by
+        /// construction short of fd exhaustion races; errors are ignored —
+        /// a missed wake is recovered by the reactor's tick timeout.
+        pub fn ring(&self) {
+            let one: u64 = 1;
+            // SAFETY: 8 valid bytes, the eventfd write contract.
+            unsafe { write(self.fd, std::ptr::addr_of!(one).cast(), 8) };
+        }
+
+        /// Drains the counter so the fd stops polling readable.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: 8 valid bytes; nonblocking read.
+            unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+        }
+    }
+
+    // SAFETY: the wrapped fd is just an integer; eventfd reads/writes are
+    // atomic and thread-safe by kernel contract.
+    unsafe impl Send for EventFd {}
+    unsafe impl Sync for EventFd {}
+
+    impl Drop for EventFd {
+        fn drop(&mut self) {
+            // SAFETY: fd is owned and valid until here.
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+/// epoll user-data token of the listening socket.
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// epoll user-data token of the wakeup eventfd.
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+/// Timer-wheel bucket width. Idle timeouts fire within one granule of
+/// their deadline — keep-alive reaping is a resource bound, not a
+/// latency-sensitive path.
+const TIMER_GRANULARITY: Duration = Duration::from_millis(250);
+
+/// Per-`read` scratch size. Most requests fit in one read.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Where a connection is in its request/response cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ConnState {
+    /// Feeding bytes to the parser, waiting for a complete request.
+    Reading,
+    /// A request is in the worker pool; socket interest is parked.
+    Dispatched,
+    /// Draining the response buffer under EPOLLOUT.
+    Writing,
+}
+
+/// One connection's whole state: socket, resumable parser, pending output,
+/// keep-alive bookkeeping.
+struct Conn {
+    stream: TcpStream,
+    /// Guards against stale tokens after slot reuse.
+    gen: u32,
+    parser: RequestParser,
+    state: ConnState,
+    /// The encoded response being written, drained `written..`.
+    out: Vec<u8>,
+    written: usize,
+    close_after: bool,
+    /// Currently registered epoll interest (avoids redundant `EPOLL_CTL_MOD`s).
+    interest: u32,
+    /// Reaped when this passes while `Reading` or `Writing`.
+    deadline: Instant,
+    /// Requests served on this connection (≥1 ⇒ keep-alive reuse).
+    served: u64,
+}
+
+/// A parsed request on its way to the worker pool.
+struct Job {
+    token: u64,
+    request: http::Request,
+}
+
+/// A worker's finished response on its way back to the reactor.
+struct Completion {
+    token: u64,
+    payload: Vec<u8>,
+    close: bool,
+}
+
+/// Handle to a running reactor: everything `RunningServer` needs to stop
+/// it and join its threads.
+pub(crate) struct ReactorHandle {
+    shutdown: Arc<AtomicBool>,
+    waker: Arc<sys::EventFd>,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    pub(crate) fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.ring();
+        if let Some(handle) = self.reactor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds, spawns the reactor thread and its dispatch workers, and returns
+/// immediately.
+pub(crate) fn start(
+    engine: Arc<Engine>,
+    metrics: Arc<ServerMetrics>,
+    config: ServerConfig,
+) -> io::Result<(SocketAddr, ReactorHandle)> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let waker = Arc::new(sys::EventFd::new()?);
+    let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+    let (job_sender, job_receiver) = mpsc::channel::<Job>();
+    let job_receiver = Arc::new(Mutex::new(job_receiver));
+
+    let workers = (0..config.worker_threads.max(1))
+        .map(|_| {
+            let receiver = Arc::clone(&job_receiver);
+            let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
+            let completions = Arc::clone(&completions);
+            let waker = Arc::clone(&waker);
+            std::thread::spawn(move || loop {
+                let job = receiver.lock().expect("job queue poisoned").recv();
+                let Ok(Job { token, request }) = job else {
+                    break; // channel closed: reactor is gone.
+                };
+                let close = request.wants_close();
+                let start = Instant::now();
+                let (status, content_type, body) = route(&engine, &request);
+                metrics
+                    .for_path(request.route_path())
+                    .record_duration(start.elapsed());
+                let payload = http::encode_response(status, content_type, &body, close);
+                completions
+                    .lock()
+                    .expect("completion queue poisoned")
+                    .push(Completion {
+                        token,
+                        payload,
+                        close,
+                    });
+                waker.ring();
+            })
+        })
+        .collect();
+
+    let reactor_shutdown = Arc::clone(&shutdown);
+    let reactor_waker = Arc::clone(&waker);
+    let reactor = std::thread::Builder::new()
+        .name("gt-reactor".into())
+        .spawn(move || {
+            let mut reactor = match Reactor::new(
+                listener,
+                reactor_config(&config),
+                metrics,
+                job_sender,
+                completions,
+                reactor_waker,
+                reactor_shutdown,
+            ) {
+                Ok(reactor) => reactor,
+                Err(_) => return, // epoll/eventfd creation failed at boot.
+            };
+            reactor.run();
+        })?;
+
+    Ok((
+        local_addr,
+        ReactorHandle {
+            shutdown,
+            waker,
+            reactor: Some(reactor),
+            workers,
+        },
+    ))
+}
+
+/// The knobs the reactor itself consumes (a plain copy of `ServerConfig`
+/// minus the address it has already bound).
+struct ReactorConfig {
+    max_body_bytes: usize,
+    keep_alive_timeout: Duration,
+    max_connections: usize,
+    write_chunk_limit: Option<usize>,
+}
+
+fn reactor_config(config: &ServerConfig) -> ReactorConfig {
+    ReactorConfig {
+        max_body_bytes: config.max_body_bytes,
+        keep_alive_timeout: config.keep_alive_timeout,
+        max_connections: config.max_connections,
+        write_chunk_limit: config.write_chunk_limit,
+    }
+}
+
+/// A coarse hashed timer wheel: every live connection owns exactly one
+/// entry; fired entries re-insert themselves while the connection's actual
+/// deadline is still ahead (activity only moves the deadline — O(1), no
+/// removal).
+struct TimerWheel {
+    start: Instant,
+    buckets: Vec<Vec<(u32, u32)>>,
+    /// The last tick that has been drained.
+    drained_tick: u64,
+}
+
+impl TimerWheel {
+    fn new(start: Instant, span: Duration) -> Self {
+        // Enough buckets to place any deadline ≤ span + one granule ahead
+        // without wrapping onto an undrained tick.
+        let ticks = span.as_millis() as u64 / TIMER_GRANULARITY.as_millis() as u64 + 2;
+        Self {
+            start,
+            buckets: vec![Vec::new(); usize::try_from(ticks.next_power_of_two()).expect("fits")],
+            drained_tick: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.start);
+        elapsed.as_millis() as u64 / TIMER_GRANULARITY.as_millis() as u64
+    }
+
+    fn insert(&mut self, deadline: Instant, gen: u32, idx: u32) {
+        let tick = self.tick_of(deadline).max(self.drained_tick + 1);
+        let bucket = (tick % self.buckets.len() as u64) as usize;
+        self.buckets[bucket].push((gen, idx));
+    }
+
+    /// Drains every bucket whose tick has passed; the caller re-checks
+    /// each candidate's real deadline.
+    fn advance(&mut self, now: Instant) -> Vec<(u32, u32)> {
+        let current = self.tick_of(now);
+        let mut fired = Vec::new();
+        while self.drained_tick < current {
+            self.drained_tick += 1;
+            let bucket = (self.drained_tick % self.buckets.len() as u64) as usize;
+            fired.append(&mut self.buckets[bucket]);
+        }
+        fired
+    }
+}
+
+struct Reactor {
+    epoll: sys::Epoll,
+    listener: TcpListener,
+    config: ReactorConfig,
+    metrics: Arc<ServerMetrics>,
+    jobs: mpsc::Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    waker: Arc<sys::EventFd>,
+    shutdown: Arc<AtomicBool>,
+    slots: Vec<Option<Conn>>,
+    /// Generation per slot, bumped on free: stale epoll/completion tokens
+    /// for a reused slot fail the gen check and are dropped.
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    open: usize,
+    wheel: TimerWheel,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        config: ReactorConfig,
+        metrics: Arc<ServerMetrics>,
+        jobs: mpsc::Sender<Job>,
+        completions: Arc<Mutex<Vec<Completion>>>,
+        waker: Arc<sys::EventFd>,
+        shutdown: Arc<AtomicBool>,
+    ) -> io::Result<Self> {
+        let epoll = sys::Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), sys::EPOLLIN, LISTENER_TOKEN)?;
+        epoll.add(waker.raw(), sys::EPOLLIN, WAKER_TOKEN)?;
+        let wheel = TimerWheel::new(Instant::now(), config.keep_alive_timeout);
+        Ok(Self {
+            epoll,
+            listener,
+            config,
+            metrics,
+            jobs,
+            completions,
+            waker,
+            shutdown,
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            wheel,
+            scratch: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; 1024];
+        let tick_ms = i32::try_from(TIMER_GRANULARITY.as_millis()).expect("granularity fits");
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let n = match self.epoll.wait(&mut events, tick_ms) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            for event in &events[..n] {
+                // Copy out of the (possibly packed) struct before use.
+                let token = event.data;
+                let readiness = event.events;
+                match token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKER_TOKEN => self.waker.drain(),
+                    token => self.conn_ready(token, readiness),
+                }
+            }
+            self.drain_completions();
+            let now = Instant::now();
+            for (gen, idx) in self.wheel.advance(now) {
+                self.check_deadline(gen, idx, now);
+            }
+        }
+    }
+
+    // ---- tokens and slots -------------------------------------------------
+
+    fn token(gen: u32, idx: u32) -> u64 {
+        (u64::from(gen) << 32) | u64::from(idx)
+    }
+
+    /// Resolves a token to its live slot index, rejecting stale tokens
+    /// whose slot has been recycled since.
+    fn lookup(&self, token: u64) -> Option<u32> {
+        let (gen, idx) = ((token >> 32) as u32, token as u32);
+        match self.slots.get(idx as usize) {
+            Some(Some(conn)) if conn.gen == gen => Some(idx),
+            _ => None,
+        }
+    }
+
+    // ---- accept -----------------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.metrics.connections.inc();
+                    if self.open >= self.config.max_connections {
+                        // Over the connection budget: shed at accept so the
+                        // established connections keep their service level.
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.install(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (EMFILE under fd pressure,
+                // peer reset before accept): yield and let the next
+                // readiness event retry.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn install(&mut self, stream: TcpStream) {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.gens.push(0);
+                u32::try_from(self.slots.len() - 1).expect("slot count fits u32")
+            }
+        };
+        let gen = self.gens[idx as usize];
+        let deadline = Instant::now() + self.config.keep_alive_timeout;
+        let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+        if self
+            .epoll
+            .add(stream.as_raw_fd(), interest, Self::token(gen, idx))
+            .is_err()
+        {
+            self.free.push(idx);
+            return;
+        }
+        self.slots[idx as usize] = Some(Conn {
+            stream,
+            gen,
+            parser: RequestParser::new(self.config.max_body_bytes),
+            state: ConnState::Reading,
+            out: Vec::new(),
+            written: 0,
+            close_after: false,
+            interest,
+            deadline,
+            served: 0,
+        });
+        self.open += 1;
+        self.wheel.insert(deadline, gen, idx);
+    }
+
+    fn close(&mut self, idx: u32) {
+        if let Some(conn) = self.slots[idx as usize].take() {
+            self.epoll.delete(conn.stream.as_raw_fd());
+            self.gens[idx as usize] = self.gens[idx as usize].wrapping_add(1);
+            self.free.push(idx);
+            self.open -= 1;
+            // `conn` drops here, closing the fd.
+        }
+    }
+
+    fn set_interest(&mut self, idx: u32, events: u32) {
+        let Some(conn) = self.slots[idx as usize].as_mut() else {
+            return;
+        };
+        if conn.interest == events {
+            return;
+        }
+        let token = Self::token(conn.gen, idx);
+        let fd = conn.stream.as_raw_fd();
+        conn.interest = events;
+        if self.epoll.modify(fd, events, token).is_err() {
+            self.close(idx);
+        }
+    }
+
+    // ---- readiness --------------------------------------------------------
+
+    fn conn_ready(&mut self, token: u64, readiness: u32) {
+        let Some(idx) = self.lookup(token) else {
+            return; // stale event for a recycled slot
+        };
+        if readiness & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+            self.close(idx);
+            return;
+        }
+        let state = self.slots[idx as usize].as_ref().expect("live conn").state;
+        match state {
+            ConnState::Reading => self.read_ready(idx),
+            // Response draining; EPOLLRDHUP may ride along — the write
+            // path discovers a dead peer by failing, which is enough.
+            ConnState::Writing => {
+                if readiness & sys::EPOLLOUT != 0 {
+                    self.write_ready(idx);
+                }
+            }
+            // An event while a request is in the worker pool means the
+            // peer is pipelining ahead (or half-closed). Nothing will be
+            // read until the response goes out, so park interest NOW —
+            // otherwise this level-triggered event refires every loop and
+            // the reactor spins against the very workers it is waiting
+            // on. Parking lazily (here, not at dispatch) keeps the common
+            // request/response exchange at zero `epoll_ctl` calls.
+            ConnState::Dispatched => self.set_interest(idx, 0),
+        }
+    }
+
+    fn read_ready(&mut self, idx: u32) {
+        loop {
+            let conn = self.slots[idx as usize].as_mut().expect("live conn");
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // EOF. Clean between requests ⇒ normal keep-alive end.
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&self.scratch[..n]);
+                    conn.deadline = Instant::now() + self.config.keep_alive_timeout;
+                    if self.try_dispatch(idx) {
+                        return; // stop reading while a request is in flight
+                    }
+                    if self.slots[idx as usize].is_none() {
+                        return; // parse error closed it
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Polls the connection's parser; dispatches a completed request to
+    /// the worker pool or answers a parse failure. Returns whether the
+    /// connection left the `Reading` state (or closed).
+    fn try_dispatch(&mut self, idx: u32) -> bool {
+        let polled = {
+            let conn = self.slots[idx as usize].as_mut().expect("live conn");
+            conn.parser.poll()
+        };
+        match polled {
+            Ok(Some(request)) => {
+                let token = {
+                    let conn = self.slots[idx as usize].as_mut().expect("live conn");
+                    if conn.served > 0 {
+                        self.metrics.keepalive_reuses.inc();
+                    }
+                    conn.served += 1;
+                    conn.state = ConnState::Dispatched;
+                    Self::token(conn.gen, idx)
+                };
+                // Interest stays armed: a client awaiting its response
+                // sends nothing, so no events fire and the re-arm after
+                // the response is a no-op `epoll_ctl`. A pipeliner that
+                // does keep sending trips `conn_ready` in `Dispatched`,
+                // which parks interest then — backpressuring the flood
+                // into the kernel without taxing the common case.
+                if self.jobs.send(Job { token, request }).is_err() {
+                    self.close(idx); // workers are gone (shutdown race)
+                }
+                true
+            }
+            Ok(None) => false,
+            Err(error) => {
+                // Framing is lost: answer what we can and close.
+                let (status, body) = match error {
+                    ReadError::BodyTooLarge { declared, limit } => (
+                        413,
+                        error_body(ProtocolError::new(
+                            ProtocolError::BODY_TOO_LARGE,
+                            format!(
+                                "request body of {declared} bytes exceeds the {limit}-byte limit"
+                            ),
+                        )),
+                    ),
+                    ReadError::Malformed(why) => (
+                        400,
+                        error_body(ProtocolError::new(
+                            ProtocolError::MALFORMED_REQUEST,
+                            format!("malformed HTTP request: {why}"),
+                        )),
+                    ),
+                    // Io/ConnectionClosed do not arise from `poll`.
+                    _ => {
+                        self.close(idx);
+                        return true;
+                    }
+                };
+                self.start_write(
+                    idx,
+                    http::encode_response(status, "application/json", &body, true),
+                    true,
+                );
+                true
+            }
+        }
+    }
+
+    fn start_write(&mut self, idx: u32, payload: Vec<u8>, close_after: bool) {
+        {
+            let Some(conn) = self.slots[idx as usize].as_mut() else {
+                return;
+            };
+            conn.out = payload;
+            conn.written = 0;
+            conn.close_after = close_after;
+            conn.state = ConnState::Writing;
+            conn.deadline = Instant::now() + self.config.keep_alive_timeout;
+        }
+        self.write_ready(idx);
+    }
+
+    fn write_ready(&mut self, idx: u32) {
+        loop {
+            let limit = self.config.write_chunk_limit;
+            let conn = self.slots[idx as usize].as_mut().expect("live conn");
+            let end = limit.map_or(conn.out.len(), |cap| conn.out.len().min(conn.written + cap));
+            match conn.stream.write(&conn.out[conn.written..end]) {
+                Ok(0) => {
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    conn.deadline = Instant::now() + self.config.keep_alive_timeout;
+                    if conn.written == conn.out.len() {
+                        self.finish_response(idx);
+                        return;
+                    }
+                    if limit.is_some() {
+                        // Torture knob: force the remainder onto a later
+                        // readiness event so partial-write resumption is
+                        // exercised deterministically.
+                        self.set_interest(idx, sys::EPOLLOUT);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.set_interest(idx, sys::EPOLLOUT);
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_response(&mut self, idx: u32) {
+        let conn = self.slots[idx as usize].as_mut().expect("live conn");
+        if conn.close_after {
+            self.close(idx);
+            return;
+        }
+        conn.out = Vec::new();
+        conn.written = 0;
+        conn.state = ConnState::Reading;
+        conn.deadline = Instant::now() + self.config.keep_alive_timeout;
+        // A pipelined next request may already be buffered in the parser.
+        if self.try_dispatch(idx) {
+            return;
+        }
+        if self.slots[idx as usize].is_some() {
+            self.set_interest(idx, sys::EPOLLIN | sys::EPOLLRDHUP);
+        }
+    }
+
+    // ---- completions and timers -------------------------------------------
+
+    fn drain_completions(&mut self) {
+        let drained: Vec<Completion> = {
+            let mut queue = self.completions.lock().expect("completion queue poisoned");
+            std::mem::take(&mut *queue)
+        };
+        for Completion {
+            token,
+            payload,
+            close,
+        } in drained
+        {
+            let Some(idx) = self.lookup(token) else {
+                continue; // connection died while the engine worked
+            };
+            self.start_write(idx, payload, close);
+        }
+    }
+
+    fn check_deadline(&mut self, gen: u32, idx: u32, now: Instant) {
+        let Some(conn) = self
+            .slots
+            .get(idx as usize)
+            .and_then(|slot| slot.as_ref())
+            .filter(|conn| conn.gen == gen)
+        else {
+            return;
+        };
+        let deadline = conn.deadline;
+        let state = conn.state;
+        if state == ConnState::Dispatched || deadline > now {
+            // Working, or activity moved the deadline: keep one wheel
+            // entry alive for the connection.
+            let next = if state == ConnState::Dispatched {
+                now + self.config.keep_alive_timeout
+            } else {
+                deadline
+            };
+            self.wheel.insert(next, gen, idx);
+            return;
+        }
+        // Idle past the deadline (or stalled mid-read/mid-write): reclaim.
+        self.metrics.read_timeouts.inc();
+        self.close(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_wheel_fires_once_per_entry_and_reinserts_never_loses() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start, Duration::from_secs(5));
+        wheel.insert(start + Duration::from_millis(300), 1, 7);
+        // Before the deadline's tick: nothing fires.
+        assert!(wheel.advance(start + Duration::from_millis(100)).is_empty());
+        // After: exactly the one entry.
+        let fired = wheel.advance(start + Duration::from_millis(600));
+        assert_eq!(fired, vec![(1, 7)]);
+        // And it does not fire again.
+        assert!(wheel.advance(start + Duration::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_immediate_deadlines_land_on_an_undrained_tick() {
+        let start = Instant::now();
+        let mut wheel = TimerWheel::new(start, Duration::from_secs(1));
+        let now = start + Duration::from_secs(3);
+        wheel.advance(now);
+        // A deadline in the past still fires (on the next tick).
+        wheel.insert(now - Duration::from_secs(2), 0, 1);
+        let fired = wheel.advance(now + TIMER_GRANULARITY * 2);
+        assert_eq!(fired, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn tokens_round_trip_gen_and_index() {
+        let token = Reactor::token(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!((token >> 32) as u32, 0xDEAD_BEEF);
+        assert_eq!(token as u32, 0x1234_5678);
+    }
+}

@@ -16,18 +16,23 @@ use grouptravel_engine::{
     PackageRequest, SessionCommand,
 };
 use grouptravel_server::client::EngineClient;
-use grouptravel_server::{RunningServer, ServerConfig};
+use grouptravel_server::{Backend, RunningServer, ServerConfig};
 use std::sync::Arc;
+
+/// Every test here runs against both front-ends: the epoll reactor and
+/// the blocking worker pool must be indistinguishable on the wire.
+const BACKENDS: [Backend; 2] = [Backend::Reactor, Backend::Blocking];
 
 fn paris(seed: u64) -> PoiCatalog {
     SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
 }
 
-fn start_server(config: EngineConfig) -> RunningServer {
+fn start_server(config: EngineConfig, backend: Backend) -> RunningServer {
     RunningServer::start(
         Arc::new(Engine::new(config)),
         ServerConfig {
             worker_threads: 4,
+            backend,
             ..ServerConfig::default()
         },
     )
@@ -71,9 +76,15 @@ fn command_over_http(client: &EngineClient, request: CommandRequest) -> String {
 
 #[test]
 fn scripted_session_over_http_is_bit_identical_to_in_process() {
+    for backend in BACKENDS {
+        scripted_session_matches_in_process(backend);
+    }
+}
+
+fn scripted_session_matches_in_process(backend: Backend) {
     // The served engine learns its catalog over the wire; the reference
     // engine in-process. Identical content + config ⇒ identical substrate.
-    let server = start_server(EngineConfig::fast());
+    let server = start_server(EngineConfig::fast(), backend);
     let client = EngineClient::new(server.addr());
     match client
         .request(EngineRequest::RegisterCatalog {
@@ -167,13 +178,19 @@ fn scripted_session_over_http_is_bit_identical_to_in_process() {
 
 #[test]
 fn unknown_session_after_eviction_surfaces_the_same_code_over_http() {
+    for backend in BACKENDS {
+        eviction_code_matches_in_process(backend);
+    }
+}
+
+fn eviction_code_matches_in_process(backend: Backend) {
     // Both engines: room for two sessions, so a third build evicts the
     // first.
     let config = EngineConfig {
         max_sessions: 2,
         ..EngineConfig::fast()
     };
-    let server = start_server(config);
+    let server = start_server(config, backend);
     let client = EngineClient::new(server.addr());
     client
         .request(EngineRequest::RegisterCatalog {
@@ -240,10 +257,19 @@ fn unknown_session_after_eviction_surfaces_the_same_code_over_http() {
 
 #[test]
 fn concurrent_cold_builds_over_http_train_exactly_once() {
-    let server = start_server(EngineConfig {
-        worker_threads: 8,
-        ..EngineConfig::fast()
-    });
+    for backend in BACKENDS {
+        concurrent_cold_builds_coalesce(backend);
+    }
+}
+
+fn concurrent_cold_builds_coalesce(backend: Backend) {
+    let server = start_server(
+        EngineConfig {
+            worker_threads: 8,
+            ..EngineConfig::fast()
+        },
+        backend,
+    );
     let client = EngineClient::new(server.addr());
 
     // Concurrent identical registrations: one LDA training.

@@ -1,0 +1,354 @@
+//! Torture tests for the epoll reactor front-end: the state machines must
+//! survive adversarial I/O framing — heads trickling in one byte per
+//! readiness event, responses forced out a handful of bytes per write,
+//! pipelined bursts, half-closed peers — and hundreds of idle keep-alive
+//! connections must cost file descriptors, not threads.
+//!
+//! Wire-level regressions for the HTTP bug sweep also live here, because
+//! they need a raw socket, not the well-behaved client: duplicate
+//! conflicting `Content-Length` heads must be rejected, `Connection:
+//! keep-alive, close` must close, and `/slowlog` NDJSON must round-trip
+//! byte-for-byte (the old client stripped the final newline).
+
+#![cfg(target_os = "linux")]
+
+use grouptravel::prelude::*;
+use grouptravel_engine::{CommandRequest, Engine, EngineConfig, EngineRequest, SessionCommand};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{Backend, RunningServer, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn reactor_server(config: ServerConfig) -> RunningServer {
+    RunningServer::start(
+        Arc::new(Engine::new(EngineConfig::fast())),
+        ServerConfig {
+            backend: Backend::Reactor,
+            worker_threads: 2,
+            ..config
+        },
+    )
+    .expect("bind an ephemeral port")
+}
+
+/// Reads everything until the peer closes, as a string.
+fn read_to_end(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read until close");
+    String::from_utf8(buf).expect("responses are UTF-8")
+}
+
+/// Splits one raw HTTP response into (status line, headers, body) using
+/// its `Content-Length`.
+fn split_response(raw: &str) -> (String, String, String) {
+    let (head, rest) = raw.split_once("\r\n\r\n").expect("head/body separator");
+    let (status_line, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    let length: usize = headers
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("responses are length-framed")
+        .parse()
+        .expect("numeric length");
+    (
+        status_line.to_string(),
+        headers.to_string(),
+        rest[..length].to_string(),
+    )
+}
+
+#[test]
+fn head_delivered_one_byte_per_event_still_parses() {
+    let server = reactor_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let request = b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    for &byte in request.iter() {
+        stream.write_all(&[byte]).unwrap();
+        stream.flush().unwrap();
+        // A short pause between bytes makes each one its own readiness
+        // event: the parser must resume mid-request-line and mid-header.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let raw = read_to_end(&mut stream);
+    let (status_line, _, body) = split_response(&raw);
+    assert!(status_line.contains("200"), "got: {status_line}");
+    assert!(body.contains("\"ok\""));
+    server.stop();
+}
+
+#[test]
+fn body_split_across_events_still_parses() {
+    let server = reactor_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let body = "{\"v\":1,\"request\":\"Stats\"}";
+    let head = format!(
+        "POST /v1/engine HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    // Body in two halves, a readiness event apart.
+    let (a, b) = body.as_bytes().split_at(body.len() / 2);
+    stream.write_all(a).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    stream.write_all(b).unwrap();
+
+    let raw = read_to_end(&mut stream);
+    let (status_line, _, body) = split_response(&raw);
+    assert!(status_line.contains("200"), "got: {status_line}");
+    assert!(body.contains("\"requests\":0"), "got: {body}");
+    server.stop();
+}
+
+#[test]
+fn responses_resume_across_partial_writes() {
+    // Cap every write at 7 bytes: a /metrics scrape (multiple KiB) takes
+    // hundreds of EPOLLOUT events to drain, and must arrive intact.
+    let server = reactor_server(ServerConfig {
+        write_chunk_limit: Some(7),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = read_to_end(&mut stream);
+    let (status_line, headers, body) = split_response(&raw);
+    assert!(status_line.contains("200"), "got: {status_line}");
+    assert!(headers.contains("Content-Length"));
+    assert!(
+        body.len() > 1000,
+        "a real scrape is multi-KiB; got {} bytes",
+        body.len()
+    );
+    assert!(body.contains("gt_http_connections_total"));
+    assert!(
+        body.trim_end().ends_with('}') || body.trim_end().chars().last().unwrap().is_ascii_digit(),
+        "body must not be truncated mid-line"
+    );
+    server.stop();
+}
+
+#[test]
+fn pipelined_burst_answers_every_request_in_order() {
+    let server = reactor_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+
+    // Three requests in ONE write; the last asks to close. The reactor
+    // dispatches them strictly in order on this connection.
+    let burst = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /stats HTTP/1.1\r\nHost: t\r\n\r\n\
+                 GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    stream.write_all(burst.as_bytes()).unwrap();
+    let raw = read_to_end(&mut stream);
+    // Bodies carry no trailing newline, so the next status line starts
+    // mid-"line": count occurrences, don't iterate lines().
+    assert_eq!(
+        raw.matches("HTTP/1.1 200").count(),
+        3,
+        "three 200s expected:\n{raw}"
+    );
+    let first_body = raw.find("\"status\":\"ok\"").expect("healthz body");
+    let stats_body = raw.find("\"requests\"").expect("stats body");
+    assert!(
+        first_body < stats_body,
+        "responses must come back in request order"
+    );
+    server.stop();
+}
+
+#[test]
+fn conflicting_content_lengths_are_rejected_on_the_wire() {
+    // Regression: duplicate differing Content-Length heads were silently
+    // accepted (first won) — a request-desync hazard on kept-alive
+    // connections. They must 400 and close.
+    let server = reactor_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(
+            b"POST /v1/engine HTTP/1.1\r\nHost: t\r\n\
+              Content-Length: 5\r\nContent-Length: 25\r\n\r\nhello",
+        )
+        .unwrap();
+    let raw = read_to_end(&mut stream);
+    let (status_line, _, body) = split_response(&raw);
+    assert!(status_line.contains("400"), "got: {status_line}");
+    assert!(
+        body.to_lowercase().contains("content-length"),
+        "got: {body}"
+    );
+    server.stop();
+}
+
+#[test]
+fn connection_close_in_a_token_list_closes() {
+    // Regression: `Connection: keep-alive, close` kept the connection
+    // open because wants_close() compared the whole value to "close".
+    let server = reactor_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: keep-alive, close\r\n\r\n")
+        .unwrap();
+    // read_to_end only returns if the server actually closes.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let raw = read_to_end(&mut stream);
+    let (status_line, headers, _) = split_response(&raw);
+    assert!(status_line.contains("200"));
+    assert!(
+        headers.contains("Connection: close"),
+        "the server must confirm the close: {headers}"
+    );
+    server.stop();
+}
+
+#[test]
+fn slowlog_ndjson_round_trips_byte_for_byte() {
+    // Regression: the client stripped trailing newlines from
+    // length-framed bodies, truncating the final `\n` of /slowlog NDJSON.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        slow_log_threshold: Duration::ZERO,
+        ..EngineConfig::fast()
+    }));
+    let server = RunningServer::start(Arc::clone(&engine), ServerConfig::default())
+        .expect("bind an ephemeral port");
+    let client = EngineClient::new(server.addr());
+
+    let catalog =
+        SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
+    client
+        .request(EngineRequest::RegisterCatalog {
+            catalog: Box::new(catalog),
+        })
+        .unwrap();
+    let schema = engine.profile_schema("Paris").unwrap();
+    let profile = SyntheticGroupGenerator::new(schema, 3)
+        .group(GroupSize::Small, Uniformity::NonUniform)
+        .profile(ConsensusMethod::pairwise_disagreement());
+    client
+        .request(EngineRequest::Command {
+            request: CommandRequest::new(
+                1,
+                SessionCommand::build(
+                    "Paris",
+                    profile,
+                    GroupQuery::paper_default(),
+                    BuildConfig::default(),
+                ),
+            ),
+        })
+        .unwrap();
+
+    let expected = engine.slow_log().json_lines();
+    assert!(
+        expected.ends_with('\n'),
+        "NDJSON bodies end with a newline by construction"
+    );
+    let (status, body) = client.http("GET", "/slowlog", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        body, expected,
+        "the NDJSON body must survive the wire byte-for-byte, final newline included"
+    );
+    server.stop();
+}
+
+#[test]
+fn idle_connections_cost_fds_not_threads() {
+    // The soak in miniature: hundreds of idle keep-alive connections must
+    // not grow the thread count (the old design parked one worker per
+    // connection), and the server must stay responsive while holding them.
+    const IDLE: usize = 512;
+    let server = reactor_server(ServerConfig {
+        max_connections: IDLE + 64,
+        keep_alive_timeout: Duration::from_secs(60),
+        ..ServerConfig::default()
+    });
+    let addr = server.addr();
+
+    let threads_before = thread_count();
+    let mut held: Vec<TcpStream> = Vec::with_capacity(IDLE);
+    for _ in 0..IDLE {
+        held.push(TcpStream::connect(addr).expect("connect an idle socket"));
+    }
+    // Give the reactor a beat to accept the whole backlog.
+    probe_until_connections(&server, IDLE as u64);
+
+    let threads_with_load = thread_count();
+    assert!(
+        threads_with_load <= threads_before + 4,
+        "{IDLE} idle connections must not spawn threads: {threads_before} -> {threads_with_load}"
+    );
+
+    // Still responsive while all of them are held — both on a fresh
+    // connection and on a sampled idle one.
+    let client = EngineClient::new(addr);
+    let (status, _) = client.http("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let sampled = &mut held[IDLE / 2];
+    sampled
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let raw = read_to_end(sampled);
+    assert!(raw.contains("200"), "a held idle connection still serves");
+
+    drop(held);
+    server.stop();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_timer_wheel() {
+    let server = reactor_server(ServerConfig {
+        keep_alive_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send nothing: the wheel must close us. EOF = Ok(0) on read.
+    let mut buf = [0u8; 16];
+    let n = stream.read(&mut buf).expect("server closes, not stalls");
+    assert_eq!(n, 0, "an idle connection past the timeout reads EOF");
+
+    let registry = server.engine().metrics_registry();
+    let timeouts = registry
+        .counter("gt_http_read_timeouts_total", "", &[])
+        .get();
+    assert!(timeouts >= 1, "the reap must be counted; got {timeouts}");
+    server.stop();
+}
+
+/// Threads of this process, from /proc/self/status.
+fn thread_count() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line present")
+}
+
+/// Waits (bounded) until the server has accepted at least `want`
+/// connections, so the idle-soak assertions don't race the accept loop.
+fn probe_until_connections(server: &RunningServer, want: u64) {
+    let registry = server.engine().metrics_registry();
+    let counter = registry.counter("gt_http_connections_total", "", &[]);
+    for _ in 0..200 {
+        if counter.get() >= want {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!(
+        "server accepted only {} of {want} idle connections",
+        counter.get()
+    );
+}
