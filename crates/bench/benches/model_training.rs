@@ -17,8 +17,11 @@
 //! CI invocation that proves the measurement pipeline compiles and runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grouptravel_bench::models::{fcm_config, lda_config, training_corpus, training_points};
+use grouptravel_bench::models::{
+    block_lda_config, fcm_config, lda_config, training_corpus, training_points,
+};
 use grouptravel_cluster::{reference_fit, FuzzyCMeans};
+use grouptravel_pool::WorkerPool;
 use grouptravel_topics::{reference_train, LdaModel};
 
 fn smoke() -> bool {
@@ -74,5 +77,36 @@ fn bench_lda(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fcm, bench_lda);
+fn thread_widths() -> Vec<usize> {
+    if smoke() {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+fn bench_threads(c: &mut Criterion) {
+    // The deterministic parallel trainers across pool widths (width 1 is
+    // the sequential path, no pool). The full 1/2/4/8 sweep over the
+    // largest sizes lives in the model_training_report binary.
+    let mut group = c.benchmark_group("model_training/threads");
+    group.sample_size(10);
+    let points = training_points(2_000, 0xF00D ^ 2_000);
+    let solver = FuzzyCMeans::new(fcm_config(7));
+    let (encoded, vocab) = training_corpus(1_000, 0xBEEF ^ 1_000);
+    let lda = block_lda_config(11);
+    for threads in thread_widths() {
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let pool = pool.as_ref();
+        group.bench_function(BenchmarkId::new("fcm", threads), |b| {
+            b.iter(|| solver.fit_on(&points, pool).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("lda-block", threads), |b| {
+            b.iter(|| LdaModel::train_on(&encoded, &vocab, lda, pool).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fcm, bench_lda, bench_threads);
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! before/after style as `BENCH_candidates.json`.
 
 use grouptravel_bench::models::{
-    measure_fcm, measure_lda, FcmRow, LdaRow, FCM_K, FCM_SWEEPS, LDA_SWEEPS, LDA_TOPICS,
+    measure_fcm, measure_lda, measure_threads, FcmRow, LdaRow, ThreadsRow, FCM_K, FCM_SWEEPS,
+    LDA_SWEEPS, LDA_TOPICS,
 };
 
 fn fcm_row_json(row: &FcmRow) -> String {
@@ -31,6 +32,18 @@ fn lda_row_json(row: &LdaRow) -> String {
         row.seed_ms,
         row.flat_ms,
         row.speedup()
+    )
+}
+
+fn threads_row_json(row: &ThreadsRow, base: &ThreadsRow) -> String {
+    format!(
+        "      {{\"threads\": {}, \"fcm_ms\": {:.3}, \"fcm_speedup\": {:.2}, \
+         \"lda_ms\": {:.3}, \"lda_speedup\": {:.2}}}",
+        row.threads,
+        row.fcm_ms,
+        base.fcm_ms / row.fcm_ms.max(1e-9),
+        row.lda_ms,
+        base.lda_ms / row.lda_ms.max(1e-9)
     )
 }
 
@@ -68,16 +81,44 @@ fn main() {
         lda_rows.push(row);
     }
 
+    // Threads axis: the deterministic parallel trainers (chunk-parallel
+    // FCM, block-Gibbs LDA) at 1/2/4/8 pool workers over the largest
+    // sizes. Speed-ups are relative to the 1-thread (sequential-path) row;
+    // `host_cores` records how much hardware parallelism backed the run —
+    // widths past it measure scheduling overhead, not speed-up.
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads_points = 20_000usize;
+    let threads_docs = 100_000usize;
+    let mut thread_rows = Vec::new();
+    for &threads in &[1usize, 2, 4, 8] {
+        eprintln!("parallel training at {threads} thread(s)…");
+        let row = measure_threads(threads_points, threads_docs, threads, repeats);
+        eprintln!(
+            "  fcm {:.1} ms, block-gibbs lda {:.1} ms",
+            row.fcm_ms, row.lda_ms
+        );
+        thread_rows.push(row);
+    }
+
     let fcm_body: Vec<String> = fcm_rows.iter().map(fcm_row_json).collect();
     let lda_body: Vec<String> = lda_rows.iter().map(lda_row_json).collect();
+    let threads_body: Vec<String> = thread_rows
+        .iter()
+        .map(|row| threads_row_json(row, &thread_rows[0]))
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"model_training\",\n  \
          \"fcm\": {{\n    \"k\": {FCM_K}, \"fuzzifier\": 2.0, \"sweeps\": {FCM_SWEEPS}, \
          \"metric\": \"Equirectangular\",\n    \"sizes\": [\n{}\n    ]\n  }},\n  \
          \"lda\": {{\n    \"topics\": {LDA_TOPICS}, \"sweeps\": {LDA_SWEEPS},\n    \
-         \"sizes\": [\n{}\n    ]\n  }}\n}}\n",
+         \"sizes\": [\n{}\n    ]\n  }},\n  \
+         \"threads\": {{\n    \"host_cores\": {host_cores}, \
+         \"fcm_points\": {threads_points}, \"lda_docs\": {threads_docs}, \
+         \"lda_sampler\": \"block_gibbs_v1\",\n    \
+         \"widths\": [\n{}\n    ]\n  }}\n}}\n",
         fcm_body.join(",\n"),
-        lda_body.join(",\n")
+        lda_body.join(",\n"),
+        threads_body.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write BENCH_models.json");
     eprintln!("wrote {out_path}");

@@ -15,7 +15,8 @@
 use crate::candidates::scaling_catalog;
 use grouptravel_cluster::{reference_fit, FcmConfig, FuzzyCMeans};
 use grouptravel_geo::{DistanceMetric, GeoPoint};
-use grouptravel_topics::{reference_train, LdaConfig, LdaModel, Vocabulary};
+use grouptravel_pool::WorkerPool;
+use grouptravel_topics::{reference_train, LdaConfig, LdaModel, LdaSampler, Vocabulary};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -53,6 +54,7 @@ pub fn lda_config(seed: u64) -> LdaConfig {
         beta: 0.1,
         iterations: LDA_SWEEPS,
         seed,
+        sampler: LdaSampler::Collapsed,
     }
 }
 
@@ -185,6 +187,58 @@ pub fn measure_lda(docs: usize, repeats: usize) -> LdaRow {
     }
 }
 
+/// One thread count's parallel-training measurements: the deterministic
+/// chunk-parallel FCM fit and the block-Gibbs LDA training on a shared
+/// pool of `threads` workers. `threads == 1` runs without a pool — the
+/// sequential paths the 1-thread bit-identity tests pin — so the axis
+/// measures the fan-out itself, same algorithm at every width.
+#[derive(Debug, Clone)]
+pub struct ThreadsRow {
+    /// Pool width (1 = sequential, no pool).
+    pub threads: usize,
+    /// Parallel FCM fit, milliseconds.
+    pub fcm_ms: f64,
+    /// Block-Gibbs LDA training, milliseconds.
+    pub lda_ms: f64,
+}
+
+/// The LDA configuration of threads-axis measurements: the deterministic
+/// block-Gibbs sampler (the only one that fans out).
+#[must_use]
+pub fn block_lda_config(seed: u64) -> LdaConfig {
+    LdaConfig {
+        sampler: LdaSampler::BlockGibbsV1,
+        ..lda_config(seed)
+    }
+}
+
+/// Measures one pool width over an FCM point set and a block-Gibbs LDA
+/// corpus, best of `repeats` runs each.
+#[must_use]
+pub fn measure_threads(points: usize, docs: usize, threads: usize, repeats: usize) -> ThreadsRow {
+    let pool = (threads > 1).then(|| WorkerPool::new(threads));
+    let pool = pool.as_ref();
+
+    let point_set = training_points(points, 0xF00D ^ points as u64);
+    let solver = FuzzyCMeans::new(fcm_config(7));
+    let (encoded, vocab) = training_corpus(docs, 0xBEEF ^ docs as u64);
+    let lda = block_lda_config(11);
+
+    let mut fcm_ms = f64::INFINITY;
+    let mut lda_ms = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        fcm_ms = fcm_ms.min(time_ms(|| solver.fit_on(&point_set, pool).unwrap()));
+        lda_ms = lda_ms.min(time_ms(|| {
+            LdaModel::train_on(&encoded, &vocab, lda, pool).unwrap()
+        }));
+    }
+    ThreadsRow {
+        threads,
+        fcm_ms,
+        lda_ms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +275,14 @@ mod tests {
         let lda = measure_lda(80, 1);
         assert!(lda.seed_ms > 0.0 && lda.flat_ms > 0.0);
         assert!(lda.tokens > 0);
+    }
+
+    #[test]
+    fn threads_axis_measures_every_width() {
+        for threads in [1usize, 2] {
+            let row = measure_threads(300, 80, threads, 1);
+            assert_eq!(row.threads, threads);
+            assert!(row.fcm_ms > 0.0 && row.lda_ms > 0.0);
+        }
     }
 }

@@ -42,8 +42,36 @@
 //! seeding, by contrast, *is* bit-identical — the running nearest-centroid
 //! distance array (`O(n·k)` total instead of `O(n·k²)`) takes the same
 //! minima over the same floats.
+//!
+//! # Deterministic parallel sweeps
+//!
+//! [`FuzzyCMeans::fit_on`] accepts a shared [`WorkerPool`]. The fused sweep
+//! is chunked over **fixed point ranges** of [`PARALLEL_CHUNK_POINTS`]
+//! points — the chunk grid depends only on `n`, never on the thread count —
+//! each chunk fills its own membership rows and its own accumulator set, and
+//! the per-chunk accumulators are reduced **in chunk-index order** on the
+//! scope owner's thread. Consequences:
+//!
+//! * The result is a pure function of `(points, config)`: bit-identical
+//!   run-to-run and across **any** pool width ≥ 2, because neither the
+//!   chunk boundaries nor the reduction order depend on scheduling.
+//! * The reduction **reorders float sums relative to the sequential
+//!   solver**: sequentially, point `i`'s weighted contribution lands on the
+//!   accumulator after points `0..i`; chunked, contributions are summed
+//!   within each chunk first and the per-chunk subtotals are then added in
+//!   chunk order. Centroids (and everything downstream: memberships,
+//!   objective, iteration count at the convergence margin) therefore agree
+//!   with the sequential solver to a tolerance (`diff_fcm` pins `1e-9`,
+//!   hard assignments identical), not bitwise.
+//! * A pool of width 1 — or no pool — takes the sequential single-chunk
+//!   path, which performs exactly the PR 4 operation sequence:
+//!   **bit-identical at 1 thread** (`diff_fcm` pins `to_bits` equality).
+//!
+//! k-means++ seeding stays sequential (it is a running-minimum scan with a
+//! data dependence between rounds) and bit-identical in every mode.
 
 use grouptravel_geo::{DenseMatrix, DistanceMetric, GeoPoint, EARTH_RADIUS_KM};
+use grouptravel_pool::{TaskKind, WorkerPool};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -170,6 +198,14 @@ const COINCIDENT_D2: f64 = f64::EPSILON * f64::EPSILON;
 
 const EARTH_RADIUS_SQ: f64 = EARTH_RADIUS_KM * EARTH_RADIUS_KM;
 
+/// Points per parallel sweep chunk. Part of the determinism contract: the
+/// chunk grid is a function of `n` and this constant only, so the same
+/// input produces the same per-chunk partial sums — and therefore the same
+/// chunk-ordered reduction — at any thread count. Changing this constant
+/// changes parallel results at the last ulp (it re-brackets the float
+/// sums) and must be treated like a solver version bump.
+pub const PARALLEL_CHUNK_POINTS: usize = 1024;
+
 /// Per-point (or per-centroid) precomputed geometry: everything the squared
 /// distance kernels need, so the inner loop is trig-free.
 struct Projection {
@@ -255,6 +291,81 @@ impl Scratch {
     }
 }
 
+/// Per-fit sweep state: the fixed chunk grid, one [`Scratch`] and one
+/// objective slot per chunk, and the chunk-ordered reduction target.
+/// Allocated once per fit; zero allocations per sweep in either mode.
+struct SweepBuffers<'p> {
+    /// `None` runs chunks inline on the calling thread (the sequential
+    /// single-chunk path); a pool wider than one worker runs them scoped.
+    pool: Option<&'p WorkerPool>,
+    /// Points per chunk — `n` when sequential, [`PARALLEL_CHUNK_POINTS`]
+    /// when parallel. Never a function of the pool width.
+    chunk_points: usize,
+    scratches: Vec<Scratch>,
+    objectives: Vec<f64>,
+    /// Accumulators after [`SweepBuffers::reduce`].
+    reduced: Scratch,
+}
+
+impl<'p> SweepBuffers<'p> {
+    fn new(n: usize, k: usize, pool: Option<&'p WorkerPool>) -> Self {
+        // A one-worker pool gains nothing from chunking; take the
+        // sequential single-chunk path so 1-thread results stay
+        // bit-identical to the plain sequential solver.
+        let pool = pool.filter(|p| p.threads() > 1);
+        let chunk_points = match pool {
+            Some(_) => PARALLEL_CHUNK_POINTS,
+            None => n.max(1),
+        };
+        let chunks = n.div_ceil(chunk_points).max(1);
+        Self {
+            pool,
+            chunk_points,
+            scratches: (0..chunks).map(|_| Scratch::new(k)).collect(),
+            objectives: vec![0.0; chunks],
+            reduced: Scratch::new(k),
+        }
+    }
+
+    /// Reduces the per-chunk centroid accumulators in chunk-index order:
+    /// chunk 0 is copied bit-exactly, chunks 1.. are added in order. With
+    /// a single chunk this is a pure copy, so the sequential path's floats
+    /// pass through untouched.
+    fn reduce(&mut self) {
+        let (first, rest) = self
+            .scratches
+            .split_first()
+            .expect("at least one sweep chunk");
+        self.reduced.acc_lat.copy_from_slice(&first.acc_lat);
+        self.reduced.acc_lon.copy_from_slice(&first.acc_lon);
+        self.reduced.acc_w.copy_from_slice(&first.acc_w);
+        for scratch in rest {
+            for (acc, &part) in self.reduced.acc_lat.iter_mut().zip(&scratch.acc_lat) {
+                *acc += part;
+            }
+            for (acc, &part) in self.reduced.acc_lon.iter_mut().zip(&scratch.acc_lon) {
+                *acc += part;
+            }
+            for (acc, &part) in self.reduced.acc_w.iter_mut().zip(&scratch.acc_w) {
+                *acc += part;
+            }
+        }
+    }
+
+    /// The objective, reduced over the per-chunk partials in chunk order.
+    fn objective(&self) -> f64 {
+        let (&first, rest) = self
+            .objectives
+            .split_first()
+            .expect("at least one sweep chunk");
+        let mut total = first;
+        for &part in rest {
+            total += part;
+        }
+        total
+    }
+}
+
 /// The fuzzy c-means solver.
 #[derive(Debug, Clone)]
 pub struct FuzzyCMeans {
@@ -274,11 +385,26 @@ impl FuzzyCMeans {
         &self.config
     }
 
-    /// Runs fuzzy c-means over `points`.
+    /// Runs fuzzy c-means over `points`, sequentially.
     pub fn fit(&self, points: &[GeoPoint]) -> Result<FcmResult, FcmError> {
+        self.fit_on(points, None)
+    }
+
+    /// Runs fuzzy c-means over `points`, parallelizing the fused sweeps on
+    /// `pool` when one is given and wider than one worker (see the module
+    /// docs for the determinism contract). `None` — or a one-worker pool —
+    /// runs the sequential solver, bit-identical to [`FuzzyCMeans::fit`].
+    ///
+    /// # Errors
+    /// Same preconditions as [`FuzzyCMeans::fit`].
+    pub fn fit_on(
+        &self,
+        points: &[GeoPoint],
+        pool: Option<&WorkerPool>,
+    ) -> Result<FcmResult, FcmError> {
         self.validate(points)?;
         let centroids = self.initial_centroids(points);
-        Ok(self.iterate(points, centroids))
+        Ok(self.iterate(points, centroids, pool))
     }
 
     /// Runs fuzzy c-means warm-started from `initial` centroids instead of
@@ -296,6 +422,20 @@ impl FuzzyCMeans {
         points: &[GeoPoint],
         initial: &[GeoPoint],
     ) -> Result<FcmResult, FcmError> {
+        self.fit_from_on(points, initial, None)
+    }
+
+    /// [`FuzzyCMeans::fit_from`] with an optional worker pool, under the
+    /// same contract as [`FuzzyCMeans::fit_on`].
+    ///
+    /// # Errors
+    /// Same preconditions as [`FuzzyCMeans::fit_from`].
+    pub fn fit_from_on(
+        &self,
+        points: &[GeoPoint],
+        initial: &[GeoPoint],
+        pool: Option<&WorkerPool>,
+    ) -> Result<FcmResult, FcmError> {
         self.validate(points)?;
         if initial.len() != self.config.k {
             return Err(if initial.is_empty() {
@@ -304,7 +444,7 @@ impl FuzzyCMeans {
                 FcmError::NotEnoughPoints
             });
         }
-        Ok(self.iterate(points, initial.to_vec()))
+        Ok(self.iterate(points, initial.to_vec(), pool))
     }
 
     fn validate(&self, points: &[GeoPoint]) -> Result<(), FcmError> {
@@ -321,29 +461,27 @@ impl FuzzyCMeans {
         Ok(())
     }
 
-    fn iterate(&self, points: &[GeoPoint], mut centroids: Vec<GeoPoint>) -> FcmResult {
+    fn iterate(
+        &self,
+        points: &[GeoPoint],
+        mut centroids: Vec<GeoPoint>,
+        pool: Option<&WorkerPool>,
+    ) -> FcmResult {
         let k = self.config.k;
         let proj = Projection::of_points(points);
         let mut cent_proj = Projection::with_capacity(k);
         let mut memberships = DenseMatrix::zeros(points.len(), k);
-        let mut scratch = Scratch::new(k);
+        let mut bufs = SweepBuffers::new(points.len(), k, pool);
         let mut iterations = 0;
         let mut converged = false;
 
         for iter in 0..self.config.max_iterations {
             iterations = iter + 1;
             cent_proj.recompute(&centroids);
-            scratch.reset_accumulators();
-            self.sweep(
-                points,
-                &proj,
-                &cent_proj,
-                &mut memberships,
-                &mut scratch,
-                true,
-            );
+            self.sweep_all(points, &proj, &cent_proj, &mut memberships, &mut bufs, true);
+            bufs.reduce();
 
-            let max_shift = self.apply_centroids(&mut centroids, &scratch);
+            let max_shift = self.apply_centroids(&mut centroids, &bufs.reduced);
             if max_shift < self.config.tolerance_km {
                 converged = true;
                 break;
@@ -353,14 +491,15 @@ impl FuzzyCMeans {
         // same pass accumulates the objective from the weights and squared
         // distances it just computed.
         cent_proj.recompute(&centroids);
-        let objective = self.sweep(
+        self.sweep_all(
             points,
             &proj,
             &cent_proj,
             &mut memberships,
-            &mut scratch,
+            &mut bufs,
             false,
         );
+        let objective = bufs.objective();
 
         FcmResult {
             centroids,
@@ -449,25 +588,92 @@ impl FuzzyCMeans {
         }
     }
 
-    /// One fused pass over the points: membership rows and, depending on
-    /// `accumulate`, either the centroid accumulators (iteration sweeps) or
-    /// the objective (final sweep). Returns the objective (0 while
-    /// iterating).
-    fn sweep(
+    /// One fused pass over every point, chunked over the fixed grid in
+    /// `bufs`: each chunk fills its membership rows and its own scratch
+    /// accumulators / objective slot. With a pool the chunks run as scoped
+    /// tasks (disjoint membership row ranges, disjoint scratches — no
+    /// synchronization beyond the scope barrier); without one they run
+    /// inline in chunk order. Callers reduce via [`SweepBuffers::reduce`] /
+    /// [`SweepBuffers::objective`].
+    fn sweep_all(
         &self,
         points: &[GeoPoint],
         proj: &Projection,
         cent: &Projection,
         memberships: &mut DenseMatrix,
+        bufs: &mut SweepBuffers<'_>,
+        accumulate: bool,
+    ) {
+        let k = self.config.k;
+        let chunk_points = bufs.chunk_points;
+        let rows = memberships.as_mut_slice();
+        let chunk_iter = points
+            .chunks(chunk_points)
+            .zip(rows.chunks_mut(chunk_points * k))
+            .zip(bufs.scratches.iter_mut().zip(bufs.objectives.iter_mut()))
+            .enumerate();
+        match bufs.pool {
+            Some(pool) => pool.scope(TaskKind::FcmTrain, |scope| {
+                for (c, ((point_chunk, row_chunk), (scratch, objective))) in chunk_iter {
+                    let base = c * chunk_points;
+                    scope.spawn(move || {
+                        *objective = self.sweep_chunk(
+                            point_chunk,
+                            base,
+                            proj,
+                            cent,
+                            row_chunk,
+                            scratch,
+                            accumulate,
+                        );
+                    });
+                }
+            }),
+            None => {
+                for (c, ((point_chunk, row_chunk), (scratch, objective))) in chunk_iter {
+                    let base = c * chunk_points;
+                    *objective = self.sweep_chunk(
+                        point_chunk,
+                        base,
+                        proj,
+                        cent,
+                        row_chunk,
+                        scratch,
+                        accumulate,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fused membership + accumulation pass over one chunk of points:
+    /// membership rows and, depending on `accumulate`, either the centroid
+    /// accumulators (iteration sweeps) or the objective (final sweep).
+    /// `base` is the global index of `points[0]`; `rows` is the chunk's
+    /// slice of the membership matrix. Returns the chunk's objective
+    /// partial (0 while iterating).
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_chunk(
+        &self,
+        points: &[GeoPoint],
+        base: usize,
+        proj: &Projection,
+        cent: &Projection,
+        rows: &mut [f64],
         scratch: &mut Scratch,
         accumulate: bool,
     ) -> f64 {
+        let k = self.config.k;
         let m = self.config.fuzzifier;
         let fast = m == 2.0;
         let inv_exponent = 1.0 / (m - 1.0);
         let mut objective = 0.0;
+        if accumulate {
+            scratch.reset_accumulators();
+        }
 
-        for (i, point) in points.iter().enumerate() {
+        for (local, point) in points.iter().enumerate() {
+            let i = base + local;
             self.distance_sq_row(proj, i, cent, &mut scratch.d2);
 
             // A point sitting exactly on one or more centroids belongs to
@@ -478,7 +684,7 @@ impl FuzzyCMeans {
                 coincident_count += usize::from(*flag);
             }
 
-            let row = memberships.row_mut(i);
+            let row = &mut rows[local * k..(local + 1) * k];
             if coincident_count > 0 {
                 let share = 1.0 / coincident_count as f64;
                 for (slot, &flag) in row.iter_mut().zip(&scratch.coincident) {

@@ -208,3 +208,211 @@ fn warm_started_fits_are_equivalent_too() {
     let reference = reference_fit_from(&config, &moved, &cold.centroids).unwrap();
     assert_equivalent(&flat, &reference, "warm start");
 }
+
+// ---------------------------------------------------------------------------
+// Parallel sweeps (PR 8): the chunked solver against the sequential one.
+//
+// Contract (module docs of `fcm`):
+// * pool width 1 (or no pool) → **bit-identical** to the sequential solver;
+// * pool width ≥ 2 → fixed chunk grid + chunk-ordered reduction, so results
+//   are bit-identical across *any* width ≥ 2 and run-to-run, but only
+//   tolerance-equal (1e-9, hard assignments identical) to the sequential
+//   solver, whose float sums bracket differently.
+// ---------------------------------------------------------------------------
+
+use grouptravel_pool::WorkerPool;
+use proptest::prelude::*;
+
+/// Bitwise equality of two solver results, `to_bits` on every float.
+fn assert_bits_equal(a: &FcmResult, b: &FcmResult, context: &str) {
+    assert_eq!(a.iterations, b.iterations, "{context}: iterations");
+    assert_eq!(a.converged, b.converged, "{context}: converged");
+    for (j, (ca, cb)) in a.centroids.iter().zip(&b.centroids).enumerate() {
+        assert_eq!(
+            ca.lat.to_bits(),
+            cb.lat.to_bits(),
+            "{context}: centroid {j} lat"
+        );
+        assert_eq!(
+            ca.lon.to_bits(),
+            cb.lon.to_bits(),
+            "{context}: centroid {j} lon"
+        );
+    }
+    let (wa, wb) = (a.memberships.as_slice(), b.memberships.as_slice());
+    assert_eq!(wa.len(), wb.len(), "{context}: membership size");
+    for (i, (x, y)) in wa.iter().zip(wb).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{context}: membership flat[{i}]");
+    }
+    assert_eq!(
+        a.objective.to_bits(),
+        b.objective.to_bits(),
+        "{context}: objective"
+    );
+}
+
+/// Tolerance equality between the chunked and sequential solvers: hard
+/// assignments identical, floats within 1e-9.
+fn assert_tolerance_equal(par: &FcmResult, seq: &FcmResult, context: &str) {
+    assert_eq!(par.iterations, seq.iterations, "{context}: iterations");
+    assert_eq!(par.converged, seq.converged, "{context}: converged");
+    for (j, (a, b)) in par.centroids.iter().zip(&seq.centroids).enumerate() {
+        assert!(
+            (a.lat - b.lat).abs() < 1e-9 && (a.lon - b.lon).abs() < 1e-9,
+            "{context}: centroid {j} drifted: {a} vs {b}"
+        );
+    }
+    for (i, (prow, srow)) in par
+        .memberships
+        .rows()
+        .zip(seq.memberships.rows())
+        .enumerate()
+    {
+        assert_eq!(
+            argmax(prow),
+            argmax(srow),
+            "{context}: hard assignment of point {i}"
+        );
+        for (j, (a, b)) in prow.iter().zip(srow).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "{context}: membership [{i}][{j}] drifted: {a} vs {b}"
+            );
+        }
+    }
+    let denom = seq.objective.abs().max(1.0);
+    assert!(
+        ((par.objective - seq.objective) / denom).abs() < 1e-9,
+        "{context}: objective drifted: {} vs {}",
+        par.objective,
+        seq.objective
+    );
+}
+
+#[test]
+fn one_thread_pool_is_bit_identical_to_sequential() {
+    // 2600 points: three chunks in the parallel grid — but a width-1 pool
+    // must take the sequential single-chunk path regardless.
+    let points = blob_points(2600, 5, 11);
+    let solver = FuzzyCMeans::new(FcmConfig {
+        k: 5,
+        seed: 3,
+        ..FcmConfig::default()
+    });
+    let pool = WorkerPool::new(1);
+    let sequential = solver.fit(&points).unwrap();
+    let pooled = solver.fit_on(&points, Some(&pool)).unwrap();
+    assert_bits_equal(&pooled, &sequential, "1-thread pool");
+}
+
+#[test]
+fn parallel_matches_sequential_within_tolerance_at_2_4_8_threads() {
+    let points = blob_points(2600, 5, 21);
+    let solver = FuzzyCMeans::new(FcmConfig {
+        k: 5,
+        seed: 7,
+        ..FcmConfig::default()
+    });
+    let sequential = solver.fit(&points).unwrap();
+    for threads in [2usize, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        let parallel = solver.fit_on(&points, Some(&pool)).unwrap();
+        assert_tolerance_equal(&parallel, &sequential, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn parallel_results_are_bit_identical_across_thread_counts() {
+    let points = blob_points(3100, 6, 31);
+    let solver = FuzzyCMeans::new(FcmConfig {
+        k: 6,
+        seed: 5,
+        ..FcmConfig::default()
+    });
+    let two = solver.fit_on(&points, Some(&WorkerPool::new(2))).unwrap();
+    for threads in [3usize, 4, 8] {
+        let other = solver
+            .fit_on(&points, Some(&WorkerPool::new(threads)))
+            .unwrap();
+        assert_bits_equal(&other, &two, &format!("{threads} vs 2 threads"));
+    }
+}
+
+#[test]
+fn parallel_runs_are_reproducible_at_the_same_thread_count() {
+    // Acceptance criterion: two identical runs at the same thread count
+    // produce bit-identical models, T ∈ {2, 8}.
+    let points = blob_points(2600, 4, 41);
+    let solver = FuzzyCMeans::new(FcmConfig {
+        k: 4,
+        seed: 13,
+        ..FcmConfig::default()
+    });
+    for threads in [2usize, 8] {
+        let first = solver
+            .fit_on(&points, Some(&WorkerPool::new(threads)))
+            .unwrap();
+        let second = solver
+            .fit_on(&points, Some(&WorkerPool::new(threads)))
+            .unwrap();
+        assert_bits_equal(&second, &first, &format!("repeat at {threads} threads"));
+    }
+}
+
+#[test]
+fn warm_started_parallel_fit_matches_sequential() {
+    let points = blob_points(2100, 4, 51);
+    let solver = FuzzyCMeans::new(FcmConfig {
+        k: 4,
+        seed: 17,
+        ..FcmConfig::default()
+    });
+    let cold = solver.fit(&points).unwrap();
+    let moved: Vec<GeoPoint> = points
+        .iter()
+        .map(|p| GeoPoint::new_unchecked(p.lat + 0.0004, p.lon - 0.0003))
+        .collect();
+    let sequential = solver.fit_from(&moved, &cold.centroids).unwrap();
+    let parallel = solver
+        .fit_from_on(&moved, &cold.centroids, Some(&WorkerPool::new(4)))
+        .unwrap();
+    assert_tolerance_equal(&parallel, &sequential, "warm start, 4 threads");
+    let one = solver
+        .fit_from_on(&moved, &cold.centroids, Some(&WorkerPool::new(1)))
+        .unwrap();
+    assert_bits_equal(&one, &sequential, "warm start, 1 thread");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel solver tracks the sequential one on arbitrary blob
+    /// mixes, chunk-boundary-straddling sizes, and thread counts 2/4/8 —
+    /// and a 1-thread pool stays bitwise sequential.
+    #[test]
+    fn parallel_solver_tracks_sequential_solver(
+        n in 1025usize..2400,
+        blobs in 2usize..6,
+        k in 2usize..6,
+        seed in 0u64..1000,
+        threads_idx in 0usize..3,
+    ) {
+        let threads = [2usize, 4, 8][threads_idx];
+        let points = blob_points(n, blobs, seed);
+        let solver = FuzzyCMeans::new(FcmConfig {
+            k,
+            seed,
+            max_iterations: 25,
+            ..FcmConfig::default()
+        });
+        let sequential = solver.fit(&points).expect("valid inputs");
+        let parallel = solver
+            .fit_on(&points, Some(&WorkerPool::new(threads)))
+            .expect("valid inputs");
+        assert_tolerance_equal(&parallel, &sequential, &format!("prop {threads} threads"));
+        let one = solver
+            .fit_on(&points, Some(&WorkerPool::new(1)))
+            .expect("valid inputs");
+        assert_bits_equal(&one, &sequential, "prop 1 thread");
+    }
+}

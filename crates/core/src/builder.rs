@@ -23,6 +23,7 @@ use crate::query::GroupQuery;
 use grouptravel_cluster::{FcmConfig, FcmResult, FuzzyCMeans};
 use grouptravel_dataset::{Category, Poi, PoiCatalog};
 use grouptravel_geo::{DistanceMetric, DistanceNormalizer, GeoPoint};
+use grouptravel_pool::WorkerPool;
 use grouptravel_profile::GroupProfile;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -234,8 +235,23 @@ impl<'a> PackageBuilder<'a> {
     /// # Errors
     /// Fails when clustering cannot place `config.k` centroids.
     pub fn cluster(&self, config: &BuildConfig) -> Result<FcmResult, GroupTravelError> {
+        self.cluster_on(config, None)
+    }
+
+    /// [`PackageBuilder::cluster`] with an optional worker pool: the fit
+    /// runs its membership+centroid sweeps chunk-parallel on `pool` (see
+    /// `FuzzyCMeans::fit_on`), producing the same result deterministically
+    /// at any pool width.
+    ///
+    /// # Errors
+    /// Fails when clustering cannot place `config.k` centroids.
+    pub fn cluster_on(
+        &self,
+        config: &BuildConfig,
+        pool: Option<&WorkerPool>,
+    ) -> Result<FcmResult, GroupTravelError> {
         let fcm = FuzzyCMeans::new(self.fcm_config(config));
-        fcm.fit(&self.catalog.locations())
+        fcm.fit_on(&self.catalog.locations(), pool)
             .map_err(|e| GroupTravelError::Clustering(e.to_string()))
     }
 

@@ -8,6 +8,7 @@
 
 use crate::error::GroupTravelError;
 use grouptravel_dataset::{Category, Poi, PoiCatalog, TypeVocabulary};
+use grouptravel_pool::WorkerPool;
 use grouptravel_profile::ProfileSchema;
 use grouptravel_topics::{CategoryTopicModel, LdaConfig};
 
@@ -29,10 +30,27 @@ impl ItemVectorizer {
     /// Returns [`GroupTravelError::TopicModel`] when a category has no POIs
     /// or no tags to train on.
     pub fn fit(catalog: &PoiCatalog, lda: LdaConfig) -> Result<Self, GroupTravelError> {
-        let restaurant_topics = CategoryTopicModel::train(catalog, Category::Restaurant, lda)
-            .ok_or(GroupTravelError::TopicModel(Category::Restaurant))?;
-        let attraction_topics = CategoryTopicModel::train(catalog, Category::Attraction, lda)
-            .ok_or(GroupTravelError::TopicModel(Category::Attraction))?;
+        Self::fit_on(catalog, lda, None)
+    }
+
+    /// [`ItemVectorizer::fit`] with an optional worker pool handed through
+    /// to the per-category LDA training runs. Only the block-Gibbs sampler
+    /// fans out; results are identical with or without a pool.
+    ///
+    /// # Errors
+    /// Returns [`GroupTravelError::TopicModel`] when a category has no POIs
+    /// or no tags to train on.
+    pub fn fit_on(
+        catalog: &PoiCatalog,
+        lda: LdaConfig,
+        pool: Option<&WorkerPool>,
+    ) -> Result<Self, GroupTravelError> {
+        let restaurant_topics =
+            CategoryTopicModel::train_on(catalog, Category::Restaurant, lda, pool)
+                .ok_or(GroupTravelError::TopicModel(Category::Restaurant))?;
+        let attraction_topics =
+            CategoryTopicModel::train_on(catalog, Category::Attraction, lda, pool)
+                .ok_or(GroupTravelError::TopicModel(Category::Attraction))?;
         let acco_types = TypeVocabulary::default_accommodation();
         let trans_types = TypeVocabulary::default_transportation();
         let schema = ProfileSchema::new([

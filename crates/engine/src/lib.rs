@@ -77,6 +77,7 @@ use grouptravel::{
 use grouptravel_dataset::PoiCatalog;
 use grouptravel_geo::DistanceMetric;
 use grouptravel_obs::span;
+use grouptravel_pool::{TaskKind, WorkerPool};
 use grouptravel_profile::{GroupProfile, ProfileSchema};
 use grouptravel_topics::LdaConfig;
 use serde::{Deserialize, Serialize};
@@ -169,8 +170,21 @@ pub struct EngineConfig {
     pub min_candidate_pool: usize,
     /// Pool size multiplier over the query's per-category count.
     pub candidate_oversample: usize,
-    /// Worker threads for [`Engine::serve_batch`] (clamped to at least 1).
+    /// Worker threads of the engine's shared [`WorkerPool`] — the fan-out
+    /// width of [`Engine::serve_batch`] / [`Engine::serve_commands_batch`].
+    /// `0` means "auto": `available_parallelism` capped at 8. The value a
+    /// running engine resolved to is reported by [`EngineStats`] and
+    /// `GET /healthz`.
     pub worker_threads: usize,
+    /// Threads model training fans out over (FCM sweeps, block-Gibbs LDA).
+    /// `0` inherits the resolved `worker_threads`; `1` forces the
+    /// sequential training paths (bit-identical to the pre-pool solvers).
+    /// Training shares the serve pool — no extra OS threads are created,
+    /// so serving and training never oversubscribe the host. Overridable
+    /// with the `GT_TRAIN_THREADS` environment variable (CI's 1-thread
+    /// bit-identity smoke). Parallel training is deterministic: any value
+    /// ≥ 2 produces bit-identical models.
+    pub train_threads: usize,
     /// Maximum tracked sessions; past it the stalest sessions are evicted.
     pub max_sessions: usize,
     /// Whether the engine records metrics, traces, and the slow log.
@@ -194,9 +208,8 @@ impl Default for EngineConfig {
             model_cache_capacity: 64,
             min_candidate_pool: 64,
             candidate_oversample: 8,
-            worker_threads: std::thread::available_parallelism()
-                .map_or(4, std::num::NonZeroUsize::get)
-                .min(8),
+            worker_threads: 0,
+            train_threads: 0,
             max_sessions: SessionStore::DEFAULT_CAPACITY,
             metrics_enabled: true,
             slow_log_threshold: Duration::from_millis(250),
@@ -206,6 +219,39 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
+    /// The serve fan-out width this configuration resolves to — **the**
+    /// one place the `available_parallelism` fallback lives. An explicit
+    /// `worker_threads` is used as-is (clamped to ≥ 1); `0` resolves to
+    /// the host's available parallelism capped at 8.
+    #[must_use]
+    pub fn resolved_worker_threads(&self) -> usize {
+        if self.worker_threads == 0 {
+            std::thread::available_parallelism()
+                .map_or(4, std::num::NonZeroUsize::get)
+                .min(8)
+        } else {
+            self.worker_threads
+        }
+    }
+
+    /// The training fan-out width this configuration resolves to. The
+    /// `GT_TRAIN_THREADS` environment variable (when set to a positive
+    /// integer) wins over the config field; `0` inherits
+    /// [`EngineConfig::resolved_worker_threads`].
+    #[must_use]
+    pub fn resolved_train_threads(&self) -> usize {
+        let explicit = std::env::var("GT_TRAIN_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(self.train_threads);
+        if explicit == 0 {
+            self.resolved_worker_threads()
+        } else {
+            explicit
+        }
+    }
+
     /// A configuration with cheap LDA training, for tests and examples.
     #[must_use]
     pub fn fast() -> Self {
@@ -307,6 +353,18 @@ pub struct EngineStats {
     pub lda_trainings: u64,
     /// Per-kind interactive-command counters.
     pub commands: CommandStats,
+    /// Serve fan-out width the engine resolved at construction
+    /// (`EngineConfig::worker_threads` after the auto fallback).
+    pub worker_threads: usize,
+    /// Model-training fan-out width the engine resolved at construction
+    /// (`EngineConfig::train_threads` after inheritance and the
+    /// `GT_TRAIN_THREADS` override).
+    pub train_threads: usize,
+    /// Tasks spawned on the shared worker pool since construction.
+    pub pool_tasks: u64,
+    /// Pool tasks executed by a scope owner helping out instead of by a
+    /// pool worker.
+    pub pool_steals: u64,
     /// Quantile summary of dispatch latency across every request variant
     /// (merged from the per-variant histograms; zeroed when metrics are
     /// disabled).
@@ -341,6 +399,16 @@ pub struct Engine {
     stats: StatCounters,
     metrics: EngineMetrics,
     slow_log: SlowLog,
+    /// The shared worker pool: batch fan-out *and* model training run on
+    /// these threads (nested scopes interleave via caller-helps
+    /// scheduling), so the engine never oversubscribes the host.
+    pool: WorkerPool,
+    /// `config.worker_threads` resolved at construction.
+    worker_threads: usize,
+    /// `config.train_threads` resolved at construction (env override
+    /// included) — frozen so a mid-flight env change can't split the
+    /// engine across thread budgets.
+    train_threads: usize,
 }
 
 impl Engine {
@@ -359,6 +427,13 @@ impl Engine {
         clusterings.on_evict(Arc::clone(&metrics.clustering.eviction));
         let sessions = SessionStore::with_capacity(config.max_sessions);
         sessions.attach_metrics(metrics.store_metrics());
+        let worker_threads = config.resolved_worker_threads();
+        let train_threads = config.resolved_train_threads();
+        // One pool serves both budgets: wide enough for either, shared so
+        // their sum never runs as OS threads.
+        let pool = WorkerPool::new(worker_threads.max(train_threads));
+        pool.attach_metrics(metrics.pool_metrics());
+        metrics.set_thread_gauges(worker_threads, train_threads);
         Self {
             registry,
             clusterings,
@@ -366,8 +441,31 @@ impl Engine {
             stats: StatCounters::default(),
             metrics,
             slow_log: SlowLog::new(config.slow_log_threshold, config.slow_log_capacity),
+            pool,
+            worker_threads,
+            train_threads,
             config,
         }
+    }
+
+    /// The worker pool's training handle: `Some` when the resolved
+    /// `train_threads` budget allows fan-out, `None` to force the
+    /// sequential (bit-identical reference) training paths.
+    fn train_pool(&self) -> Option<&WorkerPool> {
+        (self.train_threads > 1).then_some(&self.pool)
+    }
+
+    /// The serve fan-out width the engine resolved at construction.
+    #[must_use]
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+    }
+
+    /// The training fan-out width the engine resolved at construction
+    /// (`GT_TRAIN_THREADS` override included).
+    #[must_use]
+    pub fn train_threads(&self) -> usize {
+        self.train_threads
     }
 
     /// The engine's configuration.
@@ -390,7 +488,9 @@ impl Engine {
     /// [`Engine::register_catalog`] with the full wire-protocol answer
     /// (city, fingerprint, whether LDA training ran).
     fn register_catalog_info(&self, catalog: PoiCatalog) -> Result<CatalogInfo, EngineError> {
-        let (entry, trained) = self.registry.register(catalog, self.config.lda)?;
+        let (entry, trained) =
+            self.registry
+                .register_on(catalog, self.config.lda, self.train_pool())?;
         if trained {
             self.stats.lda_trainings.fetch_add(1, Ordering::Relaxed);
         }
@@ -521,10 +621,15 @@ impl Engine {
         for histogram in &self.metrics.command_latency {
             command.merge(&histogram.snapshot());
         }
+        let pool = self.pool.stats();
         EngineStats {
             dispatch_latency: dispatch.summary(),
             build_latency: self.metrics.build_latency.snapshot().summary(),
             command_latency: command.summary(),
+            worker_threads: self.worker_threads,
+            train_threads: self.train_threads,
+            pool_tasks: pool.tasks,
+            pool_steals: pool.steals,
             requests: self.stats.requests.load(Ordering::Relaxed),
             clustering_cache_hits: self.stats.clustering_cache_hits.load(Ordering::Relaxed),
             fcm_trainings: self.stats.fcm_trainings.load(Ordering::Relaxed),
@@ -694,12 +799,14 @@ impl Engine {
         }
     }
 
-    /// The batch build path: fans out over `EngineConfig::worker_threads`
-    /// OS threads. Responses come back in request order; every request gets
-    /// a response (failures are carried in `PackageResponse::outcome`, they
-    /// never abort the batch).
+    /// The batch build path: fans out over the engine's shared worker
+    /// pool, one task per `resolved_worker_threads`-sized chunk. Responses
+    /// come back in request order; every request gets a response (failures
+    /// are carried in `PackageResponse::outcome`, they never abort the
+    /// batch). Per-request latency is still measured inside `serve_one`,
+    /// exactly as on the single-request path.
     fn serve_package_batch(&self, requests: Vec<PackageRequest>) -> Vec<PackageResponse> {
-        let threads = self.config.worker_threads.max(1);
+        let threads = self.worker_threads;
         if threads == 1 || requests.len() <= 1 {
             return requests.iter().map(|r| self.serve_one(r)).collect();
         }
@@ -708,7 +815,7 @@ impl Engine {
         let mut responses: Vec<Option<PackageResponse>> = Vec::new();
         responses.resize_with(requests.len(), || None);
 
-        std::thread::scope(|scope| {
+        self.pool.scope(TaskKind::Serve, |scope| {
             for (request_chunk, response_chunk) in requests
                 .chunks(chunk_size)
                 .zip(responses.chunks_mut(chunk_size))
@@ -772,9 +879,12 @@ impl Engine {
         // front-end funnels in). Only the centroids are cached: they are
         // all a build consumes, and the n × k membership matrix would
         // dominate cache memory at large catalog scale.
+        // Single-flight and the pool compose: the winner of a stampede
+        // trains exactly once, parallelizing *internally* over the shared
+        // pool; coalesced waiters block on the cache entry, not the pool.
         let trained = self.clusterings.get_or_train(key, || {
             let _timed = span!("fcm.train", &self.metrics.fcm_train);
-            builder.cluster(&config).map(|fresh| {
+            builder.cluster_on(&config, self.train_pool()).map(|fresh| {
                 self.metrics
                     .fcm_sweeps
                     .add(u64::try_from(fresh.iterations).unwrap_or(u64::MAX));
@@ -896,14 +1006,13 @@ impl Engine {
         }
     }
 
-    /// The batch command path: fans *sessions* out over
-    /// `EngineConfig::worker_threads` OS threads. Commands addressed to the
-    /// same session run in submission order on one worker (a group's
-    /// interaction is sequential); distinct sessions run concurrently.
-    /// Responses come back in request order and failures never abort the
-    /// batch.
+    /// The batch command path: fans *sessions* out over the engine's
+    /// shared worker pool. Commands addressed to the same session run in
+    /// submission order on one worker (a group's interaction is
+    /// sequential); distinct sessions run concurrently. Responses come
+    /// back in request order and failures never abort the batch.
     fn serve_command_batch(&self, requests: Vec<CommandRequest>) -> Vec<CommandResponse> {
-        let threads = self.config.worker_threads.max(1);
+        let threads = self.worker_threads;
         if threads == 1 || requests.len() <= 1 {
             return requests.iter().map(|r| self.serve_command_one(r)).collect();
         }
@@ -920,27 +1029,24 @@ impl Engine {
             lanes[lane].push(index);
         }
 
+        // The lane→worker assignment (strided by worker index) is the same
+        // as the pre-pool scaffold, so response order and per-command
+        // accounting are unchanged; each worker fills its own scatter slot.
         let workers = threads.min(lanes.len());
+        let mut scattered: Vec<Vec<(usize, CommandResponse)>> = Vec::new();
+        scattered.resize_with(workers, Vec::new);
         let lanes = &lanes;
         let requests = &requests;
-        let scattered: Vec<Vec<(usize, CommandResponse)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|worker| {
-                    scope.spawn(move || {
-                        let mut served = Vec::new();
-                        for lane in lanes.iter().skip(worker).step_by(workers) {
-                            for &index in lane {
-                                served.push((index, self.serve_command_one(&requests[index])));
-                            }
+        self.pool.scope(TaskKind::Command, |scope| {
+            for (worker, served) in scattered.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    for lane in lanes.iter().skip(worker).step_by(workers) {
+                        for &index in lane {
+                            served.push((index, self.serve_command_one(&requests[index])));
                         }
-                        served
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("command worker panicked"))
-                .collect()
+                    }
+                });
+            }
         });
 
         let mut responses: Vec<Option<CommandResponse>> = Vec::new();

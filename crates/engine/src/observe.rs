@@ -22,6 +22,17 @@
 //! | `gt_session_evictions_total` | counter | — |
 //! | `gt_session_busy_skips_total` | counter | — |
 //! | `gt_slow_requests_total` | counter | — |
+//! | `gt_pool_queue_depth` | gauge | — |
+//! | `gt_pool_tasks_total` | counter | `kind` (pool task kind) |
+//! | `gt_pool_steals_total` | counter | — |
+//! | `gt_worker_threads` | gauge | — |
+//! | `gt_train_threads` | gauge | — |
+//!
+//! The `gt_pool_*` series instrument the engine's shared worker pool
+//! (serve fan-out and model training); `gt_worker_threads` /
+//! `gt_train_threads` report the thread budgets the engine resolved at
+//! construction — the same numbers `GET /healthz` and
+//! [`EngineStats`](crate::EngineStats) carry.
 //!
 //! `gt_model_cache_events_total{cache=…}` covers both model caches
 //! (`"clustering"` centroids, `"vectorizer"` LDA models) with events
@@ -34,6 +45,7 @@
 use crate::protocol::EngineRequest;
 use grouptravel_dataset::Category;
 use grouptravel_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use grouptravel_pool::{PoolMetrics, TaskKind};
 use std::sync::Arc;
 
 /// `(request kind, dispatch stage name)` per [`EngineRequest`] variant, in
@@ -256,6 +268,50 @@ impl EngineMetrics {
 
     pub(crate) fn store_metrics(&self) -> StoreMetrics {
         StoreMetrics::register(&self.registry)
+    }
+
+    /// Registers the shared worker pool's instrumentation
+    /// (`gt_pool_queue_depth`, `gt_pool_tasks_total{kind}`,
+    /// `gt_pool_steals_total`) for `WorkerPool::attach_metrics`.
+    pub(crate) fn pool_metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            queue_depth: self.registry.gauge(
+                "gt_pool_queue_depth",
+                "Worker-pool jobs queued and not yet picked up.",
+                &[],
+            ),
+            tasks: TaskKind::ALL.map(|kind| {
+                self.registry.counter(
+                    "gt_pool_tasks_total",
+                    "Tasks spawned on the shared worker pool, by kind.",
+                    &[("kind", kind.as_str())],
+                )
+            }),
+            steals: self.registry.counter(
+                "gt_pool_steals_total",
+                "Pool tasks executed by a scope owner helping instead of a worker.",
+                &[],
+            ),
+        }
+    }
+
+    /// Publishes the thread budgets the engine resolved at construction
+    /// as `gt_worker_threads` / `gt_train_threads`.
+    pub(crate) fn set_thread_gauges(&self, worker_threads: usize, train_threads: usize) {
+        self.registry
+            .gauge(
+                "gt_worker_threads",
+                "Resolved serve fan-out width of the shared worker pool.",
+                &[],
+            )
+            .set(i64::try_from(worker_threads).unwrap_or(i64::MAX));
+        self.registry
+            .gauge(
+                "gt_train_threads",
+                "Resolved model-training fan-out width.",
+                &[],
+            )
+            .set(i64::try_from(train_threads).unwrap_or(i64::MAX));
     }
 
     pub(crate) fn registry_metrics(&self) -> RegistryMetrics {

@@ -19,6 +19,7 @@ use crate::cache::{CacheOutcome, LruCache};
 use crate::observe::RegistryMetrics;
 use grouptravel::{GroupTravelError, ItemVectorizer};
 use grouptravel_dataset::{Category, CategoryGrid, PoiCatalog};
+use grouptravel_pool::WorkerPool;
 use grouptravel_topics::LdaConfig;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
@@ -127,6 +128,22 @@ impl EngineCatalogRegistry {
         catalog: PoiCatalog,
         lda: LdaConfig,
     ) -> Result<(Arc<CityEntry>, bool), GroupTravelError> {
+        self.register_on(catalog, lda, None)
+    }
+
+    /// [`EngineCatalogRegistry::register`] with an optional worker pool
+    /// handed through to vectorizer training ([`ItemVectorizer::fit_on`]).
+    /// Only the block-Gibbs LDA sampler fans out; results are identical
+    /// with or without a pool.
+    ///
+    /// # Errors
+    /// Fails when the catalog is empty or topic-model training fails.
+    pub fn register_on(
+        &self,
+        catalog: PoiCatalog,
+        lda: LdaConfig,
+        pool: Option<&WorkerPool>,
+    ) -> Result<(Arc<CityEntry>, bool), GroupTravelError> {
         if catalog.is_empty() {
             return Err(GroupTravelError::EmptyCatalog);
         }
@@ -141,7 +158,7 @@ impl EngineCatalogRegistry {
                 "lda.train",
                 self.metrics.get().map(|m| m.lda_train.as_ref()),
             );
-            ItemVectorizer::fit(&catalog, lda)
+            ItemVectorizer::fit_on(&catalog, lda, pool)
         })?;
         let trained = outcome == CacheOutcome::Trained;
         if let Some(metrics) = self.metrics.get() {

@@ -267,3 +267,58 @@ fn interleaved_sessions_lose_no_updates_and_stay_monotone() {
     );
     assert_eq!(engine.stats().lda_trainings, 1, "LDA is never retrained");
 }
+
+/// Two engines with identical configurations and the same training
+/// thread count produce identical packages — the acceptance bar for
+/// deterministic parallel training, checked end to end through the
+/// registry (block-Gibbs LDA), the clustering cache (parallel FCM), and
+/// the batch fan-out, at T ∈ {2, 8}.
+#[test]
+fn parallel_training_is_reproducible_at_the_same_thread_count() {
+    use grouptravel_topics::{LdaConfig, LdaSampler};
+
+    let serve = |train_threads: usize| {
+        let engine = Engine::new(EngineConfig {
+            worker_threads: 2,
+            train_threads,
+            lda: LdaConfig {
+                iterations: 30,
+                sampler: LdaSampler::BlockGibbsV1,
+                ..LdaConfig::default()
+            },
+            ..EngineConfig::fast()
+        });
+        engine.register_catalog(paris(43)).unwrap();
+        let requests: Vec<PackageRequest> = (0..4u64)
+            .map(|i| PackageRequest {
+                session_id: i,
+                city: "Paris".to_string(),
+                profile: profile_for(&engine, "Paris", 900 + i),
+                query: GroupQuery::paper_default(),
+                config: BuildConfig {
+                    seed: 7 + i,
+                    ..BuildConfig::default()
+                },
+            })
+            .collect();
+        let responses = engine.serve_batch(requests);
+        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+        assert!(engine.stats().fcm_trainings >= 1);
+        assert_eq!(engine.stats().train_threads, train_threads);
+        responses
+            .into_iter()
+            .map(|r| r.outcome.unwrap())
+            .collect::<Vec<_>>()
+    };
+
+    for train_threads in [2usize, 8] {
+        let first = serve(train_threads);
+        let second = serve(train_threads);
+        assert_eq!(
+            first, second,
+            "identical runs at T={train_threads} must produce identical packages"
+        );
+    }
+    // And across thread counts: parallel training is width-independent.
+    assert_eq!(serve(2), serve(8), "T=2 and T=8 must agree");
+}

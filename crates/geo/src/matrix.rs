@@ -133,6 +133,14 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// The whole buffer in row-major order, mutably. Parallel writers
+    /// split this into disjoint row chunks (`chunks_mut(rows * ncols())`)
+    /// so each task owns a contiguous block of rows.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Copies the matrix out as one `Vec` per row (compatibility helper for
     /// call sites that genuinely need owned rows).
     #[must_use]

@@ -1,0 +1,493 @@
+//! Shared scoped worker pool for deterministic fan-out.
+//!
+//! One `WorkerPool` instance is shared between request fan-out
+//! (`Engine::serve_batch`, `serve_command_batch`) and model training
+//! (parallel FCM sweeps, block-Gibbs LDA) so the two never oversubscribe
+//! the machine: the pool owns a fixed set of worker threads and every
+//! parallel region borrows them through a [`WorkerPool::scope`].
+//!
+//! # Scheduling model
+//!
+//! The pool keeps a single FIFO queue of type-erased jobs. A scope
+//! spawns jobs into that queue and then **helps**: while its own jobs
+//! are outstanding, the scope owner pops and executes queued jobs
+//! itself (counted as *steals* in the metrics) instead of blocking.
+//! This makes the pool deadlock-free under nesting — a worker that
+//! opens a nested scope drains the queue it is waiting on — and means
+//! a zero- or one-worker pool still completes every scope: the caller
+//! simply runs everything inline.
+//!
+//! # Determinism
+//!
+//! The pool itself guarantees only completion, not order. Deterministic
+//! results are the *callers'* contract: parallel FCM and block-Gibbs
+//! LDA spawn tasks over a fixed chunk grid, give every task its own
+//! output slot or derived RNG seed, and reduce in fixed chunk order —
+//! so the result is a pure function of the input and the chunk grid,
+//! never of which thread ran which chunk first.
+//!
+//! # Panics
+//!
+//! A panic inside a spawned task is caught, the scope still waits for
+//! every sibling task (the scoped borrows stay alive until all tasks
+//! finished), and the first panic payload is re-raised from
+//! [`WorkerPool::scope`] on the caller's thread.
+
+use grouptravel_obs::{Counter, Gauge};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a scope's tasks are doing — the `kind` label of
+/// `gt_pool_tasks_total`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Per-chunk package builds from `Engine::serve_batch`.
+    Serve,
+    /// Per-lane session command batches from `serve_command_batch`.
+    Command,
+    /// Chunked FCM membership+centroid sweeps.
+    FcmTrain,
+    /// Block-Gibbs LDA document blocks and count merges.
+    LdaTrain,
+    /// Anything else (tests, ad-hoc callers).
+    Other,
+}
+
+impl TaskKind {
+    /// Every kind, in label order.
+    pub const ALL: [TaskKind; 5] = [
+        TaskKind::Serve,
+        TaskKind::Command,
+        TaskKind::FcmTrain,
+        TaskKind::LdaTrain,
+        TaskKind::Other,
+    ];
+    /// Number of kinds (length of [`TaskKind::ALL`]).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable metric label for the kind.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskKind::Serve => "serve",
+            TaskKind::Command => "command",
+            TaskKind::FcmTrain => "fcm_train",
+            TaskKind::LdaTrain => "lda_train",
+            TaskKind::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TaskKind::Serve => 0,
+            TaskKind::Command => 1,
+            TaskKind::FcmTrain => 2,
+            TaskKind::LdaTrain => 3,
+            TaskKind::Other => 4,
+        }
+    }
+}
+
+/// Metric handles the owning process registers once (see
+/// `engine::observe`); the pool keeps its own atomic counters either way
+/// so [`WorkerPool::stats`] works without a registry.
+pub struct PoolMetrics {
+    /// `gt_pool_queue_depth` — jobs queued and not yet picked up.
+    pub queue_depth: Arc<Gauge>,
+    /// `gt_pool_tasks_total{kind=...}` — spawned tasks, indexed by
+    /// [`TaskKind::index`] in [`TaskKind::ALL`] order.
+    pub tasks: [Arc<Counter>; TaskKind::COUNT],
+    /// `gt_pool_steals_total` — tasks executed by a scope owner while
+    /// helping instead of by a pool worker.
+    pub steals: Arc<Counter>,
+}
+
+/// Point-in-time pool counters, metric-registry independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fixed worker-thread count (≥ 1).
+    pub threads: usize,
+    /// Tasks spawned over the pool's lifetime.
+    pub tasks: u64,
+    /// Tasks executed inline by helping scope owners.
+    pub steals: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    tasks_total: AtomicU64,
+    steals_total: AtomicU64,
+    metrics: OnceLock<PoolMetrics>,
+}
+
+impl PoolShared {
+    fn push(&self, job: Job) {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        queue.push_back(job);
+        if let Some(metrics) = self.metrics.get() {
+            metrics.queue_depth.add(1);
+        }
+        drop(queue);
+        self.job_ready.notify_one();
+    }
+
+    /// Pops one job; never blocks.
+    fn try_pop(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        let job = queue.pop_front();
+        if job.is_some() {
+            if let Some(metrics) = self.metrics.get() {
+                metrics.queue_depth.add(-1);
+            }
+        }
+        job
+    }
+
+    fn count_spawn(&self, kind: TaskKind) {
+        self.tasks_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = self.metrics.get() {
+            metrics.tasks[kind.index()].inc();
+        }
+    }
+
+    fn count_steal(&self) {
+        self.steals_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = self.metrics.get() {
+            metrics.steals.inc();
+        }
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn task_started(&self) {
+        let mut pending = self.pending.lock().expect("scope pending poisoned");
+        *pending += 1;
+    }
+
+    fn task_finished(&self) {
+        let mut pending = self.pending.lock().expect("scope pending poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn std::any::Any + Send + 'static>) {
+        let mut slot = self.panic.lock().expect("scope panic slot poisoned");
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// A fixed pool of worker threads executing scoped tasks.
+///
+/// Dropping the pool shuts the workers down after the queue drains;
+/// scopes must not outlive the pool (they borrow it, so the compiler
+/// enforces this).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers; `0` clamps to `1` so a
+    /// misconfigured budget degrades to sequential execution instead of
+    /// hanging.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks_total: AtomicU64::new(0),
+            steals_total: AtomicU64::new(0),
+            metrics: OnceLock::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gt-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// The fixed worker count (≥ 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Attaches registry-backed metric handles. First call wins; later
+    /// calls are ignored (the pool is shared, the registry is one).
+    pub fn attach_metrics(&self, metrics: PoolMetrics) {
+        let _ = self.shared.metrics.set(metrics);
+    }
+
+    /// Lifetime counters, independent of any metrics registry.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let queue_depth = self.shared.queue.lock().expect("pool queue poisoned").len() as u64;
+        PoolStats {
+            threads: self.threads,
+            tasks: self.shared.tasks_total.load(Ordering::Relaxed),
+            steals: self.shared.steals_total.load(Ordering::Relaxed),
+            queue_depth,
+        }
+    }
+
+    /// Runs `f` with a scope handle; returns once every task spawned in
+    /// the scope has finished. Tasks may borrow from the caller's stack
+    /// (`'env`). Panics from the body or any task are re-raised here,
+    /// after the completion barrier.
+    pub fn scope<'env, R>(&self, kind: TaskKind, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        let state = Arc::new(ScopeState::new());
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::clone(&state),
+            kind,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // The barrier below is what makes the lifetime transmute in
+        // `spawn` sound: no matter how we got here, every spawned task
+        // has run to completion before any `'env` borrow can die.
+        self.drain(&state);
+        if let Some(payload) = state
+            .panic
+            .lock()
+            .expect("scope panic slot poisoned")
+            .take()
+        {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Caller-helps barrier: execute queued jobs (ours or anyone's)
+    /// until this scope's pending count reaches zero.
+    fn drain(&self, state: &ScopeState) {
+        loop {
+            {
+                let pending = state.pending.lock().expect("scope pending poisoned");
+                if *pending == 0 {
+                    return;
+                }
+            }
+            if let Some(job) = self.shared.try_pop() {
+                self.shared.count_steal();
+                job();
+                continue;
+            }
+            // Queue empty but tasks still in flight on workers. Wait on
+            // the scope's condvar with a short timeout: a task running
+            // elsewhere may open a nested scope and enqueue fresh jobs
+            // that only we are free to execute.
+            let mut pending = state.pending.lock().expect("scope pending poisoned");
+            while *pending > 0 {
+                let (guard, timeout) = state
+                    .done
+                    .wait_timeout(pending, Duration::from_millis(1))
+                    .expect("scope pending poisoned");
+                pending = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if *pending == 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.job_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    if let Some(metrics) = shared.metrics.get() {
+                        metrics.queue_depth.add(-1);
+                    }
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.job_ready.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`].
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    kind: TaskKind,
+    // Invariant over 'env, same as `std::thread::Scope`: the scope must
+    // not be coercible to a shorter environment lifetime.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> PoolScope<'pool, 'env> {
+    /// Spawns a task onto the shared queue. The task may borrow `'env`
+    /// data; the owning [`WorkerPool::scope`] call does not return until
+    /// the task has run (or its panic has been captured).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.task_started();
+        self.pool.shared.count_spawn(self.kind);
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                state.store_panic(payload);
+            }
+            state.task_finished();
+        });
+        // SAFETY: the job borrows `'env` data, but `WorkerPool::scope`
+        // blocks in `drain` until this job's `task_finished` has run —
+        // even when the scope body or a sibling task panics — so the
+        // borrow is live for the job's whole execution. The erased
+        // lifetime is never observable past that barrier.
+        let job: Job = unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+        self.pool.shared.push(job);
+    }
+
+    /// The kind this scope was opened with.
+    #[must_use]
+    pub fn kind(&self) -> TaskKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_workers_clamp_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let mut out = vec![0u64; 8];
+        pool.scope(TaskKind::Other, |s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn scope_borrows_stack_data() {
+        let pool = WorkerPool::new(4);
+        let inputs: Vec<u64> = (0..1000).collect();
+        let mut outputs = vec![0u64; 1000];
+        pool.scope(TaskKind::Other, |s| {
+            for (input, output) in inputs.chunks(64).zip(outputs.chunks_mut(64)) {
+                s.spawn(move || {
+                    for (i, o) in input.iter().zip(output.iter_mut()) {
+                        *o = i * 2;
+                    }
+                });
+            }
+        });
+        for (i, o) in inputs.iter().zip(&outputs) {
+            assert_eq!(*o, i * 2);
+        }
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let pool = WorkerPool::new(2);
+        let value = pool.scope(TaskKind::Other, |_| 42);
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn stats_count_tasks() {
+        let pool = WorkerPool::new(2);
+        pool.scope(TaskKind::FcmTrain, |s| {
+            for _ in 0..10 {
+                s.spawn(|| {});
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.tasks, 10);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.threads, 2);
+    }
+
+    #[test]
+    fn sequential_scopes_reuse_workers() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.scope(TaskKind::Other, |s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+}

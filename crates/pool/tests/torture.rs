@@ -1,0 +1,169 @@
+//! Pool torture: nested scopes, panic-in-task, zero-worker clamp,
+//! concurrent scopes from many threads, and deep nesting on a pool
+//! narrower than the nesting depth (the caller-helps scheduler must not
+//! deadlock when every worker is itself blocked in a scope barrier).
+
+use grouptravel_pool::{TaskKind, WorkerPool};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn nested_scopes_complete() {
+    let pool = WorkerPool::new(2);
+    let counter = AtomicUsize::new(0);
+    pool.scope(TaskKind::Other, |outer| {
+        for _ in 0..4 {
+            outer.spawn(|| {
+                pool.scope(TaskKind::Other, |inner| {
+                    for _ in 0..4 {
+                        inner.spawn(|| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 16);
+}
+
+#[test]
+fn nesting_deeper_than_worker_count() {
+    // Depth-5 nesting on a 1-worker pool: the single worker and the
+    // caller both end up blocked in scope barriers and must make
+    // progress by draining the shared queue themselves.
+    let pool = WorkerPool::new(1);
+    let counter = AtomicUsize::new(0);
+
+    fn recurse(pool: &WorkerPool, counter: &AtomicUsize, depth: usize) {
+        if depth == 0 {
+            counter.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        pool.scope(TaskKind::Other, |s| {
+            for _ in 0..2 {
+                s.spawn(move || recurse(pool, counter, depth - 1));
+            }
+        });
+    }
+
+    recurse(&pool, &counter, 5);
+    assert_eq!(counter.load(Ordering::Relaxed), 32);
+}
+
+#[test]
+fn panic_in_task_propagates_after_barrier() {
+    let pool = WorkerPool::new(2);
+    let completed = Arc::new(AtomicUsize::new(0));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(TaskKind::Other, |s| {
+            s.spawn(|| panic!("task exploded"));
+            for _ in 0..8 {
+                let completed = Arc::clone(&completed);
+                s.spawn(move || {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }));
+    let payload = result.expect_err("scope must re-raise the task panic");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .expect("panic payload is the task's message");
+    assert_eq!(message, "task exploded");
+    // The barrier held: every sibling ran even though one task panicked.
+    assert_eq!(completed.load(Ordering::Relaxed), 8);
+
+    // The pool survives the panic and serves later scopes.
+    let mut value = 0u32;
+    pool.scope(TaskKind::Other, |s| {
+        s.spawn(|| value = 7);
+    });
+    assert_eq!(value, 7);
+}
+
+#[test]
+fn panic_in_scope_body_still_waits_for_tasks() {
+    let pool = WorkerPool::new(2);
+    let completed = Arc::new(AtomicUsize::new(0));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.scope(TaskKind::Other, |s| {
+            for _ in 0..8 {
+                let completed = Arc::clone(&completed);
+                s.spawn(move || {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            panic!("body exploded");
+        });
+    }));
+    assert!(result.is_err());
+    assert_eq!(completed.load(Ordering::Relaxed), 8);
+}
+
+#[test]
+fn zero_worker_pool_runs_scopes_inline() {
+    let pool = WorkerPool::new(0);
+    assert_eq!(pool.threads(), 1);
+    let counter = AtomicUsize::new(0);
+    pool.scope(TaskKind::Other, |s| {
+        for _ in 0..64 {
+            s.spawn(|| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 64);
+    // Steals + worker executions must account for every task.
+    let stats = pool.stats();
+    assert_eq!(stats.tasks, 64);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn concurrent_scopes_from_many_threads() {
+    let pool = Arc::new(WorkerPool::new(3));
+    let counter = Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|outer| {
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            let counter = Arc::clone(&counter);
+            outer.spawn(move || {
+                for _ in 0..20 {
+                    pool.scope(TaskKind::Other, |s| {
+                        for _ in 0..4 {
+                            let counter = Arc::clone(&counter);
+                            s.spawn(move || {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 8 * 20 * 4);
+    assert_eq!(pool.stats().tasks, 8 * 20 * 4);
+}
+
+#[test]
+fn heavy_fanout_keeps_order_by_slot() {
+    // 10k tasks writing disjoint slots: completion order is arbitrary,
+    // slot contents must not be.
+    let pool = WorkerPool::new(4);
+    let mut slots = vec![0u32; 10_000];
+    pool.scope(TaskKind::Other, |s| {
+        for (i, chunk) in slots.chunks_mut(97).enumerate() {
+            s.spawn(move || {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (i * 97 + j) as u32;
+                }
+            });
+        }
+    });
+    for (i, slot) in slots.iter().enumerate() {
+        assert_eq!(*slot, i as u32);
+    }
+}

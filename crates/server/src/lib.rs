@@ -30,7 +30,7 @@
 //! | `GET /stats` | The envelope of `EngineRequest::Stats`, as a convenience |
 //! | `GET /metrics` | Prometheus text exposition of the whole process (engine + HTTP series) |
 //! | `GET /slowlog` | The engine's slow-request log, as JSON lines |
-//! | `GET /healthz` | Liveness: `{"status":"ok","version":…,"protocol":1}` |
+//! | `GET /healthz` | Liveness: `{"status":"ok","version":…,"protocol":1,"worker_threads":…,"train_threads":…}` |
 //!
 //! Query strings are cut before routing and metric labeling:
 //! `GET /healthz?probe=1` is `/healthz`, not a 404.
@@ -506,8 +506,11 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String
             200,
             JSON,
             format!(
-                "{{\"status\":\"ok\",\"version\":\"{}\",\"protocol\":{PROTOCOL_VERSION}}}",
+                "{{\"status\":\"ok\",\"version\":\"{}\",\"protocol\":{PROTOCOL_VERSION},\
+                 \"worker_threads\":{},\"train_threads\":{}}}",
                 env!("CARGO_PKG_VERSION"),
+                engine.worker_threads(),
+                engine.train_threads(),
             ),
         ),
         (_, "/v1/engine" | "/stats" | "/metrics" | "/slowlog" | "/healthz") => (
@@ -963,6 +966,9 @@ mod tests {
             let (status, body) = client.http("GET", "/healthz", None).unwrap();
             assert_eq!(status, 200);
             assert!(body.contains("\"ok\""));
+            // The resolved thread budgets ride along on the liveness probe.
+            assert!(body.contains("\"worker_threads\":"), "{body}");
+            assert!(body.contains("\"train_threads\":"), "{body}");
 
             let (status, body) = client.http("GET", "/nope", None).unwrap();
             assert_eq!(status, 404);

@@ -141,7 +141,17 @@ fn raw_get(addr: std::net::SocketAddr, path: &str) -> (String, String, String) {
 
 #[test]
 fn a_scripted_session_yields_a_consistent_monotone_scrape() {
-    let engine = Arc::new(Engine::new(EngineConfig::fast()));
+    // Explicit thread budgets so the pool series have known values; the
+    // block-Gibbs sampler makes the cold LDA training fan out too.
+    let engine = Arc::new(Engine::new(EngineConfig {
+        worker_threads: 2,
+        train_threads: 2,
+        lda: grouptravel_topics::LdaConfig {
+            sampler: grouptravel_topics::LdaSampler::BlockGibbsV1,
+            ..EngineConfig::fast().lda
+        },
+        ..EngineConfig::fast()
+    }));
     let server = RunningServer::start(
         Arc::clone(&engine),
         ServerConfig {
@@ -213,6 +223,37 @@ fn a_scripted_session_yields_a_consistent_monotone_scrape() {
         sample(&first, "gt_fcm_train_seconds_count") as u64,
         stats.fcm_trainings
     );
+
+    // The shared worker pool's series agree with the stats surface. The
+    // thread gauges report the budgets the engine resolved at
+    // construction (`train_threads` may differ from the config under a
+    // `GT_TRAIN_THREADS` override — stats and scrape must still agree).
+    assert_eq!(sample(&first, "gt_worker_threads") as u64, 2);
+    assert_eq!(
+        sample(&first, "gt_train_threads") as u64,
+        stats.train_threads as u64
+    );
+    let pool_tasks: f64 = ["serve", "command", "fcm_train", "lda_train", "other"]
+        .iter()
+        .map(|kind| sample(&first, &format!("gt_pool_tasks_total{{kind=\"{kind}\"}}")))
+        .sum();
+    assert_eq!(pool_tasks as u64, stats.pool_tasks);
+    assert_eq!(
+        sample(&first, "gt_pool_steals_total") as u64,
+        stats.pool_steals
+    );
+    if stats.train_threads > 1 {
+        assert!(
+            sample(&first, "gt_pool_tasks_total{kind=\"fcm_train\"}") >= 1.0,
+            "a parallel cold FCM training must spawn pool tasks"
+        );
+        assert!(
+            sample(&first, "gt_pool_tasks_total{kind=\"lda_train\"}") >= 1.0,
+            "a parallel block-Gibbs LDA training must spawn pool tasks"
+        );
+    }
+    // Queue depth is a live gauge; after the script drained it reads 0.
+    assert_eq!(sample(&first, "gt_pool_queue_depth"), 0.0);
 
     // Command latency covers the script's interactive commands.
     assert_eq!(

@@ -42,12 +42,78 @@
 //! (`tests/diff_lda.rs`) pins bit-identical θ/φ and assignments against
 //! the seed implementation for a range of corpora, topic counts, and
 //! seeds.
+//!
+//! # Versioned samplers: `Collapsed` vs `BlockGibbsV1`
+//!
+//! [`LdaConfig::sampler`] selects between two explicitly versioned
+//! samplers. [`LdaSampler::Collapsed`] (the default) is the sequential
+//! collapsed Gibbs sampler above — the differential reference, pinned
+//! bit-identically against the seed implementation. It never parallelizes:
+//! every token draw conditions on the one before it.
+//!
+//! [`LdaSampler::BlockGibbsV1`] is a block-parallel, partially-collapsed
+//! variant in the AD-LDA family, built for [`LdaModel::train_on`] with a
+//! worker pool:
+//!
+//! * Documents are partitioned into [`BLOCK_GIBBS_BLOCKS`] **fixed
+//!   contiguous blocks** — a function of the corpus size only, never of
+//!   the thread count.
+//! * Within one sweep, the global topic–word counts `n_wk` and topic
+//!   totals `n_k` are **frozen at their sweep-start values**; each block
+//!   samples its documents against `frozen + own-delta`, accumulating its
+//!   increments/decrements in private delta buffers. Document–topic counts
+//!   are exact throughout (each document belongs to exactly one block).
+//! * Every `(sweep, block)` pair derives its own RNG stream from
+//!   `config.seed` via a splitmix64 mix, so the draw sequence is a pure
+//!   function of the configuration and the block grid.
+//! * At sweep end the deltas are merged back — counts are exact small
+//!   integers in `f64`, whose sums are associative bitwise, so the merge
+//!   order cannot perturb results; the merge itself fans out over fixed
+//!   ranges of the count buffer.
+//!
+//! The result is **thread-count independent and run-to-run bit-identical**:
+//! `train_on` with any pool width (including none) produces the same model
+//! (`tests/diff_lda.rs` pins block\@N ≡ block\@1 by `to_bits`). What the
+//! contract deliberately does *not* promise is equality with `Collapsed`:
+//! deferring cross-block count visibility to sweep boundaries changes each
+//! draw's conditional slightly (the classic AD-LDA approximation), so the
+//! two samplers are different — versioned — model families, and a
+//! [`LdaConfig::cache_key`] covers the sampler tag.
 
 use crate::vocab::Vocabulary;
 use grouptravel_geo::DenseMatrix;
+use grouptravel_pool::{TaskKind, WorkerPool};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Which Gibbs sampler trains the model. Explicitly versioned: a sampler's
+/// draw sequence is part of its identity, so any behavioral change ships as
+/// a new variant rather than silently retraining different models under the
+/// same cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LdaSampler {
+    /// The sequential collapsed Gibbs sampler — the differential reference,
+    /// bit-identical to the seed implementation. Ignores any worker pool.
+    #[default]
+    Collapsed,
+    /// Block-parallel partially-collapsed Gibbs (AD-LDA style): fixed
+    /// document blocks, sweep-frozen global counts with per-block deltas,
+    /// derived per-`(sweep, block)` RNG streams. Bit-identical at any
+    /// thread count, *not* draw-for-draw equal to `Collapsed` (see the
+    /// module docs).
+    BlockGibbsV1,
+}
+
+impl LdaSampler {
+    /// Stable tag fed into [`LdaConfig::cache_key`].
+    fn cache_tag(self) -> u8 {
+        match self {
+            LdaSampler::Collapsed => 0,
+            LdaSampler::BlockGibbsV1 => 1,
+        }
+    }
+}
 
 /// Hyperparameters of the sampler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -62,6 +128,8 @@ pub struct LdaConfig {
     pub iterations: usize,
     /// Randomness seed (the sampler is deterministic given the seed).
     pub seed: u64,
+    /// Which sampler runs the sweeps (collapsed sequential by default).
+    pub sampler: LdaSampler,
 }
 
 impl Default for LdaConfig {
@@ -72,6 +140,7 @@ impl Default for LdaConfig {
             beta: 0.1,
             iterations: 200,
             seed: 42,
+            sampler: LdaSampler::Collapsed,
         }
     }
 }
@@ -80,7 +149,9 @@ impl LdaConfig {
     /// A 64-bit key over every field that influences training (FNV-1a over
     /// the exact bits). Two configurations with equal keys train identical
     /// models on the same corpus; the serving engine combines this with a
-    /// catalog fingerprint to key its vectorizer cache.
+    /// catalog fingerprint to key its vectorizer cache. The sampler tag is
+    /// part of the key: the collapsed and block samplers produce different
+    /// models from identical hyperparameters.
     #[must_use]
     pub fn cache_key(&self) -> u64 {
         let mut hash = grouptravel_geo::Fnv1a::new();
@@ -89,6 +160,7 @@ impl LdaConfig {
         hash.write_f64(self.beta);
         hash.write_u64(self.iterations as u64);
         hash.write_u64(self.seed);
+        hash.write(&[self.sampler.cache_tag()]);
         hash.finish()
     }
 }
@@ -147,7 +219,8 @@ pub struct LdaModel {
 
 impl LdaModel {
     /// Trains a model on `documents`, each a list of word ids drawn from
-    /// `vocabulary`.
+    /// `vocabulary`, with the sampler named by `config.sampler` — on the
+    /// calling thread only.
     ///
     /// Empty documents are allowed; their topic distribution is the uniform
     /// distribution. Returns `None` when the configuration is unusable
@@ -158,6 +231,32 @@ impl LdaModel {
         vocabulary: &Vocabulary,
         config: LdaConfig,
     ) -> Option<Self> {
+        Self::train_on(documents, vocabulary, config, None)
+    }
+
+    /// [`LdaModel::train`] with an optional worker pool. Only the
+    /// [`LdaSampler::BlockGibbsV1`] sampler fans out — and produces the
+    /// same bits with or without a pool; the collapsed reference sampler is
+    /// sequential by definition and ignores `pool`.
+    #[must_use]
+    pub fn train_on(
+        documents: &[Vec<usize>],
+        vocabulary: &Vocabulary,
+        config: LdaConfig,
+        pool: Option<&WorkerPool>,
+    ) -> Option<Self> {
+        let (k, v) = Self::validate(documents, vocabulary, &config)?;
+        match config.sampler {
+            LdaSampler::Collapsed => Self::train_collapsed(documents, config, k, v),
+            LdaSampler::BlockGibbsV1 => Self::train_block(documents, config, k, v, pool),
+        }
+    }
+
+    fn validate(
+        documents: &[Vec<usize>],
+        vocabulary: &Vocabulary,
+        config: &LdaConfig,
+    ) -> Option<(usize, usize)> {
         let k = config.num_topics;
         let v = vocabulary.len();
         if k == 0 {
@@ -169,54 +268,23 @@ impl LdaModel {
         if documents.iter().flatten().any(|&w| w >= v) {
             return None;
         }
+        Some((k, v))
+    }
 
+    fn train_collapsed(
+        documents: &[Vec<usize>],
+        config: LdaConfig,
+        k: usize,
+        v: usize,
+    ) -> Option<Self> {
         let mut rng = SmallRng::seed_from_u64(config.seed);
-        let d = documents.len();
-
-        // Flat count matrices of the collapsed sampler, stored as `f64`:
-        // counts are small integers, which f64 holds exactly (and
-        // increments/decrements by 1.0 keep exact), so the conditional's
-        // factors come straight off the buffer with no integer→float
-        // conversion in the inner loop. The topic–word counts are
-        // word-major: `n_wk[word * k + topic]`.
-        let mut n_wk = vec![0.0f64; v.max(1) * k];
-        let mut n_k = vec![0.0f64; k];
-
-        // Per-document counts: most documents get a row in the shared
-        // dense buffer; only documents much shorter than the topic count
-        // (len < k/4) take the sparse list, where skipping the dense row
-        // outweighs the list bookkeeping.
-        let mut dense_rows = 0usize;
-        let mut doc_counts: Vec<DocCounts> = documents
-            .iter()
-            .map(|doc| {
-                if doc.len() * 4 >= k {
-                    let off = dense_rows * k;
-                    dense_rows += 1;
-                    DocCounts::Dense(off)
-                } else {
-                    DocCounts::Sparse(Vec::with_capacity(doc.len()))
-                }
-            })
-            .collect();
-        let mut n_dk = vec![0.0f64; dense_rows * k];
-
-        // Flat token assignments, documents back to back.
-        let total_tokens: usize = documents.iter().map(Vec::len).sum();
-        let mut assignments = vec![0u32; total_tokens];
-
-        // Random initialization (the same RNG draw order as the seed).
-        let mut cursor = 0usize;
-        for (doc, counts) in documents.iter().zip(&mut doc_counts) {
-            for &word in doc {
-                let topic = rng.gen_range(0..k);
-                counts.increment(&mut n_dk, topic);
-                n_wk[word * k + topic] += 1.0;
-                n_k[topic] += 1.0;
-                assignments[cursor] = topic as u32;
-                cursor += 1;
-            }
-        }
+        let Counts {
+            mut doc_counts,
+            mut n_dk,
+            mut n_wk,
+            mut n_k,
+            mut assignments,
+        } = Counts::init(documents, k, v, &mut rng);
 
         let alpha = config.alpha;
         let beta = config.beta;
@@ -315,15 +383,176 @@ impl LdaModel {
             }
         }
 
-        // Point estimates of θ and φ from the final counts (exact integer
-        // f64s, so `c + α` rounds exactly like the seed's `c as f64 + α`).
-        let mut doc_topic = DenseMatrix::zeros(d, k);
-        for (idx, (doc, counts)) in documents.iter().zip(&doc_counts).enumerate() {
+        let counts = Counts {
+            doc_counts,
+            n_dk,
+            n_wk,
+            n_k,
+            assignments,
+        };
+        Some(Self::derive(documents, &counts, config, k, v))
+    }
+
+    /// The block-parallel partially-collapsed sampler (`BlockGibbsV1`); see
+    /// the module docs for the update rule and determinism contract.
+    fn train_block(
+        documents: &[Vec<usize>],
+        config: LdaConfig,
+        k: usize,
+        v: usize,
+        pool: Option<&WorkerPool>,
+    ) -> Option<Self> {
+        // Identical random initialization to the collapsed sampler (one
+        // RNG stream over all documents, in document order).
+        let mut init_rng = SmallRng::seed_from_u64(config.seed);
+        let mut counts = Counts::init(documents, k, v, &mut init_rng);
+
+        // A one-worker pool runs the blocks inline in block order — the
+        // same schedule, the same bits.
+        let pool = pool.filter(|p| p.threads() > 1);
+
+        // The block grid: contiguous document ranges, a function of the
+        // corpus size and BLOCK_GIBBS_BLOCKS only. Dense per-document rows
+        // are allocated in document order, so each block also owns a
+        // contiguous range of `n_dk` and of the flat assignments.
+        let d = documents.len();
+        let docs_per_block = d.div_ceil(BLOCK_GIBBS_BLOCKS).max(1);
+        let block_count = d.div_ceil(docs_per_block).max(1);
+        let mut token_sizes = Vec::with_capacity(block_count);
+        let mut dense_sizes = Vec::with_capacity(block_count);
+        let mut dense_bases = Vec::with_capacity(block_count);
+        let mut dense_base = 0usize;
+        for (block, docs) in documents.chunks(docs_per_block).enumerate() {
+            let dense: usize = docs.iter().filter(|doc| doc.len() * 4 >= k).count();
+            token_sizes.push(docs.iter().map(Vec::len).sum::<usize>());
+            dense_sizes.push(dense * k);
+            dense_bases.push(dense_base);
+            dense_base += dense * k;
+            debug_assert!(block < block_count);
+        }
+
+        let mut spaces: Vec<BlockSpace> = (0..block_count).map(|_| BlockSpace::new(k, v)).collect();
+        let v_beta = config.beta * v as f64;
+
+        for sweep in 0..config.iterations {
+            // Phase 1 — sample every block against the frozen globals.
+            {
+                let frozen_wk: &[f64] = &counts.n_wk;
+                let frozen_k: &[f64] = &counts.n_k;
+                let doc_chunks = counts.doc_counts.chunks_mut(docs_per_block);
+                let assign_chunks = split_by_sizes(&mut counts.assignments, &token_sizes);
+                let dk_chunks = split_by_sizes(&mut counts.n_dk, &dense_sizes);
+                let blocks = documents
+                    .chunks(docs_per_block)
+                    .zip(doc_chunks)
+                    .zip(assign_chunks.into_iter().zip(dk_chunks))
+                    .zip(spaces.iter_mut())
+                    .enumerate();
+                match pool {
+                    Some(pool) => pool.scope(TaskKind::LdaTrain, |scope| {
+                        for (b, (((docs, doc_counts), (assignments, n_dk)), space)) in blocks {
+                            let seed = block_seed(config.seed, sweep as u64, b as u64);
+                            let dense_base = dense_bases[b];
+                            scope.spawn(move || {
+                                block_sweep(
+                                    BlockSlice {
+                                        documents: docs,
+                                        doc_counts,
+                                        assignments,
+                                        n_dk,
+                                        dense_base,
+                                        frozen_wk,
+                                        frozen_k,
+                                    },
+                                    space,
+                                    &config,
+                                    v_beta,
+                                    seed,
+                                );
+                            });
+                        }
+                    }),
+                    None => {
+                        for (b, (((docs, doc_counts), (assignments, n_dk)), space)) in blocks {
+                            let seed = block_seed(config.seed, sweep as u64, b as u64);
+                            block_sweep(
+                                BlockSlice {
+                                    documents: docs,
+                                    doc_counts,
+                                    assignments,
+                                    n_dk,
+                                    dense_base: dense_bases[b],
+                                    frozen_wk,
+                                    frozen_k,
+                                },
+                                space,
+                                &config,
+                                v_beta,
+                                seed,
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Phase 2 — merge the per-block deltas into the globals. The
+            // counts are exact integers in f64 (sums < 2^53), so these adds
+            // are associative bitwise and the merge order is immaterial to
+            // the result; blocks are still walked in index order.
+            for space in &mut spaces {
+                for (total, delta) in counts.n_k.iter_mut().zip(&mut space.delta_k) {
+                    *total += *delta;
+                    *delta = 0.0;
+                }
+            }
+            // The big word–topic buffer merges over fixed flat ranges —
+            // parallel when a pool is present, inline otherwise.
+            let chunk_len = counts.n_wk.len().div_ceil(BLOCK_GIBBS_BLOCKS).max(1);
+            let global_chunks = counts.n_wk.chunks_mut(chunk_len);
+            let mut delta_chunks: Vec<Vec<&mut [f64]>> =
+                (0..global_chunks.len()).map(|_| Vec::new()).collect();
+            for space in &mut spaces {
+                for (r, chunk) in space.delta_wk.chunks_mut(chunk_len).enumerate() {
+                    delta_chunks[r].push(chunk);
+                }
+            }
+            let merges = global_chunks.zip(delta_chunks);
+            match pool {
+                Some(pool) => pool.scope(TaskKind::LdaTrain, |scope| {
+                    for (global, deltas) in merges {
+                        scope.spawn(move || merge_deltas(global, deltas));
+                    }
+                }),
+                None => {
+                    for (global, deltas) in merges {
+                        merge_deltas(global, deltas);
+                    }
+                }
+            }
+        }
+
+        Some(Self::derive(documents, &counts, config, k, v))
+    }
+
+    /// Point estimates of θ and φ from the final counts (exact integer
+    /// f64s, so `c + α` rounds exactly like the seed's `c as f64 + α`).
+    fn derive(
+        documents: &[Vec<usize>],
+        counts: &Counts,
+        config: LdaConfig,
+        k: usize,
+        v: usize,
+    ) -> Self {
+        let alpha = config.alpha;
+        let beta = config.beta;
+        let v_beta = beta * v as f64;
+        let mut doc_topic = DenseMatrix::zeros(documents.len(), k);
+        for (idx, (doc, doc_counts)) in documents.iter().zip(&counts.doc_counts).enumerate() {
             let total = doc.len() as f64 + alpha * k as f64;
             let row = doc_topic.row_mut(idx);
-            match counts {
+            match doc_counts {
                 DocCounts::Dense(off) => {
-                    for (slot, &c) in row.iter_mut().zip(&n_dk[*off..*off + k]) {
+                    for (slot, &c) in row.iter_mut().zip(&counts.n_dk[*off..*off + k]) {
                         *slot = (c + alpha) / total;
                     }
                 }
@@ -339,19 +568,19 @@ impl LdaModel {
         }
 
         let mut topic_word = DenseMatrix::zeros(k, v.max(1));
-        for (t, &nk) in n_k.iter().enumerate() {
+        for (t, &nk) in counts.n_k.iter().enumerate() {
             let denom = nk + v_beta;
             for (w, slot) in topic_word.row_mut(t).iter_mut().enumerate() {
-                *slot = (n_wk[w * k + t] + beta) / denom;
+                *slot = (counts.n_wk[w * k + t] + beta) / denom;
             }
         }
 
-        Some(Self {
+        Self {
             config,
             vocab_size: v,
             doc_topic,
             topic_word,
-        })
+        }
     }
 
     /// The configuration the model was trained with.
@@ -444,6 +673,266 @@ impl LdaModel {
     }
 }
 
+/// Number of document blocks of the `BlockGibbsV1` sampler. Part of the
+/// versioned sampler contract: the block grid brackets which token draws
+/// see which counts, so changing this constant changes the trained model —
+/// that would be a `BlockGibbsV2`, not a tweak.
+pub const BLOCK_GIBBS_BLOCKS: usize = 16;
+
+/// The shared flat count state of both samplers.
+struct Counts {
+    doc_counts: Vec<DocCounts>,
+    n_dk: Vec<f64>,
+    n_wk: Vec<f64>,
+    n_k: Vec<f64>,
+    assignments: Vec<u32>,
+}
+
+impl Counts {
+    /// Builds the flat count matrices and randomly initializes every token
+    /// assignment — one RNG stream, document order (the same draw order as
+    /// the seed implementation).
+    ///
+    /// Counts are stored as `f64`: they are small integers, which f64 holds
+    /// exactly (and increments/decrements by 1.0 keep exact), so the
+    /// conditional's factors come straight off the buffer with no
+    /// integer→float conversion in the inner loop. The topic–word counts
+    /// are word-major: `n_wk[word * k + topic]`. Per-document counts are
+    /// dense rows in one shared buffer, allocated in document order, except
+    /// for documents much shorter than the topic count (len < k/4), which
+    /// take a sorted sparse list instead.
+    fn init(documents: &[Vec<usize>], k: usize, v: usize, rng: &mut SmallRng) -> Self {
+        let mut n_wk = vec![0.0f64; v.max(1) * k];
+        let mut n_k = vec![0.0f64; k];
+
+        let mut dense_rows = 0usize;
+        let mut doc_counts: Vec<DocCounts> = documents
+            .iter()
+            .map(|doc| {
+                if doc.len() * 4 >= k {
+                    let off = dense_rows * k;
+                    dense_rows += 1;
+                    DocCounts::Dense(off)
+                } else {
+                    DocCounts::Sparse(Vec::with_capacity(doc.len()))
+                }
+            })
+            .collect();
+        let mut n_dk = vec![0.0f64; dense_rows * k];
+
+        // Flat token assignments, documents back to back.
+        let total_tokens: usize = documents.iter().map(Vec::len).sum();
+        let mut assignments = vec![0u32; total_tokens];
+
+        let mut cursor = 0usize;
+        for (doc, counts) in documents.iter().zip(&mut doc_counts) {
+            for &word in doc {
+                let topic = rng.gen_range(0..k);
+                counts.increment(&mut n_dk, topic);
+                n_wk[word * k + topic] += 1.0;
+                n_k[topic] += 1.0;
+                assignments[cursor] = topic as u32;
+                cursor += 1;
+            }
+        }
+
+        Self {
+            doc_counts,
+            n_dk,
+            n_wk,
+            n_k,
+            assignments,
+        }
+    }
+}
+
+/// Per-block workspace of the block sampler, allocated once per fit and
+/// reused every sweep. The delta buffers are zero between sweeps (the merge
+/// zeroes them as it drains them).
+struct BlockSpace {
+    /// This block's pending topic–word count changes, `v × k` word-major.
+    delta_wk: Vec<f64>,
+    /// This block's pending topic total changes.
+    delta_k: Vec<f64>,
+    /// Cached `1 / (frozen_k + delta_k + Vβ)` per topic.
+    rnkv: Vec<f64>,
+    /// Cumulative conditional weights of the current token.
+    weights: Vec<f64>,
+    /// Dense splat of a sparse document's counts.
+    sparse_dk: Vec<f64>,
+}
+
+impl BlockSpace {
+    fn new(k: usize, v: usize) -> Self {
+        Self {
+            delta_wk: vec![0.0; v.max(1) * k],
+            delta_k: vec![0.0; k],
+            rnkv: vec![0.0; k],
+            weights: vec![0.0; k],
+            sparse_dk: vec![0.0; k],
+        }
+    }
+}
+
+/// One block's disjoint view of the training state: its documents, its
+/// per-document counts, its slice of the flat assignments and dense rows,
+/// and the sweep-frozen global counts every block reads.
+struct BlockSlice<'a> {
+    documents: &'a [Vec<usize>],
+    doc_counts: &'a mut [DocCounts],
+    assignments: &'a mut [u32],
+    n_dk: &'a mut [f64],
+    /// Global flat offset of `n_dk[0]` — `DocCounts::Dense` offsets are
+    /// global, this block's slice starts here.
+    dense_base: usize,
+    frozen_wk: &'a [f64],
+    frozen_k: &'a [f64],
+}
+
+/// One sweep of one block: samples every token of the block's documents
+/// against `frozen + delta` counts, recording count changes in the block's
+/// delta buffers. The RNG stream is derived per `(sweep, block)` — thread
+/// scheduling cannot reach the draws.
+fn block_sweep(
+    block: BlockSlice<'_>,
+    space: &mut BlockSpace,
+    config: &LdaConfig,
+    v_beta: f64,
+    seed: u64,
+) {
+    let k = config.num_topics;
+    let alpha = config.alpha;
+    let beta = config.beta;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let BlockSlice {
+        documents,
+        doc_counts,
+        assignments,
+        n_dk,
+        dense_base,
+        frozen_wk,
+        frozen_k,
+    } = block;
+
+    // Deltas are zero at sweep start, so this is 1/(frozen + Vβ).
+    for ((r, &f), &dl) in space.rnkv.iter_mut().zip(frozen_k).zip(&space.delta_k) {
+        *r = 1.0 / (f + dl + v_beta);
+    }
+
+    let mut cursor = 0usize;
+    for (doc, counts) in documents.iter().zip(doc_counts.iter_mut()) {
+        match counts {
+            DocCounts::Dense(off) => {
+                let off = *off - dense_base;
+                for &word in doc {
+                    let old = assignments[cursor] as usize;
+                    n_dk[off + old] -= 1.0;
+                    space.delta_wk[word * k + old] -= 1.0;
+                    space.delta_k[old] -= 1.0;
+                    space.rnkv[old] = 1.0 / (frozen_k[old] + space.delta_k[old] + v_beta);
+
+                    let wk_frozen = &frozen_wk[word * k..word * k + k];
+                    let wk_delta = &space.delta_wk[word * k..word * k + k];
+                    let dk_row = &n_dk[off..off + k];
+                    let mut total = 0.0;
+                    for ((((weight, &dk), &wkf), &wkd), &rnk) in space
+                        .weights
+                        .iter_mut()
+                        .zip(dk_row)
+                        .zip(wk_frozen)
+                        .zip(wk_delta)
+                        .zip(&space.rnkv)
+                    {
+                        total += (dk + alpha) * (wkf + wkd + beta) * rnk;
+                        *weight = total;
+                    }
+
+                    let new = sample_cumulative(&space.weights, total, &mut rng);
+                    assignments[cursor] = new as u32;
+                    n_dk[off + new] += 1.0;
+                    space.delta_wk[word * k + new] += 1.0;
+                    space.delta_k[new] += 1.0;
+                    space.rnkv[new] = 1.0 / (frozen_k[new] + space.delta_k[new] + v_beta);
+                    cursor += 1;
+                }
+            }
+            DocCounts::Sparse(list) => {
+                for &word in doc {
+                    let old = assignments[cursor] as usize;
+                    sparse_decrement(list, old);
+                    space.delta_wk[word * k + old] -= 1.0;
+                    space.delta_k[old] -= 1.0;
+                    space.rnkv[old] = 1.0 / (frozen_k[old] + space.delta_k[old] + v_beta);
+
+                    space.sparse_dk.fill(0.0);
+                    for &(t, c) in list.iter() {
+                        space.sparse_dk[t as usize] = f64::from(c);
+                    }
+                    let wk_frozen = &frozen_wk[word * k..word * k + k];
+                    let wk_delta = &space.delta_wk[word * k..word * k + k];
+                    let mut total = 0.0;
+                    for ((((weight, &dk), &wkf), &wkd), &rnk) in space
+                        .weights
+                        .iter_mut()
+                        .zip(&space.sparse_dk)
+                        .zip(wk_frozen)
+                        .zip(wk_delta)
+                        .zip(&space.rnkv)
+                    {
+                        total += (dk + alpha) * (wkf + wkd + beta) * rnk;
+                        *weight = total;
+                    }
+
+                    let new = sample_cumulative(&space.weights, total, &mut rng);
+                    assignments[cursor] = new as u32;
+                    sparse_increment(list, new);
+                    space.delta_wk[word * k + new] += 1.0;
+                    space.delta_k[new] += 1.0;
+                    space.rnkv[new] = 1.0 / (frozen_k[new] + space.delta_k[new] + v_beta);
+                    cursor += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Adds each delta range into the matching global range and zeroes it.
+fn merge_deltas(global: &mut [f64], deltas: Vec<&mut [f64]>) {
+    for delta in deltas {
+        for (g, d) in global.iter_mut().zip(delta.iter_mut()) {
+            *g += *d;
+            *d = 0.0;
+        }
+    }
+}
+
+/// Splits `slice` into consecutive sub-slices of the given sizes (which
+/// must sum to the slice's length).
+fn split_by_sizes<'a, T>(mut slice: &'a mut [T], sizes: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let (head, tail) = slice.split_at_mut(size);
+        out.push(head);
+        slice = tail;
+    }
+    debug_assert!(slice.is_empty(), "sizes must cover the slice exactly");
+    out
+}
+
+/// Derives the RNG seed of one `(sweep, block)` pair from the configured
+/// seed — a splitmix64-style mix, so neighbouring sweeps/blocks get
+/// uncorrelated streams and the mapping is stable across runs and thread
+/// counts.
+fn block_seed(seed: u64, sweep: u64, block: u64) -> u64 {
+    let mut z = seed
+        ^ sweep.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ block.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Samples an index proportionally to the increments of `cumulative` (a
 /// running prefix sum whose last entry is `total`). Equivalent to
 /// [`sample_discrete`] over the increments, but the scan compares the draw
@@ -506,6 +995,7 @@ mod tests {
             beta: 0.05,
             iterations: 150,
             seed,
+            sampler: LdaSampler::Collapsed,
         }
     }
 

@@ -23,7 +23,7 @@ pub mod poi_topics;
 pub mod reference;
 pub mod vocab;
 
-pub use lda::{LdaConfig, LdaModel};
+pub use lda::{LdaConfig, LdaModel, LdaSampler, BLOCK_GIBBS_BLOCKS};
 pub use poi_topics::{CategoryTopicModel, TopicLabel};
 pub use reference::{reference_train, ReferenceLdaModel};
 pub use vocab::Vocabulary;

@@ -9,6 +9,7 @@
 use crate::lda::{LdaConfig, LdaModel};
 use crate::vocab::Vocabulary;
 use grouptravel_dataset::{Category, Poi, PoiCatalog, PoiId};
+use grouptravel_pool::WorkerPool;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -47,6 +48,19 @@ impl CategoryTopicModel {
     /// LDA configuration is invalid.
     #[must_use]
     pub fn train(catalog: &PoiCatalog, category: Category, config: LdaConfig) -> Option<Self> {
+        Self::train_on(catalog, category, config, None)
+    }
+
+    /// [`CategoryTopicModel::train`] with an optional worker pool handed
+    /// through to [`LdaModel::train_on`]. Only the block-Gibbs sampler fans
+    /// out; results are identical with or without a pool.
+    #[must_use]
+    pub fn train_on(
+        catalog: &PoiCatalog,
+        category: Category,
+        config: LdaConfig,
+        pool: Option<&WorkerPool>,
+    ) -> Option<Self> {
         let pois = catalog.by_category(category);
         if pois.is_empty() {
             return None;
@@ -59,7 +73,7 @@ impl CategoryTopicModel {
         if vocabulary.is_empty() {
             return None;
         }
-        let model = LdaModel::train(&documents, &vocabulary, config)?;
+        let model = LdaModel::train_on(&documents, &vocabulary, config, pool)?;
 
         let labels = (0..model.num_topics())
             .map(|t| TopicLabel {

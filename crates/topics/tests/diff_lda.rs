@@ -213,3 +213,167 @@ fn empty_documents_and_edge_configs_match() {
     assert!(LdaModel::train(&encoded, &vocab, bad).is_none());
     assert!(reference_train(&encoded, &vocab, bad).is_none());
 }
+
+// ---------------------------------------------------------------------------
+// Versioned block-Gibbs sampler (`LdaSampler::BlockGibbsV1`)
+// ---------------------------------------------------------------------------
+//
+// The block sampler is a *versioned alternative*, not a drop-in equal of the
+// collapsed chain: it freezes the global word–topic counts per sweep and
+// samples 16 fixed document blocks against that snapshot (AD-LDA). Its own
+// contract, pinned here, is determinism: the model is a function of
+// (corpus, config) alone — independent of the pool width, bit-identical
+// across runs and thread counts — and the default `Collapsed` sampler's
+// output is untouched by the new config field.
+
+use grouptravel_pool::WorkerPool;
+use grouptravel_topics::LdaSampler;
+
+fn assert_models_bit_identical(a: &LdaModel, b: &LdaModel, context: &str) {
+    let at = a.all_document_topics();
+    let bt = b.all_document_topics();
+    assert_eq!(at.nrows(), bt.nrows(), "{context}: θ row count");
+    for (idx, (ra, rb)) in at.rows().zip(bt.rows()).enumerate() {
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: θ row {idx}");
+        }
+    }
+    assert_eq!(a.num_topics(), b.num_topics(), "{context}: topic count");
+    for t in 0..a.num_topics() {
+        let pa = a.topic_words(t).unwrap();
+        let pb = b.topic_words(t).unwrap();
+        for (x, y) in pa.iter().zip(pb) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{context}: φ topic {t}");
+        }
+    }
+}
+
+fn block_config(num_topics: usize, seed: u64) -> LdaConfig {
+    LdaConfig {
+        num_topics,
+        iterations: 40,
+        seed,
+        sampler: LdaSampler::BlockGibbsV1,
+        ..LdaConfig::default()
+    }
+}
+
+#[test]
+fn block_sampler_is_pool_width_independent() {
+    // block@None ≡ block@{2,4,8} workers, to the bit: the fixed block grid
+    // and per-(sweep, block) derived RNG streams make the result a function
+    // of the corpus and config only, never of who executed which block.
+    let (encoded, vocab) = synthetic_corpus(90, 40, 2, 10, 21);
+    for num_topics in [3usize, 8] {
+        let config = block_config(num_topics, 400 + num_topics as u64);
+        let inline = LdaModel::train_on(&encoded, &vocab, config, None).unwrap();
+        for threads in [2usize, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let pooled = LdaModel::train_on(&encoded, &vocab, config, Some(&pool)).unwrap();
+            let context = format!("k={num_topics} threads={threads}");
+            assert_models_bit_identical(&pooled, &inline, &context);
+        }
+    }
+}
+
+#[test]
+fn block_sampler_runs_are_reproducible_at_the_same_thread_count() {
+    // The acceptance bar: two identical runs at the same thread count
+    // produce bit-identical models, T ∈ {2, 8}.
+    let (encoded, vocab) = synthetic_corpus(70, 30, 2, 9, 33);
+    let config = block_config(4, 512);
+    for threads in [2usize, 8] {
+        let pool_a = WorkerPool::new(threads);
+        let pool_b = WorkerPool::new(threads);
+        let run_a = LdaModel::train_on(&encoded, &vocab, config, Some(&pool_a)).unwrap();
+        let run_b = LdaModel::train_on(&encoded, &vocab, config, Some(&pool_b)).unwrap();
+        assert_models_bit_identical(&run_a, &run_b, &format!("repeat at T={threads}"));
+    }
+}
+
+#[test]
+fn default_collapsed_sampler_is_unchanged_by_the_sampler_field() {
+    // The versioned-sampler contract: `Collapsed` stays the default and
+    // still reproduces the seed chain bit-for-bit; a pool handle is ignored.
+    let (encoded, vocab) = synthetic_corpus(50, 24, 2, 8, 5);
+    let config = LdaConfig {
+        num_topics: 4,
+        iterations: 50,
+        seed: 99,
+        ..LdaConfig::default()
+    };
+    assert!(matches!(config.sampler, LdaSampler::Collapsed));
+    let pool = WorkerPool::new(4);
+    let with_pool = LdaModel::train_on(&encoded, &vocab, config, Some(&pool)).unwrap();
+    let without = LdaModel::train(&encoded, &vocab, config).unwrap();
+    let reference = reference_train(&encoded, &vocab, config).unwrap();
+    assert_models_bit_identical(&with_pool, &without, "collapsed, pool vs none");
+    for (flat_theta, seed_theta) in with_pool
+        .all_document_topics()
+        .rows()
+        .zip(&reference.doc_topic)
+    {
+        for (a, b) in flat_theta.iter().zip(seed_theta) {
+            assert_eq!(a.to_bits(), b.to_bits(), "collapsed θ vs seed reference");
+        }
+    }
+}
+
+#[test]
+fn cache_key_separates_the_samplers() {
+    let collapsed = LdaConfig {
+        num_topics: 4,
+        iterations: 40,
+        seed: 7,
+        ..LdaConfig::default()
+    };
+    let block = LdaConfig {
+        sampler: LdaSampler::BlockGibbsV1,
+        ..collapsed
+    };
+    assert_ne!(
+        collapsed.cache_key(),
+        block.cache_key(),
+        "switching samplers must miss the model cache"
+    );
+}
+
+#[test]
+fn block_sampler_produces_valid_learnable_topics() {
+    // Model-quality sanity on the block sampler itself: θ rows are
+    // distributions, and documents sharing a theme land on the same
+    // hard topic more often than chance.
+    let (encoded, vocab) = synthetic_corpus(120, 16, 4, 10, 61);
+    let config = block_config(4, 777);
+    let pool = WorkerPool::new(4);
+    let model = LdaModel::train_on(&encoded, &vocab, config, Some(&pool)).unwrap();
+    assert_eq!(model.all_document_topics().nrows(), encoded.len());
+    for (idx, theta) in model.all_document_topics().rows().enumerate() {
+        let sum: f64 = theta.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "θ row {idx} sums to {sum}, not 1");
+        assert!(theta.iter().all(|&p| p > 0.0), "θ row {idx} has a zero");
+    }
+    for t in 0..model.num_topics() {
+        let phi = model.topic_words(t).unwrap();
+        let sum: f64 = phi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "φ topic {t} sums to {sum}");
+    }
+}
+
+#[test]
+fn block_sampler_handles_empty_documents_and_tiny_corpora() {
+    let vocab = Vocabulary::from_documents(vec![vec!["a", "b", "c"]]);
+    let docs: Vec<Vec<usize>> = vec![vec![0, 1], vec![], vec![2, 2, 1], vec![]];
+    let config = block_config(3, 13);
+    let pool = WorkerPool::new(4);
+    let pooled = LdaModel::train_on(&docs, &vocab, config, Some(&pool)).unwrap();
+    let inline = LdaModel::train_on(&docs, &vocab, config, None).unwrap();
+    assert_models_bit_identical(&pooled, &inline, "tiny corpus with empty docs");
+    // Empty documents get the uniform distribution, as with the collapsed
+    // sampler.
+    let uniform = 1.0 / 3.0;
+    let theta = pooled.document_topics(1).unwrap();
+    for &p in theta {
+        assert!((p - uniform).abs() < 1e-12, "empty doc θ should be uniform");
+    }
+}
