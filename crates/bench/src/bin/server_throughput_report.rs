@@ -19,9 +19,11 @@
 //! `GT_SERVER_SOAK_SMOKE=1` runs a reduced 1k-connection soak.
 
 use grouptravel::prelude::*;
-use grouptravel_engine::{Engine, EngineConfig, EngineRequest, EngineResponse, PackageRequest};
+use grouptravel_engine::{
+    binary, Engine, EngineConfig, EngineRequest, EngineResponse, PackageRequest, RequestEnvelope,
+};
 use grouptravel_server::client::EngineClient;
-use grouptravel_server::{Backend, RunningServer, ServerConfig};
+use grouptravel_server::{Backend, RunningServer, ServerConfig, WireFormat};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -67,7 +69,13 @@ fn measure_in_process(engine: &Engine, n: u64) -> f64 {
 /// client threads (each with its own kept-alive pooled connection),
 /// returns aggregate requests/sec. Requests are pre-generated, as in
 /// [`measure_in_process`].
-fn measure_http(engine: &Engine, addr: std::net::SocketAddr, n: u64, clients: u64) -> f64 {
+fn measure_http(
+    engine: &Engine,
+    addr: std::net::SocketAddr,
+    n: u64,
+    clients: u64,
+    format: WireFormat,
+) -> f64 {
     let per_client = n / clients.max(1);
     let prepared: Vec<Vec<PackageRequest>> = (0..clients.max(1))
         .map(|c| {
@@ -79,7 +87,7 @@ fn measure_http(engine: &Engine, addr: std::net::SocketAddr, n: u64, clients: u6
     let start = Instant::now();
     std::thread::scope(|scope| {
         for requests in prepared {
-            let client = EngineClient::new(addr);
+            let client = EngineClient::with_wire_format(addr, format);
             scope.spawn(move || {
                 for request in requests {
                     let response = client
@@ -354,7 +362,13 @@ fn main() {
     let in_process_rps = measure_in_process(&engine, warm_requests);
     let mut http_rows = Vec::new();
     for &clients in client_counts {
-        let rps = measure_http(&engine, server.addr(), warm_requests, clients);
+        let rps = measure_http(
+            &engine,
+            server.addr(),
+            warm_requests,
+            clients,
+            WireFormat::Json,
+        );
         eprintln!(
             "http warm, {clients} client(s): {rps:.0} req/s \
              (in-process sequential: {in_process_rps:.0} req/s)"
@@ -371,6 +385,65 @@ fn main() {
     eprintln!("http warm, batched x64: {batched_rps:.0} builds/s");
     let floor_rps = measure_http_floor(server.addr(), warm_requests);
     eprintln!("http healthz floor: {floor_rps:.0} req/s");
+
+    // Per-format A/B at one client: the wire-format tax in isolation —
+    // same server, same warm cache, only the envelope encoding differs.
+    // Payload sizes come from a representative warm build: its request
+    // envelope and the engine's actual response, encoded in each format.
+    let mut format_rows = Vec::new();
+    let mut format_rps = [0.0f64; 2];
+    // Best-of-N with the formats alternating inside each trial: the box
+    // this runs on has noisy neighbors, and interleaving keeps a load
+    // spike from being charged to one format.
+    let trials = if smoke { 1 } else { 3 };
+    for _ in 0..trials {
+        for (i, format) in [WireFormat::Json, WireFormat::Binary]
+            .into_iter()
+            .enumerate()
+        {
+            let rps = measure_http(&engine, server.addr(), warm_requests, 1, format);
+            format_rps[i] = format_rps[i].max(rps);
+        }
+    }
+    for (i, format) in [WireFormat::Json, WireFormat::Binary]
+        .into_iter()
+        .enumerate()
+    {
+        let rps = format_rps[i];
+        let request_envelope = RequestEnvelope::new(EngineRequest::Build {
+            request: Box::new(request_for(&engine, 1, 42)),
+        });
+        let (request_bytes, response_bytes) = match format {
+            WireFormat::Json => {
+                let request = serde_json::to_vec(&request_envelope).unwrap().len();
+                let response = serde_json::to_vec(&engine.dispatch_envelope(request_envelope))
+                    .unwrap()
+                    .len();
+                (request, response)
+            }
+            WireFormat::Binary => {
+                let request = binary::encode(&request_envelope).len();
+                let response = binary::encode(&engine.dispatch_envelope(request_envelope)).len();
+                (request, response)
+            }
+        };
+        let name = match format {
+            WireFormat::Json => "json",
+            WireFormat::Binary => "gtbf1",
+        };
+        eprintln!(
+            "http warm, 1 client, {name}: {rps:.0} req/s \
+             (request {request_bytes} B, response {response_bytes} B)"
+        );
+        format_rows.push(format!(
+            "    {{\"format\": \"{name}\", \"warm_rps\": {rps:.1}, \
+             \"request_bytes\": {request_bytes}, \"response_bytes\": {response_bytes}}}"
+        ));
+    }
+    eprintln!(
+        "gtbf1 vs json at 1 client: {:.2}x",
+        format_rps[1] / format_rps[0]
+    );
 
     // In-run A/B against the design this PR replaced: blocking backend,
     // connection per request — same engine, same warm cache, same machine
@@ -443,10 +516,12 @@ fn main() {
          \"http_healthz_floor_rps\": {floor_rps:.1},\n  \
          \"http_warm_legacy_rps\": {legacy_rps:.1},\n  \
          \"idle_soak\": {soak},\n  \
+         \"wire_formats\": [\n{}\n  ],\n  \
          \"http_warm\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         stats.fcm_trainings,
         stats.lda_trainings,
+        format_rows.join(",\n"),
         http_rows.join(",\n")
     );
     std::fs::write(&out_path, json).expect("write BENCH_server.json");

@@ -1,0 +1,1207 @@
+//! `GTBF1` — the GroupTravel binary frame format, a compact sibling
+//! content-type to JSON for the engine wire protocol.
+//!
+//! A frame is:
+//!
+//! ```text
+//! "GTBF"  version:u8  payload_len:varint  payload
+//! ```
+//!
+//! and the payload is one encoded value tree (the same tree the vendored
+//! [`serde::Value`] model describes), so every type that derives the
+//! workspace `Serialize`/`Deserialize` speaks `GTBF1` for free:
+//!
+//! | tag  | value                                                    |
+//! |------|----------------------------------------------------------|
+//! | 0x00 | null                                                     |
+//! | 0x01 | false                                                    |
+//! | 0x02 | true                                                     |
+//! | 0x03 | signed int — zigzag LEB128 varint                        |
+//! | 0x04 | unsigned int — LEB128 varint                             |
+//! | 0x05 | f64 — 8 raw little-endian IEEE-754 bits (bit-exact)      |
+//! | 0x06 | string — varint byte length + UTF-8 bytes                |
+//! | 0x07 | array — varint count + encoded elements                  |
+//! | 0x08 | object — varint count + (name, value) pairs              |
+//!
+//! Object member names are interned against [`NAMES_V1`], a table frozen
+//! with version 1: a name is a varint `N`, where `N == 0` means "inline"
+//! (varint byte length + UTF-8 bytes follow) and `N >= 1` means
+//! `NAMES_V1[N - 1]`. The versioning rule: the table is append-only and the
+//! meaning of every tag and every assigned index is frozen for version 1;
+//! any change to either bumps the frame version byte. New field or variant
+//! names that miss the table fall back to inline encoding, which keeps old
+//! decoders working without a version bump.
+//!
+//! The decoder is hostile-input safe: depth is capped, every declared
+//! length is checked against the bytes actually remaining before any
+//! allocation, and every failure is a typed [`BinError`] — never a panic.
+//!
+//! Encoding and decoding run on the streaming [`serde::Sink`] /
+//! [`serde::Source`] fast path: derived types write tags and varints
+//! straight into the output buffer and read fields straight off the wire,
+//! with no intermediate [`Value`] tree on either side. The tree-based
+//! entry points ([`encode_value_into`], [`decode_value`], [`value_len`])
+//! remain as the differential reference — the streaming path is pinned
+//! byte-identical to them by the round-trip suite.
+
+use serde::{DeError, Deserialize, Kind, Serialize, Value};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The HTTP content type that selects `GTBF1` on the wire.
+pub const BINARY_CONTENT_TYPE: &str = "application/x-gtbf";
+
+/// Frame magic: the first four bytes of every `GTBF` frame.
+pub const MAGIC: &[u8; 4] = b"GTBF";
+
+/// The frame format version this module encodes.
+pub const VERSION: u8 = 1;
+
+/// Maximum value-tree depth the decoder will follow.
+pub const MAX_DEPTH: usize = 128;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_INT: u8 = 0x03;
+const TAG_UINT: u8 = 0x04;
+const TAG_FLOAT: u8 = 0x05;
+const TAG_STR: u8 = 0x06;
+const TAG_ARRAY: u8 = 0x07;
+const TAG_OBJECT: u8 = 0x08;
+
+/// Object member names frozen with format version 1, in index order
+/// (wire index = position + 1; 0 is reserved for inline names). Covers
+/// every field and variant name the protocol types used when the format
+/// shipped. Append-only: never reorder or remove an entry.
+pub const NAMES_V1: &[&str] = &[
+    // Field names.
+    "added",
+    "alpha",
+    "anchor",
+    "at_ns",
+    "available",
+    "bbox",
+    "beta",
+    "budget",
+    "build_latency",
+    "builds",
+    "by_category",
+    "by_id",
+    "catalog",
+    "category",
+    "center",
+    "centroids",
+    "checkin_log_mean",
+    "checkin_log_std",
+    "checkins",
+    "ci_index",
+    "city",
+    "clustering_cache_hit",
+    "clustering_cache_hits",
+    "code",
+    "cohesiveness",
+    "cols",
+    "command",
+    "command_latency",
+    "commands",
+    "composite_items",
+    "config",
+    "consensus",
+    "converged",
+    "cost",
+    "counts",
+    "customizations",
+    "data",
+    "dims",
+    "disagreement",
+    "dispatch_latency",
+    "doc_topic",
+    "dropped",
+    "duration_ns",
+    "ended",
+    "error",
+    "failures",
+    "fcm_trainings",
+    "fingerprint",
+    "fuzzifier",
+    "gamma",
+    "group",
+    "group_id",
+    "h",
+    "id",
+    "index",
+    "interactions",
+    "iterations",
+    "k",
+    "kind",
+    "labels",
+    "last_package",
+    "lat",
+    "latency",
+    "latency_ns",
+    "lda",
+    "lda_trained",
+    "lda_trainings",
+    "location",
+    "log",
+    "lon",
+    "max_fcm_iterations",
+    "max_iterations",
+    "max_km",
+    "max_lat",
+    "max_lon",
+    "member",
+    "members",
+    "memberships",
+    "message",
+    "method",
+    "metric",
+    "min_lat",
+    "min_lon",
+    "model",
+    "name",
+    "neighborhoods",
+    "num_topics",
+    "objective",
+    "ok",
+    "outcome",
+    "packages_served",
+    "personalization",
+    "poi",
+    "poi_ids",
+    "poi_topics",
+    "poi_type",
+    "pois",
+    "pool_steals",
+    "pool_tasks",
+    "position",
+    "preference",
+    "preference_weight",
+    "profile",
+    "query",
+    "rectangle",
+    "refinements",
+    "removed",
+    "replaced",
+    "representativity",
+    "request",
+    "requests",
+    "required",
+    "response",
+    "responses",
+    "rows",
+    "sampler",
+    "schema",
+    "seed",
+    "session_id",
+    "snapshot",
+    "spatial",
+    "spread_deg",
+    "stage",
+    "stages",
+    "start_ns",
+    "state",
+    "stats",
+    "step",
+    "step_latencies",
+    "steps",
+    "suggestions",
+    "tag_noise",
+    "tags",
+    "tags_per_poi",
+    "tolerance_km",
+    "top_tags",
+    "topic",
+    "topic_word",
+    "total_latency",
+    "trace",
+    "train_threads",
+    "types",
+    "user_id",
+    "v",
+    "vectors",
+    "vocab_size",
+    "vocabulary",
+    "w",
+    "weight",
+    "weights",
+    "words",
+    "worker_threads",
+    "x",
+    "y",
+    // Enum variant names (externally-tagged objects).
+    "Accommodation",
+    "Add",
+    "Attraction",
+    "Average",
+    "AveragePairwise",
+    "Batch",
+    "BlockGibbsV1",
+    "Build",
+    "Clustering",
+    "Collapsed",
+    "Command",
+    "CommandBatch",
+    "Customize",
+    "DeleteCi",
+    "EmptyCatalog",
+    "EmptyQuery",
+    "End",
+    "Ended",
+    "Equirectangular",
+    "Error",
+    "ExportSession",
+    "Generate",
+    "Haversine",
+    "ImportSession",
+    "Imported",
+    "Individual",
+    "InsufficientCategory",
+    "InvalidCommand",
+    "InvalidOperation",
+    "Large",
+    "LeastMisery",
+    "Medium",
+    "NonUniform",
+    "Package",
+    "Refine",
+    "Refined",
+    "RegisterCatalog",
+    "Registered",
+    "Remove",
+    "Replace",
+    "Restaurant",
+    "Session",
+    "Small",
+    "Stats",
+    "SuggestReplacement",
+    "Suggestion",
+    "TopicModel",
+    "Trace",
+    "Traced",
+    "Transportation",
+    "Uniform",
+    "UnknownCity",
+    "UnknownSession",
+    "Variance",
+    "ZeroCompositeItems",
+    // Result and Duration member names.
+    "Ok",
+    "Err",
+    "secs",
+    "nanos",
+];
+
+fn name_index(name: &str) -> Option<u32> {
+    static INDEX: OnceLock<HashMap<&'static str, u32>> = OnceLock::new();
+    INDEX
+        .get_or_init(|| {
+            NAMES_V1
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, i as u32 + 1))
+                .collect()
+        })
+        .get(name)
+        .copied()
+}
+
+/// A typed `GTBF` decode (or shape) failure. Every hostile input lands on
+/// one of these; the decoder never panics and never reads past the buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The input ended before the structure it declared.
+    UnexpectedEof,
+    /// The frame does not start with `GTBF`.
+    BadMagic,
+    /// The frame carries a version this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// An unknown value tag byte.
+    BadTag(u8),
+    /// An interned name index outside [`NAMES_V1`].
+    BadName(u64),
+    /// A string whose bytes are not UTF-8.
+    BadUtf8,
+    /// A varint longer than 10 bytes.
+    BadVarint,
+    /// The payload length declared in the frame header disagrees with the
+    /// bytes the value actually consumed.
+    LengthMismatch { declared: u64, actual: u64 },
+    /// Bytes remain after the declared payload.
+    TrailingBytes,
+    /// The value tree nests deeper than [`MAX_DEPTH`].
+    TooDeep,
+    /// The decoded value tree does not match the requested type.
+    Shape(String),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::UnexpectedEof => write!(f, "unexpected end of frame"),
+            BinError::BadMagic => write!(f, "bad frame magic (want GTBF)"),
+            BinError::UnsupportedVersion(v) => write!(f, "unsupported frame version {v}"),
+            BinError::BadTag(t) => write!(f, "unknown value tag 0x{t:02x}"),
+            BinError::BadName(n) => write!(f, "name index {n} outside the version-1 table"),
+            BinError::BadUtf8 => write!(f, "string bytes are not UTF-8"),
+            BinError::BadVarint => write!(f, "varint longer than 10 bytes"),
+            BinError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "declared payload length {declared} but value used {actual}"
+                )
+            }
+            BinError::TrailingBytes => write!(f, "trailing bytes after payload"),
+            BinError::TooDeep => write!(f, "value nests deeper than {MAX_DEPTH}"),
+            BinError::Shape(msg) => write!(f, "value does not match type: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+impl From<DeError> for BinError {
+    fn from(e: DeError) -> Self {
+        BinError::Shape(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Appends an unsigned LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(mut v: u64) -> u64 {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Appends an object header: the `0x08` tag plus the member count.
+pub fn write_object_header(out: &mut Vec<u8>, members: usize) {
+    out.push(TAG_OBJECT);
+    write_varint(out, members as u64);
+}
+
+/// Appends an array header: the `0x07` tag plus the element count.
+pub fn write_array_header(out: &mut Vec<u8>, elements: usize) {
+    out.push(TAG_ARRAY);
+    write_varint(out, elements as u64);
+}
+
+/// Appends an object member name — interned if it is in [`NAMES_V1`],
+/// inline otherwise.
+pub fn write_name(out: &mut Vec<u8>, name: &str) {
+    match name_index(name) {
+        Some(idx) => write_varint(out, u64::from(idx)),
+        None => {
+            out.push(0);
+            write_varint(out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+        }
+    }
+}
+
+/// Appends an unsigned-integer value (tag + varint).
+pub fn write_uint(out: &mut Vec<u8>, v: u64) {
+    out.push(TAG_UINT);
+    write_varint(out, v);
+}
+
+/// Appends a string value (tag + varint length + bytes).
+pub fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.push(TAG_STR);
+    write_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn name_len(name: &str) -> u64 {
+    match name_index(name) {
+        Some(idx) => varint_len(u64::from(idx)),
+        None => 1 + varint_len(name.len() as u64) + name.len() as u64,
+    }
+}
+
+/// Exact encoded byte length of a value — lets the frame header go first
+/// without a second buffer or a splice.
+pub fn value_len(value: &Value) -> u64 {
+    match value {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Int(i) => 1 + varint_len(zigzag(*i)),
+        Value::UInt(u) => 1 + varint_len(*u),
+        Value::Float(_) => 9,
+        Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len() as u64,
+        Value::Array(items) => {
+            1 + varint_len(items.len() as u64) + items.iter().map(value_len).sum::<u64>()
+        }
+        Value::Object(entries) => {
+            1 + varint_len(entries.len() as u64)
+                + entries
+                    .iter()
+                    .map(|(name, v)| name_len(name) + value_len(v))
+                    .sum::<u64>()
+        }
+    }
+}
+
+/// Appends the encoding of one value tree (no frame header).
+pub fn encode_value_into(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            write_varint(out, zigzag(*i));
+        }
+        Value::UInt(u) => write_uint(out, *u),
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => write_str(out, s),
+        Value::Array(items) => {
+            write_array_header(out, items.len());
+            for item in items {
+                encode_value_into(item, out);
+            }
+        }
+        Value::Object(entries) => {
+            write_object_header(out, entries.len());
+            for (name, v) in entries {
+                write_name(out, name);
+                encode_value_into(v, out);
+            }
+        }
+    }
+}
+
+/// Appends a frame header (`GTBF`, version, payload length) for a payload
+/// of `payload_len` bytes. The caller appends exactly that many payload
+/// bytes after it.
+pub fn write_frame_header(out: &mut Vec<u8>, payload_len: u64) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    write_varint(out, payload_len);
+}
+
+/// Wraps an already-encoded payload in a `GTBF1` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    write_frame_header(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// A [`serde::Sink`] that appends `GTBF1` payload bytes. Every method maps
+/// 1:1 onto the low-level writers [`encode_value_into`] uses, so streaming
+/// a value through this sink produces exactly the bytes the tree encoder
+/// would.
+struct BinSink<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl serde::Sink for BinSink<'_> {
+    fn null(&mut self) {
+        self.out.push(TAG_NULL);
+    }
+    fn boolean(&mut self, v: bool) {
+        self.out.push(if v { TAG_TRUE } else { TAG_FALSE });
+    }
+    fn int(&mut self, v: i64) {
+        self.out.push(TAG_INT);
+        write_varint(self.out, zigzag(v));
+    }
+    fn uint(&mut self, v: u64) {
+        write_uint(self.out, v);
+    }
+    fn float(&mut self, v: f64) {
+        self.out.push(TAG_FLOAT);
+        self.out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn string(&mut self, v: &str) {
+        write_str(self.out, v);
+    }
+    fn array(&mut self, len: usize) {
+        write_array_header(self.out, len);
+    }
+    fn object(&mut self, len: usize) {
+        write_object_header(self.out, len);
+    }
+    fn name(&mut self, name: &str) {
+        write_name(self.out, name);
+    }
+}
+
+/// Appends the `GTBF1` payload encoding of a value (no frame header),
+/// streaming it without building a [`Value`] tree. Byte-identical to
+/// `encode_value_into(&value.to_value(), out)`.
+pub fn encode_payload_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) {
+    value.stream(&mut BinSink { out });
+}
+
+/// Encodes a value as a complete `GTBF1` frame appended to `out`.
+pub fn encode_into<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) {
+    // The header carries the payload length, so the payload streams into a
+    // scratch buffer first; this still skips the `Value` tree entirely.
+    let mut payload = Vec::with_capacity(256);
+    encode_payload_into(value, &mut payload);
+    write_frame_header(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+}
+
+/// Encodes a value as a complete `GTBF1` frame.
+pub fn encode<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(value, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// First structural (byte-level) failure hit on the streaming path.
+    /// [`serde::Source`] methods surface errors as [`DeError`], which
+    /// erases the variant; recording it here lets [`decode`] return the
+    /// typed [`BinError`] instead of a stringified copy.
+    err: Option<BinError>,
+}
+
+impl<'a> Decoder<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+        if self.remaining() < n {
+            return Err(BinError::UnexpectedEof);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn byte(&mut self) -> Result<u8, BinError> {
+        let b = *self.bytes.get(self.pos).ok_or(BinError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn varint(&mut self) -> Result<u64, BinError> {
+        let mut value = 0u64;
+        for shift in 0..10 {
+            let b = self.byte()?;
+            // The 10th byte may only carry the top bit of a u64.
+            if shift == 9 && b > 0x01 {
+                return Err(BinError::BadVarint);
+            }
+            value |= u64::from(b & 0x7f) << (shift * 7);
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(BinError::BadVarint)
+    }
+
+    /// Reads a declared count/length and rejects it up front when the
+    /// remaining input could not possibly satisfy it (each item needs at
+    /// least `min_item_bytes`), so hostile lengths never drive allocation.
+    fn checked_len(&mut self, min_item_bytes: usize) -> Result<usize, BinError> {
+        let declared = self.varint()?;
+        let max = (self.remaining() / min_item_bytes.max(1)) as u64;
+        if declared > max {
+            return Err(BinError::UnexpectedEof);
+        }
+        Ok(declared as usize)
+    }
+
+    fn raw_string(&mut self) -> Result<String, BinError> {
+        let len = self.checked_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BinError::BadUtf8)
+    }
+
+    fn raw_name(&mut self) -> Result<String, BinError> {
+        let idx = self.varint()?;
+        if idx == 0 {
+            return self.raw_string();
+        }
+        let table_pos = (idx - 1) as usize;
+        NAMES_V1
+            .get(table_pos)
+            .map(|&n| n.to_string())
+            .ok_or(BinError::BadName(idx))
+    }
+
+    /// Records the first structural failure and hands back its [`DeError`]
+    /// rendering for the [`serde::Source`] caller.
+    fn structural(&mut self, e: BinError) -> DeError {
+        let rendered = DeError::custom(e.to_string());
+        self.err.get_or_insert(e);
+        rendered
+    }
+
+    /// Skips one complete encoded value, validating it exactly as the tree
+    /// decoder would (tags, lengths, UTF-8, name indices) without
+    /// allocating. `depth` counts from the skip's own root: the streaming
+    /// path cannot see how deep its caller already is, but typed decode
+    /// nesting is shallow, so the budget still bounds the total stack.
+    fn skip(&mut self, depth: usize) -> Result<(), BinError> {
+        if depth > MAX_DEPTH {
+            return Err(BinError::TooDeep);
+        }
+        match self.byte()? {
+            TAG_NULL | TAG_FALSE | TAG_TRUE => Ok(()),
+            TAG_INT | TAG_UINT => self.varint().map(|_| ()),
+            TAG_FLOAT => self.take(8).map(|_| ()),
+            TAG_STR => {
+                let len = self.checked_len(1)?;
+                let bytes = self.take(len)?;
+                std::str::from_utf8(bytes).map_err(|_| BinError::BadUtf8)?;
+                Ok(())
+            }
+            TAG_ARRAY => {
+                let count = self.checked_len(1)?;
+                for _ in 0..count {
+                    self.skip(depth + 1)?;
+                }
+                Ok(())
+            }
+            TAG_OBJECT => {
+                let count = self.checked_len(2)?;
+                for _ in 0..count {
+                    self.skip_name()?;
+                    self.skip(depth + 1)?;
+                }
+                Ok(())
+            }
+            other => Err(BinError::BadTag(other)),
+        }
+    }
+
+    /// Skips one member name, validating it like [`Decoder::raw_name`]
+    /// without allocating.
+    fn skip_name(&mut self) -> Result<(), BinError> {
+        let idx = self.varint()?;
+        if idx == 0 {
+            let len = self.checked_len(1)?;
+            let bytes = self.take(len)?;
+            std::str::from_utf8(bytes).map_err(|_| BinError::BadUtf8)?;
+            return Ok(());
+        }
+        if (idx - 1) as usize >= NAMES_V1.len() {
+            return Err(BinError::BadName(idx));
+        }
+        Ok(())
+    }
+
+    /// Consumes the expected value tag, or fails: structurally on EOF,
+    /// with a plain shape error on a tag mismatch (a mismatch means the
+    /// frame is well-formed but does not fit the requested type).
+    fn expect_tag(&mut self, want: u8, what: &str) -> Result<(), DeError> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.structural(BinError::UnexpectedEof)),
+            Some(&t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(&t) => Err(DeError::custom(format!(
+                "expected {what}, got tag 0x{t:02x}"
+            ))),
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, BinError> {
+        if depth > MAX_DEPTH {
+            return Err(BinError::TooDeep);
+        }
+        match self.byte()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_INT => Ok(Value::Int(unzigzag(self.varint()?))),
+            TAG_UINT => Ok(Value::UInt(self.varint()?)),
+            TAG_FLOAT => {
+                let raw = self.take(8)?;
+                let mut bits = [0u8; 8];
+                bits.copy_from_slice(raw);
+                Ok(Value::Float(f64::from_bits(u64::from_le_bytes(bits))))
+            }
+            TAG_STR => Ok(Value::Str(self.raw_string()?)),
+            TAG_ARRAY => {
+                let count = self.checked_len(1)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            TAG_OBJECT => {
+                let count = self.checked_len(2)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = self.raw_name()?;
+                    let v = self.value(depth + 1)?;
+                    entries.push((name, v));
+                }
+                Ok(Value::Object(entries))
+            }
+            other => Err(BinError::BadTag(other)),
+        }
+    }
+}
+
+impl serde::Source for Decoder<'_> {
+    fn peek(&mut self) -> Result<Kind, DeError> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.structural(BinError::UnexpectedEof)),
+            Some(&TAG_NULL) => Ok(Kind::Null),
+            Some(&(TAG_FALSE | TAG_TRUE)) => Ok(Kind::Bool),
+            Some(&TAG_INT) => Ok(Kind::Int),
+            Some(&TAG_UINT) => Ok(Kind::UInt),
+            Some(&TAG_FLOAT) => Ok(Kind::Float),
+            Some(&TAG_STR) => Ok(Kind::Str),
+            Some(&TAG_ARRAY) => Ok(Kind::Array),
+            Some(&TAG_OBJECT) => Ok(Kind::Object),
+            Some(&other) => Err(self.structural(BinError::BadTag(other))),
+        }
+    }
+
+    fn null(&mut self) -> Result<(), DeError> {
+        self.expect_tag(TAG_NULL, "null")
+    }
+
+    fn boolean(&mut self) -> Result<bool, DeError> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.structural(BinError::UnexpectedEof)),
+            Some(&t @ (TAG_FALSE | TAG_TRUE)) => {
+                self.pos += 1;
+                Ok(t == TAG_TRUE)
+            }
+            Some(&t) => Err(DeError::custom(format!("expected bool, got tag 0x{t:02x}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, DeError> {
+        self.expect_tag(TAG_INT, "integer")?;
+        match self.varint() {
+            Ok(u) => Ok(unzigzag(u)),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64, DeError> {
+        self.expect_tag(TAG_UINT, "unsigned integer")?;
+        match self.varint() {
+            Ok(u) => Ok(u),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn float(&mut self) -> Result<f64, DeError> {
+        self.expect_tag(TAG_FLOAT, "float")?;
+        match self.take(8) {
+            Ok(raw) => {
+                let mut bits = [0u8; 8];
+                bits.copy_from_slice(raw);
+                Ok(f64::from_bits(u64::from_le_bytes(bits)))
+            }
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.expect_tag(TAG_STR, "string")?;
+        match self.raw_string() {
+            Ok(s) => Ok(s),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn array(&mut self) -> Result<usize, DeError> {
+        self.expect_tag(TAG_ARRAY, "array")?;
+        match self.checked_len(1) {
+            Ok(n) => Ok(n),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn object(&mut self) -> Result<usize, DeError> {
+        self.expect_tag(TAG_OBJECT, "object")?;
+        match self.checked_len(2) {
+            Ok(n) => Ok(n),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn name(&mut self) -> Result<Cow<'static, str>, DeError> {
+        let idx = match self.varint() {
+            Ok(idx) => idx,
+            Err(e) => return Err(self.structural(e)),
+        };
+        if idx == 0 {
+            return match self.raw_string() {
+                Ok(s) => Ok(Cow::Owned(s)),
+                Err(e) => Err(self.structural(e)),
+            };
+        }
+        match NAMES_V1.get((idx - 1) as usize) {
+            Some(&n) => Ok(Cow::Borrowed(n)),
+            None => Err(self.structural(BinError::BadName(idx))),
+        }
+    }
+
+    fn skip_value(&mut self) -> Result<(), DeError> {
+        match self.skip(0) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+
+    fn read_value(&mut self) -> Result<Value, DeError> {
+        match self.value(0) {
+            Ok(v) => Ok(v),
+            Err(e) => Err(self.structural(e)),
+        }
+    }
+}
+
+/// Decodes one complete `GTBF1` frame into a value tree. The whole input
+/// must be exactly one frame: magic and version are checked, the declared
+/// payload length must match the bytes the value consumed, and trailing
+/// bytes are an error (so a desynced stream cannot silently resync).
+pub fn decode_value(input: &[u8]) -> Result<Value, BinError> {
+    let mut dec = frame_payload(input)?;
+    let payload_start = dec.pos;
+    let value = dec.value(0)?;
+    finish_frame(&dec, payload_start)?;
+    Ok(value)
+}
+
+/// Checks the frame header (magic, version, declared payload length) and
+/// returns a decoder positioned at the payload.
+fn frame_payload(input: &[u8]) -> Result<Decoder<'_>, BinError> {
+    let mut dec = Decoder {
+        bytes: input,
+        pos: 0,
+        err: None,
+    };
+    if dec.take(4).map_err(|_| BinError::BadMagic)? != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    let version = dec.byte()?;
+    if version != VERSION {
+        return Err(BinError::UnsupportedVersion(version));
+    }
+    let declared = dec.varint()?;
+    if declared > dec.remaining() as u64 {
+        return Err(BinError::UnexpectedEof);
+    }
+    Ok(dec)
+}
+
+/// Re-checks the declared payload length against actual consumption and
+/// rejects trailing bytes, after the payload has been decoded.
+fn finish_frame(dec: &Decoder<'_>, payload_start: usize) -> Result<(), BinError> {
+    // Reparse the declared length from the already-validated header.
+    let mut header = Decoder {
+        bytes: dec.bytes,
+        pos: 5,
+        err: None,
+    };
+    let declared = header.varint().expect("header was validated");
+    let actual = (dec.pos - payload_start) as u64;
+    if actual != declared {
+        return Err(BinError::LengthMismatch { declared, actual });
+    }
+    if dec.pos != dec.bytes.len() {
+        return Err(BinError::TrailingBytes);
+    }
+    Ok(())
+}
+
+/// Decodes one complete `GTBF1` frame into `T`, streaming fields straight
+/// off the wire with no intermediate [`Value`] tree. Accepts exactly the
+/// frames `T::from_value(&decode_value(input)?)` accepts.
+pub fn decode<T: Deserialize>(input: &[u8]) -> Result<T, BinError> {
+    let mut dec = frame_payload(input)?;
+    let payload_start = dec.pos;
+    let value = match T::decode(&mut dec) {
+        Ok(v) => v,
+        // A structural failure recorded by the Source keeps its typed
+        // variant; anything else is a shape mismatch.
+        Err(e) => {
+            return Err(dec
+                .err
+                .take()
+                .unwrap_or_else(|| BinError::Shape(e.to_string())))
+        }
+    };
+    finish_frame(&dec, payload_start)?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: &Value) -> Value {
+        let mut payload = Vec::new();
+        encode_value_into(v, &mut payload);
+        assert_eq!(
+            payload.len() as u64,
+            value_len(v),
+            "value_len must be exact"
+        );
+        decode_value(&frame(&payload)).expect("round trip")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::UInt(0),
+            Value::UInt(127),
+            Value::UInt(128),
+            Value::UInt(u64::MAX),
+            Value::Float(0.1),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Str(String::new()),
+            Value::Str("é λ 中 😀".to_string()),
+        ] {
+            let back = roundtrip_value(&v);
+            match (&v, &back) {
+                // NaN != NaN under PartialEq; compare bits instead.
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(format!("{v:?}"), format!("{back:?}")),
+            }
+        }
+    }
+
+    #[test]
+    fn containers_round_trip_with_interned_and_inline_names() {
+        let v = Value::Object(vec![
+            // "city" is in NAMES_V1; "not_a_known_name" is not.
+            ("city".to_string(), Value::Str("paris".to_string())),
+            (
+                "not_a_known_name".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5), Value::Null]),
+            ),
+        ]);
+        assert_eq!(format!("{:?}", roundtrip_value(&v)), format!("{v:?}"));
+        // The interned member must actually be smaller than the inline one.
+        let mut interned = Vec::new();
+        write_name(&mut interned, "city");
+        let mut inline = Vec::new();
+        write_name(&mut inline, "not_a_known_name");
+        assert!(interned.len() < inline.len());
+        assert_eq!(inline[0], 0, "unknown names take the inline escape");
+    }
+
+    #[test]
+    fn name_table_is_its_own_inverse_and_duplicate_free() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, &name) in NAMES_V1.iter().enumerate() {
+            assert!(seen.insert(name), "duplicate table entry {name}");
+            assert_eq!(name_index(name), Some(i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn typed_encode_decode_round_trips() {
+        let v: Vec<(u64, f64, String)> = vec![(1, 0.5, "a".into()), (2, -3.25, "é".into())];
+        let frame = encode(&v);
+        let back: Vec<(u64, f64, String)> = decode(&frame).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn zigzag_is_its_own_inverse() {
+        for i in [0i64, 1, -1, 63, -64, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_typed_error() {
+        let v = Value::Object(vec![
+            ("city".to_string(), Value::Str("paris".to_string())),
+            (
+                "weights".to_string(),
+                Value::Array(vec![Value::Float(0.25); 4]),
+            ),
+            ("budget".to_string(), Value::Int(-12)),
+        ]);
+        let frame = encode_value_frame(&v);
+        for cut in 0..frame.len() {
+            let err = decode_value(&frame[..cut]).expect_err("truncated frame must fail");
+            // Any typed error is fine; a panic or an Ok would be the bug.
+            let _ = err.to_string();
+        }
+        assert!(decode_value(&frame).is_ok());
+    }
+
+    #[test]
+    fn bad_magic_and_versions_are_rejected() {
+        let mut frame = encode(&7u64);
+        assert!(decode_value(&frame).is_ok());
+        frame[0] = b'X';
+        assert_eq!(decode_value(&frame), Err(BinError::BadMagic));
+        frame[0] = b'G';
+        frame[4] = 2;
+        assert_eq!(decode_value(&frame), Err(BinError::UnsupportedVersion(2)));
+        frame[4] = 0;
+        assert_eq!(decode_value(&frame), Err(BinError::UnsupportedVersion(0)));
+    }
+
+    #[test]
+    fn declared_length_must_match_consumption() {
+        let mut payload = Vec::new();
+        encode_value_into(&Value::UInt(7), &mut payload);
+        // Lie: declare one byte more than the value uses, then pad.
+        let mut out = Vec::new();
+        write_frame_header(&mut out, payload.len() as u64 + 1);
+        out.extend_from_slice(&payload);
+        out.push(0x00);
+        assert_eq!(
+            decode_value(&out),
+            Err(BinError::LengthMismatch {
+                declared: payload.len() as u64 + 1,
+                actual: payload.len() as u64,
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = encode(&7u64);
+        frame.push(0x00);
+        assert_eq!(decode_value(&frame), Err(BinError::TrailingBytes));
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A string claiming u64::MAX bytes in a 32-byte frame.
+        let mut payload = vec![TAG_STR];
+        write_varint(&mut payload, u64::MAX);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::UnexpectedEof));
+        // An array claiming 2^40 elements.
+        let mut payload = vec![TAG_ARRAY];
+        write_varint(&mut payload, 1 << 40);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::UnexpectedEof));
+        // An object claiming 2^40 members.
+        let mut payload = vec![TAG_OBJECT];
+        write_varint(&mut payload, 1 << 40);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::UnexpectedEof));
+    }
+
+    #[test]
+    fn depth_bombs_are_rejected() {
+        // MAX_DEPTH+2 nested single-element arrays around a null.
+        let mut payload = Vec::new();
+        for _ in 0..(MAX_DEPTH + 2) {
+            payload.push(TAG_ARRAY);
+            payload.push(1);
+        }
+        payload.push(TAG_NULL);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::TooDeep));
+    }
+
+    #[test]
+    fn unknown_tags_and_name_indices_are_rejected() {
+        assert_eq!(decode_value(&frame(&[0x3f])), Err(BinError::BadTag(0x3f)));
+        let mut payload = Vec::new();
+        write_object_header(&mut payload, 1);
+        write_varint(&mut payload, NAMES_V1.len() as u64 + 1);
+        payload.push(TAG_NULL);
+        assert_eq!(
+            decode_value(&frame(&payload)),
+            Err(BinError::BadName(NAMES_V1.len() as u64 + 1))
+        );
+    }
+
+    #[test]
+    fn overlong_varints_are_rejected() {
+        let mut payload = vec![TAG_UINT];
+        payload.extend_from_slice(&[0x80; 10]);
+        payload.push(0x00);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::BadVarint));
+        // A 10th byte carrying more than the top u64 bit.
+        let mut payload = vec![TAG_UINT];
+        payload.extend_from_slice(&[0x80; 9]);
+        payload.push(0x02);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::BadVarint));
+    }
+
+    #[test]
+    fn invalid_utf8_in_strings_is_rejected() {
+        let mut payload = vec![TAG_STR];
+        write_varint(&mut payload, 2);
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(decode_value(&frame(&payload)), Err(BinError::BadUtf8));
+    }
+
+    #[test]
+    fn spliced_low_level_encoding_matches_derive() {
+        // Hand-assemble {"v":1,"city":"paris"} with the low-level writers
+        // and check it matches the tree encoder byte for byte.
+        let tree = Value::Object(vec![
+            ("v".to_string(), Value::UInt(1)),
+            ("city".to_string(), Value::Str("paris".to_string())),
+        ]);
+        let mut derive = Vec::new();
+        encode_value_into(&tree, &mut derive);
+        let mut hand = Vec::new();
+        write_object_header(&mut hand, 2);
+        write_name(&mut hand, "v");
+        write_uint(&mut hand, 1);
+        write_name(&mut hand, "city");
+        write_str(&mut hand, "paris");
+        assert_eq!(hand, derive);
+        assert_eq!(frame(&hand), encode_value_frame(&tree));
+    }
+
+    fn encode_value_frame(v: &Value) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_frame_header(&mut out, value_len(v));
+        encode_value_into(v, &mut out);
+        out
+    }
+}

@@ -47,6 +47,7 @@
 //! assert_eq!(responses[0].package().unwrap().len(), 5);
 //! ```
 
+pub mod binary;
 pub mod cache;
 pub mod interactive;
 pub mod observe;
@@ -60,6 +61,7 @@ pub use grouptravel_dataset::CategoryGrid;
 pub use grouptravel_obs::{
     LatencySummary, MetricsRegistry, SlowEntry, SlowLog, TraceReport, TraceStage,
 };
+pub use grouptravel_profile::GroupProfile;
 pub use interactive::{BuildSpec, CommandOutcome, CommandRequest, CommandResponse, SessionCommand};
 pub use observe::EngineMetrics;
 pub use protocol::{
@@ -78,7 +80,7 @@ use grouptravel_dataset::PoiCatalog;
 use grouptravel_geo::DistanceMetric;
 use grouptravel_obs::span;
 use grouptravel_pool::{TaskKind, WorkerPool};
-use grouptravel_profile::{GroupProfile, ProfileSchema};
+use grouptravel_profile::ProfileSchema;
 use grouptravel_topics::LdaConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;

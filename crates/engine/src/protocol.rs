@@ -34,7 +34,7 @@ use crate::store::{SessionId, SessionState};
 use crate::{EngineError, EngineStats, PackageRequest, PackageResponse};
 use grouptravel_dataset::PoiCatalog;
 use grouptravel_obs::TraceReport;
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize, Sink, Source, Value};
 use std::fmt;
 
 /// The one protocol version this build speaks.
@@ -411,6 +411,16 @@ impl Serialize for EngineError {
             ("kind".to_string(), EngineErrorKind::from(self).to_value()),
         ])
     }
+
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.object(3);
+        sink.name("code");
+        sink.uint(u64::from(self.code()));
+        sink.name("message");
+        sink.string(&self.to_string());
+        sink.name("kind");
+        EngineErrorKind::from(self).stream(sink);
+    }
 }
 
 impl Deserialize for EngineError {
@@ -419,6 +429,27 @@ impl Deserialize for EngineError {
             .as_object()
             .ok_or_else(|| DeError::custom(format!("EngineError: expected object, got {v:?}")))?;
         let kind: EngineErrorKind = serde::field(obj, "kind", "EngineError")?;
+        Ok(kind.into())
+    }
+
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        let members = src
+            .object()
+            .map_err(|e| DeError::custom(format!("EngineError: {e}")))?;
+        let mut kind: Option<EngineErrorKind> = None;
+        for _ in 0..members {
+            let name = src.name()?;
+            match name.as_ref() {
+                "kind" if kind.is_none() => {
+                    kind = Some(
+                        EngineErrorKind::decode(src)
+                            .map_err(|e| DeError::custom(format!("EngineError.kind: {e}")))?,
+                    );
+                }
+                _ => src.skip_value()?,
+            }
+        }
+        let kind = kind.ok_or_else(|| DeError::custom("EngineError: missing field `kind`"))?;
         Ok(kind.into())
     }
 }

@@ -1,0 +1,523 @@
+//! `GTBF1` round-trip suite: every [`EngineRequest`] and [`EngineResponse`]
+//! variant must survive binary encode → decode **bit-identically** — floats
+//! as raw IEEE-754 bits, durations as exact `{secs, nanos}` pairs, errors
+//! with their full typed payload — and re-encoding the decoded value must
+//! reproduce the original frame byte for byte.
+//!
+//! Mirrors `protocol_roundtrip.rs` (the JSON suite): requests are
+//! randomized with the vendored proptest (seeds derive from the test name,
+//! so CI replays the same cases); responses are the engine's *real*
+//! answers, produced by actual `dispatch` calls. On top of the mirrors,
+//! this suite pins hostile-input behavior: truncation at every byte of a
+//! real envelope frame, random garbage, depth/length bombs — always a
+//! typed [`BinError`], never a panic.
+
+use grouptravel::prelude::*;
+use grouptravel_engine::binary::{self, BinError};
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineError, EngineRequest, EngineResponse,
+    PackageRequest, ProtocolError, RequestEnvelope, ResponseEnvelope, SessionCommand,
+    SessionSnapshot, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+/// One engine, registered once, shared by every case.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let engine = Engine::new(EngineConfig::fast());
+        engine.register_catalog(paris(11)).unwrap();
+        engine
+    })
+}
+
+fn profile_for(seed: u64) -> GroupProfile {
+    let schema = engine().profile_schema("Paris").unwrap();
+    SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::NonUniform)
+        .profile(ConsensusMethod::pairwise_disagreement())
+}
+
+fn package_request(session_id: u64, seed: u64, k: usize, budget: Option<f64>) -> PackageRequest {
+    PackageRequest {
+        session_id,
+        city: "Paris".to_string(),
+        profile: profile_for(seed),
+        query: GroupQuery::new([1, 1, 2, 2], budget),
+        config: BuildConfig::with_k(k.max(1)),
+    }
+}
+
+/// Binary round trip with frame bit-identity: encode → decode must return
+/// the value, and re-encoding the decoded value must reproduce the exact
+/// original frame bytes.
+///
+/// Also the streaming-vs-tree differential: `binary::encode`/`decode` run
+/// the streaming [`serde::Sink`]/[`serde::Source`] fast path, so each call
+/// is checked against the tree reference — the frame must equal
+/// header + `encode_value_into(&to_value())` byte for byte, and the decode
+/// must equal `from_value(&decode_value(frame))`.
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let frame = binary::encode(value);
+    let tree = value.to_value();
+    let mut reference = Vec::new();
+    binary::write_frame_header(&mut reference, binary::value_len(&tree));
+    binary::encode_value_into(&tree, &mut reference);
+    assert_eq!(
+        frame, reference,
+        "streaming encode must match the tree encoder"
+    );
+    let back: T = binary::decode(&frame).expect("frames decode");
+    let via_tree = T::from_value(&binary::decode_value(&frame).expect("frames decode as trees"))
+        .expect("decoded trees convert");
+    assert_eq!(
+        via_tree, back,
+        "streaming decode must match the tree decoder"
+    );
+    assert_eq!(
+        binary::encode(&back),
+        frame,
+        "re-encoding must be byte-identical"
+    );
+    back
+}
+
+fn roundtrip_request(request: &EngineRequest) -> EngineRequest {
+    roundtrip(request)
+}
+
+fn roundtrip_response(response: &EngineResponse) -> EngineResponse {
+    roundtrip(response)
+}
+
+/// Dispatches, round-trips the response through `GTBF1`, and additionally
+/// checks the binary and JSON codecs agree on the decoded value.
+fn dispatch_and_roundtrip(request: EngineRequest) -> EngineResponse {
+    let response = engine().dispatch(request);
+    assert_eq!(
+        roundtrip_response(&response),
+        response,
+        "response must round-trip bit-identically"
+    );
+    let via_json: EngineResponse =
+        serde_json::from_str(&serde_json::to_string(&response).unwrap()).unwrap();
+    assert_eq!(via_json, response, "binary and JSON must decode equally");
+    response
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn build_and_batch_requests_roundtrip(
+        session in 0u64..1000,
+        seed in 0u64..50,
+        k in 1usize..5,
+        budget_kind in 0u8..3,
+        n in 1usize..4,
+    ) {
+        let budget = match budget_kind {
+            0 => None,
+            1 => Some(250.0),
+            _ => Some(333.33 + seed as f64 * 0.1),
+        };
+        let single = EngineRequest::Build {
+            request: Box::new(package_request(session, seed, k, budget)),
+        };
+        prop_assert_eq!(roundtrip_request(&single), single);
+
+        let batch = EngineRequest::Batch {
+            requests: (0..n)
+                .map(|i| package_request(session + i as u64, seed + i as u64, k, budget))
+                .collect(),
+        };
+        prop_assert_eq!(roundtrip_request(&batch), batch);
+    }
+
+    #[test]
+    fn command_requests_roundtrip(
+        session in 0u64..1000,
+        seed in 0u64..50,
+        kind in 0u8..8,
+        a in 0usize..10,
+        b in 0u64..100,
+        member in 0u64..4,
+    ) {
+        let command = match kind {
+            0 => SessionCommand::build(
+                "Paris",
+                profile_for(seed),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+            1 => {
+                let schema = engine().profile_schema("Paris").unwrap();
+                let group = SyntheticGroupGenerator::new(schema, seed)
+                    .group(GroupSize::Medium, Uniformity::Uniform);
+                SessionCommand::build_for_group(
+                    "Paris",
+                    group,
+                    ConsensusMethod::pairwise_disagreement(),
+                    GroupQuery::new([2, 1, 1, 1], Some(100.0 + b as f64)),
+                    BuildConfig::with_k(3),
+                )
+            }
+            2 => SessionCommand::rebuild(
+                "Paris",
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+            3 => SessionCommand::Customize(CustomizationOp::Remove {
+                ci_index: a,
+                poi: PoiId(b),
+            }),
+            4 => SessionCommand::Customize(CustomizationOp::Generate {
+                rectangle: Rectangle::new(
+                    2.35 - b as f64 * 0.001,
+                    48.85 + a as f64 * 0.001,
+                    0.01,
+                    0.01,
+                ),
+            }),
+            5 => SessionCommand::Refine(if a % 2 == 0 {
+                RefinementStrategy::Batch
+            } else {
+                RefinementStrategy::Individual
+            }),
+            6 => SessionCommand::SuggestReplacement {
+                ci_index: a,
+                poi: PoiId(b),
+            },
+            _ => SessionCommand::End,
+        };
+        let request = EngineRequest::Command {
+            request: if member == 0 {
+                CommandRequest::new(session, command)
+            } else {
+                CommandRequest::from_member(session, member, command)
+            },
+        };
+        prop_assert_eq!(roundtrip_request(&request), request);
+    }
+
+    #[test]
+    fn truncating_a_request_frame_anywhere_is_a_typed_error(
+        seed in 0u64..50,
+        cut_fraction in 0u32..1000,
+    ) {
+        let frame = binary::encode(&RequestEnvelope::new(EngineRequest::Build {
+            request: Box::new(package_request(1, seed, 3, Some(250.0))),
+        }));
+        let cut = (frame.len() as u64 * u64::from(cut_fraction) / 1000) as usize;
+        let err = binary::decode::<RequestEnvelope>(&frame[..cut])
+            .expect_err("truncated frames must fail");
+        // Typed, displayable, and never a panic.
+        prop_assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        // Raw bytes, framed bytes, and framed-with-valid-header bytes: the
+        // decoder must return a typed error or a value, never panic.
+        let _ = binary::decode_value(&bytes);
+        let _ = binary::decode_value(&binary::frame(&bytes));
+        let _ = binary::decode::<RequestEnvelope>(&binary::frame(&bytes));
+    }
+}
+
+#[test]
+fn every_request_variant_roundtrips() {
+    let requests = [
+        EngineRequest::Build {
+            request: Box::new(package_request(1, 1, 5, None)),
+        },
+        EngineRequest::Batch {
+            requests: vec![package_request(1, 1, 5, Some(400.0))],
+        },
+        EngineRequest::Command {
+            request: CommandRequest::new(1, SessionCommand::End),
+        },
+        EngineRequest::CommandBatch {
+            requests: vec![CommandRequest::new(1, SessionCommand::End)],
+        },
+        EngineRequest::RegisterCatalog {
+            catalog: Box::new(paris(17)),
+        },
+        EngineRequest::ExportSession { session_id: 42 },
+        EngineRequest::ImportSession {
+            snapshot: Box::new(SessionSnapshot {
+                v: 1,
+                session_id: 42,
+                state: sample_session_state(),
+            }),
+        },
+        EngineRequest::Stats,
+        EngineRequest::Trace {
+            request: Box::new(EngineRequest::Build {
+                request: Box::new(package_request(2, 2, 4, Some(150.0))),
+            }),
+        },
+    ];
+    for request in requests {
+        assert_eq!(
+            roundtrip_request(&request),
+            request,
+            "request kind `{}` must round-trip",
+            request.kind()
+        );
+    }
+}
+
+/// A session state with every optional field populated, produced by a real
+/// interactive session.
+fn sample_session_state() -> grouptravel_engine::SessionState {
+    let engine = Engine::new(EngineConfig::fast());
+    engine.register_catalog(paris(11)).unwrap();
+    let schema = engine.profile_schema("Paris").unwrap();
+    let group =
+        SyntheticGroupGenerator::new(schema, 3).group(GroupSize::Small, Uniformity::Uniform);
+    let built = engine.serve_command(&CommandRequest::new(
+        9,
+        SessionCommand::build_for_group(
+            "Paris",
+            group.clone(),
+            ConsensusMethod::pairwise_disagreement(),
+            GroupQuery::paper_default(),
+            BuildConfig::default(),
+        ),
+    ));
+    let package = built.package().expect("build succeeds").clone();
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    engine.serve_command(&CommandRequest::from_member(
+        9,
+        group.members()[0].user_id,
+        SessionCommand::Customize(CustomizationOp::Remove {
+            ci_index: 0,
+            poi: victim,
+        }),
+    ));
+    engine.sessions().snapshot(9).expect("session exists")
+}
+
+#[test]
+fn every_response_variant_roundtrips_from_real_dispatches() {
+    // Ordered so the engine accumulates state: build → commands → export →
+    // import → stats. Each dispatch's response round-trips bit-identically
+    // through GTBF1 and decodes equal to the JSON path.
+    let ok = dispatch_and_roundtrip(EngineRequest::Build {
+        request: Box::new(package_request(501, 5, 5, None)),
+    });
+    assert!(matches!(ok, EngineResponse::Package { ref response } if response.outcome.is_ok()));
+
+    let failed = dispatch_and_roundtrip(EngineRequest::Build {
+        request: Box::new(PackageRequest {
+            city: "Atlantis".to_string(),
+            ..package_request(502, 5, 5, None)
+        }),
+    });
+    match failed {
+        EngineResponse::Package { response } => {
+            assert_eq!(
+                response.outcome.unwrap_err(),
+                EngineError::UnknownCity("Atlantis".to_string())
+            );
+        }
+        other => panic!("expected Package, got {}", other.kind()),
+    }
+
+    dispatch_and_roundtrip(EngineRequest::Batch {
+        requests: vec![
+            package_request(503, 6, 4, Some(500.0)),
+            package_request(504, 7, 3, None),
+        ],
+    });
+
+    let built = dispatch_and_roundtrip(EngineRequest::Command {
+        request: CommandRequest::new(
+            600,
+            SessionCommand::build(
+                "Paris",
+                profile_for(8),
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        ),
+    });
+    let package = match built {
+        EngineResponse::Command { response } => response.package().unwrap().clone(),
+        other => panic!("expected Command, got {}", other.kind()),
+    };
+    let victim = package.get(0).unwrap().poi_ids()[0];
+    dispatch_and_roundtrip(EngineRequest::CommandBatch {
+        requests: vec![
+            CommandRequest::from_member(
+                600,
+                1,
+                SessionCommand::Customize(CustomizationOp::Remove {
+                    ci_index: 0,
+                    poi: victim,
+                }),
+            ),
+            CommandRequest::new(
+                600,
+                SessionCommand::SuggestReplacement {
+                    ci_index: 1,
+                    poi: package.get(1).unwrap().poi_ids()[0],
+                },
+            ),
+            CommandRequest::new(600, SessionCommand::Refine(RefinementStrategy::Batch)),
+        ],
+    });
+
+    let exported = dispatch_and_roundtrip(EngineRequest::ExportSession { session_id: 600 });
+    let snapshot = match exported {
+        EngineResponse::Session { outcome } => outcome.unwrap(),
+        other => panic!("expected Session, got {}", other.kind()),
+    };
+    dispatch_and_roundtrip(EngineRequest::Command {
+        request: CommandRequest::new(600, SessionCommand::End),
+    });
+    let imported = dispatch_and_roundtrip(EngineRequest::ImportSession { snapshot });
+    match imported {
+        EngineResponse::Imported { outcome } => {
+            let info = outcome.unwrap();
+            assert_eq!(info.session_id, 600);
+            assert_eq!(info.city, "Paris");
+            assert!(!info.replaced, "End freed the slot before the import");
+        }
+        other => panic!("expected Imported, got {}", other.kind()),
+    }
+
+    let missing = dispatch_and_roundtrip(EngineRequest::ExportSession { session_id: 9999 });
+    match missing {
+        EngineResponse::Session { outcome } => {
+            assert_eq!(outcome.unwrap_err(), EngineError::UnknownSession(9999));
+        }
+        other => panic!("expected Session, got {}", other.kind()),
+    }
+
+    // A city the shared engine does not serve elsewhere (see the JSON
+    // suite for why replacing Paris mid-run would be a race).
+    let registered = dispatch_and_roundtrip(EngineRequest::RegisterCatalog {
+        catalog: Box::new(
+            SyntheticCityGenerator::new(CitySpec::barcelona(), SyntheticCityConfig::small(23))
+                .generate(),
+        ),
+    });
+    match registered {
+        EngineResponse::Registered { outcome } => {
+            let info = outcome.unwrap();
+            assert_eq!(info.city, "Barcelona");
+        }
+        other => panic!("expected Registered, got {}", other.kind()),
+    }
+
+    dispatch_and_roundtrip(EngineRequest::Stats);
+
+    let traced = dispatch_and_roundtrip(EngineRequest::Trace {
+        request: Box::new(EngineRequest::Build {
+            request: Box::new(package_request(505, 9, 4, None)),
+        }),
+    });
+    match traced {
+        EngineResponse::Traced { response, trace } => {
+            assert!(
+                matches!(*response, EngineResponse::Package { ref response } if response.outcome.is_ok())
+            );
+            assert!(
+                trace.stages.iter().any(|s| s.stage == "dispatch.build"),
+                "trace must include the dispatch stage, got {:?}",
+                trace.stages
+            );
+        }
+        other => panic!("expected Traced, got {}", other.kind()),
+    }
+
+    let error = EngineResponse::Error {
+        error: ProtocolError::unsupported_version(99),
+    };
+    assert_eq!(roundtrip_response(&error), error);
+}
+
+#[test]
+fn envelopes_roundtrip_and_version_is_enforced() {
+    let envelope = RequestEnvelope::new(EngineRequest::Stats);
+    let frame = binary::encode(&envelope);
+    let back: RequestEnvelope = binary::decode(&frame).unwrap();
+    assert_eq!(back, envelope);
+
+    let answered = engine().dispatch_envelope(back);
+    assert_eq!(answered.v, PROTOCOL_VERSION);
+    assert!(matches!(answered.response, EngineResponse::Stats { .. }));
+    let frame = binary::encode(&answered);
+    let back: ResponseEnvelope = binary::decode(&frame).unwrap();
+    assert_eq!(back, answered);
+
+    // A wrong protocol (envelope) version never reaches dispatch.
+    let rejected = engine().dispatch_envelope(RequestEnvelope {
+        v: PROTOCOL_VERSION + 1,
+        request: EngineRequest::Stats,
+    });
+    let error = rejected
+        .response
+        .protocol_error()
+        .expect("wrong versions are protocol errors");
+    assert_eq!(error.code, ProtocolError::UNSUPPORTED_VERSION);
+}
+
+#[test]
+fn truncation_at_every_byte_of_a_real_envelope_is_a_typed_error() {
+    // Exhaustive (not sampled) truncation sweep over a small real envelope.
+    let frame = binary::encode(&RequestEnvelope::new(EngineRequest::Command {
+        request: CommandRequest::new(
+            7,
+            SessionCommand::SuggestReplacement {
+                ci_index: 3,
+                poi: PoiId(12345),
+            },
+        ),
+    }));
+    for cut in 0..frame.len() {
+        let err = binary::decode::<RequestEnvelope>(&frame[..cut])
+            .expect_err("every truncation must fail");
+        let _ = err.to_string();
+    }
+    assert!(binary::decode::<RequestEnvelope>(&frame).is_ok());
+}
+
+#[test]
+fn unknown_frame_versions_are_typed_errors() {
+    let mut frame = binary::encode(&RequestEnvelope::new(EngineRequest::Stats));
+    for bad_version in [0u8, 2, 7, 255] {
+        frame[4] = bad_version;
+        assert_eq!(
+            binary::decode::<RequestEnvelope>(&frame),
+            Err(BinError::UnsupportedVersion(bad_version))
+        );
+    }
+}
+
+#[test]
+fn binary_frames_are_smaller_than_json_for_real_envelopes() {
+    // Not a wire guarantee, but the point of the format: a real build
+    // envelope (float-heavy profile vectors) must shrink.
+    let envelope = RequestEnvelope::new(EngineRequest::Build {
+        request: Box::new(package_request(1, 1, 5, Some(400.0))),
+    });
+    let json = serde_json::to_string(&envelope).unwrap();
+    let frame = binary::encode(&envelope);
+    assert!(
+        frame.len() < json.len(),
+        "binary {} bytes vs JSON {} bytes",
+        frame.len(),
+        json.len()
+    );
+}

@@ -368,7 +368,7 @@ pub fn reason(status: u16) -> &'static str {
 /// events. `close` adds `Connection: close` (the server's keep-alive
 /// decision, echoed to the client).
 #[must_use]
-pub fn encode_response(status: u16, content_type: &str, body: &str, close: bool) -> Vec<u8> {
+pub fn encode_response(status: u16, content_type: &str, body: &[u8], close: bool) -> Vec<u8> {
     let connection = if close { "Connection: close\r\n" } else { "" };
     let mut out = Vec::with_capacity(body.len() + 128);
     let _ = write!(
@@ -377,7 +377,7 @@ pub fn encode_response(status: u16, content_type: &str, body: &str, close: bool)
         reason(status),
         body.len(),
     );
-    out.extend_from_slice(body.as_bytes());
+    out.extend_from_slice(body);
     out
 }
 
@@ -390,7 +390,7 @@ pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     content_type: &str,
-    body: &str,
+    body: &[u8],
     close: bool,
 ) -> io::Result<()> {
     stream.write_all(&encode_response(status, content_type, body, close))?;
@@ -404,7 +404,7 @@ pub fn write_response(
 pub fn write_json_response(
     stream: &mut impl Write,
     status: u16,
-    body: &str,
+    body: &[u8],
     close: bool,
 ) -> io::Result<()> {
     write_response(stream, status, "application/json", body, close)
@@ -582,7 +582,7 @@ mod tests {
     #[test]
     fn responses_have_the_expected_shape() {
         let mut out = Vec::new();
-        write_json_response(&mut out, 200, "{}", true).unwrap();
+        write_json_response(&mut out, 200, b"{}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Type: application/json\r\n"));

@@ -56,6 +56,7 @@ pub mod http;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 
+use grouptravel_engine::binary::{self, BinError, BINARY_CONTENT_TYPE};
 use grouptravel_engine::{
     Engine, EngineRequest, EngineResponse, ProtocolError, RequestEnvelope, ResponseEnvelope,
     PROTOCOL_VERSION,
@@ -134,6 +135,93 @@ impl Default for ServerConfig {
     }
 }
 
+/// A wire encoding of the engine protocol: JSON (the default and the
+/// compatibility baseline) or `GTBF1` binary frames
+/// ([`grouptravel_engine::binary`]). Negotiated per request on
+/// `POST /v1/engine`: the request body's encoding follows `Content-Type`,
+/// the response's follows `Accept` (falling back to mirroring the request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// `application/json` — text envelopes, bit-stable across releases.
+    #[default]
+    Json,
+    /// `application/x-gtbf` — versioned `GTBF1` binary frames.
+    Binary,
+}
+
+impl WireFormat {
+    /// The HTTP content type that selects this encoding.
+    #[must_use]
+    pub fn content_type(self) -> &'static str {
+        match self {
+            WireFormat::Json => "application/json",
+            WireFormat::Binary => BINARY_CONTENT_TYPE,
+        }
+    }
+
+    /// The metric label value (`format="…"`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        FORMAT_LABELS[self.index()]
+    }
+
+    fn index(self) -> usize {
+        match self {
+            WireFormat::Json => 0,
+            WireFormat::Binary => 1,
+        }
+    }
+}
+
+/// The `format` label values, aligned with [`WireFormat::index`].
+const FORMAT_LABELS: [&str; 2] = ["json", "binary"];
+
+/// The `dir` label values of `gt_http_bytes_total`.
+const DIR_LABELS: [&str; 2] = ["in", "out"];
+
+/// The wire format of a request body: binary iff `Content-Type` says so,
+/// JSON otherwise (including when the header is absent).
+fn request_wire_format(request: &http::Request) -> WireFormat {
+    match request.header("content-type") {
+        Some(value) if value.contains(BINARY_CONTENT_TYPE) => WireFormat::Binary,
+        _ => WireFormat::Json,
+    }
+}
+
+/// The wire format of a response: whatever `Accept` asks for, else the
+/// request's own format (a binary caller gets a binary answer without
+/// sending `Accept`).
+fn response_wire_format(request: &http::Request, request_format: WireFormat) -> WireFormat {
+    match request.header("accept") {
+        Some(value) if value.contains(BINARY_CONTENT_TYPE) => WireFormat::Binary,
+        Some(value) if value.contains("application/json") => WireFormat::Json,
+        _ => request_format,
+    }
+}
+
+/// What [`route`] decided about one request: the status line and content
+/// type to send, plus the negotiated formats the metrics are labeled by.
+/// The response body itself lands in the caller-provided buffer.
+struct Routed {
+    status: u16,
+    content_type: &'static str,
+    request_format: WireFormat,
+    response_format: WireFormat,
+}
+
+impl Routed {
+    /// A JSON-in/JSON-out routing outcome (every route except the
+    /// negotiated `/v1/engine`).
+    fn json(status: u16, content_type: &'static str) -> Self {
+        Self {
+            status,
+            content_type,
+            request_format: WireFormat::Json,
+            response_format: WireFormat::Json,
+        }
+    }
+}
+
 /// The route labels `gt_http_request_seconds` is partitioned by. Unknown
 /// paths collapse onto `"other"` so scrapes cannot be label-bombed.
 const ROUTE_LABELS: [&str; 6] = [
@@ -159,8 +247,15 @@ fn route_label(path: &str) -> &'static str {
 /// The HTTP layer's own series, registered into the engine's metric
 /// registry at startup so one `GET /metrics` scrape covers the process.
 struct ServerMetrics {
-    /// Per-route request latency, aligned with [`ROUTE_LABELS`].
-    routes: [Arc<Histogram>; ROUTE_LABELS.len()],
+    /// Per-(route, response format) request latency, aligned with
+    /// [`ROUTE_LABELS`] × [`FORMAT_LABELS`].
+    routes: [[Arc<Histogram>; FORMAT_LABELS.len()]; ROUTE_LABELS.len()],
+    /// Payload bytes by direction and wire format, aligned with
+    /// [`DIR_LABELS`] × [`FORMAT_LABELS`]: `in` counts request bodies by
+    /// the request's format, `out` counts response bodies by the
+    /// response's. Only routed requests count — a request the parser
+    /// rejected never had a negotiated format.
+    bytes: [[Arc<Counter>; FORMAT_LABELS.len()]; DIR_LABELS.len()],
     /// Connections accepted.
     connections: Arc<Counter>,
     /// Extra requests served on an already-open connection (keep-alive
@@ -172,15 +267,27 @@ struct ServerMetrics {
 
 impl ServerMetrics {
     fn new(registry: &MetricsRegistry) -> Self {
-        let routes = ROUTE_LABELS.map(|label| {
-            registry.histogram(
-                "gt_http_request_seconds",
-                "HTTP request latency by route.",
-                &[("route", label)],
-            )
+        let routes = ROUTE_LABELS.map(|route| {
+            FORMAT_LABELS.map(|format| {
+                registry.histogram(
+                    "gt_http_request_seconds",
+                    "HTTP request latency by route and response wire format.",
+                    &[("route", route), ("format", format)],
+                )
+            })
+        });
+        let bytes = DIR_LABELS.map(|dir| {
+            FORMAT_LABELS.map(|format| {
+                registry.counter(
+                    "gt_http_bytes_total",
+                    "HTTP payload bytes by direction and wire format.",
+                    &[("dir", dir), ("format", format)],
+                )
+            })
         });
         Self {
             routes,
+            bytes,
             connections: registry.counter(
                 "gt_http_connections_total",
                 "TCP connections accepted.",
@@ -199,13 +306,26 @@ impl ServerMetrics {
         }
     }
 
-    fn for_path(&self, path: &str) -> &Histogram {
+    /// Records one routed request: latency under the response format,
+    /// request bytes under the request format, response bytes under the
+    /// response format. Both backends call exactly this, so the series
+    /// cannot diverge.
+    fn record(
+        &self,
+        path: &str,
+        routed: &Routed,
+        request_bytes: usize,
+        response_bytes: usize,
+        elapsed: Duration,
+    ) {
         let label = route_label(path);
-        let index = ROUTE_LABELS
+        let route = ROUTE_LABELS
             .iter()
             .position(|&l| l == label)
             .expect("route_label returns a known label");
-        &self.routes[index]
+        self.routes[route][routed.response_format.index()].record_duration(elapsed);
+        self.bytes[0][routed.request_format.index()].add(request_bytes as u64);
+        self.bytes[1][routed.response_format.index()].add(response_bytes as u64);
     }
 }
 
@@ -382,6 +502,10 @@ fn serve_connection(
     };
     let mut reader = BufReader::new(stream);
     let mut parser = RequestParser::new(config.max_body_bytes);
+    // One response-body buffer for the connection's lifetime: `route`
+    // serializes into it in place, so steady-state keep-alive traffic
+    // allocates no per-request body.
+    let mut body = Vec::new();
     let mut served: u64 = 0;
     loop {
         match http::read_request_with(&mut parser, &mut reader) {
@@ -394,11 +518,23 @@ fn serve_connection(
                 let close =
                     request.wants_close() || (parser.buffered() == 0 && reader.buffer().is_empty());
                 let start = std::time::Instant::now();
-                let (status, content_type, body) = route(engine, &request);
-                metrics
-                    .for_path(request.route_path())
-                    .record_duration(start.elapsed());
-                if http::write_response(&mut writer, status, content_type, &body, close).is_err() {
+                let routed = route(engine, &request, &mut body);
+                metrics.record(
+                    request.route_path(),
+                    &routed,
+                    request.body.len(),
+                    body.len(),
+                    start.elapsed(),
+                );
+                if http::write_response(
+                    &mut writer,
+                    routed.status,
+                    routed.content_type,
+                    &body,
+                    close,
+                )
+                .is_err()
+                {
                     return;
                 }
                 if close {
@@ -434,43 +570,73 @@ fn serve_connection(
     }
 }
 
-/// Renders a protocol error as a wire response envelope.
-fn error_body(error: ProtocolError) -> String {
-    serde_json::to_string(&ResponseEnvelope::new(EngineResponse::Error { error }))
+/// Renders a protocol error as a JSON wire response envelope — for
+/// transport-level failures (malformed HTTP framing, oversized bodies)
+/// that happen *before* content-type negotiation could run.
+fn error_body(error: ProtocolError) -> Vec<u8> {
+    serde_json::to_vec(&ResponseEnvelope::new(EngineResponse::Error { error }))
         .expect("response envelopes always serialize")
 }
 
-/// Routes one parsed request to `(status, content type, body)`. Both
+/// Serializes a response envelope into `body` in the negotiated format.
+fn write_envelope(format: WireFormat, envelope: &ResponseEnvelope, body: &mut Vec<u8>) {
+    match format {
+        WireFormat::Json => {
+            serde_json::to_writer(body, envelope).expect("response envelopes always serialize")
+        }
+        WireFormat::Binary => binary::encode_into(envelope, body),
+    }
+}
+
+/// Decodes a request envelope from a raw body in the request's format.
+/// Binary failures map onto the protocol's stable error codes: an
+/// unsupported *frame* version is `UNSUPPORTED_VERSION`, every other
+/// decode failure is `MALFORMED_REQUEST` — same taxonomy as JSON.
+fn decode_envelope(format: WireFormat, body: &[u8]) -> Result<RequestEnvelope, ProtocolError> {
+    match format {
+        WireFormat::Json => serde_json::from_slice(body).map_err(|e| {
+            ProtocolError::new(
+                ProtocolError::MALFORMED_REQUEST,
+                format!("body is not a request envelope: {e}"),
+            )
+        }),
+        WireFormat::Binary => binary::decode(body).map_err(|e| match e {
+            BinError::UnsupportedVersion(v) => ProtocolError::new(
+                ProtocolError::UNSUPPORTED_VERSION,
+                format!("unsupported GTBF frame version {v}"),
+            ),
+            other => ProtocolError::new(
+                ProtocolError::MALFORMED_REQUEST,
+                format!("body is not a GTBF request envelope: {other}"),
+            ),
+        }),
+    }
+}
+
+/// Routes one parsed request, serializing the response body into `body`
+/// (cleared first; callers reuse the buffer across requests). Both
 /// backends call exactly this, so they cannot diverge. Query strings do
 /// not participate in matching: `/healthz?probe=1` is `/healthz`.
-fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String) {
+fn route(engine: &Engine, request: &http::Request, body: &mut Vec<u8>) -> Routed {
+    use std::io::Write;
     const JSON: &str = "application/json";
+    body.clear();
     match (request.method.as_str(), request.route_path()) {
         ("POST", "/v1/engine") => {
-            let body = match std::str::from_utf8(&request.body) {
-                Ok(text) => text,
-                Err(_) => {
-                    return (
-                        400,
-                        JSON,
-                        error_body(ProtocolError::new(
-                            ProtocolError::MALFORMED_REQUEST,
-                            "request body is not UTF-8",
-                        )),
-                    )
-                }
+            let request_format = request_wire_format(request);
+            let response_format = response_wire_format(request, request_format);
+            let routed = |status| Routed {
+                status,
+                content_type: response_format.content_type(),
+                request_format,
+                response_format,
             };
-            let envelope: RequestEnvelope = match serde_json::from_str(body) {
+            let envelope = match decode_envelope(request_format, &request.body) {
                 Ok(envelope) => envelope,
-                Err(e) => {
-                    return (
-                        400,
-                        JSON,
-                        error_body(ProtocolError::new(
-                            ProtocolError::MALFORMED_REQUEST,
-                            format!("body is not a request envelope: {e}"),
-                        )),
-                    )
+                Err(error) => {
+                    let rejection = ResponseEnvelope::new(EngineResponse::Error { error });
+                    write_envelope(response_format, &rejection, body);
+                    return routed(400);
                 }
             };
             let response = engine.dispatch_envelope(envelope);
@@ -481,58 +647,52 @@ fn route(engine: &Engine, request: &http::Request) -> (u16, &'static str, String
                 Some(_) => 400,
                 None => 200,
             };
-            (
-                status,
-                JSON,
-                serde_json::to_string(&response).expect("response envelopes always serialize"),
-            )
+            write_envelope(response_format, &response, body);
+            routed(status)
         }
         ("GET", "/stats") => {
             let response = engine.dispatch(EngineRequest::Stats);
-            (
-                200,
-                JSON,
-                serde_json::to_string(&ResponseEnvelope::new(response))
-                    .expect("response envelopes always serialize"),
-            )
+            serde_json::to_writer(body, &ResponseEnvelope::new(response))
+                .expect("response envelopes always serialize");
+            Routed::json(200, JSON)
         }
-        ("GET", "/metrics") => (
-            200,
-            PROMETHEUS_CONTENT_TYPE,
-            engine.metrics_registry().render_prometheus(),
-        ),
-        ("GET", "/slowlog") => (200, "application/x-ndjson", engine.slow_log().json_lines()),
-        ("GET", "/healthz") => (
-            200,
-            JSON,
-            format!(
+        ("GET", "/metrics") => {
+            body.extend_from_slice(engine.metrics_registry().render_prometheus().as_bytes());
+            Routed::json(200, PROMETHEUS_CONTENT_TYPE)
+        }
+        ("GET", "/slowlog") => {
+            body.extend_from_slice(engine.slow_log().json_lines().as_bytes());
+            Routed::json(200, "application/x-ndjson")
+        }
+        ("GET", "/healthz") => {
+            let _ = write!(
+                body,
                 "{{\"status\":\"ok\",\"version\":\"{}\",\"protocol\":{PROTOCOL_VERSION},\
                  \"worker_threads\":{},\"train_threads\":{}}}",
                 env!("CARGO_PKG_VERSION"),
                 engine.worker_threads(),
                 engine.train_threads(),
-            ),
-        ),
-        (_, "/v1/engine" | "/stats" | "/metrics" | "/slowlog" | "/healthz") => (
-            405,
-            JSON,
-            error_body(ProtocolError::new(
+            );
+            Routed::json(200, JSON)
+        }
+        (_, "/v1/engine" | "/stats" | "/metrics" | "/slowlog" | "/healthz") => {
+            body.extend_from_slice(&error_body(ProtocolError::new(
                 ProtocolError::METHOD_NOT_ALLOWED,
                 format!(
                     "{} is not valid for {}",
                     request.method,
                     request.route_path()
                 ),
-            )),
-        ),
-        (_, path) => (
-            404,
-            JSON,
-            error_body(ProtocolError::new(
+            )));
+            Routed::json(405, JSON)
+        }
+        (_, path) => {
+            body.extend_from_slice(&error_body(ProtocolError::new(
                 ProtocolError::NOT_FOUND,
                 format!("no route for `{path}`"),
-            )),
-        ),
+            )));
+            Routed::json(404, JSON)
+        }
     }
 }
 
@@ -542,9 +702,11 @@ pub mod client {
     //! bench, and the examples to drive a real server over real sockets
     //! without external crates.
 
+    use crate::WireFormat;
+    use grouptravel_engine::binary::{self, BINARY_CONTENT_TYPE};
     use grouptravel_engine::{
-        CommandRequest, CommandResponse, EngineRequest, EngineResponse, PackageRequest,
-        PackageResponse, RequestEnvelope, ResponseEnvelope,
+        CommandRequest, CommandResponse, EngineRequest, EngineResponse, GroupProfile,
+        PackageRequest, PackageResponse, RequestEnvelope, ResponseEnvelope, PROTOCOL_VERSION,
     };
     use std::io::{BufRead, BufReader, Read, Write};
     use std::net::{SocketAddr, TcpStream};
@@ -565,10 +727,32 @@ pub mod client {
     /// retired and the request retried once on a fresh connection —
     /// retried only when *zero* response bytes had arrived, so a request
     /// is never silently executed twice.
+    ///
+    /// The typed paths ([`EngineClient::request`], `build_batch`,
+    /// `pipeline`) speak the pool's [`WireFormat`] — JSON by default,
+    /// `GTBF1` via [`EngineClient::with_wire_format`] — and send the
+    /// matching `Content-Type`/`Accept` pair. The raw
+    /// [`EngineClient::http`] escape hatch always speaks JSON strings.
     #[derive(Debug, Clone)]
     pub struct EngineClient {
         addr: SocketAddr,
         pool: Arc<Pool>,
+        wire_format: WireFormat,
+        /// Last-profile intern cache (shared by clones): repeated builds
+        /// for the same group reuse the profile's rendered JSON and GTBF
+        /// fragments instead of re-serializing the float-heavy vectors.
+        interned: Arc<Mutex<Option<InternedProfile>>>,
+    }
+
+    /// One profile with both wire renderings cached.
+    #[derive(Debug)]
+    struct InternedProfile {
+        profile: GroupProfile,
+        /// The profile as a JSON fragment (exactly what the derive path
+        /// emits for the `profile` field).
+        json: Vec<u8>,
+        /// The profile as a GTBF value fragment (no frame header).
+        gtbf: Vec<u8>,
     }
 
     #[derive(Debug)]
@@ -611,7 +795,8 @@ pub mod client {
     /// One decoded HTTP response plus whether the connection survives it.
     struct Exchange {
         status: u16,
-        body: String,
+        content_type: Option<String>,
+        body: Vec<u8>,
         /// The connection, when it is safe to reuse (`Content-Length`
         /// framing, no `Connection: close` from the server).
         conn: Option<TcpStream>,
@@ -626,15 +811,29 @@ pub mod client {
     }
 
     impl EngineClient {
-        /// A client for the server at `addr`.
+        /// A JSON-speaking client for the server at `addr`.
         #[must_use]
         pub fn new(addr: SocketAddr) -> Self {
+            Self::with_wire_format(addr, WireFormat::Json)
+        }
+
+        /// A client whose typed paths speak `format` on the wire.
+        #[must_use]
+        pub fn with_wire_format(addr: SocketAddr, format: WireFormat) -> Self {
             Self {
                 addr,
                 pool: Arc::new(Pool {
                     idle: Mutex::new(Vec::new()),
                 }),
+                wire_format: format,
+                interned: Arc::new(Mutex::new(None)),
             }
+        }
+
+        /// The wire format the typed paths speak.
+        #[must_use]
+        pub fn wire_format(&self) -> WireFormat {
+            self.wire_format
         }
 
         /// Sends one protocol request and decodes the response envelope.
@@ -644,12 +843,145 @@ pub mod client {
         /// envelope. Non-2xx statuses are *not* errors: the envelope still
         /// carries the typed answer (e.g. a protocol error).
         pub fn request(&self, request: EngineRequest) -> Result<EngineResponse, ClientError> {
-            let body = serde_json::to_string(&RequestEnvelope::new(request))
-                .map_err(|e| ClientError(e.to_string()))?;
-            let (_, text) = self.http("POST", "/v1/engine", Some(&body))?;
-            let envelope: ResponseEnvelope =
-                serde_json::from_str(&text).map_err(|e| ClientError(e.to_string()))?;
+            let body = self.encode_envelope(request);
+            let exchange = self.exchange_pooled(
+                "POST",
+                "/v1/engine",
+                Some(&body),
+                self.wire_format.content_type(),
+                Some(self.wire_format.content_type()),
+            )?;
+            let envelope = decode_response(exchange.content_type.as_deref(), &exchange.body)?;
             Ok(envelope.response)
+        }
+
+        /// Serializes one request envelope in this client's wire format,
+        /// splicing interned profile fragments into `Build`/`Batch`
+        /// payloads instead of re-serializing them. Byte-identical to
+        /// encoding `RequestEnvelope::new(request)` with the derive path
+        /// (pinned by the binary differential suite).
+        pub fn encode_envelope(&self, request: EngineRequest) -> Vec<u8> {
+            match request {
+                EngineRequest::Build { ref request } => {
+                    self.splice_envelope(false, &[request.as_ref()])
+                }
+                EngineRequest::Batch { ref requests } => {
+                    self.splice_envelope(true, &requests.iter().collect::<Vec<_>>())
+                }
+                other => {
+                    let envelope = RequestEnvelope::new(other);
+                    match self.wire_format {
+                        WireFormat::Json => serde_json::to_vec(&envelope)
+                            .expect("request envelopes always serialize"),
+                        WireFormat::Binary => binary::encode(&envelope),
+                    }
+                }
+            }
+        }
+
+        /// Hand-assembles a `Build`/`Batch` envelope around cached profile
+        /// fragments. Byte-identical to the derive path in both formats
+        /// (pinned by the binary differential suite).
+        fn splice_envelope(&self, batch: bool, packages: &[&PackageRequest]) -> Vec<u8> {
+            match self.wire_format {
+                WireFormat::Json => {
+                    let mut out = Vec::with_capacity(1024);
+                    let _ = write!(out, "{{\"v\":{PROTOCOL_VERSION},\"request\":{{");
+                    if batch {
+                        out.extend_from_slice(b"\"Batch\":{\"requests\":[");
+                    } else {
+                        out.extend_from_slice(b"\"Build\":{\"request\":");
+                    }
+                    for (i, package) in packages.iter().enumerate() {
+                        if i > 0 {
+                            out.push(b',');
+                        }
+                        self.write_package_json(package, &mut out);
+                    }
+                    if batch {
+                        out.extend_from_slice(b"]}}}");
+                    } else {
+                        out.extend_from_slice(b"}}}");
+                    }
+                    out
+                }
+                WireFormat::Binary => {
+                    let mut payload = Vec::with_capacity(1024);
+                    binary::write_object_header(&mut payload, 2);
+                    binary::write_name(&mut payload, "v");
+                    binary::write_uint(&mut payload, u64::from(PROTOCOL_VERSION));
+                    binary::write_name(&mut payload, "request");
+                    binary::write_object_header(&mut payload, 1);
+                    if batch {
+                        binary::write_name(&mut payload, "Batch");
+                        binary::write_object_header(&mut payload, 1);
+                        binary::write_name(&mut payload, "requests");
+                        binary::write_array_header(&mut payload, packages.len());
+                    } else {
+                        binary::write_name(&mut payload, "Build");
+                        binary::write_object_header(&mut payload, 1);
+                        binary::write_name(&mut payload, "request");
+                    }
+                    for package in packages {
+                        self.write_package_gtbf(package, &mut payload);
+                    }
+                    binary::frame(&payload)
+                }
+            }
+        }
+
+        fn write_package_json(&self, package: &PackageRequest, out: &mut Vec<u8>) {
+            let _ = write!(out, "{{\"session_id\":{},\"city\":", package.session_id);
+            serde_json::to_writer(out, &package.city).expect("strings serialize");
+            out.extend_from_slice(b",\"profile\":");
+            {
+                let interned = self.intern(&package.profile);
+                let cached = interned.as_ref().expect("intern populates the slot");
+                out.extend_from_slice(&cached.json);
+            }
+            out.extend_from_slice(b",\"query\":");
+            serde_json::to_writer(out, &package.query).expect("queries serialize");
+            out.extend_from_slice(b",\"config\":");
+            serde_json::to_writer(out, &package.config).expect("configs serialize");
+            out.push(b'}');
+        }
+
+        fn write_package_gtbf(&self, package: &PackageRequest, out: &mut Vec<u8>) {
+            binary::write_object_header(out, 5);
+            binary::write_name(out, "session_id");
+            binary::write_uint(out, package.session_id);
+            binary::write_name(out, "city");
+            binary::write_str(out, &package.city);
+            binary::write_name(out, "profile");
+            {
+                let interned = self.intern(&package.profile);
+                let cached = interned.as_ref().expect("intern populates the slot");
+                out.extend_from_slice(&cached.gtbf);
+            }
+            binary::write_name(out, "query");
+            binary::encode_payload_into(&package.query, out);
+            binary::write_name(out, "config");
+            binary::encode_payload_into(&package.config, out);
+        }
+
+        /// Returns the intern slot, (re)populated for `profile` on a miss.
+        fn intern(
+            &self,
+            profile: &GroupProfile,
+        ) -> std::sync::MutexGuard<'_, Option<InternedProfile>> {
+            let mut slot = self.interned.lock().expect("intern cache poisoned");
+            let hit = matches!(&*slot, Some(cached) if cached.profile == *profile);
+            if !hit {
+                let json = serde_json::to_vec(profile).expect("profiles serialize");
+                let mut gtbf = Vec::new();
+                binary::encode_payload_into(profile, &mut gtbf);
+                *slot = Some(InternedProfile {
+                    profile: profile.clone(),
+                    json,
+                    gtbf,
+                });
+            }
+            slot
         }
 
         /// Builds a batch of packages in one round trip
@@ -713,15 +1045,17 @@ pub mod client {
             if requests.is_empty() {
                 return Ok(Vec::new());
             }
+            let content_type = self.wire_format.content_type();
             let mut payload = Vec::new();
             for request in requests {
-                let body = serde_json::to_string(&RequestEnvelope::new(request.clone()))
-                    .map_err(|e| ClientError(e.to_string()))?;
+                let body = self.encode_envelope(request.clone());
                 payload.extend_from_slice(&frame_request(
                     "POST",
                     "/v1/engine",
                     self.addr,
                     Some(&body),
+                    content_type,
+                    Some(content_type),
                 ));
             }
             let mut stream = match self.pool.checkout() {
@@ -740,8 +1074,7 @@ pub mod client {
             let mut reusable = true;
             for _ in requests {
                 let response = read_response(&mut reader).map_err(|e| e.error)?;
-                let envelope: ResponseEnvelope =
-                    serde_json::from_str(&response.body).map_err(|e| ClientError(e.to_string()))?;
+                let envelope = decode_response(response.content_type.as_deref(), &response.body)?;
                 responses.push(envelope.response);
                 if response.close || !response.framed {
                     reusable = false;
@@ -753,25 +1086,51 @@ pub mod client {
             Ok(responses)
         }
 
-        /// One raw HTTP exchange: `(status, body)`. Uses a pooled
+        /// One raw JSON HTTP exchange: `(status, body)`. The escape hatch
+        /// for tests and tools that speak envelope JSON by hand; the
+        /// pool's wire format does not apply here. Uses a pooled
         /// keep-alive connection when one is idle; checks it back in when
         /// the response allows reuse.
         ///
         /// # Errors
-        /// Fails on connect/transport errors or a malformed response head.
+        /// Fails on connect/transport errors, a malformed response head,
+        /// or a non-UTF-8 body.
         pub fn http(
             &self,
             method: &str,
             path: &str,
             body: Option<&str>,
         ) -> Result<(u16, String), ClientError> {
+            let exchange = self.exchange_pooled(
+                method,
+                path,
+                body.map(str::as_bytes),
+                "application/json",
+                None,
+            )?;
+            let body = String::from_utf8(exchange.body)
+                .map_err(|_| ClientError("non-UTF-8 body".to_string()))?;
+            Ok((exchange.status, body))
+        }
+
+        /// One exchange over a pooled connection, retrying once on a
+        /// fresh connection when the pooled one died before any response
+        /// byte arrived.
+        fn exchange_pooled(
+            &self,
+            method: &str,
+            path: &str,
+            body: Option<&[u8]>,
+            content_type: &str,
+            accept: Option<&str>,
+        ) -> Result<Exchange, ClientError> {
             if let Some(stream) = self.pool.checkout() {
-                match Self::exchange(stream, self.addr, method, path, body) {
-                    Ok(exchange) => {
-                        if let Some(conn) = exchange.conn {
+                match Self::exchange(stream, self.addr, method, path, body, content_type, accept) {
+                    Ok(mut exchange) => {
+                        if let Some(conn) = exchange.conn.take() {
                             self.pool.checkin(conn);
                         }
-                        return Ok((exchange.status, exchange.body));
+                        return Ok(exchange);
                     }
                     Err(e) if e.retryable => {
                         // The pooled connection had been closed server-side
@@ -781,12 +1140,12 @@ pub mod client {
                 }
             }
             let stream = self.connect()?;
-            match Self::exchange(stream, self.addr, method, path, body) {
-                Ok(exchange) => {
-                    if let Some(conn) = exchange.conn {
+            match Self::exchange(stream, self.addr, method, path, body, content_type, accept) {
+                Ok(mut exchange) => {
+                    if let Some(conn) = exchange.conn.take() {
                         self.pool.checkin(conn);
                     }
-                    Ok((exchange.status, exchange.body))
+                    Ok(exchange)
                 }
                 Err(e) => Err(e.error),
             }
@@ -805,9 +1164,11 @@ pub mod client {
             addr: SocketAddr,
             method: &str,
             path: &str,
-            body: Option<&str>,
+            body: Option<&[u8]>,
+            content_type: &str,
+            accept: Option<&str>,
         ) -> Result<Exchange, ExchangeError> {
-            let frame = frame_request(method, path, addr, body);
+            let frame = frame_request(method, path, addr, body, content_type, accept);
             if let Err(e) = stream.write_all(&frame).and_then(|()| stream.flush()) {
                 // Nothing read yet: the peer cannot have answered.
                 return Err(ExchangeError {
@@ -819,31 +1180,58 @@ pub mod client {
             let response = read_response(&mut reader)?;
             Ok(Exchange {
                 status: response.status,
+                content_type: response.content_type,
                 body: response.body,
                 conn: (!response.close && response.framed).then(|| reader.into_inner()),
             })
         }
     }
 
+    /// Decodes a response envelope by its `Content-Type`: `GTBF1` when the
+    /// server answered binary, JSON otherwise.
+    fn decode_response(
+        content_type: Option<&str>,
+        body: &[u8],
+    ) -> Result<ResponseEnvelope, ClientError> {
+        if content_type.is_some_and(|ct| ct.contains(BINARY_CONTENT_TYPE)) {
+            binary::decode(body).map_err(|e| ClientError(e.to_string()))
+        } else {
+            serde_json::from_slice(body).map_err(|e| ClientError(e.to_string()))
+        }
+    }
+
     /// Renders one request frame. Keep-alive by default (no
     /// `Connection: close`): connection reuse is the whole point of the
     /// pool, and the server reaps idle sockets on its own timeout.
-    fn frame_request(method: &str, path: &str, addr: SocketAddr, body: Option<&str>) -> Vec<u8> {
-        let body = body.unwrap_or("");
-        let mut frame = Vec::with_capacity(body.len() + 128);
+    fn frame_request(
+        method: &str,
+        path: &str,
+        addr: SocketAddr,
+        body: Option<&[u8]>,
+        content_type: &str,
+        accept: Option<&str>,
+    ) -> Vec<u8> {
+        let body = body.unwrap_or(b"");
+        let mut frame = Vec::with_capacity(body.len() + 160);
         let _ = write!(
             frame,
             "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n\
-             Content-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+             Content-Type: {content_type}\r\nContent-Length: {}\r\n",
             body.len(),
         );
+        if let Some(accept) = accept {
+            let _ = write!(frame, "Accept: {accept}\r\n");
+        }
+        frame.extend_from_slice(b"\r\n");
+        frame.extend_from_slice(body);
         frame
     }
 
     /// One decoded response off a buffered reader.
     struct RawResponse {
         status: u16,
-        body: String,
+        content_type: Option<String>,
+        body: Vec<u8>,
         /// Server asked to close (`Connection: close`).
         close: bool,
         /// Body was `Content-Length`-framed (reuse-safe). When false the
@@ -881,6 +1269,7 @@ pub mod client {
             .ok_or_else(|| fatal(format!("bad status line `{status_line}`")))?;
 
         let mut content_length: Option<usize> = None;
+        let mut content_type: Option<String> = None;
         let mut close = false;
         loop {
             let mut line = String::new();
@@ -895,6 +1284,8 @@ pub mod client {
                 let name = name.trim();
                 if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("content-type") {
+                    content_type = Some(value.trim().to_string());
                 } else if name.eq_ignore_ascii_case("connection") {
                     close = value
                         .split(',')
@@ -926,9 +1317,9 @@ pub mod client {
                 buf
             }
         };
-        let body = String::from_utf8(body).map_err(|_| fatal("non-UTF-8 body".to_string()))?;
         Ok(RawResponse {
             status,
+            content_type,
             body,
             close,
             framed,
@@ -1012,7 +1403,9 @@ mod tests {
         let (_, scrape) = client.http("GET", "/metrics", None).unwrap();
         let stats_count = scrape
             .lines()
-            .find(|l| l.starts_with("gt_http_request_seconds_count{route=\"/stats\"}"))
+            .find(|l| {
+                l.starts_with("gt_http_request_seconds_count{route=\"/stats\",format=\"json\"}")
+            })
             .and_then(|l| l.rsplit(' ').next())
             .and_then(|v| v.parse::<f64>().ok())
             .expect("stats route series present");

@@ -312,27 +312,36 @@ pub(crate) fn start(
             let metrics = Arc::clone(&metrics);
             let completions = Arc::clone(&completions);
             let waker = Arc::clone(&waker);
-            std::thread::spawn(move || loop {
-                let job = receiver.lock().expect("job queue poisoned").recv();
-                let Ok(Job { token, request }) = job else {
-                    break; // channel closed: reactor is gone.
-                };
-                let close = request.wants_close();
-                let start = Instant::now();
-                let (status, content_type, body) = route(&engine, &request);
-                metrics
-                    .for_path(request.route_path())
-                    .record_duration(start.elapsed());
-                let payload = http::encode_response(status, content_type, &body, close);
-                completions
-                    .lock()
-                    .expect("completion queue poisoned")
-                    .push(Completion {
-                        token,
-                        payload,
-                        close,
-                    });
-                waker.ring();
+            std::thread::spawn(move || {
+                // One response-body buffer per worker, reused across jobs.
+                let mut body = Vec::new();
+                loop {
+                    let job = receiver.lock().expect("job queue poisoned").recv();
+                    let Ok(Job { token, request }) = job else {
+                        break; // channel closed: reactor is gone.
+                    };
+                    let close = request.wants_close();
+                    let start = Instant::now();
+                    let routed = route(&engine, &request, &mut body);
+                    metrics.record(
+                        request.route_path(),
+                        &routed,
+                        request.body.len(),
+                        body.len(),
+                        start.elapsed(),
+                    );
+                    let payload =
+                        http::encode_response(routed.status, routed.content_type, &body, close);
+                    completions
+                        .lock()
+                        .expect("completion queue poisoned")
+                        .push(Completion {
+                            token,
+                            payload,
+                            close,
+                        });
+                    waker.ring();
+                }
             })
         })
         .collect();

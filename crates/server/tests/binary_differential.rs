@@ -1,0 +1,463 @@
+//! Differential suite for the `GTBF1` binary wire format: a scripted
+//! session served over binary frames must be **bit-identical** to the
+//! same script over JSON and to an in-process engine, on both front-end
+//! backends. Also pinned here, over real sockets:
+//!
+//! - the `Content-Type`/`Accept` negotiation matrix (which format the
+//!   response comes back in, for every combination a client can send);
+//! - corrupt and truncated binary bodies answered with *typed* 400
+//!   envelopes in the negotiated format, without desyncing the
+//!   keep-alive connection;
+//! - the client's hand-spliced `Build`/`Batch` envelopes byte-identical
+//!   to the derive-serialized path in both formats (the splice is live
+//!   for every client build, so it must be provably the same bytes).
+
+use grouptravel::prelude::*;
+use grouptravel_engine::binary::{self, BINARY_CONTENT_TYPE};
+use grouptravel_engine::{
+    CommandRequest, Engine, EngineConfig, EngineError, EngineRequest, EngineResponse,
+    PackageRequest, ProtocolError, RequestEnvelope, SessionCommand,
+};
+use grouptravel_server::client::EngineClient;
+use grouptravel_server::{Backend, RunningServer, ServerConfig, WireFormat};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+const BACKENDS: [Backend; 2] = [Backend::Reactor, Backend::Blocking];
+
+fn paris(seed: u64) -> PoiCatalog {
+    SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(seed)).generate()
+}
+
+fn start_server(config: EngineConfig, backend: Backend) -> RunningServer {
+    RunningServer::start(
+        Arc::new(Engine::new(config)),
+        ServerConfig {
+            worker_threads: 4,
+            backend,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port")
+}
+
+fn profile_for(engine: &Engine, seed: u64) -> GroupProfile {
+    let schema = engine.profile_schema("Paris").unwrap();
+    SyntheticGroupGenerator::new(schema, seed)
+        .group(GroupSize::Small, Uniformity::NonUniform)
+        .profile(ConsensusMethod::pairwise_disagreement())
+}
+
+fn package_request(engine: &Engine, session_id: u64, seed: u64) -> PackageRequest {
+    PackageRequest {
+        session_id,
+        city: "Paris".to_string(),
+        profile: profile_for(engine, seed),
+        query: GroupQuery::paper_default(),
+        config: BuildConfig::default(),
+    }
+}
+
+/// Debug-renders an outcome with wall-clock noise removed (same
+/// canonicalization as the JSON differential suite).
+fn canonical(outcome: Result<grouptravel_engine::CommandOutcome, EngineError>) -> String {
+    use grouptravel_engine::CommandOutcome;
+    let outcome = outcome.map(|ok| match ok {
+        CommandOutcome::Ended(mut state) => {
+            state.total_latency = std::time::Duration::ZERO;
+            state.step_latencies.clear();
+            CommandOutcome::Ended(state)
+        }
+        other => other,
+    });
+    format!("{outcome:?}")
+}
+
+fn command_over_http(client: &EngineClient, request: CommandRequest) -> String {
+    match client
+        .request(EngineRequest::Command { request })
+        .expect("transport works")
+    {
+        EngineResponse::Command { response } => canonical(response.outcome),
+        other => panic!("expected Command, got {}", other.kind()),
+    }
+}
+
+fn register(client: &EngineClient) {
+    match client
+        .request(EngineRequest::RegisterCatalog {
+            catalog: Box::new(paris(11)),
+        })
+        .unwrap()
+    {
+        EngineResponse::Registered { outcome } => assert!(outcome.unwrap().lda_trained),
+        other => panic!("expected Registered, got {}", other.kind()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted session: binary ≡ JSON ≡ in-process, on both backends
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scripted_session_over_binary_matches_json_and_in_process() {
+    for backend in BACKENDS {
+        scripted_session_matches(backend);
+    }
+}
+
+fn scripted_session_matches(backend: Backend) {
+    // Three engines with identical catalogs: one served to a binary
+    // client, one to a JSON client, one driven in-process. Each runs the
+    // same script once (commands mutate session state, so the served
+    // engines cannot share).
+    let binary_server = start_server(EngineConfig::fast(), backend);
+    let json_server = start_server(EngineConfig::fast(), backend);
+    let binary_client = EngineClient::with_wire_format(binary_server.addr(), WireFormat::Binary);
+    let json_client = EngineClient::new(json_server.addr());
+    assert_eq!(json_client.wire_format(), WireFormat::Json);
+    register(&binary_client);
+    register(&json_client);
+    let reference = Engine::new(EngineConfig::fast());
+    reference.register_catalog(paris(11)).unwrap();
+
+    let profile = profile_for(&reference, 3);
+    let build = |profile: GroupProfile| {
+        CommandRequest::new(
+            7,
+            SessionCommand::build(
+                "Paris",
+                profile,
+                GroupQuery::paper_default(),
+                BuildConfig::default(),
+            ),
+        )
+    };
+    let ref_build = canonical(reference.serve_command(&build(profile.clone())).outcome);
+    assert_eq!(
+        command_over_http(&binary_client, build(profile.clone())),
+        ref_build,
+        "cold build must match over binary frames"
+    );
+    assert_eq!(
+        command_over_http(&json_client, build(profile.clone())),
+        ref_build,
+        "cold build must match over JSON"
+    );
+
+    let package = reference
+        .sessions()
+        .snapshot(7)
+        .unwrap()
+        .last_package
+        .unwrap();
+    let script = vec![
+        CommandRequest::from_member(
+            7,
+            1,
+            SessionCommand::Customize(CustomizationOp::Remove {
+                ci_index: 0,
+                poi: package.get(0).unwrap().poi_ids()[0],
+            }),
+        ),
+        CommandRequest::new(
+            7,
+            SessionCommand::SuggestReplacement {
+                ci_index: 2,
+                poi: package.get(2).unwrap().poi_ids()[0],
+            },
+        ),
+        CommandRequest::new(7, SessionCommand::Refine(RefinementStrategy::Batch)),
+        CommandRequest::new(
+            7,
+            SessionCommand::rebuild("Paris", GroupQuery::paper_default(), BuildConfig::default()),
+        ),
+        CommandRequest::new(7, SessionCommand::End),
+    ];
+    for request in script {
+        let reference_outcome = canonical(reference.serve_command(&request).outcome);
+        assert_eq!(
+            command_over_http(&binary_client, request.clone()),
+            reference_outcome,
+            "step must be bit-identical over binary frames"
+        );
+        assert_eq!(
+            command_over_http(&json_client, request.clone()),
+            reference_outcome,
+            "step must be bit-identical over JSON"
+        );
+    }
+
+    // Identical model work everywhere: the encoding changed, never the
+    // dispatch effects.
+    let ref_stats = reference.stats();
+    for server in [&binary_server, &json_server] {
+        let stats = server.engine().stats();
+        assert_eq!(stats.fcm_trainings, ref_stats.fcm_trainings);
+        assert_eq!(stats.lda_trainings, ref_stats.lda_trainings);
+    }
+    binary_server.stop();
+    json_server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket plumbing for negotiation and desync tests
+// ---------------------------------------------------------------------------
+
+/// Frames one `POST /v1/engine` with explicit (possibly absent)
+/// `Content-Type`/`Accept` headers.
+fn raw_request(content_type: Option<&str>, accept: Option<&str>, body: &[u8]) -> Vec<u8> {
+    let mut head = format!(
+        "POST /v1/engine HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    if let Some(ct) = content_type {
+        head.push_str(&format!("Content-Type: {ct}\r\n"));
+    }
+    if let Some(accept) = accept {
+        head.push_str(&format!("Accept: {accept}\r\n"));
+    }
+    head.push_str("\r\n");
+    let mut frame = head.into_bytes();
+    frame.extend_from_slice(body);
+    frame
+}
+
+/// Reads one `Content-Length`-framed response off the stream.
+fn read_raw(reader: &mut BufReader<TcpStream>) -> (u16, String, Vec<u8>) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .unwrap();
+    let mut content_type = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            match name.to_ascii_lowercase().as_str() {
+                "content-type" => content_type = value.trim().to_string(),
+                "content-length" => content_length = value.trim().parse().unwrap(),
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).unwrap();
+    (status, content_type, body)
+}
+
+fn decode_stats(format: WireFormat, body: &[u8]) -> grouptravel_engine::EngineStats {
+    let envelope: grouptravel_engine::ResponseEnvelope = match format {
+        WireFormat::Json => serde_json::from_slice(body).expect("JSON response envelope"),
+        WireFormat::Binary => binary::decode(body).expect("GTBF response envelope"),
+    };
+    match envelope.response {
+        EngineResponse::Stats { stats } => stats,
+        other => panic!("expected Stats, got {}", other.kind()),
+    }
+}
+
+fn stats_body(format: WireFormat) -> Vec<u8> {
+    let envelope = RequestEnvelope::new(EngineRequest::Stats);
+    match format {
+        WireFormat::Json => serde_json::to_vec(&envelope).unwrap(),
+        WireFormat::Binary => binary::encode(&envelope),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Negotiation matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn content_negotiation_matrix_holds_on_both_backends() {
+    use WireFormat::{Binary, Json};
+    const JSON_CT: &str = "application/json";
+    // (request Content-Type, Accept) → (decode request as, response format)
+    let matrix: [(Option<&str>, Option<&str>, WireFormat, WireFormat); 7] = [
+        (Some(JSON_CT), None, Json, Json),
+        (None, None, Json, Json),
+        (Some(BINARY_CONTENT_TYPE), None, Binary, Binary),
+        (
+            Some(BINARY_CONTENT_TYPE),
+            Some(BINARY_CONTENT_TYPE),
+            Binary,
+            Binary,
+        ),
+        (Some(BINARY_CONTENT_TYPE), Some(JSON_CT), Binary, Json),
+        (Some(JSON_CT), Some(BINARY_CONTENT_TYPE), Json, Binary),
+        (None, Some(BINARY_CONTENT_TYPE), Json, Binary),
+    ];
+    for backend in BACKENDS {
+        let server = start_server(EngineConfig::fast(), backend);
+        for (content_type, accept, request_format, response_format) in matrix {
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            stream
+                .write_all(&raw_request(
+                    content_type,
+                    accept,
+                    &stats_body(request_format),
+                ))
+                .unwrap();
+            let mut reader = BufReader::new(stream);
+            let (status, got_content_type, body) = read_raw(&mut reader);
+            assert_eq!(
+                status, 200,
+                "{backend:?} CT={content_type:?} Accept={accept:?} must be served"
+            );
+            assert_eq!(
+                got_content_type,
+                response_format.content_type(),
+                "{backend:?} CT={content_type:?} Accept={accept:?} negotiated the wrong response format"
+            );
+            // The body really is in the advertised format.
+            decode_stats(response_format, &body);
+        }
+        server.stop();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt frames: typed 400s, no keep-alive desync
+// ---------------------------------------------------------------------------
+
+fn expect_protocol_error(format: WireFormat, body: &[u8], code: u16) {
+    let envelope: grouptravel_engine::ResponseEnvelope = match format {
+        WireFormat::Json => serde_json::from_slice(body).expect("JSON rejection envelope"),
+        WireFormat::Binary => binary::decode(body).expect("GTBF rejection envelope"),
+    };
+    let error = envelope
+        .response
+        .protocol_error()
+        .expect("a rejection carries a protocol error")
+        .clone();
+    assert_eq!(error.code, code, "wrong stable code: {}", error.message);
+}
+
+#[test]
+fn corrupt_binary_bodies_get_typed_400s_without_desyncing_the_connection() {
+    let good = stats_body(WireFormat::Binary);
+    let mut wrong_version = good.clone();
+    wrong_version[4] = 9;
+    let truncated = &good[..good.len() - 1];
+    let cases: [(&[u8], u16); 5] = [
+        (truncated, ProtocolError::MALFORMED_REQUEST),
+        (b"JUNK-NOT-A-FRAME", ProtocolError::MALFORMED_REQUEST),
+        // Real magic, bogus version byte: the version error, not a shapeless one.
+        (&wrong_version, ProtocolError::UNSUPPORTED_VERSION),
+        (b"GTBF\x20pretender", ProtocolError::UNSUPPORTED_VERSION),
+        (b"", ProtocolError::MALFORMED_REQUEST),
+    ];
+    for backend in BACKENDS {
+        let server = start_server(EngineConfig::fast(), backend);
+        for (bad_body, code) in cases {
+            // Pipeline the corrupt frame and a good one in a single burst
+            // on one connection: the bad body must be consumed exactly
+            // (Content-Length framing, not frame content, delimits it) so
+            // the good request right behind it still parses.
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut burst = raw_request(Some(BINARY_CONTENT_TYPE), None, bad_body);
+            burst.extend_from_slice(&raw_request(Some(BINARY_CONTENT_TYPE), None, &good));
+            let mut writer = stream.try_clone().unwrap();
+            writer.write_all(&burst).unwrap();
+            let mut reader = BufReader::new(stream);
+
+            // Bad frame → typed 400 in the negotiated (binary) format…
+            let (status, content_type, body) = read_raw(&mut reader);
+            assert_eq!(status, 400, "{backend:?}: corrupt frames are 400s");
+            assert_eq!(content_type, BINARY_CONTENT_TYPE);
+            expect_protocol_error(WireFormat::Binary, &body, code);
+
+            // …and the *same connection* keeps serving: the parser never
+            // desyncs on a rejected body.
+            let (status, content_type, body) = read_raw(&mut reader);
+            assert_eq!(status, 200, "{backend:?}: connection must survive a 400");
+            assert_eq!(content_type, BINARY_CONTENT_TYPE);
+            decode_stats(WireFormat::Binary, &body);
+        }
+        server.stop();
+    }
+}
+
+#[test]
+fn binary_rejections_can_come_back_as_json_when_asked() {
+    // A binary sender with `Accept: application/json` gets its rejection
+    // in JSON — negotiation applies to errors too.
+    let server = start_server(EngineConfig::fast(), Backend::Reactor);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(&raw_request(
+            Some(BINARY_CONTENT_TYPE),
+            Some("application/json"),
+            b"not even close to a frame",
+        ))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, content_type, body) = read_raw(&mut reader);
+    assert_eq!(status, 400);
+    assert_eq!(content_type, "application/json");
+    expect_protocol_error(WireFormat::Json, &body, ProtocolError::MALFORMED_REQUEST);
+    server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Client splice ≡ derive: the hand-assembled envelopes are the same bytes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn client_spliced_envelopes_are_byte_identical_to_derive_in_both_formats() {
+    // The client hand-splices Build/Batch envelopes around interned
+    // profile fragments — for *all* traffic, not just binary — so the
+    // splice must produce exactly the bytes the derive path would.
+    let engine = Engine::new(EngineConfig::fast());
+    engine.register_catalog(paris(11)).unwrap();
+    let dummy_addr = "127.0.0.1:9".parse().unwrap();
+    for format in [WireFormat::Json, WireFormat::Binary] {
+        let client = EngineClient::with_wire_format(dummy_addr, format);
+        let derive = |request: &EngineRequest| match format {
+            WireFormat::Json => serde_json::to_vec(&RequestEnvelope::new(request.clone())).unwrap(),
+            WireFormat::Binary => binary::encode(&RequestEnvelope::new(request.clone())),
+        };
+        for seed in [1u64, 2, 3, 17, 91] {
+            // Build, twice per profile: the second hits the interned
+            // fragment and must still be the same bytes.
+            let build = EngineRequest::Build {
+                request: Box::new(package_request(&engine, seed, seed)),
+            };
+            for pass in 0..2 {
+                assert_eq!(
+                    client.encode_envelope(build.clone()),
+                    derive(&build),
+                    "{format:?} seed {seed} pass {pass}: spliced Build must equal derive"
+                );
+            }
+            // Batch mixing a repeated profile with a fresh one: exercises
+            // both the interned hit and the LRU-1 repopulation.
+            let batch = EngineRequest::Batch {
+                requests: vec![
+                    package_request(&engine, seed, seed),
+                    package_request(&engine, seed + 1, seed + 100),
+                    package_request(&engine, seed + 2, seed),
+                ],
+            };
+            assert_eq!(
+                client.encode_envelope(batch.clone()),
+                derive(&batch),
+                "{format:?} seed {seed}: spliced Batch must equal derive"
+            );
+        }
+        // The non-spliced path too, for completeness.
+        let stats = EngineRequest::Stats;
+        assert_eq!(client.encode_envelope(stats.clone()), derive(&stats));
+    }
+}

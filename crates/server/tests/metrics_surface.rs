@@ -9,7 +9,7 @@ use grouptravel_engine::{
     CommandRequest, Engine, EngineConfig, EngineRequest, RequestEnvelope, SessionCommand,
 };
 use grouptravel_server::client::EngineClient;
-use grouptravel_server::{RunningServer, ServerConfig};
+use grouptravel_server::{RunningServer, ServerConfig, WireFormat};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::sync::Arc;
@@ -163,26 +163,31 @@ fn a_scripted_session_yields_a_consistent_monotone_scrape() {
     let client = EngineClient::new(server.addr());
 
     // Script: register, one cold build (trains FCM + LDA), one warm build
-    // in a second session (clustering cache hit), one customize.
+    // in a second session (clustering cache hit), one customize. Track the
+    // exact payload bytes on both directions so the scrape's
+    // `gt_http_bytes_total` series reconcile to the byte.
+    let mut sent_bytes = 0u64;
+    let mut received_bytes = 0u64;
+    let mut post_counted = |request: EngineRequest| -> (u16, String) {
+        let body = serde_json::to_string(&RequestEnvelope::new(request)).unwrap();
+        sent_bytes += body.len() as u64;
+        let (status, response) = client.http("POST", "/v1/engine", Some(&body)).unwrap();
+        received_bytes += response.len() as u64;
+        (status, response)
+    };
     let catalog =
         SyntheticCityGenerator::new(CitySpec::paris(), SyntheticCityConfig::small(7)).generate();
-    let (status, _) = post_engine(
-        &client,
-        EngineRequest::RegisterCatalog {
-            catalog: Box::new(catalog),
-        },
-    );
+    let (status, _) = post_counted(EngineRequest::RegisterCatalog {
+        catalog: Box::new(catalog),
+    });
     assert_eq!(status, 200);
-    let (_, body) = post_engine(&client, build_command(&server, 1, 1));
+    let (_, body) = post_counted(build_command(&server, 1, 1));
     assert!(body.contains("\"Ok\""), "cold build must succeed: {body}");
-    let (_, body) = post_engine(&client, build_command(&server, 2, 1));
+    let (_, body) = post_counted(build_command(&server, 2, 1));
     assert!(body.contains("\"Ok\""), "warm build must succeed: {body}");
-    let (_, body) = post_engine(
-        &client,
-        EngineRequest::Command {
-            request: CommandRequest::new(2, SessionCommand::End),
-        },
-    );
+    let (_, body) = post_counted(EngineRequest::Command {
+        request: CommandRequest::new(2, SessionCommand::End),
+    });
     assert!(body.contains("\"Ended\""), "end must succeed: {body}");
 
     // Scrape. The body must parse strictly and carry the exposition type.
@@ -265,15 +270,39 @@ fn a_scripted_session_yields_a_consistent_monotone_scrape() {
         1.0
     );
 
-    // The HTTP layer's own series are on the same surface.
+    // The HTTP layer's own series are on the same surface. The scripted
+    // POSTs all spoke JSON, so they land on the `format="json"` series.
     assert!(
         sample(
             &first,
-            "gt_http_request_seconds_count{route=\"/v1/engine\"}"
+            "gt_http_request_seconds_count{route=\"/v1/engine\",format=\"json\"}"
         ) >= 4.0,
         "every scripted POST was timed"
     );
     assert!(sample(&first, "gt_http_connections_total") >= 1.0);
+
+    // Byte accounting reconciles exactly: `in` is the scripted POST
+    // bodies (the scrape GET itself contributed zero), `out` is their four
+    // response bodies — a scrape's own response is counted only after it
+    // renders, so it is not in its own exposition. Nothing spoke binary.
+    assert_eq!(
+        sample(&first, "gt_http_bytes_total{dir=\"in\",format=\"json\"}") as u64,
+        sent_bytes,
+        "request bytes must reconcile with what the client sent"
+    );
+    assert_eq!(
+        sample(&first, "gt_http_bytes_total{dir=\"out\",format=\"json\"}") as u64,
+        received_bytes,
+        "response bytes must reconcile with what the client received"
+    );
+    assert_eq!(
+        sample(&first, "gt_http_bytes_total{dir=\"in\",format=\"binary\"}"),
+        0.0
+    );
+    assert_eq!(
+        sample(&first, "gt_http_bytes_total{dir=\"out\",format=\"binary\"}"),
+        0.0
+    );
 
     // A second scrape is monotone on every counter and bucket.
     let (_, _, text) = raw_get(server.addr(), "/metrics");
@@ -291,8 +320,42 @@ fn a_scripted_session_yields_a_consistent_monotone_scrape() {
     }
     // The scrape itself was counted the second time around.
     assert!(
-        sample(&second, "gt_http_request_seconds_count{route=\"/metrics\"}")
-            > sample(&first, "gt_http_request_seconds_count{route=\"/metrics\"}")
+        sample(
+            &second,
+            "gt_http_request_seconds_count{route=\"/metrics\",format=\"json\"}"
+        ) > sample(
+            &first,
+            "gt_http_request_seconds_count{route=\"/metrics\",format=\"json\"}"
+        )
+    );
+
+    // One binary request moves the binary series — and only those — on
+    // both directions plus the binary latency count.
+    let binary_client = EngineClient::with_wire_format(server.addr(), WireFormat::Binary);
+    binary_client
+        .request(EngineRequest::Stats)
+        .expect("a binary Stats request answers");
+    let (_, _, text) = raw_get(server.addr(), "/metrics");
+    let third = parse_exposition(&text);
+    assert!(
+        sample(&third, "gt_http_bytes_total{dir=\"in\",format=\"binary\"}") > 0.0,
+        "the binary request body must count under format=\"binary\""
+    );
+    assert!(
+        sample(&third, "gt_http_bytes_total{dir=\"out\",format=\"binary\"}") > 0.0,
+        "the binary response body must count under format=\"binary\""
+    );
+    assert_eq!(
+        sample(
+            &third,
+            "gt_http_request_seconds_count{route=\"/v1/engine\",format=\"binary\"}"
+        ),
+        1.0
+    );
+    assert_eq!(
+        sample(&third, "gt_http_bytes_total{dir=\"in\",format=\"json\"}") as u64,
+        sent_bytes,
+        "the binary request must not leak into the json series"
     );
 
     server.stop();

@@ -4,13 +4,25 @@
 //! minimal serialization framework with the same spelling as serde: a
 //! [`Serialize`]/[`Deserialize`] trait pair, `#[derive(Serialize,
 //! Deserialize)]` via the sibling `serde_derive` proc-macro, and the
-//! `#[serde(skip)]` field attribute. Instead of serde's zero-copy visitor
-//! architecture, everything round-trips through an owned [`Value`] tree;
-//! `serde_json` (also vendored) renders that tree to and from JSON text.
+//! `#[serde(skip)]` field attribute. The interchange model is an owned
+//! [`Value`] tree; `serde_json` (also vendored) renders that tree to and
+//! from JSON text.
+//!
+//! On top of the tree model there is a streaming fast path, mirroring real
+//! serde's visitor architecture in miniature: [`Serialize::stream`] pushes
+//! a value into a [`Sink`] and [`Deserialize::decode`] pulls one out of a
+//! [`Source`] without materializing the tree in between. Both have
+//! tree-backed defaults, so hand-written impls only need `to_value` /
+//! `from_value`; the derive overrides both for every derived type, and the
+//! [`ValueBuilder`] / [`ValueSource`] adapters let tests pin the two paths
+//! against each other (`stream` must emit exactly what `to_value` builds,
+//! `decode` must accept exactly what `from_value` accepts).
 //!
 //! Supported shapes — the ones this workspace actually derives:
 //! structs with named fields, newtype/tuple structs, enums with unit and
 //! struct variants (externally tagged, like serde's default).
+
+use std::borrow::Cow;
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -87,16 +99,190 @@ impl std::fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
+// ---------------------------------------------------------------------------
+// Streaming model
+// ---------------------------------------------------------------------------
+
+/// The lexical class of the next value in a [`Source`] — which [`Value`]
+/// variant it would decode to, without decoding it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool,
+    /// A signed integer.
+    Int,
+    /// An unsigned integer.
+    UInt,
+    /// A float.
+    Float,
+    /// A string.
+    Str,
+    /// An ordered sequence.
+    Array,
+    /// An ordered map.
+    Object,
+}
+
+/// A push-style serialization sink: the streaming counterpart of building
+/// a [`Value`] tree. One complete value is one scalar call, or an
+/// `array(len)` followed by exactly `len` complete values, or an
+/// `object(len)` followed by exactly `len` `name` + complete-value pairs.
+pub trait Sink {
+    /// A `null` value.
+    fn null(&mut self);
+    /// A boolean value.
+    fn boolean(&mut self, v: bool);
+    /// A signed integer value.
+    fn int(&mut self, v: i64);
+    /// An unsigned integer value.
+    fn uint(&mut self, v: u64);
+    /// A float value.
+    fn float(&mut self, v: f64);
+    /// A string value.
+    fn string(&mut self, v: &str);
+    /// Begins an array of exactly `len` values.
+    fn array(&mut self, len: usize);
+    /// Begins an object of exactly `len` members.
+    fn object(&mut self, len: usize);
+    /// The name of the next object member.
+    fn name(&mut self, name: &str);
+}
+
+/// Streams a [`Value`] tree into a sink — the bridge between the tree and
+/// streaming models, and the body of [`Serialize::stream`]'s default.
+pub fn stream_value(value: &Value, sink: &mut dyn Sink) {
+    match value {
+        Value::Null => sink.null(),
+        Value::Bool(b) => sink.boolean(*b),
+        Value::Int(i) => sink.int(*i),
+        Value::UInt(u) => sink.uint(*u),
+        Value::Float(f) => sink.float(*f),
+        Value::Str(s) => sink.string(s),
+        Value::Array(items) => {
+            sink.array(items.len());
+            for item in items {
+                stream_value(item, sink);
+            }
+        }
+        Value::Object(entries) => {
+            sink.object(entries.len());
+            for (name, v) in entries {
+                sink.name(name);
+                stream_value(v, sink);
+            }
+        }
+    }
+}
+
+/// A pull-style deserialization source: the streaming counterpart of
+/// walking a [`Value`] tree. `peek` classifies the next value without
+/// consuming it; the typed getters consume exactly one value (or one
+/// array/object header); `name` consumes the next member name inside an
+/// object; `skip_value` consumes one complete value of any shape.
+pub trait Source {
+    /// Classifies the next value without consuming anything.
+    ///
+    /// # Errors
+    /// Fails when no value follows or the input is corrupt.
+    fn peek(&mut self) -> Result<Kind, DeError>;
+    /// Consumes a `null`.
+    ///
+    /// # Errors
+    /// Fails when the next value is not a `null`.
+    fn null(&mut self) -> Result<(), DeError>;
+    /// Consumes a boolean.
+    ///
+    /// # Errors
+    /// Fails when the next value is not a boolean.
+    fn boolean(&mut self) -> Result<bool, DeError>;
+    /// Consumes a signed integer.
+    ///
+    /// # Errors
+    /// Fails when the next value is not a signed integer.
+    fn int(&mut self) -> Result<i64, DeError>;
+    /// Consumes an unsigned integer.
+    ///
+    /// # Errors
+    /// Fails when the next value is not an unsigned integer.
+    fn uint(&mut self) -> Result<u64, DeError>;
+    /// Consumes a float.
+    ///
+    /// # Errors
+    /// Fails when the next value is not a float.
+    fn float(&mut self) -> Result<f64, DeError>;
+    /// Consumes a string.
+    ///
+    /// # Errors
+    /// Fails when the next value is not a string.
+    fn string(&mut self) -> Result<String, DeError>;
+    /// Consumes an array header; exactly the returned count of values
+    /// follow.
+    ///
+    /// # Errors
+    /// Fails when the next value is not an array.
+    fn array(&mut self) -> Result<usize, DeError>;
+    /// Consumes an object header; exactly the returned count of name +
+    /// value pairs follow.
+    ///
+    /// # Errors
+    /// Fails when the next value is not an object.
+    fn object(&mut self) -> Result<usize, DeError>;
+    /// Consumes the next object member name.
+    ///
+    /// # Errors
+    /// Fails when the input is corrupt or no member name follows.
+    fn name(&mut self) -> Result<Cow<'static, str>, DeError>;
+    /// Consumes one complete value of any shape.
+    ///
+    /// # Errors
+    /// Fails when the input is corrupt.
+    fn skip_value(&mut self) -> Result<(), DeError>;
+    /// Consumes one complete value as a tree — the fallback bridge for
+    /// [`Deserialize::from_value`]-only impls.
+    ///
+    /// # Errors
+    /// Fails when the input is corrupt.
+    fn read_value(&mut self) -> Result<Value, DeError>;
+}
+
 /// Types that can render themselves as a [`Value`].
 pub trait Serialize {
     /// Converts `self` into the interchange tree.
     fn to_value(&self) -> Value;
+
+    /// Streams `self` into `sink` without building an intermediate tree.
+    ///
+    /// Contract: must emit exactly the shape [`Serialize::to_value`] would
+    /// build. The default guarantees that by walking the tree; overrides
+    /// (including the derive's) exist purely to skip its allocations.
+    fn stream(&self, sink: &mut dyn Sink) {
+        stream_value(&self.to_value(), sink);
+    }
 }
 
 /// Types that can be rebuilt from a [`Value`].
 pub trait Deserialize: Sized {
     /// Parses `self` out of the interchange tree.
+    ///
+    /// # Errors
+    /// Fails when the value does not parse as `Self`.
     fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Pulls `self` out of a streaming source without materializing the
+    /// tree.
+    ///
+    /// Contract: must accept exactly the inputs [`Deserialize::from_value`]
+    /// accepts on the equivalent tree (same unknown-member skipping, same
+    /// first-occurrence-wins duplicate handling, same numeric coercions).
+    /// The default guarantees that by materializing the tree.
+    ///
+    /// # Errors
+    /// Fails when the streamed value does not parse as `Self`.
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        Self::from_value(&src.read_value()?)
+    }
 }
 
 /// Helper used by the derive macro: fetch and parse a named field.
@@ -116,9 +302,336 @@ pub fn field<T: Deserialize>(
     T::from_value(value).map_err(|e| DeError::custom(format!("{owner}.{name}: {e}")))
 }
 
+// ---------------------------------------------------------------------------
+// Tree-backed streaming adapters
+// ---------------------------------------------------------------------------
+
+enum BuilderFrame {
+    Array {
+        items: Vec<Value>,
+        remaining: usize,
+    },
+    Object {
+        entries: Vec<(String, Value)>,
+        remaining: usize,
+        pending_name: Option<String>,
+    },
+}
+
+/// A [`Sink`] that builds the [`Value`] tree the stream describes — the
+/// inverse of [`stream_value`]. Primarily a differential-testing aid: for
+/// any correct `Serialize` impl, streaming into a `ValueBuilder` must
+/// reproduce `to_value` exactly.
+#[derive(Default)]
+pub struct ValueBuilder {
+    stack: Vec<BuilderFrame>,
+    root: Option<Value>,
+}
+
+impl ValueBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The completed tree.
+    ///
+    /// # Panics
+    /// Panics when the stream did not describe exactly one complete value —
+    /// that is a `Serialize::stream` contract violation, not an input error.
+    #[must_use]
+    pub fn finish(self) -> Value {
+        assert!(
+            self.stack.is_empty(),
+            "stream ended inside an unfinished container"
+        );
+        self.root.expect("stream produced no value")
+    }
+
+    fn put(&mut self, value: Value) {
+        let mut value = value;
+        loop {
+            match self.stack.last_mut() {
+                None => {
+                    assert!(self.root.is_none(), "stream produced a second root value");
+                    self.root = Some(value);
+                    return;
+                }
+                Some(BuilderFrame::Array { items, remaining }) => {
+                    items.push(value);
+                    *remaining -= 1;
+                    if *remaining > 0 {
+                        return;
+                    }
+                }
+                Some(BuilderFrame::Object {
+                    entries,
+                    remaining,
+                    pending_name,
+                }) => {
+                    let name = pending_name.take().expect("member value before its name");
+                    entries.push((name, value));
+                    *remaining -= 1;
+                    if *remaining > 0 {
+                        return;
+                    }
+                }
+            }
+            // The top container just completed; pop and attach it upward.
+            value = match self.stack.pop() {
+                Some(BuilderFrame::Array { items, .. }) => Value::Array(items),
+                Some(BuilderFrame::Object { entries, .. }) => Value::Object(entries),
+                None => unreachable!(),
+            };
+        }
+    }
+}
+
+impl Sink for ValueBuilder {
+    fn null(&mut self) {
+        self.put(Value::Null);
+    }
+    fn boolean(&mut self, v: bool) {
+        self.put(Value::Bool(v));
+    }
+    fn int(&mut self, v: i64) {
+        self.put(Value::Int(v));
+    }
+    fn uint(&mut self, v: u64) {
+        self.put(Value::UInt(v));
+    }
+    fn float(&mut self, v: f64) {
+        self.put(Value::Float(v));
+    }
+    fn string(&mut self, v: &str) {
+        self.put(Value::Str(v.to_string()));
+    }
+    fn array(&mut self, len: usize) {
+        if len == 0 {
+            self.put(Value::Array(Vec::new()));
+        } else {
+            self.stack.push(BuilderFrame::Array {
+                items: Vec::with_capacity(len),
+                remaining: len,
+            });
+        }
+    }
+    fn object(&mut self, len: usize) {
+        if len == 0 {
+            self.put(Value::Object(Vec::new()));
+        } else {
+            self.stack.push(BuilderFrame::Object {
+                entries: Vec::with_capacity(len),
+                remaining: len,
+                pending_name: None,
+            });
+        }
+    }
+    fn name(&mut self, name: &str) {
+        match self.stack.last_mut() {
+            Some(BuilderFrame::Object { pending_name, .. }) => {
+                assert!(pending_name.is_none(), "two names without a value between");
+                *pending_name = Some(name.to_string());
+            }
+            _ => panic!("member name outside an object"),
+        }
+    }
+}
+
+enum SourceEvent<'a> {
+    /// One complete (unexpanded) value.
+    Val(&'a Value),
+    /// An object member name.
+    MemberName(&'a str),
+}
+
+/// A [`Source`] that streams an existing [`Value`] tree — the adapter
+/// behind [`Deserialize::decode`]'s default, and the differential-testing
+/// counterpart of [`ValueBuilder`]: for any correct `Deserialize` impl,
+/// `decode` over a `ValueSource` must agree with `from_value` on the same
+/// tree.
+pub struct ValueSource<'a> {
+    queue: std::collections::VecDeque<SourceEvent<'a>>,
+}
+
+impl<'a> ValueSource<'a> {
+    /// A source that yields `value` as its one complete value.
+    #[must_use]
+    pub fn new(value: &'a Value) -> Self {
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(SourceEvent::Val(value));
+        Self { queue }
+    }
+
+    fn next_value(&mut self, want: &str) -> Result<&'a Value, DeError> {
+        match self.queue.pop_front() {
+            Some(SourceEvent::Val(v)) => Ok(v),
+            Some(SourceEvent::MemberName(n)) => Err(DeError::custom(format!(
+                "expected {want}, got member name `{n}`"
+            ))),
+            None => Err(DeError::custom(format!(
+                "expected {want}, got end of input"
+            ))),
+        }
+    }
+}
+
+impl Source for ValueSource<'_> {
+    fn peek(&mut self) -> Result<Kind, DeError> {
+        match self.queue.front() {
+            Some(SourceEvent::Val(v)) => Ok(match v {
+                Value::Null => Kind::Null,
+                Value::Bool(_) => Kind::Bool,
+                Value::Int(_) => Kind::Int,
+                Value::UInt(_) => Kind::UInt,
+                Value::Float(_) => Kind::Float,
+                Value::Str(_) => Kind::Str,
+                Value::Array(_) => Kind::Array,
+                Value::Object(_) => Kind::Object,
+            }),
+            Some(SourceEvent::MemberName(n)) => Err(DeError::custom(format!(
+                "expected a value, got member name `{n}`"
+            ))),
+            None => Err(DeError::custom("expected a value, got end of input")),
+        }
+    }
+    fn null(&mut self) -> Result<(), DeError> {
+        match self.next_value("null")? {
+            Value::Null => Ok(()),
+            other => Err(DeError::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+    fn boolean(&mut self) -> Result<bool, DeError> {
+        match self.next_value("bool")? {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+    fn int(&mut self) -> Result<i64, DeError> {
+        match self.next_value("integer")? {
+            Value::Int(i) => Ok(*i),
+            other => Err(DeError::custom(format!("expected integer, got {other:?}"))),
+        }
+    }
+    fn uint(&mut self) -> Result<u64, DeError> {
+        match self.next_value("unsigned integer")? {
+            Value::UInt(u) => Ok(*u),
+            other => Err(DeError::custom(format!(
+                "expected unsigned integer, got {other:?}"
+            ))),
+        }
+    }
+    fn float(&mut self) -> Result<f64, DeError> {
+        match self.next_value("float")? {
+            Value::Float(f) => Ok(*f),
+            other => Err(DeError::custom(format!("expected float, got {other:?}"))),
+        }
+    }
+    fn string(&mut self) -> Result<String, DeError> {
+        match self.next_value("string")? {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+    fn array(&mut self) -> Result<usize, DeError> {
+        match self.next_value("array")? {
+            Value::Array(items) => {
+                for item in items.iter().rev() {
+                    self.queue.push_front(SourceEvent::Val(item));
+                }
+                Ok(items.len())
+            }
+            other => Err(DeError::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+    fn object(&mut self) -> Result<usize, DeError> {
+        match self.next_value("object")? {
+            Value::Object(entries) => {
+                for (name, v) in entries.iter().rev() {
+                    self.queue.push_front(SourceEvent::Val(v));
+                    self.queue.push_front(SourceEvent::MemberName(name));
+                }
+                Ok(entries.len())
+            }
+            other => Err(DeError::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+    fn name(&mut self) -> Result<Cow<'static, str>, DeError> {
+        match self.queue.pop_front() {
+            Some(SourceEvent::MemberName(n)) => Ok(Cow::Owned(n.to_string())),
+            Some(SourceEvent::Val(v)) => Err(DeError::custom(format!(
+                "expected a member name, got value {v:?}"
+            ))),
+            None => Err(DeError::custom("expected a member name, got end of input")),
+        }
+    }
+    fn skip_value(&mut self) -> Result<(), DeError> {
+        // An unexpanded `Val` event is the whole subtree.
+        self.next_value("a value").map(|_| ())
+    }
+    fn read_value(&mut self) -> Result<Value, DeError> {
+        self.next_value("a value").cloned()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming helpers shared by the numeric impls
+// ---------------------------------------------------------------------------
+
+/// Pulls an unsigned integer with [`Deserialize::from_value`]'s coercions:
+/// `UInt`, non-negative `Int`, or an integral in-range `Float`.
+fn source_u64(src: &mut dyn Source) -> Result<u64, DeError> {
+    match src.peek()? {
+        Kind::UInt => src.uint(),
+        Kind::Int => {
+            let i = src.int()?;
+            u64::try_from(i)
+                .map_err(|_| DeError::custom(format!("expected unsigned integer, got {i}")))
+        }
+        Kind::Float => {
+            let f = src.float()?;
+            if f.fract() == 0.0 && f >= 0.0 && f <= u64::MAX as f64 {
+                Ok(f as u64)
+            } else {
+                Err(DeError::custom(format!(
+                    "expected unsigned integer, got float {f}"
+                )))
+            }
+        }
+        other => Err(DeError::custom(format!(
+            "expected unsigned integer, got {other:?}"
+        ))),
+    }
+}
+
+/// Pulls a signed integer with [`Deserialize::from_value`]'s coercions:
+/// `Int`, in-range `UInt`, or an integral `Float`.
+fn source_i64(src: &mut dyn Source) -> Result<i64, DeError> {
+    match src.peek()? {
+        Kind::Int => src.int(),
+        Kind::UInt => {
+            let u = src.uint()?;
+            i64::try_from(u).map_err(|_| DeError::custom(format!("expected integer, got {u}")))
+        }
+        Kind::Float => {
+            let f = src.float()?;
+            if f.fract() == 0.0 {
+                Ok(f as i64)
+            } else {
+                Err(DeError::custom(format!("expected integer, got float {f}")))
+            }
+        }
+        other => Err(DeError::custom(format!("expected integer, got {other:?}"))),
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        (**self).stream(sink);
     }
 }
 
@@ -126,11 +639,17 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn stream(&self, sink: &mut dyn Sink) {
+        (**self).stream(sink);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         T::from_value(v).map(Box::new)
+    }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        T::decode(src).map(Box::new)
     }
 }
 
@@ -141,6 +660,19 @@ impl<T: Serialize, E: Serialize> Serialize for Result<T, E> {
         match self {
             Ok(value) => Value::Object(vec![("Ok".to_string(), value.to_value())]),
             Err(error) => Value::Object(vec![("Err".to_string(), error.to_value())]),
+        }
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.object(1);
+        match self {
+            Ok(value) => {
+                sink.name("Ok");
+                value.stream(sink);
+            }
+            Err(error) => {
+                sink.name("Err");
+                error.stream(sink);
+            }
         }
     }
 }
@@ -162,6 +694,24 @@ impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
             ))),
         }
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        let members = src
+            .object()
+            .map_err(|e| DeError::custom(format!("Result: {e}")))?;
+        if members != 1 {
+            return Err(DeError::custom(format!(
+                "Result: expected single-key object, got {members} members"
+            )));
+        }
+        let tag = src.name()?;
+        match tag.as_ref() {
+            "Ok" => T::decode(src).map(Ok),
+            "Err" => E::decode(src).map(Err),
+            other => Err(DeError::custom(format!(
+                "Result: expected `Ok` or `Err`, got `{other}`"
+            ))),
+        }
+    }
 }
 
 /// `Duration` round-trips as `{"secs": u64, "nanos": u32}` — exact, like
@@ -175,6 +725,13 @@ impl Serialize for std::time::Duration {
                 Value::UInt(u64::from(self.subsec_nanos())),
             ),
         ])
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.object(2);
+        sink.name("secs");
+        sink.uint(self.as_secs());
+        sink.name("nanos");
+        sink.uint(u64::from(self.subsec_nanos()));
     }
 }
 
@@ -192,11 +749,47 @@ impl Deserialize for std::time::Duration {
         }
         Ok(std::time::Duration::new(secs, nanos))
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        let members = src
+            .object()
+            .map_err(|e| DeError::custom(format!("Duration: {e}")))?;
+        let mut secs: Option<u64> = None;
+        let mut nanos: Option<u32> = None;
+        for _ in 0..members {
+            let name = src.name()?;
+            match name.as_ref() {
+                "secs" if secs.is_none() => {
+                    secs = Some(
+                        u64::decode(src)
+                            .map_err(|e| DeError::custom(format!("Duration.secs: {e}")))?,
+                    );
+                }
+                "nanos" if nanos.is_none() => {
+                    nanos = Some(
+                        u32::decode(src)
+                            .map_err(|e| DeError::custom(format!("Duration.nanos: {e}")))?,
+                    );
+                }
+                _ => src.skip_value()?,
+            }
+        }
+        let secs = secs.ok_or_else(|| DeError::custom("Duration: missing field `secs`"))?;
+        let nanos = nanos.ok_or_else(|| DeError::custom("Duration: missing field `nanos`"))?;
+        if nanos >= 1_000_000_000 {
+            return Err(DeError::custom(format!(
+                "Duration: nanos {nanos} out of range"
+            )));
+        }
+        Ok(std::time::Duration::new(secs, nanos))
+    }
 }
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.boolean(*self);
     }
 }
 
@@ -207,11 +800,20 @@ impl Deserialize for bool {
             other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
         }
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        match src.peek()? {
+            Kind::Bool => src.boolean(),
+            other => Err(DeError::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
 }
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.string(self);
     }
 }
 
@@ -222,11 +824,20 @@ impl Deserialize for String {
             other => Err(DeError::custom(format!("expected string, got {other:?}"))),
         }
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        match src.peek()? {
+            Kind::Str => src.string(),
+            other => Err(DeError::custom(format!("expected string, got {other:?}"))),
+        }
+    }
 }
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.string(self);
     }
 }
 
@@ -235,6 +846,9 @@ macro_rules! unsigned_impl {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::UInt(*self as u64)
+            }
+            fn stream(&self, sink: &mut dyn Sink) {
+                sink.uint(*self as u64);
             }
         }
         impl Deserialize for $t {
@@ -254,6 +868,11 @@ macro_rules! unsigned_impl {
                 <$t>::try_from(raw)
                     .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
             }
+            fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+                let raw = source_u64(src)?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
         }
     )*};
 }
@@ -265,6 +884,9 @@ macro_rules! signed_impl {
         impl Serialize for $t {
             fn to_value(&self) -> Value {
                 Value::Int(*self as i64)
+            }
+            fn stream(&self, sink: &mut dyn Sink) {
+                sink.int(*self as i64);
             }
         }
         impl Deserialize for $t {
@@ -282,6 +904,11 @@ macro_rules! signed_impl {
                 <$t>::try_from(raw)
                     .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
             }
+            fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+                let raw = source_i64(src)?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
         }
     )*};
 }
@@ -291,6 +918,9 @@ signed_impl!(i8, i16, i32, i64, isize);
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.float(*self);
     }
 }
 
@@ -303,11 +933,22 @@ impl Deserialize for f64 {
             other => Err(DeError::custom(format!("expected number, got {other:?}"))),
         }
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        match src.peek()? {
+            Kind::Float => src.float(),
+            Kind::Int => Ok(src.int()? as f64),
+            Kind::UInt => Ok(src.uint()? as f64),
+            other => Err(DeError::custom(format!("expected number, got {other:?}"))),
+        }
+    }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(f64::from(*self))
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.float(f64::from(*self));
     }
 }
 
@@ -315,11 +956,20 @@ impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         f64::from_value(v).map(|f| f as f32)
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        f64::decode(src).map(|f| f as f32)
+    }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.array(self.len());
+        for item in self {
+            item.stream(sink);
+        }
     }
 }
 
@@ -331,6 +981,16 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             .map(T::from_value)
             .collect()
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        let len = src.array()?;
+        // Cap the pre-allocation: `len` is source-declared, and a hostile
+        // source could overclaim it.
+        let mut items = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            items.push(T::decode(src)?);
+        }
+        Ok(items)
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -338,6 +998,12 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(inner) => inner.to_value(),
             None => Value::Null,
+        }
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        match self {
+            Some(inner) => inner.stream(sink),
+            None => sink.null(),
         }
     }
 }
@@ -349,11 +1015,25 @@ impl<T: Deserialize> Deserialize for Option<T> {
             other => T::from_value(other).map(Some),
         }
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        if src.peek()? == Kind::Null {
+            src.null()?;
+            Ok(None)
+        } else {
+            T::decode(src).map(Some)
+        }
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        sink.array(N);
+        for item in self {
+            item.stream(sink);
+        }
     }
 }
 
@@ -364,6 +1044,20 @@ impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
         <[T; N]>::try_from(items)
             .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
     }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        let len = src.array()?;
+        if len != N {
+            return Err(DeError::custom(format!(
+                "expected array of length {N}, got {len}"
+            )));
+        }
+        let mut items = Vec::with_capacity(N);
+        for _ in 0..N {
+            items.push(T::decode(src)?);
+        }
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}")))
+    }
 }
 
 macro_rules! tuple_impl {
@@ -371,6 +1065,11 @@ macro_rules! tuple_impl {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+            fn stream(&self, sink: &mut dyn Sink) {
+                let expected = [$($idx),+].len();
+                sink.array(expected);
+                $(self.$idx.stream(sink);)+
             }
         }
         impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
@@ -386,6 +1085,16 @@ macro_rules! tuple_impl {
                     )));
                 }
                 Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+            fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+                let len = src.array()?;
+                let expected = [$($idx),+].len();
+                if len != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected} elements, got {len}"
+                    )));
+                }
+                Ok(($(<$t as Deserialize>::decode(src)?,)+))
             }
         }
     )*};
@@ -410,6 +1119,26 @@ impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
+    }
+    fn stream(&self, sink: &mut dyn Sink) {
+        let mut entries: Vec<(String, &V)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = match k.to_value() {
+                    Value::Str(s) => s,
+                    Value::UInt(u) => u.to_string(),
+                    Value::Int(i) => i.to_string(),
+                    other => format!("{other:?}"),
+                };
+                (key, v)
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        sink.object(entries.len());
+        for (key, v) in entries {
+            sink.name(&key);
+            v.stream(sink);
+        }
     }
 }
 
@@ -438,6 +1167,25 @@ where
                 }
             })?;
             map.insert(k, V::from_value(value)?);
+        }
+        Ok(map)
+    }
+    fn decode(src: &mut dyn Source) -> Result<Self, DeError> {
+        let members = src.object()?;
+        let mut map = Self::with_capacity_and_hasher(members.min(4096), S::default());
+        for _ in 0..members {
+            let key: String = src.name()?.into_owned();
+            let key_value = Value::Str(key.clone());
+            let k = K::from_value(&key_value).or_else(|e| {
+                if let Ok(u) = key.parse::<u64>() {
+                    K::from_value(&Value::UInt(u))
+                } else if let Ok(i) = key.parse::<i64>() {
+                    K::from_value(&Value::Int(i))
+                } else {
+                    Err(e)
+                }
+            })?;
+            map.insert(k, V::decode(src)?);
         }
         Ok(map)
     }
@@ -502,5 +1250,96 @@ mod tests {
         let err = field::<u64>(&obj, "b", "Widget").unwrap_err();
         assert!(err.to_string().contains("Widget"));
         assert!(err.to_string().contains("`b`"));
+    }
+
+    /// `stream` into a [`ValueBuilder`] must reproduce `to_value` exactly.
+    fn assert_stream_matches_tree<T: Serialize>(value: &T) {
+        let mut builder = ValueBuilder::new();
+        value.stream(&mut builder);
+        assert_eq!(builder.finish(), value.to_value());
+    }
+
+    /// `decode` over a [`ValueSource`] must agree with `from_value`.
+    fn assert_decode_matches_tree<T: Deserialize + PartialEq + std::fmt::Debug>(tree: &Value) {
+        let via_tree = T::from_value(tree);
+        let via_stream = T::decode(&mut ValueSource::new(tree));
+        assert_eq!(via_stream.is_ok(), via_tree.is_ok(), "disagree on {tree:?}");
+        if let (Ok(a), Ok(b)) = (via_stream, via_tree) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_the_tree_path_for_every_builtin_impl() {
+        assert_stream_matches_tree(&42u64);
+        assert_stream_matches_tree(&-5i32);
+        assert_stream_matches_tree(&1.5f64);
+        assert_stream_matches_tree(&2.5f32);
+        assert_stream_matches_tree(&true);
+        assert_stream_matches_tree(&"hi".to_string());
+        assert_stream_matches_tree(&vec![1u64, 2, 3]);
+        assert_stream_matches_tree(&Vec::<u64>::new());
+        assert_stream_matches_tree(&[0.25f64; 4]);
+        assert_stream_matches_tree(&Some(7u8));
+        assert_stream_matches_tree(&Option::<u8>::None);
+        assert_stream_matches_tree(&("x".to_string(), 9u64, -1i64));
+        assert_stream_matches_tree(&Box::new(vec![Some(1u32), None]));
+        assert_stream_matches_tree(&Result::<u64, String>::Ok(3));
+        assert_stream_matches_tree(&Result::<u64, String>::Err("boom".into()));
+        assert_stream_matches_tree(&std::time::Duration::new(3, 999_999_999));
+        let mut map = std::collections::HashMap::new();
+        map.insert(2u64, vec![1.5f64]);
+        map.insert(1u64, vec![-2.5f64]);
+        assert_stream_matches_tree(&map);
+
+        assert_decode_matches_tree::<u64>(&42u64.to_value());
+        assert_decode_matches_tree::<u64>(&Value::Int(-3));
+        assert_decode_matches_tree::<u64>(&Value::Float(8.0));
+        assert_decode_matches_tree::<u64>(&Value::Float(8.5));
+        assert_decode_matches_tree::<i16>(&Value::UInt(1 << 40));
+        assert_decode_matches_tree::<f64>(&Value::Int(-3));
+        assert_decode_matches_tree::<Vec<u64>>(&vec![1u64, 2].to_value());
+        assert_decode_matches_tree::<[f64; 4]>(&[0.25f64; 4].to_value());
+        assert_decode_matches_tree::<[f64; 4]>(&vec![0.25f64; 3].to_value());
+        assert_decode_matches_tree::<Option<u8>>(&Value::Null);
+        assert_decode_matches_tree::<(String, u64)>(&("x".to_string(), 9u64).to_value());
+        assert_decode_matches_tree::<Result<u64, String>>(
+            &Result::<u64, String>::Err("boom".into()).to_value(),
+        );
+        assert_decode_matches_tree::<std::time::Duration>(
+            &std::time::Duration::new(3, 7).to_value(),
+        );
+        let with_extras = Value::Object(vec![
+            ("ignored".to_string(), Value::Str("x".to_string())),
+            ("nanos".to_string(), Value::UInt(7)),
+            ("secs".to_string(), Value::UInt(3)),
+        ]);
+        assert_decode_matches_tree::<std::time::Duration>(&with_extras);
+        assert_decode_matches_tree::<std::collections::HashMap<u64, u64>>(&Value::Object(vec![
+            ("2".to_string(), Value::UInt(5)),
+            ("1".to_string(), Value::UInt(4)),
+        ]));
+    }
+
+    #[test]
+    fn value_source_round_trips_arbitrary_trees() {
+        let tree = Value::Object(vec![
+            (
+                "a".to_string(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            (
+                "b".to_string(),
+                Value::Object(vec![("c".to_string(), Value::Float(0.5))]),
+            ),
+            ("d".to_string(), Value::Str("s".to_string())),
+        ]);
+        let mut src = ValueSource::new(&tree);
+        let back = Source::read_value(&mut src).unwrap();
+        assert_eq!(back, tree);
+        // stream_value through a ValueBuilder is the identity too.
+        let mut builder = ValueBuilder::new();
+        stream_value(&tree, &mut builder);
+        assert_eq!(builder.finish(), tree);
     }
 }

@@ -8,6 +8,13 @@
 //! * newtype and tuple structs,
 //! * enums with unit and struct variants (externally tagged).
 //!
+//! Each derive emits both the tree path (`to_value` / `from_value`) and the
+//! streaming fast path (`stream` / `decode`): the streaming methods visit
+//! fields in the same order, skip unknown members, keep the first of
+//! duplicate members, and wrap errors with the same owner context — so the
+//! two paths accept the same inputs and produce the same output, just
+//! without the intermediate `Value` tree.
+//!
 //! Generics are not supported; deriving on a generic type is a compile error
 //! pointing here.
 
@@ -284,12 +291,18 @@ fn gen_serialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
             let mut pushes = String::new();
+            let mut streams = String::new();
             for f in fields.iter().filter(|f| !f.skip) {
                 pushes.push_str(&format!(
                     "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
                     n = f.name
                 ));
+                streams.push_str(&format!(
+                    "sink.name(\"{n}\");\n::serde::Serialize::stream(&self.{n}, sink);\n",
+                    n = f.name
+                ));
             }
+            let count = fields.iter().filter(|f| !f.skip).count();
             format!(
                 "#[automatically_derived]\n\
                  impl ::serde::Serialize for {name} {{\n\
@@ -298,6 +311,10 @@ fn gen_serialize(item: &Item) -> String {
                          {pushes}\
                          let _ = &mut fields;\n\
                          ::serde::Value::Object(fields)\n\
+                     }}\n\
+                     fn stream(&self, sink: &mut dyn ::serde::Sink) {{\n\
+                         sink.object({count});\n\
+                         {streams}\
                      }}\n\
                  }}"
             )
@@ -310,31 +327,46 @@ fn gen_serialize(item: &Item) -> String {
                          fn to_value(&self) -> ::serde::Value {{\n\
                              ::serde::Serialize::to_value(&self.0)\n\
                          }}\n\
+                         fn stream(&self, sink: &mut dyn ::serde::Sink) {{\n\
+                             ::serde::Serialize::stream(&self.0, sink);\n\
+                         }}\n\
                      }}"
                 )
             } else {
                 let items: Vec<String> = (0..*arity)
                     .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                     .collect();
+                let streams: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::stream(&self.{i}, sink);"))
+                    .collect();
                 format!(
                     "#[automatically_derived]\n\
                      impl ::serde::Serialize for {name} {{\n\
                          fn to_value(&self) -> ::serde::Value {{\n\
-                             ::serde::Value::Array(vec![{}])\n\
+                             ::serde::Value::Array(vec![{items}])\n\
+                         }}\n\
+                         fn stream(&self, sink: &mut dyn ::serde::Sink) {{\n\
+                             sink.array({arity});\n\
+                             {streams}\n\
                          }}\n\
                      }}",
-                    items.join(", ")
+                    items = items.join(", "),
+                    streams = streams.join("\n")
                 )
             }
         }
         Item::Enum { name, variants } => {
             let mut arms = String::new();
+            let mut stream_arms = String::new();
             for v in variants {
                 let vn = &v.name;
                 match &v.fields {
-                    None => arms.push_str(&format!(
-                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
-                    )),
+                    None => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                        ));
+                        stream_arms.push_str(&format!("{name}::{vn} => sink.string(\"{vn}\"),\n"));
+                    }
                     Some(fields) if v.tuple => {
                         let binds: Vec<String> =
                             (0..fields.len()).map(|i| format!("__f{i}")).collect();
@@ -342,10 +374,25 @@ fn gen_serialize(item: &Item) -> String {
                             .iter()
                             .map(|b| format!("::serde::Serialize::to_value({b})"))
                             .collect();
+                        let streams: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::stream({b}, sink);"))
+                            .collect();
                         arms.push_str(&format!(
                             "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
                             binds = binds.join(", "),
                             items = items.join(", ")
+                        ));
+                        stream_arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                                 sink.object(1);\n\
+                                 sink.name(\"{vn}\");\n\
+                                 sink.array({arity});\n\
+                                 {streams}\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                            arity = fields.len(),
+                            streams = streams.join("\n")
                         ));
                     }
                     Some(fields) => {
@@ -360,10 +407,31 @@ fn gen_serialize(item: &Item) -> String {
                                 )
                             })
                             .collect();
+                        let streams: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "sink.name(\"{n}\");\n::serde::Serialize::stream({n}, sink);",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        let count = fields.iter().filter(|f| !f.skip).count();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(vec![{pushes}]))]),\n",
                             binds = binds.join(", "),
                             pushes = pushes.join(", ")
+                        ));
+                        stream_arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 sink.object(1);\n\
+                                 sink.name(\"{vn}\");\n\
+                                 sink.object({count});\n\
+                                 {streams}\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                            streams = streams.join("\n")
                         ));
                     }
                 }
@@ -374,10 +442,78 @@ fn gen_serialize(item: &Item) -> String {
                      fn to_value(&self) -> ::serde::Value {{\n\
                          match self {{\n{arms}}}\n\
                      }}\n\
+                     fn stream(&self, sink: &mut dyn ::serde::Sink) {{\n\
+                         match self {{\n{stream_arms}}}\n\
+                     }}\n\
                  }}"
             )
         }
     }
+}
+
+/// Generates the body shared by named-struct and struct-variant streaming
+/// decode: read the member count, fill one `Option` slot per known field
+/// (first occurrence wins, like `::serde::field` on a tree), skip unknown
+/// members, then build `ctor { ... }` erroring on missing fields.
+///
+/// Mirrors the tree path exactly: unknown members are ignored, duplicate
+/// members keep the first occurrence, field parse errors carry the
+/// `owner.field:` context, and `#[serde(skip)]` fields come from `Default`.
+fn gen_named_decode_body(ctor: &str, owner: &str, fields: &[Field]) -> String {
+    let mut slots = String::new();
+    let mut arms = String::new();
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{n}: ::std::default::Default::default(),\n",
+                n = f.name
+            ));
+            continue;
+        }
+        slots.push_str(&format!(
+            "let mut __f_{n} = ::std::option::Option::None;\n",
+            n = f.name
+        ));
+        arms.push_str(&format!(
+            "\"{n}\" if __f_{n}.is_none() => {{\n\
+                 __f_{n} = ::std::option::Option::Some(\n\
+                     ::serde::Deserialize::decode(src)\n\
+                         .map_err(|e| ::serde::DeError::custom(format!(\"{owner}.{n}: {{e}}\")))?,\n\
+                 );\n\
+             }}\n",
+            n = f.name
+        ));
+        inits.push_str(&format!(
+            "{n}: __f_{n}.ok_or_else(|| ::serde::DeError::custom(\"{owner}: missing field `{n}`\"))?,\n",
+            n = f.name
+        ));
+    }
+    let member_loop = if arms.is_empty() {
+        // No named members to capture: consume and discard everything.
+        "for _ in 0..__members {\n\
+             let __name = src.name()?;\n\
+             let _ = __name;\n\
+             src.skip_value()?;\n\
+         }\n"
+        .to_string()
+    } else {
+        format!(
+            "for _ in 0..__members {{\n\
+                 let __name = src.name()?;\n\
+                 match __name.as_ref() {{\n\
+                     {arms}\
+                     _ => src.skip_value()?,\n\
+                 }}\n\
+             }}\n"
+        )
+    };
+    format!(
+        "let __members = src.object().map_err(|e| ::serde::DeError::custom(format!(\"{owner}: {{e}}\")))?;\n\
+         {slots}\
+         {member_loop}\
+         ::std::result::Result::Ok({ctor} {{\n{inits}}})\n"
+    )
 }
 
 fn gen_deserialize(item: &Item) -> String {
@@ -397,6 +533,7 @@ fn gen_deserialize(item: &Item) -> String {
                     ));
                 }
             }
+            let decode_body = gen_named_decode_body(name, name, fields);
             format!(
                 "#[automatically_derived]\n\
                  impl ::serde::Deserialize for {name} {{\n\
@@ -405,6 +542,9 @@ fn gen_deserialize(item: &Item) -> String {
                              format!(\"{name}: expected object, got {{v:?}}\")))?;\n\
                          let _ = obj;\n\
                          ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                     fn decode(src: &mut dyn ::serde::Source) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {decode_body}\
                      }}\n\
                  }}"
             )
@@ -417,11 +557,17 @@ fn gen_deserialize(item: &Item) -> String {
                          fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
                              ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
                          }}\n\
+                         fn decode(src: &mut dyn ::serde::Source) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             ::std::result::Result::Ok({name}(::serde::Deserialize::decode(src)?))\n\
+                         }}\n\
                      }}"
                 )
             } else {
                 let parses: Vec<String> = (0..*arity)
                     .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                let stream_parses: Vec<String> = (0..*arity)
+                    .map(|_| "::serde::Deserialize::decode(src)?".to_string())
                     .collect();
                 format!(
                     "#[automatically_derived]\n\
@@ -435,24 +581,44 @@ fn gen_deserialize(item: &Item) -> String {
                              }}\n\
                              ::std::result::Result::Ok({name}({parses}))\n\
                          }}\n\
+                         fn decode(src: &mut dyn ::serde::Source) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             let __len = src.array().map_err(|e| ::serde::DeError::custom(\
+                                 format!(\"{name}: {{e}}\")))?;\n\
+                             if __len != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"{name}: expected {arity} elements, got {{__len}}\")));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}({stream_parses}))\n\
+                         }}\n\
                      }}",
-                    parses = parses.join(", ")
+                    parses = parses.join(", "),
+                    stream_parses = stream_parses.join(", ")
                 )
             }
         }
         Item::Enum { name, variants } => {
             let mut unit_arms = String::new();
             let mut data_arms = String::new();
+            let mut stream_unit_arms = String::new();
+            let mut stream_data_arms = String::new();
             for v in variants {
                 let vn = &v.name;
                 match &v.fields {
-                    None => unit_arms.push_str(&format!(
-                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
-                    )),
+                    None => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        stream_unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
                     Some(fields) if v.tuple => {
                         let arity = fields.len();
                         let parses: Vec<String> = (0..arity)
                             .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        let stream_parses: Vec<String> = (0..arity)
+                            .map(|_| "::serde::Deserialize::decode(src)?".to_string())
                             .collect();
                         data_arms.push_str(&format!(
                             "\"{vn}\" => {{\n\
@@ -465,6 +631,18 @@ fn gen_deserialize(item: &Item) -> String {
                                  ::std::result::Result::Ok({name}::{vn}({parses}))\n\
                              }}\n",
                             parses = parses.join(", ")
+                        ));
+                        stream_data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let __len = src.array().map_err(|e| ::serde::DeError::custom(\
+                                     format!(\"{name}::{vn}: {{e}}\")))?;\n\
+                                 if __len != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"{name}::{vn}: expected {arity} elements, got {{__len}}\")));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({stream_parses}))\n\
+                             }}\n",
+                            stream_parses = stream_parses.join(", ")
                         ));
                     }
                     Some(fields) => {
@@ -490,6 +668,13 @@ fn gen_deserialize(item: &Item) -> String {
                              }}\n",
                             inits = inits.join(", ")
                         ));
+                        let ctor = format!("{name}::{vn}");
+                        let decode_body = gen_named_decode_body(&ctor, &ctor, fields);
+                        stream_data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 {decode_body}\
+                             }}\n"
+                        ));
                     }
                 }
             }
@@ -514,6 +699,33 @@ fn gen_deserialize(item: &Item) -> String {
                              }}\n\
                              other => ::std::result::Result::Err(::serde::DeError::custom(\
                                  format!(\"{name}: expected variant string or single-key object, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     fn decode(src: &mut dyn ::serde::Source) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match src.peek()? {{\n\
+                             ::serde::Kind::Str => {{\n\
+                                 let __s = src.string()?;\n\
+                                 match __s.as_str() {{\n\
+                                     {stream_unit_arms}\
+                                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::Kind::Object => {{\n\
+                                 let __members = src.object()?;\n\
+                                 if __members != 1 {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"{name}: expected variant string or single-key object, got an object of {{__members}} members\")));\n\
+                                 }}\n\
+                                 let __tag = src.name()?;\n\
+                                 match __tag.as_ref() {{\n\
+                                     {stream_data_arms}\
+                                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"{name}: expected variant string or single-key object, got {{__other:?}}\"))),\n\
                          }}\n\
                      }}\n\
                  }}"

@@ -5,8 +5,17 @@
 //! `to_string` → `from_str` preserves every finite `f64` bit-for-bit (the
 //! catalog and model round-trip tests rely on this). Non-finite floats render
 //! as `null`, like real serde_json.
+//!
+//! The writer core is byte-oriented: [`to_writer`] serializes straight into
+//! any `io::Write` sink (the HTTP server points it at a reused response
+//! buffer), and [`to_string`]/[`to_string_pretty`] are thin UTF-8 wrappers
+//! over the same code path — one rendering, bit-identical everywhere. The
+//! parser likewise works on raw bytes: [`from_slice`] skips the up-front
+//! UTF-8 validation pass ([`from_str`] delegates to it), validating only
+//! inside string literals where non-ASCII bytes can actually appear.
 
 use serde::{Deserialize, Serialize, Value};
+use std::io::{self, Write};
 
 /// A serialization or parse error with a human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,15 +45,41 @@ impl From<serde::DeError> for Error {
     }
 }
 
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::new(format!("write failed: {e}"))
+    }
+}
+
+/// Serializes a value as compact JSON directly into `writer` — no
+/// intermediate `String`, no UTF-8 re-validation; response buffers can be
+/// reused across calls.
+///
+/// # Errors
+/// Propagates sink write failures (infallible for `Vec<u8>` sinks).
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(writer: &mut W, value: &T) -> Result<(), Error> {
+    write_value(&value.to_value(), writer, None, 0)?;
+    Ok(())
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+/// Infallible for the supported value shapes; kept as `Result` for API
+/// compatibility.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
+    to_writer(&mut out, value)?;
+    Ok(out)
+}
+
 /// Serializes a value to compact JSON.
 ///
 /// # Errors
 /// Infallible for the supported value shapes; kept as `Result` for API
 /// compatibility.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&value.to_value(), &mut out, None, 0);
-    Ok(out)
+    to_vec(value).map(|bytes| String::from_utf8(bytes).expect("the JSON writer emits UTF-8"))
 }
 
 /// Serializes a value to two-space-indented JSON.
@@ -53,19 +88,22 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// Infallible for the supported value shapes; kept as `Result` for API
 /// compatibility.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_value(&value.to_value(), &mut out, Some(2), 0);
-    Ok(out)
+    let mut out = Vec::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0)?;
+    Ok(String::from_utf8(out).expect("the JSON writer emits UTF-8"))
 }
 
-/// Parses a value from JSON text.
+/// Parses a value from raw JSON bytes. No whole-input UTF-8 pass: JSON
+/// structure is ASCII, and string contents are validated where they are
+/// decoded, so invalid UTF-8 surfaces as a parse error rather than a
+/// separate scan.
 ///
 /// # Errors
 /// Fails on malformed JSON, trailing input, or a tree that does not match
 /// `T`'s shape.
-pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
     let mut parser = Parser {
-        bytes: input.as_bytes(),
+        bytes: input,
         pos: 0,
     };
     parser.skip_ws();
@@ -80,91 +118,120 @@ pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
     Ok(T::from_value(&value)?)
 }
 
+/// Parses a value from JSON text.
+///
+/// # Errors
+/// Fails on malformed JSON, trailing input, or a tree that does not match
+/// `T`'s shape.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    from_slice(input.as_bytes())
+}
+
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
 
-fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+fn write_value<W: Write>(
+    value: &Value,
+    out: &mut W,
+    indent: Option<usize>,
+    depth: usize,
+) -> io::Result<()> {
     match value {
-        Value::Null => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Null => out.write_all(b"null"),
+        Value::Bool(true) => out.write_all(b"true"),
+        Value::Bool(false) => out.write_all(b"false"),
+        Value::Int(i) => write!(out, "{i}"),
+        Value::UInt(u) => write!(out, "{u}"),
         Value::Float(f) => {
             if f.is_finite() {
                 // {:?} is Rust's shortest round-trip float formatting.
-                out.push_str(&format!("{f:?}"));
+                write!(out, "{f:?}")
             } else {
-                out.push_str("null");
+                out.write_all(b"null")
             }
         }
         Value::Str(s) => write_string(s, out),
         Value::Array(items) => {
             if items.is_empty() {
-                out.push_str("[]");
-                return;
+                return out.write_all(b"[]");
             }
-            out.push('[');
+            out.write_all(b"[")?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_value(item, out, indent, depth + 1);
+                newline_indent(out, indent, depth + 1)?;
+                write_value(item, out, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push(']');
+            newline_indent(out, indent, depth)?;
+            out.write_all(b"]")
         }
         Value::Object(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
-                return;
+                return out.write_all(b"{}");
             }
-            out.push('{');
+            out.write_all(b"{")?;
             for (i, (key, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_all(b",")?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_string(key, out);
-                out.push(':');
+                newline_indent(out, indent, depth + 1)?;
+                write_string(key, out)?;
+                out.write_all(b":")?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_all(b" ")?;
                 }
-                write_value(item, out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push('}');
+            newline_indent(out, indent, depth)?;
+            out.write_all(b"}")
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: Write>(out: &mut W, indent: Option<usize>, depth: usize) -> io::Result<()> {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_all(b"\n")?;
         for _ in 0..(width * depth) {
-            out.push(' ');
+            out.write_all(b" ")?;
         }
     }
+    Ok(())
 }
 
-fn write_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+/// Writes a JSON string literal. Runs of bytes that need no escaping are
+/// copied in one `write_all` (multi-byte UTF-8 passes through verbatim);
+/// only the escape characters themselves go byte-by-byte.
+fn write_string<W: Write>(s: &str, out: &mut W) -> io::Result<()> {
+    out.write_all(b"\"")?;
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let escape: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            b'\t' => b"\\t",
+            b if b < 0x20 => {
+                if start < i {
+                    out.write_all(&bytes[start..i])?;
+                }
+                write!(out, "\\u{:04x}", b)?;
+                start = i + 1;
+                continue;
             }
-            c => out.push(c),
+            _ => continue,
+        };
+        if start < i {
+            out.write_all(&bytes[start..i])?;
         }
+        out.write_all(escape)?;
+        start = i + 1;
     }
-    out.push('"');
+    out.write_all(&bytes[start..])?;
+    out.write_all(b"\"")
 }
 
 // ---------------------------------------------------------------------------
@@ -427,6 +494,14 @@ mod tests {
     }
 
     #[test]
+    fn control_characters_escape_as_u_sequences() {
+        let s = "a\u{1}b\u{1f}c".to_string();
+        assert_eq!(to_string(&s).unwrap(), "\"a\\u0001b\\u001fc\"");
+        let back: String = from_str(&to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
     fn unicode_escape_parses() {
         let back: String = from_str(r#""é😀""#).unwrap();
         assert_eq!(back, "é😀");
@@ -438,6 +513,42 @@ mod tests {
         let json = to_string(&v).unwrap();
         let back: Vec<(u64, f64)> = from_str(&json).unwrap();
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn to_writer_matches_to_string_byte_for_byte() {
+        let v = vec![
+            ("k\"ey".to_string(), vec![0.1f64, -3.25, 1e300]),
+            ("é\n".to_string(), vec![]),
+        ];
+        let mut sink = Vec::new();
+        to_writer(&mut sink, &v).unwrap();
+        assert_eq!(sink, to_string(&v).unwrap().into_bytes());
+        assert_eq!(to_vec(&v).unwrap(), sink);
+    }
+
+    #[test]
+    fn to_writer_appends_to_a_reused_buffer() {
+        let mut sink = b"prefix:".to_vec();
+        to_writer(&mut sink, &7u64).unwrap();
+        assert_eq!(sink, b"prefix:7");
+    }
+
+    #[test]
+    fn from_slice_matches_from_str() {
+        let json = r#"[[1],[2,3]]"#;
+        let via_str: Vec<Vec<u64>> = from_str(json).unwrap();
+        let via_slice: Vec<Vec<u64>> = from_slice(json.as_bytes()).unwrap();
+        assert_eq!(via_str, via_slice);
+    }
+
+    #[test]
+    fn from_slice_rejects_invalid_utf8_in_strings() {
+        // A lone 0xFF inside a string literal is not UTF-8.
+        let bad = [b'"', 0xFF, b'"'];
+        assert!(from_slice::<String>(&bad).is_err());
+        // Invalid bytes outside any string are a parse error, not a panic.
+        assert!(from_slice::<u64>(&[0xFF, 0xFE]).is_err());
     }
 
     #[test]
